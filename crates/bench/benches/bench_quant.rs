@@ -1,0 +1,61 @@
+//! Quantification-engine benchmarks: the paper's rare-event formula vs
+//! the exact methods, importance measures, and the statistics substrate
+//! primitives they lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safety_opt_fta::bdd::TreeBdd;
+use safety_opt_fta::importance::ImportanceReport;
+use safety_opt_fta::mcs;
+use safety_opt_fta::quant::{
+    inclusion_exclusion, min_cut_upper_bound, rare_event,
+};
+use safety_opt_fta::synth::or_of_ands;
+use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
+use safety_opt_stats::special::{erfc, inverse_normal_cdf};
+
+fn bench_quant_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantification");
+    for &m in &[8usize, 16] {
+        let tree = or_of_ands(m, 3, 0.01);
+        let probs = tree.stored_probabilities().unwrap();
+        let sets = mcs::bottom_up(&tree).unwrap();
+        group.bench_with_input(BenchmarkId::new("rare_event", m), &m, |b, _| {
+            b.iter(|| rare_event(&sets, &probs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("min_cut_ub", m), &m, |b, _| {
+            b.iter(|| min_cut_upper_bound(&sets, &probs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("inclusion_exclusion", m), &m, |b, _| {
+            b.iter(|| inclusion_exclusion(&sets, &probs).unwrap())
+        });
+        let bdd = TreeBdd::build(&tree).unwrap();
+        group.bench_with_input(BenchmarkId::new("bdd_exact", m), &m, |b, _| {
+            b.iter(|| bdd.probability(&probs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let tree = or_of_ands(10, 3, 0.01);
+    let probs = tree.stored_probabilities().unwrap();
+    c.bench_function("importance_report_30_leaves", |b| {
+        b.iter(|| ImportanceReport::compute(&tree, &probs).unwrap())
+    });
+}
+
+fn bench_stats_primitives(c: &mut Criterion) {
+    c.bench_function("erfc_deep_tail", |b| b.iter(|| erfc(7.5)));
+    c.bench_function("inverse_normal_cdf", |b| {
+        b.iter(|| inverse_normal_cdf(0.975).unwrap())
+    });
+    let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+    c.bench_function("truncated_normal_sf", |b| b.iter(|| transit.sf(19.0)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_quant_methods, bench_importance, bench_stats_primitives
+);
+criterion_main!(benches);

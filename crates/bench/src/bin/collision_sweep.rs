@@ -1,0 +1,60 @@
+//! E5 — the text claim "a runtime of less than 10 minutes will make the
+//! risk for a collision unacceptably high": sweeps `P(HCol)` over the
+//! timer-2 runtime, analytically and by simulation.
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin collision_sweep`
+
+use safety_opt_bench::{row, write_artifact};
+use safety_opt_elbtunnel::analytic::{ElbtunnelModel, Variant};
+use safety_opt_elbtunnel::sim::{simulate, SimConfig};
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E5 — collision risk vs timer-2 runtime\n");
+    let model = ElbtunnelModel::paper();
+    let baseline = model.p_collision(19.0, 15.6)?;
+
+    let widths = [6usize, 14, 12, 22];
+    println!(
+        "{}",
+        row(
+            &["T2".into(), "P(HCol)".into(), "× optimum".into(), "sim P(OT2 | wrong lane)".into()],
+            &widths
+        )
+    );
+    let mut csv = String::from("t2,p_collision,ratio_vs_optimum,sim_collision_given_wrong\n");
+    for (i, &t2) in [30.0, 20.0, 15.6, 12.0, 10.0, 9.0, 8.0, 7.0, 6.0, 5.0]
+        .iter()
+        .enumerate()
+    {
+        let p = model.p_collision(19.0, t2)?;
+        let ratio = p / baseline;
+        // Simulated conditional collision probability for wrong-lane OHVs
+        // (the mechanism behind the analytic tail).
+        let report = simulate(
+            &SimConfig::paper(19.0, t2, Variant::Original),
+            150_000,
+            7000 + i as u64,
+        );
+        let sim = report.collision_given_wrong_lane.p_hat();
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{t2:.1}"),
+                    format!("{p:.4e}"),
+                    format!("{ratio:.1}"),
+                    format!("{sim:.4}"),
+                ],
+                &widths
+            )
+        );
+        let _ = writeln!(csv, "{t2},{p},{ratio},{sim}");
+    }
+    println!(
+        "\npaper: below ≈ 10 minutes the collision risk becomes unacceptably high —\n\
+         the table shows the risk exploding by orders of magnitude exactly there."
+    );
+    write_artifact("collision_sweep.csv", &csv);
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! A3 — ablation: constraint probabilities ON (the paper's Eq. 2) vs OFF
+//! (classical worst-case quantitative FTA, `P(Constraints) = 1`).
+//!
+//! The paper argues that setting the constraint probabilities to 1
+//! reproduces the classical formula but wildly overestimates the risk;
+//! this harness quantifies that, and shows the optimizer would pick a
+//! *different* (worse) configuration without constraints.
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin constraint_ablation`
+
+use safety_opt_bench::{row, write_artifact};
+use safety_opt_core::optimize::SafetyOptimizer;
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# A3 — constraint probabilities: Eq. 2 vs worst-case (P = 1)\n");
+    let with = ElbtunnelModel::paper();
+    // Worst case: every constraint certain — an OHV is always present and
+    // always heading the wrong way.
+    let mut without = ElbtunnelModel::paper();
+    without.p_ohv = 1.0;
+    without.p_ohv_critical = 1.0;
+
+    let widths = [26usize, 16, 16, 10];
+    println!(
+        "{}",
+        row(
+            &["quantity (at 19, 15.6)".into(), "with constraints".into(), "worst case".into(), "factor".into()],
+            &widths
+        )
+    );
+    let mut csv = String::from("quantity,with_constraints,worst_case,factor\n");
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "P(HCol)",
+            with.p_collision(19.0, 15.6)?,
+            without.p_collision(19.0, 15.6)?,
+        ),
+        (
+            "P(HAlr)",
+            with.p_false_alarm(19.0, 15.6),
+            without.p_false_alarm(19.0, 15.6),
+        ),
+        ("f_cost", with.cost(19.0, 15.6)?, without.cost(19.0, 15.6)?),
+    ];
+    for (name, a, b) in rows {
+        let factor = b / a;
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{a:.4e}"),
+                    format!("{b:.4e}"),
+                    format!("{factor:.1}x"),
+                ],
+                &widths
+            )
+        );
+        let _ = writeln!(csv, "{name},{a},{b},{factor}");
+    }
+
+    // What configuration would the worst-case analyst pick?
+    let with_model = with.build()?;
+    let without_model = without.build()?;
+    let opt_with = SafetyOptimizer::new(&with_model).run()?;
+    let opt_without = SafetyOptimizer::new(&without_model).run()?;
+    println!("\noptimum with constraints   : {}", opt_with.point());
+    println!("optimum in the worst case  : {}", opt_without.point());
+
+    // Evaluate the worst-case-chosen configuration under the *real*
+    // (constrained) model: the cost of ignoring the environment.
+    let misconfigured = with_model.cost(opt_without.point().values())?;
+    let proper = opt_with.cost();
+    println!(
+        "\nreal mean cost of the worst-case configuration: {misconfigured:.4e}\n\
+         real mean cost of the constrained optimum     : {proper:.4e}\n\
+         penalty for ignoring constraint probabilities : {:+.2} %",
+        100.0 * (misconfigured - proper) / proper
+    );
+    let _ = writeln!(
+        csv,
+        "penalty_percent,{},,",
+        100.0 * (misconfigured - proper) / proper
+    );
+
+    // The same story at fault-tree level, via the Sect. II-D.1 bounds.
+    let tree = safety_opt_elbtunnel::fault_trees::false_alarm_tree()?;
+    let activation = with.p_ohv + (1.0 - with.p_ohv) * with.p_fd_lbpre * with.p_fd_lbpost(19.0);
+    let probs = safety_opt_fta::quant::ProbabilityMap::from_fn(&tree, |leaf| {
+        use safety_opt_elbtunnel::fault_trees::names;
+        match tree.node(tree.leaf(leaf)).name() {
+            names::HV_ODFINAL => with.p_hv_odfinal(15.6),
+            names::FD_ODFINAL => 1e-2 * with.p_hv_odfinal(15.6),
+            names::HV_ODLEFT => 5e-3,
+            names::FD_ODLEFT => 1e-4,
+            names::OHV_PRESENT => with.p_ohv,
+            names::ODFINAL_ACTIVE => activation,
+            _ => unreachable!(),
+        }
+    })?;
+    let report = safety_opt_fta::constraints::ConstraintReport::compute(&tree, &probs)?;
+    println!("\nfault-tree-level constraint bounds (false-alarm tree at (19, 15.6)):");
+    println!(
+        "  P(HAlr) with independence bound : {:.4e}",
+        report.hazard_probability_independent()
+    );
+    println!(
+        "  P(HAlr) dependence-safe bound   : {:.4e}",
+        report.hazard_probability_dependent()
+    );
+    println!(
+        "  P(HAlr) worst case (classical)  : {:.4e}",
+        report.hazard_probability_worst_case()
+    );
+    println!(
+        "  constraints collected           : {:?}",
+        report.all_conditions()
+    );
+    write_artifact("constraint_ablation.csv", &csv);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! E1 — regenerates **Fig. 5**: the cost function `f_cost(T1, T2)` around
+//! its minimum (paper window: T1 ∈ [15, 20], T2 ∈ [15, 18]).
+//!
+//! Prints the grid minimum, the paper's band check, and an ASCII heat
+//! map; writes the full surface as CSV for external plotting.
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin fig5_cost_surface`
+
+use safety_opt_bench::write_artifact;
+use safety_opt_core::surface::CostSurface;
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Fig. 5 — cost surface around the minimum\n");
+
+    // The paper zooms into T1 ∈ [15, 20] × T2 ∈ [15, 18].
+    let mut windowed = ElbtunnelModel::paper();
+    windowed.timer_domain = (15.0, 20.0);
+    let model = windowed.build()?;
+    let (t1, t2) = ElbtunnelModel::timer_ids(&model);
+    let reference = model.space().center();
+    let surface = CostSurface::evaluate(&model, t1, t2, &reference, 81, 81)?;
+
+    let (mx, my, mv) = surface.minimum();
+    println!("grid minimum : f({mx:.3}, {my:.3}) = {mv:.6e}");
+    println!("paper        : minimum near (19, 15.6), band ≈ 0.0046 … 0.0047");
+    println!(
+        "band check   : {}",
+        if (0.0046..0.0047).contains(&mv) { "INSIDE the paper's band" } else { "outside band" }
+    );
+
+    println!("\nASCII heat map (low = ' ', high = '@', * = minimum):");
+    // A coarser grid keeps the map terminal-sized.
+    let coarse = CostSurface::evaluate(&model, t1, t2, &reference, 60, 24)?;
+    print!("{}", coarse.to_ascii());
+
+    write_artifact("fig5_cost_surface.csv", &surface.to_csv());
+
+    // Also emit the full-domain surface for context (T ∈ [5, 30]²).
+    let full_model = ElbtunnelModel::paper().build()?;
+    let (ft1, ft2) = ElbtunnelModel::timer_ids(&full_model);
+    let full_ref = full_model.space().center();
+    let full = CostSurface::evaluate(&full_model, ft1, ft2, &full_ref, 101, 101)?;
+    write_artifact("fig5_cost_surface_full_domain.csv", &full.to_csv());
+    Ok(())
+}

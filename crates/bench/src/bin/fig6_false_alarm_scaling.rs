@@ -1,0 +1,62 @@
+//! E3/E4 — regenerates **Fig. 6**: probability of a false alarm for a
+//! correctly driving OHV vs timer-2 runtime, for the original design
+//! ("without_LB4"), the LB4 fix ("with_LB4"), and the LB-at-ODfinal fix
+//! discussed in the text (≈ 4 %).
+//!
+//! Each analytic curve is cross-checked by the discrete-event simulator.
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin fig6_false_alarm_scaling`
+
+use safety_opt_bench::{row, write_artifact};
+use safety_opt_elbtunnel::analytic::{scaling, ElbtunnelModel, Variant};
+use safety_opt_elbtunnel::sim::{simulate, SimConfig};
+use std::fmt::Write as _;
+
+const EPISODES: u64 = 50_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Fig. 6 — P(false alarm | correctly driving OHV) vs timer-2 runtime\n");
+    let model = ElbtunnelModel::paper();
+    let variants = [Variant::Original, Variant::WithLb4, Variant::LbAtOdFinal];
+    let widths = [6usize, 14, 14, 14, 14, 14, 14];
+
+    let header: Vec<String> = std::iter::once("T2".to_string())
+        .chain(variants.iter().flat_map(|v| {
+            [format!("{v} (ana)"), format!("{v} (sim)")]
+        }))
+        .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = String::from("t2,variant,analytic,simulated,sim_lo95,sim_hi95\n");
+    let t2_values: Vec<f64> = (0..21).map(|i| 5.0 + i as f64).collect();
+    for (i, &t2) in t2_values.iter().enumerate() {
+        let mut cells = vec![format!("{t2:.0}")];
+        for variant in variants {
+            let ana = scaling::false_alarm_given_correct_ohv(&model, variant, t2)?;
+            let report = simulate(
+                &SimConfig::paper(19.0, t2, variant),
+                EPISODES,
+                9000 + i as u64,
+            );
+            let sim = report.false_alarm_given_correct.p_hat();
+            let (lo, hi) = report.false_alarm_given_correct.wilson_interval(0.95)?;
+            cells.push(format!("{:.3}", ana));
+            cells.push(format!("{:.3}", sim));
+            let _ = writeln!(csv, "{t2},{variant},{ana},{sim},{lo},{hi}");
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!("\npaper anchors:");
+    let p = scaling::false_alarm_given_correct_ohv(&model, Variant::Original, 15.6)?;
+    println!("  without_LB4 @ 15.6 min : {:.1} %  (paper: more than 80 %)", 100.0 * p);
+    let p = scaling::false_alarm_given_correct_ohv(&model, Variant::Original, 30.0)?;
+    println!("  without_LB4 @ 30 min   : {:.1} %  (paper: more than 95 %)", 100.0 * p);
+    let p = scaling::false_alarm_given_correct_ohv(&model, Variant::WithLb4, 15.6)?;
+    println!("  with_LB4    @ 15.6 min : {:.1} %  (paper: ≈ 40 %)", 100.0 * p);
+    let p = scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, 15.6)?;
+    println!("  LB at ODfinal          : {:.1} %  (paper: ≈ 4 %)", 100.0 * p);
+
+    write_artifact("fig6_false_alarm_scaling.csv", &csv);
+    Ok(())
+}

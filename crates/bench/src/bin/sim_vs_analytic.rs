@@ -1,0 +1,112 @@
+//! E7 — validation: discrete-event simulation vs the analytic model on
+//! every quantity both can produce, with 99 % Wilson intervals (16
+//! simultaneous coverage cells — 95 % would be expected to miss one by
+//! chance).
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin sim_vs_analytic`
+
+use safety_opt_bench::{row, write_artifact};
+use safety_opt_elbtunnel::analytic::{scaling, ElbtunnelModel, Variant};
+use safety_opt_elbtunnel::sim::{simulate, SimConfig};
+use std::fmt::Write as _;
+
+const EPISODES: u64 = 200_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# E7 — simulator vs analytic model ({EPISODES} episodes per cell)\n");
+    let model = ElbtunnelModel::paper();
+    let widths = [16usize, 8, 12, 12, 20, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "quantity".into(),
+                "T2".into(),
+                "analytic".into(),
+                "simulated".into(),
+                "99% interval".into(),
+                "covered".into()
+            ],
+            &widths
+        )
+    );
+    let mut csv = String::from("quantity,t2,analytic,simulated,lo99,hi99,covered\n");
+    let mut all_covered = true;
+    let mut check = |name: &str, t2: f64, analytic: f64, sim: f64, lo: f64, hi: f64| {
+        let covered = analytic >= lo && analytic <= hi;
+        all_covered &= covered;
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{t2:.1}"),
+                    format!("{analytic:.5}"),
+                    format!("{sim:.5}"),
+                    format!("[{lo:.5}, {hi:.5}]"),
+                    if covered { "yes".into() } else { "NO".into() },
+                ],
+                &widths
+            )
+        );
+        let _ = writeln!(csv, "{name},{t2},{analytic},{sim},{lo},{hi},{covered}");
+    };
+
+    for (i, &t2) in [8.0, 12.0, 15.6, 20.0, 25.0].iter().enumerate() {
+        let report = simulate(
+            &SimConfig::paper(19.0, t2, Variant::Original),
+            EPISODES,
+            100 + i as u64,
+        );
+        let est = &report.false_alarm_given_correct;
+        let (lo, hi) = est.wilson_interval(0.99)?;
+        let analytic = scaling::false_alarm_given_correct_ohv(&model, Variant::Original, t2)?;
+        check("fa|correct,orig", t2, analytic, est.p_hat(), lo, hi);
+    }
+    for (i, &t2) in [10.0, 15.6].iter().enumerate() {
+        let report = simulate(
+            &SimConfig::paper(19.0, t2, Variant::LbAtOdFinal),
+            EPISODES,
+            300 + i as u64,
+        );
+        let est = &report.false_alarm_given_correct;
+        let (lo, hi) = est.wilson_interval(0.99)?;
+        let analytic =
+            scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, t2)?;
+        check("fa|correct,LBod", t2, analytic, est.p_hat(), lo, hi);
+    }
+    for (i, &t2) in [7.0, 9.0, 12.0].iter().enumerate() {
+        let report = simulate(
+            &SimConfig::paper(30.0, t2, Variant::Original),
+            EPISODES,
+            400 + i as u64,
+        );
+        let est = &report.overtime2;
+        let (lo, hi) = est.wilson_interval(0.99)?;
+        let analytic = model.p_overtime(t2)?;
+        check("P(OT2)", t2, analytic, est.p_hat(), lo, hi);
+    }
+
+    for (i, &t2) in [10.0, 15.6, 25.0].iter().enumerate() {
+        let report = simulate(
+            &SimConfig::paper(19.0, t2, Variant::WithLb4),
+            EPISODES,
+            500 + i as u64,
+        );
+        let est = &report.false_alarm_given_correct;
+        let (lo, hi) = est.wilson_interval(0.99)?;
+        let analytic = scaling::false_alarm_given_correct_ohv(&model, Variant::WithLb4, t2)?;
+        check("fa|correct,LB4", t2, analytic, est.p_hat(), lo, hi);
+    }
+
+    println!(
+        "\noverall: {}",
+        if all_covered {
+            "every analytic value inside its 99 % simulation interval"
+        } else {
+            "COVERAGE FAILURES above"
+        }
+    );
+    write_artifact("sim_vs_analytic.csv", &csv);
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Scaling study — the paper's "how does the control scale if the
+//! traffic increases?" question (Sect. IV-C.2), extended into a full
+//! growth ladder: per traffic level, the re-optimized timers, the cost,
+//! and the alarm rates of the original vs LB4 designs.
+//!
+//! Run with: `cargo run --release -p safety-opt-bench --bin traffic_scaling`
+
+use safety_opt_bench::{row, write_artifact};
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_elbtunnel::scenarios::{growth_ladder, scaling_study};
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Traffic-growth scaling study\n");
+    let base = ElbtunnelModel::paper();
+    let outcomes = scaling_study(&base, &growth_ladder())?;
+
+    let widths = [8usize, 8, 8, 13, 16, 13];
+    println!(
+        "{}",
+        row(
+            &[
+                "traffic".into(),
+                "T1*".into(),
+                "T2*".into(),
+                "f_cost*".into(),
+                "alarm (orig)".into(),
+                "alarm (LB4)".into()
+            ],
+            &widths
+        )
+    );
+    let mut csv =
+        String::from("factor,t1,t2,cost,alarm_rate_original,alarm_rate_with_lb4\n");
+    for o in &outcomes {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{:.1}x", o.scenario.ohv_factor),
+                    format!("{:.2}", o.optimal_timers.0),
+                    format!("{:.2}", o.optimal_timers.1),
+                    format!("{:.4e}", o.optimal_cost),
+                    format!("{:.1} %", 100.0 * o.alarm_rate_original),
+                    format!("{:.1} %", 100.0 * o.alarm_rate_with_lb4),
+                ],
+                &widths
+            )
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{}",
+            o.scenario.ohv_factor,
+            o.optimal_timers.0,
+            o.optimal_timers.1,
+            o.optimal_cost,
+            o.alarm_rate_original,
+            o.alarm_rate_with_lb4
+        );
+    }
+    println!(
+        "\nreading: the original design saturates — already at modest growth nearly\n\
+         every correctly driving OHV trips an alarm, and no timer setting can fix\n\
+         it (the paper: \"the complex control system [is] almost obsolete\"). The\n\
+         LB4 fix keeps the alarm rate bounded by the transit-time exposure."
+    );
+    write_artifact("traffic_scaling.csv", &csv);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Shared helpers for the reproduction harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see the experiment index in `DESIGN.md`), printing the series
+//! to stdout and writing CSV/JSON artifacts into `results/` at the
+//! workspace root. The Criterion benches in `benches/` measure the
+//! engines themselves (cut-set algorithms, quantification, optimizers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+/// Directory where regeneration binaries drop their artifacts
+/// (`results/` next to the workspace `Cargo.toml`), created on demand.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — the harness cannot do
+/// anything useful without it.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes `contents` to `results/<name>` and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness binaries want loud failures).
+pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write artifact");
+    println!("[artifact] {}", path.display());
+    path
+}
+
+/// Formats a row of right-aligned columns for console tables.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created_and_writable() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        let path = write_artifact("self_test.txt", "ok\n");
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

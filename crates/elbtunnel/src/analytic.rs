@@ -1,0 +1,462 @@
+//! The analytic Elbtunnel model — the paper's Sect. IV-B/IV-C formulas.
+//!
+//! Hazard probabilities (constraint + parameterized form):
+//!
+//! ```text
+//! P(HCol)(T1,T2) = Pconst1
+//!                + P(OHVcrit) · [ P(OT1)(T1) + (1 − P(OT1)(T1)) · P(OT2)(T2) ]
+//! P(HAlr)(T1,T2) = Pconst2
+//!                + [ P(OHV) + (1 − P(OHV)) · P(FD_LBpre) · P(FD_LBpost)(T1) ]
+//!                  · P(HV_ODfinal)(T2)
+//! f_cost(T1,T2)  = 100000 · P(HCol) + 1 · P(HAlr)
+//! ```
+//!
+//! (The paper's final printed `P(HAlr)` drops the `P(HV_ODfinal)` factor
+//! that its own Sect. IV-B.3 derivation introduces — a typesetting glitch;
+//! we implement the derived form, which also reproduces the numbers.)
+//!
+//! The [`scaling`] functions implement the Fig. 6 analysis: the
+//! probability that a *correctly driving* OHV trips a false alarm, as a
+//! function of the timer-2 runtime, for the original design and the two
+//! proposed fixes.
+
+use crate::constants as c;
+use safety_opt_core::model::{Hazard, SafetyModel};
+use safety_opt_core::param::{ParamId, ParameterSpace};
+use safety_opt_core::pprob::{complement, constant, exposure, from_fn, overtime, product, scaled};
+use safety_opt_core::Result;
+use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
+use safety_opt_stats::integrate::GaussLegendre;
+use serde::{Deserialize, Serialize};
+
+/// Builder for the Elbtunnel safety model. [`ElbtunnelModel::paper`]
+/// yields the calibrated paper configuration; the setters support the
+/// "different working environments" analyses (Sect. II-D.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElbtunnelModel {
+    /// Mean zone transit time (min).
+    pub transit_mean: f64,
+    /// Transit time standard deviation (min).
+    pub transit_std: f64,
+    /// Left-lane HV arrival rate under `ODfinal` (1/min).
+    pub lambda_hv: f64,
+    /// Active light-barrier false-detection rate (1/min).
+    pub lambda_fd_lb: f64,
+    /// Active overhead-detector false-detection rate (1/min); folded into
+    /// `Pconst2` at hazard level, but part of the Fig. 6 conditional.
+    pub lambda_fd_od: f64,
+    /// `P(FD_LBpre)` per exposure.
+    pub p_fd_lbpre: f64,
+    /// `P(OHV)` — OHV present in the controlled area.
+    pub p_ohv: f64,
+    /// `P(OHV critical)` — OHV heading towards a wrong tube.
+    pub p_ohv_critical: f64,
+    /// Residual collision cut sets (`Pconst1`).
+    pub p_const1: f64,
+    /// Residual false-alarm cut sets (`Pconst2`).
+    pub p_const2: f64,
+    /// Cost of a collision (in false-alarm units).
+    pub cost_collision: f64,
+    /// Cost of a false alarm.
+    pub cost_false_alarm: f64,
+    /// Timer search domain (min).
+    pub timer_domain: (f64, f64),
+}
+
+impl ElbtunnelModel {
+    /// The calibrated configuration of the paper (see
+    /// [`constants`](crate::constants) for the derivation).
+    pub fn paper() -> Self {
+        Self {
+            transit_mean: c::TRANSIT_MEAN_MIN,
+            transit_std: c::TRANSIT_STD_MIN,
+            lambda_hv: c::LAMBDA_HV_ODFINAL,
+            lambda_fd_lb: c::LAMBDA_FD_LB,
+            lambda_fd_od: c::LAMBDA_FD_OD,
+            p_fd_lbpre: c::P_FD_LBPRE,
+            p_ohv: c::P_OHV,
+            p_ohv_critical: c::P_OHV_CRITICAL,
+            p_const1: c::P_CONST_1,
+            p_const2: c::P_CONST_2,
+            cost_collision: c::COST_COLLISION,
+            cost_false_alarm: c::COST_FALSE_ALARM,
+            timer_domain: c::TIMER_DOMAIN_MIN,
+        }
+    }
+
+    /// The zone transit-time distribution.
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for invalid moments.
+    pub fn transit_distribution(&self) -> Result<TruncatedNormal> {
+        Ok(TruncatedNormal::lower_bounded(
+            self.transit_mean,
+            self.transit_std,
+            c::TRANSIT_LOWER_BOUND_MIN,
+        )?)
+    }
+
+    /// Overtime probability `P(OT)(t) = P(transit > t)` (both zones share
+    /// the distribution).
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for invalid moments.
+    pub fn p_overtime(&self, t: f64) -> Result<f64> {
+        Ok(self.transit_distribution()?.sf(t))
+    }
+
+    /// `P(HV_ODfinal)(t) = 1 − e^{−λ_HV · t}`.
+    pub fn p_hv_odfinal(&self, t: f64) -> f64 {
+        -(-self.lambda_hv * t.max(0.0)).exp_m1()
+    }
+
+    /// `P(FD_LBpost)(t) = 1 − e^{−λ_FD · t}`.
+    pub fn p_fd_lbpost(&self, t: f64) -> f64 {
+        -(-self.lambda_fd_lb * t.max(0.0)).exp_m1()
+    }
+
+    /// Collision hazard probability `P(HCol)(T1, T2)` — the paper's exact
+    /// formula (including the `(1 − P(OT1))` cross term).
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for invalid moments.
+    pub fn p_collision(&self, t1: f64, t2: f64) -> Result<f64> {
+        let ot1 = self.p_overtime(t1)?;
+        let ot2 = self.p_overtime(t2)?;
+        Ok(self.p_const1 + self.p_ohv_critical * (ot1 + (1.0 - ot1) * ot2))
+    }
+
+    /// False-alarm hazard probability `P(HAlr)(T1, T2)`.
+    pub fn p_false_alarm(&self, t1: f64, t2: f64) -> f64 {
+        let activation = self.p_ohv
+            + (1.0 - self.p_ohv) * self.p_fd_lbpre * self.p_fd_lbpost(t1);
+        self.p_const2 + activation * self.p_hv_odfinal(t2)
+    }
+
+    /// The cost function `f_cost(T1, T2)` (paper Sect. IV-C.1).
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for invalid moments.
+    pub fn cost(&self, t1: f64, t2: f64) -> Result<f64> {
+        Ok(self.cost_collision * self.p_collision(t1, t2)?
+            + self.cost_false_alarm * self.p_false_alarm(t1, t2))
+    }
+
+    /// Builds the [`SafetyModel`] with parameters `timer1`, `timer2`.
+    ///
+    /// The model is expressed through the cut-set machinery of
+    /// [`safety_opt_core`]; a test asserts it agrees with the direct
+    /// formulas [`p_collision`](Self::p_collision) /
+    /// [`p_false_alarm`](Self::p_false_alarm) to machine precision.
+    ///
+    /// # Errors
+    ///
+    /// Parameter/expression construction errors for invalid
+    /// configurations.
+    pub fn build(&self) -> Result<SafetyModel> {
+        let mut space = ParameterSpace::new();
+        let (lo, hi) = self.timer_domain;
+        let t1 = space.parameter_with_unit("timer1", lo, hi, "min")?;
+        let t2 = space.parameter_with_unit("timer2", lo, hi, "min")?;
+        let transit = self.transit_distribution()?;
+
+        // --- Collision hazard (Sect. IV-B.3 constrained formula) ---
+        let ohv_crit = constant(self.p_ohv_critical)?;
+        let collision = Hazard::builder("collision")
+            .residual("other collision cut sets (Pconst1)", self.p_const1)
+            .cut_set(
+                "traffic jam in zone 1 ({OT1})",
+                [ohv_crit.clone(), overtime(transit, t1)],
+            )
+            .cut_set(
+                "traffic jam in zone 2 ({OT2}, OT1 averted)",
+                [
+                    ohv_crit,
+                    complement(overtime(transit, t1)),
+                    overtime(transit, t2),
+                ],
+            )
+            .build();
+
+        // --- False-alarm hazard ---
+        // Constraint: ODfinal is active because an OHV armed it, or both
+        // light barriers false-detected.
+        let spurious = scaled(
+            1.0 - self.p_ohv,
+            product([
+                constant(self.p_fd_lbpre)?,
+                exposure(self.lambda_fd_lb, t1),
+            ]),
+        )?;
+        let p_ohv = self.p_ohv;
+        let activation = from_fn("P(ODfinal active)", move |v| {
+            p_ohv + spurious.eval(v).unwrap_or(0.0)
+        });
+        let false_alarm = Hazard::builder("false-alarm")
+            .residual("other false-alarm cut sets (Pconst2)", self.p_const2)
+            .cut_set(
+                "high vehicle under active ODfinal ({HV_ODfinal})",
+                [activation, exposure(self.lambda_hv, t2)],
+            )
+            .build();
+
+        Ok(SafetyModel::new(space)
+            .hazard(collision, self.cost_collision)
+            .hazard(false_alarm, self.cost_false_alarm))
+    }
+
+    /// Ids of the two timer parameters in a model built by
+    /// [`build`](Self::build): `(timer1, timer2)`.
+    pub fn timer_ids(model: &SafetyModel) -> (ParamId, ParamId) {
+        let t1 = model.space().id("timer1").expect("built by ElbtunnelModel");
+        let t2 = model.space().id("timer2").expect("built by ElbtunnelModel");
+        (t1, t2)
+    }
+}
+
+/// Design variants of the height control (paper Sect. IV-C.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// The deployed design: `ODfinal` stays armed for the full timer-2
+    /// runtime after every OHV.
+    Original,
+    /// Proposed fix: an extra light barrier at the tube-4 entrance stops
+    /// timer 2 as soon as the OHV has left zone 2.
+    WithLb4,
+    /// Better fix: the light barrier sits at `ODfinal` itself, so the
+    /// detector is only critical while a vehicle actually passes it.
+    LbAtOdFinal,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Variant::Original => "without_LB4",
+            Variant::WithLb4 => "with_LB4",
+            Variant::LbAtOdFinal => "LB_at_ODfinal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Fig. 6 scaling analysis: probability that a **correctly driving**
+/// OHV trips a false alarm, as a function of the timer-2 runtime.
+pub mod scaling {
+    use super::*;
+
+    /// `P(false alarm | correct OHV)` for `variant` at timer-2 runtime
+    /// `t2` (minutes), under `model`'s environment.
+    ///
+    /// Alarm sources while the detector is exposed are the high-vehicle
+    /// arrivals (rate `λ_HV`) and the detector's own false detections
+    /// (rate `λ_FD,OD`); merged they form one Poisson process with rate
+    /// `λ = λ_HV + λ_FD,OD`.
+    ///
+    /// * Original: the detector stays armed for the whole `t2` →
+    ///   `1 − e^{−λ t2}`.
+    /// * With LB4: armed for `min(X, t2)` with `X` the zone-2 transit →
+    ///   `E[1 − e^{−λ min(X, t2)}]` (Gauss–Legendre quadrature), plus
+    ///   the LB4 false-detection contribution.
+    /// * LB at ODfinal: armed only while a vehicle passes the detector →
+    ///   `1 − e^{−λ t_pass}` plus the LB false-detection contribution.
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors (quadrature, invalid distribution moments).
+    pub fn false_alarm_given_correct_ohv(
+        model: &ElbtunnelModel,
+        variant: Variant,
+        t2: f64,
+    ) -> Result<f64> {
+        let lambda = model.lambda_hv + model.lambda_fd_od;
+        let alarm_in = |window: f64| -> f64 { -(-lambda * window.max(0.0)).exp_m1() };
+        match variant {
+            Variant::Original => Ok(alarm_in(t2)),
+            Variant::WithLb4 => {
+                let transit = model.transit_distribution()?;
+                let rule = GaussLegendre::new(64)?;
+                // E over X < t2 …
+                let inner = rule.integrate(
+                    |x| alarm_in(x) * transit.pdf(x),
+                    c::TRANSIT_LOWER_BOUND_MIN,
+                    t2,
+                )?;
+                // … plus the X ≥ t2 mass where the timer caps the window.
+                let tail = alarm_in(t2) * transit.sf(t2);
+                let lb4_fd = c::P_FD_LB4;
+                Ok((inner + tail) * (1.0 - lb4_fd) + lb4_fd)
+            }
+            Variant::LbAtOdFinal => {
+                let window = c::OD_PASSAGE_TIME_MIN.min(t2.max(0.0));
+                let lb_fd = c::P_FD_LB4;
+                Ok(alarm_in(window) * (1.0 - lb_fd) + lb_fd)
+            }
+        }
+    }
+
+    /// The full Fig. 6 series: `(t2, P)` samples over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`false_alarm_given_correct_ohv`].
+    pub fn figure6_series(
+        model: &ElbtunnelModel,
+        variant: Variant,
+        lo: f64,
+        hi: f64,
+        steps: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        let steps = steps.max(2);
+        let mut out = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let t2 = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+            out.push((t2, false_alarm_given_correct_ohv(model, variant, t2)?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_direct_formulas_agree() {
+        let m = ElbtunnelModel::paper();
+        let model = m.build().unwrap();
+        for &(t1, t2) in &[(30.0, 30.0), (19.0, 15.6), (10.0, 10.0), (5.0, 28.0)] {
+            let probs = model.hazard_probabilities(&[t1, t2]).unwrap();
+            assert!(
+                (probs[0] - m.p_collision(t1, t2).unwrap()).abs() < 1e-15,
+                "collision mismatch at ({t1}, {t2})"
+            );
+            assert!(
+                (probs[1] - m.p_false_alarm(t1, t2)).abs() < 1e-15,
+                "false-alarm mismatch at ({t1}, {t2})"
+            );
+            let cost = model.cost(&[t1, t2]).unwrap();
+            assert!((cost - m.cost(t1, t2).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimum_lands_at_paper_values() {
+        let m = ElbtunnelModel::paper();
+        let model = m.build().unwrap();
+        let optimum = safety_opt_core::optimize::SafetyOptimizer::new(&model)
+            .run()
+            .unwrap();
+        let t1 = optimum.point().value("timer1").unwrap();
+        let t2 = optimum.point().value("timer2").unwrap();
+        let (p1, p2) = c::PAPER_OPTIMUM_MIN;
+        assert!((t1 - p1).abs() < 0.75, "t1* = {t1}, paper {p1}");
+        assert!((t2 - p2).abs() < 0.75, "t2* = {t2}, paper {p2}");
+        // Fig. 5 cost band.
+        assert!(
+            optimum.cost() > 0.0040 && optimum.cost() < 0.0052,
+            "cost at optimum = {}",
+            optimum.cost()
+        );
+    }
+
+    #[test]
+    fn paper_claims_at_optimum_vs_initial() {
+        let m = ElbtunnelModel::paper();
+        let (t1, t2) = c::PAPER_OPTIMUM_MIN;
+        let (i1, i2) = c::INITIAL_TIMERS_MIN;
+        // ~10 % false-alarm improvement.
+        let improvement =
+            (m.p_false_alarm(i1, i2) - m.p_false_alarm(t1, t2)) / m.p_false_alarm(i1, i2);
+        assert!(
+            (improvement - 0.10).abs() < 0.03,
+            "false-alarm improvement {improvement}"
+        );
+        // < 0.1 % collision-risk change.
+        let col_change = (m.p_collision(t1, t2).unwrap() - m.p_collision(i1, i2).unwrap())
+            / m.p_collision(i1, i2).unwrap();
+        assert!(col_change.abs() < 1e-3, "collision change {col_change}");
+    }
+
+    #[test]
+    fn timer1_more_conservative_than_timer2() {
+        // Paper: "timer 1 may be chosen more conservatively than timer 2".
+        let (t1, t2) = c::PAPER_OPTIMUM_MIN;
+        assert!(t1 > t2);
+    }
+
+    #[test]
+    fn short_timer2_collision_risk_unacceptable() {
+        // Paper: "a runtime of less than 10 minutes will make the risk for
+        // a collision unacceptably high".
+        let m = ElbtunnelModel::paper();
+        let baseline = m.p_collision(19.0, 15.6).unwrap();
+        let short = m.p_collision(19.0, 9.0).unwrap();
+        assert!(
+            short > 50.0 * baseline,
+            "short {short} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn fig6_anchors() {
+        let m = ElbtunnelModel::paper();
+        let p_opt =
+            scaling::false_alarm_given_correct_ohv(&m, Variant::Original, 15.6).unwrap();
+        assert!(p_opt > 0.8, "paper: > 80 %, got {p_opt}");
+        let p_30 = scaling::false_alarm_given_correct_ohv(&m, Variant::Original, 30.0).unwrap();
+        assert!(p_30 > 0.95, "paper: > 95 %, got {p_30}");
+        let p_lb4 = scaling::false_alarm_given_correct_ohv(&m, Variant::WithLb4, 15.6).unwrap();
+        assert!((p_lb4 - 0.40).abs() < 0.06, "paper: ≈ 40 %, got {p_lb4}");
+        let p_lbod =
+            scaling::false_alarm_given_correct_ohv(&m, Variant::LbAtOdFinal, 15.6).unwrap();
+        assert!((p_lbod - 0.04).abs() < 0.015, "paper: ≈ 4 %, got {p_lbod}");
+    }
+
+    #[test]
+    fn fig6_series_is_monotone_for_original() {
+        let m = ElbtunnelModel::paper();
+        let series = scaling::figure6_series(&m, Variant::Original, 5.0, 25.0, 41).unwrap();
+        assert_eq!(series.len(), 41);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        // With-LB4 saturates: nearly flat for t2 ≫ mean transit.
+        let lb4 = scaling::figure6_series(&m, Variant::WithLb4, 5.0, 25.0, 41).unwrap();
+        let spread = lb4[40].1 - lb4[20].1;
+        assert!(spread.abs() < 0.02, "with_LB4 should saturate, spread {spread}");
+        // And always below the original curve.
+        for (orig, with) in series.iter().zip(&lb4) {
+            assert!(with.1 <= orig.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn environment_scaling_changes_optimum() {
+        // Heavier OHV traffic (10× P(OHV)) pushes the optimum towards
+        // shorter timer-2 runtimes: the alarm term weighs more.
+        let mut heavy = ElbtunnelModel::paper();
+        heavy.p_ohv *= 10.0;
+        let base_model = ElbtunnelModel::paper().build().unwrap();
+        let heavy_model = heavy.build().unwrap();
+        let base_opt = safety_opt_core::optimize::SafetyOptimizer::new(&base_model)
+            .run()
+            .unwrap();
+        let heavy_opt = safety_opt_core::optimize::SafetyOptimizer::new(&heavy_model)
+            .run()
+            .unwrap();
+        assert!(
+            heavy_opt.point().value("timer2").unwrap()
+                < base_opt.point().value("timer2").unwrap()
+        );
+    }
+
+    #[test]
+    fn variant_display_matches_figure_legend() {
+        assert_eq!(Variant::Original.to_string(), "without_LB4");
+        assert_eq!(Variant::WithLb4.to_string(), "with_LB4");
+    }
+}

@@ -1,0 +1,57 @@
+//! The Elbtunnel height-control case study (paper Sect. IV).
+//!
+//! The fourth tube of Hamburg's Elbtunnel admits *overhigh vehicles*
+//! (OHVs) that must not enter the three older tubes. The height control at
+//! the northern entrance (paper Fig. 4) detects OHVs with light barriers
+//! (`LBpre`, `LBpost`) and overhead detectors (`ODleft`, `ODfinal`), armed
+//! by two 30-minute timers, and signals an emergency stop when an OHV
+//! heads for a wrong tube. Two opposed hazards:
+//!
+//! * `HCol` — an OHV collides with the entrance of an old tube;
+//! * `HAlr` — a false alarm locks the tunnel without need.
+//!
+//! This crate reproduces the paper's entire evaluation:
+//!
+//! * [`constants`] — the statistical model. The paper prints the transit
+//!   time distribution (`N(4, 2²)` truncated at 0) and the cost ratio
+//!   (100 000 : 1) but not the remaining constants; they are calibrated to
+//!   the paper's reported *outputs* and each constant documents its
+//!   derivation.
+//! * [`analytic`] — the hazard formulas of Sect. IV-B/IV-C as a
+//!   [`SafetyModel`](safety_opt_core::model::SafetyModel), plus the Fig. 6
+//!   scaling analysis for the three design variants.
+//! * [`fault_trees`] — explicit fault trees for both hazards whose
+//!   minimal cut sets reproduce Sect. IV-B.2.
+//! * [`sim`] — a discrete-event simulator of the height control (traffic,
+//!   sensors with fault injection, timers, controller variants) used to
+//!   cross-validate the analytic model.
+//! * [`scenarios`] — traffic-growth studies: how the optimum and the
+//!   design-flaw severity scale as OHV/HV intensities grow.
+//!
+//! # Quick start
+//!
+//! ```
+//! use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+//! use safety_opt_core::optimize::SafetyOptimizer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ElbtunnelModel::paper().build()?;
+//! let optimum = SafetyOptimizer::new(&model).run()?;
+//! let t1 = optimum.point().value("timer1").unwrap();
+//! let t2 = optimum.point().value("timer2").unwrap();
+//! // The paper reports ≈ 19 and ≈ 15.6 minutes.
+//! assert!((t1 - 19.0).abs() < 1.0);
+//! assert!((t2 - 15.6).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod constants;
+pub mod fault_trees;
+pub mod scenarios;
+pub mod sim;

@@ -1,0 +1,262 @@
+//! The height-control state machine (paper Fig. 4).
+//!
+//! Mirrors the deployed logic: `LBpre` arms `LBpost` for the timer-1
+//! runtime; `LBpost` arms `ODfinal` for the timer-2 runtime; an armed
+//! `ODfinal` that sees a high silhouette on a left lane raises the
+//! emergency stop. The [`Variant`](crate::analytic::Variant) changes when
+//! `ODfinal` is *disarmed*.
+
+use crate::analytic::Variant;
+use serde::{Deserialize, Serialize};
+
+/// Why an emergency stop was signalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlarmCause {
+    /// A (real) overhigh vehicle on a left lane — a justified stop.
+    OhvWrongLane,
+    /// A high vehicle misread as an OHV under `ODfinal` — a false alarm.
+    HighVehicle,
+    /// A spurious detector reading — a false alarm.
+    FalseDetection,
+}
+
+/// The height-control state machine for one entrance.
+///
+/// Time is in minutes, monotone per instance; callers feed sensor events
+/// in chronological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeightController {
+    variant: Variant,
+    t1: f64,
+    t2: f64,
+    /// `LBpost` armed until this time (timer 1), if armed.
+    lbpost_armed_until: Option<f64>,
+    /// `ODfinal` armed until this time (timer 2), if armed.
+    odfinal_armed_until: Option<f64>,
+    /// Number of OHVs currently in zone 2 (the paper notes the LB4 fix
+    /// "needs a counter for OHVs in zone 2 as well").
+    zone2_ohv_count: u32,
+    alarms: Vec<(f64, AlarmCause)>,
+}
+
+impl HeightController {
+    /// Creates an idle controller with the given timer runtimes.
+    pub fn new(variant: Variant, t1: f64, t2: f64) -> Self {
+        Self {
+            variant,
+            t1,
+            t2,
+            lbpost_armed_until: None,
+            odfinal_armed_until: None,
+            zone2_ohv_count: 0,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// An OHV (or a false detection) trips `LBpre` at time `t`: arm
+    /// `LBpost` for the timer-1 runtime.
+    pub fn on_lbpre(&mut self, t: f64) {
+        let until = t + self.t1;
+        self.lbpost_armed_until = Some(
+            self.lbpost_armed_until
+                .map_or(until, |u: f64| u.max(until)),
+        );
+    }
+
+    /// `true` while `LBpost` is armed.
+    pub fn lbpost_armed(&self, t: f64) -> bool {
+        self.lbpost_armed_until.is_some_and(|u| t <= u)
+    }
+
+    /// An OHV trips `LBpost` at time `t`. Returns `true` if the barrier
+    /// was armed (the OHV is now tracked and `ODfinal` armed); `false`
+    /// means timer 1 had expired — the system lost the OHV (overtime 1).
+    pub fn on_lbpost(&mut self, t: f64) -> bool {
+        if !self.lbpost_armed(t) {
+            return false;
+        }
+        let until = t + self.t2;
+        self.odfinal_armed_until = Some(
+            self.odfinal_armed_until
+                .map_or(until, |u: f64| u.max(until)),
+        );
+        self.zone2_ohv_count += 1;
+        true
+    }
+
+    /// The extra light barrier at the tube-4 entrance (variant
+    /// [`Variant::WithLb4`]) sees an OHV leaving zone 2 at time `t`:
+    /// decrement the zone-2 counter and disarm `ODfinal` once no OHV
+    /// remains.
+    pub fn on_lb4(&mut self, t: f64) {
+        if self.variant != Variant::WithLb4 {
+            return;
+        }
+        self.zone2_ohv_count = self.zone2_ohv_count.saturating_sub(1);
+        if self.zone2_ohv_count == 0 {
+            // Clamp the window; a spurious LB4 trigger while the detector
+            // was never armed must not arm it.
+            if let Some(u) = self.odfinal_armed_until {
+                self.odfinal_armed_until = Some(u.min(t));
+            }
+        }
+    }
+
+    /// `true` while `ODfinal` readings are acted upon at time `t`.
+    ///
+    /// For [`Variant::LbAtOdFinal`] the reading is only consulted during
+    /// an OHV's own passage — the caller models that window explicitly —
+    /// so this returns the armed state of the *timer* chain for the other
+    /// variants and `false` for `LbAtOdFinal`.
+    pub fn odfinal_armed(&self, t: f64) -> bool {
+        if self.variant == Variant::LbAtOdFinal {
+            return false;
+        }
+        self.odfinal_armed_until.is_some_and(|u| t <= u)
+    }
+
+    /// End of the current `ODfinal` armed window, if armed.
+    pub fn odfinal_armed_until(&self) -> Option<f64> {
+        self.odfinal_armed_until
+    }
+
+    /// A high silhouette appears beneath `ODfinal` on a left lane at time
+    /// `t`. Returns `true` (and records an alarm) if the stop is
+    /// signalled.
+    pub fn on_odfinal_high_silhouette(&mut self, t: f64, cause: AlarmCause) -> bool {
+        if self.odfinal_armed(t) {
+            self.alarms.push((t, cause));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forces an alarm regardless of timers — the LB-at-ODfinal variant
+    /// detecting an OHV directly, or an explicitly modelled LB false
+    /// detection.
+    pub fn force_alarm(&mut self, t: f64, cause: AlarmCause) {
+        self.alarms.push((t, cause));
+    }
+
+    /// Alarms recorded so far, in event order.
+    pub fn alarms(&self) -> &[(f64, AlarmCause)] {
+        &self.alarms
+    }
+
+    /// `true` if any recorded alarm has the given cause.
+    pub fn has_alarm(&self, cause: AlarmCause) -> bool {
+        self.alarms.iter().any(|&(_, c)| c == cause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer1_gates_lbpost() {
+        let mut c = HeightController::new(Variant::Original, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        assert!(c.lbpost_armed(5.0));
+        assert!(c.lbpost_armed(10.0));
+        assert!(!c.lbpost_armed(10.1));
+        assert!(c.on_lbpost(5.0));
+        assert!(!HeightController::new(Variant::Original, 10.0, 20.0).on_lbpost(5.0));
+    }
+
+    #[test]
+    fn timer2_gates_odfinal() {
+        let mut c = HeightController::new(Variant::Original, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        assert!(!c.odfinal_armed(4.0)); // not armed before LBpost
+        assert!(c.on_lbpost(4.0));
+        assert!(c.odfinal_armed(4.0));
+        assert!(c.odfinal_armed(24.0));
+        assert!(!c.odfinal_armed(24.1));
+    }
+
+    #[test]
+    fn overtime1_loses_the_ohv() {
+        let mut c = HeightController::new(Variant::Original, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        assert!(!c.on_lbpost(12.0)); // timer 1 expired
+        assert!(!c.odfinal_armed(12.0));
+    }
+
+    #[test]
+    fn lb4_disarms_early_only_in_its_variant() {
+        let mut orig = HeightController::new(Variant::Original, 10.0, 20.0);
+        orig.on_lbpre(0.0);
+        orig.on_lbpost(4.0);
+        orig.on_lb4(8.0);
+        assert!(orig.odfinal_armed(15.0), "original keeps the full window");
+
+        let mut lb4 = HeightController::new(Variant::WithLb4, 10.0, 20.0);
+        lb4.on_lbpre(0.0);
+        lb4.on_lbpost(4.0);
+        assert!(lb4.odfinal_armed(7.9));
+        lb4.on_lb4(8.0);
+        assert!(!lb4.odfinal_armed(8.1), "LB4 stops timer 2");
+    }
+
+    #[test]
+    fn spurious_lb4_trigger_does_not_arm_the_detector() {
+        let mut c = HeightController::new(Variant::WithLb4, 10.0, 20.0);
+        c.on_lb4(3.0); // nothing is armed, nothing tracked
+        assert!(!c.odfinal_armed(3.0));
+        assert!(c.odfinal_armed_until().is_none());
+    }
+
+    #[test]
+    fn lb4_counter_waits_for_all_ohvs() {
+        let mut c = HeightController::new(Variant::WithLb4, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        c.on_lbpost(2.0); // OHV A
+        c.on_lbpre(1.0);
+        c.on_lbpost(3.0); // OHV B
+        c.on_lb4(6.0); // A leaves; B still in zone 2
+        assert!(c.odfinal_armed(7.0));
+        c.on_lb4(8.0); // B leaves
+        assert!(!c.odfinal_armed(8.1));
+    }
+
+    #[test]
+    fn alarms_only_while_armed() {
+        let mut c = HeightController::new(Variant::Original, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        c.on_lbpost(4.0);
+        assert!(c.on_odfinal_high_silhouette(10.0, AlarmCause::HighVehicle));
+        assert!(!c.on_odfinal_high_silhouette(30.0, AlarmCause::HighVehicle));
+        assert_eq!(c.alarms().len(), 1);
+        assert!(c.has_alarm(AlarmCause::HighVehicle));
+        assert!(!c.has_alarm(AlarmCause::OhvWrongLane));
+    }
+
+    #[test]
+    fn lb_at_odfinal_never_uses_timer_window() {
+        let mut c = HeightController::new(Variant::LbAtOdFinal, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        c.on_lbpost(4.0);
+        assert!(!c.odfinal_armed(5.0));
+        // The LB detects OHVs directly instead.
+        c.force_alarm(5.0, AlarmCause::OhvWrongLane);
+        assert!(c.has_alarm(AlarmCause::OhvWrongLane));
+    }
+
+    #[test]
+    fn overlapping_activations_extend_windows() {
+        let mut c = HeightController::new(Variant::Original, 10.0, 20.0);
+        c.on_lbpre(0.0);
+        c.on_lbpost(2.0); // armed until 22
+        c.on_lbpre(5.0);
+        c.on_lbpost(9.0); // extends to 29
+        assert!(c.odfinal_armed(25.0));
+        assert!(!c.odfinal_armed(29.5));
+    }
+}

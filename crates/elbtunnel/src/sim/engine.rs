@@ -1,0 +1,372 @@
+//! Episode engine: simulates individual OHV passages through the
+//! northern entrance and aggregates outcome statistics.
+
+use super::controller::{AlarmCause, HeightController};
+use crate::analytic::Variant;
+use crate::constants as c;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use safety_opt_stats::dist::{Exponential, SampleDistribution, TruncatedNormal};
+use safety_opt_stats::mc::{ProportionEstimate, RunningStats};
+use serde::{Deserialize, Serialize};
+
+/// Simulation configuration for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Timer-1 runtime (min).
+    pub t1: f64,
+    /// Timer-2 runtime (min).
+    pub t2: f64,
+    /// Controller variant.
+    pub variant: Variant,
+    /// Mean zone transit time (min).
+    pub transit_mean: f64,
+    /// Zone transit standard deviation (min).
+    pub transit_std: f64,
+    /// Left-lane HV arrival rate under `ODfinal` (1/min).
+    pub lambda_hv: f64,
+    /// Active `ODfinal` false-detection rate (1/min).
+    pub lambda_fd_od: f64,
+    /// Probability an OHV heads towards a wrong tube.
+    pub p_wrong_lane: f64,
+    /// Passage time beneath the overhead detector (min).
+    pub od_passage_time: f64,
+    /// Per-passage false-detection probability of the auxiliary light
+    /// barrier (variants with one).
+    pub p_fd_lb4: f64,
+    /// Per-passage miss probability of the auxiliary light barrier.
+    pub p_md_lb4: f64,
+}
+
+impl SimConfig {
+    /// The paper's environment with the given timers and variant.
+    pub fn paper(t1: f64, t2: f64, variant: Variant) -> Self {
+        Self {
+            t1,
+            t2,
+            variant,
+            transit_mean: c::TRANSIT_MEAN_MIN,
+            transit_std: c::TRANSIT_STD_MIN,
+            lambda_hv: c::LAMBDA_HV_ODFINAL,
+            lambda_fd_od: c::LAMBDA_FD_OD,
+            p_wrong_lane: c::P_OHV_CRITICAL,
+            od_passage_time: c::OD_PASSAGE_TIME_MIN,
+            p_fd_lb4: c::P_FD_LB4,
+            p_md_lb4: 1.0e-4,
+        }
+    }
+}
+
+/// What happened during one OHV passage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeOutcome {
+    /// The OHV tried to reach a wrong tube.
+    pub wrong_lane: bool,
+    /// Timer 1 expired before the OHV reached `LBpost`.
+    pub overtime1: bool,
+    /// Zone-2 transit exceeded the timer-2 runtime.
+    pub overtime2: bool,
+    /// The OHV collided with an old-tube entrance.
+    pub collision: bool,
+    /// A justified emergency stop was signalled (wrong-lane OHV caught).
+    pub justified_alarm: bool,
+    /// A false alarm was signalled during a correct passage.
+    pub false_alarm: bool,
+    /// Length of the `ODfinal` exposure window for this episode (min).
+    pub od_window: f64,
+}
+
+/// Simulates one OHV passage. Time 0 is the OHV tripping `LBpre`.
+pub fn simulate_episode(config: &SimConfig, rng: &mut dyn RngCore) -> EpisodeOutcome {
+    let transit = TruncatedNormal::lower_bounded(
+        config.transit_mean,
+        config.transit_std,
+        c::TRANSIT_LOWER_BOUND_MIN,
+    )
+    .expect("valid transit distribution");
+    let hv_interarrival = Exponential::new(config.lambda_hv).expect("positive rate");
+
+    let mut ctrl = HeightController::new(config.variant, config.t1, config.t2);
+    let x1 = transit.sample(rng); // zone-1 transit
+    let x2 = transit.sample(rng); // zone-2 transit
+    let wrong_lane = rng.gen::<f64>() < config.p_wrong_lane;
+
+    ctrl.on_lbpre(0.0);
+    let tracked = ctrl.on_lbpost(x1);
+    let overtime1 = !tracked;
+    let overtime2 = x2 > config.t2;
+
+    // --- Safety path: wrong-lane OHV reaches ODfinal at x1 + x2. ---
+    let t_od = x1 + x2;
+    let mut collision = false;
+    let mut justified_alarm = false;
+    if wrong_lane {
+        let detected = match config.variant {
+            Variant::Original | Variant::WithLb4 => {
+                // The wrong-lane OHV never passes LB4, so the zone-2
+                // counter keeps ODfinal armed the full timer-2 window.
+                tracked && ctrl.odfinal_armed(t_od)
+            }
+            Variant::LbAtOdFinal => {
+                // The light barrier at ODfinal measures height directly.
+                rng.gen::<f64>() >= config.p_md_lb4
+            }
+        };
+        if detected {
+            ctrl.force_alarm(t_od, AlarmCause::OhvWrongLane);
+            justified_alarm = true;
+        } else {
+            collision = true;
+        }
+    }
+
+    // --- Availability path: exposure of ODfinal during a correct
+    // passage. ---
+    let mut false_alarm = false;
+    let mut od_window = 0.0;
+    if !wrong_lane && tracked {
+        od_window = match config.variant {
+            Variant::Original => config.t2,
+            Variant::WithLb4 => {
+                // LB4 stops timer 2 when this OHV leaves zone 2 (no other
+                // OHV in this episode).
+                ctrl.on_lb4(x1 + x2);
+                x2.min(config.t2)
+            }
+            Variant::LbAtOdFinal => config.od_passage_time.min(config.t2),
+        };
+        // First left-lane HV after the window opens (Poisson ⇒
+        // memoryless, so sampling from the window start is exact).
+        let first_hv = hv_interarrival.sample(rng);
+        if first_hv <= od_window {
+            false_alarm = true;
+            match config.variant {
+                Variant::LbAtOdFinal => {
+                    // The HV is under the detector while the OHV passes
+                    // the barrier: indistinguishable, stop signalled.
+                    ctrl.force_alarm(x1 + x2 + first_hv, AlarmCause::HighVehicle);
+                }
+                _ => {
+                    let fired = ctrl
+                        .on_odfinal_high_silhouette(x1 + first_hv, AlarmCause::HighVehicle);
+                    debug_assert!(fired, "window arithmetic out of sync");
+                }
+            }
+        }
+        // Spurious detector readings while exposed.
+        if !false_alarm && config.lambda_fd_od > 0.0 {
+            let first_fd = Exponential::new(config.lambda_fd_od)
+                .expect("positive rate")
+                .sample(rng);
+            if first_fd <= od_window {
+                false_alarm = true;
+                ctrl.force_alarm(x1 + first_fd, AlarmCause::FalseDetection);
+            }
+        }
+        // Auxiliary light barrier false detections (improvement
+        // variants).
+        if !false_alarm
+            && config.variant != Variant::Original
+            && rng.gen::<f64>() < config.p_fd_lb4
+        {
+            false_alarm = true;
+            ctrl.force_alarm(x1 + x2, AlarmCause::FalseDetection);
+        }
+    }
+
+    EpisodeOutcome {
+        wrong_lane,
+        overtime1,
+        overtime2,
+        collision,
+        justified_alarm,
+        false_alarm,
+        od_window,
+    }
+}
+
+/// Aggregated statistics over many episodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Episodes simulated.
+    pub episodes: u64,
+    /// `P(false alarm | correctly driving, tracked OHV)` — the Fig. 6
+    /// quantity.
+    pub false_alarm_given_correct: ProportionEstimate,
+    /// `P(collision | wrong-lane OHV)`.
+    pub collision_given_wrong_lane: ProportionEstimate,
+    /// Overall collision probability per passage.
+    pub collision: ProportionEstimate,
+    /// Overtime-1 frequency.
+    pub overtime1: ProportionEstimate,
+    /// Overtime-2 frequency.
+    pub overtime2: ProportionEstimate,
+    /// Exposure-window statistics (minutes, correct tracked passages).
+    pub od_window: RunningStats,
+}
+
+/// Runs `episodes` independent OHV passages with a fixed seed.
+pub fn simulate(config: &SimConfig, episodes: u64, seed: u64) -> SimReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut false_alarm_given_correct = ProportionEstimate::new();
+    let mut collision_given_wrong_lane = ProportionEstimate::new();
+    let mut collision = ProportionEstimate::new();
+    let mut overtime1 = ProportionEstimate::new();
+    let mut overtime2 = ProportionEstimate::new();
+    let mut od_window = RunningStats::new();
+    for _ in 0..episodes {
+        let out = simulate_episode(config, &mut rng);
+        if !out.wrong_lane && !out.overtime1 {
+            false_alarm_given_correct.push(out.false_alarm);
+            od_window.push(out.od_window);
+        }
+        if out.wrong_lane {
+            collision_given_wrong_lane.push(out.collision);
+        }
+        collision.push(out.collision);
+        overtime1.push(out.overtime1);
+        overtime2.push(out.overtime2);
+    }
+    SimReport {
+        episodes,
+        false_alarm_given_correct,
+        collision_given_wrong_lane,
+        collision,
+        overtime1,
+        overtime2,
+        od_window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{scaling, ElbtunnelModel};
+
+    #[test]
+    fn sim_matches_analytic_fig6_original() {
+        let model = ElbtunnelModel::paper();
+        for &t2 in &[8.0, 15.6, 25.0] {
+            let config = SimConfig::paper(19.0, t2, Variant::Original);
+            let report = simulate(&config, 40_000, 1);
+            let analytic =
+                scaling::false_alarm_given_correct_ohv(&model, Variant::Original, t2).unwrap();
+            assert!(
+                report
+                    .false_alarm_given_correct
+                    .is_consistent_with(analytic, 0.999)
+                    .unwrap(),
+                "t2 = {t2}: sim {} vs analytic {analytic}",
+                report.false_alarm_given_correct.p_hat()
+            );
+        }
+    }
+
+    #[test]
+    fn sim_matches_analytic_fig6_with_lb4() {
+        let model = ElbtunnelModel::paper();
+        let config = SimConfig::paper(19.0, 15.6, Variant::WithLb4);
+        let report = simulate(&config, 40_000, 2);
+        let analytic =
+            scaling::false_alarm_given_correct_ohv(&model, Variant::WithLb4, 15.6).unwrap();
+        // The sim layers OD false detections on top of the analytic HV
+        // term; allow that bias plus Monte-Carlo noise.
+        let sim = report.false_alarm_given_correct.p_hat();
+        assert!(
+            (sim - analytic).abs() < 0.02,
+            "sim {sim} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sim_matches_analytic_fig6_lb_at_odfinal() {
+        let model = ElbtunnelModel::paper();
+        let config = SimConfig::paper(19.0, 15.6, Variant::LbAtOdFinal);
+        let report = simulate(&config, 60_000, 3);
+        let analytic =
+            scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, 15.6).unwrap();
+        let sim = report.false_alarm_given_correct.p_hat();
+        assert!(
+            (sim - analytic).abs() < 0.01,
+            "sim {sim} vs analytic {analytic}"
+        );
+        // Paper: ≈ 4 % of correct OHVs still ring the bell.
+        assert!(sim > 0.02 && sim < 0.06, "sim = {sim}");
+    }
+
+    #[test]
+    fn variant_ordering_matches_paper() {
+        // without LB4 ≫ with LB4 ≫ LB at ODfinal.
+        let n = 30_000;
+        let orig = simulate(&SimConfig::paper(19.0, 15.6, Variant::Original), n, 4)
+            .false_alarm_given_correct
+            .p_hat();
+        let lb4 = simulate(&SimConfig::paper(19.0, 15.6, Variant::WithLb4), n, 4)
+            .false_alarm_given_correct
+            .p_hat();
+        let lbod = simulate(&SimConfig::paper(19.0, 15.6, Variant::LbAtOdFinal), n, 4)
+            .false_alarm_given_correct
+            .p_hat();
+        assert!(orig > 2.0 * lb4, "orig {orig} vs lb4 {lb4}");
+        assert!(lb4 > 5.0 * lbod, "lb4 {lb4} vs lbod {lbod}");
+    }
+
+    #[test]
+    fn overtime_rates_match_transit_tail() {
+        let model = ElbtunnelModel::paper();
+        // At t = 8 the tail is large enough to measure quickly.
+        let config = SimConfig::paper(8.0, 8.0, Variant::Original);
+        let report = simulate(&config, 60_000, 5);
+        let expected = model.p_overtime(8.0).unwrap();
+        assert!(
+            report.overtime1.is_consistent_with(expected, 0.999).unwrap(),
+            "ot1 {} vs {expected}",
+            report.overtime1.p_hat()
+        );
+        assert!(
+            report.overtime2.is_consistent_with(expected, 0.999).unwrap(),
+            "ot2 {} vs {expected}",
+            report.overtime2.p_hat()
+        );
+    }
+
+    #[test]
+    fn collisions_require_wrong_lane_and_overtime() {
+        // With generous timers, wrong-lane OHVs are (almost) always
+        // caught: collisions conditional on wrong lane ≈ P(OT2 | …),
+        // essentially 0 at t = 30.
+        let config = SimConfig::paper(30.0, 30.0, Variant::Original);
+        let report = simulate(&config, 50_000, 6);
+        assert_eq!(report.collision.successes(), 0);
+        // With a very short timer 2, wrong-lane OHVs collide measurably.
+        let config = SimConfig::paper(30.0, 5.0, Variant::Original);
+        let report = simulate(&config, 50_000, 7);
+        assert!(report.collision_given_wrong_lane.p_hat() > 0.1);
+    }
+
+    #[test]
+    fn od_window_means_match_variants() {
+        let n = 30_000;
+        let orig = simulate(&SimConfig::paper(19.0, 15.6, Variant::Original), n, 8);
+        assert!((orig.od_window.mean() - 15.6).abs() < 1e-9);
+        let lb4 = simulate(&SimConfig::paper(19.0, 15.6, Variant::WithLb4), n, 8);
+        // Mean window ≈ mean zone-2 transit (≈ 4.07 after truncation).
+        assert!(
+            (lb4.od_window.mean() - 4.07).abs() < 0.1,
+            "mean window {}",
+            lb4.od_window.mean()
+        );
+        let lbod = simulate(&SimConfig::paper(19.0, 15.6, Variant::LbAtOdFinal), n, 8);
+        assert!((lbod.od_window.mean() - c::OD_PASSAGE_TIME_MIN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = SimConfig::paper(19.0, 15.6, Variant::Original);
+        let a = simulate(&config, 2_000, 42);
+        let b = simulate(&config, 2_000, 42);
+        assert_eq!(a, b);
+        let c = simulate(&config, 2_000, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,31 @@
+//! Discrete-event simulation of the Elbtunnel height control.
+//!
+//! The real installation (and Hamburg's traffic) is unavailable, so we
+//! substitute a simulator that exercises the same control logic the paper
+//! describes (Fig. 4): light barriers arm timers, timers arm the overhead
+//! detector, and the detector decides about emergency stops. Traffic is
+//! synthetic — truncated-normal zone transits and Poisson high-vehicle
+//! arrivals — matching the distributions of the paper's statistical
+//! model, with sensor faults injected at configurable rates.
+//!
+//! The simulator's unit of work is an **episode**: one overhigh vehicle
+//! passing the northern entrance. Episodes directly estimate the paper's
+//! Fig. 6 quantity, `P(false alarm | correctly driving OHV)`, and the
+//! conditional collision probabilities, which the integration tests
+//! compare against the analytic model (experiment E7).
+//!
+//! ```
+//! use safety_opt_elbtunnel::analytic::Variant;
+//! use safety_opt_elbtunnel::sim::{SimConfig, simulate};
+//!
+//! let config = SimConfig::paper(19.0, 15.6, Variant::Original);
+//! let report = simulate(&config, 20_000, 42);
+//! let p = report.false_alarm_given_correct.p_hat();
+//! assert!(p > 0.8, "paper: > 80 % at the optimum, got {p}");
+//! ```
+
+mod controller;
+mod engine;
+
+pub use controller::{AlarmCause, HeightController};
+pub use engine::{simulate, simulate_episode, EpisodeOutcome, SimConfig, SimReport};

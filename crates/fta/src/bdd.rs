@@ -1,0 +1,601 @@
+//! Binary decision diagrams (BDDs) for fault trees.
+//!
+//! A reduced ordered BDD represents the tree's *structure function*
+//! exactly, which buys two things the cut-set view cannot give:
+//!
+//! 1. **Exact hazard probabilities** by Shannon decomposition — no
+//!    rare-event approximation, no inclusion–exclusion blow-up. The paper
+//!    uses the engineering-standard Eq. 1 approximation; comparing it
+//!    against the BDD-exact value quantifies the approximation error.
+//! 2. An **independent oracle** for the MOCUS/bottom-up cut-set engines:
+//!    the minimal solutions of a coherent BDD are exactly the minimal cut
+//!    sets (Rauzy's algorithm).
+//!
+//! The implementation is a classic unique-table manager with an ITE-based
+//! apply, memoized probability evaluation, and memoized minimal-solution
+//! extraction. Variables are the tree's leaves, ordered by first DFS
+//! visit (a standard, effective static heuristic).
+
+use crate::cutset::{CutSet, CutSetCollection};
+use crate::quant::ProbabilityMap;
+use crate::tree::{FaultTree, GateKind, NodeId, NodeKind};
+use crate::{FtaError, Result};
+use std::collections::HashMap;
+
+/// Reference to a BDD node inside one manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Ref(u32);
+
+const FALSE: Ref = Ref(0);
+const TRUE: Ref = Ref(1);
+
+#[derive(Debug, Clone, Copy)]
+struct BddNode {
+    /// Variable level (lower = nearer the root). `u32::MAX` on terminals.
+    var: u32,
+    low: Ref,
+    high: Ref,
+}
+
+/// A fault tree compiled to a reduced ordered BDD.
+///
+/// ```
+/// use safety_opt_fta::bdd::TreeBdd;
+/// use safety_opt_fta::tree::FaultTree;
+///
+/// # fn main() -> Result<(), safety_opt_fta::FtaError> {
+/// let mut ft = FaultTree::new("t");
+/// let a = ft.basic_event_with_probability("a", 0.1)?;
+/// let b = ft.basic_event_with_probability("b", 0.2)?;
+/// let top = ft.and_gate("top", [a, b])?;
+/// ft.set_root(top)?;
+///
+/// let bdd = TreeBdd::build(&ft)?;
+/// let p = bdd.probability(&ft.stored_probabilities()?)?;
+/// assert!((p - 0.02).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TreeBdd {
+    nodes: Vec<BddNode>,
+    root: Ref,
+    /// BDD level → leaf index of the owning tree.
+    level_to_leaf: Vec<usize>,
+    /// Leaf index → BDD level.
+    leaf_to_level: HashMap<usize, u32>,
+    /// Number of leaves in the owning tree (cut sets use leaf indices).
+    num_leaves: usize,
+}
+
+/// Internal construction state (unique table + op caches).
+struct Builder {
+    nodes: Vec<BddNode>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        let terminals = vec![
+            BddNode {
+                var: u32::MAX,
+                low: FALSE,
+                high: FALSE,
+            },
+            BddNode {
+                var: u32::MAX,
+                low: TRUE,
+                high: TRUE,
+            },
+        ];
+        Self {
+            nodes: terminals,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    fn var_of(&self, r: Ref) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    fn mk(&mut self, var: u32, low: Ref, high: Ref) -> Ref {
+        if low == high {
+            return low;
+        }
+        *self.unique.entry((var, low, high)).or_insert_with(|| {
+            let r = Ref(self.nodes.len() as u32);
+            self.nodes.push(BddNode { var, low, high });
+            r
+        })
+    }
+
+    fn variable(&mut self, level: u32) -> Ref {
+        self.mk(level, FALSE, TRUE)
+    }
+
+    fn cofactor(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        let node = self.nodes[f.0 as usize];
+        if node.var == var {
+            (node.low, node.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: the universal binary/ternary operator.
+    fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal shortcuts.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactor(f, top);
+        let (g0, g1) = self.cofactor(g, top);
+        let (h0, h1) = self.cofactor(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(top, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, FALSE)
+    }
+
+    fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, TRUE, g)
+    }
+}
+
+impl TreeBdd {
+    /// Compiles `tree` with the default variable order (first DFS visit).
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::NoRoot`] if the tree has no root.
+    pub fn build(tree: &FaultTree) -> Result<Self> {
+        let order = dfs_leaf_order(tree)?;
+        Self::build_with_order(tree, order)
+    }
+
+    /// Compiles `tree` with an explicit variable order (a permutation of
+    /// the reachable leaf indices; unreached leaves may be omitted).
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::NoRoot`] if the tree has no root, or
+    /// [`FtaError::UnknownNode`] if `order` references an invalid leaf or
+    /// omits a reachable one.
+    pub fn build_with_order(tree: &FaultTree, order: Vec<usize>) -> Result<Self> {
+        let root_id = tree.root()?;
+        let mut leaf_to_level: HashMap<usize, u32> = HashMap::new();
+        for (level, &leaf) in order.iter().enumerate() {
+            if leaf >= tree.leaves().len() {
+                return Err(FtaError::UnknownNode {
+                    reference: format!("leaf index {leaf}"),
+                });
+            }
+            if leaf_to_level.insert(leaf, level as u32).is_some() {
+                return Err(FtaError::UnknownNode {
+                    reference: format!("duplicate leaf index {leaf} in order"),
+                });
+            }
+        }
+        for leaf in tree.reachable_leaves()? {
+            if !leaf_to_level.contains_key(&leaf) {
+                return Err(FtaError::UnknownNode {
+                    reference: format!("reachable leaf index {leaf} missing from order"),
+                });
+            }
+        }
+
+        let mut b = Builder::new();
+        let mut memo: HashMap<NodeId, Ref> = HashMap::new();
+        let root = build_node(tree, root_id, &leaf_to_level, &mut b, &mut memo);
+        Ok(Self {
+            nodes: b.nodes,
+            root,
+            level_to_leaf: order,
+            leaf_to_level,
+            num_leaves: tree.leaves().len(),
+        })
+    }
+
+    /// Number of internal BDD nodes reachable from the root (excluding
+    /// the two terminals). Construction may allocate further nodes that
+    /// became garbage during intermediate folds; see
+    /// [`allocated_count`](Self::allocated_count).
+    pub fn node_count(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.root];
+        while let Some(r) = stack.pop() {
+            if r == TRUE || r == FALSE || !seen.insert(r) {
+                continue;
+            }
+            let node = self.nodes[r.0 as usize];
+            stack.push(node.low);
+            stack.push(node.high);
+        }
+        seen.len()
+    }
+
+    /// Total nodes allocated by the manager, including construction
+    /// garbage (excluding terminals). Useful for benchmarking variable
+    /// orders.
+    pub fn allocated_count(&self) -> usize {
+        self.nodes.len().saturating_sub(2)
+    }
+
+    /// `true` if the structure function is constant `false` (hazard
+    /// impossible).
+    pub fn is_false(&self) -> bool {
+        self.root == FALSE
+    }
+
+    /// `true` if the structure function is constant `true`.
+    pub fn is_true(&self) -> bool {
+        self.root == TRUE
+    }
+
+    /// Exact top-event probability by Shannon decomposition, assuming
+    /// independent leaves with the probabilities in `probs` (indexed by
+    /// leaf index).
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::MissingProbability`] if a leaf used by the BDD has no
+    /// entry in `probs`.
+    pub fn probability(&self, probs: &ProbabilityMap) -> Result<f64> {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        memo.insert(FALSE, 0.0);
+        memo.insert(TRUE, 1.0);
+        self.prob_rec(self.root, probs, &mut memo)
+    }
+
+    fn prob_rec(
+        &self,
+        r: Ref,
+        probs: &ProbabilityMap,
+        memo: &mut HashMap<Ref, f64>,
+    ) -> Result<f64> {
+        if let Some(&p) = memo.get(&r) {
+            return Ok(p);
+        }
+        let node = self.nodes[r.0 as usize];
+        let leaf = self.level_to_leaf[node.var as usize];
+        let p_leaf = probs.get(leaf).ok_or_else(|| FtaError::MissingProbability {
+            event: format!("leaf index {leaf}"),
+        })?;
+        let p_low = self.prob_rec(node.low, probs, memo)?;
+        let p_high = self.prob_rec(node.high, probs, memo)?;
+        let p = p_leaf * p_high + (1.0 - p_leaf) * p_low;
+        memo.insert(r, p);
+        Ok(p)
+    }
+
+    /// Evaluates the structure function for a concrete leaf assignment.
+    pub fn evaluate(&self, failed: &crate::BitSet) -> bool {
+        let mut r = self.root;
+        loop {
+            if r == TRUE {
+                return true;
+            }
+            if r == FALSE {
+                return false;
+            }
+            let node = self.nodes[r.0 as usize];
+            let leaf = self.level_to_leaf[node.var as usize];
+            r = if failed.contains(leaf) {
+                node.high
+            } else {
+                node.low
+            };
+        }
+    }
+
+    /// Extracts the minimal cut sets (minimal solutions) of the coherent
+    /// structure function, per Rauzy's recursion
+    /// `K(f) = K(f₀) ∪ x·(K(f₁) ⊖ K(f₀))`.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::BudgetExceeded`] if intermediate collections exceed
+    /// [`crate::mcs::DEFAULT_BUDGET`].
+    pub fn minimal_cut_sets(&self) -> Result<CutSetCollection> {
+        self.minimal_cut_sets_with_budget(crate::mcs::DEFAULT_BUDGET)
+    }
+
+    /// [`minimal_cut_sets`](Self::minimal_cut_sets) with an explicit
+    /// budget on intermediate cut-set counts.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::BudgetExceeded`] when the budget is exceeded.
+    pub fn minimal_cut_sets_with_budget(&self, budget: usize) -> Result<CutSetCollection> {
+        let mut memo: HashMap<Ref, Vec<CutSet>> = HashMap::new();
+        memo.insert(FALSE, Vec::new());
+        memo.insert(TRUE, vec![CutSet::empty()]);
+        let sets = self.minsol_rec(self.root, budget, &mut memo)?;
+        Ok(CutSetCollection::from_sets(sets))
+    }
+
+    fn minsol_rec(
+        &self,
+        r: Ref,
+        budget: usize,
+        memo: &mut HashMap<Ref, Vec<CutSet>>,
+    ) -> Result<Vec<CutSet>> {
+        if let Some(sets) = memo.get(&r) {
+            return Ok(sets.clone());
+        }
+        let node = self.nodes[r.0 as usize];
+        let leaf = self.level_to_leaf[node.var as usize];
+        let k0 = self.minsol_rec(node.low, budget, memo)?;
+        let k1 = self.minsol_rec(node.high, budget, memo)?;
+        // K(f₁) ⊖ K(f₀): drop solutions of the high branch already covered
+        // by a (smaller or equal) solution that works without the variable.
+        let mut result = k0.clone();
+        for s in k1 {
+            if k0.iter().any(|t| t.subsumes(&s)) {
+                continue;
+            }
+            result.push(s.union(&CutSet::singleton(leaf)));
+            if result.len() > budget {
+                return Err(FtaError::BudgetExceeded {
+                    what: "BDD minimal solutions",
+                    limit: budget,
+                });
+            }
+        }
+        memo.insert(r, result.clone());
+        Ok(result)
+    }
+
+    /// The number of leaves of the tree this BDD was built from.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The variable order used, as leaf indices from root level down.
+    pub fn variable_order(&self) -> &[usize] {
+        &self.level_to_leaf
+    }
+
+    /// BDD level of a leaf, if the leaf occurs in the order.
+    pub fn level_of_leaf(&self, leaf: usize) -> Option<u32> {
+        self.leaf_to_level.get(&leaf).copied()
+    }
+}
+
+/// Variable order: leaves by first DFS visit from the root.
+fn dfs_leaf_order(tree: &FaultTree) -> Result<Vec<usize>> {
+    let root = tree.root()?;
+    let mut order = Vec::new();
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        match tree.node(id).kind() {
+            NodeKind::Gate { inputs, .. } => {
+                // Push in reverse so the first input is visited first.
+                for &i in inputs.iter().rev() {
+                    stack.push(i);
+                }
+            }
+            _ => order.push(tree.leaf_index(id).expect("leaf slot")),
+        }
+    }
+    Ok(order)
+}
+
+fn build_node(
+    tree: &FaultTree,
+    id: NodeId,
+    leaf_to_level: &HashMap<usize, u32>,
+    b: &mut Builder,
+    memo: &mut HashMap<NodeId, Ref>,
+) -> Ref {
+    if let Some(&r) = memo.get(&id) {
+        return r;
+    }
+    let r = match tree.node(id).kind() {
+        NodeKind::BasicEvent { .. } | NodeKind::Condition { .. } => {
+            let leaf = tree.leaf_index(id).expect("leaf slot");
+            let level = leaf_to_level[&leaf];
+            b.variable(level)
+        }
+        NodeKind::Gate { kind, inputs } => {
+            let input_refs: Vec<Ref> = inputs
+                .iter()
+                .map(|&i| build_node(tree, i, leaf_to_level, b, memo))
+                .collect();
+            match kind {
+                GateKind::And | GateKind::Inhibit => {
+                    input_refs.into_iter().fold(TRUE, |acc, f| b.and(acc, f))
+                }
+                GateKind::Or => input_refs.into_iter().fold(FALSE, |acc, f| b.or(acc, f)),
+                GateKind::KOfN(k) => threshold(b, &input_refs, *k),
+            }
+        }
+    };
+    memo.insert(id, r);
+    r
+}
+
+/// BDD for "at least `k` of `fs` are true".
+fn threshold(b: &mut Builder, fs: &[Ref], k: usize) -> Ref {
+    if k == 0 {
+        return TRUE;
+    }
+    if k > fs.len() {
+        return FALSE;
+    }
+    let first = fs[0];
+    let rest = &fs[1..];
+    let with = threshold(b, rest, k - 1);
+    let without = threshold(b, rest, k);
+    b.ite(first, with, without)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs;
+
+    fn and_or_tree() -> FaultTree {
+        // top = (a AND b) OR c
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.1).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.2).unwrap();
+        let c = ft.basic_event_with_probability("c", 0.05).unwrap();
+        let g = ft.and_gate("ab", [a, b]).unwrap();
+        let top = ft.or_gate("top", [g, c]).unwrap();
+        ft.set_root(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn exact_probability_matches_hand_calculation() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        // P((a∧b)∨c) = P(ab) + P(c) − P(abc) = 0.02 + 0.05 − 0.001
+        assert!((p - 0.069).abs() < 1e-15, "p = {p}");
+    }
+
+    #[test]
+    fn minimal_solutions_match_mocus() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let from_bdd = bdd.minimal_cut_sets().unwrap();
+        let from_mocus = mcs::mocus(&ft).unwrap();
+        assert_eq!(from_bdd, from_mocus);
+    }
+
+    #[test]
+    fn kofn_probability_is_exact_binomial() {
+        // 2-of-3 with p = 0.1 each: 3 p²(1−p) + p³ = 0.028.
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..3)
+            .map(|i| ft.basic_event_with_probability(format!("e{i}"), 0.1).unwrap())
+            .collect();
+        let top = ft.k_of_n_gate("vote", 2, leaves).unwrap();
+        ft.set_root(top).unwrap();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        assert!((p - 0.028).abs() < 1e-15, "p = {p}");
+    }
+
+    #[test]
+    fn shared_events_are_exact_where_rare_event_is_not() {
+        // top = (a AND b) OR (a AND c): rare-event double counts `a`.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.5).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.5).unwrap();
+        let c = ft.basic_event_with_probability("c", 0.5).unwrap();
+        let g1 = ft.and_gate("g1", [a, b]).unwrap();
+        let g2 = ft.and_gate("g2", [a, c]).unwrap();
+        let top = ft.or_gate("top", [g1, g2]).unwrap();
+        ft.set_root(top).unwrap();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        // P(a ∧ (b ∨ c)) = 0.5 · 0.75 = 0.375 (rare-event would say 0.5).
+        assert!((p - 0.375).abs() < 1e-15, "p = {p}");
+    }
+
+    #[test]
+    fn evaluate_agrees_with_cut_sets() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let mcs = mcs::bottom_up(&ft).unwrap();
+        // All 8 assignments over 3 leaves.
+        for mask in 0..8usize {
+            let failed: crate::BitSet = (0..3).filter(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(
+                bdd.evaluate(&failed),
+                mcs.evaluate(&failed),
+                "assignment {mask:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn inhibit_behaves_like_and() {
+        let mut ft = FaultTree::new("t");
+        let cause = ft.basic_event_with_probability("cause", 0.01).unwrap();
+        let cond = ft.condition_with_probability("env", 0.5).unwrap();
+        let top = ft.inhibit_gate("top", cause, cond).unwrap();
+        ft.set_root(top).unwrap();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        assert!((p - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn custom_variable_order_changes_size_not_semantics() {
+        let ft = and_or_tree();
+        let default = TreeBdd::build(&ft).unwrap();
+        let custom = TreeBdd::build_with_order(&ft, vec![2, 1, 0]).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        assert!((default.probability(&pm).unwrap() - custom.probability(&pm).unwrap()).abs() < 1e-15);
+        assert_eq!(
+            default.minimal_cut_sets().unwrap(),
+            custom.minimal_cut_sets().unwrap()
+        );
+    }
+
+    #[test]
+    fn order_validation() {
+        let ft = and_or_tree();
+        // Missing reachable leaf.
+        assert!(TreeBdd::build_with_order(&ft, vec![0, 1]).is_err());
+        // Out-of-range leaf.
+        assert!(TreeBdd::build_with_order(&ft, vec![0, 1, 9]).is_err());
+        // Duplicate leaf.
+        assert!(TreeBdd::build_with_order(&ft, vec![0, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn node_count_is_reduced() {
+        // OR over n independent leaves has exactly n internal nodes.
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..8)
+            .map(|i| ft.basic_event(format!("e{i}")).unwrap())
+            .collect();
+        let top = ft.or_gate("top", leaves).unwrap();
+        ft.set_root(top).unwrap();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        assert_eq!(bdd.node_count(), 8);
+    }
+
+    #[test]
+    fn probability_requires_all_leaves() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let short = ProbabilityMap::new(vec![0.1, 0.2]).unwrap();
+        assert!(matches!(
+            bdd.probability(&short),
+            Err(FtaError::MissingProbability { .. })
+        ));
+    }
+}

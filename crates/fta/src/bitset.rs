@@ -1,0 +1,284 @@
+use serde::{Deserialize, Serialize};
+
+/// A compact fixed-universe bit set used to represent cut sets.
+///
+/// Cut-set algorithms are dominated by subset tests (subsumption
+/// minimization); a word-packed bit set makes those O(universe/64).
+///
+/// ```
+/// use safety_opt_fta::BitSet;
+///
+/// let mut a = BitSet::new();
+/// a.insert(3);
+/// a.insert(40);
+/// let mut b = a.clone();
+/// b.insert(100);
+/// assert!(a.is_subset(&b));
+/// assert!(!b.is_subset(&a));
+/// assert_eq!(b.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitSet {
+    /// Little-endian 64-bit blocks; trailing zero blocks are trimmed so
+    /// that equality and hashing are canonical.
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set containing a single element.
+    pub fn singleton(index: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(index);
+        s
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Adds `index`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, index: usize) -> bool {
+        let (block, bit) = (index / 64, index % 64);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        let (block, bit) = (index / 64, index % 64);
+        if block >= self.blocks.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.blocks[block] & mask != 0;
+        self.blocks[block] &= !mask;
+        self.trim();
+        present
+    }
+
+    /// `true` if `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        let (block, bit) = (index / 64, index % 64);
+        self.blocks
+            .get(block)
+            .map(|b| b & (1u64 << bit) != 0)
+            .unwrap_or(false)
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` if `self` is a subset of `other` and strictly smaller.
+    pub fn is_proper_subset(&self, other: &BitSet) -> bool {
+        self != other && self.is_subset(other)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Union into a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// `true` if the two sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.block_idx * 64 + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl std::fmt::Display for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(130));
+        assert!(s.contains(5) && s.contains(130));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(130));
+        assert!(!s.remove(130));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn canonical_equality_after_remove() {
+        // Removing a high bit must trim blocks so equality is structural.
+        let mut a = BitSet::singleton(3);
+        let mut b = BitSet::singleton(3);
+        b.insert(200);
+        b.remove(200);
+        assert_eq!(a, b);
+        a.insert(200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small: BitSet = [1, 5].into_iter().collect();
+        let big: BitSet = [1, 5, 9].into_iter().collect();
+        let other: BitSet = [2, 5].into_iter().collect();
+        assert!(small.is_subset(&big));
+        assert!(small.is_proper_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(!small.is_subset(&other));
+        assert!(small.is_subset(&small));
+        assert!(!small.is_proper_subset(&small));
+        assert!(BitSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: BitSet = [1, 64].into_iter().collect();
+        let b: BitSet = [2, 64, 128].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 64, 128]);
+        assert!(a.intersects(&b));
+        let c = BitSet::singleton(3);
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&BitSet::new()));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: BitSet = [300, 2, 65, 64, 63].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 63, 64, 65, 300]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s: BitSet = [2, 7].into_iter().collect();
+        assert_eq!(s.to_string(), "{2, 7}");
+        assert_eq!(BitSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_eq() {
+        let a: BitSet = [1].into_iter().collect();
+        let b: BitSet = [2].into_iter().collect();
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,286 @@
+//! Constraint extraction and constraint-probability bounds.
+//!
+//! Paper Sect. II-D.1: the constraint probability of a cut set "can be
+//! approximated by calculating the probabilities of all conditions in
+//! INHIBIT-gates along the paths through the tree from the hazard to the
+//! elements of the cut sets. An upper bound for the constraint probability
+//! is then the **product** of all conditions' probabilities if statistical
+//! independence holds; **if not then the maximum** is an upper bound."
+//!
+//! Sect. V adds the future-work idea this module realizes: "to collect all
+//! INHIBIT-gates along the paths from the fault tree root to the leaves of
+//! a cut set — the result should be a formal description of the
+//! constraints necessary to make the primary failures force the hazard's
+//! occurrence."
+//!
+//! Because this crate represents INHIBIT conditions as condition *leaves*,
+//! the cut-set engines already surface them inside each minimal cut set;
+//! [`ConstraintReport`] splits them out and computes both bounds.
+
+use crate::cutset::CutSetCollection;
+use crate::quant::ProbabilityMap;
+use crate::tree::FaultTree;
+use crate::{FtaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The constraints of one minimal cut set, with probability bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutSetConstraints {
+    /// Names of the primary failures in the cut set.
+    pub failures: Vec<String>,
+    /// Names of the INHIBIT conditions that must hold.
+    pub conditions: Vec<String>,
+    /// Upper bound on `P(Constraints)` assuming pairwise independence:
+    /// the product of the condition probabilities.
+    pub independent_bound: f64,
+    /// Upper bound without any independence assumption: the minimum of
+    /// the condition probabilities (the tightest of the "maximum" bounds
+    /// the paper describes, since `P(A ∩ B) ≤ min(P(A), P(B))`).
+    pub dependent_bound: f64,
+    /// Product of the failure probabilities (Eq. 2's `∏ P(PF)`).
+    pub failure_product: f64,
+}
+
+impl CutSetConstraints {
+    /// Eq. 2 with the independence bound:
+    /// `P(CS) ≤ independent_bound · ∏ P(PF)`.
+    pub fn probability_independent(&self) -> f64 {
+        self.independent_bound * self.failure_product
+    }
+
+    /// Eq. 2 with the dependence-safe bound:
+    /// `P(CS) ≤ dependent_bound · ∏ P(PF)`.
+    pub fn probability_dependent(&self) -> f64 {
+        self.dependent_bound * self.failure_product
+    }
+}
+
+/// Constraint analysis of a whole hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintReport {
+    /// Per-minimal-cut-set constraint descriptions.
+    pub cut_sets: Vec<CutSetConstraints>,
+}
+
+impl ConstraintReport {
+    /// Extracts the constraints of every minimal cut set of `tree` and
+    /// bounds their probabilities under `probs`.
+    ///
+    /// # Errors
+    ///
+    /// Tree errors (no root, budget) and
+    /// [`FtaError::MissingProbability`] for uncovered leaves.
+    pub fn compute(tree: &FaultTree, probs: &ProbabilityMap) -> Result<Self> {
+        let mcs = crate::mcs::bottom_up(tree)?;
+        Self::from_cut_sets(tree, &mcs, probs)
+    }
+
+    /// Same as [`compute`](Self::compute) for pre-computed cut sets.
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::MissingProbability`] for uncovered leaves.
+    pub fn from_cut_sets(
+        tree: &FaultTree,
+        mcs: &CutSetCollection,
+        probs: &ProbabilityMap,
+    ) -> Result<Self> {
+        let mut cut_sets = Vec::with_capacity(mcs.len());
+        for cs in mcs.iter() {
+            let mut failures = Vec::new();
+            let mut conditions = Vec::new();
+            let mut independent_bound = 1.0;
+            let mut dependent_bound = 1.0f64;
+            let mut failure_product = 1.0;
+            for leaf in cs.iter() {
+                let node = tree.node(tree.leaf(leaf));
+                let p = probs.get(leaf).ok_or_else(|| FtaError::MissingProbability {
+                    event: node.name().to_owned(),
+                })?;
+                if node.is_condition() {
+                    conditions.push(node.name().to_owned());
+                    independent_bound *= p;
+                    dependent_bound = dependent_bound.min(p);
+                } else {
+                    failures.push(node.name().to_owned());
+                    failure_product *= p;
+                }
+            }
+            if conditions.is_empty() {
+                dependent_bound = 1.0;
+            }
+            cut_sets.push(CutSetConstraints {
+                failures,
+                conditions,
+                independent_bound,
+                dependent_bound,
+                failure_product,
+            });
+        }
+        Ok(Self { cut_sets })
+    }
+
+    /// Hazard probability (rare-event sum) under the independence bound —
+    /// exactly the paper's refined Eq. 2 quantification.
+    pub fn hazard_probability_independent(&self) -> f64 {
+        self.cut_sets
+            .iter()
+            .map(CutSetConstraints::probability_independent)
+            .sum()
+    }
+
+    /// Hazard probability (rare-event sum) under the dependence-safe
+    /// bound — what a careful analyst reports when constraint
+    /// independence cannot be argued.
+    pub fn hazard_probability_dependent(&self) -> f64 {
+        self.cut_sets
+            .iter()
+            .map(CutSetConstraints::probability_dependent)
+            .sum()
+    }
+
+    /// Worst-case hazard probability with all constraints forced to hold
+    /// (`P(Constraints) = 1`) — classical quantitative FTA.
+    pub fn hazard_probability_worst_case(&self) -> f64 {
+        self.cut_sets.iter().map(|cs| cs.failure_product).sum()
+    }
+
+    /// All distinct condition names across the hazard — the "formal
+    /// description of the constraints" of the paper's Sect. V.
+    pub fn all_conditions(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .cut_sets
+            .iter()
+            .flat_map(|cs| cs.conditions.iter().map(String::as_str))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two INHIBIT layers: top = INHIBIT(INHIBIT(f | c1) OR g | c2).
+    fn nested_inhibit_tree() -> FaultTree {
+        let mut ft = FaultTree::new("t");
+        let f = ft.basic_event_with_probability("f", 0.01).unwrap();
+        let g = ft.basic_event_with_probability("g", 0.02).unwrap();
+        let c1 = ft.condition_with_probability("c1", 0.5).unwrap();
+        let c2 = ft.condition_with_probability("c2", 0.25).unwrap();
+        let inner = ft.inhibit_gate("inner", f, c1).unwrap();
+        let or = ft.or_gate("or", [inner, g]).unwrap();
+        let top = ft.inhibit_gate("top", or, c2).unwrap();
+        ft.set_root(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn collects_conditions_along_paths() {
+        let ft = nested_inhibit_tree();
+        let probs = ft.stored_probabilities().unwrap();
+        let report = ConstraintReport::compute(&ft, &probs).unwrap();
+        assert_eq!(report.cut_sets.len(), 2);
+        // {f} needs both c1 and c2; {g} needs only c2.
+        let f_cs = report
+            .cut_sets
+            .iter()
+            .find(|c| c.failures == vec!["f"])
+            .unwrap();
+        assert_eq!(f_cs.conditions, vec!["c1", "c2"]);
+        let g_cs = report
+            .cut_sets
+            .iter()
+            .find(|c| c.failures == vec!["g"])
+            .unwrap();
+        assert_eq!(g_cs.conditions, vec!["c2"]);
+        assert_eq!(report.all_conditions(), vec!["c1", "c2"]);
+    }
+
+    #[test]
+    fn bounds_match_paper_definitions() {
+        let ft = nested_inhibit_tree();
+        let probs = ft.stored_probabilities().unwrap();
+        let report = ConstraintReport::compute(&ft, &probs).unwrap();
+        let f_cs = report
+            .cut_sets
+            .iter()
+            .find(|c| c.failures == vec!["f"])
+            .unwrap();
+        // Independent: 0.5 · 0.25 = 0.125; dependent: min = 0.25.
+        assert!((f_cs.independent_bound - 0.125).abs() < 1e-15);
+        assert!((f_cs.dependent_bound - 0.25).abs() < 1e-15);
+        assert!((f_cs.failure_product - 0.01).abs() < 1e-15);
+        assert!((f_cs.probability_independent() - 0.00125).abs() < 1e-15);
+        assert!((f_cs.probability_dependent() - 0.0025).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bound_ordering_always_holds() {
+        // independent ≤ dependent ≤ worst case, per cut set and summed.
+        let ft = nested_inhibit_tree();
+        let probs = ft.stored_probabilities().unwrap();
+        let report = ConstraintReport::compute(&ft, &probs).unwrap();
+        for cs in &report.cut_sets {
+            assert!(cs.independent_bound <= cs.dependent_bound + 1e-15);
+            assert!(cs.dependent_bound <= 1.0);
+        }
+        let pi = report.hazard_probability_independent();
+        let pd = report.hazard_probability_dependent();
+        let pw = report.hazard_probability_worst_case();
+        assert!(pi <= pd + 1e-15);
+        assert!(pd <= pw + 1e-15);
+        // Worst case here: 0.01 + 0.02.
+        assert!((pw - 0.03).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unconstrained_cut_sets_have_unit_bounds() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.1).unwrap();
+        let g = ft.or_gate("g", [a]).unwrap();
+        ft.set_root(g).unwrap();
+        let probs = ft.stored_probabilities().unwrap();
+        let report = ConstraintReport::compute(&ft, &probs).unwrap();
+        assert_eq!(report.cut_sets[0].independent_bound, 1.0);
+        assert_eq!(report.cut_sets[0].dependent_bound, 1.0);
+        assert!(report.all_conditions().is_empty());
+    }
+
+    #[test]
+    fn elbtunnel_style_constraint_refinement() {
+        // An INHIBIT condition at 1e-3 shrinks the Eq. 2 estimate by
+        // three orders of magnitude against worst-case FTA.
+        let mut ft = FaultTree::new("t");
+        let hv = ft.basic_event_with_probability("HV_ODfinal", 0.87).unwrap();
+        let cond = ft
+            .condition_with_probability("ODfinal active", 1e-3)
+            .unwrap();
+        let top = ft.inhibit_gate("false alarm", hv, cond).unwrap();
+        ft.set_root(top).unwrap();
+        let probs = ft.stored_probabilities().unwrap();
+        let report = ConstraintReport::compute(&ft, &probs).unwrap();
+        let refined = report.hazard_probability_independent();
+        let worst = report.hazard_probability_worst_case();
+        assert!((refined - 0.87e-3).abs() < 1e-12);
+        assert!((worst - 0.87).abs() < 1e-12);
+        assert!(worst / refined > 999.0);
+    }
+
+    #[test]
+    fn missing_probability_is_reported_by_name() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event("nameless risk").unwrap();
+        let g = ft.or_gate("g", [a]).unwrap();
+        ft.set_root(g).unwrap();
+        let probs = ProbabilityMap::new(vec![]).unwrap();
+        match ConstraintReport::compute(&ft, &probs) {
+            Err(FtaError::MissingProbability { event }) => {
+                assert_eq!(event, "nameless risk");
+            }
+            other => panic!("expected MissingProbability, got {other:?}"),
+        }
+    }
+}

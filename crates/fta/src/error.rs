@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// Error type for fault-tree operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FtaError {
+    /// A node name was used twice in the same tree.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced node does not exist in this tree.
+    UnknownNode {
+        /// Index or name of the missing node.
+        reference: String,
+    },
+    /// A gate has no inputs.
+    EmptyGate {
+        /// Name of the offending gate.
+        gate: String,
+    },
+    /// A k-of-n gate with an unsatisfiable threshold.
+    InvalidThreshold {
+        /// Name of the gate.
+        gate: String,
+        /// The threshold `k`.
+        k: usize,
+        /// The number of inputs `n`.
+        n: usize,
+    },
+    /// The node graph contains a cycle (fault trees must be DAGs).
+    CyclicTree {
+        /// A node on the detected cycle.
+        via: String,
+    },
+    /// The tree has no root assigned.
+    NoRoot,
+    /// The proposed root is not a gate (a bare basic event is not a
+    /// meaningful hazard decomposition) or does not exist.
+    InvalidRoot {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A probability value outside `[0, 1]` was supplied.
+    InvalidProbability {
+        /// Name of the event it was assigned to.
+        event: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A leaf has no probability assigned but one was required.
+    MissingProbability {
+        /// Name of the leaf.
+        event: String,
+    },
+    /// The operation would exceed a configured size/effort budget.
+    BudgetExceeded {
+        /// What blew up, e.g. `"inclusion-exclusion terms"`.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A textual model failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtaError::DuplicateName { name } => write!(f, "duplicate node name {name:?}"),
+            FtaError::UnknownNode { reference } => write!(f, "unknown node {reference:?}"),
+            FtaError::EmptyGate { gate } => write!(f, "gate {gate:?} has no inputs"),
+            FtaError::InvalidThreshold { gate, k, n } => {
+                write!(f, "gate {gate:?} is {k}-of-{n}, need 1 <= k <= n")
+            }
+            FtaError::CyclicTree { via } => {
+                write!(f, "fault tree contains a cycle through {via:?}")
+            }
+            FtaError::NoRoot => write!(f, "fault tree has no root; call set_root first"),
+            FtaError::InvalidRoot { reason } => write!(f, "invalid root: {reason}"),
+            FtaError::InvalidProbability { event, value } => {
+                write!(f, "probability {value} for {event:?} outside [0, 1]")
+            }
+            FtaError::MissingProbability { event } => {
+                write!(f, "no probability assigned to {event:?}")
+            }
+            FtaError::BudgetExceeded { what, limit } => {
+                write!(f, "computation exceeded budget: {what} > {limit}")
+            }
+            FtaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FtaError::InvalidThreshold {
+            gate: "voter".into(),
+            k: 4,
+            n: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("voter") && s.contains("4-of-3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FtaError>();
+    }
+}

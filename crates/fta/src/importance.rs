@@ -1,0 +1,233 @@
+//! Importance measures: which primary failure matters most?
+//!
+//! Quantitative FTA does not stop at the hazard probability — the paper's
+//! case study ("it turns out that [HV at ODfinal] will be the dominating
+//! factor in the hazard's overall probability by two orders of magnitude")
+//! is an importance argument. This module computes the standard measures,
+//! all on the exact BDD engine:
+//!
+//! * **Birnbaum** `I_B(i) = P(top | pᵢ=1) − P(top | pᵢ=0)` — the
+//!   sensitivity of the hazard to component `i`.
+//! * **Fussell–Vesely** `I_FV(i)` — fraction of the hazard probability
+//!   flowing through cut sets containing `i`.
+//! * **Risk Achievement Worth** `RAW(i) = P(top | pᵢ=1) / P(top)`.
+//! * **Risk Reduction Worth** `RRW(i) = P(top) / P(top | pᵢ=0)`.
+//! * **Criticality** `I_C(i) = I_B(i) · pᵢ / P(top)`.
+
+use crate::bdd::TreeBdd;
+use crate::quant::{cut_set_probability, rare_event, ProbabilityMap};
+use crate::tree::FaultTree;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// All importance measures for one leaf.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafImportance {
+    /// Leaf index within the tree.
+    pub leaf: usize,
+    /// Leaf name.
+    pub name: String,
+    /// The leaf's own probability.
+    pub probability: f64,
+    /// Birnbaum structural sensitivity.
+    pub birnbaum: f64,
+    /// Fussell–Vesely fractional contribution.
+    pub fussell_vesely: f64,
+    /// Risk achievement worth (∞ is clamped to `f64::INFINITY`).
+    pub raw: f64,
+    /// Risk reduction worth (∞ if removing the leaf eliminates the
+    /// hazard).
+    pub rrw: f64,
+    /// Criticality importance.
+    pub criticality: f64,
+}
+
+/// Importance analysis of a whole tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceReport {
+    /// Baseline hazard probability (BDD-exact).
+    pub hazard_probability: f64,
+    /// Per-leaf measures, sorted by descending Birnbaum importance.
+    pub leaves: Vec<LeafImportance>,
+}
+
+impl ImportanceReport {
+    /// Computes all measures for every leaf reachable from the root.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from tree/BDD construction and
+    /// [`crate::FtaError::MissingProbability`] for uncovered leaves.
+    pub fn compute(tree: &FaultTree, probs: &ProbabilityMap) -> Result<Self> {
+        let bdd = TreeBdd::build(tree)?;
+        let mcs = crate::mcs::bottom_up(tree)?;
+        let p_top = bdd.probability(probs)?;
+        let rare_total = rare_event(&mcs, probs)?;
+
+        let mut leaves = Vec::new();
+        for leaf in tree.reachable_leaves()? {
+            let p_leaf = probs.get(leaf).ok_or_else(|| {
+                crate::FtaError::MissingProbability {
+                    event: format!("leaf index {leaf}"),
+                }
+            })?;
+            let p_up = bdd.probability(&probs.with_forced(leaf, 1.0)?)?;
+            let p_down = bdd.probability(&probs.with_forced(leaf, 0.0)?)?;
+            let birnbaum = p_up - p_down;
+
+            // Fussell–Vesely over the rare-event decomposition (standard
+            // practice: contribution of cut sets containing the leaf).
+            let mut through = 0.0;
+            for cs in mcs.iter().filter(|cs| cs.contains(leaf)) {
+                through += cut_set_probability(cs, probs)?;
+            }
+            let fussell_vesely = if rare_total > 0.0 {
+                through / rare_total
+            } else {
+                0.0
+            };
+
+            let raw = if p_top > 0.0 { p_up / p_top } else { f64::INFINITY };
+            let rrw = if p_down > 0.0 {
+                p_top / p_down
+            } else if p_top > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            let criticality = if p_top > 0.0 {
+                birnbaum * p_leaf / p_top
+            } else {
+                0.0
+            };
+
+            leaves.push(LeafImportance {
+                leaf,
+                name: tree.node(tree.leaf(leaf)).name().to_owned(),
+                probability: p_leaf,
+                birnbaum,
+                fussell_vesely,
+                raw,
+                rrw,
+                criticality,
+            });
+        }
+        leaves.sort_by(|a, b| b.birnbaum.partial_cmp(&a.birnbaum).unwrap());
+        Ok(Self {
+            hazard_probability: p_top,
+            leaves,
+        })
+    }
+
+    /// The most Birnbaum-important leaf, if any.
+    pub fn most_important(&self) -> Option<&LeafImportance> {
+        self.leaves.first()
+    }
+
+    /// Looks a leaf's measures up by name.
+    pub fn by_name(&self, name: &str) -> Option<&LeafImportance> {
+        self.leaves.iter().find(|l| l.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// top = spof OR (x AND y): the single point of failure dominates.
+    fn spof_tree() -> FaultTree {
+        let mut ft = FaultTree::new("t");
+        let spof = ft.basic_event_with_probability("spof", 0.01).unwrap();
+        let x = ft.basic_event_with_probability("x", 0.001).unwrap();
+        let y = ft.basic_event_with_probability("y", 0.001).unwrap();
+        let g = ft.and_gate("xy", [x, y]).unwrap();
+        let top = ft.or_gate("top", [spof, g]).unwrap();
+        ft.set_root(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn spof_dominates_all_measures() {
+        let ft = spof_tree();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        let top = report.most_important().unwrap();
+        assert_eq!(top.name, "spof");
+        let spof = report.by_name("spof").unwrap();
+        let x = report.by_name("x").unwrap();
+        assert!(spof.birnbaum > x.birnbaum);
+        assert!(spof.fussell_vesely > 0.9);
+        assert!(spof.criticality > x.criticality);
+    }
+
+    #[test]
+    fn birnbaum_of_series_system() {
+        // Pure AND of two events: I_B(a) = p_b.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.3).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.7).unwrap();
+        let top = ft.and_gate("top", [a, b]).unwrap();
+        ft.set_root(top).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        let ia = report.by_name("a").unwrap();
+        assert!((ia.birnbaum - 0.7).abs() < 1e-12);
+        let ib = report.by_name("b").unwrap();
+        assert!((ib.birnbaum - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birnbaum_of_parallel_system() {
+        // Pure OR of two events: I_B(a) = 1 − p_b.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.3).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.7).unwrap();
+        let top = ft.or_gate("top", [a, b]).unwrap();
+        ft.set_root(top).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        assert!((report.by_name("a").unwrap().birnbaum - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fussell_vesely_sums_reasonably() {
+        // With disjoint single-event cut sets, FV fractions sum to ~1.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.01).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.03).unwrap();
+        let top = ft.or_gate("top", [a, b]).unwrap();
+        ft.set_root(top).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        let sum: f64 = report.leaves.iter().map(|l| l.fussell_vesely).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((report.by_name("b").unwrap().fussell_vesely - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_and_rrw_semantics() {
+        let ft = spof_tree();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        let spof = report.by_name("spof").unwrap();
+        // Forcing the SPOF on makes the hazard certain: RAW = 1 / P(top).
+        assert!((spof.raw - 1.0 / report.hazard_probability).abs() < 1e-6);
+        assert!(spof.raw > 1.0);
+        // Removing the SPOF leaves only the tiny AND term: RRW ≫ 1.
+        assert!(spof.rrw > 100.0);
+    }
+
+    #[test]
+    fn report_skips_unreachable_leaves() {
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event_with_probability("a", 0.1).unwrap();
+        let _orphan = ft.basic_event_with_probability("orphan", 0.9).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.1).unwrap();
+        let top = ft.or_gate("top", [a, b]).unwrap();
+        ft.set_root(top).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        assert_eq!(report.leaves.len(), 2);
+        assert!(report.by_name("orphan").is_none());
+    }
+}

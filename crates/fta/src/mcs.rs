@@ -1,0 +1,411 @@
+//! Minimal cut set computation.
+//!
+//! Two independent engines:
+//!
+//! * [`mocus`] — the classical top-down MOCUS algorithm (Fussell &
+//!   Vesely): rows of node sets are expanded gate by gate until only
+//!   leaves remain, then subsumption-minimized.
+//! * [`bottom_up`] — a memoized bottom-up set-algebra engine that
+//!   computes, for every node, the minimal cut sets of the sub-DAG it
+//!   roots. Faster on trees with shared subtrees.
+//!
+//! Both return the same [`CutSetCollection`] (a property the test suite
+//! and `proptest` enforce on random trees, with the BDD engine as a third
+//! oracle). INHIBIT gates are treated as AND — their conditions simply
+//! appear in the cut sets as condition leaves, which is exactly how the
+//! paper's Eq. 2 wants constraints to surface for quantification.
+//!
+//! Both engines take an optional budget on intermediate cut-set counts and
+//! fail with [`FtaError::BudgetExceeded`] instead of exhausting memory on
+//! adversarial inputs.
+
+use crate::cutset::{CutSet, CutSetCollection};
+use crate::tree::{FaultTree, GateKind, NodeId, NodeKind};
+use crate::{FtaError, Result};
+use std::collections::HashSet;
+
+/// Default limit on intermediate cut sets (per engine invocation).
+pub const DEFAULT_BUDGET: usize = 1 << 20;
+
+/// Computes minimal cut sets with MOCUS and the default budget.
+///
+/// # Errors
+///
+/// [`FtaError::NoRoot`] if the tree has no root, or
+/// [`FtaError::BudgetExceeded`] if expansion explodes.
+pub fn mocus(tree: &FaultTree) -> Result<CutSetCollection> {
+    mocus_with_budget(tree, DEFAULT_BUDGET)
+}
+
+/// MOCUS with an explicit budget on live rows.
+///
+/// # Errors
+///
+/// See [`mocus`].
+pub fn mocus_with_budget(tree: &FaultTree, budget: usize) -> Result<CutSetCollection> {
+    let root = tree.root()?;
+
+    // A row is a conjunction of nodes still to be satisfied. Represent it
+    // as a sorted Vec<NodeId> for cheap hashing/deduplication.
+    type Row = Vec<NodeId>;
+    let mut pending: Vec<Row> = vec![vec![root]];
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut done: Vec<CutSet> = Vec::new();
+
+    while let Some(row) = pending.pop() {
+        // Find the first gate in the row.
+        let gate_pos = row
+            .iter()
+            .position(|&id| matches!(tree.node(id).kind(), NodeKind::Gate { .. }));
+        let Some(pos) = gate_pos else {
+            // Pure-leaf row: convert to a cut set.
+            let cs: CutSet = row
+                .iter()
+                .map(|&id| tree.leaf_index(id).expect("leaf row"))
+                .collect();
+            done.push(cs);
+            continue;
+        };
+        let gate_id = row[pos];
+        let NodeKind::Gate { kind, inputs } = tree.node(gate_id).kind() else {
+            unreachable!("position() found a gate");
+        };
+
+        let mut rest: Row = row;
+        rest.remove(pos);
+
+        let push_row = |mut new_row: Row,
+                            pending: &mut Vec<Row>,
+                            seen: &mut HashSet<Row>|
+         -> Result<()> {
+            new_row.sort_unstable();
+            new_row.dedup();
+            if seen.insert(new_row.clone()) {
+                pending.push(new_row);
+            }
+            if pending.len() + done.len() > budget {
+                return Err(FtaError::BudgetExceeded {
+                    what: "MOCUS rows",
+                    limit: budget,
+                });
+            }
+            Ok(())
+        };
+
+        match kind {
+            GateKind::And | GateKind::Inhibit => {
+                let mut new_row = rest;
+                new_row.extend(inputs.iter().copied());
+                push_row(new_row, &mut pending, &mut seen)?;
+            }
+            GateKind::Or => {
+                for &input in inputs {
+                    let mut new_row = rest.clone();
+                    new_row.push(input);
+                    push_row(new_row, &mut pending, &mut seen)?;
+                }
+            }
+            GateKind::KOfN(k) => {
+                for combo in combinations(inputs.len(), *k) {
+                    let mut new_row = rest.clone();
+                    new_row.extend(combo.iter().map(|&i| inputs[i]));
+                    push_row(new_row, &mut pending, &mut seen)?;
+                }
+            }
+        }
+    }
+
+    Ok(CutSetCollection::from_sets(done))
+}
+
+/// Computes minimal cut sets bottom-up with the default budget.
+///
+/// # Errors
+///
+/// [`FtaError::NoRoot`] if the tree has no root, or
+/// [`FtaError::BudgetExceeded`] if an intermediate collection explodes.
+pub fn bottom_up(tree: &FaultTree) -> Result<CutSetCollection> {
+    bottom_up_with_budget(tree, DEFAULT_BUDGET)
+}
+
+/// Bottom-up engine with an explicit budget on intermediate cut sets.
+///
+/// # Errors
+///
+/// See [`bottom_up`].
+pub fn bottom_up_with_budget(tree: &FaultTree, budget: usize) -> Result<CutSetCollection> {
+    let root = tree.root()?;
+    let mut memo: Vec<Option<CutSetCollection>> = vec![None; tree.len()];
+    node_cut_sets(tree, root, budget, &mut memo)?;
+    Ok(memo[root.index()].take().expect("computed"))
+}
+
+fn node_cut_sets(
+    tree: &FaultTree,
+    id: NodeId,
+    budget: usize,
+    memo: &mut Vec<Option<CutSetCollection>>,
+) -> Result<()> {
+    if memo[id.index()].is_some() {
+        return Ok(());
+    }
+    let result = match tree.node(id).kind() {
+        NodeKind::BasicEvent { .. } | NodeKind::Condition { .. } => {
+            let slot = tree.leaf_index(id).expect("leaf has slot");
+            CutSetCollection::from_sets(vec![CutSet::singleton(slot)])
+        }
+        NodeKind::Gate { kind, inputs } => {
+            for &input in inputs {
+                node_cut_sets(tree, input, budget, memo)?;
+            }
+            let input_sets: Vec<&CutSetCollection> = inputs
+                .iter()
+                .map(|&i| memo[i.index()].as_ref().expect("computed"))
+                .collect();
+            match kind {
+                GateKind::Or => or_combine(&input_sets, budget)?,
+                GateKind::And | GateKind::Inhibit => and_combine(&input_sets, budget)?,
+                GateKind::KOfN(k) => {
+                    let mut alternatives = Vec::new();
+                    for combo in combinations(input_sets.len(), *k) {
+                        let chosen: Vec<&CutSetCollection> =
+                            combo.iter().map(|&i| input_sets[i]).collect();
+                        alternatives.push(and_combine(&chosen, budget)?);
+                    }
+                    let refs: Vec<&CutSetCollection> = alternatives.iter().collect();
+                    or_combine(&refs, budget)?
+                }
+            }
+        }
+    };
+    memo[id.index()] = Some(result);
+    Ok(())
+}
+
+fn or_combine(collections: &[&CutSetCollection], budget: usize) -> Result<CutSetCollection> {
+    let total: usize = collections.iter().map(|c| c.len()).sum();
+    if total > budget {
+        return Err(FtaError::BudgetExceeded {
+            what: "OR-combined cut sets",
+            limit: budget,
+        });
+    }
+    Ok(collections
+        .iter()
+        .flat_map(|c| c.iter().cloned())
+        .collect())
+}
+
+fn and_combine(collections: &[&CutSetCollection], budget: usize) -> Result<CutSetCollection> {
+    let mut acc = vec![CutSet::empty()];
+    for c in collections {
+        let mut next = Vec::with_capacity(acc.len() * c.len());
+        for a in &acc {
+            for b in c.iter() {
+                next.push(a.union(b));
+                if next.len() > budget {
+                    return Err(FtaError::BudgetExceeded {
+                        what: "AND-combined cut sets",
+                        limit: budget,
+                    });
+                }
+            }
+        }
+        // Minimize between folds to keep intermediate products small.
+        let collection = CutSetCollection::from_sets(next);
+        acc = collection.iter().cloned().collect();
+    }
+    Ok(CutSetCollection::from_sets(acc))
+}
+
+/// Enumerates all `k`-element subsets of `0..n` in lexicographic order.
+pub(crate) fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names_of(tree: &FaultTree, c: &CutSetCollection) -> Vec<Vec<String>> {
+        c.iter()
+            .map(|cs| cs.names(tree).iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    fn simple_and_or() -> FaultTree {
+        // top = (a AND b) OR c
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let c = ft.basic_event("c").unwrap();
+        let g1 = ft.and_gate("ab", [a, b]).unwrap();
+        let top = ft.or_gate("top", [g1, c]).unwrap();
+        ft.set_root(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn combinations_enumeration() {
+        assert_eq!(combinations(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(combinations(4, 1).len(), 4);
+        assert_eq!(combinations(4, 4), vec![vec![0, 1, 2, 3]]);
+        assert_eq!(combinations(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(combinations(5, 3).len(), 10);
+    }
+
+    #[test]
+    fn and_or_tree_both_engines() {
+        let ft = simple_and_or();
+        for engine in [mocus, bottom_up] {
+            let mcs = engine(&ft).unwrap();
+            assert_eq!(mcs.len(), 2);
+            let got = names_of(&ft, &mcs);
+            assert!(got.contains(&vec!["c".to_string()]));
+            assert!(got.contains(&vec!["a".to_string(), "b".to_string()]));
+            assert!(mcs.is_minimal());
+        }
+    }
+
+    #[test]
+    fn subsumption_across_gates() {
+        // top = a OR (a AND b): {a} subsumes {a, b}.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let g = ft.and_gate("ab", [a, b]).unwrap();
+        let top = ft.or_gate("top", [a, g]).unwrap();
+        ft.set_root(top).unwrap();
+        for engine in [mocus, bottom_up] {
+            let mcs = engine(&ft).unwrap();
+            assert_eq!(mcs.len(), 1);
+            assert_eq!(mcs.sets()[0], CutSet::singleton(0));
+        }
+    }
+
+    #[test]
+    fn k_of_n_gate_expansion() {
+        // 2-of-3 over {a, b, c} → {ab, ac, bc}.
+        let mut ft = FaultTree::new("t");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let c = ft.basic_event("c").unwrap();
+        let top = ft.k_of_n_gate("vote", 2, [a, b, c]).unwrap();
+        ft.set_root(top).unwrap();
+        for engine in [mocus, bottom_up] {
+            let mcs = engine(&ft).unwrap();
+            assert_eq!(mcs.len(), 3);
+            assert!(mcs.iter().all(|cs| cs.order() == 2));
+        }
+    }
+
+    #[test]
+    fn inhibit_gate_collects_condition() {
+        let mut ft = FaultTree::new("t");
+        let cause = ft.basic_event("cooling fails").unwrap();
+        let cond = ft.condition("system running").unwrap();
+        let top = ft.inhibit_gate("overheat", cause, cond).unwrap();
+        ft.set_root(top).unwrap();
+        for engine in [mocus, bottom_up] {
+            let mcs = engine(&ft).unwrap();
+            assert_eq!(mcs.len(), 1);
+            let cs = &mcs.sets()[0];
+            assert_eq!(cs.order(), 2);
+            assert_eq!(cs.failures(&ft), vec![0]);
+            assert_eq!(cs.conditions(&ft), vec![1]);
+        }
+    }
+
+    #[test]
+    fn shared_subtree_handled_once() {
+        // top = (s AND a) OR (s AND b), s shared OR-subtree of {x, y}.
+        let mut ft = FaultTree::new("t");
+        let x = ft.basic_event("x").unwrap();
+        let y = ft.basic_event("y").unwrap();
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let s = ft.or_gate("s", [x, y]).unwrap();
+        let left = ft.and_gate("left", [s, a]).unwrap();
+        let right = ft.and_gate("right", [s, b]).unwrap();
+        let top = ft.or_gate("top", [left, right]).unwrap();
+        ft.set_root(top).unwrap();
+        for engine in [mocus, bottom_up] {
+            let mcs = engine(&ft).unwrap();
+            // {x,a},{y,a},{x,b},{y,b}
+            assert_eq!(mcs.len(), 4);
+            assert!(mcs.iter().all(|cs| cs.order() == 2));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_deep_mixed_tree() {
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..6)
+            .map(|i| ft.basic_event(format!("e{i}")).unwrap())
+            .collect();
+        let g1 = ft.and_gate("g1", [leaves[0], leaves[1]]).unwrap();
+        let g2 = ft.or_gate("g2", [leaves[2], leaves[3]]).unwrap();
+        let g3 = ft.k_of_n_gate("g3", 2, [g1, g2, leaves[4]]).unwrap();
+        let top = ft.or_gate("top", [g3, leaves[5]]).unwrap();
+        ft.set_root(top).unwrap();
+        let a = mocus(&ft).unwrap();
+        let b = bottom_up(&ft).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_minimal());
+    }
+
+    #[test]
+    fn budget_exceeded_is_detected() {
+        // 2-of-20 voting gate has 190 cut sets; a budget of 10 must fail.
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..20)
+            .map(|i| ft.basic_event(format!("e{i}")).unwrap())
+            .collect();
+        let top = ft.k_of_n_gate("vote", 2, leaves).unwrap();
+        ft.set_root(top).unwrap();
+        assert!(matches!(
+            mocus_with_budget(&ft, 10),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
+        assert!(matches!(
+            bottom_up_with_budget(&ft, 10),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
+        // And with the default budget both succeed.
+        assert_eq!(mocus(&ft).unwrap().len(), 190);
+        assert_eq!(bottom_up(&ft).unwrap().len(), 190);
+    }
+
+    #[test]
+    fn no_root_is_an_error() {
+        let mut ft = FaultTree::new("t");
+        let _ = ft.basic_event("a").unwrap();
+        assert!(matches!(mocus(&ft), Err(FtaError::NoRoot)));
+        assert!(matches!(bottom_up(&ft), Err(FtaError::NoRoot)));
+    }
+}

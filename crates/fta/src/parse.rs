@@ -1,0 +1,532 @@
+//! Plain-text fault-tree format (Galileo-flavoured).
+//!
+//! Lets models live in version-controlled files next to the analysis code.
+//! Line-oriented, `#` comments, names either bare identifiers or quoted
+//! strings:
+//!
+//! ```text
+//! tree Collision
+//!
+//! basic "OHV ignores signal" p=0.01
+//! basic SignalOutOfOrder    p=1e-4
+//! basic SignalNotActivated  p=1e-5
+//! cond  "OHV present"       p=0.001
+//!
+//! SignalNotOn := or(SignalOutOfOrder, SignalNotActivated)
+//! Critical    := inhibit(SignalNotOn | "OHV present")
+//! Collision   := or("OHV ignores signal", Critical)
+//!
+//! top Collision
+//! ```
+//!
+//! Gate forms: `and(a, b, …)`, `or(a, b, …)`, `kofn(k; a, b, …)`,
+//! `inhibit(cause | condition)`. Definitions may reference gates defined
+//! later in the file; cycles are rejected.
+//!
+//! [`to_text`] emits this format; `parse(to_text(t))` reproduces the tree
+//! (up to leaf ordering, which the writer preserves).
+
+use crate::tree::{FaultTree, GateKind, NodeId, NodeKind};
+use crate::{FtaError, Result};
+use std::collections::HashMap;
+
+/// Parses a fault tree from its textual representation.
+///
+/// # Errors
+///
+/// [`FtaError::Parse`] with a line number for syntax problems,
+/// [`FtaError::CyclicTree`] for recursive gate definitions, plus the usual
+/// structural errors (duplicate names, bad thresholds, missing `top`).
+pub fn parse(text: &str) -> Result<FaultTree> {
+    let mut tree_name: Option<String> = None;
+    let mut top_name: Option<(String, usize)> = None;
+    // name -> (kind, prob, line) for leaves
+    let mut leaf_decls: Vec<(String, bool, Option<f64>, usize)> = Vec::new();
+    // name -> (gate spec, line)
+    let mut gate_decls: Vec<(String, GateSpec, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("tree ") {
+            let (name, rest) = take_name(rest, lineno)?;
+            expect_empty(rest, lineno)?;
+            tree_name = Some(name);
+        } else if let Some(rest) = line.strip_prefix("top ") {
+            let (name, rest) = take_name(rest, lineno)?;
+            expect_empty(rest, lineno)?;
+            top_name = Some((name, lineno));
+        } else if let Some(rest) = line.strip_prefix("basic ") {
+            let (name, prob) = parse_leaf(rest, lineno)?;
+            leaf_decls.push((name, false, prob, lineno));
+        } else if let Some(rest) = line.strip_prefix("cond ") {
+            let (name, prob) = parse_leaf(rest, lineno)?;
+            leaf_decls.push((name, true, prob, lineno));
+        } else if line.contains(":=") {
+            let (name, spec) = parse_gate(line, lineno)?;
+            gate_decls.push((name, spec, lineno));
+        } else {
+            return Err(FtaError::Parse {
+                line: lineno,
+                message: format!("unrecognized statement: {line:?}"),
+            });
+        }
+    }
+
+    let name = tree_name.unwrap_or_else(|| "fault-tree".to_string());
+    let mut ft = FaultTree::new(name);
+
+    // Create leaves in declaration order so leaf indices are stable.
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (name, is_cond, prob, _line) in &leaf_decls {
+        let id = match (is_cond, prob) {
+            (false, Some(p)) => ft.basic_event_with_probability(name.clone(), *p)?,
+            (false, None) => ft.basic_event(name.clone())?,
+            (true, Some(p)) => ft.condition_with_probability(name.clone(), *p)?,
+            (true, None) => ft.condition(name.clone())?,
+        };
+        ids.insert(name.clone(), id);
+    }
+
+    // Build gates depth-first over the reference graph, detecting cycles.
+    let gate_index: HashMap<String, usize> = gate_decls
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _, _))| (n.clone(), i))
+        .collect();
+    let mut state = vec![0u8; gate_decls.len()]; // 0 unvisited, 1 visiting, 2 done
+    for i in 0..gate_decls.len() {
+        build_gate(i, &gate_decls, &gate_index, &mut state, &mut ids, &mut ft)?;
+    }
+
+    let (top, top_line) = top_name.ok_or(FtaError::Parse {
+        line: text.lines().count().max(1),
+        message: "missing `top <name>` statement".to_string(),
+    })?;
+    let top_id = *ids.get(&top).ok_or(FtaError::Parse {
+        line: top_line,
+        message: format!("top references unknown node {top:?}"),
+    })?;
+    ft.set_root(top_id)?;
+    Ok(ft)
+}
+
+#[derive(Debug, Clone)]
+enum GateSpec {
+    And(Vec<String>),
+    Or(Vec<String>),
+    KOfN(usize, Vec<String>),
+    Inhibit(String, String),
+}
+
+impl GateSpec {
+    fn references(&self) -> Vec<&String> {
+        match self {
+            GateSpec::And(v) | GateSpec::Or(v) => v.iter().collect(),
+            GateSpec::KOfN(_, v) => v.iter().collect(),
+            GateSpec::Inhibit(a, b) => vec![a, b],
+        }
+    }
+}
+
+fn build_gate(
+    i: usize,
+    decls: &[(String, GateSpec, usize)],
+    index: &HashMap<String, usize>,
+    state: &mut [u8],
+    ids: &mut HashMap<String, NodeId>,
+    ft: &mut FaultTree,
+) -> Result<()> {
+    if state[i] == 2 {
+        return Ok(());
+    }
+    if state[i] == 1 {
+        return Err(FtaError::CyclicTree {
+            via: decls[i].0.clone(),
+        });
+    }
+    state[i] = 1;
+    let (name, spec, line) = &decls[i];
+    for r in spec.references() {
+        if let Some(&j) = index.get(r) {
+            build_gate(j, decls, index, state, ids, ft)?;
+        } else if !ids.contains_key(r) {
+            return Err(FtaError::Parse {
+                line: *line,
+                message: format!("gate {name:?} references undeclared node {r:?}"),
+            });
+        }
+    }
+    let resolve = |name: &String| -> NodeId { ids[name] };
+    let id = match spec {
+        GateSpec::And(inputs) => {
+            ft.and_gate(name.clone(), inputs.iter().map(resolve))?
+        }
+        GateSpec::Or(inputs) => ft.or_gate(name.clone(), inputs.iter().map(resolve))?,
+        GateSpec::KOfN(k, inputs) => {
+            ft.k_of_n_gate(name.clone(), *k, inputs.iter().map(resolve))?
+        }
+        GateSpec::Inhibit(cause, cond) => {
+            ft.inhibit_gate(name.clone(), resolve(cause), resolve(cond))?
+        }
+    };
+    ids.insert(name.clone(), id);
+    state[i] = 2;
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` outside quotes starts a comment.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Reads a (possibly quoted) name from the front of `s`; returns the name
+/// and the remaining string.
+fn take_name(s: &str, line: usize) -> Result<(String, &str)> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('"') {
+        let end = rest.find('"').ok_or(FtaError::Parse {
+            line,
+            message: "unterminated quoted name".to_string(),
+        })?;
+        Ok((rest[..end].to_string(), &rest[end + 1..]))
+    } else {
+        let end = s
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(s.len());
+        if end == 0 {
+            return Err(FtaError::Parse {
+                line,
+                message: format!("expected a name at {s:?}"),
+            });
+        }
+        Ok((s[..end].to_string(), &s[end..]))
+    }
+}
+
+fn expect_empty(rest: &str, line: usize) -> Result<()> {
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(FtaError::Parse {
+            line,
+            message: format!("unexpected trailing input: {:?}", rest.trim()),
+        })
+    }
+}
+
+fn parse_leaf(rest: &str, line: usize) -> Result<(String, Option<f64>)> {
+    let (name, rest) = take_name(rest, line)?;
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Ok((name, None));
+    }
+    let p = rest.strip_prefix("p=").ok_or(FtaError::Parse {
+        line,
+        message: format!("expected `p=<value>`, found {rest:?}"),
+    })?;
+    let value: f64 = p.trim().parse().map_err(|_| FtaError::Parse {
+        line,
+        message: format!("invalid probability literal {p:?}"),
+    })?;
+    Ok((name, Some(value)))
+}
+
+fn parse_gate(line_text: &str, line: usize) -> Result<(String, GateSpec)> {
+    let (lhs, rhs) = line_text.split_once(":=").expect("caller checked");
+    let (name, lhs_rest) = take_name(lhs, line)?;
+    expect_empty(lhs_rest, line)?;
+    let rhs = rhs.trim();
+    let open = rhs.find('(').ok_or(FtaError::Parse {
+        line,
+        message: format!("expected gate form after :=, found {rhs:?}"),
+    })?;
+    if !rhs.ends_with(')') {
+        return Err(FtaError::Parse {
+            line,
+            message: "gate definition must end with `)`".to_string(),
+        });
+    }
+    let head = rhs[..open].trim();
+    let body = &rhs[open + 1..rhs.len() - 1];
+    let spec = match head {
+        "and" => GateSpec::And(parse_name_list(body, line)?),
+        "or" => GateSpec::Or(parse_name_list(body, line)?),
+        "kofn" => {
+            let (k_str, list) = body.split_once(';').ok_or(FtaError::Parse {
+                line,
+                message: "kofn needs the form kofn(k; a, b, …)".to_string(),
+            })?;
+            let k: usize = k_str.trim().parse().map_err(|_| FtaError::Parse {
+                line,
+                message: format!("invalid threshold {k_str:?}"),
+            })?;
+            GateSpec::KOfN(k, parse_name_list(list, line)?)
+        }
+        "inhibit" => {
+            let (cause, cond) = body.split_once('|').ok_or(FtaError::Parse {
+                line,
+                message: "inhibit needs the form inhibit(cause | condition)".to_string(),
+            })?;
+            let (cause, r1) = take_name(cause, line)?;
+            expect_empty(r1, line)?;
+            let (cond, r2) = take_name(cond, line)?;
+            expect_empty(r2, line)?;
+            GateSpec::Inhibit(cause, cond)
+        }
+        other => {
+            return Err(FtaError::Parse {
+                line,
+                message: format!("unknown gate type {other:?}"),
+            })
+        }
+    };
+    Ok((name, spec))
+}
+
+fn parse_name_list(body: &str, line: usize) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for part in split_top_level_commas(body) {
+        let (name, rest) = take_name(&part, line)?;
+        expect_empty(rest, line)?;
+        out.push(name);
+    }
+    if out.is_empty() {
+        return Err(FtaError::Parse {
+            line,
+            message: "gate needs at least one input".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_quote = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            ',' if !in_quote => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() || !parts.is_empty() {
+        parts.push(current);
+    }
+    parts.into_iter().filter(|p| !p.trim().is_empty()).collect()
+}
+
+/// Serializes a fault tree to the textual format accepted by [`parse`].
+///
+/// # Errors
+///
+/// [`FtaError::NoRoot`] if the tree has no root.
+pub fn to_text(tree: &FaultTree) -> Result<String> {
+    use std::fmt::Write as _;
+    let root = tree.root()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "tree {}", quote(tree.name()));
+    let _ = writeln!(out);
+    for &leaf in tree.leaves() {
+        let node = tree.node(leaf);
+        let keyword = if node.is_condition() { "cond" } else { "basic" };
+        match node.probability() {
+            Some(p) => {
+                let _ = writeln!(out, "{keyword} {} p={p}", quote(node.name()));
+            }
+            None => {
+                let _ = writeln!(out, "{keyword} {}", quote(node.name()));
+            }
+        }
+    }
+    let _ = writeln!(out);
+    for (_, node) in tree.iter() {
+        if let NodeKind::Gate { kind, inputs } = node.kind() {
+            let args: Vec<String> = inputs
+                .iter()
+                .map(|&i| quote(tree.node(i).name()))
+                .collect();
+            let rhs = match kind {
+                GateKind::And => format!("and({})", args.join(", ")),
+                GateKind::Or => format!("or({})", args.join(", ")),
+                GateKind::KOfN(k) => format!("kofn({k}; {})", args.join(", ")),
+                GateKind::Inhibit => format!("inhibit({} | {})", args[0], args[1]),
+            };
+            let _ = writeln!(out, "{} := {rhs}", quote(node.name()));
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "top {}", quote(tree.node(root).name()));
+    Ok(out)
+}
+
+fn quote(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs;
+
+    const ELBTUNNEL_SNIPPET: &str = r#"
+# Fig. 2 of the paper, with made-up probabilities.
+tree Collision
+
+basic "OHV ignores signal" p=0.01
+basic SignalOutOfOrder    p=1e-4
+basic SignalNotActivated  p=1e-5
+
+SignalNotOn := or(SignalOutOfOrder, SignalNotActivated)
+Collision   := or("OHV ignores signal", SignalNotOn)
+
+top Collision
+"#;
+
+    #[test]
+    fn parses_paper_snippet() {
+        let ft = parse(ELBTUNNEL_SNIPPET).unwrap();
+        assert_eq!(ft.name(), "Collision");
+        assert_eq!(ft.leaves().len(), 3);
+        let mcs = mcs::bottom_up(&ft).unwrap();
+        assert_eq!(mcs.len(), 3);
+        let pm = ft.stored_probabilities().unwrap();
+        let p = crate::quant::rare_event(&mcs, &pm).unwrap();
+        assert!((p - 0.01011).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_references_are_resolved() {
+        let text = r#"
+tree t
+Top := or(Later, A)
+Later := and(B, C)
+basic A p=0.1
+basic B p=0.2
+basic C p=0.3
+top Top
+"#;
+        let ft = parse(text).unwrap();
+        assert_eq!(mcs::bottom_up(&ft).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let text = "\ntree t\nA := or(B)\nB := or(A)\nbasic X\ntop A\n";
+        assert!(matches!(parse(text), Err(FtaError::CyclicTree { .. })));
+    }
+
+    #[test]
+    fn kofn_and_inhibit_forms() {
+        let text = r#"
+basic A p=0.1
+basic B p=0.1
+basic C p=0.1
+cond Running p=0.8
+Voter := kofn(2; A, B, C)
+Top := inhibit(Voter | Running)
+top Top
+"#;
+        let ft = parse(text).unwrap();
+        let mcs = mcs::bottom_up(&ft).unwrap();
+        assert_eq!(mcs.len(), 3);
+        assert!(mcs.iter().all(|cs| cs.order() == 3)); // 2 failures + condition
+        let cond_leaf = ft.node_by_name("Running").unwrap();
+        assert!(ft.node(cond_leaf).is_condition());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse("tree t\nbogus statement\n").unwrap_err();
+        match err {
+            FtaError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse("basic A p=oops\ntop A\n").unwrap_err();
+        assert!(matches!(err, FtaError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_top_is_an_error() {
+        assert!(matches!(
+            parse("basic A p=0.5\n"),
+            Err(FtaError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn undeclared_reference_is_an_error() {
+        let err = parse("G := or(Ghost)\ntop G\n").unwrap_err();
+        match err {
+            FtaError::Parse { message, .. } => assert!(message.contains("Ghost")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_names_with_spaces_and_hash() {
+        let text = "basic \"a # strange, name\" p=0.5\nT := or(\"a # strange, name\")\ntop T\n";
+        let ft = parse(text).unwrap();
+        assert!(ft.node_by_name("a # strange, name").is_some());
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let ft = parse(ELBTUNNEL_SNIPPET).unwrap();
+        let text = to_text(&ft).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), ft.name());
+        assert_eq!(back.leaves().len(), ft.leaves().len());
+        assert_eq!(
+            mcs::bottom_up(&back).unwrap(),
+            mcs::bottom_up(&ft).unwrap()
+        );
+        assert_eq!(
+            back.stored_probabilities().unwrap(),
+            ft.stored_probabilities().unwrap()
+        );
+    }
+
+    #[test]
+    fn round_trip_with_all_gate_kinds() {
+        let mut ft = FaultTree::new("mixed");
+        let a = ft.basic_event_with_probability("a", 0.1).unwrap();
+        let b = ft.basic_event_with_probability("b", 0.2).unwrap();
+        let c = ft.basic_event_with_probability("c", 0.3).unwrap();
+        let cond = ft.condition_with_probability("env ok", 0.9).unwrap();
+        let v = ft.k_of_n_gate("v", 2, [a, b, c]).unwrap();
+        let i = ft.inhibit_gate("i", v, cond).unwrap();
+        let and = ft.and_gate("both", [i, a]).unwrap();
+        ft.set_root(and).unwrap();
+        let back = parse(&to_text(&ft).unwrap()).unwrap();
+        assert_eq!(
+            mcs::bottom_up(&back).unwrap(),
+            mcs::bottom_up(&ft).unwrap()
+        );
+    }
+}

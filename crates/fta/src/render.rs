@@ -1,0 +1,235 @@
+//! Rendering fault trees: Graphviz DOT and indented ASCII.
+//!
+//! The DOT output mirrors the conventional symbols of the paper's Fig. 1
+//! in shape vocabulary: circles for primary failures, ovals (hexagons
+//! here) for INHIBIT conditions, boxed labels for gates.
+
+use crate::tree::{FaultTree, GateKind, NodeId, NodeKind};
+use crate::Result;
+use std::fmt::Write as _;
+
+/// Renders the whole tree (from its root) as a Graphviz `digraph`.
+///
+/// # Errors
+///
+/// [`crate::FtaError::NoRoot`] if no root is set.
+///
+/// ```
+/// use safety_opt_fta::tree::FaultTree;
+/// use safety_opt_fta::render::to_dot;
+///
+/// # fn main() -> Result<(), safety_opt_fta::FtaError> {
+/// let mut ft = FaultTree::new("Collision");
+/// let a = ft.basic_event("driver ignores signal")?;
+/// let b = ft.basic_event("signal fails")?;
+/// let top = ft.or_gate("Collision", [a, b])?;
+/// ft.set_root(top)?;
+/// let dot = to_dot(&ft)?;
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("Collision"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(tree: &FaultTree) -> Result<String> {
+    let root = tree.root()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(tree.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![root];
+    let mut edges = Vec::new();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        let node = tree.node(id);
+        match node.kind() {
+            NodeKind::BasicEvent { probability } => {
+                let label = match probability {
+                    Some(p) => format!("{}\\np = {p:.3e}", escape(node.name())),
+                    None => escape(node.name()),
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=circle, label=\"{label}\"];",
+                    id.index()
+                );
+            }
+            NodeKind::Condition { probability } => {
+                let label = match probability {
+                    Some(p) => format!("{}\\np = {p:.3e}", escape(node.name())),
+                    None => escape(node.name()),
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=hexagon, label=\"{label}\"];",
+                    id.index()
+                );
+            }
+            NodeKind::Gate { kind, inputs } => {
+                let symbol = match kind {
+                    GateKind::And => "AND".to_string(),
+                    GateKind::Or => "OR".to_string(),
+                    GateKind::KOfN(k) => format!("{k}/{}", inputs.len()),
+                    GateKind::Inhibit => "INHIBIT".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box, label=\"{}\\n[{symbol}]\"];",
+                    id.index(),
+                    escape(node.name())
+                );
+                for &input in inputs {
+                    edges.push((id, input));
+                    stack.push(input);
+                }
+            }
+        }
+    }
+    for (from, to) in edges {
+        let style = if is_condition(tree, to) {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{} -> n{}{style};", from.index(), to.index());
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn is_condition(tree: &FaultTree, id: NodeId) -> bool {
+    tree.node(id).is_condition()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the tree as an indented ASCII outline (DAG nodes that occur
+/// several times are expanded at first visit and referenced as `^name`
+/// afterwards).
+///
+/// # Errors
+///
+/// [`crate::FtaError::NoRoot`] if no root is set.
+pub fn to_ascii(tree: &FaultTree) -> Result<String> {
+    let root = tree.root()?;
+    let mut out = String::new();
+    let mut expanded = vec![false; tree.len()];
+    render_ascii(tree, root, 0, &mut expanded, &mut out);
+    Ok(out)
+}
+
+fn render_ascii(
+    tree: &FaultTree,
+    id: NodeId,
+    depth: usize,
+    expanded: &mut [bool],
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let node = tree.node(id);
+    match node.kind() {
+        NodeKind::BasicEvent { probability } => {
+            let p = probability
+                .map(|p| format!(" (p = {p:.3e})"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{indent}o {}{p}", node.name());
+        }
+        NodeKind::Condition { probability } => {
+            let p = probability
+                .map(|p| format!(" (p = {p:.3e})"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{indent}? {}{p} [condition]", node.name());
+        }
+        NodeKind::Gate { kind, inputs } => {
+            if std::mem::replace(&mut expanded[id.index()], true) {
+                let _ = writeln!(out, "{indent}^ {}", node.name());
+                return;
+            }
+            let _ = writeln!(out, "{indent}[{kind}] {}", node.name());
+            for &input in inputs {
+                render_ascii(tree, input, depth + 1, expanded, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> FaultTree {
+        let mut ft = FaultTree::new("Collision");
+        let a = ft.basic_event_with_probability("driver ignores", 0.01).unwrap();
+        let b = ft.basic_event("signal fails").unwrap();
+        let cond = ft.condition_with_probability("OHV present", 0.001).unwrap();
+        let g = ft.or_gate("signal not on", [b]).unwrap();
+        let inh = ft.inhibit_gate("critical", g, cond).unwrap();
+        let top = ft.or_gate("Collision", [a, inh]).unwrap();
+        ft.set_root(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn dot_contains_all_reachable_nodes_and_shapes() {
+        let ft = sample_tree();
+        let dot = to_dot(&ft).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=hexagon"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("INHIBIT"));
+        assert!(dot.contains("style=dashed")); // condition edge
+        assert!(dot.contains("p = 1.000e-2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut ft = FaultTree::new("t\"quoted\"");
+        let a = ft.basic_event("ev \"x\"").unwrap();
+        let top = ft.or_gate("top", [a]).unwrap();
+        ft.set_root(top).unwrap();
+        let dot = to_dot(&ft).unwrap();
+        assert!(dot.contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn ascii_outline_structure() {
+        let ft = sample_tree();
+        let text = to_ascii(&ft).unwrap();
+        assert!(text.contains("[OR] Collision"));
+        assert!(text.contains("[INHIBIT] critical"));
+        assert!(text.contains("? OHV present"));
+        assert!(text.contains("o driver ignores"));
+        // Indentation increases with depth.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("[OR]"));
+        assert!(lines[1].starts_with("  "));
+    }
+
+    #[test]
+    fn ascii_shares_repeated_subtrees() {
+        let mut ft = FaultTree::new("t");
+        let x = ft.basic_event("x").unwrap();
+        let y = ft.basic_event("y").unwrap();
+        let shared = ft.or_gate("shared", [x, y]).unwrap();
+        let a = ft.and_gate("a", [shared, x]).unwrap();
+        let b = ft.and_gate("b", [shared, y]).unwrap();
+        let top = ft.or_gate("top", [a, b]).unwrap();
+        ft.set_root(top).unwrap();
+        let text = to_ascii(&ft).unwrap();
+        // The shared gate is expanded once and referenced once.
+        assert_eq!(text.matches("[OR] shared").count(), 1);
+        assert_eq!(text.matches("^ shared").count(), 1);
+    }
+
+    #[test]
+    fn rendering_requires_root() {
+        let ft = FaultTree::new("t");
+        assert!(to_dot(&ft).is_err());
+        assert!(to_ascii(&ft).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Synthetic fault-tree generators for property tests and benchmarks.
+//!
+//! Two kinds of generators:
+//!
+//! * Parametric **families** with known analytic answers
+//!   ([`and_of_ors`], [`or_of_ands`], [`voter_chain`]) — used by the
+//!   benchmark harness to sweep tree size while keeping the expected
+//!   minimal-cut-set counts checkable in closed form.
+//! * A seeded **random tree** generator ([`random_tree`]) — used by
+//!   property tests to cross-check the MOCUS / bottom-up / BDD engines
+//!   against each other on arbitrary structures.
+
+use crate::tree::{FaultTree, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `AND` of `m` independent `OR`-groups with `n` leaves each.
+///
+/// Minimal cut sets: all `n^m` combinations picking one leaf per group.
+/// Leaf probabilities default to `p`.
+pub fn and_of_ors(m: usize, n: usize, p: f64) -> FaultTree {
+    let mut ft = FaultTree::new(format!("and{m}-of-or{n}"));
+    let mut groups = Vec::new();
+    for g in 0..m {
+        let leaves: Vec<NodeId> = (0..n)
+            .map(|i| {
+                ft.basic_event_with_probability(format!("e{g}_{i}"), p)
+                    .expect("unique names")
+            })
+            .collect();
+        groups.push(ft.or_gate(format!("or{g}"), leaves).expect("valid gate"));
+    }
+    let top = ft.and_gate("top", groups).expect("valid gate");
+    ft.set_root(top).expect("gate root");
+    ft
+}
+
+/// `OR` of `m` independent `AND`-groups with `n` leaves each.
+///
+/// Minimal cut sets: exactly the `m` groups.
+pub fn or_of_ands(m: usize, n: usize, p: f64) -> FaultTree {
+    let mut ft = FaultTree::new(format!("or{m}-of-and{n}"));
+    let mut groups = Vec::new();
+    for g in 0..m {
+        let leaves: Vec<NodeId> = (0..n)
+            .map(|i| {
+                ft.basic_event_with_probability(format!("e{g}_{i}"), p)
+                    .expect("unique names")
+            })
+            .collect();
+        groups.push(ft.and_gate(format!("and{g}"), leaves).expect("valid gate"));
+    }
+    let top = ft.or_gate("top", groups).expect("valid gate");
+    ft.set_root(top).expect("gate root");
+    ft
+}
+
+/// A chain of `depth` 2-of-3 voters, each voting over one fresh leaf pair
+/// plus the previous stage. Exercises deep sharing and k-of-n expansion.
+pub fn voter_chain(depth: usize, p: f64) -> FaultTree {
+    let mut ft = FaultTree::new(format!("voter-chain-{depth}"));
+    let mut stage = {
+        let a = ft.basic_event_with_probability("seed_a", p).unwrap();
+        let b = ft.basic_event_with_probability("seed_b", p).unwrap();
+        ft.and_gate("stage0", [a, b]).unwrap()
+    };
+    for d in 1..=depth {
+        let x = ft
+            .basic_event_with_probability(format!("x{d}"), p)
+            .unwrap();
+        let y = ft
+            .basic_event_with_probability(format!("y{d}"), p)
+            .unwrap();
+        stage = ft
+            .k_of_n_gate(format!("stage{d}"), 2, [stage, x, y])
+            .unwrap();
+    }
+    // Wrap in a trivial OR so the root is distinct from the last voter.
+    let top = ft.or_gate("top", [stage]).unwrap();
+    ft.set_root(top).unwrap();
+    ft
+}
+
+/// Configuration for [`random_tree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomTreeConfig {
+    /// Number of distinct basic events to draw from.
+    pub num_leaves: usize,
+    /// Number of gates to generate (the last gate becomes the root).
+    pub num_gates: usize,
+    /// Maximum inputs per gate (≥ 2).
+    pub max_inputs: usize,
+    /// Probability assigned to every leaf.
+    pub leaf_probability: f64,
+    /// Probability that a gate input reuses an existing gate rather than
+    /// a leaf (controls DAG sharing).
+    pub gate_reuse: f64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        Self {
+            num_leaves: 8,
+            num_gates: 6,
+            max_inputs: 3,
+            leaf_probability: 0.1,
+            gate_reuse: 0.4,
+        }
+    }
+}
+
+/// Generates a random coherent fault tree (AND/OR/k-of-n gates) with the
+/// given seed. Deterministic per `(config, seed)`.
+///
+/// The generated tree always has a valid root; every gate draws inputs
+/// from earlier gates and leaves, so it is a DAG by construction.
+pub fn random_tree(config: RandomTreeConfig, seed: u64) -> FaultTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ft = FaultTree::new(format!("random-{seed}"));
+    let leaves: Vec<NodeId> = (0..config.num_leaves.max(2))
+        .map(|i| {
+            ft.basic_event_with_probability(format!("e{i}"), config.leaf_probability)
+                .expect("unique names")
+        })
+        .collect();
+    let mut gates: Vec<NodeId> = Vec::new();
+    for g in 0..config.num_gates.max(1) {
+        let arity = rng.gen_range(2..=config.max_inputs.max(2));
+        let mut inputs: Vec<NodeId> = Vec::new();
+        for _ in 0..arity {
+            let candidate = if !gates.is_empty() && rng.gen::<f64>() < config.gate_reuse {
+                gates[rng.gen_range(0..gates.len())]
+            } else {
+                leaves[rng.gen_range(0..leaves.len())]
+            };
+            if !inputs.contains(&candidate) {
+                inputs.push(candidate);
+            }
+        }
+        if inputs.len() < 2 {
+            // Ensure arity ≥ 2 by adding a distinct leaf.
+            for &l in &leaves {
+                if !inputs.contains(&l) {
+                    inputs.push(l);
+                    break;
+                }
+            }
+        }
+        let kind = rng.gen_range(0..3);
+        let gate = match kind {
+            0 => ft.and_gate(format!("g{g}"), inputs).expect("valid"),
+            1 => ft.or_gate(format!("g{g}"), inputs).expect("valid"),
+            _ => {
+                let k = rng.gen_range(1..=inputs.len());
+                ft.k_of_n_gate(format!("g{g}"), k, inputs).expect("valid")
+            }
+        };
+        gates.push(gate);
+    }
+    // Root: an OR over the last gate (and possibly an unused leaf) keeps
+    // every generated instance rooted at a gate.
+    let root = *gates.last().expect("at least one gate");
+    ft.set_root(root).expect("gate root");
+    ft
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdd::TreeBdd;
+    use crate::mcs;
+
+    #[test]
+    fn and_of_ors_counts() {
+        let ft = and_of_ors(3, 4, 0.01);
+        let mcs = mcs::bottom_up(&ft).unwrap();
+        assert_eq!(mcs.len(), 64); // 4³
+        assert!(mcs.iter().all(|cs| cs.order() == 3));
+    }
+
+    #[test]
+    fn or_of_ands_counts() {
+        let ft = or_of_ands(5, 3, 0.01);
+        let mcs = mcs::bottom_up(&ft).unwrap();
+        assert_eq!(mcs.len(), 5);
+        assert!(mcs.iter().all(|cs| cs.order() == 3));
+    }
+
+    #[test]
+    fn voter_chain_is_analyzable() {
+        let ft = voter_chain(4, 0.1);
+        ft.validate().unwrap();
+        let a = mcs::mocus(&ft).unwrap();
+        let b = mcs::bottom_up(&ft).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn random_trees_are_valid_and_engines_agree() {
+        for seed in 0..25 {
+            let ft = random_tree(RandomTreeConfig::default(), seed);
+            ft.validate().unwrap();
+            let m = mcs::mocus(&ft).unwrap();
+            let b = mcs::bottom_up(&ft).unwrap();
+            let bdd = TreeBdd::build(&ft).unwrap().minimal_cut_sets().unwrap();
+            assert_eq!(m, b, "seed {seed}: mocus vs bottom-up");
+            assert_eq!(b, bdd, "seed {seed}: bottom-up vs bdd");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let a = random_tree(RandomTreeConfig::default(), 7);
+        let b = random_tree(RandomTreeConfig::default(), 7);
+        assert_eq!(a, b);
+        let c = random_tree(RandomTreeConfig::default(), 8);
+        assert_ne!(a, c);
+    }
+}

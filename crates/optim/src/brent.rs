@@ -1,0 +1,298 @@
+//! Brent's method — 1-D minimization combining golden-section with
+//! successive parabolic interpolation.
+//!
+//! Converges superlinearly on smooth objectives (like the paper's cost
+//! functions, which are compositions of normal cdfs and exponentials)
+//! while retaining golden-section's worst-case guarantees.
+
+use crate::domain::BoxDomain;
+use crate::{
+    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason, TracePoint,
+};
+
+/// Brent minimizer configuration.
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::brent::Brent;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(0.0, 10.0)])?;
+/// let out = Brent::default().minimize(&|x: &[f64]| (x[0] - 2.0).powi(2), &domain)?;
+/// assert!((out.best_x[0] - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Brent {
+    rel_tol: f64,
+    abs_tol: f64,
+    max_iterations: u64,
+    record_trace: bool,
+}
+
+impl Default for Brent {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-10,
+            abs_tol: 1e-12,
+            max_iterations: 200,
+            record_trace: false,
+        }
+    }
+}
+
+impl Brent {
+    /// Creates a minimizer with default tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative x-tolerance.
+    pub fn rel_tol(mut self, tol: f64) -> Self {
+        self.rel_tol = tol;
+        self
+    }
+
+    /// Sets the absolute x-tolerance.
+    pub fn abs_tol(mut self, tol: f64) -> Self {
+        self.abs_tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Records a best-so-far trace point per iteration.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (option, v) in [("rel_tol", self.rel_tol), ("abs_tol", self.abs_tol)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(OptimError::InvalidConfig {
+                    option,
+                    requirement: "must be finite and > 0",
+                });
+            }
+        }
+        if self.max_iterations == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "max_iterations",
+                requirement: "must be >= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+const CGOLD: f64 = 0.381_966_011_250_105; // 2 − φ
+
+impl Minimizer for Brent {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate()?;
+        if domain.dim() != 1 {
+            return Err(OptimError::DimensionMismatch {
+                expected: "exactly 1 dimension",
+                got: domain.dim(),
+            });
+        }
+        let f = CountingObjective::new(objective);
+        let iv = domain.interval(0);
+        let (mut a, mut b) = (iv.lo(), iv.hi());
+
+        let mut x = a + CGOLD * (b - a);
+        let mut w = x;
+        let mut v = x;
+        let mut fx = f.eval_penalized(&[x]);
+        let mut fw = fx;
+        let mut fv = fx;
+        let mut d: f64 = 0.0;
+        let mut e: f64 = 0.0;
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut termination = TerminationReason::MaxIterations;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let xm = 0.5 * (a + b);
+            let tol1 = self.rel_tol * x.abs() + self.abs_tol;
+            let tol2 = 2.0 * tol1;
+            if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+                termination = TerminationReason::Converged;
+                break;
+            }
+            let mut use_golden = true;
+            if e.abs() > tol1 {
+                // Trial parabolic fit through x, v, w.
+                let r = (x - w) * (fx - fv);
+                let mut q = (x - v) * (fx - fw);
+                let mut p = (x - v) * q - (x - w) * r;
+                q = 2.0 * (q - r);
+                if q > 0.0 {
+                    p = -p;
+                }
+                q = q.abs();
+                let e_old = e;
+                e = d;
+                if p.abs() < (0.5 * q * e_old).abs() && p > q * (a - x) && p < q * (b - x) {
+                    // Accept the parabolic step.
+                    d = p / q;
+                    let u = x + d;
+                    if u - a < tol2 || b - u < tol2 {
+                        d = tol1.copysign(xm - x);
+                    }
+                    use_golden = false;
+                }
+            }
+            if use_golden {
+                e = if x >= xm { a - x } else { b - x };
+                d = CGOLD * e;
+            }
+            let u = if d.abs() >= tol1 {
+                x + d
+            } else {
+                x + tol1.copysign(d)
+            };
+            let fu = f.eval_penalized(&[u]);
+            if fu <= fx {
+                if u >= x {
+                    a = x;
+                } else {
+                    b = x;
+                }
+                v = w;
+                fv = fw;
+                w = x;
+                fw = fx;
+                x = u;
+                fx = fu;
+            } else {
+                if u < x {
+                    a = u;
+                } else {
+                    b = u;
+                }
+                if fu <= fw || w == x {
+                    v = w;
+                    fv = fw;
+                    w = u;
+                    fw = fu;
+                } else if fu <= fv || v == x || v == w {
+                    v = u;
+                    fv = fu;
+                }
+            }
+            if self.record_trace {
+                trace.push(TracePoint {
+                    iteration: iterations,
+                    evaluations: f.count(),
+                    best_value: fx,
+                });
+            }
+        }
+
+        if !fx.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: f.count(),
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: vec![x],
+            best_value: fx,
+            evaluations: f.count(),
+            iterations,
+            termination,
+            trace,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "brent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns::unimodal_1d;
+
+    #[test]
+    fn converges_faster_than_golden_on_smooth_function() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0)]).unwrap();
+        let f = |x: &[f64]| (x[0] - 1.234_567).powi(2);
+        let brent = Brent::default().minimize(&f, &domain).unwrap();
+        let golden = crate::golden::GoldenSection::default()
+            .minimize(&f, &domain)
+            .unwrap();
+        assert!((brent.best_x[0] - 1.234_567).abs() < 1e-7);
+        assert!(
+            brent.evaluations < golden.evaluations,
+            "brent {} vs golden {}",
+            brent.evaluations,
+            golden.evaluations
+        );
+    }
+
+    #[test]
+    fn handles_quartic_tail() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 10.0)]).unwrap();
+        let out = Brent::default().minimize(&unimodal_1d, &domain).unwrap();
+        assert!((out.best_x[0] - 2.0).abs() < 1e-6);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn edge_minimum() {
+        let domain = BoxDomain::from_bounds(&[(3.0, 8.0)]).unwrap();
+        let out = Brent::default()
+            .minimize(&|x: &[f64]| x[0].powi(2), &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_wrong_dimension_and_bad_config() {
+        let d2 = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(Brent::default()
+            .minimize(&crate::testfns::sphere, &d2)
+            .is_err());
+        let d1 = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(Brent::default()
+            .abs_tol(-1.0)
+            .minimize(&|x: &[f64]| x[0], &d1)
+            .is_err());
+    }
+
+    #[test]
+    fn stays_in_domain() {
+        let domain = BoxDomain::from_bounds(&[(2.0, 5.0)]).unwrap();
+        let d2 = domain.clone();
+        let f = move |x: &[f64]| {
+            assert!(d2.contains(x), "evaluated outside domain: {x:?}");
+            (x[0] - 10.0).powi(2) // minimum outside the domain, at the edge
+        };
+        let out = Brent::default().minimize(&f, &domain).unwrap();
+        assert!((out.best_x[0] - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nan_objective_is_error() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(matches!(
+            Brent::default().minimize(&|_: &[f64]| f64::NAN, &domain),
+            Err(OptimError::NoFiniteValue { .. })
+        ));
+    }
+}

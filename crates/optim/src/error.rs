@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error type for optimization operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// An interval bound pair was invalid (non-finite or `lo >= hi`).
+    InvalidInterval {
+        /// Rejected lower bound.
+        lo: f64,
+        /// Rejected upper bound.
+        hi: f64,
+    },
+    /// The algorithm supports only a specific dimensionality.
+    DimensionMismatch {
+        /// What the algorithm expected (e.g. `"exactly 1 dimension"`).
+        expected: &'static str,
+        /// Dimensionality of the supplied domain.
+        got: usize,
+    },
+    /// A configuration knob was set to an unusable value.
+    InvalidConfig {
+        /// Name of the offending option.
+        option: &'static str,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+    /// Every evaluated point returned NaN/∞ — there is no best point to
+    /// report.
+    NoFiniteValue {
+        /// Number of points that were evaluated.
+        evaluations: u64,
+    },
+    /// The domain has zero dimensions.
+    EmptyDomain,
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval [{lo}, {hi}]: bounds must be finite with lo < hi")
+            }
+            OptimError::DimensionMismatch { expected, got } => {
+                write!(f, "algorithm requires {expected}, domain has {got}")
+            }
+            OptimError::InvalidConfig {
+                option,
+                requirement,
+            } => write!(f, "invalid configuration for {option}: {requirement}"),
+            OptimError::NoFiniteValue { evaluations } => write!(
+                f,
+                "objective returned no finite value in {evaluations} evaluations"
+            ),
+            OptimError::EmptyDomain => write!(f, "domain must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_problem() {
+        let e = OptimError::InvalidInterval { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("[2, 1]"));
+        let e = OptimError::DimensionMismatch {
+            expected: "exactly 1 dimension",
+            got: 3,
+        };
+        assert!(e.to_string().contains("exactly 1 dimension"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! Golden-section search — 1-D minimization without derivatives.
+//!
+//! Reliable for the unimodal single-parameter problems that appear when
+//! all but one free parameter of a safety model are frozen (the paper's
+//! Fig. 6 analysis varies only the timer-2 runtime, for example).
+
+use crate::domain::BoxDomain;
+use crate::{
+    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason, TracePoint,
+};
+
+/// Golden-section search configuration.
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::golden::GoldenSection;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(0.0, 10.0)])?;
+/// let f = |x: &[f64]| (x[0] - 2.0).powi(2);
+/// let out = GoldenSection::default().minimize(&f, &domain)?;
+/// assert!((out.best_x[0] - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenSection {
+    tol: f64,
+    max_iterations: u64,
+    record_trace: bool,
+}
+
+impl Default for GoldenSection {
+    fn default() -> Self {
+        Self {
+            tol: 1e-9,
+            max_iterations: 200,
+            record_trace: false,
+        }
+    }
+}
+
+impl GoldenSection {
+    /// Creates a search with default settings (`tol = 1e-9`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the absolute bracket-width tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Records a best-so-far trace point per iteration.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.tol.is_finite() && self.tol > 0.0) {
+            return Err(OptimError::InvalidConfig {
+                option: "tol",
+                requirement: "must be finite and > 0",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "max_iterations",
+                requirement: "must be >= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `1/φ` — the golden ratio section constant.
+const INV_PHI: f64 = 0.618_033_988_749_894_8;
+
+impl Minimizer for GoldenSection {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate()?;
+        if domain.dim() != 1 {
+            return Err(OptimError::DimensionMismatch {
+                expected: "exactly 1 dimension",
+                got: domain.dim(),
+            });
+        }
+        let f = CountingObjective::new(objective);
+        let iv = domain.interval(0);
+        let (mut a, mut b) = (iv.lo(), iv.hi());
+        let mut c = b - INV_PHI * (b - a);
+        let mut d = a + INV_PHI * (b - a);
+        let mut fc = f.eval_penalized(&[c]);
+        let mut fd = f.eval_penalized(&[d]);
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut termination = TerminationReason::MaxIterations;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            if fc <= fd {
+                b = d;
+                d = c;
+                fd = fc;
+                c = b - INV_PHI * (b - a);
+                fc = f.eval_penalized(&[c]);
+            } else {
+                a = c;
+                c = d;
+                fc = fd;
+                d = a + INV_PHI * (b - a);
+                fd = f.eval_penalized(&[d]);
+            }
+            if self.record_trace {
+                trace.push(TracePoint {
+                    iteration: iterations,
+                    evaluations: f.count(),
+                    best_value: fc.min(fd),
+                });
+            }
+            if (b - a).abs() <= self.tol {
+                termination = TerminationReason::Converged;
+                break;
+            }
+        }
+
+        let (best_x, best_value) = if fc <= fd { (c, fc) } else { (d, fd) };
+        if !best_value.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: f.count(),
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: vec![best_x],
+            best_value,
+            evaluations: f.count(),
+            iterations,
+            termination,
+            trace,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "golden-section"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns::unimodal_1d;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0)]).unwrap();
+        let out = GoldenSection::default()
+            .minimize(&|x: &[f64]| (x[0] + 3.0).powi(2) + 1.0, &domain)
+            .unwrap();
+        assert!((out.best_x[0] + 3.0).abs() < 1e-6);
+        assert!((out.best_value - 1.0).abs() < 1e-10);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn finds_asymmetric_minimum() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 10.0)]).unwrap();
+        let out = GoldenSection::default()
+            .minimize(&unimodal_1d, &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_minimum_is_approached() {
+        // Monotone increasing on the domain → minimum at the left edge.
+        let domain = BoxDomain::from_bounds(&[(1.0, 4.0)]).unwrap();
+        let out = GoldenSection::default()
+            .minimize(&|x: &[f64]| x[0], &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_multidimensional_domain() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let err = GoldenSection::default()
+            .minimize(&crate::testfns::sphere, &domain)
+            .unwrap_err();
+        assert!(matches!(err, OptimError::DimensionMismatch { got: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(GoldenSection::default()
+            .tol(0.0)
+            .minimize(&|x: &[f64]| x[0], &domain)
+            .is_err());
+        assert!(GoldenSection::default()
+            .max_iterations(0)
+            .minimize(&|x: &[f64]| x[0], &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn all_nan_objective_is_an_error() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let err = GoldenSection::default()
+            .minimize(&|_: &[f64]| f64::NAN, &domain)
+            .unwrap_err();
+        assert!(matches!(err, OptimError::NoFiniteValue { .. }));
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 10.0)]).unwrap();
+        let out = GoldenSection::default()
+            .record_trace(true)
+            .minimize(&unimodal_1d, &domain)
+            .unwrap();
+        assert!(!out.trace.is_empty());
+        // Best-so-far must be non-increasing.
+        for w in out.trace.windows(2) {
+            assert!(w[1].best_value <= w[0].best_value + 1e-12);
+        }
+    }
+
+    #[test]
+    fn never_evaluates_outside_domain() {
+        let domain = BoxDomain::from_bounds(&[(2.0, 5.0)]).unwrap();
+        let d2 = domain.clone();
+        let f = move |x: &[f64]| {
+            assert!(d2.contains(x), "evaluated outside domain: {x:?}");
+            (x[0] - 3.0).powi(2)
+        };
+        GoldenSection::default().minimize(&f, &domain).unwrap();
+    }
+}

@@ -1,0 +1,340 @@
+//! Projected gradient descent with numerical gradients.
+//!
+//! The paper calls the gradient method "the most simple" approach to the
+//! resulting nonlinear program: *"finds local minima by calculating
+//! gradients iteratively and always following the steepest descent."*
+//! This implementation uses central-difference gradients (safety cost
+//! functions rarely have analytic derivatives), Armijo backtracking line
+//! search, and projection onto the box after every step.
+
+use crate::domain::BoxDomain;
+use crate::{
+    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason, TracePoint,
+};
+
+/// Projected-gradient-descent configuration.
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::gradient::GradientDescent;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)])?;
+/// let out = GradientDescent::default()
+///     .minimize(&safety_opt_optim::testfns::sphere, &domain)?;
+/// assert!(out.best_value < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientDescent {
+    /// Relative finite-difference step for the numerical gradient.
+    fd_step: f64,
+    /// Gradient-norm tolerance (projected gradient).
+    g_tol: f64,
+    /// Step-size tolerance relative to domain width.
+    x_tol: f64,
+    max_iterations: u64,
+    /// Initial line-search step as a fraction of domain width.
+    initial_step: f64,
+    start: Option<Vec<f64>>,
+    record_trace: bool,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        Self {
+            fd_step: 1e-6,
+            g_tol: 1e-10,
+            x_tol: 1e-12,
+            max_iterations: 5000,
+            initial_step: 0.1,
+            start: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Creates a minimizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative central-difference step.
+    pub fn fd_step(mut self, h: f64) -> Self {
+        self.fd_step = h;
+        self
+    }
+
+    /// Sets the projected-gradient-norm stopping tolerance.
+    pub fn g_tol(mut self, tol: f64) -> Self {
+        self.g_tol = tol;
+        self
+    }
+
+    /// Sets the relative step-size stopping tolerance.
+    pub fn x_tol(mut self, tol: f64) -> Self {
+        self.x_tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Starts from `x0` instead of the domain center.
+    pub fn start(mut self, x0: Vec<f64>) -> Self {
+        self.start = Some(x0);
+        self
+    }
+
+    /// Records a best-so-far trace point per iteration.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    fn validate(&self, domain: &BoxDomain) -> Result<()> {
+        for (option, v) in [
+            ("fd_step", self.fd_step),
+            ("g_tol", self.g_tol),
+            ("x_tol", self.x_tol),
+            ("initial_step", self.initial_step),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(OptimError::InvalidConfig {
+                    option,
+                    requirement: "must be finite and > 0",
+                });
+            }
+        }
+        if self.max_iterations == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "max_iterations",
+                requirement: "must be >= 1",
+            });
+        }
+        if let Some(x0) = &self.start {
+            if x0.len() != domain.dim() {
+                return Err(OptimError::DimensionMismatch {
+                    expected: "start point matching domain dimension",
+                    got: x0.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Central-difference gradient, with the probe points projected into
+    /// the domain (one-sided at the boundary).
+    fn gradient(
+        &self,
+        f: &CountingObjective<'_>,
+        domain: &BoxDomain,
+        x: &[f64],
+        widths: &[f64],
+    ) -> Vec<f64> {
+        let mut g = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            let h = (self.fd_step * widths[i]).max(1e-12);
+            let iv = domain.interval(i);
+            let hi = iv.clamp(x[i] + h);
+            let lo = iv.clamp(x[i] - h);
+            if hi == lo {
+                g[i] = 0.0;
+                continue;
+            }
+            let mut xp = x.to_vec();
+            xp[i] = hi;
+            let fp = f.eval_penalized(&xp);
+            xp[i] = lo;
+            let fm = f.eval_penalized(&xp);
+            g[i] = (fp - fm) / (hi - lo);
+        }
+        g
+    }
+}
+
+impl Minimizer for GradientDescent {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate(domain)?;
+        let f = CountingObjective::new(objective);
+        let widths = domain.widths();
+        let scale = domain.max_width();
+
+        let mut x = match &self.start {
+            Some(p) => domain.project(p),
+            None => domain.center(),
+        };
+        let mut fx = f.eval_penalized(&x);
+        let mut step0 = self.initial_step * scale;
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut termination = TerminationReason::MaxIterations;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let g = self.gradient(&f, domain, &x, &widths);
+            let g_norm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+
+            // Projected-gradient convergence test: the step the projection
+            // actually allows, not the raw gradient.
+            let probe: Vec<f64> = x.iter().zip(&g).map(|(&xi, &gi)| xi - gi).collect();
+            let projected = domain.project(&probe);
+            let pg_norm = projected
+                .iter()
+                .zip(&x)
+                .map(|(&p, &xi)| (p - xi) * (p - xi))
+                .sum::<f64>()
+                .sqrt();
+            if pg_norm <= self.g_tol || g_norm == 0.0 {
+                termination = TerminationReason::Converged;
+                break;
+            }
+
+            // Armijo backtracking along the normalized descent direction.
+            let dir: Vec<f64> = g.iter().map(|&gi| -gi / g_norm).collect();
+            let mut step = step0;
+            let c1 = 1e-4;
+            let mut accepted = false;
+            for _ in 0..60 {
+                let trial: Vec<f64> = x
+                    .iter()
+                    .zip(&dir)
+                    .map(|(&xi, &di)| xi + step * di)
+                    .collect();
+                let trial = domain.project(&trial);
+                let ft = f.eval_penalized(&trial);
+                // Directional derivative along dir is −g_norm.
+                if ft <= fx - c1 * step * g_norm {
+                    let moved: f64 = trial
+                        .iter()
+                        .zip(&x)
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    x = trial;
+                    fx = ft;
+                    accepted = true;
+                    // Gentle step growth for the next iteration.
+                    step0 = (step * 2.0).min(self.initial_step * scale);
+                    if moved <= self.x_tol * scale {
+                        termination = TerminationReason::Converged;
+                    }
+                    break;
+                }
+                step *= 0.5;
+            }
+            if self.record_trace {
+                trace.push(TracePoint {
+                    iteration: iterations,
+                    evaluations: f.count(),
+                    best_value: fx,
+                });
+            }
+            if !accepted {
+                // Line search failed: either converged or the landscape is
+                // flat at numerical precision.
+                termination = TerminationReason::Converged;
+                break;
+            }
+            if termination == TerminationReason::Converged {
+                break;
+            }
+        }
+
+        if !fx.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: f.count(),
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: x,
+            best_value: fx,
+            evaluations: f.count(),
+            iterations,
+            termination,
+            trace,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient-descent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns::{booth, sphere};
+
+    #[test]
+    fn solves_sphere() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0); 3]).unwrap();
+        let out = GradientDescent::default().minimize(&sphere, &domain).unwrap();
+        assert!(out.best_value < 1e-10, "best = {}", out.best_value);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn solves_booth() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+        let out = GradientDescent::default().minimize(&booth, &domain).unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+    }
+
+    #[test]
+    fn respects_active_box_constraints() {
+        // Minimum of (x+2)² on [0, 5] is the boundary x = 0.
+        let domain = BoxDomain::from_bounds(&[(0.0, 5.0)]).unwrap();
+        let out = GradientDescent::default()
+            .minimize(&|x: &[f64]| (x[0] + 2.0).powi(2), &domain)
+            .unwrap();
+        assert!(out.best_x[0] < 1e-8, "x = {}", out.best_x[0]);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn never_evaluates_outside_domain() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0), (2.0, 3.0)]).unwrap();
+        let d2 = domain.clone();
+        let f = move |x: &[f64]| {
+            assert!(d2.contains(x), "outside: {x:?}");
+            sphere(x)
+        };
+        GradientDescent::default().minimize(&f, &domain).unwrap();
+    }
+
+    #[test]
+    fn flat_function_converges_immediately() {
+        let domain = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let out = GradientDescent::default()
+            .minimize(&|_: &[f64]| 3.5, &domain)
+            .unwrap();
+        assert_eq!(out.best_value, 3.5);
+        assert!(out.converged());
+        assert!(out.iterations <= 2);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(GradientDescent::default()
+            .fd_step(0.0)
+            .minimize(&sphere, &domain)
+            .is_err());
+        assert!(GradientDescent::default()
+            .max_iterations(0)
+            .minimize(&sphere, &domain)
+            .is_err());
+    }
+}

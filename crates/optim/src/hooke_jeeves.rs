@@ -1,0 +1,299 @@
+//! Hooke–Jeeves pattern search.
+//!
+//! A derivative-free direct search: exploratory coordinate moves followed
+//! by pattern (momentum) moves, halving the step when stuck. Simple,
+//! predictable, and effective on the smooth low-dimensional cost surfaces
+//! of safety models; serves as an independent cross-check on Nelder–Mead
+//! in the optimizer-comparison ablation.
+
+use crate::domain::BoxDomain;
+use crate::{
+    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason, TracePoint,
+};
+
+/// Hooke–Jeeves configuration.
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::hooke_jeeves::HookeJeeves;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)])?;
+/// let out = HookeJeeves::default().minimize(&safety_opt_optim::testfns::booth, &domain)?;
+/// assert!(out.best_value < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HookeJeeves {
+    /// Initial step as a fraction of each dimension's width.
+    initial_step: f64,
+    /// Step-length tolerance relative to domain width.
+    x_tol: f64,
+    max_iterations: u64,
+    start: Option<Vec<f64>>,
+    record_trace: bool,
+}
+
+impl Default for HookeJeeves {
+    fn default() -> Self {
+        Self {
+            initial_step: 0.25,
+            x_tol: 1e-10,
+            max_iterations: 10_000,
+            start: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl HookeJeeves {
+    /// Creates a search with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial step fraction (of each dimension width).
+    pub fn initial_step(mut self, s: f64) -> Self {
+        self.initial_step = s;
+        self
+    }
+
+    /// Sets the relative step-length tolerance.
+    pub fn x_tol(mut self, tol: f64) -> Self {
+        self.x_tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Starts from `x0` instead of the domain center.
+    pub fn start(mut self, x0: Vec<f64>) -> Self {
+        self.start = Some(x0);
+        self
+    }
+
+    /// Records a best-so-far trace point per iteration.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    fn validate(&self, domain: &BoxDomain) -> Result<()> {
+        if !(self.initial_step.is_finite() && self.initial_step > 0.0 && self.initial_step <= 1.0)
+        {
+            return Err(OptimError::InvalidConfig {
+                option: "initial_step",
+                requirement: "must lie in (0, 1]",
+            });
+        }
+        if !(self.x_tol.is_finite() && self.x_tol > 0.0) {
+            return Err(OptimError::InvalidConfig {
+                option: "x_tol",
+                requirement: "must be finite and > 0",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "max_iterations",
+                requirement: "must be >= 1",
+            });
+        }
+        if let Some(x0) = &self.start {
+            if x0.len() != domain.dim() {
+                return Err(OptimError::DimensionMismatch {
+                    expected: "start point matching domain dimension",
+                    got: x0.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One exploratory sweep: try ± step in each coordinate, keeping
+/// improvements greedily. Returns the (possibly unchanged) point/value.
+fn explore(
+    f: &CountingObjective<'_>,
+    domain: &BoxDomain,
+    x: &[f64],
+    fx: f64,
+    steps: &[f64],
+) -> (Vec<f64>, f64) {
+    let mut best = x.to_vec();
+    let mut best_val = fx;
+    for i in 0..x.len() {
+        for dir in [1.0, -1.0] {
+            let mut trial = best.clone();
+            trial[i] = domain.interval(i).clamp(trial[i] + dir * steps[i]);
+            if trial[i] == best[i] {
+                continue; // clamped to no-op
+            }
+            let v = f.eval_penalized(&trial);
+            if v < best_val {
+                best = trial;
+                best_val = v;
+                break; // accept the first improving direction per axis
+            }
+        }
+    }
+    (best, best_val)
+}
+
+impl Minimizer for HookeJeeves {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate(domain)?;
+        let f = CountingObjective::new(objective);
+        let widths = domain.widths();
+        let mut steps: Vec<f64> = widths.iter().map(|w| w * self.initial_step).collect();
+        let min_step: Vec<f64> = widths.iter().map(|w| w * self.x_tol).collect();
+
+        let mut base = match &self.start {
+            Some(p) => domain.project(p),
+            None => domain.center(),
+        };
+        let mut f_base = f.eval_penalized(&base);
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut termination = TerminationReason::MaxIterations;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            let (probe, f_probe) = explore(&f, domain, &base, f_base, &steps);
+            if f_probe < f_base {
+                // Pattern move: leap along base→probe and explore there.
+                let pattern: Vec<f64> = probe
+                    .iter()
+                    .zip(&base)
+                    .map(|(&p, &b)| 2.0 * p - b)
+                    .collect();
+                let pattern = domain.project(&pattern);
+                let f_pattern_start = f.eval_penalized(&pattern);
+                let (pat_probe, f_pat) =
+                    explore(&f, domain, &pattern, f_pattern_start, &steps);
+                if f_pat < f_probe {
+                    base = pat_probe;
+                    f_base = f_pat;
+                } else {
+                    base = probe;
+                    f_base = f_probe;
+                }
+            } else {
+                // Stuck: halve steps.
+                for s in steps.iter_mut() {
+                    *s *= 0.5;
+                }
+                if steps.iter().zip(&min_step).all(|(s, m)| s < m) {
+                    termination = TerminationReason::Converged;
+                    break;
+                }
+            }
+            if self.record_trace {
+                trace.push(TracePoint {
+                    iteration: iterations,
+                    evaluations: f.count(),
+                    best_value: f_base,
+                });
+            }
+        }
+
+        if !f_base.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: f.count(),
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: base,
+            best_value: f_base,
+            evaluations: f.count(),
+            iterations,
+            termination,
+            trace,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "hooke-jeeves"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns::{booth, rosenbrock, sphere};
+
+    #[test]
+    fn solves_quadratics() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+        let out = HookeJeeves::default().minimize(&booth, &domain).unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn makes_good_progress_on_rosenbrock() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = HookeJeeves::default()
+            .minimize(&rosenbrock, &domain)
+            .unwrap();
+        // Pattern search crawls along the valley; close is good enough here.
+        assert!(out.best_value < 1e-3, "best = {}", out.best_value);
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        let domain = BoxDomain::from_bounds(&[(1.0, 3.0)]).unwrap();
+        let out = HookeJeeves::default()
+            .minimize(&|x: &[f64]| x[0] * x[0], &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stays_inside_domain() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let d2 = domain.clone();
+        let f = move |x: &[f64]| {
+            assert!(d2.contains(x));
+            sphere(x)
+        };
+        HookeJeeves::default().minimize(&f, &domain).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(HookeJeeves::default()
+            .initial_step(0.0)
+            .minimize(&sphere, &domain)
+            .is_err());
+        assert!(HookeJeeves::default()
+            .initial_step(2.0)
+            .minimize(&sphere, &domain)
+            .is_err());
+        assert!(HookeJeeves::default()
+            .start(vec![0.1, 0.2])
+            .minimize(&sphere, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn start_point_is_projected() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let out = HookeJeeves::default()
+            .start(vec![100.0])
+            .minimize(&|x: &[f64]| (x[0] - 0.5).powi(2), &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+//! Multi-start wrapper: restart any local minimizer from scattered
+//! starting points and keep the best result.
+//!
+//! The practical recipe for the paper's setting — cost surfaces are cheap
+//! to evaluate and low-dimensional, so a handful of Nelder–Mead runs from
+//! a deterministic low-discrepancy scatter reliably finds the global
+//! optimum without the tuning burden of the stochastic methods.
+
+use crate::domain::BoxDomain;
+use crate::nelder_mead::NelderMead;
+use crate::{
+    Minimizer, Objective, OptimError, OptimizationOutcome, Result, TerminationReason,
+};
+
+/// Multi-start wrapper around an inner [`Minimizer`].
+///
+/// Start points: the domain center plus points of a deterministic
+/// low-discrepancy sequence (Halton bases 2 and 3, extended per
+/// dimension), so results are reproducible without an RNG.
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::multistart::MultiStart;
+/// use safety_opt_optim::nelder_mead::NelderMead;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)])?;
+/// let ms = MultiStart::new(NelderMead::default(), 8);
+/// let out = ms.minimize(&safety_opt_optim::testfns::himmelblau, &domain)?;
+/// assert!(out.best_value < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiStart<M> {
+    inner: M,
+    starts: usize,
+}
+
+impl Default for MultiStart<NelderMead> {
+    /// Eight Nelder–Mead restarts — a solid general-purpose default.
+    fn default() -> Self {
+        Self {
+            inner: NelderMead::default(),
+            starts: 8,
+        }
+    }
+}
+
+impl<M> MultiStart<M> {
+    /// Wraps `inner`, running it from `starts` different start points.
+    pub fn new(inner: M, starts: usize) -> Self {
+        Self { inner, starts }
+    }
+
+    /// The wrapped minimizer.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Number of restarts.
+    pub fn starts(&self) -> usize {
+        self.starts
+    }
+}
+
+/// `i`-th element of the van-der-Corput sequence in `base`.
+fn van_der_corput(mut i: usize, base: usize) -> f64 {
+    let mut q = 0.0;
+    let mut bk = 1.0 / base as f64;
+    while i > 0 {
+        q += (i % base) as f64 * bk;
+        i /= base;
+        bk /= base as f64;
+    }
+    q
+}
+
+const PRIMES: [usize; 8] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// `k`-th Halton point in `dim` dimensions (unit cube).
+fn halton(k: usize, dim: usize) -> Vec<f64> {
+    (0..dim)
+        .map(|d| van_der_corput(k + 1, PRIMES[d % PRIMES.len()]))
+        .collect()
+}
+
+/// Trait bound alias: MultiStart works with any minimizer that accepts a
+/// start point. We restart by constraining the domain is not possible in
+/// general, so we instead pass start points through the supported
+/// interface: minimizers expose `start(Vec<f64>)` builders. To stay
+/// object-friendly, `MultiStart` is generic over a factory closure.
+impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        if self.starts == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "starts",
+                requirement: "must be >= 1",
+            });
+        }
+        let mut best: Option<OptimizationOutcome> = None;
+        let mut total_evals = 0;
+        let mut total_iters = 0;
+        let mut any_converged = false;
+        for k in 0..self.starts {
+            let x0: Vec<f64> = if k == 0 {
+                domain.center()
+            } else {
+                halton(k - 1, domain.dim())
+                    .into_iter()
+                    .enumerate()
+                    .map(|(d, t)| domain.interval(d).lerp(t))
+                    .collect()
+            };
+            let run = self.inner.clone().with_start(x0).minimize(objective, domain);
+            let run = match run {
+                Ok(r) => r,
+                Err(OptimError::NoFiniteValue { evaluations }) => {
+                    total_evals += evaluations;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            total_evals += run.evaluations;
+            total_iters += run.iterations;
+            any_converged |= run.converged();
+            if best
+                .as_ref()
+                .map(|b| run.best_value < b.best_value)
+                .unwrap_or(true)
+            {
+                best = Some(run);
+            }
+        }
+        let mut best = best.ok_or(OptimError::NoFiniteValue {
+            evaluations: total_evals,
+        })?;
+        best.evaluations = total_evals;
+        best.iterations = total_iters;
+        best.termination = if any_converged {
+            TerminationReason::Converged
+        } else {
+            TerminationReason::MaxIterations
+        };
+        Ok(best)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-start"
+    }
+}
+
+/// Minimizers that accept an explicit start point.
+///
+/// Implemented by the local methods of this crate so [`MultiStart`] can
+/// scatter them; implement it for your own [`Minimizer`] to make it
+/// multi-startable.
+pub trait StartablePoint {
+    /// Returns a copy configured to start at `x0`.
+    fn with_start(self, x0: Vec<f64>) -> Self;
+}
+
+impl StartablePoint for NelderMead {
+    fn with_start(self, x0: Vec<f64>) -> Self {
+        self.start(x0)
+    }
+}
+
+impl StartablePoint for crate::hooke_jeeves::HookeJeeves {
+    fn with_start(self, x0: Vec<f64>) -> Self {
+        self.start(x0)
+    }
+}
+
+impl StartablePoint for crate::gradient::GradientDescent {
+    fn with_start(self, x0: Vec<f64>) -> Self {
+        self.start(x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::GradientDescent;
+    use crate::testfns::{himmelblau, rastrigin};
+
+    #[test]
+    fn halton_points_fill_unit_cube() {
+        for k in 0..32 {
+            let p = halton(k, 3);
+            assert_eq!(p.len(), 3);
+            assert!(p.iter().all(|&t| (0.0..1.0).contains(&t)), "{p:?}");
+        }
+        // First base-2 points: 1/2, 1/4, 3/4, ...
+        assert!((halton(0, 1)[0] - 0.5).abs() < 1e-12);
+        assert!((halton(1, 1)[0] - 0.25).abs() < 1e-12);
+        assert!((halton(2, 1)[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_global_minimum_among_himmelblau_basins() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = MultiStart::default().minimize(&himmelblau, &domain).unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+    }
+
+    #[test]
+    fn beats_single_start_on_rastrigin() {
+        let domain = BoxDomain::from_bounds(&[(-5.12, 5.12), (-5.12, 5.12)]).unwrap();
+        let single = NelderMead::default()
+            .start(vec![3.0, 3.0])
+            .minimize(&rastrigin, &domain)
+            .unwrap();
+        let multi = MultiStart::new(NelderMead::default(), 16)
+            .minimize(&rastrigin, &domain)
+            .unwrap();
+        assert!(multi.best_value <= single.best_value + 1e-9);
+        assert!(multi.best_value < 2.0, "multi best = {}", multi.best_value);
+    }
+
+    #[test]
+    fn works_with_gradient_descent() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = MultiStart::new(GradientDescent::default(), 4)
+            .minimize(&crate::testfns::booth, &domain)
+            .unwrap();
+        assert!(out.best_value < 1e-8);
+    }
+
+    #[test]
+    fn aggregates_evaluation_counts() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let single = NelderMead::default()
+            .minimize(&crate::testfns::sphere, &domain)
+            .unwrap();
+        let multi = MultiStart::new(NelderMead::default(), 4)
+            .minimize(&crate::testfns::sphere, &domain)
+            .unwrap();
+        assert!(multi.evaluations > single.evaluations);
+    }
+
+    #[test]
+    fn zero_starts_is_an_error() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(MultiStart::new(NelderMead::default(), 0)
+            .minimize(&crate::testfns::sphere, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn survives_partial_nan_basins() {
+        // Objective NaN on half the domain; restarts landing there are
+        // skipped, the rest succeed.
+        let domain = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let f = |x: &[f64]| {
+            if x[0] < -0.5 {
+                f64::NAN
+            } else {
+                (x[0] - 0.25).powi(2)
+            }
+        };
+        let out = MultiStart::new(NelderMead::default(), 6)
+            .minimize(&f, &domain)
+            .unwrap();
+        assert!((out.best_x[0] - 0.25).abs() < 1e-5);
+    }
+}

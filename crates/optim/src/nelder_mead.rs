@@ -1,0 +1,412 @@
+//! Nelder–Mead downhill simplex with box constraints.
+//!
+//! The default optimizer of the safety-optimization front-end: derivative
+//! free (cost functions built from deep normal tails have vanishing
+//! gradients almost everywhere, which starves gradient methods), robust,
+//! and fast on the low-dimensional problems safety models produce.
+//! Box constraints are enforced by projecting trial points onto the
+//! domain, which preserves convergence on these landscapes while
+//! guaranteeing no out-of-domain evaluation.
+
+use crate::domain::BoxDomain;
+use crate::{
+    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason, TracePoint,
+};
+
+/// Nelder–Mead configuration (standard coefficients, adaptive by default).
+///
+/// ```
+/// use safety_opt_optim::domain::BoxDomain;
+/// use safety_opt_optim::nelder_mead::NelderMead;
+/// use safety_opt_optim::Minimizer;
+///
+/// # fn main() -> Result<(), safety_opt_optim::OptimError> {
+/// let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)])?;
+/// let out = NelderMead::default().minimize(&safety_opt_optim::testfns::rosenbrock, &domain)?;
+/// assert!((out.best_x[0] - 1.0).abs() < 1e-4);
+/// assert!((out.best_x[1] - 1.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMead {
+    /// Function-value spread tolerance.
+    f_tol: f64,
+    /// Simplex-size tolerance (relative to domain width).
+    x_tol: f64,
+    max_iterations: u64,
+    /// Initial simplex edge length as a fraction of each dimension width.
+    initial_scale: f64,
+    /// Optional explicit start point (defaults to the domain center).
+    start: Option<Vec<f64>>,
+    record_trace: bool,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self {
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            max_iterations: 2000,
+            initial_scale: 0.10,
+            start: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Creates a minimizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the function-value spread tolerance.
+    pub fn f_tol(mut self, tol: f64) -> Self {
+        self.f_tol = tol;
+        self
+    }
+
+    /// Sets the simplex-diameter tolerance (relative to the domain width).
+    pub fn x_tol(mut self, tol: f64) -> Self {
+        self.x_tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the initial simplex edge as a fraction of the domain width per
+    /// dimension (default 0.10).
+    pub fn initial_scale(mut self, s: f64) -> Self {
+        self.initial_scale = s;
+        self
+    }
+
+    /// Starts the simplex around `x0` instead of the domain center.
+    pub fn start(mut self, x0: Vec<f64>) -> Self {
+        self.start = Some(x0);
+        self
+    }
+
+    /// Records a best-so-far trace point per iteration.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    fn validate(&self, domain: &BoxDomain) -> Result<()> {
+        for (option, v) in [("f_tol", self.f_tol), ("x_tol", self.x_tol)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(OptimError::InvalidConfig {
+                    option,
+                    requirement: "must be finite and > 0",
+                });
+            }
+        }
+        if !(self.initial_scale.is_finite() && self.initial_scale > 0.0 && self.initial_scale <= 1.0)
+        {
+            return Err(OptimError::InvalidConfig {
+                option: "initial_scale",
+                requirement: "must lie in (0, 1]",
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "max_iterations",
+                requirement: "must be >= 1",
+            });
+        }
+        if let Some(x0) = &self.start {
+            if x0.len() != domain.dim() {
+                return Err(OptimError::DimensionMismatch {
+                    expected: "start point matching domain dimension",
+                    got: x0.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Minimizer for NelderMead {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate(domain)?;
+        let n = domain.dim();
+        let f = CountingObjective::new(objective);
+
+        // Adaptive coefficients (Gao & Han 2012) help in higher dimensions.
+        let nf = n as f64;
+        let alpha = 1.0;
+        let beta = 1.0 + 2.0 / nf; // expansion
+        let gamma = 0.75 - 1.0 / (2.0 * nf); // contraction
+        let delta = 1.0 - 1.0 / nf.max(2.0); // shrink
+
+        // Initial simplex: start point plus one vertex per dimension.
+        let x0 = match &self.start {
+            Some(p) => domain.project(p),
+            None => domain.center(),
+        };
+        let widths = domain.widths();
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.clone());
+        for i in 0..n {
+            let mut v = x0.clone();
+            let step = self.initial_scale * widths[i];
+            // Step towards whichever side has room.
+            let iv = domain.interval(i);
+            v[i] = if v[i] + step <= iv.hi() {
+                v[i] + step
+            } else {
+                v[i] - step
+            };
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|v| f.eval_penalized(v)).collect();
+
+        let mut trace = Vec::new();
+        let mut iterations = 0;
+        let mut termination = TerminationReason::MaxIterations;
+        let domain_scale = domain.max_width();
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            // Order vertices by value.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            // Convergence: value spread and simplex diameter.
+            let spread = values[worst] - values[best];
+            let diameter = simplex
+                .iter()
+                .flat_map(|v| {
+                    simplex[best]
+                        .iter()
+                        .zip(v)
+                        .map(|(a, b)| (a - b).abs())
+                })
+                .fold(0.0, f64::max);
+            if (spread.is_finite() && spread <= self.f_tol)
+                || diameter <= self.x_tol * domain_scale
+            {
+                termination = TerminationReason::Converged;
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (i, v) in simplex.iter().enumerate() {
+                if i == worst {
+                    continue;
+                }
+                for (c, &vi) in centroid.iter_mut().zip(v) {
+                    *c += vi / nf;
+                }
+            }
+
+            let project_combine = |t: f64| -> Vec<f64> {
+                let p: Vec<f64> = centroid
+                    .iter()
+                    .zip(&simplex[worst])
+                    .map(|(&c, &w)| c + t * (c - w))
+                    .collect();
+                domain.project(&p)
+            };
+
+            // Reflection.
+            let xr = project_combine(alpha);
+            let fr = f.eval_penalized(&xr);
+            if fr < values[best] {
+                // Expansion.
+                let xe = project_combine(beta);
+                let fe = f.eval_penalized(&xe);
+                if fe < fr {
+                    simplex[worst] = xe;
+                    values[worst] = fe;
+                } else {
+                    simplex[worst] = xr;
+                    values[worst] = fr;
+                }
+            } else if fr < values[second_worst] {
+                simplex[worst] = xr;
+                values[worst] = fr;
+            } else {
+                // Contraction (outside if the reflection helped at all).
+                let (xc, fc) = if fr < values[worst] {
+                    let xc = project_combine(gamma);
+                    let fc = f.eval_penalized(&xc);
+                    (xc, fc)
+                } else {
+                    let xc = project_combine(-gamma);
+                    let fc = f.eval_penalized(&xc);
+                    (xc, fc)
+                };
+                if fc < values[worst].min(fr) {
+                    simplex[worst] = xc;
+                    values[worst] = fc;
+                } else {
+                    // Shrink towards the best vertex.
+                    let best_point = simplex[best].clone();
+                    for (i, v) in simplex.iter_mut().enumerate() {
+                        if i == best {
+                            continue;
+                        }
+                        for (vi, &bi) in v.iter_mut().zip(&best_point) {
+                            *vi = bi + delta * (*vi - bi);
+                        }
+                        *v = domain.project(v);
+                        values[i] = f.eval_penalized(v);
+                    }
+                }
+            }
+
+            if self.record_trace {
+                let best_now = values
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                trace.push(TracePoint {
+                    iteration: iterations,
+                    evaluations: f.count(),
+                    best_value: best_now,
+                });
+            }
+        }
+
+        let (best_idx, &best_value) = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("simplex non-empty");
+        if !best_value.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: f.count(),
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: simplex[best_idx].clone(),
+            best_value,
+            evaluations: f.count(),
+            iterations,
+            termination,
+            trace,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfns::{booth, rosenbrock, sphere};
+
+    #[test]
+    fn solves_sphere_in_five_dimensions() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0); 5]).unwrap();
+        let out = NelderMead::default().minimize(&sphere, &domain).unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+    }
+
+    #[test]
+    fn solves_rosenbrock() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = NelderMead::default()
+            .minimize(&rosenbrock, &domain)
+            .unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn respects_start_point() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+        let out = NelderMead::default()
+            .start(vec![1.0, 3.0])
+            .minimize(&booth, &domain)
+            .unwrap();
+        assert!(out.best_value < 1e-10);
+        assert!(out.evaluations < 400);
+    }
+
+    #[test]
+    fn constrained_minimum_on_boundary() {
+        // Unconstrained minimum at (−3, −3); box keeps x ≥ 0 → best is (0, 0).
+        let domain = BoxDomain::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]).unwrap();
+        let f = |x: &[f64]| (x[0] + 3.0).powi(2) + (x[1] + 3.0).powi(2);
+        let out = NelderMead::default().minimize(&f, &domain).unwrap();
+        assert!(out.best_x[0] < 1e-5 && out.best_x[1] < 1e-5, "{:?}", out.best_x);
+    }
+
+    #[test]
+    fn never_leaves_domain() {
+        let domain = BoxDomain::from_bounds(&[(2.0, 5.0), (-1.0, 1.0)]).unwrap();
+        let d2 = domain.clone();
+        let f = move |x: &[f64]| {
+            assert!(d2.contains(x), "evaluated outside domain: {x:?}");
+            sphere(x)
+        };
+        NelderMead::default().minimize(&f, &domain).unwrap();
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = NelderMead::default()
+            .max_iterations(5)
+            .minimize(&rosenbrock, &domain)
+            .unwrap();
+        assert_eq!(out.iterations, 5);
+        assert_eq!(out.termination, TerminationReason::MaxIterations);
+    }
+
+    #[test]
+    fn nan_regions_are_avoided() {
+        // NaN for x < 0: the simplex should still find the minimum at 0.5.
+        let domain = BoxDomain::from_bounds(&[(-2.0, 2.0)]).unwrap();
+        let f = |x: &[f64]| {
+            if x[0] < 0.0 {
+                f64::NAN
+            } else {
+                (x[0] - 0.5).powi(2)
+            }
+        };
+        let out = NelderMead::default().minimize(&f, &domain).unwrap();
+        assert!((out.best_x[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_start_dimension() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(NelderMead::default()
+            .start(vec![0.5, 0.5])
+            .minimize(&sphere, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let out = NelderMead::default()
+            .record_trace(true)
+            .minimize(&rosenbrock, &domain)
+            .unwrap();
+        assert!(!out.trace.is_empty());
+        for w in out.trace.windows(2) {
+            assert!(w[1].best_value <= w[0].best_value + 1e-12);
+        }
+    }
+}

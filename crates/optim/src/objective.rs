@@ -1,0 +1,128 @@
+use std::cell::Cell;
+
+/// An objective function `f : ℝⁿ → ℝ` to minimize.
+///
+/// Implemented for all `Fn(&[f64]) -> f64` closures, so the common case is
+/// simply:
+///
+/// ```
+/// use safety_opt_optim::Objective;
+///
+/// let f = |x: &[f64]| (x[0] - 1.0).powi(2);
+/// assert_eq!(f.eval(&[3.0]), 4.0);
+/// ```
+///
+/// Returning NaN or ±∞ is allowed and means "this point is infeasible";
+/// optimizers treat such points as worse than every finite value.
+pub trait Objective {
+    /// Evaluates the objective at `x`.
+    fn eval(&self, x: &[f64]) -> f64;
+}
+
+impl<F: Fn(&[f64]) -> f64> Objective for F {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self(x)
+    }
+}
+
+impl Objective for dyn Fn(&[f64]) -> f64 + '_ {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self(x)
+    }
+}
+
+/// Wrapper that counts evaluations of an inner objective.
+///
+/// Every algorithm in this crate reports evaluation counts through its
+/// [`OptimizationOutcome`](crate::OptimizationOutcome); `CountingObjective`
+/// is also exported for callers who want to meter objectives across
+/// multiple optimizer runs (e.g. the benchmark harness's
+/// evaluations-per-algorithm table).
+///
+/// ```
+/// use safety_opt_optim::{CountingObjective, Objective};
+///
+/// let f = |x: &[f64]| x[0] * x[0];
+/// let counted = CountingObjective::new(&f);
+/// counted.eval(&[1.0]);
+/// counted.eval(&[2.0]);
+/// assert_eq!(counted.count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CountingObjective<'a> {
+    inner: &'a dyn Objective,
+    count: Cell<u64>,
+}
+
+impl<'a> CountingObjective<'a> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a dyn Objective) -> Self {
+        Self {
+            inner,
+            count: Cell::new(0),
+        }
+    }
+
+    /// Number of evaluations so far.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Evaluates and maps non-finite results to `f64::INFINITY` so that
+    /// comparisons stay total.
+    pub fn eval_penalized(&self, x: &[f64]) -> f64 {
+        let v = self.eval(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl Objective for CountingObjective<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.count.set(self.count.get() + 1);
+        self.inner.eval(x)
+    }
+}
+
+impl std::fmt::Debug for dyn Objective + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Objective")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_objective() {
+        fn takes_dyn(f: &dyn Objective) -> f64 {
+            f.eval(&[2.0, 3.0])
+        }
+        let f = |x: &[f64]| x[0] + x[1];
+        assert_eq!(takes_dyn(&f), 5.0);
+    }
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let f = |x: &[f64]| x[0];
+        let c = CountingObjective::new(&f);
+        assert_eq!(c.count(), 0);
+        for i in 0..7 {
+            c.eval(&[i as f64]);
+        }
+        assert_eq!(c.count(), 7);
+    }
+
+    #[test]
+    fn penalized_eval_maps_non_finite_to_infinity() {
+        let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { x[0] };
+        let c = CountingObjective::new(&f);
+        assert_eq!(c.eval_penalized(&[-1.0]), f64::INFINITY);
+        assert_eq!(c.eval_penalized(&[4.0]), 4.0);
+        assert_eq!(c.count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+use serde::{Deserialize, Serialize};
+
+/// Why an optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TerminationReason {
+    /// Function-value or simplex/step-size tolerance was reached.
+    Converged,
+    /// The iteration budget ran out before the tolerance was met.
+    MaxIterations,
+    /// Every point of an exhaustive method (grid search) was visited.
+    Exhausted,
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TerminationReason::Converged => "converged",
+            TerminationReason::MaxIterations => "max iterations reached",
+            TerminationReason::Exhausted => "domain exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of an optimization trace: the best-so-far after an iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Iteration index (algorithm-specific granularity).
+    pub iteration: u64,
+    /// Cumulative objective evaluations at this point.
+    pub evaluations: u64,
+    /// Best objective value found so far.
+    pub best_value: f64,
+}
+
+/// The result of a minimization run.
+///
+/// `best_x`/`best_value` always describe a point that was actually
+/// evaluated inside the domain. `converged()` distinguishes a tolerance
+/// stop from a budget stop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationOutcome {
+    /// Argument of the best evaluated point.
+    pub best_x: Vec<f64>,
+    /// Objective value at [`best_x`](Self::best_x).
+    pub best_value: f64,
+    /// Total objective evaluations.
+    pub evaluations: u64,
+    /// Algorithm iterations (outer loop count).
+    pub iterations: u64,
+    /// Why the run stopped.
+    pub termination: TerminationReason,
+    /// Optional per-iteration convergence trace (empty unless the
+    /// algorithm was configured to record one).
+    pub trace: Vec<TracePoint>,
+}
+
+impl OptimizationOutcome {
+    /// `true` if the run stopped because a tolerance was met (or the
+    /// domain was fully enumerated), rather than by exhausting budget.
+    pub fn converged(&self) -> bool {
+        matches!(
+            self.termination,
+            TerminationReason::Converged | TerminationReason::Exhausted
+        )
+    }
+}
+
+impl std::fmt::Display for OptimizationOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "f* = {:.6e} at {:?} ({} evals, {} iters, {})",
+            self.best_value, self.best_x, self.evaluations, self.iterations, self.termination
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_classification() {
+        let mk = |t| OptimizationOutcome {
+            best_x: vec![0.0],
+            best_value: 0.0,
+            evaluations: 1,
+            iterations: 1,
+            termination: t,
+            trace: Vec::new(),
+        };
+        assert!(mk(TerminationReason::Converged).converged());
+        assert!(mk(TerminationReason::Exhausted).converged());
+        assert!(!mk(TerminationReason::MaxIterations).converged());
+    }
+
+    #[test]
+    fn display_mentions_value_and_reason() {
+        let o = OptimizationOutcome {
+            best_x: vec![1.0, 2.0],
+            best_value: 0.125,
+            evaluations: 10,
+            iterations: 3,
+            termination: TerminationReason::Converged,
+            trace: Vec::new(),
+        };
+        let s = o.to_string();
+        assert!(s.contains("1.25"));
+        assert!(s.contains("converged"));
+    }
+}

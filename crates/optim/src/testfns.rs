@@ -1,0 +1,95 @@
+//! Standard optimization test functions.
+//!
+//! Shared by the unit tests, property tests, and the benchmark harness so
+//! that every optimizer is exercised on the same well-understood
+//! landscapes. All functions accept any dimensionality unless noted.
+
+/// Sphere function `Σ xᵢ²` — convex, minimum 0 at the origin.
+pub fn sphere(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Rosenbrock's banana `Σ 100 (x_{i+1} − xᵢ²)² + (1 − xᵢ)²` —
+/// narrow curved valley, minimum 0 at `(1, …, 1)`.
+pub fn rosenbrock(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+        .sum()
+}
+
+/// Rastrigin's function `10 n + Σ xᵢ² − 10 cos(2π xᵢ)` — highly
+/// multimodal, global minimum 0 at the origin.
+pub fn rastrigin(x: &[f64]) -> f64 {
+    10.0 * x.len() as f64
+        + x.iter()
+            .map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+            .sum::<f64>()
+}
+
+/// Himmelblau's function (2-D only) — four global minima of value 0.
+///
+/// # Panics
+///
+/// Panics if `x.len() != 2`.
+pub fn himmelblau(x: &[f64]) -> f64 {
+    assert_eq!(x.len(), 2, "himmelblau is 2-D");
+    (x[0] * x[0] + x[1] - 11.0).powi(2) + (x[0] + x[1] * x[1] - 7.0).powi(2)
+}
+
+/// A smooth asymmetric 1-D unimodal function with minimum at `x = 2`:
+/// `(x − 2)² + 0.5 (x − 2)⁴`.
+pub fn unimodal_1d(x: &[f64]) -> f64 {
+    let d = x[0] - 2.0;
+    d * d + 0.5 * d.powi(4)
+}
+
+/// Booth function (2-D only) — convex-ish bowl, minimum 0 at `(1, 3)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != 2`.
+pub fn booth(x: &[f64]) -> f64 {
+    assert_eq!(x.len(), 2, "booth is 2-D");
+    (x[0] + 2.0 * x[1] - 7.0).powi(2) + (2.0 * x[0] + x[1] - 5.0).powi(2)
+}
+
+/// A cost-function-shaped landscape mimicking the Elbtunnel tradeoff:
+/// a steep decreasing tail-probability term plus a slowly increasing
+/// exposure term, per dimension. Minimum near `t ≈ 20`, strictly inside
+/// `[5, 30]ⁿ`.
+pub fn safety_tradeoff(x: &[f64]) -> f64 {
+    x.iter()
+        .map(|&t| 1e5 * (-(t - 4.0)).exp() + (1.0 - (-0.13 * t).exp()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minima_are_where_advertised() {
+        assert_eq!(sphere(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(rosenbrock(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(rastrigin(&[0.0, 0.0]), 0.0);
+        assert!(himmelblau(&[3.0, 2.0]).abs() < 1e-12);
+        assert_eq!(unimodal_1d(&[2.0]), 0.0);
+        assert_eq!(booth(&[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn functions_are_positive_away_from_minima() {
+        assert!(sphere(&[1.0]) > 0.0);
+        assert!(rosenbrock(&[0.0, 0.0]) > 0.0);
+        assert!(rastrigin(&[0.5]) > 0.0);
+        assert!(unimodal_1d(&[3.0]) > 0.0);
+    }
+
+    #[test]
+    fn safety_tradeoff_has_interior_minimum() {
+        // Value at both boundary points exceeds the interior value.
+        let interior = safety_tradeoff(&[20.0]);
+        assert!(safety_tradeoff(&[5.0]) > interior);
+        assert!(safety_tradeoff(&[30.0]) > interior);
+    }
+}

@@ -1,0 +1,134 @@
+use std::fmt;
+
+/// Error type for safety-optimization operations.
+///
+/// Wraps the substrate errors (statistics, optimization, FTA) and adds
+/// model-level failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SafeOptError {
+    /// A parameter name was declared twice in one space.
+    DuplicateParameter {
+        /// The offending name.
+        name: String,
+    },
+    /// A parameter name or id was not found in the space.
+    UnknownParameter {
+        /// The requested name/id.
+        reference: String,
+    },
+    /// A parameter point had the wrong dimensionality for its space.
+    DimensionMismatch {
+        /// Expected dimensionality (the space's).
+        expected: usize,
+        /// Supplied dimensionality.
+        got: usize,
+    },
+    /// A probability expression produced a value outside `[0, 1]`.
+    InvalidProbability {
+        /// The expression's label.
+        expression: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The model has no hazards — nothing to optimize.
+    EmptyModel,
+    /// A hazard cost was negative or non-finite.
+    InvalidCost {
+        /// Hazard name.
+        hazard: String,
+        /// The rejected cost.
+        value: f64,
+    },
+    /// Underlying statistics error.
+    Stats(safety_opt_stats::StatsError),
+    /// Underlying optimization error.
+    Optim(safety_opt_optim::OptimError),
+    /// Underlying fault-tree error.
+    Fta(safety_opt_fta::FtaError),
+}
+
+impl fmt::Display for SafeOptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafeOptError::DuplicateParameter { name } => {
+                write!(f, "duplicate parameter {name:?}")
+            }
+            SafeOptError::UnknownParameter { reference } => {
+                write!(f, "unknown parameter {reference:?}")
+            }
+            SafeOptError::DimensionMismatch { expected, got } => {
+                write!(f, "parameter point has {got} values, space has {expected}")
+            }
+            SafeOptError::InvalidProbability { expression, value } => {
+                write!(f, "expression {expression:?} produced probability {value}")
+            }
+            SafeOptError::EmptyModel => write!(f, "safety model has no hazards"),
+            SafeOptError::InvalidCost { hazard, value } => {
+                write!(f, "invalid cost {value} for hazard {hazard:?}")
+            }
+            SafeOptError::Stats(e) => write!(f, "statistics error: {e}"),
+            SafeOptError::Optim(e) => write!(f, "optimization error: {e}"),
+            SafeOptError::Fta(e) => write!(f, "fault-tree error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SafeOptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SafeOptError::Stats(e) => Some(e),
+            SafeOptError::Optim(e) => Some(e),
+            SafeOptError::Fta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<safety_opt_stats::StatsError> for SafeOptError {
+    fn from(e: safety_opt_stats::StatsError) -> Self {
+        SafeOptError::Stats(e)
+    }
+}
+
+impl From<safety_opt_optim::OptimError> for SafeOptError {
+    fn from(e: safety_opt_optim::OptimError) -> Self {
+        SafeOptError::Optim(e)
+    }
+}
+
+impl From<safety_opt_fta::FtaError> for SafeOptError {
+    fn from(e: safety_opt_fta::FtaError) -> Self {
+        SafeOptError::Fta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_wrapped_errors() {
+        let e = SafeOptError::from(safety_opt_optim::OptimError::EmptyDomain);
+        assert!(e.to_string().contains("optimization error"));
+        let e = SafeOptError::from(safety_opt_fta::FtaError::NoRoot);
+        assert!(e.to_string().contains("fault-tree error"));
+    }
+
+    #[test]
+    fn source_chains_to_substrate() {
+        use std::error::Error;
+        let e = SafeOptError::from(safety_opt_stats::StatsError::InvalidProbability {
+            value: 2.0,
+        });
+        assert!(e.source().is_some());
+        let e = SafeOptError::EmptyModel;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SafeOptError>();
+    }
+}

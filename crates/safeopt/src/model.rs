@@ -1,0 +1,434 @@
+//! Safety models: hazards as parameterized minimal cut sets, plus costs.
+//!
+//! A [`Hazard`] holds the minimal cut sets of one top event, each cut set
+//! being a *product of parameterized probability factors* — primary
+//! failures and constraint probabilities alike (paper Eq. 2). A
+//! [`SafetyModel`] combines several hazards over one
+//! [`crate::param::ParameterSpace`] and attaches the cost
+//! weight of each hazard, yielding the cost function of Eqs. 5–6.
+//!
+//! Hazards can be written down directly (as the paper's Sect. IV-B does
+//! after FTA identified the cut sets) or derived from an explicit
+//! [`FaultTree`] via [`Hazard::from_fault_tree`], which runs the cut-set
+//! engine and substitutes a [`ProbExpr`] per leaf.
+
+use crate::param::{ParamValues, ParameterSpace};
+use crate::pprob::ProbExpr;
+use crate::{Result, SafeOptError};
+use safety_opt_fta::tree::FaultTree;
+use std::sync::Arc;
+
+/// One parameterized (minimal) cut set: the hazard fires if all factors
+/// "happen"; its probability is the product of the factor probabilities.
+#[derive(Debug, Clone)]
+pub struct ModelCutSet {
+    name: String,
+    factors: Vec<ProbExpr>,
+}
+
+impl ModelCutSet {
+    /// Creates a cut set from its factors.
+    pub fn new(name: impl Into<String>, factors: impl IntoIterator<Item = ProbExpr>) -> Self {
+        Self {
+            name: name.into(),
+            factors: factors.into_iter().collect(),
+        }
+    }
+
+    /// The cut set's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The probability factors.
+    pub fn factors(&self) -> &[ProbExpr] {
+        &self.factors
+    }
+
+    /// Evaluates `∏ factors` at a parameter point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-evaluation errors.
+    pub fn probability(&self, params: &ParamValues<'_>) -> Result<f64> {
+        let mut p = 1.0;
+        for f in &self.factors {
+            p *= f.eval(params)?;
+        }
+        Ok(p)
+    }
+}
+
+/// A hazard: a named top event with its parameterized minimal cut sets.
+///
+/// The hazard probability is the paper's Eq. 3 rare-event sum
+/// `P(H)(X) = Σ_MCS P(MCS)(X)` (clamped to 1).
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    name: String,
+    cut_sets: Vec<ModelCutSet>,
+}
+
+impl Hazard {
+    /// Starts building a hazard.
+    pub fn builder(name: impl Into<String>) -> HazardBuilder {
+        HazardBuilder {
+            name: name.into(),
+            cut_sets: Vec::new(),
+        }
+    }
+
+    /// The hazard's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameterized cut sets.
+    pub fn cut_sets(&self) -> &[ModelCutSet] {
+        &self.cut_sets
+    }
+
+    /// Hazard probability at a parameter point (Eq. 3 / rare-event sum,
+    /// clamped into `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-evaluation errors.
+    pub fn probability(&self, params: &ParamValues<'_>) -> Result<f64> {
+        let mut sum = 0.0;
+        for cs in &self.cut_sets {
+            sum += cs.probability(params)?;
+        }
+        Ok(sum.min(1.0))
+    }
+
+    /// Builds a hazard from a fault tree: runs the minimal-cut-set engine
+    /// and substitutes `leaf_expr(leaf_index)` for every leaf — the
+    /// *"all instances of failure probabilities are substituted with the
+    /// according function"* step of Sect. II-D.2.
+    ///
+    /// # Errors
+    ///
+    /// Fault-tree errors (no root, budget), or whatever `leaf_expr`
+    /// returns as `Err` for a leaf it cannot map.
+    pub fn from_fault_tree(
+        tree: &FaultTree,
+        mut leaf_expr: impl FnMut(usize) -> Result<ProbExpr>,
+    ) -> Result<Self> {
+        let mcs = safety_opt_fta::mcs::bottom_up(tree)?;
+        let mut cut_sets = Vec::with_capacity(mcs.len());
+        for cs in mcs.iter() {
+            let mut factors = Vec::with_capacity(cs.order());
+            for leaf in cs.iter() {
+                factors.push(leaf_expr(leaf)?);
+            }
+            let names = cs.names(tree).join(" & ");
+            cut_sets.push(ModelCutSet::new(names, factors));
+        }
+        Ok(Self {
+            name: tree.name().to_owned(),
+            cut_sets,
+        })
+    }
+}
+
+/// Builder for [`Hazard`].
+#[derive(Debug)]
+pub struct HazardBuilder {
+    name: String,
+    cut_sets: Vec<ModelCutSet>,
+}
+
+impl HazardBuilder {
+    /// Adds a cut set given its probability factors.
+    pub fn cut_set(
+        mut self,
+        name: impl Into<String>,
+        factors: impl IntoIterator<Item = ProbExpr>,
+    ) -> Self {
+        self.cut_sets.push(ModelCutSet::new(name, factors));
+        self
+    }
+
+    /// Adds a constant residual term — the paper's `P_const` buckets that
+    /// accumulate the cut sets not modelled in detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`; residuals are literals supplied
+    /// by the model author, so this is a programming error, not input.
+    pub fn residual(self, name: impl Into<String>, p: f64) -> Self {
+        let c = crate::pprob::constant(p).expect("residual probability must be in [0, 1]");
+        self.cut_set(name, [c])
+    }
+
+    /// Finalizes the hazard.
+    pub fn build(self) -> Hazard {
+        Hazard {
+            name: self.name,
+            cut_sets: self.cut_sets,
+        }
+    }
+}
+
+/// A complete safety model: hazards with cost weights over one parameter
+/// space. Implements the paper's cost function (Eq. 6)
+/// `f_cost(X) = Σ Cost_i · P(Hᵢ)(X)`.
+#[derive(Debug, Clone)]
+pub struct SafetyModel {
+    space: Arc<ParameterSpace>,
+    hazards: Vec<Hazard>,
+    costs: Vec<f64>,
+}
+
+impl SafetyModel {
+    /// Creates an empty model over `space`.
+    pub fn new(space: ParameterSpace) -> Self {
+        Self {
+            space: Arc::new(space),
+            hazards: Vec::new(),
+            costs: Vec::new(),
+        }
+    }
+
+    /// Adds a hazard with its cost weight (cost per occurrence, in
+    /// whatever currency the model uses — the paper weighs a collision at
+    /// 100 000 false alarms).
+    pub fn hazard(mut self, hazard: Hazard, cost: f64) -> Self {
+        self.hazards.push(hazard);
+        self.costs.push(cost);
+        self
+    }
+
+    /// The parameter space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Shared handle to the parameter space.
+    pub fn space_arc(&self) -> Arc<ParameterSpace> {
+        Arc::clone(&self.space)
+    }
+
+    /// The hazards in insertion order.
+    pub fn hazards(&self) -> &[Hazard] {
+        &self.hazards
+    }
+
+    /// The cost weights, aligned with [`hazards`](Self::hazards).
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Validates the model: non-empty, sane costs, and evaluable at the
+    /// domain center.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::EmptyModel`], [`SafeOptError::InvalidCost`], or any
+    /// evaluation error at the center point.
+    pub fn validate(&self) -> Result<()> {
+        if self.hazards.is_empty() {
+            return Err(SafeOptError::EmptyModel);
+        }
+        for (h, &c) in self.hazards.iter().zip(&self.costs) {
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(SafeOptError::InvalidCost {
+                    hazard: h.name().to_owned(),
+                    value: c,
+                });
+            }
+        }
+        let center = self.space.center();
+        self.cost(&center)?;
+        Ok(())
+    }
+
+    /// All hazard probabilities at a parameter point.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points and
+    /// factor-evaluation errors.
+    pub fn hazard_probabilities(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.space.len() {
+            return Err(SafeOptError::DimensionMismatch {
+                expected: self.space.len(),
+                got: x.len(),
+            });
+        }
+        let params = ParamValues::new(x);
+        self.hazards
+            .iter()
+            .map(|h| h.probability(&params))
+            .collect()
+    }
+
+    /// The cost function `f_cost(X)` (Eq. 6).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`hazard_probabilities`](Self::hazard_probabilities).
+    pub fn cost(&self, x: &[f64]) -> Result<f64> {
+        let probs = self.hazard_probabilities(x)?;
+        Ok(probs
+            .iter()
+            .zip(&self.costs)
+            .map(|(p, c)| p * c)
+            .sum())
+    }
+
+    /// The cost function as an optimization objective. Evaluation errors
+    /// (which can only arise from expression bugs, not from in-domain
+    /// points) surface as `+∞`, which every optimizer in
+    /// [`safety_opt_optim`] treats as "worse than anything".
+    pub fn objective(&self) -> impl Fn(&[f64]) -> f64 + '_ {
+        move |x: &[f64]| self.cost(x).unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{constant, exposure, overtime};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn two_hazard_model() -> SafetyModel {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter("t2", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let collision = Hazard::builder("collision")
+            .residual("other", 1e-8)
+            .cut_set("ot1", [constant(0.01).unwrap(), overtime(transit, t1)])
+            .cut_set("ot2", [constant(0.01).unwrap(), overtime(transit, t2)])
+            .build();
+        let alarm = Hazard::builder("false-alarm")
+            .residual("other", 1e-4)
+            .cut_set("hv", [constant(1e-3).unwrap(), exposure(0.13, t2)])
+            .build();
+        SafetyModel::new(space)
+            .hazard(collision, 100_000.0)
+            .hazard(alarm, 1.0)
+    }
+
+    #[test]
+    fn hazard_probability_is_rare_event_sum() {
+        let model = two_hazard_model();
+        let probs = model.hazard_probabilities(&[30.0, 30.0]).unwrap();
+        assert_eq!(probs.len(), 2);
+        // At long runtimes overtime ≈ 0: collision ≈ residual.
+        assert!((probs[0] - 1e-8).abs() < 1e-10);
+        // False alarm: residual + 1e-3 · (1 − e^{−3.9}).
+        let expected = 1e-4 + 1e-3 * (1.0 - (-0.13f64 * 30.0).exp());
+        assert!((probs[1] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_weighted_sum() {
+        let model = two_hazard_model();
+        let x = [30.0, 30.0];
+        let probs = model.hazard_probabilities(&x).unwrap();
+        let cost = model.cost(&x).unwrap();
+        assert!((cost - (1e5 * probs[0] + probs[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_tradeoff_creates_interior_optimum() {
+        // Short timers: huge collision risk. Long timers: higher alarm
+        // risk. Some middle point beats both extremes.
+        let model = two_hazard_model();
+        let short = model.cost(&[6.0, 6.0]).unwrap();
+        let long = model.cost(&[30.0, 30.0]).unwrap();
+        let mid = model.cost(&[16.0, 16.0]).unwrap();
+        assert!(mid < short, "mid {mid} vs short {short}");
+        assert!(mid < long, "mid {mid} vs long {long}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let model = two_hazard_model();
+        assert!(matches!(
+            model.cost(&[10.0]),
+            Err(SafeOptError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_empty_and_bad_costs() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let empty = SafetyModel::new(space);
+        assert!(matches!(empty.validate(), Err(SafeOptError::EmptyModel)));
+
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let h = Hazard::builder("h").residual("r", 0.1).build();
+        let bad = SafetyModel::new(space).hazard(h, -5.0);
+        assert!(matches!(
+            bad.validate(),
+            Err(SafeOptError::InvalidCost { .. })
+        ));
+
+        assert!(two_hazard_model().validate().is_ok());
+    }
+
+    #[test]
+    fn hazard_probability_clamps_at_one() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let h = Hazard::builder("h")
+            .residual("a", 0.9)
+            .residual("b", 0.9)
+            .build();
+        let model = SafetyModel::new(space).hazard(h, 1.0);
+        let p = model.hazard_probabilities(&[0.5]).unwrap()[0];
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn from_fault_tree_substitutes_expressions() {
+        // (a AND b) OR c with parameterized c.
+        let mut ft = FaultTree::new("hazard");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let c = ft.basic_event("c").unwrap();
+        let g = ft.and_gate("ab", [a, b]).unwrap();
+        let top = ft.or_gate("top", [g, c]).unwrap();
+        ft.set_root(top).unwrap();
+
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 0.0, 10.0).unwrap();
+        let hazard = Hazard::from_fault_tree(&ft, |leaf| {
+            Ok(match leaf {
+                0 => constant(0.1).unwrap(),
+                1 => constant(0.2).unwrap(),
+                _ => exposure(0.5, t),
+            })
+        })
+        .unwrap();
+        assert_eq!(hazard.cut_sets().len(), 2);
+        let model = SafetyModel::new(space).hazard(hazard, 1.0);
+        let p = model.hazard_probabilities(&[2.0]).unwrap()[0];
+        let expected = 0.1 * 0.2 + (1.0 - (-1.0f64).exp());
+        assert!((p - expected).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn objective_is_total_on_errors() {
+        let model = two_hazard_model();
+        let f = model.objective();
+        // Wrong dimension through the objective → +∞, not a panic.
+        assert_eq!(f(&[1.0]), f64::INFINITY);
+        assert!(f(&[20.0, 20.0]).is_finite());
+    }
+
+    #[test]
+    fn cut_set_describe_names() {
+        let model = two_hazard_model();
+        assert_eq!(model.hazards()[0].cut_sets()[1].name(), "ot1");
+        assert_eq!(model.hazards()[0].name(), "collision");
+    }
+}

@@ -1,0 +1,365 @@
+//! Free parameters and parameter spaces.
+//!
+//! The paper: *"Many real world applications have free parameters, which
+//! influence safety requirements: the tolerance of a speed indicator,
+//! accepted time delay between request and answers or the average
+//! maintenance interval…"* A [`ParameterSpace`] names those parameters and
+//! restricts each to a compact interval (so the cost minimum exists,
+//! Sect. III-B); a [`ParameterPoint`] is one concrete configuration.
+
+use crate::{Result, SafeOptError};
+use safety_opt_optim::domain::{BoxDomain, Interval};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a parameter inside one [`ParameterSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Creates an id from a positional index.
+    ///
+    /// Normally ids come from
+    /// [`ParameterSpace::parameter`](ParameterSpace::parameter); this
+    /// constructor exists for code that evaluates
+    /// [`ProbExpr`](crate::pprob::ProbExpr)s against raw
+    /// [`ParamValues`] slices without a full space (tests, generators).
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Positional index of the parameter within its space.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One named free parameter with its compact domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    name: String,
+    interval: Interval,
+    unit: Option<String>,
+}
+
+impl Parameter {
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compact domain interval.
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// The unit label, if any (e.g. `"min"`).
+    pub fn unit(&self) -> Option<&str> {
+        self.unit.as_deref()
+    }
+}
+
+/// An ordered collection of named parameters.
+///
+/// ```
+/// use safety_opt_core::param::ParameterSpace;
+///
+/// # fn main() -> Result<(), safety_opt_core::SafeOptError> {
+/// let mut space = ParameterSpace::new();
+/// let t1 = space.parameter_with_unit("timer1", 5.0, 30.0, "min")?;
+/// let t2 = space.parameter_with_unit("timer2", 5.0, 30.0, "min")?;
+/// assert_eq!(space.len(), 2);
+/// assert_eq!(space.id("timer2"), Some(t2));
+/// assert_ne!(t1, t2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    params: Vec<Parameter>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParameterSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parameter with domain `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DuplicateParameter`] for repeated names and
+    /// [`SafeOptError::Optim`] for an invalid interval.
+    pub fn parameter(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> Result<ParamId> {
+        self.add(name.into(), lo, hi, None)
+    }
+
+    /// Adds a parameter with a unit label.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`parameter`](Self::parameter).
+    pub fn parameter_with_unit(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        unit: impl Into<String>,
+    ) -> Result<ParamId> {
+        self.add(name.into(), lo, hi, Some(unit.into()))
+    }
+
+    fn add(&mut self, name: String, lo: f64, hi: f64, unit: Option<String>) -> Result<ParamId> {
+        if self.by_name.contains_key(&name) {
+            return Err(SafeOptError::DuplicateParameter { name });
+        }
+        let interval = Interval::new(lo, hi)?;
+        let id = ParamId(self.params.len());
+        self.by_name.insert(name.clone(), id);
+        self.params.push(Parameter {
+            name,
+            interval,
+            unit,
+        });
+        Ok(id)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if no parameters are declared.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The parameter behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this space.
+    pub fn get(&self, id: ParamId) -> &Parameter {
+        &self.params[id.0]
+    }
+
+    /// Iterates parameters in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Parameter)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// The optimization domain: the Cartesian product of the parameter
+    /// intervals.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::Optim`] if the space is empty.
+    pub fn domain(&self) -> Result<BoxDomain> {
+        Ok(BoxDomain::new(
+            self.params.iter().map(|p| p.interval).collect(),
+        )?)
+    }
+
+    /// Wraps raw coordinates as a [`ParameterPoint`] of this space.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] unless `values.len()` matches.
+    pub fn point(self: &Arc<Self>, values: Vec<f64>) -> Result<ParameterPoint> {
+        if values.len() != self.len() {
+            return Err(SafeOptError::DimensionMismatch {
+                expected: self.len(),
+                got: values.len(),
+            });
+        }
+        Ok(ParameterPoint {
+            space: Arc::clone(self),
+            values,
+        })
+    }
+
+    /// The domain center as a starting configuration.
+    pub fn center(&self) -> Vec<f64> {
+        self.params.iter().map(|p| p.interval.center()).collect()
+    }
+}
+
+/// A concrete configuration: one value per parameter of a space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterPoint {
+    space: Arc<ParameterSpace>,
+    values: Vec<f64>,
+}
+
+impl ParameterPoint {
+    /// The owning space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Raw coordinates in declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of the parameter named `name`, if it exists.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.space.id(name).map(|id| self.values[id.0])
+    }
+
+    /// Value by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to the owning space.
+    pub fn value_of(&self, id: ParamId) -> f64 {
+        self.values[id.0]
+    }
+}
+
+impl std::fmt::Display for ParameterPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, (_, p)) in self.space.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {:.4}", p.name(), self.values[i])?;
+            if let Some(u) = p.unit() {
+                write!(f, " {u}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Lightweight view used by probability expressions during evaluation:
+/// raw values addressable by [`ParamId`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParamValues<'a> {
+    values: &'a [f64],
+}
+
+impl<'a> ParamValues<'a> {
+    /// Wraps a raw coordinate slice.
+    pub fn new(values: &'a [f64]) -> Self {
+        Self { values }
+    }
+
+    /// Value of parameter `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::UnknownParameter`] if the id is out of range for
+    /// this point.
+    pub fn get(&self, id: ParamId) -> Result<f64> {
+        self.values
+            .get(id.0)
+            .copied()
+            .ok_or_else(|| SafeOptError::UnknownParameter {
+                reference: format!("#{}", id.0),
+            })
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there are no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_and_looks_up_parameters() {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter_with_unit("t2", 0.0, 1.0, "min").unwrap();
+        assert_eq!(space.len(), 2);
+        assert_eq!(space.id("t1"), Some(t1));
+        assert_eq!(space.id("t2"), Some(t2));
+        assert_eq!(space.id("nope"), None);
+        assert_eq!(space.get(t2).unit(), Some("min"));
+        assert_eq!(space.get(t1).interval().lo(), 5.0);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_intervals() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        assert!(matches!(
+            space.parameter("t", 0.0, 2.0),
+            Err(SafeOptError::DuplicateParameter { .. })
+        ));
+        assert!(matches!(
+            space.parameter("u", 2.0, 1.0),
+            Err(SafeOptError::Optim(_))
+        ));
+    }
+
+    #[test]
+    fn domain_matches_declarations() {
+        let mut space = ParameterSpace::new();
+        space.parameter("a", 0.0, 1.0).unwrap();
+        space.parameter("b", 5.0, 30.0).unwrap();
+        let domain = space.domain().unwrap();
+        assert_eq!(domain.dim(), 2);
+        assert_eq!(domain.interval(1).hi(), 30.0);
+        assert_eq!(space.center(), vec![0.5, 17.5]);
+    }
+
+    #[test]
+    fn empty_space_has_no_domain() {
+        let space = ParameterSpace::new();
+        assert!(space.domain().is_err());
+    }
+
+    #[test]
+    fn point_dimension_checking() {
+        let mut space = ParameterSpace::new();
+        space.parameter("a", 0.0, 1.0).unwrap();
+        let space = Arc::new(space);
+        assert!(space.point(vec![0.5]).is_ok());
+        assert!(matches!(
+            space.point(vec![0.5, 0.6]),
+            Err(SafeOptError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn point_accessors_and_display() {
+        let mut space = ParameterSpace::new();
+        space.parameter_with_unit("timer1", 5.0, 30.0, "min").unwrap();
+        space.parameter("rate", 0.0, 1.0).unwrap();
+        let space = Arc::new(space);
+        let p = space.point(vec![19.0, 0.13]).unwrap();
+        assert_eq!(p.value("timer1"), Some(19.0));
+        assert_eq!(p.value("rate"), Some(0.13));
+        assert_eq!(p.value("nope"), None);
+        let shown = p.to_string();
+        assert!(shown.contains("timer1 = 19.0000 min"));
+    }
+
+    #[test]
+    fn param_values_view() {
+        let values = [1.0, 2.0];
+        let view = ParamValues::new(&values);
+        assert_eq!(view.get(ParamId(1)).unwrap(), 2.0);
+        assert!(view.get(ParamId(5)).is_err());
+        assert_eq!(view.len(), 2);
+    }
+}

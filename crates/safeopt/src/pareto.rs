@@ -1,0 +1,216 @@
+//! Pareto analysis of opposed hazards.
+//!
+//! The paper opens with the observation that safety is "a tradeoff
+//! between different undesired events" — collision risk versus false
+//! alarms can not both be minimized. The weighted cost function resolves
+//! that trade-off with one number (the cost ratio); the Pareto front
+//! *shows* it instead: every configuration on the front is optimal for
+//! *some* cost ratio. Exposing the front lets safety engineers sanity-
+//! check the chosen weights ("is a collision really worth 100 000 false
+//! alarms — and would the answer move the optimum?").
+
+use crate::model::SafetyModel;
+use crate::Result;
+use safety_opt_optim::domain::BoxDomain;
+use safety_opt_optim::grid::GridSearch;
+use serde::{Deserialize, Serialize};
+
+/// One configuration with its hazard probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Parameter values.
+    pub x: Vec<f64>,
+    /// Hazard probabilities (model order).
+    pub objectives: Vec<f64>,
+}
+
+impl ParetoPoint {
+    /// `true` if `self` dominates `other`: no objective is worse and at
+    /// least one is strictly better.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let mut strictly_better = false;
+        for (a, b) in self.objectives.iter().zip(&other.objectives) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+}
+
+/// The Pareto-efficient configurations found by a grid sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFront {
+    /// Non-dominated points, sorted by the first objective.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// Sweeps the model's domain with `points_per_dim` grid lines and
+    /// keeps the non-dominated configurations (hazard probabilities as
+    /// objectives, all minimized).
+    ///
+    /// # Errors
+    ///
+    /// Model-evaluation and domain errors.
+    pub fn compute(model: &SafetyModel, points_per_dim: usize) -> Result<Self> {
+        model.validate()?;
+        let domain: BoxDomain = model.space().domain()?;
+        let grid = GridSearch::new(points_per_dim.max(2));
+        // Evaluate hazard vectors over the lattice. GridSearch::evaluate
+        // wants a scalar objective; enumerate the lattice through it while
+        // computing objectives per point.
+        let f = |_: &[f64]| 0.0; // lattice enumeration only
+        let lattice = grid.evaluate(&f, &domain)?;
+        let mut candidates = Vec::with_capacity(lattice.len());
+        for gp in lattice {
+            let objectives = model.hazard_probabilities(&gp.x)?;
+            candidates.push(ParetoPoint { x: gp.x, objectives });
+        }
+        let mut front: Vec<ParetoPoint> = Vec::new();
+        'outer: for c in candidates {
+            let mut i = 0;
+            while i < front.len() {
+                if front[i].dominates(&c) || front[i].objectives == c.objectives {
+                    continue 'outer;
+                }
+                if c.dominates(&front[i]) {
+                    front.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            front.push(c);
+        }
+        front.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap());
+        Ok(Self { points: front })
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the front is empty (cannot happen for valid models).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The front point minimizing the weighted sum with the given cost
+    /// weights — by construction this matches the cost-function optimum
+    /// up to grid resolution.
+    pub fn best_for_weights(&self, weights: &[f64]) -> Option<&ParetoPoint> {
+        self.points.iter().min_by(|a, b| {
+            let ca: f64 = a.objectives.iter().zip(weights).map(|(o, w)| o * w).sum();
+            let cb: f64 = b.objectives.iter().zip(weights).map(|(o, w)| o * w).sum();
+            ca.partial_cmp(&cb).unwrap()
+        })
+    }
+
+    /// CSV export: parameters then objectives per row.
+    pub fn to_csv(&self, model: &SafetyModel) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let params: Vec<&str> = model.space().iter().map(|(_, p)| p.name()).collect();
+        let hazards: Vec<&str> = model.hazards().iter().map(|h| h.name()).collect();
+        let _ = writeln!(out, "{},{}", params.join(","), hazards.join(","));
+        for p in &self.points {
+            let xs: Vec<String> = p.x.iter().map(|v| v.to_string()).collect();
+            let os: Vec<String> = p.objectives.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{},{}", xs.join(","), os.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{constant, exposure, overtime};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn opposed_model() -> SafetyModel {
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let col = Hazard::builder("col")
+            .cut_set("ot", [overtime(transit, t)])
+            .build();
+        let alr = Hazard::builder("alr")
+            .cut_set("hv", [constant(0.5).unwrap(), exposure(0.13, t)])
+            .build();
+        SafetyModel::new(space)
+            .hazard(col, 100_000.0)
+            .hazard(alr, 1.0)
+    }
+
+    #[test]
+    fn dominance_semantics() {
+        let a = ParetoPoint {
+            x: vec![0.0],
+            objectives: vec![0.1, 0.2],
+        };
+        let b = ParetoPoint {
+            x: vec![1.0],
+            objectives: vec![0.2, 0.3],
+        };
+        let c = ParetoPoint {
+            x: vec![2.0],
+            objectives: vec![0.05, 0.4],
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a)); // incomparable
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let model = opposed_model();
+        let front = ParetoFront::compute(&model, 101).unwrap();
+        assert!(front.len() > 5, "front has {} points", front.len());
+        for (i, a) in front.points.iter().enumerate() {
+            for (j, b) in front.points.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "front point dominates another");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_monotone_tradeoff_curve() {
+        // Sorted by collision risk, alarm risk must decrease.
+        let model = opposed_model();
+        let front = ParetoFront::compute(&model, 101).unwrap();
+        for w in front.points.windows(2) {
+            assert!(w[0].objectives[0] <= w[1].objectives[0]);
+            assert!(w[0].objectives[1] >= w[1].objectives[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn weighted_best_matches_cost_optimum() {
+        let model = opposed_model();
+        let front = ParetoFront::compute(&model, 201).unwrap();
+        let best = front.best_for_weights(&[100_000.0, 1.0]).unwrap();
+        let direct = crate::optimize::SafetyOptimizer::new(&model).run().unwrap();
+        let dt = (best.x[0] - direct.point().values()[0]).abs();
+        assert!(dt < 0.5, "front best {} vs optimizer {}", best.x[0], direct.point().values()[0]);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let model = opposed_model();
+        let front = ParetoFront::compute(&model, 21).unwrap();
+        let csv = front.to_csv(&model);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "t,col,alr");
+        assert_eq!(lines.count(), front.len());
+    }
+}

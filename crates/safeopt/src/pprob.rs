@@ -1,0 +1,348 @@
+//! Parameterized probability expressions.
+//!
+//! The paper's Sect. II-D.2: *"we not only use constant failure
+//! probabilities for primary failures, but allow parameterized
+//! probabilities … `P(PF): Domain(X) → [0, 1]`"*. A [`ProbExpr`] is such a
+//! function — a small expression tree evaluated at a parameter point.
+//! Constraint probabilities (Sect. II-D.1) are the same machinery attached
+//! to INHIBIT conditions; products of expressions implement Eq. 2's
+//! `P(Constraints) · ∏ P(PF)` automatically.
+//!
+//! Constructors:
+//!
+//! * [`constant`] — a fixed probability (classic quantitative FTA).
+//! * [`from_fn`] — an arbitrary closure of the parameters.
+//! * [`overtime`] — `P(X > T)`: the tail of a transit-time distribution
+//!   at a timer runtime parameter; the paper's `P(OT)(T)`.
+//! * [`exposure`] — `1 − e^{−λT}`: probability a Poisson process with
+//!   rate `λ` fires within an activation window `T`; the paper's
+//!   `P(FD_LBpost)(T1)` and `P(HV_ODfinal)(T2)` shapes.
+//! * [`complement`] — `1 − p(X)`.
+//! * [`product`] — `∏ pᵢ(X)`.
+//! * [`scaled`] — `c · p(X)` for mixture weights.
+//!
+//! All evaluation is validated: an expression producing a value outside
+//! `[0, 1]` (or NaN) yields [`SafeOptError::InvalidProbability`] naming
+//! the offending expression, instead of silently corrupting the analysis.
+
+use crate::param::{ParamId, ParamValues};
+use crate::{Result, SafeOptError};
+use safety_opt_stats::dist::{ContinuousDistribution, Exponential, TruncatedNormal};
+use std::sync::Arc;
+
+/// A parameterized probability: `P : X → [0, 1]`.
+///
+/// Cheap to clone (shared expression tree).
+#[derive(Debug, Clone)]
+pub struct ProbExpr {
+    node: Arc<Node>,
+}
+
+enum Node {
+    Constant(f64),
+    Closure {
+        label: String,
+        f: Box<dyn Fn(&ParamValues<'_>) -> f64 + Send + Sync>,
+    },
+    Overtime {
+        dist: TruncatedNormal,
+        param: ParamId,
+    },
+    Exposure {
+        rate: f64,
+        param: ParamId,
+    },
+    Complement(ProbExpr),
+    Product(Vec<ProbExpr>),
+    Scaled(f64, ProbExpr),
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Constant(p) => write!(f, "Constant({p})"),
+            Node::Closure { label, .. } => write!(f, "Closure({label:?})"),
+            Node::Overtime { dist, param } => {
+                write!(f, "Overtime({dist:?}, #{})", param.index())
+            }
+            Node::Exposure { rate, param } => {
+                write!(f, "Exposure(λ={rate}, #{})", param.index())
+            }
+            Node::Complement(e) => write!(f, "Complement({e:?})"),
+            Node::Product(es) => write!(f, "Product({es:?})"),
+            Node::Scaled(c, e) => write!(f, "Scaled({c}, {e:?})"),
+        }
+    }
+}
+
+/// A constant probability.
+///
+/// # Errors
+///
+/// [`SafeOptError::InvalidProbability`] unless `p ∈ [0, 1]`.
+///
+/// ```
+/// use safety_opt_core::pprob::constant;
+/// use safety_opt_core::param::ParamValues;
+///
+/// let p = constant(0.25)?;
+/// assert_eq!(p.eval(&ParamValues::new(&[]))?, 0.25);
+/// # Ok::<(), safety_opt_core::SafeOptError>(())
+/// ```
+pub fn constant(p: f64) -> Result<ProbExpr> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SafeOptError::InvalidProbability {
+            expression: "constant".to_string(),
+            value: p,
+        });
+    }
+    Ok(ProbExpr {
+        node: Arc::new(Node::Constant(p)),
+    })
+}
+
+/// An arbitrary probability function of the parameters. `label` is used in
+/// error messages and reports.
+pub fn from_fn(
+    label: impl Into<String>,
+    f: impl Fn(&ParamValues<'_>) -> f64 + Send + Sync + 'static,
+) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Closure {
+            label: label.into(),
+            f: Box::new(f),
+        }),
+    }
+}
+
+/// Overtime probability `P(X > T)`: the survival function of the
+/// transit-time distribution `dist`, evaluated at the current value of
+/// parameter `param`. The paper's `P(OT₁)(T₁)` / `P(OT₂)(T₂)`.
+pub fn overtime(dist: TruncatedNormal, param: ParamId) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Overtime { dist, param }),
+    }
+}
+
+/// Exposure probability `1 − e^{−λT}`: at least one arrival of a Poisson
+/// process with `rate` λ during an activation window of length the
+/// current value of `param`. Negative window values clamp to 0.
+pub fn exposure(rate: f64, param: ParamId) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Exposure { rate, param }),
+    }
+}
+
+/// Complement `1 − p(X)`.
+pub fn complement(p: ProbExpr) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Complement(p)),
+    }
+}
+
+/// Product `∏ pᵢ(X)` — the AND-combination of independent probabilities,
+/// and the way constraint probabilities multiply into cut sets (Eq. 2).
+pub fn product(factors: impl IntoIterator<Item = ProbExpr>) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Product(factors.into_iter().collect())),
+    }
+}
+
+/// Scaled probability `c · p(X)` (for mixture terms like the paper's
+/// `P(OHV) + (1 − P(OHV)) · …` constructions).
+///
+/// # Errors
+///
+/// [`SafeOptError::InvalidProbability`] unless `c ∈ [0, 1]`.
+pub fn scaled(c: f64, p: ProbExpr) -> Result<ProbExpr> {
+    if !(0.0..=1.0).contains(&c) {
+        return Err(SafeOptError::InvalidProbability {
+            expression: "scale factor".to_string(),
+            value: c,
+        });
+    }
+    Ok(ProbExpr {
+        node: Arc::new(Node::Scaled(c, p)),
+    })
+}
+
+impl ProbExpr {
+    /// Evaluates the expression at a parameter point.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::UnknownParameter`] if the point is too short for a
+    /// referenced parameter, and [`SafeOptError::InvalidProbability`] if
+    /// any sub-expression leaves `[0, 1]`.
+    pub fn eval(&self, params: &ParamValues<'_>) -> Result<f64> {
+        let v = match &*self.node {
+            Node::Constant(p) => *p,
+            Node::Closure { label, f } => {
+                let v = f(params);
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(SafeOptError::InvalidProbability {
+                        expression: label.clone(),
+                        value: v,
+                    });
+                }
+                v
+            }
+            Node::Overtime { dist, param } => dist.sf(params.get(*param)?),
+            Node::Exposure { rate, param } => {
+                let t = params.get(*param)?.max(0.0);
+                -(-rate * t).exp_m1()
+            }
+            Node::Complement(p) => 1.0 - p.eval(params)?,
+            Node::Product(factors) => {
+                let mut acc = 1.0;
+                for p in factors {
+                    acc *= p.eval(params)?;
+                }
+                acc
+            }
+            Node::Scaled(c, p) => c * p.eval(params)?,
+        };
+        // Guard against accumulated floating error pushing us outside.
+        debug_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "probability {v}");
+        Ok(v.clamp(0.0, 1.0))
+    }
+
+    /// Short structural description, for reports.
+    pub fn describe(&self) -> String {
+        match &*self.node {
+            Node::Constant(p) => format!("{p:.3e}"),
+            Node::Closure { label, .. } => label.clone(),
+            Node::Overtime { param, .. } => format!("P(X > x{})", param.index()),
+            Node::Exposure { rate, param } => {
+                format!("1-exp(-{rate}·x{})", param.index())
+            }
+            Node::Complement(p) => format!("1-({})", p.describe()),
+            Node::Product(ps) => ps
+                .iter()
+                .map(|p| p.describe())
+                .collect::<Vec<_>>()
+                .join(" · "),
+            Node::Scaled(c, p) => format!("{c:.3e}·({})", p.describe()),
+        }
+    }
+}
+
+/// Exposure expression from an [`Exponential`] arrival-interval
+/// distribution (`rate = 1 / mean interval`): convenience for models that
+/// carry the distribution rather than the raw rate.
+pub fn exposure_from(dist: &Exponential, param: ParamId) -> ProbExpr {
+    exposure(dist.rate(), param)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamId;
+
+    fn vals(v: &[f64]) -> ParamValues<'_> {
+        ParamValues::new(v)
+    }
+
+    #[test]
+    fn constant_validation_and_eval() {
+        assert!(constant(1.5).is_err());
+        assert!(constant(-0.1).is_err());
+        assert!(constant(f64::NAN).is_err());
+        let p = constant(0.125).unwrap();
+        assert_eq!(p.eval(&vals(&[])).unwrap(), 0.125);
+    }
+
+    #[test]
+    fn overtime_matches_survival_function() {
+        let dist = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let t = ParamId(0);
+        let p = overtime(dist, t);
+        let at_10 = p.eval(&vals(&[10.0])).unwrap();
+        let at_19 = p.eval(&vals(&[19.0])).unwrap();
+        assert!((at_10 - dist.sf(10.0)).abs() < 1e-15);
+        assert!(at_19 < at_10);
+        assert!(at_19 > 0.0);
+    }
+
+    #[test]
+    fn exposure_shape() {
+        let t = ParamId(0);
+        let p = exposure(0.13, t);
+        assert_eq!(p.eval(&vals(&[0.0])).unwrap(), 0.0);
+        let at_15 = p.eval(&vals(&[15.6])).unwrap();
+        assert!((at_15 - (1.0 - (-0.13f64 * 15.6).exp())).abs() < 1e-15);
+        // Negative window clamps to zero exposure.
+        assert_eq!(p.eval(&vals(&[-3.0])).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn complement_product_scaled_compose() {
+        let a = constant(0.5).unwrap();
+        let b = constant(0.2).unwrap();
+        let p = product([complement(a), b]);
+        assert!((p.eval(&vals(&[])).unwrap() - 0.1).abs() < 1e-15);
+        let s = scaled(0.5, p).unwrap();
+        assert!((s.eval(&vals(&[])).unwrap() - 0.05).abs() < 1e-15);
+        assert!(scaled(2.0, constant(0.1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn closure_with_validation() {
+        let t = ParamId(0);
+        let good = from_fn("linear", move |v| v.get(t).unwrap_or(0.0) / 100.0);
+        assert!((good.eval(&vals(&[50.0])).unwrap() - 0.5).abs() < 1e-15);
+        let bad = from_fn("broken", |_| 2.0);
+        match bad.eval(&vals(&[])) {
+            Err(SafeOptError::InvalidProbability { expression, value }) => {
+                assert_eq!(expression, "broken");
+                assert_eq!(value, 2.0);
+            }
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_parameter_is_reported() {
+        let p = exposure(0.1, ParamId(3));
+        assert!(matches!(
+            p.eval(&vals(&[1.0])),
+            Err(SafeOptError::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_constraint_probability_shape() {
+        // Pconstraint1 = P(OHV) + (1−P(OHV))·P(FDpre)·P(FDpost)(T1)
+        let t1 = ParamId(0);
+        let p_ohv = 1e-3;
+        let fd_pre = constant(1e-4).unwrap();
+        let fd_post = exposure(1e-4, t1);
+        let spurious = scaled(1.0 - p_ohv, product([fd_pre, fd_post])).unwrap();
+        let constraint = from_fn("constraint1", {
+            let spurious = spurious.clone();
+            move |v| p_ohv + spurious.eval(v).unwrap_or(0.0)
+        });
+        let at_30 = constraint.eval(&vals(&[30.0])).unwrap();
+        assert!(at_30 > p_ohv);
+        assert!(at_30 < p_ohv + 1e-6);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let t = ParamId(1);
+        let e = product([constant(0.5).unwrap(), exposure(0.13, t)]);
+        let d = e.describe();
+        assert!(d.contains("0.13"));
+        assert!(d.contains("x1"));
+    }
+
+    #[test]
+    fn clones_share_structure() {
+        let p = constant(0.5).unwrap();
+        let q = p.clone();
+        assert_eq!(
+            p.eval(&vals(&[])).unwrap(),
+            q.eval(&vals(&[])).unwrap()
+        );
+    }
+}

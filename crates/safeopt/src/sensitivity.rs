@@ -1,0 +1,296 @@
+//! Sensitivity and environment-scaling analysis.
+//!
+//! The paper's most striking result (Fig. 6) is not the optimum itself but
+//! what a *sweep* revealed: plotting the false-alarm probability against
+//! timer 2 while conditioning on an overhigh vehicle in the controlled
+//! area exposed a design flaw neither model checking nor the engineers
+//! had seen. This module provides those tools:
+//!
+//! * [`sweep`] — one-at-a-time parameter sweeps of cost and hazard
+//!   probabilities (Fig. 6's curves).
+//! * [`tornado`] — per-parameter cost ranges over each parameter's full
+//!   interval (which knob matters?).
+//! * [`local_gradient`] — central-difference cost gradient at a point
+//!   (direction of steepest improvement).
+
+use crate::model::SafetyModel;
+use crate::param::ParamId;
+use crate::{Result, SafeOptError};
+use serde::{Deserialize, Serialize};
+
+/// One sample of a parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Value of the swept parameter.
+    pub value: f64,
+    /// Cost at this value.
+    pub cost: f64,
+    /// Hazard probabilities at this value (model order).
+    pub hazard_probabilities: Vec<f64>,
+}
+
+/// A one-at-a-time sweep of one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Name of the swept parameter.
+    pub parameter: String,
+    /// Samples in increasing parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// CSV export: `value,cost,<hazard names...>`.
+    pub fn to_csv(&self, model: &SafetyModel) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let hazard_names: Vec<&str> = model.hazards().iter().map(|h| h.name()).collect();
+        let _ = writeln!(out, "{},cost,{}", self.parameter, hazard_names.join(","));
+        for p in &self.points {
+            let probs: Vec<String> = p
+                .hazard_probabilities
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect();
+            let _ = writeln!(out, "{},{},{}", p.value, p.cost, probs.join(","));
+        }
+        out
+    }
+
+    /// The swept value with the lowest cost.
+    pub fn best(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+    }
+}
+
+/// Sweeps parameter `param` over its full interval in `steps` points,
+/// holding all other parameters at `reference`.
+///
+/// # Errors
+///
+/// [`SafeOptError::UnknownParameter`] for a foreign id,
+/// [`SafeOptError::DimensionMismatch`] for a wrong-arity reference, and
+/// model-evaluation errors.
+pub fn sweep(
+    model: &SafetyModel,
+    param: ParamId,
+    reference: &[f64],
+    steps: usize,
+) -> Result<Sweep> {
+    let space = model.space();
+    if param.index() >= space.len() {
+        return Err(SafeOptError::UnknownParameter {
+            reference: format!("#{}", param.index()),
+        });
+    }
+    if reference.len() != space.len() {
+        return Err(SafeOptError::DimensionMismatch {
+            expected: space.len(),
+            got: reference.len(),
+        });
+    }
+    let steps = steps.max(2);
+    let interval = space.get(param).interval();
+    let mut point = reference.to_vec();
+    let mut points = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let v = interval.lerp(i as f64 / (steps - 1) as f64);
+        point[param.index()] = v;
+        points.push(SweepPoint {
+            value: v,
+            cost: model.cost(&point)?,
+            hazard_probabilities: model.hazard_probabilities(&point)?,
+        });
+    }
+    Ok(Sweep {
+        parameter: space.get(param).name().to_owned(),
+        points,
+    })
+}
+
+/// One bar of a tornado diagram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TornadoBar {
+    /// Parameter name.
+    pub parameter: String,
+    /// Cost at the interval's lower end.
+    pub cost_at_lo: f64,
+    /// Cost at the interval's upper end.
+    pub cost_at_hi: f64,
+    /// Cost at the reference point.
+    pub cost_at_reference: f64,
+}
+
+impl TornadoBar {
+    /// Total cost swing `|hi − lo|` — the bar length.
+    pub fn swing(&self) -> f64 {
+        (self.cost_at_hi - self.cost_at_lo).abs()
+    }
+}
+
+/// Computes a tornado diagram: for each parameter, the cost at its
+/// interval endpoints with everything else held at `reference`. Bars are
+/// sorted by descending swing.
+///
+/// # Errors
+///
+/// [`SafeOptError::DimensionMismatch`] for a wrong-arity reference and
+/// model-evaluation errors.
+pub fn tornado(model: &SafetyModel, reference: &[f64]) -> Result<Vec<TornadoBar>> {
+    let space = model.space();
+    if reference.len() != space.len() {
+        return Err(SafeOptError::DimensionMismatch {
+            expected: space.len(),
+            got: reference.len(),
+        });
+    }
+    let cost_at_reference = model.cost(reference)?;
+    let mut bars = Vec::with_capacity(space.len());
+    let mut point = reference.to_vec();
+    for (id, p) in space.iter() {
+        point[id.index()] = p.interval().lo();
+        let cost_at_lo = model.cost(&point)?;
+        point[id.index()] = p.interval().hi();
+        let cost_at_hi = model.cost(&point)?;
+        point[id.index()] = reference[id.index()];
+        bars.push(TornadoBar {
+            parameter: p.name().to_owned(),
+            cost_at_lo,
+            cost_at_hi,
+            cost_at_reference,
+        });
+    }
+    bars.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).unwrap());
+    Ok(bars)
+}
+
+/// Central-difference gradient of the cost at `x` (step `h` relative to
+/// each parameter's interval width, probes clamped into the domain).
+///
+/// # Errors
+///
+/// [`SafeOptError::DimensionMismatch`] for a wrong-arity point and
+/// model-evaluation errors.
+pub fn local_gradient(model: &SafetyModel, x: &[f64], h: f64) -> Result<Vec<f64>> {
+    let space = model.space();
+    if x.len() != space.len() {
+        return Err(SafeOptError::DimensionMismatch {
+            expected: space.len(),
+            got: x.len(),
+        });
+    }
+    let mut grad = Vec::with_capacity(space.len());
+    let mut probe = x.to_vec();
+    for (id, p) in space.iter() {
+        let step = (h * p.interval().width()).max(1e-12);
+        let hi = p.interval().clamp(x[id.index()] + step);
+        let lo = p.interval().clamp(x[id.index()] - step);
+        probe[id.index()] = hi;
+        let f_hi = model.cost(&probe)?;
+        probe[id.index()] = lo;
+        let f_lo = model.cost(&probe)?;
+        probe[id.index()] = x[id.index()];
+        grad.push(if hi > lo { (f_hi - f_lo) / (hi - lo) } else { 0.0 });
+    }
+    Ok(grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{constant, exposure, overtime};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn model() -> (SafetyModel, ParamId, ParamId) {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter("t2", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let col = Hazard::builder("col")
+            .cut_set("ot1", [overtime(transit, t1)])
+            .build();
+        let alr = Hazard::builder("alr")
+            .cut_set("hv", [constant(0.5).unwrap(), exposure(0.13, t2)])
+            .build();
+        let m = SafetyModel::new(space)
+            .hazard(col, 100_000.0)
+            .hazard(alr, 1.0);
+        (m, t1, t2)
+    }
+
+    #[test]
+    fn sweep_monotonicities_match_model() {
+        let (m, t1, t2) = model();
+        let reference = m.space().center();
+        // Collision probability falls with t1.
+        let s1 = sweep(&m, t1, &reference, 20).unwrap();
+        for w in s1.points.windows(2) {
+            assert!(w[1].hazard_probabilities[0] <= w[0].hazard_probabilities[0] + 1e-15);
+        }
+        // Alarm probability grows with t2.
+        let s2 = sweep(&m, t2, &reference, 20).unwrap();
+        for w in s2.points.windows(2) {
+            assert!(w[1].hazard_probabilities[1] >= w[0].hazard_probabilities[1] - 1e-15);
+        }
+        assert_eq!(s1.parameter, "t1");
+        assert_eq!(s1.points.len(), 20);
+        assert_eq!(s1.points[0].value, 5.0);
+        assert_eq!(s1.points.last().unwrap().value, 30.0);
+    }
+
+    #[test]
+    fn sweep_best_is_cost_minimum() {
+        let (m, t1, _) = model();
+        let reference = m.space().center();
+        let s = sweep(&m, t1, &reference, 50).unwrap();
+        let best = s.best().unwrap();
+        for p in &s.points {
+            assert!(best.cost <= p.cost + 1e-15);
+        }
+    }
+
+    #[test]
+    fn sweep_csv_format() {
+        let (m, t1, _) = model();
+        let reference = m.space().center();
+        let s = sweep(&m, t1, &reference, 3).unwrap();
+        let csv = s.to_csv(&m);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "t1,cost,col,alr");
+        assert_eq!(lines.count(), 3);
+    }
+
+    #[test]
+    fn tornado_ranks_influential_parameter_first() {
+        let (m, _, _) = model();
+        let reference = m.space().center();
+        let bars = tornado(&m, &reference).unwrap();
+        assert_eq!(bars.len(), 2);
+        // t1 moves the 1e5-weighted collision term: far bigger swing.
+        assert_eq!(bars[0].parameter, "t1");
+        assert!(bars[0].swing() > bars[1].swing());
+    }
+
+    #[test]
+    fn gradient_signs_match_tradeoff() {
+        let (m, _, _) = model();
+        // At short runtimes the collision term dominates: cost decreases
+        // in t1 (negative gradient), and the alarm term makes t2's
+        // gradient positive once overtime is negligible.
+        let g = local_gradient(&m, &[10.0, 25.0], 1e-4).unwrap();
+        assert!(g[0] < 0.0, "g_t1 = {}", g[0]);
+        assert!(g[1] > 0.0, "g_t2 = {}", g[1]);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let (m, t1, _) = model();
+        assert!(sweep(&m, t1, &[1.0], 5).is_err());
+        assert!(sweep(&m, ParamId(9), &m.space().center(), 5).is_err());
+        assert!(tornado(&m, &[1.0]).is_err());
+        assert!(local_gradient(&m, &[1.0], 1e-4).is_err());
+    }
+}

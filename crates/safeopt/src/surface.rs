@@ -1,0 +1,231 @@
+//! Cost-surface grids — the data behind the paper's Fig. 5.
+//!
+//! The paper inspects the cost function as a 3-D plot over the two timer
+//! runtimes and zooms into the minimum. [`CostSurface::evaluate`]
+//! regenerates exactly that artifact: a rectangular grid of
+//! `f_cost(x, y)` values over two chosen parameters (all others frozen),
+//! exportable as CSV for plotting and as an ASCII heat map for terminals.
+
+use crate::model::SafetyModel;
+use crate::param::ParamId;
+use crate::{Result, SafeOptError};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular cost-surface sample over two parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostSurface {
+    /// Name of the x-axis parameter.
+    pub x_name: String,
+    /// Name of the y-axis parameter.
+    pub y_name: String,
+    /// Grid coordinates along x.
+    pub x: Vec<f64>,
+    /// Grid coordinates along y.
+    pub y: Vec<f64>,
+    /// Row-major values: `values[j][i] = f(x[i], y[j])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl CostSurface {
+    /// Evaluates the model cost over an `nx × ny` grid spanning the full
+    /// domains of parameters `px` (x-axis) and `py` (y-axis), holding the
+    /// remaining parameters at `reference`.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::UnknownParameter`] for foreign ids,
+    /// [`SafeOptError::DimensionMismatch`] for a wrong-arity reference
+    /// point, and model-evaluation errors.
+    pub fn evaluate(
+        model: &SafetyModel,
+        px: ParamId,
+        py: ParamId,
+        reference: &[f64],
+        nx: usize,
+        ny: usize,
+    ) -> Result<Self> {
+        let space = model.space();
+        if reference.len() != space.len() {
+            return Err(SafeOptError::DimensionMismatch {
+                expected: space.len(),
+                got: reference.len(),
+            });
+        }
+        if px.index() >= space.len() || py.index() >= space.len() || px == py {
+            return Err(SafeOptError::UnknownParameter {
+                reference: format!("axes #{} / #{}", px.index(), py.index()),
+            });
+        }
+        let nx = nx.max(2);
+        let ny = ny.max(2);
+        let ix = space.get(px).interval();
+        let iy = space.get(py).interval();
+        let x: Vec<f64> = (0..nx)
+            .map(|i| ix.lerp(i as f64 / (nx - 1) as f64))
+            .collect();
+        let y: Vec<f64> = (0..ny)
+            .map(|j| iy.lerp(j as f64 / (ny - 1) as f64))
+            .collect();
+        let mut values = Vec::with_capacity(ny);
+        let mut point = reference.to_vec();
+        for &yj in &y {
+            let mut row = Vec::with_capacity(nx);
+            for &xi in &x {
+                point[px.index()] = xi;
+                point[py.index()] = yj;
+                row.push(model.cost(&point)?);
+            }
+            values.push(row);
+        }
+        Ok(Self {
+            x_name: space.get(px).name().to_owned(),
+            y_name: space.get(py).name().to_owned(),
+            x,
+            y,
+            values,
+        })
+    }
+
+    /// The grid minimum: `(x, y, value)`.
+    pub fn minimum(&self) -> (f64, f64, f64) {
+        let mut best = (self.x[0], self.y[0], f64::INFINITY);
+        for (j, row) in self.values.iter().enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                if v < best.2 {
+                    best = (self.x[i], self.y[j], v);
+                }
+            }
+        }
+        best
+    }
+
+    /// The grid maximum value.
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// CSV export with header `x_name,y_name,cost`, one row per grid
+    /// point.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{},cost", self.x_name, self.y_name);
+        for (j, row) in self.values.iter().enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                let _ = writeln!(out, "{},{},{}", self.x[i], self.y[j], v);
+            }
+        }
+        out
+    }
+
+    /// ASCII heat map: darker characters = higher cost, `*` marks the
+    /// grid minimum. Rows are printed with y increasing upwards.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+#%@";
+        let (min_x, min_y, min_v) = self.minimum();
+        let max_v = self.max_value();
+        let range = (max_v - min_v).max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        for (j, row) in self.values.iter().enumerate().rev() {
+            out.push_str(&format!("{:>10.3} |", self.y[j]));
+            for (i, &v) in row.iter().enumerate() {
+                if self.x[i] == min_x && self.y[j] == min_y {
+                    out.push('*');
+                } else {
+                    let t = ((v - min_v) / range).clamp(0.0, 1.0);
+                    let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+                    out.push(RAMP[idx] as char);
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>10} +{}\n", "", "-".repeat(self.x.len())
+        ));
+        out.push_str(&format!(
+            "{:>12}{:.3} .. {:.3} ({})\n",
+            "", self.x[0],
+            self.x[self.x.len() - 1],
+            self.x_name
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{constant, exposure, overtime};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn model_2d() -> (SafetyModel, ParamId, ParamId) {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter("t2", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let col = Hazard::builder("col")
+            .cut_set("ot1", [overtime(transit, t1)])
+            .cut_set("ot2", [overtime(transit, t2)])
+            .build();
+        let alr = Hazard::builder("alr")
+            .cut_set("hv", [constant(0.5).unwrap(), exposure(0.13, t2)])
+            .build();
+        let model = SafetyModel::new(space)
+            .hazard(col, 100_000.0)
+            .hazard(alr, 1.0);
+        (model, t1, t2)
+    }
+
+    #[test]
+    fn surface_covers_domain_and_finds_minimum() {
+        let (model, t1, t2) = model_2d();
+        let reference = model.space().center();
+        let surface = CostSurface::evaluate(&model, t1, t2, &reference, 30, 25).unwrap();
+        assert_eq!(surface.x.len(), 30);
+        assert_eq!(surface.y.len(), 25);
+        assert_eq!(surface.values.len(), 25);
+        assert_eq!(surface.x[0], 5.0);
+        assert_eq!(*surface.x.last().unwrap(), 30.0);
+        let (mx, my, mv) = surface.minimum();
+        // t1 only matters through collision: larger is better, so the
+        // minimum hugs the right edge in x and sits interior in y.
+        assert!(mx > 18.0, "mx = {mx}"); // cost is flat in t1 once the tail underflows
+        assert!(my > 8.0 && my < 18.0, "my = {my}");
+        assert!(mv < surface.max_value());
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let (model, t1, t2) = model_2d();
+        let reference = model.space().center();
+        let surface = CostSurface::evaluate(&model, t1, t2, &reference, 4, 3).unwrap();
+        let csv = surface.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t1,t2,cost");
+        assert_eq!(lines.len(), 1 + 12);
+    }
+
+    #[test]
+    fn ascii_heat_map_marks_minimum() {
+        let (model, t1, t2) = model_2d();
+        let reference = model.space().center();
+        let surface = CostSurface::evaluate(&model, t1, t2, &reference, 12, 8).unwrap();
+        let art = surface.to_ascii();
+        assert_eq!(art.matches('*').count(), 1);
+        assert!(art.contains("(t1)"));
+    }
+
+    #[test]
+    fn rejects_bad_axes_and_reference() {
+        let (model, t1, t2) = model_2d();
+        let reference = model.space().center();
+        assert!(CostSurface::evaluate(&model, t1, t1, &reference, 4, 4).is_err());
+        assert!(CostSurface::evaluate(&model, t1, t2, &[1.0], 4, 4).is_err());
+    }
+}

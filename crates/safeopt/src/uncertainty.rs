@@ -1,0 +1,313 @@
+//! Uncertainty propagation — the paper's Sect. V outlook made concrete.
+//!
+//! *"It is our experience, that the results of this analysis depend a lot
+//! on how well the statistical model reflects reality"* — and the paper
+//! points to **stochastic programming** as the natural extension. This
+//! module implements the Monte-Carlo form of that idea: the analyst
+//! supplies a *sampler* that draws whole safety models from the joint
+//! distribution of the uncertain constants (failure rates estimated from
+//! finite data, disputed cost ratios, …), and the analysis propagates that
+//! uncertainty to
+//!
+//! * the cost and hazard probabilities of a **fixed configuration**
+//!   ([`propagate`]), and
+//! * the **optimal configuration itself** ([`optimize_under_uncertainty`])
+//!   — how much do the optimal timer runtimes move when the model
+//!   constants wiggle within their credible ranges?
+//!
+//! ```
+//! use safety_opt_core::uncertainty::propagate;
+//! # use safety_opt_core::model::{Hazard, SafetyModel};
+//! # use safety_opt_core::param::ParameterSpace;
+//! # use safety_opt_core::pprob::constant;
+//! use rand::Rng;
+//!
+//! # fn main() -> Result<(), safety_opt_core::SafeOptError> {
+//! let report = propagate(
+//!     |rng| {
+//!         // Basic-event probability known only to within a factor ~2:
+//!         let p = 1e-4 * (1.0 + rng.gen::<f64>());
+//!         let mut space = ParameterSpace::new();
+//!         space.parameter("t", 0.0, 1.0)?;
+//!         let hazard = Hazard::builder("h").cut_set("c", [constant(p)?]).build();
+//!         Ok(SafetyModel::new(space).hazard(hazard, 1000.0))
+//!     },
+//!     &[0.5],
+//!     200,
+//!     42,
+//! )?;
+//! let (lo, hi) = report.cost.mean_confidence_interval(0.95)?;
+//! assert!(lo < 0.15 && hi > 0.15); // E[cost] = 1000 · 1.5e-4
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::model::SafetyModel;
+use crate::optimize::SafetyOptimizer;
+use crate::{Result, SafeOptError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safety_opt_stats::mc::RunningStats;
+
+/// Distribution of cost and hazard probabilities at a fixed configuration
+/// under model uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationReport {
+    /// The evaluated configuration.
+    pub point: Vec<f64>,
+    /// Monte-Carlo statistics of the cost.
+    pub cost: RunningStats,
+    /// Per-hazard Monte-Carlo statistics (order of the first sampled
+    /// model's hazards).
+    pub hazards: Vec<RunningStats>,
+    /// Models sampled.
+    pub runs: usize,
+}
+
+/// Evaluates `point` under `runs` models drawn from `sampler`.
+///
+/// The sampler receives a seeded RNG and returns a fresh [`SafetyModel`];
+/// it is free to perturb probabilities, rates, costs, or even structure.
+///
+/// # Errors
+///
+/// Propagates sampler and evaluation errors; requires `runs >= 1` and a
+/// consistent hazard count across sampled models
+/// ([`SafeOptError::DimensionMismatch`] otherwise).
+pub fn propagate<F>(
+    mut sampler: F,
+    point: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Result<PropagationReport>
+where
+    F: FnMut(&mut StdRng) -> Result<SafetyModel>,
+{
+    if runs == 0 {
+        return Err(SafeOptError::Optim(
+            safety_opt_optim::OptimError::InvalidConfig {
+                option: "runs",
+                requirement: "must be >= 1",
+            },
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = RunningStats::new();
+    let mut hazards: Vec<RunningStats> = Vec::new();
+    for _ in 0..runs {
+        let model = sampler(&mut rng)?;
+        let probs = model.hazard_probabilities(point)?;
+        if hazards.is_empty() {
+            hazards = vec![RunningStats::new(); probs.len()];
+        } else if hazards.len() != probs.len() {
+            return Err(SafeOptError::DimensionMismatch {
+                expected: hazards.len(),
+                got: probs.len(),
+            });
+        }
+        for (stat, p) in hazards.iter_mut().zip(&probs) {
+            stat.push(*p);
+        }
+        cost.push(model.cost(point)?);
+    }
+    Ok(PropagationReport {
+        point: point.to_vec(),
+        cost,
+        hazards,
+        runs,
+    })
+}
+
+/// Distribution of the *optimum* under model uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimumDistribution {
+    /// Per-parameter statistics of the arg-min.
+    pub arg_min: Vec<RunningStats>,
+    /// Statistics of the minimal cost.
+    pub min_cost: RunningStats,
+    /// Models sampled (failed optimizations are skipped and counted
+    /// here).
+    pub runs: usize,
+    /// Optimizations that failed (e.g. fully infeasible sampled models).
+    pub failures: usize,
+}
+
+impl OptimumDistribution {
+    /// Robustness summary: the largest per-parameter standard deviation
+    /// of the arg-min — small means the recommendation is insensitive to
+    /// the model uncertainty.
+    pub fn arg_min_spread(&self) -> f64 {
+        self.arg_min
+            .iter()
+            .map(RunningStats::sample_std_dev)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Optimizes each of `runs` sampled models and reports the distribution
+/// of the optimal configuration.
+///
+/// # Errors
+///
+/// Propagates sampler errors; requires `runs >= 1`. Optimizer failures on
+/// individual samples are tolerated (counted in
+/// [`OptimumDistribution::failures`]) as long as at least one sample
+/// optimizes successfully.
+pub fn optimize_under_uncertainty<F>(
+    mut sampler: F,
+    runs: usize,
+    seed: u64,
+) -> Result<OptimumDistribution>
+where
+    F: FnMut(&mut StdRng) -> Result<SafetyModel>,
+{
+    if runs == 0 {
+        return Err(SafeOptError::Optim(
+            safety_opt_optim::OptimError::InvalidConfig {
+                option: "runs",
+                requirement: "must be >= 1",
+            },
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arg_min: Vec<RunningStats> = Vec::new();
+    let mut min_cost = RunningStats::new();
+    let mut failures = 0usize;
+    let mut last_error: Option<SafeOptError> = None;
+    for _ in 0..runs {
+        let model = sampler(&mut rng)?;
+        match SafetyOptimizer::new(&model).starts(4).run() {
+            Ok(optimum) => {
+                let x = optimum.point().values();
+                if arg_min.is_empty() {
+                    arg_min = vec![RunningStats::new(); x.len()];
+                }
+                for (stat, v) in arg_min.iter_mut().zip(x) {
+                    stat.push(*v);
+                }
+                min_cost.push(optimum.cost());
+            }
+            Err(e) => {
+                failures += 1;
+                last_error = Some(e);
+            }
+        }
+    }
+    if min_cost.count() == 0 {
+        return Err(last_error.expect("runs >= 1 and all failed"));
+    }
+    Ok(OptimumDistribution {
+        arg_min,
+        min_cost,
+        runs,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{constant, exposure, overtime};
+    use rand::Rng;
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn sampled_model(rng: &mut StdRng) -> Result<SafetyModel> {
+        // Tradeoff model with an uncertain HV rate λ ∈ [0.1, 0.16].
+        let lambda = 0.1 + 0.06 * rng.gen::<f64>();
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 5.0, 30.0)?;
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0)?;
+        let col = Hazard::builder("col")
+            .cut_set("ot", [overtime(transit, t)])
+            .build();
+        let alr = Hazard::builder("alr")
+            .cut_set("hv", [constant(0.5)?, exposure(lambda, t)])
+            .build();
+        Ok(SafetyModel::new(space)
+            .hazard(col, 100_000.0)
+            .hazard(alr, 1.0))
+    }
+
+    #[test]
+    fn propagation_statistics_are_sane() {
+        let report = propagate(sampled_model, &[15.0], 200, 1).unwrap();
+        assert_eq!(report.runs, 200);
+        assert_eq!(report.cost.count(), 200);
+        assert_eq!(report.hazards.len(), 2);
+        // Collision hazard does not depend on λ: zero variance.
+        assert!(report.hazards[0].sample_variance() < 1e-30);
+        // Alarm hazard does: strictly positive variance.
+        assert!(report.hazards[1].sample_variance() > 0.0);
+        // Mean alarm probability near the λ-midpoint value.
+        let mid = 0.5 * (1.0 - (-0.13f64 * 15.0).exp());
+        assert!((report.hazards[1].mean() - mid).abs() < 0.02);
+    }
+
+    #[test]
+    fn propagation_is_deterministic_per_seed() {
+        let a = propagate(sampled_model, &[12.0], 50, 7).unwrap();
+        let b = propagate(sampled_model, &[12.0], 50, 7).unwrap();
+        assert_eq!(a, b);
+        let c = propagate(sampled_model, &[12.0], 50, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn optimum_distribution_tracks_uncertainty() {
+        let dist = optimize_under_uncertainty(sampled_model, 24, 3).unwrap();
+        assert_eq!(dist.failures, 0);
+        assert_eq!(dist.arg_min.len(), 1);
+        // The optimum moves with λ but stays in a sane band.
+        let mean_t = dist.arg_min[0].mean();
+        assert!(mean_t > 9.0 && mean_t < 17.0, "mean t* = {mean_t}");
+        assert!(dist.arg_min_spread() > 0.0);
+        assert!(dist.arg_min_spread() < 2.0, "spread {}", dist.arg_min_spread());
+        assert!(dist.min_cost.mean() > 0.0);
+    }
+
+    #[test]
+    fn zero_runs_is_an_error() {
+        assert!(propagate(sampled_model, &[12.0], 0, 1).is_err());
+        assert!(optimize_under_uncertainty(sampled_model, 0, 1).is_err());
+    }
+
+    #[test]
+    fn sampler_errors_propagate() {
+        let result = propagate(
+            |_| {
+                Err(SafeOptError::EmptyModel)
+            },
+            &[1.0],
+            5,
+            1,
+        );
+        assert!(matches!(result, Err(SafeOptError::EmptyModel)));
+    }
+
+    #[test]
+    fn inconsistent_hazard_counts_are_detected() {
+        let mut toggle = false;
+        let result = propagate(
+            move |_| {
+                toggle = !toggle;
+                let mut space = ParameterSpace::new();
+                space.parameter("t", 0.0, 1.0)?;
+                let h = Hazard::builder("h").cut_set("c", [constant(0.1)?]).build();
+                let mut model = SafetyModel::new(space).hazard(h.clone(), 1.0);
+                if toggle {
+                    model = model.hazard(h, 1.0);
+                }
+                Ok(model)
+            },
+            &[0.5],
+            4,
+            1,
+        );
+        assert!(matches!(
+            result,
+            Err(SafeOptError::DimensionMismatch { .. })
+        ));
+    }
+}

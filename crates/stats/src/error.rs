@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Error type for statistics operations.
+///
+/// Every fallible constructor and numerical routine in this crate reports
+/// failures through this type; none of them panic on bad numeric input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A distribution parameter was outside its legal range
+    /// (e.g. a non-positive standard deviation).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable requirement, e.g. `"must be finite and > 0"`.
+        requirement: &'static str,
+    },
+    /// The requested probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A truncation interval was empty or carried (numerically) zero mass.
+    EmptyTruncation {
+        /// Lower bound of the rejected interval.
+        lower: f64,
+        /// Upper bound of the rejected interval.
+        upper: f64,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed, e.g. `"incomplete_gamma_cf"`.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Not enough data points for the requested estimate.
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations available.
+        got: usize,
+    },
+    /// An integrand produced a non-finite value inside the domain.
+    NonFiniteValue {
+        /// Location at which the non-finite value was produced.
+        at: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            StatsError::InvalidProbability { value } => {
+                write!(f, "probability argument {value} outside [0, 1]")
+            }
+            StatsError::EmptyTruncation { lower, upper } => write!(
+                f,
+                "truncation interval [{lower}, {upper}] is empty or has zero mass"
+            ),
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+            StatsError::NonFiniteValue { at } => {
+                write!(f, "non-finite value encountered at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = StatsError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+            requirement: "must be finite and > 0",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("sigma"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_structurally() {
+        assert_eq!(
+            StatsError::InvalidProbability { value: 2.0 },
+            StatsError::InvalidProbability { value: 2.0 }
+        );
+        assert_ne!(
+            StatsError::InvalidProbability { value: 2.0 },
+            StatsError::InvalidProbability { value: 3.0 }
+        );
+    }
+}

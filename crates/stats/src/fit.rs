@@ -1,0 +1,261 @@
+//! Parameter estimation from data.
+//!
+//! Closes the loop between simulation and modelling: the discrete-event
+//! simulator produces transit times and failure counts, and these fitters
+//! turn them back into the distribution parameters the analytic model
+//! consumes. The paper stresses that "the results of this analysis depend
+//! a lot on how well the statistical model reflects reality" — fitting
+//! simulated (or real) data is how the model is kept honest.
+//!
+//! ```
+//! use safety_opt_stats::fit::fit_normal;
+//!
+//! # fn main() -> Result<(), safety_opt_stats::StatsError> {
+//! let times = [3.9, 4.1, 4.0, 3.8, 4.2];
+//! let normal = fit_normal(&times)?;
+//! assert!((normal.mu() - 4.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dist::{Exponential, LogNormal, Normal, Uniform, Weibull};
+use crate::mc::RunningStats;
+use crate::{Result, StatsError};
+
+fn require(data: &[f64], needed: usize) -> Result<()> {
+    if data.len() < needed {
+        return Err(StatsError::InsufficientData {
+            needed,
+            got: data.len(),
+        });
+    }
+    for &x in data {
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteValue { at: x });
+        }
+    }
+    Ok(())
+}
+
+/// Maximum-likelihood normal fit (sample mean, *unbiased* sample sd).
+///
+/// # Errors
+///
+/// Needs at least 2 finite observations with non-zero spread.
+pub fn fit_normal(data: &[f64]) -> Result<Normal> {
+    require(data, 2)?;
+    let stats: RunningStats = data.iter().copied().collect();
+    Normal::new(stats.mean(), stats.sample_std_dev())
+}
+
+/// Maximum-likelihood exponential fit (`rate = 1 / mean`).
+///
+/// # Errors
+///
+/// Needs at least 1 finite, non-negative observation with positive mean.
+pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
+    require(data, 1)?;
+    if data.iter().any(|&x| x < 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: data.iter().copied().fold(f64::INFINITY, f64::min),
+            requirement: "exponential data must be non-negative",
+        });
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    Exponential::from_mean(mean)
+}
+
+/// Log-normal fit by MLE on the log scale.
+///
+/// # Errors
+///
+/// Needs at least 2 finite, strictly-positive observations.
+pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal> {
+    require(data, 2)?;
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: data.iter().copied().fold(f64::INFINITY, f64::min),
+            requirement: "log-normal data must be strictly positive",
+        });
+    }
+    let logs: Vec<f64> = data.iter().map(|&x| x.ln()).collect();
+    let stats: RunningStats = logs.iter().copied().collect();
+    LogNormal::new(stats.mean(), stats.sample_std_dev())
+}
+
+/// Uniform fit from the sample range.
+///
+/// # Errors
+///
+/// Needs at least 2 finite observations spanning a non-empty range.
+pub fn fit_uniform(data: &[f64]) -> Result<Uniform> {
+    require(data, 2)?;
+    let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Uniform::new(lo, hi)
+}
+
+/// Weibull fit by maximum likelihood: Newton iteration on the profile
+/// likelihood for the shape, closed form for the scale.
+///
+/// # Errors
+///
+/// Needs at least 2 finite, strictly-positive observations and returns
+/// [`StatsError::NoConvergence`] if the Newton iteration stalls (only for
+/// degenerate near-constant samples).
+pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
+    require(data, 2)?;
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "data",
+            value: data.iter().copied().fold(f64::INFINITY, f64::min),
+            requirement: "Weibull data must be strictly positive",
+        });
+    }
+    let n = data.len() as f64;
+    let logs: Vec<f64> = data.iter().map(|&x| x.ln()).collect();
+    let mean_log = logs.iter().sum::<f64>() / n;
+
+    // Profile-likelihood equation for shape k:
+    //   Σ xᵏ ln x / Σ xᵏ − 1/k − mean(ln x) = 0
+    let g = |k: f64| -> (f64, f64) {
+        let mut s0 = 0.0; // Σ xᵏ
+        let mut s1 = 0.0; // Σ xᵏ ln x
+        let mut s2 = 0.0; // Σ xᵏ (ln x)²
+        for (&x, &lx) in data.iter().zip(&logs) {
+            let xk = x.powf(k);
+            s0 += xk;
+            s1 += xk * lx;
+            s2 += xk * lx * lx;
+        }
+        let f = s1 / s0 - 1.0 / k - mean_log;
+        let df = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        (f, df)
+    };
+
+    // Method-of-moments-flavoured starting point.
+    let stats: RunningStats = logs.iter().copied().collect();
+    let sd_log = stats.sample_std_dev();
+    let mut k = if sd_log > 1e-12 {
+        (std::f64::consts::PI / (6.0f64.sqrt() * sd_log)).clamp(0.05, 500.0)
+    } else {
+        return Err(StatsError::NoConvergence {
+            routine: "fit_weibull",
+            iterations: 0,
+        });
+    };
+    let mut converged = false;
+    for _ in 0..200 {
+        let (f, df) = g(k);
+        let step = f / df;
+        let next = (k - step).clamp(k * 0.5, k * 2.0);
+        if (next - k).abs() < 1e-12 * k {
+            k = next;
+            converged = true;
+            break;
+        }
+        k = next;
+    }
+    if !converged {
+        return Err(StatsError::NoConvergence {
+            routine: "fit_weibull",
+            iterations: 200,
+        });
+    }
+    let scale = (data.iter().map(|&x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Weibull::new(k, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, SampleDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth = Normal::new(4.0, 2.0).unwrap();
+        let data = truth.sample_n(&mut rng, 50_000);
+        let fitted = fit_normal(&data).unwrap();
+        assert!((fitted.mu() - 4.0).abs() < 0.05, "mu = {}", fitted.mu());
+        assert!(
+            (fitted.sigma() - 2.0).abs() < 0.05,
+            "sigma = {}",
+            fitted.sigma()
+        );
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let truth = Exponential::new(0.13).unwrap();
+        let data = truth.sample_n(&mut rng, 50_000);
+        let fitted = fit_exponential(&data).unwrap();
+        assert!(
+            (fitted.rate() - 0.13).abs() < 0.005,
+            "rate = {}",
+            fitted.rate()
+        );
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let truth = LogNormal::new(1.2, 0.4).unwrap();
+        let data = truth.sample_n(&mut rng, 50_000);
+        let fitted = fit_lognormal(&data).unwrap();
+        assert!((fitted.log_mu() - 1.2).abs() < 0.02);
+        assert!((fitted.log_sigma() - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let truth = Weibull::new(2.0, 3.0).unwrap();
+        let data = truth.sample_n(&mut rng, 50_000);
+        let fitted = fit_weibull(&data).unwrap();
+        assert!((fitted.shape() - 2.0).abs() < 0.05, "k = {}", fitted.shape());
+        assert!(
+            (fitted.scale() - 3.0).abs() < 0.05,
+            "λ = {}",
+            fitted.scale()
+        );
+    }
+
+    #[test]
+    fn uniform_fit_uses_range() {
+        let fitted = fit_uniform(&[2.0, 3.5, 2.2, 4.9]).unwrap();
+        assert_eq!(fitted.a(), 2.0);
+        assert_eq!(fitted.b(), 4.9);
+    }
+
+    #[test]
+    fn fits_reject_insufficient_or_bad_data() {
+        assert!(fit_normal(&[1.0]).is_err());
+        assert!(fit_exponential(&[]).is_err());
+        assert!(fit_exponential(&[-1.0, 2.0]).is_err());
+        assert!(fit_lognormal(&[0.0, 1.0]).is_err());
+        assert!(fit_weibull(&[1.0, -2.0]).is_err());
+        assert!(fit_normal(&[1.0, f64::NAN]).is_err());
+        assert!(fit_uniform(&[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn fitted_distribution_agrees_with_empirical_cdf() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let truth = Normal::new(10.0, 3.0).unwrap();
+        let mut data = truth.sample_n(&mut rng, 20_000);
+        let fitted = fit_normal(&data).unwrap();
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Kolmogorov–Smirnov style spot check at the quartiles.
+        for &q in &[0.25, 0.5, 0.75] {
+            let idx = (q * data.len() as f64) as usize;
+            let empirical_x = data[idx];
+            assert!((fitted.cdf(empirical_x) - q).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Numerical quadrature.
+//!
+//! Safety optimization composes distributions in ways that do not always
+//! have closed forms — e.g. the Elbtunnel "with LB4" analysis needs the
+//! expected alarm probability over a *random* activation window,
+//! `E[1 − e^{−λ·min(X, T)}]` with `X` a truncated normal. These integrals
+//! are one-dimensional, smooth, and need ~10 significant digits: adaptive
+//! Simpson and fixed-order Gauss–Legendre cover that comfortably.
+//!
+//! ```
+//! use safety_opt_stats::integrate::adaptive_simpson;
+//!
+//! # fn main() -> Result<(), safety_opt_stats::StatsError> {
+//! let integral = adaptive_simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-12)?;
+//! assert!((integral - 2.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Result, StatsError};
+
+/// Maximum recursion depth for adaptive Simpson; 2⁵⁰ panels is far beyond
+/// any double-precision benefit, so hitting this means the integrand is
+/// pathological (discontinuous or non-finite).
+const MAX_DEPTH: usize = 50;
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
+/// `tol`.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidParameter`] if the interval is not finite or
+///   `tol` is not strictly positive.
+/// * [`StatsError::NonFiniteValue`] if the integrand produces NaN/∞ inside
+///   the interval.
+/// * [`StatsError::NoConvergence`] if the recursion exceeds its depth
+///   budget (pathological integrand).
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(a.is_finite() && b.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "interval",
+            value: b - a,
+            requirement: "bounds must be finite",
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "tol",
+            value: tol,
+            requirement: "must be finite and > 0",
+        });
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let (a, b, sign) = if a < b { (a, b, 1.0) } else { (b, a, -1.0) };
+    let fa = eval(&f, a)?;
+    let fb = eval(&f, b)?;
+    let m = 0.5 * (a + b);
+    let fm = eval(&f, m)?;
+    let whole = simpson_panel(a, b, fa, fm, fb);
+    let value = simpson_rec(&f, a, b, fa, fm, fb, whole, tol, MAX_DEPTH)?;
+    Ok(sign * value)
+}
+
+fn eval<F: Fn(f64) -> f64>(f: &F, x: f64) -> Result<f64> {
+    let y = f(x);
+    if y.is_finite() {
+        Ok(y)
+    } else {
+        Err(StatsError::NonFiniteValue { at: x })
+    }
+}
+
+fn simpson_panel(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> Result<f64> {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = eval(f, lm)?;
+    let frm = eval(f, rm)?;
+    let left = simpson_panel(a, m, fa, flm, fm);
+    let right = simpson_panel(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol || (b - a) < 1e-14 * (a.abs() + b.abs() + 1.0) {
+        // Richardson extrapolation term improves the estimate one order.
+        return Ok(left + right + delta / 15.0);
+    }
+    if depth == 0 {
+        return Err(StatsError::NoConvergence {
+            routine: "adaptive_simpson",
+            iterations: MAX_DEPTH,
+        });
+    }
+    let lv = simpson_rec(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)?;
+    let rv = simpson_rec(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)?;
+    Ok(lv + rv)
+}
+
+/// Gauss–Legendre quadrature rule: `nodes` and `weights` on `[-1, 1]`.
+///
+/// Nodes are the roots of the Legendre polynomial `P_n`, found by Newton
+/// iteration from the Chebyshev initial guess; weights follow from the
+/// derivative identity. Accurate to machine precision for `n ≤ 64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds an `n`-point rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n == 0`, and
+    /// [`StatsError::NoConvergence`] should the Newton iteration stall
+    /// (unreachable for n ≤ a few thousand).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                requirement: "must be >= 1",
+            });
+        }
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev guess for the i-th root.
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut converged = false;
+            for _ in 0..100 {
+                let (p, dp) = legendre_and_derivative(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(StatsError::NoConvergence {
+                    routine: "gauss_legendre_nodes",
+                    iterations: 100,
+                });
+            }
+            let (_, dp) = legendre_and_derivative(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Ok(Self { nodes, weights })
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the rule has no points (cannot happen via [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes on `[-1, 1]`.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Weights matching [`nodes`](Self::nodes).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidParameter`] for non-finite bounds.
+    /// * [`StatsError::NonFiniteValue`] if `f` returns NaN/∞ at a node.
+    pub fn integrate<F: Fn(f64) -> f64>(&self, f: F, a: f64, b: f64) -> Result<f64> {
+        if !(a.is_finite() && b.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "interval",
+                value: b - a,
+                requirement: "bounds must be finite",
+            });
+        }
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            let t = mid + half * x;
+            let y = f(t);
+            if !y.is_finite() {
+                return Err(StatsError::NonFiniteValue { at: t });
+            }
+            acc += w * y;
+        }
+        Ok(acc * half)
+    }
+}
+
+/// Evaluates `P_n(x)` and `P_n'(x)` with the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    for k in 2..=n {
+        let k = k as f64;
+        let p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+    }
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact for cubics; adaptivity makes everything else easy.
+        let v = adaptive_simpson(|x| 3.0 * x * x, 0.0, 2.0, 1e-12).unwrap();
+        assert!((v - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_sine() {
+        let v = adaptive_simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-12).unwrap();
+        assert!((v - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_reversed_interval_flips_sign() {
+        let fwd = adaptive_simpson(|x| x.exp(), 0.0, 1.0, 1e-12).unwrap();
+        let bwd = adaptive_simpson(|x| x.exp(), 1.0, 0.0, 1e-12).unwrap();
+        assert!((fwd + bwd).abs() < 1e-12);
+        assert!((fwd - (std::f64::consts::E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(|x| x, 2.0, 2.0, 1e-9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn simpson_rejects_bad_input() {
+        assert!(adaptive_simpson(|x| x, f64::NEG_INFINITY, 0.0, 1e-9).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(adaptive_simpson(|x| x, 0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn simpson_detects_non_finite_integrand() {
+        let r = adaptive_simpson(|x| 1.0 / x, -1.0, 1.0, 1e-9);
+        assert!(matches!(r, Err(StatsError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn simpson_normal_density_integrates_to_one() {
+        let v = adaptive_simpson(
+            crate::special::std_normal_pdf,
+            -10.0,
+            10.0,
+            1e-12,
+        )
+        .unwrap();
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gauss_legendre_known_rules() {
+        // 2-point rule: nodes ±1/√3, weights 1.
+        let rule = GaussLegendre::new(2).unwrap();
+        assert!((rule.nodes()[1] - 1.0 / 3.0f64.sqrt()).abs() < 1e-14);
+        assert!((rule.weights()[0] - 1.0).abs() < 1e-14);
+        // 3-point rule: middle node 0 with weight 8/9.
+        let rule = GaussLegendre::new(3).unwrap();
+        assert!(rule.nodes()[1].abs() < 1e-14);
+        assert!((rule.weights()[1] - 8.0 / 9.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss_legendre_exact_for_high_degree() {
+        // n-point GL is exact for degree 2n−1: with n = 8, x^15 over [0,1].
+        let rule = GaussLegendre::new(8).unwrap();
+        let v = rule.integrate(|x| x.powi(15), 0.0, 1.0).unwrap();
+        assert!((v - 1.0 / 16.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gauss_legendre_expected_exposure_integral() {
+        // The "with LB4" integral of the case study: E[1 − e^{−λ min(X, T)}]
+        // with X ~ N(4, 2²) truncated at 0 and T = 15.6.
+        use crate::dist::{ContinuousDistribution, TruncatedNormal};
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let lambda = 0.13;
+        let t2 = 15.6;
+        let rule = GaussLegendre::new(64).unwrap();
+        let inner = rule
+            .integrate(
+                |x| (1.0 - (-lambda * x).exp()) * transit.pdf(x),
+                0.0,
+                t2,
+            )
+            .unwrap();
+        let expected = inner + (1.0 - (-lambda * t2).exp()) * transit.sf(t2);
+        // Cross-check against adaptive Simpson.
+        let inner2 = adaptive_simpson(
+            |x| (1.0 - (-lambda * x).exp()) * transit.pdf(x),
+            0.0,
+            t2,
+            1e-12,
+        )
+        .unwrap();
+        let expected2 = inner2 + (1.0 - (-lambda * t2).exp()) * transit.sf(t2);
+        assert!((expected - expected2).abs() < 1e-9);
+        // This should land near the paper's ≈40 % with-LB4 alarm rate.
+        assert!(expected > 0.3 && expected < 0.5, "E = {expected}");
+    }
+
+    #[test]
+    fn gauss_legendre_rejects_zero_points() {
+        assert!(GaussLegendre::new(0).is_err());
+    }
+
+    #[test]
+    fn gauss_legendre_weights_sum_to_two() {
+        for &n in &[1usize, 2, 5, 16, 64] {
+            let rule = GaussLegendre::new(n).unwrap();
+            let sum: f64 = rule.weights().iter().sum();
+            assert!((sum - 2.0).abs() < 1e-12, "n = {n}, sum = {sum}");
+        }
+    }
+}

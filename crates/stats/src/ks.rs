@@ -1,0 +1,171 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used to validate the discrete-event simulator: the transit times it
+//! draws must actually follow the truncated normal the analytic model
+//! assumes. The statistic is `D_n = sup_x |F_n(x) − F(x)|`; the p-value
+//! uses the asymptotic Kolmogorov distribution
+//! `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with the Stephens
+//! finite-sample correction.
+//!
+//! ```
+//! use safety_opt_stats::dist::{Normal, SampleDistribution};
+//! use safety_opt_stats::ks::ks_test;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), safety_opt_stats::StatsError> {
+//! let normal = Normal::new(0.0, 1.0)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let samples = normal.sample_n(&mut rng, 2000);
+//! let result = ks_test(&samples, &normal)?;
+//! assert!(result.p_value > 0.01); // correct model: no rejection
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dist::ContinuousDistribution;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D_n`.
+    pub statistic: f64,
+    /// Asymptotic p-value of observing a statistic at least this large
+    /// under the null hypothesis.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// `true` if the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the one-sample KS test of `samples` against `dist`.
+///
+/// # Errors
+///
+/// [`StatsError::InsufficientData`] for fewer than 8 observations and
+/// [`StatsError::NonFiniteValue`] for non-finite samples.
+pub fn ks_test<D: ContinuousDistribution + ?Sized>(
+    samples: &[f64],
+    dist: &D,
+) -> Result<KsResult> {
+    if samples.len() < 8 {
+        return Err(StatsError::InsufficientData {
+            needed: 8,
+            got: samples.len(),
+        });
+    }
+    let mut sorted = samples.to_vec();
+    for &x in &sorted {
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteValue { at: x });
+        }
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let above = (i + 1) as f64 / nf - f;
+        let below = f - i as f64 / nf;
+        d = d.max(above).max(below);
+    }
+    // Stephens' correction for finite n.
+    let lambda = (nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d;
+    Ok(KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n,
+    })
+}
+
+/// Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Normal, SampleDistribution, TruncatedNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_the_true_model() {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = d.sample_n(&mut rng, 5000);
+        let result = ks_test(&samples, &d).unwrap();
+        assert!(
+            !result.rejects_at(0.01),
+            "true model rejected: D = {}, p = {}",
+            result.statistic,
+            result.p_value
+        );
+    }
+
+    #[test]
+    fn rejects_a_wrong_model() {
+        let truth = Normal::new(0.0, 1.0).unwrap();
+        let wrong = Normal::new(0.5, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let samples = truth.sample_n(&mut rng, 2000);
+        let result = ks_test(&samples, &wrong).unwrap();
+        assert!(result.rejects_at(0.001), "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn rejects_wrong_family() {
+        let truth = Exponential::new(1.0).unwrap();
+        let wrong = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples = truth.sample_n(&mut rng, 1000);
+        let result = ks_test(&samples, &wrong).unwrap();
+        assert!(result.rejects_at(1e-6));
+    }
+
+    #[test]
+    fn kolmogorov_q_limits() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 1e-3);
+        // Known value: Q(1.0) ≈ 0.26999…
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.001);
+    }
+
+    #[test]
+    fn input_validation() {
+        let d = Normal::standard();
+        assert!(matches!(
+            ks_test(&[1.0; 5], &d),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        let mut bad = vec![0.0; 20];
+        bad[3] = f64::NAN;
+        assert!(matches!(
+            ks_test(&bad, &d),
+            Err(StatsError::NonFiniteValue { .. })
+        ));
+    }
+}

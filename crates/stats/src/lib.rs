@@ -1,0 +1,63 @@
+//! Probability and statistics substrate for safety optimization.
+//!
+//! The DSN 2004 paper *"Safety Optimization: A combination of fault tree
+//! analysis and optimization techniques"* (Ortmeier & Reif) builds a
+//! statistical model of the system environment: basic-event probabilities
+//! become **parameterized probabilities** — functions of free system
+//! parameters — usually expressed through continuous probability
+//! distributions (the paper's Elbtunnel case study models overhigh-vehicle
+//! driving times as a normal distribution truncated at zero).
+//!
+//! This crate provides everything that layer needs, implemented from
+//! scratch:
+//!
+//! * [`special`] — special functions: `erf`/`erfc`, inverse normal cdf,
+//!   `ln Γ`, regularized incomplete gamma and beta functions.
+//! * [`dist`] — continuous distributions (normal, truncated normal,
+//!   log-normal, exponential, Weibull, uniform, gamma, beta) with pdf, cdf,
+//!   survival function, quantile, moments, and random sampling.
+//! * [`integrate`] — numerical quadrature (adaptive Simpson and
+//!   Gauss–Legendre) for the integrals that appear when composing
+//!   distributions (e.g. the expected sensor-exposure probabilities of the
+//!   Elbtunnel analysis).
+//! * [`mc`] — streaming Monte-Carlo estimators with confidence intervals,
+//!   used to validate analytic hazard probabilities against discrete-event
+//!   simulation.
+//! * [`ks`] — one-sample Kolmogorov–Smirnov goodness-of-fit test, used to
+//!   check simulated traffic against its assumed distributions.
+//! * [`fit`] — simple parameter estimation (method of moments and maximum
+//!   likelihood) so simulated data can be folded back into models.
+//!
+//! # Example
+//!
+//! Probability that an overhigh vehicle needs longer than a timer runtime
+//! `t` to traverse a zone whose transit time is `N(4, 2²)` truncated at 0 —
+//! the paper's `P(OT)(T)`:
+//!
+//! ```
+//! use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
+//!
+//! # fn main() -> Result<(), safety_opt_stats::StatsError> {
+//! let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0)?;
+//! let p_overtime = transit.sf(19.0); // survival function at T = 19 min
+//! assert!(p_overtime < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+mod error;
+pub mod fit;
+pub mod integrate;
+pub mod ks;
+pub mod mc;
+pub mod special;
+
+pub use error::StatsError;
+
+/// Convenience result alias for fallible statistics operations.
+pub type Result<T> = std::result::Result<T, StatsError>;

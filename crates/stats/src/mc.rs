@@ -1,0 +1,367 @@
+//! Streaming Monte-Carlo estimation.
+//!
+//! The reproduction validates the paper's analytic hazard probabilities
+//! against a discrete-event simulator; that comparison needs estimators
+//! with honest confidence intervals. [`RunningStats`] accumulates moments
+//! with Welford's numerically-stable update, and [`ProportionEstimate`]
+//! wraps the Wilson score interval for rare-event probabilities (where the
+//! naive normal interval is badly miscalibrated).
+//!
+//! ```
+//! use safety_opt_stats::mc::RunningStats;
+//!
+//! let mut stats = RunningStats::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     stats.push(x);
+//! }
+//! assert_eq!(stats.mean(), 2.5);
+//! assert_eq!(stats.sample_variance(), 5.0 / 3.0);
+//! ```
+
+use crate::special::inverse_normal_cdf;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Numerically-stable streaming mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided normal-approximation confidence interval for the mean at
+    /// `confidence` (e.g. `0.95`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < confidence < 1`, and [`StatsError::InsufficientData`] with
+    /// fewer than 2 observations.
+    pub fn mean_confidence_interval(&self, confidence: f64) -> Result<(f64, f64)> {
+        if self.n < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: self.n as usize,
+            });
+        }
+        let z = z_for_confidence(confidence)?;
+        let half = z * self.std_error();
+        Ok((self.mean - half, self.mean + half))
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Estimate of a Bernoulli probability from `successes / trials`, with
+/// Wilson score intervals.
+///
+/// Hazard probabilities are tiny; the Wilson interval stays calibrated at
+/// probabilities near 0 where the Wald interval collapses to `[p, p]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProportionEstimate {
+    successes: u64,
+    trials: u64,
+}
+
+impl ProportionEstimate {
+    /// Creates an empty estimate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates from pre-counted data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `successes > trials`.
+    pub fn from_counts(successes: u64, trials: u64) -> Result<Self> {
+        if successes > trials {
+            return Err(StatsError::InvalidParameter {
+                name: "successes",
+                value: successes as f64,
+                requirement: "must be <= trials",
+            });
+        }
+        Ok(Self { successes, trials })
+    }
+
+    /// Records one Bernoulli outcome.
+    pub fn push(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of recorded successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of recorded trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate `successes / trials` (0 when empty).
+    pub fn p_hat(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Merges another estimate (parallel reduction).
+    pub fn merge(&mut self, other: &ProportionEstimate) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Wilson score interval at the given `confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < confidence < 1`, and [`StatsError::InsufficientData`] when no
+    /// trials have been recorded.
+    pub fn wilson_interval(&self, confidence: f64) -> Result<(f64, f64)> {
+        if self.trials == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let z = z_for_confidence(confidence)?;
+        let n = self.trials as f64;
+        let p = self.p_hat();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        Ok(((center - half).max(0.0), (center + half).min(1.0)))
+    }
+
+    /// `true` if `value` lies inside the Wilson interval at `confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`wilson_interval`](Self::wilson_interval).
+    pub fn is_consistent_with(&self, value: f64, confidence: f64) -> Result<bool> {
+        let (lo, hi) = self.wilson_interval(confidence)?;
+        Ok(value >= lo && value <= hi)
+    }
+}
+
+fn z_for_confidence(confidence: f64) -> Result<f64> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidProbability { value: confidence });
+    }
+    inverse_normal_cdf(0.5 + confidence / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic_moments() {
+        let stats: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-15);
+        // population variance 4 → sample variance 32/7
+        assert!((stats.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(stats.min(), 2.0);
+        assert_eq!(stats.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let sequential: RunningStats = data.iter().copied().collect();
+        let mut left: RunningStats = data[..400].iter().copied().collect();
+        let right: RunningStats = data[400..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - sequential.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats: RunningStats = [1.0, 2.0].into_iter().collect();
+        stats.merge(&RunningStats::new());
+        assert_eq!(stats.count(), 2);
+        let mut empty = RunningStats::new();
+        empty.merge(&stats);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean() {
+        let stats: RunningStats = (0..100).map(|i| i as f64).collect();
+        let (lo, hi) = stats.mean_confidence_interval(0.95).unwrap();
+        assert!(lo < stats.mean() && stats.mean() < hi);
+        // 99 % interval is wider than 90 %.
+        let (lo99, hi99) = stats.mean_confidence_interval(0.99).unwrap();
+        let (lo90, hi90) = stats.mean_confidence_interval(0.90).unwrap();
+        assert!(hi99 - lo99 > hi90 - lo90);
+    }
+
+    #[test]
+    fn confidence_interval_needs_data() {
+        let stats = RunningStats::new();
+        assert!(matches!(
+            stats.mean_confidence_interval(0.95),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        let mut one = RunningStats::new();
+        one.push(1.0);
+        assert!(one.mean_confidence_interval(0.95).is_err());
+    }
+
+    #[test]
+    fn proportion_point_estimate() {
+        let est = ProportionEstimate::from_counts(3, 1000).unwrap();
+        assert!((est.p_hat() - 0.003).abs() < 1e-15);
+        assert!(ProportionEstimate::from_counts(5, 4).is_err());
+    }
+
+    #[test]
+    fn wilson_interval_never_escapes_unit_interval() {
+        let zero = ProportionEstimate::from_counts(0, 50).unwrap();
+        let (lo, hi) = zero.wilson_interval(0.95).unwrap();
+        assert!(lo >= 0.0 && hi <= 1.0 && hi > 0.0);
+        let all = ProportionEstimate::from_counts(50, 50).unwrap();
+        let (lo, hi) = all.wilson_interval(0.95).unwrap();
+        assert!(lo < 1.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_covers_true_p() {
+        // With p̂ = 80/1000 the interval should cover p = 0.0785-ish values.
+        let est = ProportionEstimate::from_counts(80, 1000).unwrap();
+        assert!(est.is_consistent_with(0.08, 0.95).unwrap());
+        assert!(!est.is_consistent_with(0.2, 0.95).unwrap());
+    }
+
+    #[test]
+    fn proportion_merge_adds_counts() {
+        let mut a = ProportionEstimate::from_counts(2, 10).unwrap();
+        let b = ProportionEstimate::from_counts(3, 20).unwrap();
+        a.merge(&b);
+        assert_eq!(a.successes(), 5);
+        assert_eq!(a.trials(), 30);
+    }
+
+    #[test]
+    fn rejects_bad_confidence() {
+        let stats: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!(stats.mean_confidence_interval(0.0).is_err());
+        assert!(stats.mean_confidence_interval(1.0).is_err());
+        let est = ProportionEstimate::from_counts(1, 2).unwrap();
+        assert!(est.wilson_interval(1.5).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based contracts for every distribution: cdf/quantile
+//! inversion, cdf monotonicity, sf complementarity, and sampling staying
+//! inside the support — across randomly drawn parameterizations.
+
+use proptest::prelude::*;
+use safety_opt_stats::dist::{
+    Beta, ContinuousDistribution, Exponential, Gamma, LogNormal, Normal, SampleDistribution,
+    TruncatedNormal, Uniform, Weibull,
+};
+
+fn check_inversion<D: ContinuousDistribution>(d: &D, p: f64) -> Result<(), TestCaseError> {
+    let q = d
+        .quantile(p)
+        .map_err(|e| TestCaseError::fail(format!("quantile failed: {e}")))?;
+    if q.is_finite() {
+        let back = d.cdf(q);
+        prop_assert!(
+            (back - p).abs() < 1e-6,
+            "cdf(quantile({p})) = {back} for {d:?}"
+        );
+    }
+    Ok(())
+}
+
+fn check_monotone<D: ContinuousDistribution>(d: &D, a: f64, b: f64) -> Result<(), TestCaseError> {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    prop_assert!(
+        d.cdf(lo) <= d.cdf(hi) + 1e-12,
+        "cdf not monotone on {d:?}: cdf({lo}) > cdf({hi})"
+    );
+    let c = d.cdf(a);
+    let s = d.sf(a);
+    prop_assert!((0.0..=1.0).contains(&c));
+    prop_assert!(
+        (c + s - 1.0).abs() < 1e-9,
+        "cdf + sf = {} at {a} for {d:?}",
+        c + s
+    );
+    Ok(())
+}
+
+fn check_sampling<D: SampleDistribution>(d: &D, seed: u64) -> Result<(), TestCaseError> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (lo, hi) = d.support();
+    for x in d.sample_n(&mut rng, 64) {
+        prop_assert!(x.is_finite(), "non-finite sample from {d:?}");
+        prop_assert!(x >= lo && x <= hi, "sample {x} outside support of {d:?}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normal_contract(
+        mu in -100.0f64..100.0,
+        sigma in 0.01f64..50.0,
+        p in 0.001f64..0.999,
+        a in -200.0f64..200.0,
+        b in -200.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, a, b)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn truncated_normal_contract(
+        mu in -20.0f64..20.0,
+        sigma in 0.1f64..10.0,
+        offset in 0.0f64..2.0,
+        width in 0.5f64..20.0,
+        p in 0.001f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        // Keep the window within a few σ of μ so it carries real mass.
+        let lower = mu - offset * sigma;
+        let upper = lower + width * sigma;
+        let d = TruncatedNormal::new(mu, sigma, lower, upper).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, lower + 0.1, upper - 0.1)?;
+        check_sampling(&d, seed)?;
+        // Support endpoints are respected exactly.
+        prop_assert_eq!(d.cdf(lower - 1.0), 0.0);
+        prop_assert_eq!(d.cdf(upper + 1.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_contract(
+        rate in 0.001f64..100.0,
+        p in 0.001f64..0.999,
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let d = Exponential::new(rate).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, a, b)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn weibull_contract(
+        shape in 0.3f64..8.0,
+        scale in 0.1f64..50.0,
+        p in 0.001f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let d = Weibull::new(shape, scale).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, 0.5 * scale, 2.0 * scale)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn lognormal_contract(
+        mu in -3.0f64..3.0,
+        sigma in 0.05f64..2.0,
+        p in 0.001f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, 0.1, 10.0)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn gamma_contract(
+        shape in 0.3f64..20.0,
+        scale in 0.1f64..10.0,
+        p in 0.01f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let d = Gamma::new(shape, scale).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, 0.5 * shape * scale, 2.0 * shape * scale)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn beta_contract(
+        alpha in 0.3f64..20.0,
+        beta in 0.3f64..20.0,
+        p in 0.01f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let d = Beta::new(alpha, beta).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, 0.2, 0.8)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn uniform_contract(
+        a in -100.0f64..100.0,
+        width in 0.01f64..100.0,
+        p in 0.001f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let d = Uniform::new(a, a + width).unwrap();
+        check_inversion(&d, p)?;
+        check_monotone(&d, a, a + width)?;
+        check_sampling(&d, seed)?;
+    }
+
+    #[test]
+    fn mean_lies_inside_support((mu, sigma) in (-10.0f64..10.0, 0.1f64..5.0)) {
+        // Keep the window within 6σ of the mean so it carries real mass
+        // (further out the constructor rightly rejects it).
+        prop_assume!(-mu / sigma < 6.0);
+        let d = TruncatedNormal::lower_bounded(mu, sigma, 0.0).unwrap();
+        let (lo, hi) = d.support();
+        prop_assert!(d.mean() >= lo && d.mean() <= hi);
+        prop_assert!(d.variance() >= 0.0);
+        // Truncation from below can only raise the mean.
+        prop_assert!(d.mean() >= mu - 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's motivating aviation example (Sect. III): how tight should
+//! the pre-flight tolerance on the air-speed indicator be?
+//!
+//! *"…the smaller the allowed tolerance is, the safer the airplane
+//! operation will be. On the other hand too small acceptable tolerances
+//! will result in many safe aircraft failing the pre-flight check and
+//! thus in delay or canceled flights. So what is the solution? It's of
+//! course some middle value…"*
+//!
+//! Model: during the check, the indicator's deviation from a reference is
+//! measured. Healthy indicators scatter with σ = 2 kt around 0; defective
+//! ones develop a bias (normal around ±12 kt, σ = 4 kt). The check rejects
+//! the aircraft when |deviation| > tolerance.
+//!
+//! * Hazard "accident": a defective indicator passes the check (its
+//!   deviation happened to look small) and contributes to a crash.
+//! * Hazard "grounding": a healthy aircraft fails the check.
+//!
+//! Run with: `cargo run --example airspeed_tolerance`
+
+use safety_optimization::safeopt::model::{Hazard, SafetyModel};
+use safety_optimization::safeopt::optimize::SafetyOptimizer;
+use safety_optimization::safeopt::param::ParameterSpace;
+use safety_optimization::safeopt::pprob::{constant, from_fn};
+use safety_optimization::safeopt::sensitivity;
+use safety_optimization::stats::dist::{ContinuousDistribution, Normal};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut space = ParameterSpace::new();
+    let tol = space.parameter_with_unit("tolerance", 0.5, 20.0, "kt")?;
+
+    let healthy = Normal::new(0.0, 2.0)?;
+    let defective = Normal::new(12.0, 4.0)?; // magnitude of a developed bias
+
+    // P(defective indicator escapes the check) = P(|dev| <= tol), dev ~ defective.
+    let p_escape = from_fn("defect escapes check", move |v| {
+        let t = v.get(tol).unwrap_or(0.0);
+        (defective.cdf(t) - defective.cdf(-t)).clamp(0.0, 1.0)
+    });
+    // P(healthy aircraft rejected) = P(|dev| > tol), dev ~ healthy.
+    let p_reject = from_fn("healthy aircraft grounded", move |v| {
+        let t = v.get(tol).unwrap_or(0.0);
+        (healthy.sf(t) + healthy.cdf(-t)).clamp(0.0, 1.0)
+    });
+
+    let accident = Hazard::builder("accident")
+        .cut_set(
+            "defective indicator in flight",
+            [
+                constant(2e-4)?, // P(indicator defective at check time)
+                p_escape,
+                constant(5e-2)?, // P(bad reading becomes catastrophic)
+            ],
+        )
+        .build();
+    let grounding = Hazard::builder("grounding")
+        .cut_set("false rejection", [p_reject])
+        .build();
+
+    // One accident ≙ 2 000 000 groundings (lives vs delays).
+    let model = SafetyModel::new(space)
+        .hazard(accident, 2_000_000.0)
+        .hazard(grounding, 1.0);
+
+    let optimum = SafetyOptimizer::new(&model).run()?;
+    println!("{optimum}");
+    let t_star = optimum.point().value("tolerance").unwrap();
+    println!(
+        "accident probability at t* : {:.3e}",
+        optimum.hazard_probabilities()[0]
+    );
+    println!(
+        "grounding probability at t*: {:.3e}",
+        optimum.hazard_probabilities()[1]
+    );
+
+    // Sweep the tolerance to show the trade-off curve (the "middle value"
+    // argument of the paper, made quantitative).
+    println!("\ntolerance sweep (cost per check):");
+    let sweep = sensitivity::sweep(&model, tol, &[t_star], 9)?;
+    for p in &sweep.points {
+        let marker = if (p.value - t_star).abs() < 1.3 { "  <- optimum region" } else { "" };
+        println!(
+            "  tol = {:5.2} kt   cost = {:9.4}   P(acc) = {:.2e}   P(grd) = {:.2e}{}",
+            p.value, p.cost, p.hazard_probabilities[0], p.hazard_probabilities[1], marker
+        );
+    }
+    Ok(())
+}

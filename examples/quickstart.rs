@@ -1,0 +1,57 @@
+//! Quickstart: safety optimization in ~40 lines.
+//!
+//! A system with one free parameter (a watchdog timeout) and two opposed
+//! hazards: set the timeout too short and healthy operations get killed
+//! (outage); too long and a hung safety-critical task goes unnoticed
+//! (accident). Safety optimization finds the timeout minimizing the mean
+//! cost.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use safety_optimization::safeopt::model::{Hazard, SafetyModel};
+use safety_optimization::safeopt::optimize::{ConfigurationComparison, SafetyOptimizer};
+use safety_optimization::safeopt::param::ParameterSpace;
+use safety_optimization::safeopt::pprob::{constant, exposure, overtime};
+use safety_optimization::stats::dist::TruncatedNormal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One free parameter: the watchdog timeout, 1..120 seconds.
+    let mut space = ParameterSpace::new();
+    let timeout = space.parameter_with_unit("timeout", 1.0, 120.0, "s")?;
+
+    // Healthy task completion time: normal(8 s, 4 s), truncated at 0.
+    // The accident path: a hung task stays undetected for the whole
+    // timeout, and the physical process tolerates it only sometimes.
+    let completion = TruncatedNormal::lower_bounded(8.0, 4.0, 0.0)?;
+    let accident = Hazard::builder("accident")
+        .cut_set(
+            "hang undetected",
+            [
+                constant(1e-5)?,            // P(task hangs) per mission
+                exposure(0.02, timeout),    // P(process damage grows with timeout)
+            ],
+        )
+        .build();
+
+    // The outage path: a healthy-but-slow task is killed by the watchdog.
+    let outage = Hazard::builder("outage")
+        .cut_set("healthy task killed", [overtime(completion, timeout)])
+        .build();
+
+    // An accident costs 50 000 outages.
+    let model = SafetyModel::new(space)
+        .hazard(accident, 50_000.0)
+        .hazard(outage, 1.0);
+
+    let optimum = SafetyOptimizer::new(&model).run()?;
+    println!("{optimum}");
+
+    // Compare against a naive 10-second default.
+    let cmp = ConfigurationComparison::compute(&model, &[10.0], optimum.point().values())?;
+    print!("{cmp}");
+    println!(
+        "cost improvement over the 10 s default: {:.1} %",
+        100.0 * cmp.cost_improvement()
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Uncertainty analysis on the Elbtunnel model — the paper's Sect. V
+//! outlook ("reduce the whole optimization problem to a problem of
+//! stochastic programming") in practice.
+//!
+//! The calibrated constants are point estimates; in reality the engineers
+//! would know them only within ranges. This example treats the
+//! high-vehicle rate, the OHV presence probability, and the cost ratio as
+//! uncertain, propagates them through the model, and asks the two
+//! questions that matter:
+//!
+//! 1. How uncertain are the risk numbers at the recommended
+//!    configuration?
+//! 2. How much does the *recommendation itself* (the optimal runtimes)
+//!    move — is "19 / 15.6 minutes" robust?
+//!
+//! Run with: `cargo run --release --example uncertainty_analysis`
+
+use rand::Rng;
+use safety_optimization::elbtunnel::analytic::ElbtunnelModel;
+use safety_optimization::safeopt::uncertainty::{optimize_under_uncertainty, propagate};
+use safety_optimization::stats::dist::{LogNormal, SampleDistribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Credible ranges: λ_HV within ±25 % (log-normal), P(OHV) within a
+    // factor ~1.5, the cost ratio between 50 000 and 200 000.
+    let lambda_prior = LogNormal::from_mean_std(0.13, 0.03)?;
+    let sampler = move |rng: &mut rand::rngs::StdRng| {
+        let mut m = ElbtunnelModel::paper();
+        m.lambda_hv = lambda_prior.sample(rng).clamp(0.05, 0.4);
+        m.p_ohv *= 0.75 + 0.75 * rng.gen::<f64>();
+        m.cost_collision = 50_000.0 + 150_000.0 * rng.gen::<f64>();
+        m.build().map_err(Into::into)
+    };
+
+    println!("== 1. Risk uncertainty at the paper's optimum (19, 15.6) ==");
+    let report = propagate(sampler, &[19.0, 15.6], 400, 2004)?;
+    let (clo, chi) = report.cost.mean_confidence_interval(0.95)?;
+    println!(
+        "mean cost      : {:.4e}  (95 % CI of the mean [{:.4e}, {:.4e}])",
+        report.cost.mean(),
+        clo,
+        chi
+    );
+    println!(
+        "cost range     : [{:.4e}, {:.4e}] over {} sampled models",
+        report.cost.min(),
+        report.cost.max(),
+        report.runs
+    );
+    println!(
+        "P(collision)   : {:.3e} ± {:.1e}",
+        report.hazards[0].mean(),
+        report.hazards[0].sample_std_dev()
+    );
+    println!(
+        "P(false alarm) : {:.3e} ± {:.1e}",
+        report.hazards[1].mean(),
+        report.hazards[1].sample_std_dev()
+    );
+
+    println!("\n== 2. How robust is the recommendation itself? ==");
+    let dist = optimize_under_uncertainty(sampler, 60, 2005)?;
+    println!(
+        "timer1*: {:.2} ± {:.2} min   timer2*: {:.2} ± {:.2} min   ({} failures / {} runs)",
+        dist.arg_min[0].mean(),
+        dist.arg_min[0].sample_std_dev(),
+        dist.arg_min[1].mean(),
+        dist.arg_min[1].sample_std_dev(),
+        dist.failures,
+        dist.runs
+    );
+    println!(
+        "optimal cost: {:.4e} ± {:.1e}",
+        dist.min_cost.mean(),
+        dist.min_cost.sample_std_dev()
+    );
+    println!(
+        "\nreading: the optimum moves by only ~{:.1} min across the credible model\n\
+         range — the paper's recommendation is robust to the statistical model's\n\
+         uncertainty (its own Sect. V concern).",
+        dist.arg_min_spread()
+    );
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Full-pipeline integration: text-format fault trees → parameterized
+//! hazards → cost function → optimization → sensitivity, exercised
+//! through the umbrella crate's public API only.
+
+use safety_optimization::fta::parse::parse;
+use safety_optimization::safeopt::model::{Hazard, SafetyModel};
+use safety_optimization::safeopt::optimize::{ConfigurationComparison, SafetyOptimizer};
+use safety_optimization::safeopt::param::ParameterSpace;
+use safety_optimization::safeopt::pareto::ParetoFront;
+use safety_optimization::safeopt::pprob::{constant, exposure, from_fn};
+use safety_optimization::safeopt::sensitivity::{local_gradient, sweep, tornado};
+use safety_optimization::safeopt::surface::CostSurface;
+use safety_optimization::stats::dist::{ContinuousDistribution, TruncatedNormal};
+
+/// A two-hazard railway-crossing model: barrier closure lead time vs
+/// needless road blockage — structurally the Elbtunnel trade-off on a
+/// different system, defined end-to-end through the public API.
+fn crossing_model() -> (SafetyModel, ParameterSpace) {
+    const CROSSING_TREE: &str = r#"
+tree CrossingCollision
+basic TrainEarly
+basic SensorMiss p=1e-5
+cond  CarOnCrossing p=0.02
+DetectionFails := or(TrainEarly, SensorMiss)
+CrossingCollision := inhibit(DetectionFails | CarOnCrossing)
+top CrossingCollision
+"#;
+    let tree = parse(CROSSING_TREE).unwrap();
+    let mut space = ParameterSpace::new();
+    let lead = space
+        .parameter_with_unit("lead_time", 10.0, 240.0, "s")
+        .unwrap();
+    // Train arrival-time scatter relative to the schedule: σ = 30 s.
+    let arrival = TruncatedNormal::lower_bounded(120.0, 30.0, 0.0).unwrap();
+    let collision = Hazard::from_fault_tree(&tree, |leaf| {
+        Ok(match tree.node(tree.leaf(leaf)).name() {
+            // The train beats the barrier if it arrives more than the
+            // configured lead time early.
+            "TrainEarly" => from_fn("train beats barrier", move |v| {
+                let t = v.get(lead).unwrap_or(10.0);
+                arrival.cdf(120.0 - t.min(119.0))
+            }),
+            "SensorMiss" => constant(1e-5).unwrap(),
+            "CarOnCrossing" => constant(0.02).unwrap(),
+            other => panic!("unmapped leaf {other}"),
+        })
+    })
+    .unwrap();
+    let blockage = Hazard::builder("needless blockage")
+        .cut_set(
+            "cars queue while nothing comes",
+            [exposure(0.01, lead)],
+        )
+        .build();
+    let model = SafetyModel::new(space.clone())
+        .hazard(collision, 500_000.0)
+        .hazard(blockage, 1.0);
+    (model, space)
+}
+
+#[test]
+fn parse_model_optimize_compare() {
+    let (model, _) = crossing_model();
+    model.validate().unwrap();
+    let optimum = SafetyOptimizer::new(&model).run().unwrap();
+    let lead = optimum.point().value("lead_time").unwrap();
+    assert!(
+        lead > 60.0 && lead < 200.0,
+        "interior optimum expected, got {lead}"
+    );
+    // Against a naive 30-second lead time the optimum must win.
+    let cmp = ConfigurationComparison::compute(&model, &[30.0], optimum.point().values()).unwrap();
+    assert!(cmp.cost_improvement() > 0.0);
+    // And the collision probability must drop substantially.
+    let col = cmp.hazard("CrossingCollision").unwrap();
+    assert!(col.relative_change < -0.5, "collision delta {}", col.relative_change);
+}
+
+#[test]
+fn sensitivity_toolkit_runs_on_a_real_model() {
+    let (model, space) = crossing_model();
+    let lead = space.id("lead_time").unwrap();
+    let reference = model.space().center();
+
+    let s = sweep(&model, lead, &reference, 25).unwrap();
+    assert_eq!(s.points.len(), 25);
+    let best = s.best().unwrap();
+    assert!(best.cost <= s.points[0].cost);
+    assert!(best.cost <= s.points.last().unwrap().cost);
+
+    let bars = tornado(&model, &reference).unwrap();
+    assert_eq!(bars.len(), 1);
+    assert!(bars[0].swing() > 0.0);
+
+    let g = local_gradient(&model, &reference, 1e-5).unwrap();
+    assert_eq!(g.len(), 1);
+    assert!(g[0].is_finite());
+}
+
+#[test]
+fn pareto_front_contains_weighted_optimum() {
+    let (model, _) = crossing_model();
+    let front = ParetoFront::compute(&model, 241).unwrap();
+    assert!(!front.is_empty());
+    let weighted = front.best_for_weights(&[500_000.0, 1.0]).unwrap();
+    let direct = SafetyOptimizer::new(&model).run().unwrap();
+    assert!(
+        (weighted.x[0] - direct.point().values()[0]).abs() < 2.0,
+        "front {} vs direct {}",
+        weighted.x[0],
+        direct.point().values()[0]
+    );
+}
+
+#[test]
+fn surface_requires_two_parameters_and_errors_cleanly_otherwise() {
+    let (model, space) = crossing_model();
+    let lead = space.id("lead_time").unwrap();
+    // Only one parameter: px == py is rejected.
+    let reference = model.space().center();
+    assert!(CostSurface::evaluate(&model, lead, lead, &reference, 5, 5).is_err());
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // Every layer is reachable through the umbrella crate.
+    let _ = safety_optimization::stats::special::erf(1.0);
+    let _ = safety_optimization::optim::testfns::sphere(&[1.0, 2.0]);
+    let tree = safety_optimization::elbtunnel::fault_trees::collision_tree().unwrap();
+    assert!(tree.len() > 0);
+}

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safety_opt_fta::bdd::TreeBdd;
-use safety_opt_fta::{CutSet, CutSetCollection};
 use safety_opt_fta::mcs;
 use safety_opt_fta::synth::{and_of_ors, or_of_ands, random_tree, RandomTreeConfig};
+use safety_opt_fta::{CutSet, CutSetCollection};
 
 fn bench_engines_on_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("mcs_engines");
@@ -52,11 +52,9 @@ fn bench_random_trees(c: &mut Criterion) {
             gate_reuse: 0.5,
         };
         let tree = random_tree(config, 42);
-        group.bench_with_input(
-            BenchmarkId::new("bottom_up", gates),
-            &tree,
-            |b, t| b.iter(|| mcs::bottom_up(t).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("bottom_up", gates), &tree, |b, t| {
+            b.iter(|| mcs::bottom_up(t).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("bdd", gates), &tree, |b, t| {
             b.iter(|| TreeBdd::build(t).unwrap().minimal_cut_sets().unwrap())
         });

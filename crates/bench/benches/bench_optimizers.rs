@@ -18,7 +18,10 @@ fn bench_optimizers_on_elbtunnel(c: &mut Criterion) {
     let model = ElbtunnelModel::paper().build().unwrap();
     let algorithms: Vec<(&str, Box<dyn Minimizer>)> = vec![
         ("nelder_mead", Box::new(NelderMead::default())),
-        ("multistart_nm_8", Box::new(MultiStart::new(NelderMead::default(), 8))),
+        (
+            "multistart_nm_8",
+            Box::new(MultiStart::new(NelderMead::default(), 8)),
+        ),
         ("hooke_jeeves", Box::new(HookeJeeves::default())),
         ("gradient_descent", Box::new(GradientDescent::default())),
         ("grid_101", Box::new(GridSearch::new(101))),

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use safety_opt_fta::bdd::TreeBdd;
 use safety_opt_fta::importance::ImportanceReport;
 use safety_opt_fta::mcs;
-use safety_opt_fta::quant::{
-    inclusion_exclusion, min_cut_upper_bound, rare_event,
-};
+use safety_opt_fta::quant::{inclusion_exclusion, min_cut_upper_bound, rare_event};
 use safety_opt_fta::synth::or_of_ands;
 use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
 use safety_opt_stats::special::{erfc, inverse_normal_cdf};

@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         row(
-            &["T2".into(), "P(HCol)".into(), "× optimum".into(), "sim P(OT2 | wrong lane)".into()],
+            &[
+                "T2".into(),
+                "P(HCol)".into(),
+                "× optimum".into(),
+                "sim P(OT2 | wrong lane)".into()
+            ],
             &widths
         )
     );

@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         row(
-            &["quantity (at 19, 15.6)".into(), "with constraints".into(), "worst case".into(), "factor".into()],
+            &[
+                "quantity (at 19, 15.6)".into(),
+                "with constraints".into(),
+                "worst case".into(),
+                "factor".into()
+            ],
             &widths
         )
     );

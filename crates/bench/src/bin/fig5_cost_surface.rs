@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("paper        : minimum near (19, 15.6), band ≈ 0.0046 … 0.0047");
     println!(
         "band check   : {}",
-        if (0.0046..0.0047).contains(&mv) { "INSIDE the paper's band" } else { "outside band" }
+        if (0.0046..0.0047).contains(&mv) {
+            "INSIDE the paper's band"
+        } else {
+            "outside band"
+        }
     );
 
     println!("\nASCII heat map (low = ' ', high = '@', * = minimum):");

@@ -21,9 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let widths = [6usize, 14, 14, 14, 14, 14, 14];
 
     let header: Vec<String> = std::iter::once("T2".to_string())
-        .chain(variants.iter().flat_map(|v| {
-            [format!("{v} (ana)"), format!("{v} (sim)")]
-        }))
+        .chain(
+            variants
+                .iter()
+                .flat_map(|v| [format!("{v} (ana)"), format!("{v} (sim)")]),
+        )
         .collect();
     println!("{}", row(&header, &widths));
 
@@ -49,13 +51,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\npaper anchors:");
     let p = scaling::false_alarm_given_correct_ohv(&model, Variant::Original, 15.6)?;
-    println!("  without_LB4 @ 15.6 min : {:.1} %  (paper: more than 80 %)", 100.0 * p);
+    println!(
+        "  without_LB4 @ 15.6 min : {:.1} %  (paper: more than 80 %)",
+        100.0 * p
+    );
     let p = scaling::false_alarm_given_correct_ohv(&model, Variant::Original, 30.0)?;
-    println!("  without_LB4 @ 30 min   : {:.1} %  (paper: more than 95 %)", 100.0 * p);
+    println!(
+        "  without_LB4 @ 30 min   : {:.1} %  (paper: more than 95 %)",
+        100.0 * p
+    );
     let p = scaling::false_alarm_given_correct_ohv(&model, Variant::WithLb4, 15.6)?;
-    println!("  with_LB4    @ 15.6 min : {:.1} %  (paper: ≈ 40 %)", 100.0 * p);
+    println!(
+        "  with_LB4    @ 15.6 min : {:.1} %  (paper: ≈ 40 %)",
+        100.0 * p
+    );
     let p = scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, 15.6)?;
-    println!("  LB at ODfinal          : {:.1} %  (paper: ≈ 4 %)", 100.0 * p);
+    println!(
+        "  LB at ODfinal          : {:.1} %  (paper: ≈ 4 %)",
+        100.0 * p
+    );
 
     write_artifact("fig6_false_alarm_scaling.csv", &csv);
     Ok(())

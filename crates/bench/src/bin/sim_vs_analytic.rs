@@ -71,8 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let est = &report.false_alarm_given_correct;
         let (lo, hi) = est.wilson_interval(0.99)?;
-        let analytic =
-            scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, t2)?;
+        let analytic = scaling::false_alarm_given_correct_ohv(&model, Variant::LbAtOdFinal, t2)?;
         check("fa|correct,LBod", t2, analytic, est.p_hat(), lo, hi);
     }
     for (i, &t2) in [7.0, 9.0, 12.0].iter().enumerate() {

@@ -39,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         row(
-            &["algorithm".into(), "T1*".into(), "T2*".into(), "f_cost*".into(), "evals".into()],
+            &[
+                "algorithm".into(),
+                "T1*".into(),
+                "T2*".into(),
+                "f_cost*".into(),
+                "evals".into()
+            ],
             &widths
         )
     );

@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &widths
         )
     );
-    let mut csv =
-        String::from("factor,t1,t2,cost,alarm_rate_original,alarm_rate_with_lb4\n");
+    let mut csv = String::from("factor,t1,t2,cost,alarm_rate_original,alarm_rate_with_lb4\n");
     for o in &outcomes {
         println!(
             "{}",

@@ -1,0 +1,310 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace satisfies its `rand` dependency with this crate through
+//! Cargo dependency renaming (`rand = { package =
+//! "safety_opt_rand_compat", … }` in the workspace manifest). Consumer
+//! code is written against the upstream names ([`Rng`], [`RngCore`],
+//! [`SeedableRng`], [`rngs::StdRng`]) and compiles unchanged against the
+//! real crate — swapping back is a one-line manifest change.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64: deterministic per seed, fast, and statistically sound for
+//! the Monte-Carlo and stochastic-optimization workloads here. It is
+//! **not** a cryptographic generator and does not reproduce the stream of
+//! upstream `StdRng`; all in-repo consumers only rely on seeds being
+//! deterministic, not on specific stream values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level generator interface: a source of uniformly random bits.
+///
+/// Object-safe; algorithm code that wants dynamic dispatch takes
+/// `&mut dyn RngCore` (see the Elbtunnel simulator).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from raw random bits.
+///
+/// Upstream `rand` routes this through `Standard: Distribution<T>`; the
+/// subset used here only needs a handful of primitive outputs.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 significant bits.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 significant bits.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniform for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws uniformly from `[0, n)` without modulo bias (Lemire rejection).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = u64::MAX - u64::MAX.wrapping_rem(n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone || zone == 0 {
+            return v % n.max(1);
+        }
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = (end - start) as u64 + 1;
+        start + uniform_below(rng, span) as usize
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<i32> for std::ops::Range<i32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + uniform_below(rng, span) as i64) as i32
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Draws a value of a [`StandardUniform`] type (`rng.gen::<f64>()` is
+    /// uniform in `[0, 1)`).
+    fn gen<T: StandardUniform>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The workspace's standard generator: xoshiro256++ with SplitMix64 seed
+/// expansion. Deterministic per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one fixed point; SplitMix64 cannot
+        // produce it from any seed, but keep the guard for clarity.
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_enough_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=7usize);
+            assert!((3..=7).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let x: f64 = dynrng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let k = dynrng.gen_range(0..10usize);
+        assert!(k < 10);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.13)).count();
+        assert!((hits as f64 / 100_000.0 - 0.13).abs() < 0.01);
+    }
+}

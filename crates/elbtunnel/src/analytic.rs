@@ -23,16 +23,16 @@
 use crate::constants as c;
 use safety_opt_core::model::{Hazard, SafetyModel};
 use safety_opt_core::param::{ParamId, ParameterSpace};
-use safety_opt_core::pprob::{complement, constant, exposure, from_fn, overtime, product, scaled};
+use safety_opt_core::pprob::{complement, constant, exposure, overtime, product, scaled, sum};
 use safety_opt_core::Result;
 use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
 use safety_opt_stats::integrate::GaussLegendre;
-use serde::{Deserialize, Serialize};
 
 /// Builder for the Elbtunnel safety model. [`ElbtunnelModel::paper`]
 /// yields the calibrated paper configuration; the setters support the
 /// "different working environments" analyses (Sect. II-D.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ElbtunnelModel {
     /// Mean zone transit time (min).
     pub transit_mean: f64,
@@ -131,8 +131,7 @@ impl ElbtunnelModel {
 
     /// False-alarm hazard probability `P(HAlr)(T1, T2)`.
     pub fn p_false_alarm(&self, t1: f64, t2: f64) -> f64 {
-        let activation = self.p_ohv
-            + (1.0 - self.p_ohv) * self.p_fd_lbpre * self.p_fd_lbpost(t1);
+        let activation = self.p_ohv + (1.0 - self.p_ohv) * self.p_fd_lbpre * self.p_fd_lbpost(t1);
         self.p_const2 + activation * self.p_hv_odfinal(t2)
     }
 
@@ -184,18 +183,14 @@ impl ElbtunnelModel {
 
         // --- False-alarm hazard ---
         // Constraint: ODfinal is active because an OHV armed it, or both
-        // light barriers false-detected.
+        // light barriers false-detected. Expressed structurally (clamped
+        // sum of a constant and a scaled product) so the evaluation
+        // engine can compile it instead of falling back to a closure.
         let spurious = scaled(
             1.0 - self.p_ohv,
-            product([
-                constant(self.p_fd_lbpre)?,
-                exposure(self.lambda_fd_lb, t1),
-            ]),
+            product([constant(self.p_fd_lbpre)?, exposure(self.lambda_fd_lb, t1)]),
         )?;
-        let p_ohv = self.p_ohv;
-        let activation = from_fn("P(ODfinal active)", move |v| {
-            p_ohv + spurious.eval(v).unwrap_or(0.0)
-        });
+        let activation = sum([constant(self.p_ohv)?, spurious]);
         let false_alarm = Hazard::builder("false-alarm")
             .residual("other false-alarm cut sets (Pconst2)", self.p_const2)
             .cut_set(
@@ -219,7 +214,8 @@ impl ElbtunnelModel {
 }
 
 /// Design variants of the height control (paper Sect. IV-C.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Variant {
     /// The deployed design: `ODfinal` stays armed for the full timer-2
     /// runtime after every OHV.
@@ -404,8 +400,7 @@ mod tests {
     #[test]
     fn fig6_anchors() {
         let m = ElbtunnelModel::paper();
-        let p_opt =
-            scaling::false_alarm_given_correct_ohv(&m, Variant::Original, 15.6).unwrap();
+        let p_opt = scaling::false_alarm_given_correct_ohv(&m, Variant::Original, 15.6).unwrap();
         assert!(p_opt > 0.8, "paper: > 80 %, got {p_opt}");
         let p_30 = scaling::false_alarm_given_correct_ohv(&m, Variant::Original, 30.0).unwrap();
         assert!(p_30 > 0.95, "paper: > 95 %, got {p_30}");
@@ -427,7 +422,10 @@ mod tests {
         // With-LB4 saturates: nearly flat for t2 ≫ mean transit.
         let lb4 = scaling::figure6_series(&m, Variant::WithLb4, 5.0, 25.0, 41).unwrap();
         let spread = lb4[40].1 - lb4[20].1;
-        assert!(spread.abs() < 0.02, "with_LB4 should saturate, spread {spread}");
+        assert!(
+            spread.abs() < 0.02,
+            "with_LB4 should saturate, spread {spread}"
+        );
         // And always below the original curve.
         for (orig, with) in series.iter().zip(&lb4) {
             assert!(with.1 <= orig.1 + 1e-12);
@@ -449,8 +447,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(
-            heavy_opt.point().value("timer2").unwrap()
-                < base_opt.point().value("timer2").unwrap()
+            heavy_opt.point().value("timer2").unwrap() < base_opt.point().value("timer2").unwrap()
         );
     }
 

@@ -67,10 +67,7 @@ pub fn collision_tree() -> Result<FaultTree> {
     let md_final = ft.basic_event(names::MD_ODFINAL)?;
     let critical = ft.condition(names::OHV_CRITICAL)?;
 
-    let chain = ft.or_gate(
-        "detection chain fails",
-        [ot1, ot2, md_left, md_final],
-    )?;
+    let chain = ft.or_gate("detection chain fails", [ot1, ot2, md_left, md_final])?;
     let top = ft.inhibit_gate("collision", chain, critical)?;
     ft.set_root(top)?;
     Ok(ft)
@@ -122,11 +119,7 @@ mod tests {
             assert_eq!(cs.conditions(&ft).len(), 1);
         }
         // {OT1} and {OT2} are among them (the paper's "two most important").
-        let has = |name: &str| {
-            sets.iter().any(|cs| {
-                cs.names(&ft).contains(&name)
-            })
-        };
+        let has = |name: &str| sets.iter().any(|cs| cs.names(&ft).contains(&name));
         assert!(has(names::OT1));
         assert!(has(names::OT2));
         assert!(has(names::MD_ODLEFT));
@@ -171,15 +164,14 @@ mod tests {
         let m = ElbtunnelModel::paper();
         let (t1, t2) = (19.0, 15.6);
         let ft = false_alarm_tree().unwrap();
-        let activation =
-            m.p_ohv + (1.0 - m.p_ohv) * m.p_fd_lbpre * m.p_fd_lbpost(t1);
+        let activation = m.p_ohv + (1.0 - m.p_ohv) * m.p_fd_lbpre * m.p_fd_lbpost(t1);
         let probs = ProbabilityMap::from_fn(&ft, |leaf| {
             let name = ft.node(ft.leaf(leaf)).name().to_string();
             match name.as_str() {
                 names::HV_ODFINAL => m.p_hv_odfinal(t2),
-                names::FD_ODFINAL => 0.0,  // folded into Pconst2 analytically
-                names::HV_ODLEFT => 0.0,   // folded into Pconst2
-                names::FD_ODLEFT => 0.0,   // folded into Pconst2
+                names::FD_ODFINAL => 0.0, // folded into Pconst2 analytically
+                names::HV_ODLEFT => 0.0,  // folded into Pconst2
+                names::FD_ODLEFT => 0.0,  // folded into Pconst2
                 names::OHV_PRESENT => m.p_ohv,
                 names::ODFINAL_ACTIVE => activation,
                 other => panic!("unexpected leaf {other}"),
@@ -205,18 +197,15 @@ mod tests {
         let m = ElbtunnelModel::paper();
         let (t1, t2) = (30.0, 30.0);
         let ft = false_alarm_tree().unwrap();
-        let activation =
-            m.p_ohv + (1.0 - m.p_ohv) * m.p_fd_lbpre * m.p_fd_lbpost(t1);
-        let probs = ProbabilityMap::from_fn(&ft, |leaf| {
-            match ft.node(ft.leaf(leaf)).name() {
-                names::HV_ODFINAL => m.p_hv_odfinal(t2),
-                names::FD_ODFINAL => 1e-2 * m.p_hv_odfinal(t2),
-                names::HV_ODLEFT => 5e-3,
-                names::FD_ODLEFT => 1e-4,
-                names::OHV_PRESENT => m.p_ohv,
-                names::ODFINAL_ACTIVE => activation,
-                _ => unreachable!(),
-            }
+        let activation = m.p_ohv + (1.0 - m.p_ohv) * m.p_fd_lbpre * m.p_fd_lbpost(t1);
+        let probs = ProbabilityMap::from_fn(&ft, |leaf| match ft.node(ft.leaf(leaf)).name() {
+            names::HV_ODFINAL => m.p_hv_odfinal(t2),
+            names::FD_ODFINAL => 1e-2 * m.p_hv_odfinal(t2),
+            names::HV_ODLEFT => 5e-3,
+            names::FD_ODLEFT => 1e-4,
+            names::OHV_PRESENT => m.p_ohv,
+            names::ODFINAL_ACTIVE => activation,
+            _ => unreachable!(),
         })
         .unwrap();
         let report = ImportanceReport::compute(&ft, &probs).unwrap();

@@ -13,11 +13,11 @@
 use crate::analytic::{scaling, ElbtunnelModel, Variant};
 use safety_opt_core::optimize::SafetyOptimizer;
 use safety_opt_core::Result;
-use serde::{Deserialize, Serialize};
 
 /// A traffic-growth scenario: multipliers on today's calibrated
 /// intensities.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficScenario {
     /// Multiplier on the OHV presence probability `P(OHV)` (and the
     /// spurious-activation pressure that comes with more OHV traffic).
@@ -45,7 +45,8 @@ impl TrafficScenario {
 }
 
 /// Outcome of one scenario of a [`scaling_study`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScenarioOutcome {
     /// The applied scenario.
     pub scenario: TrafficScenario,

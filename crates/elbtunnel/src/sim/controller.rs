@@ -7,10 +7,10 @@
 //! `ODfinal` is *disarmed*.
 
 use crate::analytic::Variant;
-use serde::{Deserialize, Serialize};
 
 /// Why an emergency stop was signalled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AlarmCause {
     /// A (real) overhigh vehicle on a left lane — a justified stop.
     OhvWrongLane,
@@ -24,7 +24,8 @@ pub enum AlarmCause {
 ///
 /// Time is in minutes, monotone per instance; callers feed sensor events
 /// in chronological order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HeightController {
     variant: Variant,
     t1: f64,
@@ -62,10 +63,8 @@ impl HeightController {
     /// `LBpost` for the timer-1 runtime.
     pub fn on_lbpre(&mut self, t: f64) {
         let until = t + self.t1;
-        self.lbpost_armed_until = Some(
-            self.lbpost_armed_until
-                .map_or(until, |u: f64| u.max(until)),
-        );
+        self.lbpost_armed_until =
+            Some(self.lbpost_armed_until.map_or(until, |u: f64| u.max(until)));
     }
 
     /// `true` while `LBpost` is armed.

@@ -8,10 +8,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use safety_opt_stats::dist::{Exponential, SampleDistribution, TruncatedNormal};
 use safety_opt_stats::mc::{ProportionEstimate, RunningStats};
-use serde::{Deserialize, Serialize};
 
 /// Simulation configuration for one scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimConfig {
     /// Timer-1 runtime (min).
     pub t1: f64,
@@ -58,7 +58,8 @@ impl SimConfig {
 }
 
 /// What happened during one OHV passage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EpisodeOutcome {
     /// The OHV tried to reach a wrong tube.
     pub wrong_lane: bool,
@@ -147,8 +148,8 @@ pub fn simulate_episode(config: &SimConfig, rng: &mut dyn RngCore) -> EpisodeOut
                     ctrl.force_alarm(x1 + x2 + first_hv, AlarmCause::HighVehicle);
                 }
                 _ => {
-                    let fired = ctrl
-                        .on_odfinal_high_silhouette(x1 + first_hv, AlarmCause::HighVehicle);
+                    let fired =
+                        ctrl.on_odfinal_high_silhouette(x1 + first_hv, AlarmCause::HighVehicle);
                     debug_assert!(fired, "window arithmetic out of sync");
                 }
             }
@@ -165,9 +166,7 @@ pub fn simulate_episode(config: &SimConfig, rng: &mut dyn RngCore) -> EpisodeOut
         }
         // Auxiliary light barrier false detections (improvement
         // variants).
-        if !false_alarm
-            && config.variant != Variant::Original
-            && rng.gen::<f64>() < config.p_fd_lb4
+        if !false_alarm && config.variant != Variant::Original && rng.gen::<f64>() < config.p_fd_lb4
         {
             false_alarm = true;
             ctrl.force_alarm(x1 + x2, AlarmCause::FalseDetection);
@@ -186,7 +185,8 @@ pub fn simulate_episode(config: &SimConfig, rng: &mut dyn RngCore) -> EpisodeOut
 }
 
 /// Aggregated statistics over many episodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimReport {
     /// Episodes simulated.
     pub episodes: u64,
@@ -319,12 +319,18 @@ mod tests {
         let report = simulate(&config, 60_000, 5);
         let expected = model.p_overtime(8.0).unwrap();
         assert!(
-            report.overtime1.is_consistent_with(expected, 0.999).unwrap(),
+            report
+                .overtime1
+                .is_consistent_with(expected, 0.999)
+                .unwrap(),
             "ot1 {} vs {expected}",
             report.overtime1.p_hat()
         );
         assert!(
-            report.overtime2.is_consistent_with(expected, 0.999).unwrap(),
+            report
+                .overtime2
+                .is_consistent_with(expected, 0.999)
+                .unwrap(),
             "ot2 {} vs {expected}",
             report.overtime2.p_hat()
         );

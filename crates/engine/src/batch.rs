@@ -1,0 +1,228 @@
+//! Parallel batch evaluation of a compiled [`Tape`].
+//!
+//! Shards a slice of parameter points across a `std::thread` scoped
+//! worker pool. Points are cut into fixed-length chunks and assigned to
+//! workers round-robin — a deterministic function of the batch size and
+//! chunk length only, never of timing — and every point's result is
+//! written to its own output index, so batch results are **bit-identical
+//! for every thread count** (asserted by the equivalence property tests).
+//!
+//! Workers own their scratch buffers; steady-state evaluation performs no
+//! allocation beyond the output vectors.
+
+use crate::tape::Tape;
+
+/// Default number of points per work unit.
+const DEFAULT_CHUNK: usize = 256;
+
+/// Batch evaluator: a tape plus a parallelism configuration.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator<'t> {
+    tape: &'t Tape,
+    threads: usize,
+    chunk: usize,
+}
+
+impl<'t> BatchEvaluator<'t> {
+    /// Creates an evaluator over `tape` with `threads` workers
+    /// (`threads = 1` evaluates inline with zero spawn overhead).
+    pub fn new(tape: &'t Tape, threads: usize) -> Self {
+        Self {
+            tape,
+            threads: threads.max(1),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Evaluator sized to the machine
+    /// (`std::thread::available_parallelism`).
+    pub fn with_available_parallelism(tape: &'t Tape) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(tape, threads)
+    }
+
+    /// Overrides the deterministic chunk length (points per work unit).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates the weighted cost at every point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the tape.
+    pub fn costs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> Vec<f64> {
+        let tape = self.tape;
+        let n_out = tape.n_outputs();
+        let mut costs = vec![0.0; points.len()];
+        if self.sequential(points.len()) {
+            let mut scratch = Vec::with_capacity(tape.scratch_len());
+            let mut hazards = vec![0.0; n_out];
+            for (p, c) in points.iter().zip(&mut costs) {
+                *c = tape.eval_into(p.as_ref(), &mut scratch, &mut hazards);
+            }
+            return costs;
+        }
+        let assignments = round_robin(
+            self.threads,
+            points.chunks(self.chunk).zip(costs.chunks_mut(self.chunk)),
+        );
+        std::thread::scope(|scope| {
+            for units in assignments {
+                scope.spawn(move || {
+                    let mut scratch = Vec::with_capacity(tape.scratch_len());
+                    let mut hazards = vec![0.0; n_out];
+                    for (pts, out) in units {
+                        for (p, c) in pts.iter().zip(out) {
+                            *c = tape.eval_into(p.as_ref(), &mut scratch, &mut hazards);
+                        }
+                    }
+                });
+            }
+        });
+        costs
+    }
+
+    /// Evaluates cost **and** per-output (hazard) values at every point.
+    /// Returns `(costs, outputs)` with `outputs` flattened row-major
+    /// (`points.len() × tape.n_outputs()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the tape.
+    pub fn costs_and_outputs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> (Vec<f64>, Vec<f64>) {
+        let tape = self.tape;
+        let n_out = tape.n_outputs();
+        let mut costs = vec![0.0; points.len()];
+        let mut outputs = vec![0.0; points.len() * n_out];
+        let row = n_out.max(1);
+        if self.sequential(points.len()) {
+            let mut scratch = Vec::with_capacity(tape.scratch_len());
+            for ((p, c), o) in points.iter().zip(&mut costs).zip(outputs.chunks_mut(row)) {
+                *c = tape.eval_into(p.as_ref(), &mut scratch, &mut o[..n_out]);
+            }
+            return (costs, outputs);
+        }
+        let assignments = round_robin(
+            self.threads,
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .zip(outputs.chunks_mut(self.chunk * row))
+                .map(|((p, c), o)| (p, c, o)),
+        );
+        std::thread::scope(|scope| {
+            for units in assignments {
+                scope.spawn(move || {
+                    let mut scratch = Vec::with_capacity(tape.scratch_len());
+                    for (pts, out, rows) in units {
+                        for ((p, c), o) in pts.iter().zip(out).zip(rows.chunks_mut(row)) {
+                            *c = tape.eval_into(p.as_ref(), &mut scratch, &mut o[..n_out]);
+                        }
+                    }
+                });
+            }
+        });
+        (costs, outputs)
+    }
+
+    fn sequential(&self, n: usize) -> bool {
+        self.threads == 1 || n <= self.chunk
+    }
+}
+
+/// Assigns work units to workers round-robin (unit `i` goes to worker
+/// `i % threads`) — deterministic and lock-free.
+fn round_robin<T>(threads: usize, units: impl Iterator<Item = T>) -> Vec<Vec<T>> {
+    let mut assignments: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, unit) in units.enumerate() {
+        assignments[i % threads].push(unit);
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::TapeBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn demo_tape() -> Tape {
+        let mut b = TapeBuilder::new(2);
+        let e1 = b.exposure(0.13, b.input(0));
+        let e2 = b.exposure(0.07, b.input(1));
+        let half = b.constant(0.5);
+        let p = b.product([half, e1, e2]);
+        let h1 = b.sum_clamped(1e-4, [p]);
+        let h2 = b.sum_clamped(0.0, [e1]);
+        b.output(h1, 100.0);
+        b.output(h2, 1.0);
+        b.build()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 30.0, rng.gen::<f64>() * 30.0])
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_eval() {
+        let tape = demo_tape();
+        let points = random_points(1000, 1);
+        let batch = BatchEvaluator::new(&tape, 4).chunk_size(64).costs(&points);
+        for (p, &v) in points.iter().zip(&batch) {
+            assert_eq!(tape.eval(p), v, "bitwise equality expected");
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let tape = demo_tape();
+        let points = random_points(3000, 2);
+        let reference = BatchEvaluator::new(&tape, 1).costs(&points);
+        for threads in [2, 3, 8] {
+            let got = BatchEvaluator::new(&tape, threads)
+                .chunk_size(17)
+                .costs(&points);
+            assert_eq!(reference, got, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn costs_and_outputs_agree_with_costs() {
+        let tape = demo_tape();
+        let points = random_points(500, 3);
+        let costs = BatchEvaluator::new(&tape, 2).chunk_size(32).costs(&points);
+        let (costs2, outputs) = BatchEvaluator::new(&tape, 2)
+            .chunk_size(32)
+            .costs_and_outputs(&points);
+        assert_eq!(costs, costs2);
+        assert_eq!(outputs.len(), points.len() * tape.n_outputs());
+        for (i, p) in points.iter().enumerate() {
+            let mut out = vec![0.0; tape.n_outputs()];
+            let mut scratch = Vec::new();
+            tape.eval_into(p, &mut scratch, &mut out);
+            assert_eq!(&outputs[i * 2..i * 2 + 2], out.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let tape = demo_tape();
+        let points: Vec<Vec<f64>> = Vec::new();
+        assert!(BatchEvaluator::new(&tape, 4).costs(&points).is_empty());
+        let (c, o) = BatchEvaluator::new(&tape, 4).costs_and_outputs(&points);
+        assert!(c.is_empty() && o.is_empty());
+    }
+}

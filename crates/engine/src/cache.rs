@@ -1,0 +1,164 @@
+//! Quantized-point memoization for optimizer reuse.
+//!
+//! Population optimizers and multi-start local searches revisit (nearly)
+//! identical points constantly — restarts converging to the same basin,
+//! grid-aligned pattern moves, polishing steps around the incumbent. A
+//! [`QuantizedCache`] memoizes evaluations keyed by the point quantized
+//! to a configurable resolution, so revisits become hash lookups.
+//!
+//! Quantization only affects the *key*: cached values are the exact
+//! results of whatever point first produced the key. Choose the
+//! resolution well below the parameter scale you care about (the default
+//! of 2⁻³⁰ of a unit is far below any optimizer tolerance in this
+//! workspace) or disable the cache where exactness per point matters.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Thread-safe memo cache over quantized parameter points.
+#[derive(Debug)]
+pub struct QuantizedCache {
+    inv_resolution: f64,
+    map: Mutex<HashMap<Vec<i64>, f64>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl QuantizedCache {
+    /// Creates a cache with grid `resolution` (points closer than this
+    /// per coordinate share an entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `resolution` is finite and positive.
+    pub fn new(resolution: f64) -> Self {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "resolution must be finite and > 0"
+        );
+        Self {
+            inv_resolution: 1.0 / resolution,
+            map: Mutex::new(HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// A resolution fine enough to be invisible to every optimizer
+    /// tolerance in this workspace (≈1e-9 per unit).
+    pub fn fine() -> Self {
+        Self::new(1e-9)
+    }
+
+    fn key(&self, x: &[f64]) -> Option<Vec<i64>> {
+        x.iter()
+            .map(|&v| {
+                let q = v * self.inv_resolution;
+                // Out-of-range or non-finite coordinates are uncacheable.
+                if q.is_finite() && q.abs() < i64::MAX as f64 / 2.0 {
+                    Some(q.round() as i64)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the memoized value for `x`, or computes it with `f` and
+    /// stores it. Uncacheable points (non-finite coordinates) are passed
+    /// straight through to `f`.
+    pub fn get_or_insert_with(&self, x: &[f64], f: impl FnOnce() -> f64) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(key) = self.key(x) else {
+            return f();
+        };
+        if let Some(&v) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let v = f();
+        // NaN results are not cached: they signal evaluation failure and
+        // callers may want the failure to re-surface per point.
+        if !v.is_nan() {
+            self.map.lock().expect("cache poisoned").insert(key, v);
+        }
+        v
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn memoizes_repeat_points() {
+        let cache = QuantizedCache::fine();
+        let calls = AtomicU64::new(0);
+        let f = |x: f64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x * 2.0
+        };
+        assert_eq!(cache.get_or_insert_with(&[1.0, 2.0], || f(1.0)), 2.0);
+        assert_eq!(cache.get_or_insert_with(&[1.0, 2.0], || f(9.0)), 2.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn nearby_points_within_resolution_share() {
+        let cache = QuantizedCache::new(1e-6);
+        let a = cache.get_or_insert_with(&[0.5], || 1.0);
+        let b = cache.get_or_insert_with(&[0.5 + 1e-9], || 2.0);
+        assert_eq!(a, b);
+        let c = cache.get_or_insert_with(&[0.5 + 1e-3], || 3.0);
+        assert_eq!(c, 3.0);
+    }
+
+    #[test]
+    fn nan_results_are_not_cached() {
+        let cache = QuantizedCache::fine();
+        assert!(cache.get_or_insert_with(&[1.0], || f64::NAN).is_nan());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get_or_insert_with(&[1.0], || 7.0), 7.0);
+    }
+
+    #[test]
+    fn non_finite_points_bypass() {
+        let cache = QuantizedCache::fine();
+        assert_eq!(cache.get_or_insert_with(&[f64::NAN], || 5.0), 5.0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let cache = QuantizedCache::fine();
+        cache.get_or_insert_with(&[1.0], || 1.0);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # safety-opt engine — compiled cost functions and batch evaluation
+//!
+//! The safety-optimization method is an inner loop that evaluates the
+//! weighted cost function `f_cost(X) = Σᵢ Costᵢ · P(Hᵢ)(X)` thousands of
+//! times: grid search, cost surfaces, sensitivity sweeps, Pareto fronts,
+//! and Monte-Carlo uncertainty all hammer the same expression. The
+//! interpreter in `safety_opt_core::pprob` walks a boxed expression tree
+//! per factor per point; this crate replaces that inner loop with a
+//! compile-once / evaluate-many pipeline:
+//!
+//! 1. **Lowering** ([`tape::TapeBuilder`]) — a model-agnostic op-tape IR
+//!    for weighted sums of clamped cut-set products. Constants fold at
+//!    build time, shared subexpressions are hash-consed across cut sets
+//!    and hazards, and products/sums are fused n-ary ops. (The lowering
+//!    *from* `SafetyModel` lives in `safety_opt_core::compile`, keeping
+//!    this crate free of a dependency cycle.)
+//! 2. **Fast kernels** ([`fast_erf`]) — the truncated-normal survival
+//!    function, the hot op of every overtime probability, runs on Cody's
+//!    fixed-cost rational `erfc` instead of the iterative
+//!    series/continued-fraction path (same ≈1 ulp accuracy, no loops).
+//! 3. **Batch evaluation** ([`batch::BatchEvaluator`]) — shards point
+//!    batches across a `std::thread` scoped pool with deterministic
+//!    chunking; results are bit-identical for every thread count.
+//! 4. **Memoization** ([`cache::QuantizedCache`]) — optional
+//!    quantized-point memo for optimizer reuse (restarts and pattern
+//!    searches revisit points constantly).
+//!
+//! Run `cargo run --release -p safety_opt_bench --bin engine_throughput`
+//! for points/sec of the scalar interpreter vs. the compiled tape vs.
+//! compiled + parallel on the Elbtunnel model (written to
+//! `BENCH_engine.json`).
+
+// Special-function coefficients are transcribed at full published
+// precision; the extra digits are intentional.
+#![allow(clippy::excessive_precision)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod cache;
+pub mod fast_erf;
+pub mod tape;
+
+pub use batch::BatchEvaluator;
+pub use cache::QuantizedCache;
+pub use tape::{Op, Tape, TapeBuilder, TruncNormSf, Value};

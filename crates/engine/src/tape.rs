@@ -1,0 +1,616 @@
+//! The op-tape intermediate representation.
+//!
+//! A [`Tape`] is a flat, arena-style evaluation plan for a weighted-sum
+//! cost function `f(X) = Σᵢ wᵢ · min(biasᵢ + Σ terms, 1)` — the shape of
+//! every safety model (hazards as clamped rare-event sums of cut-set
+//! products). A [`TapeBuilder`] constructs it with
+//!
+//! * **hash-consing** — structurally identical subexpressions (and
+//!   pointer-identical opaque closures) lower to a single op, shared
+//!   across cut sets and hazards;
+//! * **constant folding** — constant factors collapse at build time:
+//!   constant cut sets fold into their hazard's bias, constant factors of
+//!   a product fold into one scale coefficient;
+//! * **op fusion** — cut-set products and hazard sums are n-ary ops over
+//!   a shared argument table, not chains of binaries.
+//!
+//! One evaluation is a single allocation-free sweep over `Vec<Op>` with a
+//! caller-provided scratch buffer, so batch evaluation amortizes to pure
+//! arithmetic.
+
+use crate::fast_erf;
+use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
+use safety_opt_stats::special;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Opaque scalar function over the full input point (the closure
+/// fallback's payload type).
+pub type ClosureFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// Index of a value slot in the evaluation scratch: inputs first, then
+/// one slot per op output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u32);
+
+impl Reg {
+    /// Slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Survival function of a truncated normal, precomputed for the fast
+/// evaluation path.
+///
+/// The normalization constants are produced by the *same* iterative
+/// special functions the scalar interpreter uses (they are computed once,
+/// at compile time); only the per-point `Φ̄(z)` moves to the fixed-cost
+/// rational approximation of [`fast_erf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncNormSf {
+    mu: f64,
+    sigma: f64,
+    lower: f64,
+    upper: f64,
+    sf_beta: f64,
+    mass: f64,
+}
+
+impl TruncNormSf {
+    /// Precomputes the plan for `dist.sf(x)`.
+    pub fn new(dist: &TruncatedNormal) -> Self {
+        let (lower, upper) = dist.support();
+        let (mu, sigma) = (dist.mu(), dist.sigma());
+        let sf_beta = if upper.is_finite() {
+            special::std_normal_sf((upper - mu) / sigma)
+        } else {
+            0.0
+        };
+        let mass = special::std_normal_sf((lower - mu) / sigma) - sf_beta;
+        Self {
+            mu,
+            sigma,
+            lower,
+            upper,
+            sf_beta,
+            mass,
+        }
+    }
+
+    /// `P(X > x)` with the fast normal tail.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.lower {
+            1.0
+        } else if x >= self.upper {
+            0.0
+        } else {
+            let z = (x - self.mu) / self.sigma;
+            ((fast_erf::std_normal_sf(z) - self.sf_beta) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+
+    fn key(&self) -> [u64; 4] {
+        [
+            self.mu.to_bits(),
+            self.sigma.to_bits(),
+            self.lower.to_bits(),
+            self.upper.to_bits(),
+        ]
+    }
+}
+
+/// One fused operation. Ops write their result to consecutive scratch
+/// slots; n-ary ops read argument registers from the tape's shared
+/// argument table.
+#[derive(Clone)]
+pub enum Op {
+    /// `1 − exp(−rate · max(t, 0))`: Poisson exposure window.
+    Exposure {
+        /// Arrival rate λ.
+        rate: f64,
+        /// Register holding the window length.
+        t: Reg,
+    },
+    /// Truncated-normal survival `P(X > x)`: overtime probability.
+    Overtime {
+        /// Precomputed survival plan.
+        sf: TruncNormSf,
+        /// Register holding the evaluation point.
+        x: Reg,
+    },
+    /// Opaque scalar function of the *full* input point (fallback for
+    /// closure-based probability expressions). Must return NaN rather
+    /// than panic on failure.
+    Closure {
+        /// The function.
+        f: ClosureFn,
+    },
+    /// `1 − x`.
+    Complement {
+        /// Argument register.
+        x: Reg,
+    },
+    /// `c · x` (folded constant coefficient).
+    Scale {
+        /// Coefficient.
+        c: f64,
+        /// Argument register.
+        x: Reg,
+    },
+    /// `c · ∏ args`: fused n-ary product with folded constant factors.
+    Product {
+        /// Folded constant coefficient.
+        c: f64,
+        /// Range into the tape's argument table.
+        args: ArgRange,
+    },
+    /// `min(bias + Σ args, 1)`: clamped probability sum (hazard
+    /// probabilities, saturating sums).
+    SumClamp {
+        /// Folded constant offset.
+        bias: f64,
+        /// Range into the tape's argument table.
+        args: ArgRange,
+    },
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Exposure { rate, t } => write!(f, "Exposure(λ={rate}, r{})", t.0),
+            Op::Overtime { sf, x } => {
+                write!(f, "Overtime(N({}, {}²), r{})", sf.mu, sf.sigma, x.0)
+            }
+            Op::Closure { .. } => write!(f, "Closure"),
+            Op::Complement { x } => write!(f, "Complement(r{})", x.0),
+            Op::Scale { c, x } => write!(f, "Scale({c}, r{})", x.0),
+            Op::Product { c, args } => write!(f, "Product({c}, {args:?})"),
+            Op::SumClamp { bias, args } => write!(f, "SumClamp({bias}, {args:?})"),
+        }
+    }
+}
+
+/// Range `[start, start + len)` into the tape argument table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArgRange {
+    start: u32,
+    len: u32,
+}
+
+/// Structural key for hash-consing ops during construction.
+#[derive(PartialEq, Eq, Hash)]
+enum OpKey {
+    Exposure(u64, Reg),
+    Overtime([u64; 4], Reg),
+    Closure(usize),
+    Complement(Reg),
+    Scale(u64, Reg),
+    Product(u64, Vec<Reg>),
+    SumClamp(u64, Vec<Reg>),
+}
+
+/// A value during lowering: either a compile-time constant or a register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Known at compile time; never materialized in the scratch.
+    Const(f64),
+    /// Computed at evaluation time.
+    Reg(Reg),
+}
+
+/// A compiled weighted-sum-of-clamped-sums evaluation plan.
+///
+/// Layout of the evaluation scratch: `[inputs… | op outputs…]`. Outputs
+/// (one per declared sum, e.g. one per hazard) are read from the
+/// registers in [`Tape::outputs`]; the scalar result is
+/// `Σ weights[i] · output[i]`.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    n_inputs: usize,
+    ops: Vec<Op>,
+    args: Vec<Reg>,
+    outputs: Vec<Value>,
+    weights: Vec<f64>,
+}
+
+impl Tape {
+    /// Number of input coordinates the tape expects.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of declared outputs (hazards).
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of ops after folding and deduplication (a proxy for
+    /// evaluation cost; exposed for tests and diagnostics).
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Output weights (hazard costs).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Scratch length required by [`eval_into`](Self::eval_into).
+    pub fn scratch_len(&self) -> usize {
+        self.n_inputs + self.ops.len()
+    }
+
+    /// Evaluates the tape at `x`, writing per-output values into
+    /// `outputs` (length [`n_outputs`](Self::n_outputs)) and returning
+    /// the weighted sum. `scratch` is resized as needed and reused
+    /// across calls — a steady-state evaluation allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`n_inputs`](Self::n_inputs) or
+    /// `outputs.len()` from [`n_outputs`](Self::n_outputs).
+    pub fn eval_into(&self, x: &[f64], scratch: &mut Vec<f64>, outputs: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.n_inputs, "input arity mismatch");
+        assert_eq!(outputs.len(), self.outputs.len(), "output arity mismatch");
+        scratch.clear();
+        scratch.resize(self.scratch_len(), 0.0);
+        scratch[..self.n_inputs].copy_from_slice(x);
+        for (slot, op) in self.ops.iter().enumerate() {
+            let v = match op {
+                Op::Exposure { rate, t } => {
+                    let w = scratch[t.index()].max(0.0);
+                    -(-rate * w).exp_m1()
+                }
+                Op::Overtime { sf, x } => sf.eval(scratch[x.index()]),
+                Op::Closure { f } => f(&scratch[..self.n_inputs]),
+                Op::Complement { x } => 1.0 - scratch[x.index()],
+                Op::Scale { c, x } => c * scratch[x.index()],
+                Op::Product { c, args } => {
+                    let mut acc = *c;
+                    for r in self.arg_slice(*args) {
+                        acc *= scratch[r.index()];
+                    }
+                    acc
+                }
+                Op::SumClamp { bias, args } => {
+                    let mut acc = *bias;
+                    for r in self.arg_slice(*args) {
+                        acc += scratch[r.index()];
+                    }
+                    // Branch instead of f64::min so NaN (= evaluation
+                    // failure) propagates instead of clamping to 1.
+                    if acc > 1.0 {
+                        1.0
+                    } else {
+                        acc
+                    }
+                }
+            };
+            scratch[self.n_inputs + slot] = v;
+        }
+        let mut cost = 0.0;
+        for (out, (value, w)) in outputs
+            .iter_mut()
+            .zip(self.outputs.iter().zip(&self.weights))
+        {
+            let v = match value {
+                Value::Const(c) => *c,
+                Value::Reg(r) => scratch[r.index()],
+            };
+            *out = v;
+            cost += v * w;
+        }
+        cost
+    }
+
+    /// Convenience wrapper allocating its own buffers.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut scratch = Vec::new();
+        let mut outputs = vec![0.0; self.outputs.len()];
+        self.eval_into(x, &mut scratch, &mut outputs)
+    }
+
+    fn arg_slice(&self, range: ArgRange) -> &[Reg] {
+        &self.args[range.start as usize..(range.start + range.len) as usize]
+    }
+}
+
+/// Builder for [`Tape`] with hash-consing and constant folding.
+#[derive(Default)]
+pub struct TapeBuilder {
+    n_inputs: usize,
+    ops: Vec<Op>,
+    args: Vec<Reg>,
+    interned: HashMap<OpKey, Reg>,
+    outputs: Vec<Value>,
+    weights: Vec<f64>,
+}
+
+impl std::fmt::Debug for TapeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapeBuilder")
+            .field("n_inputs", &self.n_inputs)
+            .field("ops", &self.ops.len())
+            .field("outputs", &self.outputs.len())
+            .finish()
+    }
+}
+
+impl TapeBuilder {
+    /// Starts a tape over `n_inputs` input coordinates.
+    pub fn new(n_inputs: usize) -> Self {
+        Self {
+            n_inputs,
+            ..Self::default()
+        }
+    }
+
+    /// Register holding input coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input(&self, i: usize) -> Value {
+        assert!(i < self.n_inputs, "input {i} out of range");
+        Value::Reg(Reg(i as u32))
+    }
+
+    /// A compile-time constant.
+    pub fn constant(&self, v: f64) -> Value {
+        Value::Const(v)
+    }
+
+    fn push(&mut self, key: OpKey, op: Op) -> Reg {
+        if let Some(&r) = self.interned.get(&key) {
+            return r;
+        }
+        let r = Reg((self.n_inputs + self.ops.len()) as u32);
+        self.ops.push(op);
+        self.interned.insert(key, r);
+        r
+    }
+
+    /// `1 − exp(−rate · max(t, 0))`.
+    pub fn exposure(&mut self, rate: f64, t: Value) -> Value {
+        match t {
+            Value::Const(w) => Value::Const(-(-rate * w.max(0.0)).exp_m1()),
+            Value::Reg(t) => {
+                Value::Reg(self.push(OpKey::Exposure(rate.to_bits(), t), Op::Exposure { rate, t }))
+            }
+        }
+    }
+
+    /// Truncated-normal survival `P(X > x)`.
+    pub fn overtime(&mut self, dist: &TruncatedNormal, x: Value) -> Value {
+        let sf = TruncNormSf::new(dist);
+        match x {
+            // Constant argument: fold through the *scalar* path so the
+            // folded value is bit-identical to the interpreter's.
+            Value::Const(x) => Value::Const(dist.sf(x)),
+            Value::Reg(x) => {
+                Value::Reg(self.push(OpKey::Overtime(sf.key(), x), Op::Overtime { sf, x }))
+            }
+        }
+    }
+
+    /// Opaque closure over the full input point. `identity` is the
+    /// deduplication key — pass a stable address (e.g. the shared
+    /// expression node's pointer) so clones of one expression lower to
+    /// one op; pass a unique value to opt out.
+    pub fn closure(&mut self, identity: usize, f: ClosureFn) -> Value {
+        Value::Reg(self.push(OpKey::Closure(identity), Op::Closure { f }))
+    }
+
+    /// `1 − x`.
+    pub fn complement(&mut self, x: Value) -> Value {
+        match x {
+            Value::Const(v) => Value::Const(1.0 - v),
+            Value::Reg(x) => Value::Reg(self.push(OpKey::Complement(x), Op::Complement { x })),
+        }
+    }
+
+    /// `c · x`.
+    pub fn scale(&mut self, c: f64, x: Value) -> Value {
+        match x {
+            Value::Const(v) => Value::Const(c * v),
+            Value::Reg(_) if c == 1.0 => x,
+            Value::Reg(x) => {
+                Value::Reg(self.push(OpKey::Scale(c.to_bits(), x), Op::Scale { c, x }))
+            }
+        }
+    }
+
+    /// `∏ factors`: constant factors fold into a coefficient; zero or one
+    /// remaining registers degrade to a constant or a scale.
+    pub fn product(&mut self, factors: impl IntoIterator<Item = Value>) -> Value {
+        let mut c = 1.0;
+        let mut regs: Vec<Reg> = Vec::new();
+        for f in factors {
+            match f {
+                Value::Const(v) => c *= v,
+                Value::Reg(r) => regs.push(r),
+            }
+        }
+        match regs.len() {
+            0 => Value::Const(c),
+            1 => self.scale(c, Value::Reg(regs[0])),
+            _ => {
+                // Canonical order maximizes sharing of commutative
+                // products across cut sets.
+                regs.sort_by_key(|r| r.0);
+                let key = OpKey::Product(c.to_bits(), regs.clone());
+                if let Some(&r) = self.interned.get(&key) {
+                    return Value::Reg(r);
+                }
+                let args = self.intern_args(&regs);
+                Value::Reg(self.push(key, Op::Product { c, args }))
+            }
+        }
+    }
+
+    /// `min(bias + Σ terms, 1)`.
+    pub fn sum_clamped(&mut self, bias: f64, terms: impl IntoIterator<Item = Value>) -> Value {
+        let mut b = bias;
+        let mut regs: Vec<Reg> = Vec::new();
+        for t in terms {
+            match t {
+                Value::Const(v) => b += v,
+                Value::Reg(r) => regs.push(r),
+            }
+        }
+        if regs.is_empty() {
+            return Value::Const(b.min(1.0));
+        }
+        regs.sort_by_key(|r| r.0);
+        let key = OpKey::SumClamp(b.to_bits(), regs.clone());
+        if let Some(&r) = self.interned.get(&key) {
+            return Value::Reg(r);
+        }
+        let args = self.intern_args(&regs);
+        Value::Reg(self.push(key, Op::SumClamp { bias: b, args }))
+    }
+
+    fn intern_args(&mut self, regs: &[Reg]) -> ArgRange {
+        let start = self.args.len() as u32;
+        self.args.extend_from_slice(regs);
+        ArgRange {
+            start,
+            len: regs.len() as u32,
+        }
+    }
+
+    /// Declares `value` as the next output with weight `weight`.
+    pub fn output(&mut self, value: Value, weight: f64) {
+        self.outputs.push(value);
+        self.weights.push(weight);
+    }
+
+    /// Finalizes the tape.
+    pub fn build(self) -> Tape {
+        Tape {
+            n_inputs: self.n_inputs,
+            ops: self.ops,
+            args: self.args,
+            outputs: self.outputs,
+            weights: self.weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_eliminates_pure_const_outputs() {
+        let mut b = TapeBuilder::new(1);
+        let c1 = b.constant(0.25);
+        let c2 = b.constant(0.5);
+        let prod = b.product([c1, c2]);
+        assert_eq!(prod, Value::Const(0.125));
+        let h = b.sum_clamped(0.1, [prod]);
+        assert_eq!(h, Value::Const(0.225));
+        b.output(h, 2.0);
+        let tape = b.build();
+        assert_eq!(tape.n_ops(), 0);
+        let mut out = [0.0];
+        let mut scratch = Vec::new();
+        let cost = tape.eval_into(&[7.0], &mut scratch, &mut out);
+        assert_eq!(out[0], 0.225);
+        assert!((cost - 0.45).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hash_consing_shares_identical_subexpressions() {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let mut b = TapeBuilder::new(2);
+        let t1 = b.input(0);
+        let ot_a = b.overtime(&d, t1);
+        let ot_b = b.overtime(&d, t1);
+        assert_eq!(ot_a, ot_b, "same dist + same reg must intern to one op");
+        let t2 = b.input(1);
+        let ot_c = b.overtime(&d, t2);
+        assert_ne!(ot_a, ot_c);
+        assert_eq!(b.ops.len(), 2);
+    }
+
+    #[test]
+    fn products_fold_constants_and_canonicalize() {
+        let mut b = TapeBuilder::new(2);
+        let e1 = b.exposure(0.5, b.input(0));
+        let e2 = b.exposure(0.25, b.input(1));
+        let half = b.constant(0.5);
+        let p1 = b.product([e1, half, e2]);
+        let p2 = b.product([e2, e1, b.constant(0.5)]); // permuted
+        assert_eq!(p1, p2, "commutative products must share");
+    }
+
+    #[test]
+    fn evaluation_matches_hand_computation() {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let mut b = TapeBuilder::new(2);
+        let t1 = b.input(0);
+        let t2 = b.input(1);
+        let ot1 = b.overtime(&d, t1);
+        let not1 = b.complement(ot1);
+        let ot2 = b.overtime(&d, t2);
+        let crit = b.constant(1e-3);
+        let cs1 = b.product([crit, ot1]);
+        let cs2 = b.product([crit, not1, ot2]);
+        let hazard = b.sum_clamped(1e-8, [cs1, cs2]);
+        b.output(hazard, 100_000.0);
+        let tape = b.build();
+
+        let x = [10.0, 12.0];
+        let ot1v = d.sf(10.0);
+        let ot2v = d.sf(12.0);
+        let want = 1e-8 + 1e-3 * ot1v + 1e-3 * (1.0 - ot1v) * ot2v;
+        let mut out = [0.0];
+        let mut scratch = Vec::new();
+        let cost = tape.eval_into(&x, &mut scratch, &mut out);
+        assert!((out[0] - want).abs() < 1e-15, "{} vs {want}", out[0]);
+        assert!((cost - 1e5 * want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_clamps_at_one() {
+        let mut b = TapeBuilder::new(1);
+        let e = b.exposure(100.0, b.input(0));
+        let h = b.sum_clamped(0.9, [e, e]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        assert_eq!(tape.eval(&[10.0]), 1.0);
+    }
+
+    #[test]
+    fn closures_dedupe_by_identity() {
+        let f: ClosureFn = Arc::new(|x: &[f64]| x[0] * 0.5);
+        let mut b = TapeBuilder::new(1);
+        let a = b.closure(1, Arc::clone(&f));
+        let b2 = b.closure(1, Arc::clone(&f));
+        let c = b.closure(2, f);
+        assert_eq!(a, b2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nan_from_closures_propagates() {
+        let mut b = TapeBuilder::new(1);
+        let bad = b.closure(1, Arc::new(|_: &[f64]| f64::NAN));
+        let h = b.sum_clamped(0.0, [bad]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        assert!(tape.eval(&[0.5]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity mismatch")]
+    fn arity_is_checked() {
+        let mut b = TapeBuilder::new(2);
+        let h = b.sum_clamped(0.5, [b.input(0)]);
+        b.output(h, 1.0);
+        b.build().eval(&[1.0]);
+    }
+}

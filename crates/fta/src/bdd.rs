@@ -142,10 +142,7 @@ impl Builder {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactor(f, top);
         let (g0, g1) = self.cofactor(g, top);
         let (h0, h1) = self.cofactor(h, top);
@@ -281,9 +278,11 @@ impl TreeBdd {
         }
         let node = self.nodes[r.0 as usize];
         let leaf = self.level_to_leaf[node.var as usize];
-        let p_leaf = probs.get(leaf).ok_or_else(|| FtaError::MissingProbability {
-            event: format!("leaf index {leaf}"),
-        })?;
+        let p_leaf = probs
+            .get(leaf)
+            .ok_or_else(|| FtaError::MissingProbability {
+                event: format!("leaf index {leaf}"),
+            })?;
         let p_low = self.prob_rec(node.low, probs, memo)?;
         let p_high = self.prob_rec(node.high, probs, memo)?;
         let p = p_leaf * p_high + (1.0 - p_leaf) * p_low;
@@ -478,7 +477,9 @@ mod tests {
     fn exact_probability_matches_hand_calculation() {
         let ft = and_or_tree();
         let bdd = TreeBdd::build(&ft).unwrap();
-        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        let p = bdd
+            .probability(&ft.stored_probabilities().unwrap())
+            .unwrap();
         // P((a∧b)∨c) = P(ab) + P(c) − P(abc) = 0.02 + 0.05 − 0.001
         assert!((p - 0.069).abs() < 1e-15, "p = {p}");
     }
@@ -497,12 +498,17 @@ mod tests {
         // 2-of-3 with p = 0.1 each: 3 p²(1−p) + p³ = 0.028.
         let mut ft = FaultTree::new("t");
         let leaves: Vec<_> = (0..3)
-            .map(|i| ft.basic_event_with_probability(format!("e{i}"), 0.1).unwrap())
+            .map(|i| {
+                ft.basic_event_with_probability(format!("e{i}"), 0.1)
+                    .unwrap()
+            })
             .collect();
         let top = ft.k_of_n_gate("vote", 2, leaves).unwrap();
         ft.set_root(top).unwrap();
         let bdd = TreeBdd::build(&ft).unwrap();
-        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        let p = bdd
+            .probability(&ft.stored_probabilities().unwrap())
+            .unwrap();
         assert!((p - 0.028).abs() < 1e-15, "p = {p}");
     }
 
@@ -518,7 +524,9 @@ mod tests {
         let top = ft.or_gate("top", [g1, g2]).unwrap();
         ft.set_root(top).unwrap();
         let bdd = TreeBdd::build(&ft).unwrap();
-        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        let p = bdd
+            .probability(&ft.stored_probabilities().unwrap())
+            .unwrap();
         // P(a ∧ (b ∨ c)) = 0.5 · 0.75 = 0.375 (rare-event would say 0.5).
         assert!((p - 0.375).abs() < 1e-15, "p = {p}");
     }
@@ -547,7 +555,9 @@ mod tests {
         let top = ft.inhibit_gate("top", cause, cond).unwrap();
         ft.set_root(top).unwrap();
         let bdd = TreeBdd::build(&ft).unwrap();
-        let p = bdd.probability(&ft.stored_probabilities().unwrap()).unwrap();
+        let p = bdd
+            .probability(&ft.stored_probabilities().unwrap())
+            .unwrap();
         assert!((p - 0.005).abs() < 1e-15);
     }
 
@@ -557,7 +567,9 @@ mod tests {
         let default = TreeBdd::build(&ft).unwrap();
         let custom = TreeBdd::build_with_order(&ft, vec![2, 1, 0]).unwrap();
         let pm = ft.stored_probabilities().unwrap();
-        assert!((default.probability(&pm).unwrap() - custom.probability(&pm).unwrap()).abs() < 1e-15);
+        assert!(
+            (default.probability(&pm).unwrap() - custom.probability(&pm).unwrap()).abs() < 1e-15
+        );
         assert_eq!(
             default.minimal_cut_sets().unwrap(),
             custom.minimal_cut_sets().unwrap()

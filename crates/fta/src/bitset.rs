@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A compact fixed-universe bit set used to represent cut sets.
 ///
 /// Cut-set algorithms are dominated by subset tests (subsumption
@@ -17,7 +15,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(!b.is_subset(&a));
 /// assert_eq!(b.len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSet {
     /// Little-endian 64-bit blocks; trailing zero blocks are trimmed so
     /// that equality and hashing are canonical.

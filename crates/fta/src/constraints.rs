@@ -21,10 +21,10 @@ use crate::cutset::CutSetCollection;
 use crate::quant::ProbabilityMap;
 use crate::tree::FaultTree;
 use crate::{FtaError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The constraints of one minimal cut set, with probability bounds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CutSetConstraints {
     /// Names of the primary failures in the cut set.
     pub failures: Vec<String>,
@@ -56,7 +56,8 @@ impl CutSetConstraints {
 }
 
 /// Constraint analysis of a whole hazard.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConstraintReport {
     /// Per-minimal-cut-set constraint descriptions.
     pub cut_sets: Vec<CutSetConstraints>,
@@ -94,9 +95,11 @@ impl ConstraintReport {
             let mut failure_product = 1.0;
             for leaf in cs.iter() {
                 let node = tree.node(tree.leaf(leaf));
-                let p = probs.get(leaf).ok_or_else(|| FtaError::MissingProbability {
-                    event: node.name().to_owned(),
-                })?;
+                let p = probs
+                    .get(leaf)
+                    .ok_or_else(|| FtaError::MissingProbability {
+                        event: node.name().to_owned(),
+                    })?;
                 if node.is_condition() {
                     conditions.push(node.name().to_owned());
                     independent_bound *= p;

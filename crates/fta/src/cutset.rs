@@ -1,6 +1,5 @@
 use crate::bitset::BitSet;
 use crate::tree::FaultTree;
-use serde::{Deserialize, Serialize};
 
 /// A cut set: a set of leaves (by leaf index) that together cause the
 /// hazard.
@@ -10,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// [`conditions`](CutSet::conditions) split them given the owning tree,
 /// matching the paper's Eq. 2 where a cut set's probability is
 /// `P(Constraints) · ∏ P(PF)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CutSet {
     leaves: BitSet,
 }
@@ -76,7 +76,9 @@ impl CutSet {
 
     /// Leaf names (given the owning tree), for reports.
     pub fn names<'t>(&self, tree: &'t FaultTree) -> Vec<&'t str> {
-        self.iter().map(|i| tree.node(tree.leaf(i)).name()).collect()
+        self.iter()
+            .map(|i| tree.node(tree.leaf(i)).name())
+            .collect()
     }
 
     /// The primary-failure members (leaf indices of non-condition leaves).
@@ -112,7 +114,8 @@ impl std::fmt::Display for CutSet {
 /// Produced by the [`mcs`](crate::mcs) algorithms; the collection
 /// guarantees that no member subsumes another after
 /// [`minimize`](CutSetCollection::minimize).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CutSetCollection {
     sets: Vec<CutSet>,
 }

@@ -18,10 +18,10 @@ use crate::bdd::TreeBdd;
 use crate::quant::{cut_set_probability, rare_event, ProbabilityMap};
 use crate::tree::FaultTree;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// All importance measures for one leaf.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LeafImportance {
     /// Leaf index within the tree.
     pub leaf: usize,
@@ -43,7 +43,8 @@ pub struct LeafImportance {
 }
 
 /// Importance analysis of a whole tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ImportanceReport {
     /// Baseline hazard probability (BDD-exact).
     pub hazard_probability: f64,
@@ -66,11 +67,11 @@ impl ImportanceReport {
 
         let mut leaves = Vec::new();
         for leaf in tree.reachable_leaves()? {
-            let p_leaf = probs.get(leaf).ok_or_else(|| {
-                crate::FtaError::MissingProbability {
+            let p_leaf = probs
+                .get(leaf)
+                .ok_or_else(|| crate::FtaError::MissingProbability {
                     event: format!("leaf index {leaf}"),
-                }
-            })?;
+                })?;
             let p_up = bdd.probability(&probs.with_forced(leaf, 1.0)?)?;
             let p_down = bdd.probability(&probs.with_forced(leaf, 0.0)?)?;
             let birnbaum = p_up - p_down;
@@ -87,7 +88,11 @@ impl ImportanceReport {
                 0.0
             };
 
-            let raw = if p_top > 0.0 { p_up / p_top } else { f64::INFINITY };
+            let raw = if p_top > 0.0 {
+                p_up / p_top
+            } else {
+                f64::INFINITY
+            };
             let rrw = if p_down > 0.0 {
                 p_top / p_down
             } else if p_top > 0.0 {

@@ -74,23 +74,21 @@ pub fn mocus_with_budget(tree: &FaultTree, budget: usize) -> Result<CutSetCollec
         let mut rest: Row = row;
         rest.remove(pos);
 
-        let push_row = |mut new_row: Row,
-                            pending: &mut Vec<Row>,
-                            seen: &mut HashSet<Row>|
-         -> Result<()> {
-            new_row.sort_unstable();
-            new_row.dedup();
-            if seen.insert(new_row.clone()) {
-                pending.push(new_row);
-            }
-            if pending.len() + done.len() > budget {
-                return Err(FtaError::BudgetExceeded {
-                    what: "MOCUS rows",
-                    limit: budget,
-                });
-            }
-            Ok(())
-        };
+        let push_row =
+            |mut new_row: Row, pending: &mut Vec<Row>, seen: &mut HashSet<Row>| -> Result<()> {
+                new_row.sort_unstable();
+                new_row.dedup();
+                if seen.insert(new_row.clone()) {
+                    pending.push(new_row);
+                }
+                if pending.len() + done.len() > budget {
+                    return Err(FtaError::BudgetExceeded {
+                        what: "MOCUS rows",
+                        limit: budget,
+                    });
+                }
+                Ok(())
+            };
 
         match kind {
             GateKind::And | GateKind::Inhibit => {
@@ -190,10 +188,7 @@ fn or_combine(collections: &[&CutSetCollection], budget: usize) -> Result<CutSet
             limit: budget,
         });
     }
-    Ok(collections
-        .iter()
-        .flat_map(|c| c.iter().cloned())
-        .collect())
+    Ok(collections.iter().flat_map(|c| c.iter().cloned()).collect())
 }
 
 fn and_combine(collections: &[&CutSetCollection], budget: usize) -> Result<CutSetCollection> {

@@ -162,9 +162,7 @@ fn build_gate(
     }
     let resolve = |name: &String| -> NodeId { ids[name] };
     let id = match spec {
-        GateSpec::And(inputs) => {
-            ft.and_gate(name.clone(), inputs.iter().map(resolve))?
-        }
+        GateSpec::And(inputs) => ft.and_gate(name.clone(), inputs.iter().map(resolve))?,
         GateSpec::Or(inputs) => ft.or_gate(name.clone(), inputs.iter().map(resolve))?,
         GateSpec::KOfN(k, inputs) => {
             ft.k_of_n_gate(name.clone(), *k, inputs.iter().map(resolve))?
@@ -359,10 +357,7 @@ pub fn to_text(tree: &FaultTree) -> Result<String> {
     let _ = writeln!(out);
     for (_, node) in tree.iter() {
         if let NodeKind::Gate { kind, inputs } = node.kind() {
-            let args: Vec<String> = inputs
-                .iter()
-                .map(|&i| quote(tree.node(i).name()))
-                .collect();
+            let args: Vec<String> = inputs.iter().map(|&i| quote(tree.node(i).name())).collect();
             let rhs = match kind {
                 GateKind::And => format!("and({})", args.join(", ")),
                 GateKind::Or => format!("or({})", args.join(", ")),
@@ -502,10 +497,7 @@ top Top
         let back = parse(&text).unwrap();
         assert_eq!(back.name(), ft.name());
         assert_eq!(back.leaves().len(), ft.leaves().len());
-        assert_eq!(
-            mcs::bottom_up(&back).unwrap(),
-            mcs::bottom_up(&ft).unwrap()
-        );
+        assert_eq!(mcs::bottom_up(&back).unwrap(), mcs::bottom_up(&ft).unwrap());
         assert_eq!(
             back.stored_probabilities().unwrap(),
             ft.stored_probabilities().unwrap()
@@ -524,9 +516,6 @@ top Top
         let and = ft.and_gate("both", [i, a]).unwrap();
         ft.set_root(and).unwrap();
         let back = parse(&to_text(&ft).unwrap()).unwrap();
-        assert_eq!(
-            mcs::bottom_up(&back).unwrap(),
-            mcs::bottom_up(&ft).unwrap()
-        );
+        assert_eq!(mcs::bottom_up(&back).unwrap(), mcs::bottom_up(&ft).unwrap());
     }
 }

@@ -21,7 +21,6 @@ use crate::bdd::TreeBdd;
 use crate::cutset::CutSetCollection;
 use crate::tree::FaultTree;
 use crate::{FtaError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Leaf probabilities, indexed by leaf index.
 ///
@@ -29,7 +28,8 @@ use serde::{Deserialize, Serialize};
 /// one tree can be quantified under many environments — the mechanism the
 /// safety-optimization layer uses to make probabilities functions of free
 /// parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProbabilityMap {
     probs: Vec<f64>,
 }
@@ -58,8 +58,8 @@ impl ProbabilityMap {
     ///
     /// [`FtaError::InvalidProbability`] if `f` produces a value outside
     /// `[0, 1]`.
-    pub fn from_fn(tree: &FaultTree, mut f: impl FnMut(usize) -> f64) -> Result<Self> {
-        Self::new((0..tree.leaves().len()).map(|i| f(i)).collect())
+    pub fn from_fn(tree: &FaultTree, f: impl FnMut(usize) -> f64) -> Result<Self> {
+        Self::new((0..tree.leaves().len()).map(f).collect())
     }
 
     /// Probability of leaf `index`, if present.
@@ -108,7 +108,8 @@ impl ProbabilityMap {
 }
 
 /// Quantification method selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Method {
     /// Paper Eq. 1: sum of cut-set products (rare-event approximation).
@@ -131,9 +132,11 @@ pub enum Method {
 pub fn cut_set_probability(cs: &crate::CutSet, probs: &ProbabilityMap) -> Result<f64> {
     let mut p = 1.0;
     for leaf in cs.iter() {
-        p *= probs.get(leaf).ok_or_else(|| FtaError::MissingProbability {
-            event: format!("leaf index {leaf}"),
-        })?;
+        p *= probs
+            .get(leaf)
+            .ok_or_else(|| FtaError::MissingProbability {
+                event: format!("leaf index {leaf}"),
+            })?;
     }
     Ok(p)
 }
@@ -214,11 +217,7 @@ pub fn inclusion_exclusion(mcs: &CutSetCollection, probs: &ProbabilityMap) -> Re
 ///
 /// Any error of the underlying engine ([`FtaError::NoRoot`], budget or
 /// probability errors).
-pub fn hazard_probability(
-    tree: &FaultTree,
-    probs: &ProbabilityMap,
-    method: Method,
-) -> Result<f64> {
+pub fn hazard_probability(tree: &FaultTree, probs: &ProbabilityMap, method: Method) -> Result<f64> {
     match method {
         Method::BddExact => TreeBdd::build(tree)?.probability(probs),
         _ => {
@@ -235,7 +234,8 @@ pub fn hazard_probability(
 
 /// Side-by-side quantification with all four methods — the data behind
 /// approximation-error reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuantReport {
     /// Rare-event approximation (paper Eq. 1).
     pub rare_event: f64,
@@ -351,10 +351,8 @@ mod tests {
     #[test]
     fn rare_event_can_exceed_one() {
         let probs = ProbabilityMap::new(vec![0.9, 0.9]).unwrap();
-        let mcs = CutSetCollection::from_sets(vec![
-            CutSet::from_leaves([0]),
-            CutSet::from_leaves([1]),
-        ]);
+        let mcs =
+            CutSetCollection::from_sets(vec![CutSet::from_leaves([0]), CutSet::from_leaves([1])]);
         assert!(rare_event(&mcs, &probs).unwrap() > 1.0);
         // ...while the min-cut bound does not.
         assert!(min_cut_upper_bound(&mcs, &probs).unwrap() <= 1.0);
@@ -364,10 +362,8 @@ mod tests {
     fn inclusion_exclusion_exact_for_disjoint_leaf_sets() {
         // {a}, {b}: P = p_a + p_b − p_a p_b.
         let probs = ProbabilityMap::new(vec![0.2, 0.3]).unwrap();
-        let mcs = CutSetCollection::from_sets(vec![
-            CutSet::from_leaves([0]),
-            CutSet::from_leaves([1]),
-        ]);
+        let mcs =
+            CutSetCollection::from_sets(vec![CutSet::from_leaves([0]), CutSet::from_leaves([1])]);
         let p = inclusion_exclusion(&mcs, &probs).unwrap();
         assert!((p - (0.2 + 0.3 - 0.06)).abs() < 1e-15);
     }

@@ -49,22 +49,14 @@ pub fn to_dot(tree: &FaultTree) -> Result<String> {
                     Some(p) => format!("{}\\np = {p:.3e}", escape(node.name())),
                     None => escape(node.name()),
                 };
-                let _ = writeln!(
-                    out,
-                    "  n{} [shape=circle, label=\"{label}\"];",
-                    id.index()
-                );
+                let _ = writeln!(out, "  n{} [shape=circle, label=\"{label}\"];", id.index());
             }
             NodeKind::Condition { probability } => {
                 let label = match probability {
                     Some(p) => format!("{}\\np = {p:.3e}", escape(node.name())),
                     None => escape(node.name()),
                 };
-                let _ = writeln!(
-                    out,
-                    "  n{} [shape=hexagon, label=\"{label}\"];",
-                    id.index()
-                );
+                let _ = writeln!(out, "  n{} [shape=hexagon, label=\"{label}\"];", id.index());
             }
             NodeKind::Gate { kind, inputs } => {
                 let symbol = match kind {
@@ -162,7 +154,9 @@ mod tests {
 
     fn sample_tree() -> FaultTree {
         let mut ft = FaultTree::new("Collision");
-        let a = ft.basic_event_with_probability("driver ignores", 0.01).unwrap();
+        let a = ft
+            .basic_event_with_probability("driver ignores", 0.01)
+            .unwrap();
         let b = ft.basic_event("signal fails").unwrap();
         let cond = ft.condition_with_probability("OHV present", 0.001).unwrap();
         let g = ft.or_gate("signal not on", [b]).unwrap();

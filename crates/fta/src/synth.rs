@@ -65,12 +65,8 @@ pub fn voter_chain(depth: usize, p: f64) -> FaultTree {
         ft.and_gate("stage0", [a, b]).unwrap()
     };
     for d in 1..=depth {
-        let x = ft
-            .basic_event_with_probability(format!("x{d}"), p)
-            .unwrap();
-        let y = ft
-            .basic_event_with_probability(format!("y{d}"), p)
-            .unwrap();
+        let x = ft.basic_event_with_probability(format!("x{d}"), p).unwrap();
+        let y = ft.basic_event_with_probability(format!("y{d}"), p).unwrap();
         stage = ft
             .k_of_n_gate(format!("stage{d}"), 2, [stage, x, y])
             .unwrap();

@@ -11,13 +11,13 @@
 //! are allowed and handled correctly by every algorithm in this crate.
 
 use crate::{FtaError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Opaque handle to a node inside one [`FaultTree`].
 ///
 /// Handles are only meaningful for the tree that created them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -28,7 +28,8 @@ impl NodeId {
 }
 
 /// The logical type of a gate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GateKind {
     /// Output occurs iff **all** inputs occur.
     And,
@@ -54,7 +55,8 @@ impl std::fmt::Display for GateKind {
 }
 
 /// Payload of a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// A primary failure (leaf). Not developed further; carries an
     /// optional point probability.
@@ -79,7 +81,8 @@ pub enum NodeKind {
 }
 
 /// A named node of a fault tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     name: String,
     kind: NodeKind,
@@ -124,7 +127,8 @@ impl Node {
 /// with one distinguished root (the hazard / top event).
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultTree {
     name: String,
     nodes: Vec<Node>,
@@ -234,12 +238,7 @@ impl FaultTree {
         )
     }
 
-    fn gate(
-        &mut self,
-        name: String,
-        kind: GateKind,
-        inputs: Vec<NodeId>,
-    ) -> Result<NodeId> {
+    fn gate(&mut self, name: String, kind: GateKind, inputs: Vec<NodeId>) -> Result<NodeId> {
         if inputs.is_empty() {
             return Err(FtaError::EmptyGate { gate: name });
         }
@@ -416,9 +415,12 @@ impl FaultTree {
     /// [`FtaError::InvalidProbability`] for values outside `[0, 1]`, and
     /// [`FtaError::UnknownNode`] if `id` is not a leaf of this tree.
     pub fn set_probability(&mut self, id: NodeId, probability: f64) -> Result<()> {
-        let node = self.nodes.get_mut(id.0).ok_or_else(|| FtaError::UnknownNode {
-            reference: format!("#{}", id.0),
-        })?;
+        let node = self
+            .nodes
+            .get_mut(id.0)
+            .ok_or_else(|| FtaError::UnknownNode {
+                reference: format!("#{}", id.0),
+            })?;
         check_probability(&node.name, probability)?;
         match &mut node.kind {
             NodeKind::BasicEvent { probability: p } | NodeKind::Condition { probability: p } => {
@@ -674,10 +676,7 @@ mod tests {
     fn rejects_leaf_as_root() {
         let mut ft = FaultTree::new("t");
         let x = ft.basic_event("x").unwrap();
-        assert!(matches!(
-            ft.set_root(x),
-            Err(FtaError::InvalidRoot { .. })
-        ));
+        assert!(matches!(ft.set_root(x), Err(FtaError::InvalidRoot { .. })));
         assert!(matches!(ft.root(), Err(FtaError::NoRoot)));
     }
 
@@ -715,7 +714,9 @@ mod tests {
     fn conditions_are_leaves_with_flag() {
         let mut ft = FaultTree::new("t");
         let cause = ft.basic_event("cooling fails").unwrap();
-        let cond = ft.condition_with_probability("system running", 0.9).unwrap();
+        let cond = ft
+            .condition_with_probability("system running", 0.9)
+            .unwrap();
         let g = ft.inhibit_gate("overheat", cause, cond).unwrap();
         ft.set_root(g).unwrap();
         assert!(ft.node(cond).is_condition());

@@ -8,7 +8,6 @@
 
 use crate::{OptimError, Result};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A compact real interval `[lo, hi]` with `lo < hi`, both finite.
 ///
@@ -22,7 +21,8 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     lo: f64,
     hi: f64,
@@ -103,7 +103,8 @@ impl std::fmt::Display for Interval {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoxDomain {
     intervals: Vec<Interval>,
 }
@@ -157,10 +158,7 @@ impl BoxDomain {
     /// `true` if every coordinate of `x` lies inside its interval and the
     /// dimensionality matches.
     pub fn contains(&self, x: &[f64]) -> bool {
-        x.len() == self.dim()
-            && x.iter()
-                .zip(&self.intervals)
-                .all(|(&v, iv)| iv.contains(v))
+        x.len() == self.dim() && x.iter().zip(&self.intervals).all(|(&v, iv)| iv.contains(v))
     }
 
     /// Projects `x` coordinate-wise onto the box.

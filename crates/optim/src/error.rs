@@ -39,7 +39,10 @@ impl fmt::Display for OptimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimError::InvalidInterval { lo, hi } => {
-                write!(f, "invalid interval [{lo}, {hi}]: bounds must be finite with lo < hi")
+                write!(
+                    f,
+                    "invalid interval [{lo}, {hi}]: bounds must be finite with lo < hi"
+                )
             }
             OptimError::DimensionMismatch { expected, got } => {
                 write!(f, "algorithm requires {expected}, domain has {got}")

@@ -280,7 +280,9 @@ mod tests {
     #[test]
     fn solves_sphere() {
         let domain = BoxDomain::from_bounds(&[(-5.0, 5.0); 3]).unwrap();
-        let out = GradientDescent::default().minimize(&sphere, &domain).unwrap();
+        let out = GradientDescent::default()
+            .minimize(&sphere, &domain)
+            .unwrap();
         assert!(out.best_value < 1e-10, "best = {}", out.best_value);
         assert!(out.converged());
     }
@@ -288,7 +290,9 @@ mod tests {
     #[test]
     fn solves_booth() {
         let domain = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
-        let out = GradientDescent::default().minimize(&booth, &domain).unwrap();
+        let out = GradientDescent::default()
+            .minimize(&booth, &domain)
+            .unwrap();
         assert!(out.best_value < 1e-8, "best = {}", out.best_value);
     }
 

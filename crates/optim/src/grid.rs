@@ -12,10 +12,10 @@ use crate::{
     CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason,
 };
-use serde::{Deserialize, Serialize};
 
 /// One evaluated grid point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GridPoint {
     /// Coordinates of the point.
     pub x: Vec<f64>,
@@ -66,7 +66,7 @@ impl GridSearch {
         }
     }
 
-    /// Evaluates grid rows on `threads` worker threads (crossbeam scoped).
+    /// Evaluates grid rows on `threads` worker threads (std scoped).
     ///
     /// The objective must be `Sync`; use [`GridSearch::minimize`] from the
     /// [`Minimizer`] trait for the single-threaded version that accepts
@@ -109,6 +109,50 @@ impl GridSearch {
         self.points_per_dim.pow(domain.dim() as u32)
     }
 
+    /// Exhaustive minimization through a [`BatchObjective`]: the lattice
+    /// is enumerated in fixed-size batches so compiled/parallel backends
+    /// amortize per-call overhead over thousands of points.
+    ///
+    /// Equivalent to [`GridSearch::minimize`] for pointwise-equal
+    /// objectives (same lattice, same tie-breaking: the first point of
+    /// the enumeration wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GridSearch::minimize`].
+    pub fn minimize_batch(
+        &self,
+        objective: &dyn crate::BatchObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.validate()?;
+        let total = self.total_points(domain);
+        const BATCH: usize = 4096;
+        let mut tracker = crate::objective::BatchTracker::new();
+        let mut points: Vec<Vec<f64>> = Vec::with_capacity(BATCH.min(total));
+        let mut values: Vec<f64> = Vec::with_capacity(BATCH.min(total));
+        let mut start = 0;
+        while start < total {
+            let end = (start + BATCH).min(total);
+            points.clear();
+            points.extend((start..end).map(|i| self.point(domain, i)));
+            objective.eval_batch(&points, &mut values);
+            tracker.observe(&points, &values);
+            start = end;
+        }
+        let best_x = tracker.best_x.ok_or(OptimError::NoFiniteValue {
+            evaluations: tracker.evaluations,
+        })?;
+        Ok(OptimizationOutcome {
+            best_x,
+            best_value: tracker.best_value,
+            evaluations: tracker.evaluations,
+            iterations: total as u64,
+            termination: TerminationReason::Exhausted,
+            trace: Vec::new(),
+        })
+    }
+
     /// Evaluates the full lattice and returns every point — the raw data
     /// behind cost-surface figures.
     ///
@@ -136,7 +180,7 @@ impl GridSearch {
         }
         let chunk = total.div_ceil(self.threads);
         let mut results: Vec<Vec<GridPoint>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..self.threads {
                 let start = t * chunk;
@@ -144,7 +188,7 @@ impl GridSearch {
                 if start >= end {
                     break;
                 }
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     (start..end)
                         .map(|i| {
                             let x = self.point(domain, i);
@@ -157,8 +201,7 @@ impl GridSearch {
             for h in handles {
                 results.push(h.join().expect("grid worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         Ok(results.into_iter().flatten().collect())
     }
 }
@@ -244,7 +287,9 @@ mod tests {
     #[test]
     fn rejects_tiny_grid() {
         let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
-        assert!(GridSearch::new(1).minimize(&|x: &[f64]| x[0], &domain).is_err());
+        assert!(GridSearch::new(1)
+            .minimize(&|x: &[f64]| x[0], &domain)
+            .is_err());
     }
 
     #[test]
@@ -261,6 +306,28 @@ mod tests {
         let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
         assert!(matches!(
             GridSearch::new(5).minimize(&|_: &[f64]| f64::NAN, &domain),
+            Err(OptimError::NoFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_path_matches_scalar_minimize() {
+        let domain = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+        let grid = GridSearch::new(73);
+        let scalar = grid.minimize(&booth, &domain).unwrap();
+        let batch = grid.minimize_batch(&booth, &domain).unwrap();
+        assert_eq!(scalar.best_x, batch.best_x);
+        assert_eq!(scalar.best_value, batch.best_value);
+        assert_eq!(scalar.evaluations, batch.evaluations);
+        assert_eq!(batch.termination, TerminationReason::Exhausted);
+    }
+
+    #[test]
+    fn batch_path_reports_all_infeasible() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let f = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            GridSearch::new(5).minimize_batch(&f, &domain),
             Err(OptimError::NoFiniteValue { .. })
         ));
     }

@@ -86,8 +86,7 @@ impl HookeJeeves {
     }
 
     fn validate(&self, domain: &BoxDomain) -> Result<()> {
-        if !(self.initial_step.is_finite() && self.initial_step > 0.0 && self.initial_step <= 1.0)
-        {
+        if !(self.initial_step.is_finite() && self.initial_step > 0.0 && self.initial_step <= 1.0) {
             return Err(OptimError::InvalidConfig {
                 option: "initial_step",
                 requirement: "must lie in (0, 1]",
@@ -179,8 +178,7 @@ impl Minimizer for HookeJeeves {
                     .collect();
                 let pattern = domain.project(&pattern);
                 let f_pattern_start = f.eval_penalized(&pattern);
-                let (pat_probe, f_pat) =
-                    explore(&f, domain, &pattern, f_pattern_start, &steps);
+                let (pat_probe, f_pat) = explore(&f, domain, &pattern, f_pattern_start, &steps);
                 if f_pat < f_probe {
                     base = pat_probe;
                     f_base = f_pat;

@@ -48,6 +48,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+// The `serde` feature is wired but is a placeholder until a registry
+// mirror is reachable: fail loudly with instructions instead of letting
+// the cfg_attr derives hit an unresolved `serde::` path.
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature is a placeholder in this offline build: add \
+     `serde = { version = \"1\", features = [\"derive\"], optional = true }` \
+     to this crate's [dependencies], change the feature to \
+     `serde = [\"dep:serde\"]`, and remove this guard"
+);
+
 pub mod anneal;
 pub mod brent;
 pub mod de;
@@ -64,7 +75,7 @@ mod outcome;
 pub mod testfns;
 
 pub use error::OptimError;
-pub use objective::{CountingObjective, Objective};
+pub use objective::{BatchObjective, CountingObjective, Objective};
 pub use outcome::{OptimizationOutcome, TerminationReason, TracePoint};
 
 /// Convenience result alias for fallible optimization operations.
@@ -93,8 +104,11 @@ pub trait Minimizer: std::fmt::Debug {
     /// * [`OptimError::NoFiniteValue`] if every evaluated point produced a
     ///   non-finite objective.
     /// * Algorithm-specific configuration errors.
-    fn minimize(&self, objective: &dyn Objective, domain: &BoxDomain)
-        -> Result<OptimizationOutcome>;
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome>;
 
     /// Short human-readable algorithm name (used in reports and benches).
     fn name(&self) -> &'static str;

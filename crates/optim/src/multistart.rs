@@ -8,9 +8,7 @@
 
 use crate::domain::BoxDomain;
 use crate::nelder_mead::NelderMead;
-use crate::{
-    Minimizer, Objective, OptimError, OptimizationOutcome, Result, TerminationReason,
-};
+use crate::{Minimizer, Objective, OptimError, OptimizationOutcome, Result, TerminationReason};
 
 /// Multi-start wrapper around an inner [`Minimizer`].
 ///
@@ -117,7 +115,11 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
                     .map(|(d, t)| domain.interval(d).lerp(t))
                     .collect()
             };
-            let run = self.inner.clone().with_start(x0).minimize(objective, domain);
+            let run = self
+                .inner
+                .clone()
+                .with_start(x0)
+                .minimize(objective, domain);
             let run = match run {
                 Ok(r) => r,
                 Err(OptimError::NoFiniteValue { evaluations }) => {
@@ -205,7 +207,9 @@ mod tests {
     #[test]
     fn finds_global_minimum_among_himmelblau_basins() {
         let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
-        let out = MultiStart::default().minimize(&himmelblau, &domain).unwrap();
+        let out = MultiStart::default()
+            .minimize(&himmelblau, &domain)
+            .unwrap();
         assert!(out.best_value < 1e-8, "best = {}", out.best_value);
     }
 

@@ -108,7 +108,9 @@ impl NelderMead {
                 });
             }
         }
-        if !(self.initial_scale.is_finite() && self.initial_scale > 0.0 && self.initial_scale <= 1.0)
+        if !(self.initial_scale.is_finite()
+            && self.initial_scale > 0.0
+            && self.initial_scale <= 1.0)
         {
             return Err(OptimError::InvalidConfig {
                 option: "initial_scale",
@@ -190,15 +192,9 @@ impl Minimizer for NelderMead {
             let spread = values[worst] - values[best];
             let diameter = simplex
                 .iter()
-                .flat_map(|v| {
-                    simplex[best]
-                        .iter()
-                        .zip(v)
-                        .map(|(a, b)| (a - b).abs())
-                })
+                .flat_map(|v| simplex[best].iter().zip(v).map(|(a, b)| (a - b).abs()))
                 .fold(0.0, f64::max);
-            if (spread.is_finite() && spread <= self.f_tol)
-                || diameter <= self.x_tol * domain_scale
+            if (spread.is_finite() && spread <= self.f_tol) || diameter <= self.x_tol * domain_scale
             {
                 termination = TerminationReason::Converged;
                 break;
@@ -272,10 +268,7 @@ impl Minimizer for NelderMead {
             }
 
             if self.record_trace {
-                let best_now = values
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
+                let best_now = values.iter().copied().fold(f64::INFINITY, f64::min);
                 trace.push(TracePoint {
                     iteration: iterations,
                     evaluations: f.count(),
@@ -348,7 +341,11 @@ mod tests {
         let domain = BoxDomain::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]).unwrap();
         let f = |x: &[f64]| (x[0] + 3.0).powi(2) + (x[1] + 3.0).powi(2);
         let out = NelderMead::default().minimize(&f, &domain).unwrap();
-        assert!(out.best_x[0] < 1e-5 && out.best_x[1] < 1e-5, "{:?}", out.best_x);
+        assert!(
+            out.best_x[0] < 1e-5 && out.best_x[1] < 1e-5,
+            "{:?}",
+            out.best_x
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
-use serde::{Deserialize, Serialize};
-
 /// Why an optimizer stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum TerminationReason {
     /// Function-value or simplex/step-size tolerance was reached.
@@ -24,7 +23,8 @@ impl std::fmt::Display for TerminationReason {
 }
 
 /// One entry of an optimization trace: the best-so-far after an iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TracePoint {
     /// Iteration index (algorithm-specific granularity).
     pub iteration: u64,
@@ -39,7 +39,8 @@ pub struct TracePoint {
 /// `best_x`/`best_value` always describe a point that was actually
 /// evaluated inside the domain. `converged()` distinguishes a tolerance
 /// stop from a budget stop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OptimizationOutcome {
     /// Argument of the best evaluated point.
     pub best_x: Vec<f64>,

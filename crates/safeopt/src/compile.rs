@@ -1,0 +1,464 @@
+//! Compilation of safety models onto the evaluation engine.
+//!
+//! [`CompiledModel::compile`] lowers a [`SafetyModel`] — every hazard's
+//! parameterized cut sets — into one flat [`safety_opt_engine`] op-tape:
+//! constants fold (residual cut sets become their hazard's bias),
+//! subexpressions shared across cut sets and hazards deduplicate via the
+//! expression nodes' shared identity, cut-set products and hazard sums
+//! fuse into n-ary ops, and the truncated-normal overtime kernel runs on
+//! the engine's fixed-cost `erfc`. Opaque [`pprob::from_fn`] closures
+//! lower to fallback ops that delegate to the scalar interpreter for
+//! just that factor.
+//!
+//! One compiled evaluation is an allocation-free tape sweep; batches
+//! shard across threads with deterministic chunking. The analysis
+//! front-ends ([`surface`](crate::surface),
+//! [`sensitivity`](crate::sensitivity), [`pareto`](crate::pareto),
+//! [`uncertainty`](crate::uncertainty), [`optimize`](crate::optimize))
+//! all route their inner loops through this path behind their unchanged
+//! public APIs; the equivalence contract (compiled == scalar to ≤1e-12,
+//! thread-count independent) is enforced by property tests.
+//!
+//! [`pprob::from_fn`]: crate::pprob::from_fn
+
+use crate::model::SafetyModel;
+use crate::param::{ParamValues, ParameterSpace};
+use crate::pprob::{ExprStructure, ProbExpr};
+use crate::{Result, SafeOptError};
+use safety_opt_engine::{BatchEvaluator, QuantizedCache, Tape, TapeBuilder, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A safety model compiled to an engine tape.
+///
+/// Cheap to clone (the tape is shared). Thread-safe: batch methods shard
+/// across a scoped worker pool sized by `threads`.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    tape: Arc<Tape>,
+    space: Arc<ParameterSpace>,
+    threads: usize,
+}
+
+impl CompiledModel {
+    /// Compiles `model` with machine-sized parallelism for batches.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::UnknownParameter`] if an expression references a
+    /// parameter outside the model's space.
+    pub fn compile(model: &SafetyModel) -> Result<Self> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::compile_with_threads(model, threads)
+    }
+
+    /// Compiles `model` with an explicit batch worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compile`](Self::compile).
+    pub fn compile_with_threads(model: &SafetyModel, threads: usize) -> Result<Self> {
+        let space = model.space_arc();
+        let mut builder = TapeBuilder::new(space.len());
+        let mut memo: HashMap<usize, Value> = HashMap::new();
+        for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
+            let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
+            for cs in hazard.cut_sets() {
+                let factors = cs
+                    .factors()
+                    .iter()
+                    .map(|f| lower(&mut builder, &mut memo, &space, f))
+                    .collect::<Result<Vec<_>>>()?;
+                cut_sets.push(builder.product(factors));
+            }
+            let hazard_value = builder.sum_clamped(0.0, cut_sets);
+            builder.output(hazard_value, cost);
+        }
+        Ok(Self {
+            tape: Arc::new(builder.build()),
+            space,
+            threads: threads.max(1),
+        })
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Number of parameters the compiled model expects.
+    pub fn dim(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Number of hazards (tape outputs).
+    pub fn n_hazards(&self) -> usize {
+        self.tape.n_outputs()
+    }
+
+    /// Configured batch worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.dim() {
+            return Err(SafeOptError::DimensionMismatch {
+                expected: self.dim(),
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Cost at one point; NaN signals an evaluation failure of an opaque
+    /// closure factor (mirror of the scalar path's typed error).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn cost(&self, x: &[f64]) -> Result<f64> {
+        self.check_dim(x.len())?;
+        let mut scratch = Vec::with_capacity(self.tape.scratch_len());
+        let mut hazards = vec![0.0; self.n_hazards()];
+        Ok(self.tape.eval_into(x, &mut scratch, &mut hazards))
+    }
+
+    /// Costs for a batch of points, evaluated in parallel with
+    /// deterministic chunking (results are independent of the thread
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn cost_batch(&self, points: &[Vec<f64>]) -> Result<Vec<f64>> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        Ok(BatchEvaluator::new(&self.tape, self.threads).costs(points))
+    }
+
+    /// Costs **and** hazard probabilities for a batch of points
+    /// (`hazards` is row-major, `points.len() × n_hazards`).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn cost_and_hazards_batch(&self, points: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<f64>)> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        Ok(BatchEvaluator::new(&self.tape, self.threads).costs_and_outputs(points))
+    }
+
+    /// The compiled cost as a scalar optimization objective with an
+    /// optional quantized memo cache (see [`CompiledObjective`]).
+    pub fn objective(&self, memo: bool) -> CompiledObjective {
+        CompiledObjective {
+            tape: Arc::clone(&self.tape),
+            scratch: RefCell::new((
+                Vec::with_capacity(self.tape.scratch_len()),
+                vec![0.0; self.n_hazards()],
+            )),
+            cache: memo.then(QuantizedCache::fine),
+        }
+    }
+}
+
+/// The compiled cost function as an [`safety_opt_optim::Objective`].
+///
+/// Evaluation failures (NaN from an opaque closure factor) surface as
+/// `+∞`, exactly like [`SafetyModel::objective`]. With `memo` enabled,
+/// evaluations are cached per quantized point — multi-start local
+/// searches and pattern moves revisit points constantly.
+#[derive(Debug)]
+pub struct CompiledObjective {
+    tape: Arc<Tape>,
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+    cache: Option<QuantizedCache>,
+}
+
+impl CompiledObjective {
+    fn eval_raw(&self, x: &[f64]) -> f64 {
+        let (scratch, hazards) = &mut *self.scratch.borrow_mut();
+        let v = self.tape.eval_into(x, scratch, hazards);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `(hits, misses)` of the memo cache (`(0, 0)` when disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.as_ref().map_or((0, 0), QuantizedCache::stats)
+    }
+}
+
+impl safety_opt_optim::Objective for CompiledObjective {
+    fn eval(&self, x: &[f64]) -> f64 {
+        if x.len() != self.tape.n_inputs() {
+            return f64::INFINITY;
+        }
+        match &self.cache {
+            Some(cache) => cache.get_or_insert_with(x, || self.eval_raw(x)),
+            None => self.eval_raw(x),
+        }
+    }
+}
+
+/// [`safety_opt_optim::BatchObjective`] for the batch entry points of
+/// grid search, differential evolution, and population annealing: one
+/// parallel tape sweep per generation.
+impl safety_opt_optim::BatchObjective for CompiledModel {
+    fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
+        *out = BatchEvaluator::new(&self.tape, self.threads).costs(points);
+        for v in out.iter_mut() {
+            if !v.is_finite() {
+                *v = f64::INFINITY;
+            }
+        }
+    }
+}
+
+/// Lowers one probability expression, reusing shared nodes through the
+/// expression-identity memo.
+fn lower(
+    b: &mut TapeBuilder,
+    memo: &mut HashMap<usize, Value>,
+    space: &ParameterSpace,
+    expr: &ProbExpr,
+) -> Result<Value> {
+    let id = expr.node_id();
+    if let Some(v) = memo.get(&id) {
+        return Ok(*v);
+    }
+    let check_param = |param: crate::param::ParamId| -> Result<usize> {
+        let i = param.index();
+        if i >= space.len() {
+            return Err(SafeOptError::UnknownParameter {
+                reference: format!("#{i}"),
+            });
+        }
+        Ok(i)
+    };
+    let value = match expr.structure() {
+        ExprStructure::Constant(p) => b.constant(p),
+        ExprStructure::Overtime { dist, param } => {
+            let i = check_param(param)?;
+            let t = b.input(i);
+            b.overtime(dist, t)
+        }
+        ExprStructure::Exposure { rate, param } => {
+            let i = check_param(param)?;
+            let t = b.input(i);
+            b.exposure(rate, t)
+        }
+        ExprStructure::Complement(inner) => {
+            let v = lower(b, memo, space, inner)?;
+            b.complement(v)
+        }
+        ExprStructure::Scaled(c, inner) => {
+            let v = lower(b, memo, space, inner)?;
+            b.scale(c, v)
+        }
+        ExprStructure::Product(terms) => {
+            let vs = terms
+                .iter()
+                .map(|t| lower(b, memo, space, t))
+                .collect::<Result<Vec<_>>>()?;
+            b.product(vs)
+        }
+        ExprStructure::Sum(terms) => {
+            let vs = terms
+                .iter()
+                .map(|t| lower(b, memo, space, t))
+                .collect::<Result<Vec<_>>>()?;
+            b.sum_clamped(0.0, vs)
+        }
+        ExprStructure::Closure { .. } => {
+            // Opaque: delegate this factor to the scalar interpreter;
+            // evaluation failures become NaN and propagate through the
+            // tape.
+            let fallback = expr.clone();
+            b.closure(
+                id,
+                Arc::new(move |xs: &[f64]| {
+                    fallback.eval(&ParamValues::new(xs)).unwrap_or(f64::NAN)
+                }),
+            )
+        }
+        // `ExprStructure` is non-exhaustive for future node kinds; new
+        // kinds must be lowered explicitly before this is reachable.
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unlowered expression kind {other:?}"),
+    };
+    memo.insert(id, value);
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{complement, constant, exposure, from_fn, overtime, product, scaled, sum};
+    use safety_opt_optim::Objective as _;
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn elb_like_model() -> SafetyModel {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter("t2", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let crit = constant(1e-3).unwrap();
+        let collision = Hazard::builder("collision")
+            .residual("rest", 1e-8)
+            .cut_set("ot1", [crit.clone(), overtime(transit, t1)])
+            .cut_set(
+                "ot2",
+                [
+                    crit,
+                    complement(overtime(transit, t1)),
+                    overtime(transit, t2),
+                ],
+            )
+            .build();
+        let activation = sum([
+            constant(1e-3).unwrap(),
+            scaled(
+                1.0 - 1e-3,
+                product([constant(1e-4).unwrap(), exposure(1e-4, t1)]),
+            )
+            .unwrap(),
+        ]);
+        let alarm = Hazard::builder("alarm")
+            .residual("rest", 1e-4)
+            .cut_set("hv", [activation, exposure(0.13, t2)])
+            .build();
+        SafetyModel::new(space)
+            .hazard(collision, 100_000.0)
+            .hazard(alarm, 1.0)
+    }
+
+    #[test]
+    fn compiled_matches_scalar_everywhere() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let mut t1 = 5.0;
+        while t1 <= 30.0 {
+            let mut t2 = 5.0;
+            while t2 <= 30.0 {
+                let x = [t1, t2];
+                let scalar = model.cost(&x).unwrap();
+                let fast = compiled.cost(&x).unwrap();
+                assert!(
+                    (scalar - fast).abs() <= 1e-12,
+                    "cost mismatch at {x:?}: {scalar} vs {fast}"
+                );
+                t2 += 1.37;
+            }
+            t1 += 1.37;
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_compile_once() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        // overtime(t1) is shared between the two collision cut sets
+        // through the cloned expression node; the tape carries each
+        // distinct op once: 2 overtime, 2 exposure, 1 complement,
+        // 1 scale(product) chain, products and 2 hazard sums.
+        assert!(
+            compiled.tape().n_ops() <= 14,
+            "expected a deduplicated tape, got {} ops",
+            compiled.tape().n_ops()
+        );
+        // Duplicating a hazard (same shared expression nodes) must not
+        // add a single expression op — only the new hazard sum.
+        let mut dup = elb_like_model();
+        let h = dup.hazards()[0].clone();
+        dup = dup.hazard(h, 1.0);
+        let dup_compiled = CompiledModel::compile(&dup).unwrap();
+        assert!(
+            dup_compiled.tape().n_ops() <= compiled.tape().n_ops() + 1,
+            "duplicate hazard re-lowered: {} vs {} ops",
+            dup_compiled.tape().n_ops(),
+            compiled.tape().n_ops()
+        );
+    }
+
+    #[test]
+    fn batch_and_scalar_compiled_paths_agree_bitwise() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile_with_threads(&model, 3).unwrap();
+        let points: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                let t = 5.0 + (i as f64) * 25.0 / 499.0;
+                vec![t, 35.0 - t]
+            })
+            .collect();
+        let batch = compiled.cost_batch(&points).unwrap();
+        for (p, &v) in points.iter().zip(&batch) {
+            assert_eq!(compiled.cost(p).unwrap(), v);
+        }
+        let (costs, hazards) = compiled.cost_and_hazards_batch(&points).unwrap();
+        assert_eq!(costs, batch);
+        for (i, p) in points.iter().enumerate() {
+            let scalar = model.hazard_probabilities(p).unwrap();
+            for h in 0..2 {
+                assert!(
+                    (hazards[i * 2 + h] - scalar[h]).abs() <= 1e-12,
+                    "hazard {h} mismatch at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objective_memo_caches_revisits() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let obj = compiled.objective(true);
+        let a = obj.eval(&[19.0, 15.6]);
+        let b = obj.eval(&[19.0, 15.6]);
+        assert_eq!(a, b);
+        let (hits, misses) = obj.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // Wrong arity through the objective is infeasible, not a panic.
+        assert_eq!(obj.eval(&[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn closure_failures_surface_like_the_scalar_path() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let broken = Hazard::builder("h")
+            .cut_set("bad", [from_fn("broken", |_| 2.0)])
+            .build();
+        let model = SafetyModel::new(space).hazard(broken, 1.0);
+        let compiled = CompiledModel::compile(&model).unwrap();
+        assert!(compiled.cost(&[0.5]).unwrap().is_nan());
+        let obj = compiled.objective(false);
+        assert_eq!(obj.eval(&[0.5]), f64::INFINITY);
+        assert_eq!(model.objective()(&[0.5]), f64::INFINITY);
+    }
+
+    #[test]
+    fn foreign_param_ids_are_rejected_at_compile_time() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let h = Hazard::builder("h")
+            .cut_set("e", [exposure(0.1, crate::param::ParamId::new(7))])
+            .build();
+        let model = SafetyModel::new(space).hazard(h, 1.0);
+        assert!(matches!(
+            CompiledModel::compile(&model),
+            Err(SafeOptError::UnknownParameter { .. })
+        ));
+    }
+}

@@ -118,9 +118,7 @@ mod tests {
     #[test]
     fn source_chains_to_substrate() {
         use std::error::Error;
-        let e = SafeOptError::from(safety_opt_stats::StatsError::InvalidProbability {
-            value: 2.0,
-        });
+        let e = SafeOptError::from(safety_opt_stats::StatsError::InvalidProbability { value: 2.0 });
         assert!(e.source().is_some());
         let e = SafeOptError::EmptyModel;
         assert!(e.source().is_none());

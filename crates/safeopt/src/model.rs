@@ -272,11 +272,7 @@ impl SafetyModel {
     /// [`hazard_probabilities`](Self::hazard_probabilities).
     pub fn cost(&self, x: &[f64]) -> Result<f64> {
         let probs = self.hazard_probabilities(x)?;
-        Ok(probs
-            .iter()
-            .zip(&self.costs)
-            .map(|(p, c)| p * c)
-            .sum())
+        Ok(probs.iter().zip(&self.costs).map(|(p, c)| p * c).sum())
     }
 
     /// The cost function as an optimization objective. Evaluation errors

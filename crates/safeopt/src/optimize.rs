@@ -16,7 +16,6 @@ use crate::Result;
 use safety_opt_optim::multistart::MultiStart;
 use safety_opt_optim::nelder_mead::NelderMead;
 use safety_opt_optim::{Minimizer, OptimizationOutcome};
-use serde::{Deserialize, Serialize};
 
 /// The result of a safety optimization run.
 #[derive(Debug, Clone)]
@@ -107,13 +106,21 @@ impl<'m> SafetyOptimizer<'m> {
 
     /// Runs the optimization.
     ///
+    /// The cost function is compiled onto the evaluation engine first
+    /// (see [`crate::compile`]): the minimizer then drives an
+    /// allocation-free op-tape with a quantized memo cache instead of
+    /// re-walking the expression trees per evaluation. The reported
+    /// hazard probabilities at the optimum come from the scalar
+    /// reference path.
+    ///
     /// # Errors
     ///
     /// Model-validation errors and any optimizer error.
     pub fn run(self) -> Result<OptimalConfiguration> {
         self.model.validate()?;
         let domain = self.model.space().domain()?;
-        let f = self.model.objective();
+        let compiled = crate::compile::CompiledModel::compile(self.model)?;
+        let f = compiled.objective(true);
 
         let outcome = match self.minimizer {
             Some(m) => m.minimize(&f, &domain)?,
@@ -135,7 +142,8 @@ impl<'m> SafetyOptimizer<'m> {
 }
 
 /// Per-hazard delta between two configurations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HazardDelta {
     /// Hazard name.
     pub hazard: String,
@@ -149,7 +157,8 @@ pub struct HazardDelta {
 }
 
 /// Comparison of two configurations of the same model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfigurationComparison {
     /// Baseline parameter values.
     pub baseline: Vec<f64>,
@@ -276,8 +285,8 @@ mod tests {
             .run()
             .unwrap();
         let by_default = SafetyOptimizer::new(&m).run().unwrap();
-        let dt = (by_grid.point().value("t").unwrap() - by_default.point().value("t").unwrap())
-            .abs();
+        let dt =
+            (by_grid.point().value("t").unwrap() - by_default.point().value("t").unwrap()).abs();
         assert!(dt < 0.1, "grid vs nelder-mead differ by {dt}");
     }
 

@@ -9,12 +9,12 @@
 
 use crate::{Result, SafeOptError};
 use safety_opt_optim::domain::{BoxDomain, Interval};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Identifier of a parameter inside one [`ParameterSpace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ParamId(pub(crate) usize);
 
 impl ParamId {
@@ -36,7 +36,8 @@ impl ParamId {
 }
 
 /// One named free parameter with its compact domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Parameter {
     name: String,
     interval: Interval,
@@ -75,7 +76,8 @@ impl Parameter {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ParameterSpace {
     params: Vec<Parameter>,
     by_name: HashMap<String, ParamId>,
@@ -343,7 +345,9 @@ mod tests {
     #[test]
     fn point_accessors_and_display() {
         let mut space = ParameterSpace::new();
-        space.parameter_with_unit("timer1", 5.0, 30.0, "min").unwrap();
+        space
+            .parameter_with_unit("timer1", 5.0, 30.0, "min")
+            .unwrap();
         space.parameter("rate", 0.0, 1.0).unwrap();
         let space = Arc::new(space);
         let p = space.point(vec![19.0, 0.13]).unwrap();

@@ -9,14 +9,14 @@
 //! check the chosen weights ("is a collision really worth 100 000 false
 //! alarms — and would the answer move the optimum?").
 
+use crate::compile::CompiledModel;
 use crate::model::SafetyModel;
 use crate::Result;
 use safety_opt_optim::domain::BoxDomain;
-use safety_opt_optim::grid::GridSearch;
-use serde::{Deserialize, Serialize};
 
 /// One configuration with its hazard probabilities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ParetoPoint {
     /// Parameter values.
     pub x: Vec<f64>,
@@ -42,7 +42,8 @@ impl ParetoPoint {
 }
 
 /// The Pareto-efficient configurations found by a grid sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ParetoFront {
     /// Non-dominated points, sorted by the first objective.
     pub points: Vec<ParetoPoint>,
@@ -59,16 +60,40 @@ impl ParetoFront {
     pub fn compute(model: &SafetyModel, points_per_dim: usize) -> Result<Self> {
         model.validate()?;
         let domain: BoxDomain = model.space().domain()?;
-        let grid = GridSearch::new(points_per_dim.max(2));
-        // Evaluate hazard vectors over the lattice. GridSearch::evaluate
-        // wants a scalar objective; enumerate the lattice through it while
-        // computing objectives per point.
-        let f = |_: &[f64]| 0.0; // lattice enumeration only
-        let lattice = grid.evaluate(&f, &domain)?;
-        let mut candidates = Vec::with_capacity(lattice.len());
-        for gp in lattice {
-            let objectives = model.hazard_probabilities(&gp.x)?;
-            candidates.push(ParetoPoint { x: gp.x, objectives });
+        // Batch path: enumerate the lattice in slabs and evaluate hazard
+        // vectors through the compiled parallel engine.
+        let compiled = CompiledModel::compile(model)?;
+        let n = points_per_dim.max(2);
+        let dim = domain.dim();
+        let total = n.pow(dim as u32);
+        let n_hazards = model.hazards().len();
+        const BATCH: usize = 8192;
+        let lattice_point = |mut index: usize| -> Vec<f64> {
+            let mut x = Vec::with_capacity(dim);
+            for iv in domain.intervals() {
+                let k = index % n;
+                index /= n;
+                x.push(iv.lerp(k as f64 / (n - 1) as f64));
+            }
+            x
+        };
+        let mut candidates = Vec::with_capacity(total);
+        let mut start = 0;
+        while start < total {
+            let end = (start + BATCH).min(total);
+            let slab: Vec<Vec<f64>> = (start..end).map(lattice_point).collect();
+            let (_, hazards) = compiled.cost_and_hazards_batch(&slab)?;
+            for (i, x) in slab.into_iter().enumerate() {
+                let row = &hazards[i * n_hazards..(i + 1) * n_hazards];
+                let objectives = if row.iter().all(|v| v.is_finite()) {
+                    row.to_vec()
+                } else {
+                    // Resolve closure failures to the scalar path's error.
+                    model.hazard_probabilities(&x)?
+                };
+                candidates.push(ParetoPoint { x, objectives });
+            }
+            start = end;
         }
         let mut front: Vec<ParetoPoint> = Vec::new();
         'outer: for c in candidates {
@@ -201,7 +226,12 @@ mod tests {
         let best = front.best_for_weights(&[100_000.0, 1.0]).unwrap();
         let direct = crate::optimize::SafetyOptimizer::new(&model).run().unwrap();
         let dt = (best.x[0] - direct.point().values()[0]).abs();
-        assert!(dt < 0.5, "front best {} vs optimizer {}", best.x[0], direct.point().values()[0]);
+        assert!(
+            dt < 0.5,
+            "front best {} vs optimizer {}",
+            best.x[0],
+            direct.point().values()[0]
+        );
     }
 
     #[test]

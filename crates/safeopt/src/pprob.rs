@@ -55,6 +55,7 @@ enum Node {
     Complement(ProbExpr),
     Product(Vec<ProbExpr>),
     Scaled(f64, ProbExpr),
+    Sum(Vec<ProbExpr>),
 }
 
 impl std::fmt::Debug for Node {
@@ -71,6 +72,7 @@ impl std::fmt::Debug for Node {
             Node::Complement(e) => write!(f, "Complement({e:?})"),
             Node::Product(es) => write!(f, "Product({es:?})"),
             Node::Scaled(c, e) => write!(f, "Scaled({c}, {e:?})"),
+            Node::Sum(es) => write!(f, "Sum({es:?})"),
         }
     }
 }
@@ -148,6 +150,18 @@ pub fn product(factors: impl IntoIterator<Item = ProbExpr>) -> ProbExpr {
     }
 }
 
+/// Clamped sum `min(Σ pᵢ(X), 1)` — the union-bound combination of
+/// alarm/failure sources. Together with [`scaled`] and [`complement`]
+/// this expresses the paper's mixture constructions like
+/// `P(OHV) + (1 − P(OHV)) · P(FDpre) · P(FDpost)(T1)` *structurally*
+/// instead of hiding them in an opaque [`from_fn`] closure — which keeps
+/// them analyzable (and compilable) by the evaluation engine.
+pub fn sum(terms: impl IntoIterator<Item = ProbExpr>) -> ProbExpr {
+    ProbExpr {
+        node: Arc::new(Node::Sum(terms.into_iter().collect())),
+    }
+}
+
 /// Scaled probability `c · p(X)` (for mixture terms like the paper's
 /// `P(OHV) + (1 − P(OHV)) · …` constructions).
 ///
@@ -201,6 +215,13 @@ impl ProbExpr {
                 acc
             }
             Node::Scaled(c, p) => c * p.eval(params)?,
+            Node::Sum(terms) => {
+                let mut acc = 0.0;
+                for p in terms {
+                    acc += p.eval(params)?;
+                }
+                acc.min(1.0)
+            }
         };
         // Guard against accumulated floating error pushing us outside.
         debug_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "probability {v}");
@@ -223,8 +244,81 @@ impl ProbExpr {
                 .collect::<Vec<_>>()
                 .join(" · "),
             Node::Scaled(c, p) => format!("{c:.3e}·({})", p.describe()),
+            Node::Sum(terms) => format!(
+                "min({}, 1)",
+                terms
+                    .iter()
+                    .map(|p| p.describe())
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            ),
         }
     }
+
+    /// Stable identity of the shared expression node (clones of one
+    /// expression report the same id). Used by the compiler to lower
+    /// shared subtrees once.
+    pub fn node_id(&self) -> usize {
+        Arc::as_ptr(&self.node) as *const () as usize
+    }
+
+    /// A structural view of the top node, for tree walkers such as the
+    /// evaluation-engine lowering pass. Closure nodes are opaque: walkers
+    /// fall back to [`eval`](Self::eval) for those.
+    pub fn structure(&self) -> ExprStructure<'_> {
+        match &*self.node {
+            Node::Constant(p) => ExprStructure::Constant(*p),
+            Node::Closure { label, .. } => ExprStructure::Closure { label },
+            Node::Overtime { dist, param } => ExprStructure::Overtime {
+                dist,
+                param: *param,
+            },
+            Node::Exposure { rate, param } => ExprStructure::Exposure {
+                rate: *rate,
+                param: *param,
+            },
+            Node::Complement(p) => ExprStructure::Complement(p),
+            Node::Product(ps) => ExprStructure::Product(ps),
+            Node::Scaled(c, p) => ExprStructure::Scaled(*c, p),
+            Node::Sum(ps) => ExprStructure::Sum(ps),
+        }
+    }
+}
+
+/// Borrowed structural view of a [`ProbExpr`] node (see
+/// [`ProbExpr::structure`]).
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum ExprStructure<'a> {
+    /// A fixed probability.
+    Constant(f64),
+    /// An opaque closure; evaluate through [`ProbExpr::eval`].
+    Closure {
+        /// The closure's report label.
+        label: &'a str,
+    },
+    /// Survival `P(X > x_param)` of a transit-time distribution.
+    Overtime {
+        /// The transit-time distribution.
+        dist: &'a TruncatedNormal,
+        /// Parameter holding the evaluation point.
+        param: ParamId,
+    },
+    /// Poisson exposure `1 − e^{−rate · x_param}`.
+    Exposure {
+        /// Arrival rate λ.
+        rate: f64,
+        /// Parameter holding the window length.
+        param: ParamId,
+    },
+    /// `1 − p`.
+    Complement(&'a ProbExpr),
+    /// `∏ pᵢ`.
+    Product(&'a [ProbExpr]),
+    /// `c · p`.
+    Scaled(f64, &'a ProbExpr),
+    /// `min(Σ pᵢ, 1)`.
+    Sum(&'a [ProbExpr]),
 }
 
 /// Exposure expression from an [`Exponential`] arrival-interval
@@ -340,9 +434,6 @@ mod tests {
     fn clones_share_structure() {
         let p = constant(0.5).unwrap();
         let q = p.clone();
-        assert_eq!(
-            p.eval(&vals(&[])).unwrap(),
-            q.eval(&vals(&[])).unwrap()
-        );
+        assert_eq!(p.eval(&vals(&[])).unwrap(), q.eval(&vals(&[])).unwrap());
     }
 }

@@ -40,7 +40,8 @@ impl AnalysisReport {
     /// Model-validation, optimization, and sensitivity errors.
     pub fn run(title: impl Into<String>, model: &SafetyModel, baseline: &[f64]) -> Result<Self> {
         let optimum = SafetyOptimizer::new(model).run()?;
-        let comparison = ConfigurationComparison::compute(model, baseline, optimum.point().values())?;
+        let comparison =
+            ConfigurationComparison::compute(model, baseline, optimum.point().values())?;
         let tornado = tornado(model, optimum.point().values())?;
         let mut sweeps = Vec::with_capacity(model.space().len());
         for (id, _) in model.space().iter() {
@@ -62,7 +63,12 @@ impl AnalysisReport {
         let _ = writeln!(md, "# Safety optimization report — {}\n", self.title);
 
         let _ = writeln!(md, "## Recommended configuration\n");
-        let _ = writeln!(md, "`{}` with mean cost `{:.6e}`\n", self.optimum.point(), self.optimum.cost());
+        let _ = writeln!(
+            md,
+            "`{}` with mean cost `{:.6e}`\n",
+            self.optimum.point(),
+            self.optimum.cost()
+        );
         let _ = writeln!(
             md,
             "(found in {} objective evaluations, {})\n",
@@ -92,13 +98,18 @@ impl AnalysisReport {
         );
 
         let _ = writeln!(md, "## Which parameter matters (tornado)\n");
-        let _ = writeln!(md, "| parameter | cost at low end | cost at high end | swing |");
+        let _ = writeln!(
+            md,
+            "| parameter | cost at low end | cost at high end | swing |"
+        );
         let _ = writeln!(md, "|---|---|---|---|");
         for bar in &self.tornado {
             let _ = writeln!(
                 md,
                 "| {} | {:.4e} | {:.4e} | {:.4e} |",
-                bar.parameter, bar.cost_at_lo, bar.cost_at_hi,
+                bar.parameter,
+                bar.cost_at_lo,
+                bar.cost_at_hi,
                 bar.swing()
             );
         }
@@ -135,7 +146,9 @@ mod tests {
 
     fn model() -> SafetyModel {
         let mut space = ParameterSpace::new();
-        let t = space.parameter_with_unit("timer", 5.0, 30.0, "min").unwrap();
+        let t = space
+            .parameter_with_unit("timer", 5.0, 30.0, "min")
+            .unwrap();
         let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
         let col = Hazard::builder("collision")
             .cut_set("ot", [overtime(transit, t)])

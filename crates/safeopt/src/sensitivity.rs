@@ -13,13 +13,14 @@
 //! * [`local_gradient`] — central-difference cost gradient at a point
 //!   (direction of steepest improvement).
 
+use crate::compile::CompiledModel;
 use crate::model::SafetyModel;
 use crate::param::ParamId;
 use crate::{Result, SafeOptError};
-use serde::{Deserialize, Serialize};
 
 /// One sample of a parameter sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// Value of the swept parameter.
     pub value: f64,
@@ -30,7 +31,8 @@ pub struct SweepPoint {
 }
 
 /// A one-at-a-time sweep of one parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sweep {
     /// Name of the swept parameter.
     pub parameter: String,
@@ -93,14 +95,30 @@ pub fn sweep(
     let steps = steps.max(2);
     let interval = space.get(param).interval();
     let mut point = reference.to_vec();
-    let mut points = Vec::with_capacity(steps);
+    let mut grid = Vec::with_capacity(steps);
     for i in 0..steps {
         let v = interval.lerp(i as f64 / (steps - 1) as f64);
         point[param.index()] = v;
+        grid.push(point.clone());
+    }
+    // Batch path: one compiled parallel sweep for costs and hazards.
+    let compiled = CompiledModel::compile(model)?;
+    let (costs, hazards) = compiled.cost_and_hazards_batch(&grid)?;
+    let n_hazards = model.hazards().len();
+    let mut points = Vec::with_capacity(steps);
+    for (i, p) in grid.iter().enumerate() {
+        let row = &hazards[i * n_hazards..(i + 1) * n_hazards];
+        let (cost, hazard_probabilities) =
+            if costs[i].is_finite() && row.iter().all(|v| v.is_finite()) {
+                (costs[i], row.to_vec())
+            } else {
+                // Resolve closure failures to the scalar path's error.
+                (model.cost(p)?, model.hazard_probabilities(p)?)
+            };
         points.push(SweepPoint {
-            value: v,
-            cost: model.cost(&point)?,
-            hazard_probabilities: model.hazard_probabilities(&point)?,
+            value: p[param.index()],
+            cost,
+            hazard_probabilities,
         });
     }
     Ok(Sweep {
@@ -110,7 +128,8 @@ pub fn sweep(
 }
 
 /// One bar of a tornado diagram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TornadoBar {
     /// Parameter name.
     pub parameter: String,
@@ -145,19 +164,31 @@ pub fn tornado(model: &SafetyModel, reference: &[f64]) -> Result<Vec<TornadoBar>
             got: reference.len(),
         });
     }
-    let cost_at_reference = model.cost(reference)?;
-    let mut bars = Vec::with_capacity(space.len());
+    // Batch path: the reference plus both interval endpoints of every
+    // parameter in one compiled evaluation.
+    let mut probes = Vec::with_capacity(1 + 2 * space.len());
+    probes.push(reference.to_vec());
     let mut point = reference.to_vec();
     for (id, p) in space.iter() {
         point[id.index()] = p.interval().lo();
-        let cost_at_lo = model.cost(&point)?;
+        probes.push(point.clone());
         point[id.index()] = p.interval().hi();
-        let cost_at_hi = model.cost(&point)?;
+        probes.push(point.clone());
         point[id.index()] = reference[id.index()];
+    }
+    let compiled = CompiledModel::compile(model)?;
+    let raw = compiled.cost_batch(&probes)?;
+    let mut costs = Vec::with_capacity(raw.len());
+    for (v, p) in raw.into_iter().zip(&probes) {
+        costs.push(if v.is_finite() { v } else { model.cost(p)? });
+    }
+    let cost_at_reference = costs[0];
+    let mut bars = Vec::with_capacity(space.len());
+    for (i, (_, p)) in space.iter().enumerate() {
         bars.push(TornadoBar {
             parameter: p.name().to_owned(),
-            cost_at_lo,
-            cost_at_hi,
+            cost_at_lo: costs[1 + 2 * i],
+            cost_at_hi: costs[2 + 2 * i],
             cost_at_reference,
         });
     }
@@ -180,19 +211,39 @@ pub fn local_gradient(model: &SafetyModel, x: &[f64], h: f64) -> Result<Vec<f64>
             got: x.len(),
         });
     }
-    let mut grad = Vec::with_capacity(space.len());
+    // Batch path: all central-difference probes in one compiled
+    // evaluation.
+    let mut spans = Vec::with_capacity(space.len());
+    let mut probes = Vec::with_capacity(2 * space.len());
     let mut probe = x.to_vec();
     for (id, p) in space.iter() {
         let step = (h * p.interval().width()).max(1e-12);
         let hi = p.interval().clamp(x[id.index()] + step);
         let lo = p.interval().clamp(x[id.index()] - step);
         probe[id.index()] = hi;
-        let f_hi = model.cost(&probe)?;
+        probes.push(probe.clone());
         probe[id.index()] = lo;
-        let f_lo = model.cost(&probe)?;
+        probes.push(probe.clone());
         probe[id.index()] = x[id.index()];
-        grad.push(if hi > lo { (f_hi - f_lo) / (hi - lo) } else { 0.0 });
+        spans.push(hi - lo);
     }
+    let compiled = CompiledModel::compile(model)?;
+    let raw = compiled.cost_batch(&probes)?;
+    let mut costs = Vec::with_capacity(raw.len());
+    for (v, p) in raw.into_iter().zip(&probes) {
+        costs.push(if v.is_finite() { v } else { model.cost(p)? });
+    }
+    let grad = spans
+        .iter()
+        .enumerate()
+        .map(|(i, &span)| {
+            if span > 0.0 {
+                (costs[2 * i] - costs[2 * i + 1]) / span
+            } else {
+                0.0
+            }
+        })
+        .collect();
     Ok(grad)
 }
 

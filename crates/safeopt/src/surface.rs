@@ -6,13 +6,14 @@
 //! `f_cost(x, y)` values over two chosen parameters (all others frozen),
 //! exportable as CSV for plotting and as an ASCII heat map for terminals.
 
+use crate::compile::CompiledModel;
 use crate::model::SafetyModel;
 use crate::param::ParamId;
 use crate::{Result, SafeOptError};
-use serde::{Deserialize, Serialize};
 
 /// A rectangular cost-surface sample over two parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostSurface {
     /// Name of the x-axis parameter.
     pub x_name: String,
@@ -66,14 +67,26 @@ impl CostSurface {
         let y: Vec<f64> = (0..ny)
             .map(|j| iy.lerp(j as f64 / (ny - 1) as f64))
             .collect();
-        let mut values = Vec::with_capacity(ny);
+        // Batch path: compile once, evaluate the whole grid through the
+        // parallel engine. Grid costs come back in row-major order.
+        let mut points = Vec::with_capacity(nx * ny);
         let mut point = reference.to_vec();
         for &yj in &y {
-            let mut row = Vec::with_capacity(nx);
             for &xi in &x {
                 point[px.index()] = xi;
                 point[py.index()] = yj;
-                row.push(model.cost(&point)?);
+                points.push(point.clone());
+            }
+        }
+        let compiled = CompiledModel::compile(model)?;
+        let costs = compiled.cost_batch(&points)?;
+        let mut values = Vec::with_capacity(ny);
+        for (row_costs, row_points) in costs.chunks(nx).zip(points.chunks(nx)) {
+            let mut row = Vec::with_capacity(nx);
+            for (&v, p) in row_costs.iter().zip(row_points) {
+                // NaN marks an opaque-closure failure: resolve it to the
+                // scalar path's typed error.
+                row.push(if v.is_finite() { v } else { model.cost(p)? });
             }
             values.push(row);
         }
@@ -143,12 +156,11 @@ impl CostSurface {
             }
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{:>10} +{}\n", "", "-".repeat(self.x.len())
-        ));
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(self.x.len())));
         out.push_str(&format!(
             "{:>12}{:.3} .. {:.3} ({})\n",
-            "", self.x[0],
+            "",
+            self.x[0],
             self.x[self.x.len() - 1],
             self.x_name
         ));

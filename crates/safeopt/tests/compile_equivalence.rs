@@ -1,0 +1,171 @@
+//! The engine's equivalence contract: compiled + parallel batch
+//! evaluation matches the scalar `pprob` interpreter to within 1e-12
+//! across randomly generated safety models and parameter points, and
+//! batch results are bit-identical for every thread count.
+
+use proptest::prelude::*;
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_core::model::{Hazard, SafetyModel};
+use safety_opt_core::param::{ParamId, ParameterSpace};
+use safety_opt_core::pprob::{
+    complement, constant, exposure, overtime, product, scaled, sum, ProbExpr,
+};
+use safety_opt_stats::dist::TruncatedNormal;
+
+const DIM: usize = 3;
+
+/// Random probability expressions over three parameters, mirroring every
+/// constructor the model layer offers (including the clamped sum and
+/// nested products the Elbtunnel model uses).
+fn expr_strategy() -> impl Strategy<Value = ProbExpr> {
+    let leaf = prop_oneof![
+        (0.0f64..=1.0).prop_map(|p| constant(p).unwrap()),
+        (0.001f64..2.0, 0usize..DIM).prop_map(|(rate, idx)| exposure(rate, ParamId::new(idx))),
+        ((0.5f64..20.0, 0.1f64..5.0), 0usize..DIM).prop_map(|((mu, sigma), idx)| {
+            overtime(
+                TruncatedNormal::lower_bounded(mu, sigma, 0.0).unwrap(),
+                ParamId::new(idx),
+            )
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(complement),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(product),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(sum),
+            (0.0f64..=1.0, inner).prop_map(|(c, e)| scaled(c, e).unwrap()),
+        ]
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = SafetyModel> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(prop::collection::vec(expr_strategy(), 1..4), 1..4),
+            0.0f64..1e6,
+        ),
+        1..4,
+    )
+    .prop_map(|hazards| {
+        let mut space = ParameterSpace::new();
+        for d in 0..DIM {
+            space.parameter(format!("p{d}"), 0.0, 40.0).unwrap();
+        }
+        let mut model = SafetyModel::new(space);
+        for (h, (cut_sets, cost)) in hazards.into_iter().enumerate() {
+            let mut builder = Hazard::builder(format!("h{h}"));
+            for (c, factors) in cut_sets.into_iter().enumerate() {
+                builder = builder.cut_set(format!("cs{c}"), factors);
+            }
+            model = model.hazard(builder.build(), cost);
+        }
+        model
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Compiled scalar evaluation == interpreter, within 1e-12.
+    #[test]
+    fn compiled_matches_scalar_interpreter(
+        model in model_strategy(),
+        x0 in 0.0f64..40.0,
+        x1 in 0.0f64..40.0,
+        x2 in 0.0f64..40.0,
+    ) {
+        let compiled = CompiledModel::compile(&model)
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        let x = [x0, x1, x2];
+        let scalar_cost = model
+            .cost(&x)
+            .map_err(|e| TestCaseError::fail(format!("scalar eval failed: {e}")))?;
+        let fast_cost = compiled
+            .cost(&x)
+            .map_err(|e| TestCaseError::fail(format!("compiled eval failed: {e}")))?;
+        // Costs scale with the weights; compare at 1e-12 relative to the
+        // weight scale (probabilities themselves match absolutely).
+        let scale = model.costs().iter().sum::<f64>().max(1.0);
+        prop_assert!(
+            (scalar_cost - fast_cost).abs() <= 1e-12 * scale,
+            "cost mismatch at {x:?}: scalar {scalar_cost} vs compiled {fast_cost}"
+        );
+        let scalar_probs = model.hazard_probabilities(&x).unwrap();
+        let (_, flat) = compiled.cost_and_hazards_batch(&[x.to_vec()]).unwrap();
+        for (h, (s, f)) in scalar_probs.iter().zip(&flat).enumerate() {
+            prop_assert!(
+                (s - f).abs() <= 1e-12,
+                "hazard {h} mismatch at {x:?}: scalar {s} vs compiled {f}"
+            );
+        }
+    }
+
+    // Parallel batches reproduce the compiled scalar path bitwise, for
+    // every thread count.
+    #[test]
+    fn batches_are_thread_count_independent(
+        model in model_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> = (0..257)
+            .map(|_| (0..DIM).map(|_| rng.gen::<f64>() * 40.0).collect())
+            .collect();
+        let reference = CompiledModel::compile_with_threads(&model, 1)
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        let ref_costs = reference.cost_batch(&points).unwrap();
+        // Batch values equal the compiled scalar values exactly.
+        for (p, &v) in points.iter().zip(&ref_costs) {
+            let single = reference.cost(p).unwrap();
+            prop_assert!(
+                single == v || (single.is_nan() && v.is_nan()),
+                "batch vs scalar compiled mismatch"
+            );
+        }
+        for threads in [2usize, 3, 5, 8] {
+            let compiled = CompiledModel::compile_with_threads(&model, threads).unwrap();
+            let costs = compiled.cost_batch(&points).unwrap();
+            let (costs2, hazards2) = compiled.cost_and_hazards_batch(&points).unwrap();
+            let (ref_c2, ref_h2) = reference.cost_and_hazards_batch(&points).unwrap();
+            for i in 0..points.len() {
+                let same = costs[i] == ref_costs[i]
+                    || (costs[i].is_nan() && ref_costs[i].is_nan());
+                prop_assert!(same, "threads = {threads}: cost diverged at point {i}");
+                let same2 = costs2[i] == ref_c2[i]
+                    || (costs2[i].is_nan() && ref_c2[i].is_nan());
+                prop_assert!(same2, "threads = {threads}: cost+hazards diverged at {i}");
+            }
+            prop_assert!(
+                hazards2.iter().zip(&ref_h2).all(|(a, b)| a == b
+                    || (a.is_nan() && b.is_nan())),
+                "threads = {threads}: hazard rows diverged"
+            );
+        }
+    }
+}
+
+/// The full Elbtunnel case study compiles without closure fallbacks and
+/// matches the interpreter over a dense grid — the concrete model the
+/// throughput benchmark measures.
+#[test]
+fn elbtunnel_model_compiles_exactly() {
+    use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+    let model = ElbtunnelModel::paper().build().unwrap();
+    let compiled = CompiledModel::compile(&model).unwrap();
+    let mut worst = 0.0f64;
+    let mut t1 = 5.0;
+    while t1 <= 30.0 {
+        let mut t2 = 5.0;
+        while t2 <= 30.0 {
+            let x = [t1, t2];
+            let scalar = model.cost(&x).unwrap();
+            let fast = compiled.cost(&x).unwrap();
+            worst = worst.max((scalar - fast).abs());
+            t2 += 0.37;
+        }
+        t1 += 0.37;
+    }
+    assert!(worst <= 1e-12, "worst Elbtunnel deviation {worst:e}");
+}

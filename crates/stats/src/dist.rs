@@ -1,0 +1,1124 @@
+//! Continuous probability distributions.
+//!
+//! Everything the safety models consume: the truncated normal transit
+//! times of the Elbtunnel study, exponential arrival processes, and the
+//! usual reliability families (Weibull, log-normal, gamma, beta, uniform).
+//! Each distribution provides pdf, cdf, survival function, quantile,
+//! moments, and inverse-transform random sampling; all constructors
+//! validate their parameters and report [`StatsError`] instead of
+//! panicking.
+//!
+//! Survival functions are computed directly (not as `1 − cdf`) wherever
+//! tail precision matters — the Elbtunnel overtime probabilities live 7+
+//! standard deviations out, where `1 − cdf` would round to zero.
+
+use crate::special::{
+    beta_inc, gamma_p, gamma_q, inverse_normal_cdf, ln_beta, ln_gamma, std_normal_cdf,
+    std_normal_pdf, std_normal_sf,
+};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Common interface of continuous distributions.
+pub trait ContinuousDistribution: std::fmt::Debug {
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `P(X > x)`, computed with full tail precision.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile function (inverse cdf).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidProbability`] unless `p ∈ [0, 1]` (with the
+    /// endpoints mapping to the support bounds, which may be infinite).
+    fn quantile(&self, p: f64) -> Result<f64>;
+
+    /// Expected value.
+    fn mean(&self) -> f64;
+
+    /// Variance.
+    fn variance(&self) -> f64;
+
+    /// Support as `(lower, upper)` (either may be infinite).
+    fn support(&self) -> (f64, f64);
+}
+
+/// Distributions that support random sampling.
+///
+/// The default implementation is exact inverse-transform sampling through
+/// [`ContinuousDistribution::quantile`], so samples follow the analytic
+/// cdf to floating-point accuracy — important for the Kolmogorov–Smirnov
+/// validation of the discrete-event simulator.
+pub trait SampleDistribution: ContinuousDistribution {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() is uniform in [0, 1); nudge 0 away from the
+        // endpoint so unbounded quantiles stay finite.
+        let u = rng.gen::<f64>().max(1e-16);
+        self.quantile(u).expect("u in (0, 1) has a valid quantile")
+    }
+
+    /// Draws `n` values.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+fn check_param(name: &'static str, value: f64, ok: bool, requirement: &'static str) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(StatsError::InvalidParameter {
+            name,
+            value,
+            requirement,
+        })
+    }
+}
+
+fn check_probability(p: f64) -> Result<()> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(StatsError::InvalidProbability { value: p })
+    }
+}
+
+/// Generic quantile by bisection on a monotone cdf over `[lo, hi]`.
+///
+/// Used by the families without a closed-form inverse (gamma, beta). The
+/// bracket must satisfy `cdf(lo) <= p <= cdf(hi)`.
+fn quantile_by_bisection(
+    dist: &impl ContinuousDistribution,
+    p: f64,
+    mut lo: f64,
+    mut hi: f64,
+) -> f64 {
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if !(mid > lo && mid < hi) {
+            break; // interval exhausted at floating-point resolution
+        }
+        if dist.cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless `mu` is finite and `sigma`
+    /// is finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        check_param("mu", mu, mu.is_finite(), "must be finite")?;
+        check_param(
+            "sigma",
+            sigma,
+            sigma.is_finite() && sigma > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Location parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf(self.z(x)) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf(self.z(x))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        std_normal_sf(self.z(x))
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(self.mu + self.sigma * inverse_normal_cdf(p)?)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+}
+
+impl SampleDistribution for Normal {}
+
+// ---------------------------------------------------------------------------
+// Truncated normal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution truncated to `[lower, upper]` (the upper bound may
+/// be `+∞`) — the paper's transit-time model `N(4, 2²)` truncated at 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    mu: f64,
+    sigma: f64,
+    lower: f64,
+    upper: f64,
+    /// Φ(α) where α = (lower − μ)/σ.
+    cdf_alpha: f64,
+    /// 1 − Φ(β) where β = (upper − μ)/σ (0 for an unbounded upper tail).
+    sf_beta: f64,
+    /// Mass of the untruncated normal inside the window.
+    mass: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates `N(mu, sigma²)` truncated to `[lower, upper]`. `upper` may
+    /// be `f64::INFINITY` for a one-sided truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] for bad moments or bounds, and
+    /// [`StatsError::EmptyTruncation`] if the window carries numerically
+    /// zero probability mass.
+    pub fn new(mu: f64, sigma: f64, lower: f64, upper: f64) -> Result<Self> {
+        check_param("mu", mu, mu.is_finite(), "must be finite")?;
+        check_param(
+            "sigma",
+            sigma,
+            sigma.is_finite() && sigma > 0.0,
+            "must be finite and > 0",
+        )?;
+        check_param("lower", lower, lower.is_finite(), "must be finite")?;
+        if upper.is_nan() || upper <= lower {
+            // An inverted or collapsed window is an empty truncation, like
+            // a window carrying zero mass.
+            return Err(StatsError::EmptyTruncation { lower, upper });
+        }
+        let alpha = (lower - mu) / sigma;
+        let cdf_alpha = std_normal_cdf(alpha);
+        let sf_beta = if upper.is_finite() {
+            std_normal_sf((upper - mu) / sigma)
+        } else {
+            0.0
+        };
+        // Mass via the survival functions so one-sided far-right windows
+        // keep relative precision.
+        let mass = std_normal_sf(alpha) - sf_beta;
+        if mass.is_nan() || mass <= 1e-12 {
+            return Err(StatsError::EmptyTruncation { lower, upper });
+        }
+        Ok(Self {
+            mu,
+            sigma,
+            lower,
+            upper,
+            cdf_alpha,
+            sf_beta,
+            mass,
+        })
+    }
+
+    /// One-sided truncation `X ≥ lower` (upper bound `+∞`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn lower_bounded(mu: f64, sigma: f64, lower: f64) -> Result<Self> {
+        Self::new(mu, sigma, lower, f64::INFINITY)
+    }
+
+    /// Location parameter μ of the parent normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ of the parent normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+
+    fn alpha(&self) -> f64 {
+        (self.lower - self.mu) / self.sigma
+    }
+
+    fn beta(&self) -> f64 {
+        if self.upper.is_finite() {
+            (self.upper - self.mu) / self.sigma
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl ContinuousDistribution for TruncatedNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lower || x > self.upper {
+            0.0
+        } else {
+            std_normal_pdf(self.z(x)) / (self.sigma * self.mass)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lower {
+            0.0
+        } else if x >= self.upper {
+            1.0
+        } else {
+            ((std_normal_cdf(self.z(x)) - self.cdf_alpha) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= self.lower {
+            1.0
+        } else if x >= self.upper {
+            0.0
+        } else {
+            // Survival-function form: exact deep in the right tail, where
+            // the paper's optimal overtime probabilities (~1e-14) live.
+            ((std_normal_sf(self.z(x)) - self.sf_beta) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if p == 0.0 {
+            return Ok(self.lower);
+        }
+        if p == 1.0 {
+            return Ok(self.upper);
+        }
+        let target = self.cdf_alpha + p * self.mass;
+        let z = inverse_normal_cdf(target.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON / 2.0))?;
+        Ok((self.mu + self.sigma * z).clamp(self.lower, self.upper))
+    }
+
+    fn mean(&self) -> f64 {
+        let phi_alpha = std_normal_pdf(self.alpha());
+        let phi_beta = if self.upper.is_finite() {
+            std_normal_pdf(self.beta())
+        } else {
+            0.0
+        };
+        self.mu + self.sigma * (phi_alpha - phi_beta) / self.mass
+    }
+
+    fn variance(&self) -> f64 {
+        let alpha = self.alpha();
+        let beta = self.beta();
+        let phi_alpha = std_normal_pdf(alpha);
+        let phi_beta = if beta.is_finite() {
+            std_normal_pdf(beta)
+        } else {
+            0.0
+        };
+        let a_term = alpha * phi_alpha;
+        let b_term = if beta.is_finite() {
+            beta * phi_beta
+        } else {
+            0.0
+        };
+        let shift = (phi_alpha - phi_beta) / self.mass;
+        let v = self.sigma * self.sigma * (1.0 + (a_term - b_term) / self.mass - shift * shift);
+        v.max(0.0)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lower, self.upper)
+    }
+}
+
+impl SampleDistribution for TruncatedNormal {}
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+/// Exponential distribution with rate λ (mean `1/λ`) — Poisson
+/// inter-arrival times, the paper's sensor-exposure model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates the exponential with rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless `rate` is finite and
+    /// positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        check_param(
+            "rate",
+            rate,
+            rate.is_finite() && rate > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { rate })
+    }
+
+    /// Creates the exponential with the given mean (`rate = 1/mean`).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless `mean` is finite and
+    /// positive.
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        check_param(
+            "mean",
+            mean,
+            mean.is_finite() && mean > 0.0,
+            "must be finite and > 0",
+        )?;
+        Self::new(1.0 / mean)
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        // -ln(1 - p) / λ, with ln_1p for small p.
+        Ok(-(-p).ln_1p() / self.rate)
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+impl SampleDistribution for Exponential {}
+
+// ---------------------------------------------------------------------------
+// Weibull
+// ---------------------------------------------------------------------------
+
+/// Weibull distribution with shape `k` and scale `λ` — the standard
+/// wear-out lifetime model (see the cooling-maintenance example).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates the Weibull with shape `shape` and scale `scale`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless both are finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        check_param(
+            "shape",
+            shape,
+            shape.is_finite() && shape > 0.0,
+            "must be finite and > 0",
+        )?;
+        check_param(
+            "scale",
+            scale,
+            scale.is_finite() && scale > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let t = x / self.scale;
+        (self.shape / self.scale) * t.powf(self.shape - 1.0) * (-t.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        Ok(self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape))
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        (self.scale * self.scale * (g2 - g1 * g1)).max(0.0)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+impl SampleDistribution for Weibull {}
+
+// ---------------------------------------------------------------------------
+// Log-normal
+// ---------------------------------------------------------------------------
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the log-normal whose logarithm is `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless `mu` is finite and `sigma`
+    /// is finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        check_param("mu", mu, mu.is_finite(), "must be finite")?;
+        check_param(
+            "sigma",
+            sigma,
+            sigma.is_finite() && sigma > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates the log-normal with the given *real-scale* mean and
+    /// standard deviation (moment matching: `σ² = ln(1 + cv²)`,
+    /// `μ = ln mean − σ²/2`).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless both are finite and
+    /// positive.
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Result<Self> {
+        check_param(
+            "mean",
+            mean,
+            mean.is_finite() && mean > 0.0,
+            "must be finite and > 0",
+        )?;
+        check_param(
+            "std_dev",
+            std_dev,
+            std_dev.is_finite() && std_dev > 0.0,
+            "must be finite and > 0",
+        )?;
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = cv2.ln_1p();
+        Self::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
+    }
+
+    /// Log-scale location μ.
+    pub fn log_mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale standard deviation σ.
+    pub fn log_sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        std_normal_pdf((x.ln() - self.mu) / self.sigma) / (x * self.sigma)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            std_normal_sf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok((self.mu + self.sigma * inverse_normal_cdf(p)?).exp())
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        s2.exp_m1() * (2.0 * self.mu + s2).exp()
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+impl SampleDistribution for LogNormal {}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+/// Uniform distribution on `[a, b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates the uniform on `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless both bounds are finite
+    /// with `a < b`.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        check_param("a", a, a.is_finite(), "must be finite")?;
+        check_param("b", b, b.is_finite() && b > a, "must be finite and > a")?;
+        Ok(Self { a, b })
+    }
+
+    /// Lower bound.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.a || x > self.b {
+            0.0
+        } else {
+            1.0 / (self.b - self.a)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        Ok(self.a + p * (self.b - self.a))
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+}
+
+impl SampleDistribution for Uniform {}
+
+// ---------------------------------------------------------------------------
+// Gamma
+// ---------------------------------------------------------------------------
+
+/// Gamma distribution with shape `k` and scale `θ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates the gamma with shape `shape` and scale `scale`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless both are finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        check_param(
+            "shape",
+            shape,
+            shape.is_finite() && shape > 0.0,
+            "must be finite and > 0",
+        )?;
+        check_param(
+            "scale",
+            scale,
+            scale.is_finite() && scale > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let t = x / self.scale;
+        ((self.shape - 1.0) * t.ln() - t - ln_gamma(self.shape)).exp() / self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale).unwrap_or(1.0)
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            gamma_q(self.shape, x / self.scale).unwrap_or(0.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        // Bracket by doubling past the mean + 10σ heuristic, then bisect.
+        let mut hi = self.mean() + 10.0 * self.variance().sqrt() + 1.0;
+        let mut guard = 0;
+        while self.cdf(hi) < p && guard < 200 {
+            hi *= 2.0;
+            guard += 1;
+        }
+        Ok(quantile_by_bisection(self, p, 0.0, hi))
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+impl SampleDistribution for Gamma {}
+
+// ---------------------------------------------------------------------------
+// Beta
+// ---------------------------------------------------------------------------
+
+/// Beta distribution on `[0, 1]` with shape parameters `α`, `β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates the beta with shapes `alpha` and `beta`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] unless both are finite and
+    /// positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        check_param(
+            "alpha",
+            alpha,
+            alpha.is_finite() && alpha > 0.0,
+            "must be finite and > 0",
+        )?;
+        check_param(
+            "beta",
+            beta,
+            beta.is_finite() && beta > 0.0,
+            "must be finite and > 0",
+        )?;
+        Ok(Self { alpha, beta })
+    }
+
+    /// First shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Second shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl ContinuousDistribution for Beta {
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 || x == 1.0 {
+            // Density endpoints: finite only for α/β ≥ 1; report 0 to stay
+            // total (the endpoints carry no mass either way).
+            return 0.0;
+        }
+        let ln_b = ln_beta(self.alpha, self.beta).unwrap_or(f64::INFINITY);
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            beta_inc(self.alpha, self.beta, x).unwrap_or(1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(1.0);
+        }
+        Ok(quantile_by_bisection(self, p, 0.0, 1.0))
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+}
+
+impl SampleDistribution for Beta {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "actual {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_and_known_values() {
+        let d = Normal::new(4.0, 2.0).unwrap();
+        assert_eq!(d.mean(), 4.0);
+        assert_eq!(d.variance(), 4.0);
+        assert_close(d.cdf(4.0), 0.5, 1e-14);
+        assert_close(d.sf(4.0), 0.5, 1e-14);
+        // P(X > μ + 1.96σ) ≈ 0.025
+        assert_close(d.sf(4.0 + 1.96 * 2.0), 0.024_997_895_148_220_43, 1e-10);
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn truncated_normal_matches_paper_shape() {
+        // N(4, 2²) truncated at 0 — the Elbtunnel transit model.
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        // Truncation at −2σ removes ~2.3 % of mass; mean shifts right.
+        assert_close(d.mean(), 4.110_493_612, 1e-6);
+        assert!(d.variance() < 4.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.sf(-1.0), 1.0);
+        // Deep-tail survival keeps relative precision: P(X > 19) at z = 7.5
+        // over mass 0.977…
+        let sf19 = d.sf(19.0);
+        assert!(sf19 > 3.2e-14 && sf19 < 3.4e-14, "sf(19) = {sf19}");
+    }
+
+    #[test]
+    fn truncated_normal_two_sided() {
+        let d = TruncatedNormal::new(0.0, 1.0, -1.0, 1.0).unwrap();
+        assert_close(d.mean(), 0.0, 1e-12);
+        assert_close(d.cdf(0.0), 0.5, 1e-12);
+        assert_eq!(d.cdf(1.5), 1.0);
+        assert_eq!(d.support(), (-1.0, 1.0));
+        let q = d.quantile(0.5).unwrap();
+        assert_close(q, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn truncated_normal_rejects_empty_windows() {
+        assert!(TruncatedNormal::new(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
+        // A window 40σ out carries no numerical mass.
+        assert!(TruncatedNormal::new(0.0, 1.0, 40.0, 41.0).is_err());
+        assert!(TruncatedNormal::lower_bounded(-50.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_identities() {
+        let d = Exponential::new(0.13).unwrap();
+        assert_close(d.mean(), 1.0 / 0.13, 1e-14);
+        assert_close(d.cdf(15.6), 1.0 - (-0.13f64 * 15.6).exp(), 1e-14);
+        assert_close(d.sf(100.0), (-13.0f64).exp(), 1e-12);
+        let q = d.quantile(0.5).unwrap();
+        assert_close(d.cdf(q), 0.5, 1e-13);
+        assert_eq!(Exponential::from_mean(4.0).unwrap().rate(), 0.25);
+        assert!(Exponential::new(0.0).is_err());
+    }
+
+    #[test]
+    fn weibull_reduces_to_exponential_at_shape_one() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for &x in &[0.1, 1.0, 5.0] {
+            assert_close(w.cdf(x), e.cdf(x), 1e-13);
+            assert_close(w.pdf(x), e.pdf(x), 1e-13);
+        }
+        assert_close(w.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.2, 0.4).unwrap();
+        assert_close(d.quantile(0.5).unwrap(), 1.2f64.exp(), 1e-10);
+        assert_close(d.cdf(1.2f64.exp()), 0.5, 1e-12);
+        assert_close(d.mean(), (1.2f64 + 0.08).exp(), 1e-12);
+    }
+
+    #[test]
+    fn uniform_geometry() {
+        let d = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(d.mean(), 4.0);
+        assert_close(d.variance(), 16.0 / 12.0, 1e-14);
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(7.0), 1.0);
+        assert_eq!(d.quantile(0.25).unwrap(), 3.0);
+        assert!(Uniform::new(3.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn gamma_special_cases() {
+        // Gamma(1, θ) is exponential with rate 1/θ.
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for &x in &[0.5, 2.0, 10.0] {
+            assert_close(g.cdf(x), e.cdf(x), 1e-12);
+        }
+        let q = g.quantile(0.8).unwrap();
+        assert_close(g.cdf(q), 0.8, 1e-9);
+    }
+
+    #[test]
+    fn beta_symmetry_and_inversion() {
+        let d = Beta::new(2.0, 2.0).unwrap();
+        assert_close(d.cdf(0.5), 0.5, 1e-13);
+        assert_close(d.mean(), 0.5, 1e-14);
+        let q = d.quantile(0.25).unwrap();
+        assert_close(d.cdf(q), 0.25, 1e-9);
+    }
+
+    #[test]
+    fn inverse_transform_sampling_tracks_cdf() {
+        let mut rng = StdRng::seed_from_u64(20_250_729);
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let n = 20_000;
+        let below_median = d
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|&x| x <= d.quantile(0.5).unwrap())
+            .count();
+        let frac = below_median as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median split {frac}");
+    }
+
+    #[test]
+    fn samples_respect_supports() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tn = TruncatedNormal::new(0.0, 1.0, -0.5, 2.0).unwrap();
+        let be = Beta::new(0.7, 3.0).unwrap();
+        for _ in 0..2000 {
+            let x = tn.sample(&mut rng);
+            assert!((-0.5..=2.0).contains(&x));
+            let y = be.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let d = Normal::standard();
+        let obj: &dyn ContinuousDistribution = &d;
+        assert_close(obj.cdf(0.0), 0.5, 1e-14);
+    }
+}

@@ -68,7 +68,10 @@ impl fmt::Display for StatsError {
             StatsError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             StatsError::InsufficientData { needed, got } => {
                 write!(f, "need at least {needed} observations, got {got}")
             }

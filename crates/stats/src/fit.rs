@@ -218,7 +218,11 @@ mod tests {
         let truth = Weibull::new(2.0, 3.0).unwrap();
         let data = truth.sample_n(&mut rng, 50_000);
         let fitted = fit_weibull(&data).unwrap();
-        assert!((fitted.shape() - 2.0).abs() < 0.05, "k = {}", fitted.shape());
+        assert!(
+            (fitted.shape() - 2.0).abs() < 0.05,
+            "k = {}",
+            fitted.shape()
+        );
         assert!(
             (fitted.scale() - 3.0).abs() < 0.05,
             "λ = {}",

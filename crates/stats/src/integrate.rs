@@ -281,13 +281,7 @@ mod tests {
 
     #[test]
     fn simpson_normal_density_integrates_to_one() {
-        let v = adaptive_simpson(
-            crate::special::std_normal_pdf,
-            -10.0,
-            10.0,
-            1e-12,
-        )
-        .unwrap();
+        let v = adaptive_simpson(crate::special::std_normal_pdf, -10.0, 10.0, 1e-12).unwrap();
         assert!((v - 1.0).abs() < 1e-10);
     }
 
@@ -321,11 +315,7 @@ mod tests {
         let t2 = 15.6;
         let rule = GaussLegendre::new(64).unwrap();
         let inner = rule
-            .integrate(
-                |x| (1.0 - (-lambda * x).exp()) * transit.pdf(x),
-                0.0,
-                t2,
-            )
+            .integrate(|x| (1.0 - (-lambda * x).exp()) * transit.pdf(x), 0.0, t2)
             .unwrap();
         let expected = inner + (1.0 - (-lambda * t2).exp()) * transit.sf(t2);
         // Cross-check against adaptive Simpson.

@@ -24,10 +24,10 @@
 
 use crate::dist::ContinuousDistribution;
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// Result of a Kolmogorov–Smirnov test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KsResult {
     /// The KS statistic `D_n`.
     pub statistic: f64,
@@ -51,10 +51,7 @@ impl KsResult {
 ///
 /// [`StatsError::InsufficientData`] for fewer than 8 observations and
 /// [`StatsError::NonFiniteValue`] for non-finite samples.
-pub fn ks_test<D: ContinuousDistribution + ?Sized>(
-    samples: &[f64],
-    dist: &D,
-) -> Result<KsResult> {
+pub fn ks_test<D: ContinuousDistribution + ?Sized>(samples: &[f64], dist: &D) -> Result<KsResult> {
     if samples.len() < 8 {
         return Err(StatsError::InsufficientData {
             needed: 8,

@@ -20,10 +20,10 @@
 
 use crate::special::inverse_normal_cdf;
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// Numerically-stable streaming mean/variance accumulator (Welford).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -159,7 +159,8 @@ impl FromIterator<f64> for RunningStats {
 ///
 /// Hazard probabilities are tiny; the Wilson interval stays calibrated at
 /// probabilities near 0 where the Wald interval collapses to `[p, p]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProportionEstimate {
     successes: u64,
     trials: u64,
@@ -278,7 +279,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let sequential: RunningStats = data.iter().copied().collect();
         let mut left: RunningStats = data[..400].iter().copied().collect();
         let right: RunningStats = data[400..].iter().copied().collect();

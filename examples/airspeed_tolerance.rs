@@ -79,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ntolerance sweep (cost per check):");
     let sweep = sensitivity::sweep(&model, tol, &[t_star], 9)?;
     for p in &sweep.points {
-        let marker = if (p.value - t_star).abs() < 1.3 { "  <- optimum region" } else { "" };
+        let marker = if (p.value - t_star).abs() < 1.3 {
+            "  <- optimum region"
+        } else {
+            ""
+        };
         println!(
             "  tol = {:5.2} kt   cost = {:9.4}   P(acc) = {:.2e}   P(grd) = {:.2e}{}",
             p.value, p.cost, p.hazard_probabilities[0], p.hazard_probabilities[1], marker

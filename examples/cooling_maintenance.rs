@@ -37,11 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the fault tree and inspect it.
     let tree = parse(OVERHEAT_TREE)?;
     let mcs = tree.minimal_cut_sets()?;
-    println!("fault tree {:?} with {} minimal cut sets:", tree.name(), mcs.len());
+    println!(
+        "fault tree {:?} with {} minimal cut sets:",
+        tree.name(),
+        mcs.len()
+    );
     for cs in mcs.iter() {
         println!("  {{{}}}", cs.names(&tree).join(", "));
     }
-    println!("\nGraphviz available via render::to_dot ({} bytes)", to_dot(&tree)?.len());
+    println!(
+        "\nGraphviz available via render::to_dot ({} bytes)",
+        to_dot(&tree)?.len()
+    );
 
     // 2. Parameterize: the pump's wear-out depends on the maintenance
     // interval (hours between services). Weibull shape 2.2 = aging.

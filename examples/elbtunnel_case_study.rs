@@ -21,7 +21,10 @@ use safety_optimization::safeopt::optimize::{ConfigurationComparison, SafetyOpti
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== 1. Fault tree analysis (Sect. IV-B) ==");
-    for tree in [fault_trees::collision_tree()?, fault_trees::false_alarm_tree()?] {
+    for tree in [
+        fault_trees::collision_tree()?,
+        fault_trees::false_alarm_tree()?,
+    ] {
         println!("\n{}", tree.name());
         print!("{}", to_ascii(&tree)?);
         let mcs = tree.minimal_cut_sets()?;

@@ -21,9 +21,7 @@ fn build_tree() -> Result<FaultTree, safety_optimization::fta::FtaError> {
     for ch in ["A", "B"] {
         let sensor = ft.basic_event_with_probability(format!("sensor {ch} fails"), 2e-3)?;
         let units: Vec<_> = (1..=3)
-            .map(|i| {
-                ft.basic_event_with_probability(format!("unit {ch}{i} fails"), 5e-3)
-            })
+            .map(|i| ft.basic_event_with_probability(format!("unit {ch}{i} fails"), 5e-3))
             .collect::<Result<_, _>>()?;
         let voter = ft.k_of_n_gate(format!("voter {ch} outvoted"), 2, units)?;
         channels.push(ft.or_gate(format!("channel {ch} fails"), [sensor, voter])?);
@@ -60,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = QuantReport::compute(&tree, &probs)?;
     println!("\nquantification:");
     println!("  rare-event (paper Eq. 1): {:.6e}", report.rare_event);
-    println!("  min-cut upper bound     : {:.6e}", report.min_cut_upper_bound);
+    println!(
+        "  min-cut upper bound     : {:.6e}",
+        report.min_cut_upper_bound
+    );
     if let Some(ie) = report.inclusion_exclusion {
         println!("  inclusion-exclusion     : {ie:.6e}");
     }

@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cut_set(
             "hang undetected",
             [
-                constant(1e-5)?,            // P(task hangs) per mission
-                exposure(0.02, timeout),    // P(process damage grows with timeout)
+                constant(1e-5)?,         // P(task hangs) per mission
+                exposure(0.02, timeout), // P(process damage grows with timeout)
             ],
         )
         .build();

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.lambda_hv = lambda_prior.sample(rng).clamp(0.05, 0.4);
         m.p_ohv *= 0.75 + 0.75 * rng.gen::<f64>();
         m.cost_collision = 50_000.0 + 150_000.0 * rng.gen::<f64>();
-        m.build().map_err(Into::into)
+        m.build()
     };
 
     println!("== 1. Risk uncertainty at the paper's optimum (19, 15.6) ==");

@@ -12,9 +12,7 @@
 
 use proptest::prelude::*;
 use safety_optimization::fta::bdd::TreeBdd;
-use safety_optimization::fta::quant::{
-    inclusion_exclusion, min_cut_upper_bound, rare_event,
-};
+use safety_optimization::fta::quant::{inclusion_exclusion, min_cut_upper_bound, rare_event};
 use safety_optimization::fta::synth::{random_tree, RandomTreeConfig};
 use safety_optimization::fta::{mcs, BitSet, FtaError};
 

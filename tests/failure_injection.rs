@@ -55,7 +55,10 @@ fn optimizer_reports_fully_infeasible_objective() {
 #[test]
 fn fta_rejects_malformed_trees() {
     let mut ft = FaultTree::new("t");
-    assert!(matches!(ft.and_gate("g", []), Err(FtaError::EmptyGate { .. })));
+    assert!(matches!(
+        ft.and_gate("g", []),
+        Err(FtaError::EmptyGate { .. })
+    ));
     let a = ft.basic_event("a").unwrap();
     assert!(matches!(
         ft.basic_event("a"),
@@ -66,10 +69,7 @@ fn fta_rejects_malformed_trees() {
         Err(FtaError::InvalidThreshold { .. })
     ));
     assert!(matches!(ft.set_root(a), Err(FtaError::InvalidRoot { .. })));
-    assert!(matches!(
-        ft.minimal_cut_sets(),
-        Err(FtaError::NoRoot)
-    ));
+    assert!(matches!(ft.minimal_cut_sets(), Err(FtaError::NoRoot)));
 }
 
 #[test]

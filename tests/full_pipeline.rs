@@ -47,10 +47,7 @@ top CrossingCollision
     })
     .unwrap();
     let blockage = Hazard::builder("needless blockage")
-        .cut_set(
-            "cars queue while nothing comes",
-            [exposure(0.01, lead)],
-        )
+        .cut_set("cars queue while nothing comes", [exposure(0.01, lead)])
         .build();
     let model = SafetyModel::new(space.clone())
         .hazard(collision, 500_000.0)
@@ -73,7 +70,11 @@ fn parse_model_optimize_compare() {
     assert!(cmp.cost_improvement() > 0.0);
     // And the collision probability must drop substantially.
     let col = cmp.hazard("CrossingCollision").unwrap();
-    assert!(col.relative_change < -0.5, "collision delta {}", col.relative_change);
+    assert!(
+        col.relative_change < -0.5,
+        "collision delta {}",
+        col.relative_change
+    );
 }
 
 #[test]
@@ -127,5 +128,5 @@ fn umbrella_reexports_are_usable() {
     let _ = safety_optimization::stats::special::erf(1.0);
     let _ = safety_optimization::optim::testfns::sphere(&[1.0, 2.0]);
     let tree = safety_optimization::elbtunnel::fault_trees::collision_tree().unwrap();
-    assert!(tree.len() > 0);
+    assert!(!tree.is_empty());
 }

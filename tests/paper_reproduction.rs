@@ -4,9 +4,9 @@
 use safety_optimization::elbtunnel::analytic::{scaling, ElbtunnelModel, Variant};
 use safety_optimization::elbtunnel::constants as c;
 use safety_optimization::elbtunnel::fault_trees;
+use safety_optimization::optim::grid::GridSearch;
 use safety_optimization::safeopt::optimize::{ConfigurationComparison, SafetyOptimizer};
 use safety_optimization::safeopt::surface::CostSurface;
-use safety_optimization::optim::grid::GridSearch;
 
 /// E1 — Fig. 5: the cost surface over (T1, T2) near the minimum sits in
 /// the paper's ≈ 0.0046–0.0047 band and its grid minimum lies at the

@@ -81,11 +81,7 @@ fn collision_shape_tracks_analytic_tail() {
 #[test]
 fn overtime_statistics_match_the_transit_distribution() {
     let model = ElbtunnelModel::paper();
-    let report = simulate(
-        &SimConfig::paper(7.0, 9.0, Variant::Original),
-        100_000,
-        400,
-    );
+    let report = simulate(&SimConfig::paper(7.0, 9.0, Variant::Original), 100_000, 400);
     let ot1_expected = model.p_overtime(7.0).unwrap();
     let ot2_expected = model.p_overtime(9.0).unwrap();
     assert!(report

@@ -1,0 +1,249 @@
+//! E9 — model-fleet throughput: models·points/sec of the per-model
+//! compile-and-evaluate loop vs. the shared-arena fleet, on the
+//! Elbtunnel **uncertainty workload** (a Monte-Carlo family of sampled
+//! models that differ only in the uncertain constants λ_HV and P(OHV)).
+//!
+//! Writes `BENCH_fleet.json` at the workspace root. The headline number
+//! is the **one-core** comparison: cross-model hash-consing alone must
+//! pay for itself (the shared collision subtree evaluates once per
+//! point for the whole fleet instead of once per model).
+//!
+//! Run with: `cargo run --release -p safety_opt_bench --bin fleet_throughput`
+//!
+//! With `--enforce`, exits non-zero when the one-core fleet path does
+//! not beat the per-model loop. The fleet-vs-per-model bitwise
+//! equivalence check is always enforced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_core::fleet::CompiledFleet;
+use safety_opt_core::model::SafetyModel;
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use std::path::Path;
+use std::time::Instant;
+
+/// Sampled models per Monte-Carlo batch.
+const N_MODELS: usize = 128;
+/// Evaluation points per pass.
+const N_POINTS: usize = 96;
+/// Minimum wall-clock per measured mode.
+const MIN_SECONDS: f64 = 0.6;
+
+struct Measurement {
+    model_points_per_sec: f64,
+    total_model_points: u64,
+    seconds: f64,
+}
+
+fn measure(label: &'static str, per_pass: usize, mut pass: impl FnMut() -> f64) -> Measurement {
+    // Warm-up pass (pages, caches, lazy init).
+    let mut checksum = pass();
+    let start = Instant::now();
+    let mut passes = 0u64;
+    // Throughput is the *best* pass: robust against transient background
+    // load (CI runners and the reference container share their core).
+    let mut best_pass_seconds = f64::INFINITY;
+    loop {
+        let pass_start = Instant::now();
+        checksum += pass();
+        best_pass_seconds = best_pass_seconds.min(pass_start.elapsed().as_secs_f64());
+        passes += 1;
+        if start.elapsed().as_secs_f64() >= MIN_SECONDS {
+            break;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let total_model_points = passes * per_pass as u64;
+    let model_points_per_sec = per_pass as f64 / best_pass_seconds;
+    // Keep the checksum observable so the work cannot be optimized out.
+    assert!(checksum.is_finite());
+    println!(
+        "{label:<22} {model_points_per_sec:>12.0} model·points/sec   \
+         (best of {passes} passes, {total_model_points} model·points in {seconds:.2} s)"
+    );
+    Measurement {
+        model_points_per_sec,
+        total_model_points,
+        seconds,
+    }
+}
+
+/// The uncertainty family: the paper's calibrated model with λ_HV known
+/// to ±30 % and P(OHV) to ±25 %.
+fn sample_family(n: usize, seed: u64) -> Vec<SafetyModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut m = ElbtunnelModel::paper();
+            m.lambda_hv *= 0.7 + 0.6 * rng.gen::<f64>();
+            m.p_ohv = (m.p_ohv * (0.75 + 0.5 * rng.gen::<f64>())).min(1.0);
+            m.build().expect("paper model builds")
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let enforce = std::env::args().any(|a| a == "--enforce");
+    println!("# Fleet throughput — {N_MODELS} sampled Elbtunnel models x {N_POINTS} points\n");
+
+    let models = sample_family(N_MODELS, 0x5AFE_F1EE);
+    let paper = ElbtunnelModel::paper();
+    let (lo, hi) = paper.timer_domain;
+    let mut rng = StdRng::seed_from_u64(0x5AFE_2026);
+    let points: Vec<Vec<f64>> = (0..N_POINTS)
+        .map(|_| {
+            vec![
+                lo + rng.gen::<f64>() * (hi - lo),
+                lo + rng.gen::<f64>() * (hi - lo),
+            ]
+        })
+        .collect();
+    let per_pass = N_MODELS * N_POINTS;
+
+    let compile_loop_start = Instant::now();
+    let compiled: Vec<CompiledModel> = models
+        .iter()
+        .map(|m| CompiledModel::compile_with_threads(m, 1))
+        .collect::<Result<_, _>>()?;
+    let per_model_compile_seconds = compile_loop_start.elapsed().as_secs_f64();
+
+    let fleet_compile_start = Instant::now();
+    let fleet = CompiledFleet::compile_with_threads(&models, 1)?;
+    let fleet_compile_seconds = fleet_compile_start.elapsed().as_secs_f64();
+    let threads = safety_opt_engine::default_threads();
+    let fleet_parallel = CompiledFleet::compile_with_threads(&models, threads)?;
+
+    let per_model_ops: usize = (0..fleet.n_models())
+        .map(|k| fleet.fleet().model_ops(k))
+        .sum();
+    println!(
+        "arena: {} ops for {} models ({} per-model ops, {:.1} % shared)\n",
+        fleet.fleet().tape().n_ops(),
+        fleet.n_models(),
+        per_model_ops,
+        100.0 * fleet.sharing()
+    );
+
+    // Correctness gate before timing anything: fleet == per-model loop,
+    // bit for bit.
+    let fleet_costs = fleet.costs_all(&points)?;
+    for (k, c) in compiled.iter().enumerate() {
+        let loop_costs = c.cost_batch(&points)?;
+        for (i, &v) in loop_costs.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                fleet_costs[i * N_MODELS + k].to_bits(),
+                "fleet diverged from per-model path (model {k}, point {i})"
+            );
+        }
+    }
+    println!("equivalence check     fleet == per-model loop, 0 ULP\n");
+
+    let loop_mode = measure("per-model loop", per_pass, || {
+        let mut acc = 0.0;
+        for c in &compiled {
+            acc += c
+                .cost_batch(&points)
+                .map(|v| v.iter().sum::<f64>())
+                .unwrap_or(0.0);
+        }
+        acc
+    });
+    let fleet_mode = measure("fleet (1 core)", per_pass, || {
+        fleet
+            .costs_all(&points)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0.0)
+    });
+    let fleet_par_mode = measure("fleet + parallel", per_pass, || {
+        fleet_parallel
+            .costs_all(&points)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0.0)
+    });
+
+    let speedup = fleet_mode.model_points_per_sec / loop_mode.model_points_per_sec;
+    let speedup_par = fleet_par_mode.model_points_per_sec / loop_mode.model_points_per_sec;
+    let pass = speedup > 1.0;
+    println!();
+    println!("fleet vs per-model loop (1 core): {speedup:.2}x  (target > 1x)");
+    println!("fleet + parallel vs loop        : {speedup_par:.2}x  ({threads} threads)");
+    println!(
+        "compile: per-model loop {:.1} ms, fleet {:.1} ms",
+        1e3 * per_model_compile_seconds,
+        1e3 * fleet_compile_seconds
+    );
+    println!(
+        "verdict                         : {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fleet_throughput\",\n");
+    json.push_str("  \"workload\": \"elbtunnel_uncertainty\",\n");
+    json.push_str(&format!(
+        "  \"n_models\": {N_MODELS},\n  \"n_points\": {N_POINTS},\n  \"threads\": {threads},\n"
+    ));
+    json.push_str(&format!(
+        "  \"arena_ops\": {},\n  \"per_model_ops\": {},\n  \"sharing\": {:.4},\n",
+        fleet.fleet().tape().n_ops(),
+        per_model_ops,
+        fleet.sharing()
+    ));
+    json.push_str(&format!(
+        "  \"compile_seconds\": {{ \"per_model_loop\": {per_model_compile_seconds:.5}, \"fleet\": {fleet_compile_seconds:.5} }},\n"
+    ));
+    json.push_str("  \"modes\": {\n");
+    for (i, (key, m)) in [
+        ("per_model_loop", &loop_mode),
+        ("fleet_one_core", &fleet_mode),
+        ("fleet_parallel", &fleet_par_mode),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        json.push_str(&format!(
+            "    \"{key}\": {{ \"model_points_per_sec\": {:.1}, \"total_model_points\": {}, \"seconds\": {:.4} }}{}\n",
+            m.model_points_per_sec,
+            m.total_model_points,
+            m.seconds,
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_fleet_vs_loop_one_core\": {speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"speedup_fleet_parallel_vs_loop\": {speedup_par:.3},\n"
+    ));
+    json.push_str(&format!("  \"pass\": {pass}\n"));
+    json.push_str("}\n");
+
+    // BENCH_fleet.json lives at the workspace root (CARGO_MANIFEST_DIR =
+    // crates/bench, two levels down).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    let path = root.join("BENCH_fleet.json");
+    std::fs::write(&path, &json)?;
+    println!("\n[artifact] {}", path.display());
+
+    if !pass {
+        eprintln!(
+            "fleet_throughput: fleet did not beat the per-model loop{}",
+            if enforce {
+                ""
+            } else {
+                " (not enforced; pass --enforce to gate)"
+            }
+        );
+        if enforce {
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

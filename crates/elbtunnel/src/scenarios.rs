@@ -11,6 +11,7 @@
 //! OHVs that still trip an alarm.
 
 use crate::analytic::{scaling, ElbtunnelModel, Variant};
+use safety_opt_core::fleet::CompiledFleet;
 use safety_opt_core::optimize::SafetyOptimizer;
 use safety_opt_core::Result;
 
@@ -64,6 +65,13 @@ pub struct ScenarioOutcome {
 /// Re-optimizes the model under each scenario and reports the scaling
 /// behaviour.
 ///
+/// All scenario models compile into **one**
+/// [`safety_opt_core::fleet::CompiledFleet`] (they share everything but
+/// the scaled intensities, so most ops hash-cons across scenarios), and
+/// each scenario's multi-start restarts run in lockstep against its
+/// masked fleet objective — results are identical to optimizing every
+/// scenario's standalone compilation.
+///
 /// # Errors
 ///
 /// Model construction/optimization errors.
@@ -71,24 +79,33 @@ pub fn scaling_study(
     base: &ElbtunnelModel,
     scenarios: &[TrafficScenario],
 ) -> Result<Vec<ScenarioOutcome>> {
-    let mut out = Vec::with_capacity(scenarios.len());
+    let mut scaled_models = Vec::with_capacity(scenarios.len());
     for &scenario in scenarios {
         let scaled = scenario.apply(base);
         let model = scaled.build()?;
-        let optimum = SafetyOptimizer::new(&model).run()?;
+        scaled_models.push((scenario, scaled, model));
+    }
+    let models: Vec<_> = scaled_models.iter().map(|(_, _, m)| m.clone()).collect();
+    let fleet = CompiledFleet::compile(&models)?;
+    let mut out = Vec::with_capacity(scenarios.len());
+    for (k, (scenario, scaled, model)) in scaled_models.iter().enumerate() {
+        let objective = fleet.model_batch_objective(k);
+        let optimum = SafetyOptimizer::new(model)
+            .with_batch_objective(&objective)
+            .run()?;
         let t1 = optimum.point().value("timer1").expect("timer1 exists");
         let t2 = optimum.point().value("timer2").expect("timer2 exists");
         out.push(ScenarioOutcome {
-            scenario,
+            scenario: *scenario,
             optimal_timers: (t1, t2),
             optimal_cost: optimum.cost(),
             alarm_rate_original: scaling::false_alarm_given_correct_ohv(
-                &scaled,
+                scaled,
                 Variant::Original,
                 t2,
             )?,
             alarm_rate_with_lb4: scaling::false_alarm_given_correct_ohv(
-                &scaled,
+                scaled,
                 Variant::WithLb4,
                 t2,
             )?,

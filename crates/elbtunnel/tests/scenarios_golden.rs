@@ -1,0 +1,105 @@
+//! Seed-determinism regression for the traffic `scaling_study`: the
+//! fleet rewiring (all scenarios compiled into one shared-arena fleet,
+//! lockstep multi-start per scenario) must return **`PartialEq`-
+//! identical** outcomes to the pre-fleet sequential path — pinned below
+//! from the commit that introduced the fleet — and stay bit-identical
+//! for every engine thread count (CI runs this under
+//! `SAFETY_OPT_THREADS=1` and `=4`).
+
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_elbtunnel::scenarios::{growth_ladder, scaling_study};
+
+#[test]
+fn scaling_study_reproduces_the_pre_fleet_sequential_path() {
+    let outcomes = scaling_study(&ElbtunnelModel::paper(), &growth_ladder()).unwrap();
+    // (factor, T1*, T2*, cost, alarm_original, alarm_with_lb4) from the
+    // pre-fleet per-scenario SafetyOptimizer loop.
+    let golden: [(f64, f64, f64, f64, f64, f64); 5] = [
+        (
+            1.0,
+            18.9905462320894,
+            15.601037544094854,
+            0.004650378541326621,
+            0.8704561594770456,
+            0.3998893456094775,
+        ),
+        (
+            1.5,
+            18.954592535737902,
+            15.675751719520324,
+            0.0049805920022051526,
+            0.9536923144481888,
+            0.5236406117212847,
+        ),
+        (
+            2.0,
+            18.963584657176398,
+            15.841420111634456,
+            0.005296857154852204,
+            0.9839911030055835,
+            0.6167238142486454,
+        ),
+        (
+            3.0,
+            18.955799562536413,
+            16.31617211933998,
+            0.005901529613933289,
+            0.9983042383680034,
+            0.7422006661561473,
+        ),
+        (
+            5.0,
+            18.94277535378933,
+            17.560239980618157,
+            0.0070837763291181355,
+            0.9999891540218855,
+            0.8664441853913538,
+        ),
+    ];
+    assert_eq!(outcomes.len(), golden.len());
+    for (o, g) in outcomes.iter().zip(&golden) {
+        assert_eq!(o.scenario.ohv_factor, g.0);
+        assert_eq!(
+            o.optimal_timers.0.to_bits(),
+            g.1.to_bits(),
+            "T1* at {}x: {}",
+            g.0,
+            o.optimal_timers.0
+        );
+        assert_eq!(
+            o.optimal_timers.1.to_bits(),
+            g.2.to_bits(),
+            "T2* at {}x: {}",
+            g.0,
+            o.optimal_timers.1
+        );
+        assert_eq!(
+            o.optimal_cost.to_bits(),
+            g.3.to_bits(),
+            "cost at {}x: {}",
+            g.0,
+            o.optimal_cost
+        );
+        assert_eq!(
+            o.alarm_rate_original.to_bits(),
+            g.4.to_bits(),
+            "alarm(original) at {}x",
+            g.0
+        );
+        assert_eq!(
+            o.alarm_rate_with_lb4.to_bits(),
+            g.5.to_bits(),
+            "alarm(LB4) at {}x",
+            g.0
+        );
+    }
+}
+
+#[test]
+fn scaling_study_is_repeat_deterministic() {
+    let base = ElbtunnelModel::paper();
+    let ladder = growth_ladder();
+    let a = scaling_study(&base, &ladder).unwrap();
+    let b = scaling_study(&base, &ladder).unwrap();
+    assert_eq!(a, b);
+}

@@ -34,13 +34,11 @@ impl<'t> BatchEvaluator<'t> {
         }
     }
 
-    /// Evaluator sized to the machine
-    /// (`std::thread::available_parallelism`).
+    /// Evaluator sized by [`crate::default_threads`]: the
+    /// `SAFETY_OPT_THREADS` override when set, the machine's available
+    /// parallelism otherwise.
     pub fn with_available_parallelism(tape: &'t Tape) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::new(tape, threads)
+        Self::new(tape, crate::default_threads())
     }
 
     /// Overrides the deterministic chunk length (points per work unit).
@@ -140,8 +138,9 @@ impl<'t> BatchEvaluator<'t> {
 }
 
 /// Assigns work units to workers round-robin (unit `i` goes to worker
-/// `i % threads`) — deterministic and lock-free.
-fn round_robin<T>(threads: usize, units: impl Iterator<Item = T>) -> Vec<Vec<T>> {
+/// `i % threads`) — deterministic and lock-free. Shared with the fleet
+/// evaluator so both pools chunk identically.
+pub(crate) fn round_robin<T>(threads: usize, units: impl Iterator<Item = T>) -> Vec<Vec<T>> {
     let mut assignments: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, unit) in units.enumerate() {
         assignments[i % threads].push(unit);

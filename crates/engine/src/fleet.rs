@@ -1,0 +1,668 @@
+//! Model-fleet compilation and batch evaluation.
+//!
+//! Monte-Carlo uncertainty propagation and traffic-scenario studies
+//! evaluate *families* of structurally similar models: hundreds of
+//! sampled variants of one safety model that differ only in a few
+//! constants. Compiling each variant to its own [`Tape`] repeats the
+//! shared structure per model; a [`Fleet`] instead lowers every model
+//! into **one shared op arena** with hash-consing *across* models, so an
+//! op appears once no matter how many models use it. Evaluating the whole
+//! fleet at a point is a single sweep over the arena — the shared ops are
+//! computed once for all models — and evaluating one model uses its
+//! precomputed reachability mask, sweeping exactly the ops a standalone
+//! compilation of that model would contain.
+//!
+//! Determinism contract: every result is **bit-identical** to compiling
+//! and evaluating each model's tape individually, for every thread count
+//! and chunk size of the [`FleetEvaluator`] pool (the builder re-anchors
+//! the commutative-op canonicalization at each model boundary to keep
+//! per-model arithmetic order exact; enforced by the
+//! `fleet_equivalence` property suite).
+//!
+//! ```
+//! use safety_opt_engine::fleet::{FleetBuilder, FleetEvaluator};
+//! use safety_opt_engine::tape::TapeBuilder;
+//!
+//! // Two "sampled models": identical structure, one constant differs.
+//! fn lower(b: &mut TapeBuilder, rate: f64) {
+//!     let shared = b.exposure(0.13, b.input(0)); // hash-consed across models
+//!     let varying = b.exposure(rate, b.input(0));
+//!     let h = b.sum_clamped(0.0, [shared, varying]);
+//!     b.output(h, 100.0);
+//! }
+//! let mut fb = FleetBuilder::new(1);
+//! for rate in [0.05, 0.07] {
+//!     lower(fb.lowerer(), rate);
+//!     fb.finish_model();
+//! }
+//! let fleet = fb.build();
+//! assert_eq!(fleet.n_models(), 2);
+//! // 6 ops standalone (3 per model), 5 in the arena: the shared
+//! // exposure op deduplicated across the two models.
+//! assert_eq!(fleet.tape().n_ops(), 5);
+//! assert_eq!(fleet.model_ops(0) + fleet.model_ops(1), 6);
+//!
+//! // One arena sweep per point evaluates every model; results are
+//! // bit-identical to each model's standalone tape for any thread count.
+//! let costs = FleetEvaluator::new(&fleet, 2).costs_all(&[[10.0], [20.0]]);
+//! assert_eq!(costs.len(), 4); // 2 points x 2 models, point-major
+//! let mut standalone = TapeBuilder::new(1);
+//! lower(&mut standalone, 0.07);
+//! assert_eq!(costs[1], standalone.build().eval(&[10.0]));
+//! ```
+
+use crate::batch::round_robin;
+use crate::tape::{Op, Tape, TapeBuilder, Value};
+use std::ops::Range;
+
+/// Builder for a [`Fleet`]: lower each model through the shared
+/// [`TapeBuilder`], then mark its end with [`finish_model`].
+///
+/// Ops are hash-consed across models (sampled variants share most of
+/// their structure), while per-model argument canonicalization is reset
+/// at every model boundary so each model's ops stay bit-identical to a
+/// standalone compilation of that model.
+///
+/// [`finish_model`]: FleetBuilder::finish_model
+#[derive(Debug)]
+pub struct FleetBuilder {
+    tape: TapeBuilder,
+    /// Per finished model: one-past-the-end output index.
+    output_ends: Vec<u32>,
+}
+
+impl FleetBuilder {
+    /// Starts a fleet whose models all take `n_inputs` coordinates.
+    pub fn new(n_inputs: usize) -> Self {
+        Self {
+            tape: TapeBuilder::new(n_inputs),
+            output_ends: Vec::new(),
+        }
+    }
+
+    /// The shared lowering builder for the model currently being built.
+    ///
+    /// All [`TapeBuilder`] constructors are available; [`Value`]s must
+    /// not be carried across [`finish_model`](Self::finish_model)
+    /// boundaries (re-lower instead — hash-consing deduplicates).
+    pub fn lowerer(&mut self) -> &mut TapeBuilder {
+        &mut self.tape
+    }
+
+    /// Number of models finished so far.
+    pub fn n_models(&self) -> usize {
+        self.output_ends.len()
+    }
+
+    /// Ends the current model (its outputs are everything declared since
+    /// the previous boundary) and returns its fleet index.
+    pub fn finish_model(&mut self) -> usize {
+        self.output_ends.push(self.tape.outputs_len() as u32);
+        self.tape.reset_model_order();
+        self.output_ends.len() - 1
+    }
+
+    /// Discards the model currently being built (outputs declared since
+    /// the last boundary are dropped) — rollback for callers that
+    /// tolerate per-model lowering failures. Ops the aborted model
+    /// interned stay in the arena; they are excluded from every model's
+    /// reachability mask unless a later model demands them again.
+    pub fn abort_model(&mut self) {
+        let keep = self.output_ends.last().copied().unwrap_or(0) as usize;
+        self.tape.truncate_outputs(keep);
+        self.tape.reset_model_order();
+    }
+
+    /// Finalizes the fleet, computing each model's reachability mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outputs were declared after the last
+    /// [`finish_model`](Self::finish_model) call.
+    pub fn build(self) -> Fleet {
+        let last = self.output_ends.last().copied().unwrap_or(0) as usize;
+        assert_eq!(
+            self.tape.outputs_len(),
+            last,
+            "outputs declared after the last finish_model() call"
+        );
+        let tape = self.tape.build();
+        let n_inputs = tape.n_inputs();
+        let n_ops = tape.n_ops();
+        let mut masks = Vec::with_capacity(self.output_ends.len());
+        let mut marked = vec![false; n_ops];
+        let mut start = 0u32;
+        for &end in &self.output_ends {
+            marked.iter_mut().for_each(|m| *m = false);
+            for value in &tape.outputs[start as usize..end as usize] {
+                if let Value::Reg(r) = value {
+                    if r.index() >= n_inputs {
+                        marked[r.index() - n_inputs] = true;
+                    }
+                }
+            }
+            // Ops only reference earlier registers, so one backward pass
+            // closes the dependency set.
+            for i in (0..n_ops).rev() {
+                if !marked[i] {
+                    continue;
+                }
+                let mut mark = |r: crate::tape::Reg| {
+                    if r.index() >= n_inputs {
+                        marked[r.index() - n_inputs] = true;
+                    }
+                };
+                match &tape.ops[i] {
+                    Op::Exposure { t, .. } => mark(*t),
+                    Op::Overtime { x, .. } => mark(*x),
+                    Op::Complement { x } => mark(*x),
+                    Op::Scale { x, .. } => mark(*x),
+                    Op::Closure { .. } => {}
+                    Op::Product { args, .. } | Op::SumClamp { args, .. } => {
+                        for &r in tape.arg_slice(*args) {
+                            mark(r);
+                        }
+                    }
+                }
+            }
+            masks.push(
+                (0..n_ops as u32)
+                    .filter(|&i| marked[i as usize])
+                    .collect::<Box<[u32]>>(),
+            );
+            start = end;
+        }
+        Fleet {
+            tape,
+            output_ends: self.output_ends,
+            masks,
+        }
+    }
+}
+
+/// N models compiled into one shared op arena (see the module docs).
+#[derive(Debug)]
+pub struct Fleet {
+    tape: Tape,
+    output_ends: Vec<u32>,
+    /// Per model: indices of the arena ops its outputs depend on,
+    /// ascending (dependency order).
+    masks: Vec<Box<[u32]>>,
+}
+
+impl Fleet {
+    /// Number of models in the fleet.
+    pub fn n_models(&self) -> usize {
+        self.output_ends.len()
+    }
+
+    /// Input arity shared by every model.
+    pub fn n_inputs(&self) -> usize {
+        self.tape.n_inputs()
+    }
+
+    /// The shared arena tape (its op count measures cross-model sharing:
+    /// compare with the sum of [`model_ops`](Self::model_ops)).
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Output (hazard) range of `model` in the flat all-models output
+    /// row.
+    pub fn output_range(&self, model: usize) -> Range<usize> {
+        let start = if model == 0 {
+            0
+        } else {
+            self.output_ends[model - 1] as usize
+        };
+        start..self.output_ends[model] as usize
+    }
+
+    /// Number of outputs of `model`.
+    pub fn n_outputs(&self, model: usize) -> usize {
+        self.output_range(model).len()
+    }
+
+    /// Total outputs across the fleet (row width of the flat output
+    /// layout).
+    pub fn total_outputs(&self) -> usize {
+        self.output_ends.last().copied().unwrap_or(0) as usize
+    }
+
+    /// Number of arena ops `model` actually sweeps — the op count of its
+    /// standalone tape.
+    pub fn model_ops(&self, model: usize) -> usize {
+        self.masks[model].len()
+    }
+
+    /// Fraction of per-model ops saved by cross-model sharing:
+    /// `1 − arena_ops / Σ model_ops` (0 for a single-model fleet).
+    pub fn sharing(&self) -> f64 {
+        let per_model: usize = self.masks.iter().map(|m| m.len()).sum();
+        if per_model == 0 {
+            0.0
+        } else {
+            1.0 - self.tape.n_ops() as f64 / per_model as f64
+        }
+    }
+
+    fn prepare_scratch<'s>(&self, x: &[f64], scratch: &'s mut Vec<f64>) -> &'s mut Vec<f64> {
+        assert_eq!(x.len(), self.n_inputs(), "input arity mismatch");
+        if scratch.len() != self.tape.scratch_len() {
+            scratch.clear();
+            scratch.resize(self.tape.scratch_len(), 0.0);
+        }
+        scratch[..x.len()].copy_from_slice(x);
+        scratch
+    }
+
+    /// Evaluates `model` at `x` through its reachability mask, writing
+    /// its outputs and returning its weighted cost — the exact ops, in
+    /// the exact order, of the model's standalone tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/output arity mismatches.
+    pub fn eval_model_into(
+        &self,
+        model: usize,
+        x: &[f64],
+        scratch: &mut Vec<f64>,
+        outputs: &mut [f64],
+    ) -> f64 {
+        let range = self.output_range(model);
+        assert_eq!(outputs.len(), range.len(), "output arity mismatch");
+        let scratch = self.prepare_scratch(x, scratch);
+        let n_inputs = self.n_inputs();
+        for &i in self.masks[model].iter() {
+            let op = &self.tape.ops[i as usize];
+            scratch[n_inputs + i as usize] = self.tape.op_value(op, scratch);
+        }
+        self.tape.read_outputs(scratch, range, outputs)
+    }
+
+    /// Evaluates **every** model at `x` with one full arena sweep
+    /// (shared ops computed once for all models), writing per-model
+    /// costs and the flat output row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches (`costs` must hold
+    /// [`n_models`](Self::n_models) values, `outputs`
+    /// [`total_outputs`](Self::total_outputs)).
+    pub fn eval_all_into(
+        &self,
+        x: &[f64],
+        scratch: &mut Vec<f64>,
+        costs: &mut [f64],
+        outputs: &mut [f64],
+    ) {
+        assert_eq!(costs.len(), self.n_models(), "model arity mismatch");
+        assert_eq!(outputs.len(), self.total_outputs(), "output arity mismatch");
+        let scratch = self.prepare_scratch(x, scratch);
+        let n_inputs = self.n_inputs();
+        for (slot, op) in self.tape.ops.iter().enumerate() {
+            scratch[n_inputs + slot] = self.tape.op_value(op, scratch);
+        }
+        for (model, cost) in costs.iter_mut().enumerate() {
+            let range = self.output_range(model);
+            *cost = self
+                .tape
+                .read_outputs(scratch, range.clone(), &mut outputs[range]);
+        }
+    }
+}
+
+/// Default number of points per work unit (matches
+/// [`crate::batch::BatchEvaluator`]).
+const DEFAULT_CHUNK: usize = 256;
+
+/// Parallel fleet evaluation with the same deterministic chunked pool as
+/// [`crate::batch::BatchEvaluator`]: points are cut into fixed-length
+/// chunks assigned to workers round-robin, each point's results go to
+/// its own output indices, so results are bit-identical for every thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct FleetEvaluator<'f> {
+    fleet: &'f Fleet,
+    threads: usize,
+    chunk: usize,
+}
+
+impl<'f> FleetEvaluator<'f> {
+    /// Creates an evaluator with `threads` workers (`threads = 1`
+    /// evaluates inline with zero spawn overhead).
+    pub fn new(fleet: &'f Fleet, threads: usize) -> Self {
+        Self {
+            fleet,
+            threads: threads.max(1),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Evaluator sized by [`crate::default_threads`].
+    pub fn with_default_threads(fleet: &'f Fleet) -> Self {
+        Self::new(fleet, crate::default_threads())
+    }
+
+    /// Overrides the deterministic chunk length (points per work unit).
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Costs of **every model** at every point: point-major
+    /// (`points.len() × n_models`), one arena sweep per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the fleet.
+    pub fn costs_all<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> Vec<f64> {
+        self.costs_and_outputs_all_impl(points, false).0
+    }
+
+    /// Costs **and** per-output values of every model at every point.
+    /// Returns `(costs, outputs)`: `costs` point-major
+    /// (`points.len() × n_models`), `outputs` point-major
+    /// (`points.len() × total_outputs`) with each model occupying its
+    /// [`Fleet::output_range`] columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the fleet.
+    pub fn costs_and_outputs_all<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+    ) -> (Vec<f64>, Vec<f64>) {
+        self.costs_and_outputs_all_impl(points, true)
+    }
+
+    fn costs_and_outputs_all_impl<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        want_outputs: bool,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let fleet = self.fleet;
+        let n_models = fleet.n_models();
+        let width = fleet.total_outputs();
+        // Rows of width zero carry nothing; route them to a scratch row.
+        let keep_outputs = want_outputs && width > 0;
+        let mut costs = vec![0.0; points.len() * n_models];
+        let mut outputs = vec![
+            0.0;
+            if keep_outputs {
+                points.len() * width
+            } else {
+                0
+            }
+        ];
+        if points.is_empty() || n_models == 0 {
+            return (costs, outputs);
+        }
+        if self.sequential(points.len()) {
+            let mut scratch = Vec::new();
+            let mut out_buf = vec![0.0; width];
+            for (i, p) in points.iter().enumerate() {
+                let c = &mut costs[i * n_models..(i + 1) * n_models];
+                let o = if keep_outputs {
+                    &mut outputs[i * width..(i + 1) * width]
+                } else {
+                    &mut out_buf[..]
+                };
+                fleet.eval_all_into(p.as_ref(), &mut scratch, c, o);
+            }
+            return (costs, outputs);
+        }
+        /// One worker unit: a chunk of points, its cost rows, and (when
+        /// outputs are kept) its output rows.
+        type Unit<'a, P> = (&'a [P], &'a mut [f64], Option<&'a mut [f64]>);
+        let units: Vec<Unit<'_, P>> = if keep_outputs {
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk * n_models))
+                .zip(outputs.chunks_mut(self.chunk * width))
+                .map(|((p, c), o)| (p, c, Some(o)))
+                .collect()
+        } else {
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk * n_models))
+                .map(|(p, c)| (p, c, None))
+                .collect()
+        };
+        let assignments = round_robin(self.threads, units.into_iter());
+        std::thread::scope(|scope| {
+            for worker_units in assignments {
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    let mut out_buf = vec![0.0; width];
+                    for (pts, c_rows, o_rows) in worker_units {
+                        let mut o_rows = o_rows.map(|o| o.chunks_mut(width));
+                        for (p, c) in pts.iter().zip(c_rows.chunks_mut(n_models)) {
+                            let o = match o_rows.as_mut() {
+                                Some(rows) => rows.next().expect("one output row per point"),
+                                None => &mut out_buf[..],
+                            };
+                            fleet.eval_all_into(p.as_ref(), &mut scratch, c, o);
+                        }
+                    }
+                });
+            }
+        });
+        (costs, outputs)
+    }
+
+    /// Costs of **one model** at every point through its reachability
+    /// mask — bit-identical to that model's standalone
+    /// [`crate::batch::BatchEvaluator`] for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the fleet.
+    pub fn model_costs<P: AsRef<[f64]> + Sync>(&self, model: usize, points: &[P]) -> Vec<f64> {
+        let fleet = self.fleet;
+        let n_out = fleet.n_outputs(model);
+        let mut costs = vec![0.0; points.len()];
+        if self.sequential(points.len()) {
+            let mut scratch = Vec::new();
+            let mut outputs = vec![0.0; n_out];
+            for (p, c) in points.iter().zip(&mut costs) {
+                *c = fleet.eval_model_into(model, p.as_ref(), &mut scratch, &mut outputs);
+            }
+            return costs;
+        }
+        let assignments = round_robin(
+            self.threads,
+            points.chunks(self.chunk).zip(costs.chunks_mut(self.chunk)),
+        );
+        std::thread::scope(|scope| {
+            for units in assignments {
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    let mut outputs = vec![0.0; n_out];
+                    for (pts, out) in units {
+                        for (p, c) in pts.iter().zip(out) {
+                            *c = fleet.eval_model_into(
+                                model,
+                                p.as_ref(),
+                                &mut scratch,
+                                &mut outputs,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        costs
+    }
+
+    fn sequential(&self, n: usize) -> bool {
+        self.threads == 1 || n <= self.chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::TapeBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    /// Lowers one "sampled model" (Elbtunnel-shaped, two hazards) whose
+    /// varying constants are `(rate, crit)`.
+    fn lower_sample(b: &mut TapeBuilder, rate: f64, crit: f64) {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let t1 = b.input(0);
+        let t2 = b.input(1);
+        let ot1 = b.overtime(&d, t1);
+        let not1 = b.complement(ot1);
+        let ot2 = b.overtime(&d, t2);
+        let critv = b.constant(crit);
+        let cs1 = b.product([critv, ot1]);
+        let cs2 = b.product([critv, not1, ot2]);
+        let collision = b.sum_clamped(1e-8, [cs1, cs2]);
+        let e = b.exposure(rate, t2);
+        let half = b.constant(0.5);
+        let alarm_cs = b.product([half, e]);
+        let alarm = b.sum_clamped(0.0, [alarm_cs]);
+        b.output(collision, 100_000.0);
+        b.output(alarm, 1.0);
+    }
+
+    fn family(n: usize) -> (Fleet, Vec<Tape>) {
+        let mut fb = FleetBuilder::new(2);
+        let mut tapes = Vec::new();
+        for k in 0..n {
+            let rate = 0.10 + 0.01 * k as f64;
+            lower_sample(fb.lowerer(), rate, 1e-3);
+            fb.finish_model();
+            let mut sb = TapeBuilder::new(2);
+            lower_sample(&mut sb, rate, 1e-3);
+            tapes.push(sb.build());
+        }
+        (fb.build(), tapes)
+    }
+
+    fn points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![5.0 + rng.gen::<f64>() * 25.0, 5.0 + rng.gen::<f64>() * 25.0])
+            .collect()
+    }
+
+    #[test]
+    fn cross_model_hash_consing_shares_ops() {
+        let (fleet, tapes) = family(8);
+        let per_model: usize = tapes.iter().map(Tape::n_ops).sum();
+        // Only the alarm exposure + product + sum vary per model; the
+        // collision subtree (and its constants) is shared by all eight.
+        assert!(
+            fleet.tape().n_ops() < per_model / 2,
+            "arena {} ops vs {} per-model",
+            fleet.tape().n_ops(),
+            per_model
+        );
+        assert!(fleet.sharing() > 0.5);
+        for (k, tape) in tapes.iter().enumerate() {
+            assert_eq!(fleet.model_ops(k), tape.n_ops(), "model {k} mask size");
+        }
+    }
+
+    #[test]
+    fn masked_eval_is_bit_identical_to_standalone_tapes() {
+        let (fleet, tapes) = family(5);
+        let mut scratch = Vec::new();
+        for p in points(50, 1) {
+            for (k, tape) in tapes.iter().enumerate() {
+                let mut fleet_out = vec![0.0; 2];
+                let mut tape_out = vec![0.0; 2];
+                let fc = fleet.eval_model_into(k, &p, &mut scratch, &mut fleet_out);
+                let tc = tape.eval_into(&p, &mut Vec::new(), &mut tape_out);
+                assert_eq!(fc.to_bits(), tc.to_bits(), "cost of model {k} at {p:?}");
+                assert_eq!(fleet_out, tape_out);
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_matches_masked_eval() {
+        let (fleet, _) = family(4);
+        let mut scratch = Vec::new();
+        for p in points(20, 2) {
+            let mut costs = vec![0.0; 4];
+            let mut outputs = vec![0.0; fleet.total_outputs()];
+            fleet.eval_all_into(&p, &mut scratch, &mut costs, &mut outputs);
+            for k in 0..4 {
+                let mut out = vec![0.0; 2];
+                let c = fleet.eval_model_into(k, &p, &mut Vec::new(), &mut out);
+                assert_eq!(c.to_bits(), costs[k].to_bits());
+                assert_eq!(&outputs[fleet.output_range(k)], out.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_is_thread_count_independent() {
+        let (fleet, _) = family(3);
+        let pts = points(700, 3);
+        let reference = FleetEvaluator::new(&fleet, 1).costs_all(&pts);
+        let (ref_costs, ref_outputs) = FleetEvaluator::new(&fleet, 1).costs_and_outputs_all(&pts);
+        assert_eq!(reference, ref_costs);
+        for threads in [2, 3, 8] {
+            let ev = FleetEvaluator::new(&fleet, threads).chunk_size(13);
+            assert_eq!(ev.costs_all(&pts), reference, "threads = {threads}");
+            let (c, o) = ev.costs_and_outputs_all(&pts);
+            assert_eq!(c, ref_costs);
+            assert_eq!(o, ref_outputs);
+            for model in 0..3 {
+                let mc = ev.model_costs(model, &pts);
+                for (i, &v) in mc.iter().enumerate() {
+                    assert_eq!(v.to_bits(), reference[i * 3 + model].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_and_fleets_are_fine() {
+        let (fleet, _) = family(2);
+        let none: Vec<Vec<f64>> = Vec::new();
+        assert!(FleetEvaluator::new(&fleet, 4).costs_all(&none).is_empty());
+        let (c, o) = FleetEvaluator::new(&fleet, 4).costs_and_outputs_all(&none);
+        assert!(c.is_empty() && o.is_empty());
+
+        let empty = FleetBuilder::new(1).build();
+        assert_eq!(empty.n_models(), 0);
+        assert_eq!(empty.total_outputs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outputs declared after the last finish_model")]
+    fn unfinished_model_is_rejected() {
+        let mut fb = FleetBuilder::new(1);
+        let h = fb.lowerer().exposure(0.1, Value::Const(1.0));
+        fb.lowerer().output(h, 1.0);
+        fb.build();
+    }
+
+    #[test]
+    fn constant_only_models_work() {
+        let mut fb = FleetBuilder::new(1);
+        for p in [0.25, 0.5] {
+            let b = fb.lowerer();
+            let h = b.sum_clamped(p, []);
+            b.output(h, 2.0);
+            fb.finish_model();
+        }
+        let fleet = fb.build();
+        assert_eq!(fleet.tape().n_ops(), 0);
+        let costs = FleetEvaluator::new(&fleet, 1).costs_all(&[[0.0]]);
+        assert_eq!(costs, vec![0.5, 1.0]);
+    }
+}

@@ -21,14 +21,22 @@
 //! 3. **Batch evaluation** ([`batch::BatchEvaluator`]) — shards point
 //!    batches across a `std::thread` scoped pool with deterministic
 //!    chunking; results are bit-identical for every thread count.
-//! 4. **Memoization** ([`cache::QuantizedCache`]) — optional
+//! 4. **Model fleets** ([`fleet::Fleet`]) — whole families of
+//!    structurally similar models (Monte-Carlo samples, traffic
+//!    scenarios) compile into one shared op arena with hash-consing
+//!    *across* models; one arena sweep per point evaluates every model,
+//!    and per-model reachability masks keep single-model evaluation
+//!    bit-identical to standalone compilation.
+//! 5. **Memoization** ([`cache::QuantizedCache`]) — optional
 //!    quantized-point memo for optimizer reuse (restarts and pattern
 //!    searches revisit points constantly).
 //!
 //! Run `cargo run --release -p safety_opt_bench --bin engine_throughput`
 //! for points/sec of the scalar interpreter vs. the compiled tape vs.
 //! compiled + parallel on the Elbtunnel model (written to
-//! `BENCH_engine.json`).
+//! `BENCH_engine.json`), and `... --bin fleet_throughput` for
+//! models·points/sec of the per-model loop vs. the fleet on the
+//! Elbtunnel uncertainty workload (written to `BENCH_fleet.json`).
 
 // Special-function coefficients are transcribed at full published
 // precision; the extra digits are intentional.
@@ -40,8 +48,79 @@
 pub mod batch;
 pub mod cache;
 pub mod fast_erf;
+pub mod fleet;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
 pub use cache::QuantizedCache;
+pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use tape::{Op, Tape, TapeBuilder, TruncNormSf, Value};
+
+/// Worker count used by the default-sized evaluators: the
+/// `SAFETY_OPT_THREADS` environment variable when set, the machine's
+/// available parallelism otherwise.
+///
+/// The override exists so CI can force the deterministic chunked pools
+/// through both their sequential (`SAFETY_OPT_THREADS=1`) and parallel
+/// (`SAFETY_OPT_THREADS=4`) code paths even on one-core runners; results
+/// are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if `SAFETY_OPT_THREADS` is set to anything but a positive
+/// integer. A forced pool size exists precisely to pin which code path
+/// runs; silently falling back to machine parallelism would make a
+/// misconfiguration (`0`, a typo) undetectable, because results are
+/// bit-identical across thread counts by design.
+pub fn default_threads() -> usize {
+    parse_thread_override(std::env::var("SAFETY_OPT_THREADS").ok().as_deref()).unwrap_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        },
+    )
+}
+
+/// Parses a `SAFETY_OPT_THREADS` override: `None`/empty means
+/// "unset" (use machine parallelism); anything else must be a positive
+/// integer.
+fn parse_thread_override(value: Option<&str>) -> Option<usize> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!(
+            "SAFETY_OPT_THREADS must be a positive integer, got {raw:?} \
+             (unset it to use the machine's available parallelism)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_thread_override;
+
+    #[test]
+    fn thread_override_parses_positive_integers() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("  ")), None);
+        assert_eq!(parse_thread_override(Some("1")), Some(1));
+        assert_eq!(parse_thread_override(Some(" 4 ")), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_THREADS must be a positive integer")]
+    fn zero_thread_override_is_rejected_loudly() {
+        parse_thread_override(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_THREADS must be a positive integer")]
+    fn non_numeric_thread_override_is_rejected_loudly() {
+        parse_thread_override(Some("one"));
+    }
+}

@@ -208,11 +208,11 @@ pub enum Value {
 /// `Σ weights[i] · output[i]`.
 #[derive(Debug, Clone)]
 pub struct Tape {
-    n_inputs: usize,
-    ops: Vec<Op>,
-    args: Vec<Reg>,
-    outputs: Vec<Value>,
-    weights: Vec<f64>,
+    pub(crate) n_inputs: usize,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) args: Vec<Reg>,
+    pub(crate) outputs: Vec<Value>,
+    pub(crate) weights: Vec<f64>,
 }
 
 impl Tape {
@@ -258,42 +258,60 @@ impl Tape {
         scratch.resize(self.scratch_len(), 0.0);
         scratch[..self.n_inputs].copy_from_slice(x);
         for (slot, op) in self.ops.iter().enumerate() {
-            let v = match op {
-                Op::Exposure { rate, t } => {
-                    let w = scratch[t.index()].max(0.0);
-                    -(-rate * w).exp_m1()
+            scratch[self.n_inputs + slot] = self.op_value(op, scratch);
+        }
+        self.read_outputs(scratch, 0..self.outputs.len(), outputs)
+    }
+
+    /// Value of one op given the current scratch (ops only read slots of
+    /// earlier ops, so a partial scratch with every dependency written is
+    /// sufficient — the masked fleet sweeps rely on that).
+    #[inline]
+    pub(crate) fn op_value(&self, op: &Op, scratch: &[f64]) -> f64 {
+        match op {
+            Op::Exposure { rate, t } => {
+                let w = scratch[t.index()].max(0.0);
+                -(-rate * w).exp_m1()
+            }
+            Op::Overtime { sf, x } => sf.eval(scratch[x.index()]),
+            Op::Closure { f } => f(&scratch[..self.n_inputs]),
+            Op::Complement { x } => 1.0 - scratch[x.index()],
+            Op::Scale { c, x } => c * scratch[x.index()],
+            Op::Product { c, args } => {
+                let mut acc = *c;
+                for r in self.arg_slice(*args) {
+                    acc *= scratch[r.index()];
                 }
-                Op::Overtime { sf, x } => sf.eval(scratch[x.index()]),
-                Op::Closure { f } => f(&scratch[..self.n_inputs]),
-                Op::Complement { x } => 1.0 - scratch[x.index()],
-                Op::Scale { c, x } => c * scratch[x.index()],
-                Op::Product { c, args } => {
-                    let mut acc = *c;
-                    for r in self.arg_slice(*args) {
-                        acc *= scratch[r.index()];
-                    }
+                acc
+            }
+            Op::SumClamp { bias, args } => {
+                let mut acc = *bias;
+                for r in self.arg_slice(*args) {
+                    acc += scratch[r.index()];
+                }
+                // Branch instead of f64::min so NaN (= evaluation
+                // failure) propagates instead of clamping to 1.
+                if acc > 1.0 {
+                    1.0
+                } else {
                     acc
                 }
-                Op::SumClamp { bias, args } => {
-                    let mut acc = *bias;
-                    for r in self.arg_slice(*args) {
-                        acc += scratch[r.index()];
-                    }
-                    // Branch instead of f64::min so NaN (= evaluation
-                    // failure) propagates instead of clamping to 1.
-                    if acc > 1.0 {
-                        1.0
-                    } else {
-                        acc
-                    }
-                }
-            };
-            scratch[self.n_inputs + slot] = v;
+            }
         }
+    }
+
+    /// Reads the declared outputs in `range` from an evaluated scratch
+    /// into `outputs` and returns their weighted sum.
+    pub(crate) fn read_outputs(
+        &self,
+        scratch: &[f64],
+        range: std::ops::Range<usize>,
+        outputs: &mut [f64],
+    ) -> f64 {
         let mut cost = 0.0;
         for (out, (value, w)) in outputs
             .iter_mut()
-            .zip(self.outputs.iter().zip(&self.weights))
+            .zip(self.outputs[range.clone()].iter().zip(&self.weights[range]))
         {
             let v = match value {
                 Value::Const(c) => *c,
@@ -312,12 +330,23 @@ impl Tape {
         self.eval_into(x, &mut scratch, &mut outputs)
     }
 
-    fn arg_slice(&self, range: ArgRange) -> &[Reg] {
+    pub(crate) fn arg_slice(&self, range: ArgRange) -> &[Reg] {
         &self.args[range.start as usize..(range.start + range.len) as usize]
     }
 }
 
 /// Builder for [`Tape`] with hash-consing and constant folding.
+///
+/// Commutative n-ary ops (products, clamped sums) canonicalize their
+/// arguments by **touch order** — the order in which each register was
+/// first produced for the model currently being lowered. For a
+/// single-model build touch order coincides with register order, so the
+/// canonicalization is unobservable; for a multi-model fleet build
+/// ([`crate::fleet::FleetBuilder`] resets the order at model boundaries)
+/// it guarantees each model's ops multiply and sum in exactly the order
+/// its standalone tape would, keeping fleet evaluation bit-identical to
+/// per-model compilation even when hash-consing interleaves registers
+/// across models.
 #[derive(Default)]
 pub struct TapeBuilder {
     n_inputs: usize,
@@ -326,6 +355,10 @@ pub struct TapeBuilder {
     interned: HashMap<OpKey, Reg>,
     outputs: Vec<Value>,
     weights: Vec<f64>,
+    /// First-touch sequence number per register for the model currently
+    /// being lowered (inputs are pre-touched in index order).
+    touch: HashMap<Reg, u32>,
+    next_touch: u32,
 }
 
 impl std::fmt::Debug for TapeBuilder {
@@ -341,10 +374,37 @@ impl std::fmt::Debug for TapeBuilder {
 impl TapeBuilder {
     /// Starts a tape over `n_inputs` input coordinates.
     pub fn new(n_inputs: usize) -> Self {
-        Self {
+        let mut b = Self {
             n_inputs,
             ..Self::default()
+        };
+        b.reset_model_order();
+        b
+    }
+
+    /// Resets the per-model touch order (used by the fleet builder at
+    /// model boundaries). Interned ops survive; only the argument
+    /// canonicalization order of *subsequently built* ops restarts, so
+    /// the next model's commutative ops order their arguments exactly as
+    /// a standalone build of that model would.
+    pub(crate) fn reset_model_order(&mut self) {
+        self.touch.clear();
+        for i in 0..self.n_inputs {
+            self.touch.insert(Reg(i as u32), i as u32);
         }
+        self.next_touch = self.n_inputs as u32;
+    }
+
+    /// First-touch sequence number of `r` for the current model,
+    /// assigned on demand.
+    fn touch_key(&mut self, r: Reg) -> u32 {
+        if let Some(&k) = self.touch.get(&r) {
+            return k;
+        }
+        let k = self.next_touch;
+        self.touch.insert(r, k);
+        self.next_touch += 1;
+        k
     }
 
     /// Register holding input coordinate `i`.
@@ -364,11 +424,13 @@ impl TapeBuilder {
 
     fn push(&mut self, key: OpKey, op: Op) -> Reg {
         if let Some(&r) = self.interned.get(&key) {
+            self.touch_key(r);
             return r;
         }
         let r = Reg((self.n_inputs + self.ops.len()) as u32);
         self.ops.push(op);
         self.interned.insert(key, r);
+        self.touch_key(r);
         r
     }
 
@@ -438,10 +500,19 @@ impl TapeBuilder {
             1 => self.scale(c, Value::Reg(regs[0])),
             _ => {
                 // Canonical order maximizes sharing of commutative
-                // products across cut sets.
-                regs.sort_by_key(|r| r.0);
+                // products across cut sets; touch order == register
+                // order for single-model builds, and the current
+                // model's standalone order in fleet builds.
+                for &r in &regs {
+                    self.touch_key(r);
+                }
+                let touch = &self.touch;
+                regs.sort_by_key(|r| touch[r]);
                 let key = OpKey::Product(c.to_bits(), regs.clone());
                 if let Some(&r) = self.interned.get(&key) {
+                    // First demand of an op interned by an earlier model
+                    // still counts as this model's touch.
+                    self.touch_key(r);
                     return Value::Reg(r);
                 }
                 let args = self.intern_args(&regs);
@@ -463,9 +534,16 @@ impl TapeBuilder {
         if regs.is_empty() {
             return Value::Const(b.min(1.0));
         }
-        regs.sort_by_key(|r| r.0);
+        for &r in &regs {
+            self.touch_key(r);
+        }
+        let touch = &self.touch;
+        regs.sort_by_key(|r| touch[r]);
         let key = OpKey::SumClamp(b.to_bits(), regs.clone());
         if let Some(&r) = self.interned.get(&key) {
+            // First demand of an op interned by an earlier model still
+            // counts as this model's touch.
+            self.touch_key(r);
             return Value::Reg(r);
         }
         let args = self.intern_args(&regs);
@@ -485,6 +563,21 @@ impl TapeBuilder {
     pub fn output(&mut self, value: Value, weight: f64) {
         self.outputs.push(value);
         self.weights.push(weight);
+    }
+
+    /// Number of outputs declared so far (model-boundary bookkeeping for
+    /// the fleet builder).
+    pub(crate) fn outputs_len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Discards outputs declared after the first `len` (fleet-builder
+    /// rollback of a model whose lowering failed part-way; already
+    /// interned ops stay — unreachable ops are excluded by the
+    /// per-model masks).
+    pub(crate) fn truncate_outputs(&mut self, len: usize) {
+        self.outputs.truncate(len);
+        self.weights.truncate(len);
     }
 
     /// Finalizes the tape.

@@ -1,0 +1,349 @@
+//! The fleet's equivalence contract, adversarially: evaluating a model
+//! through a [`Fleet`] — masked per-model sweeps, full-arena sweeps, and
+//! every [`FleetEvaluator`] entry point — is **bit-identical** (0 ULP)
+//! to compiling and evaluating that model's standalone [`Tape`], across
+//! random model families (shared structure + per-model perturbed
+//! constants, including NaN-producing opaque closures), random point
+//! batches and seeds, and thread counts 1, 2, 4, 7.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
+use safety_opt_engine::tape::{ClosureFn, Tape, TapeBuilder, Value};
+use safety_opt_engine::BatchEvaluator;
+use safety_opt_stats::dist::TruncatedNormal;
+use std::sync::Arc;
+
+const DIM: usize = 3;
+
+/// One probability factor of the family template. `vary: true` marks
+/// the constants that differ between the family's sampled models —
+/// everything else hash-conses across the whole fleet.
+#[derive(Debug, Clone)]
+enum FactorSpec {
+    Constant {
+        base: f64,
+        vary: bool,
+    },
+    Exposure {
+        rate: f64,
+        vary: bool,
+        input: usize,
+    },
+    Overtime {
+        mu: f64,
+        sigma: f64,
+        input: usize,
+    },
+    Complement(Box<FactorSpec>),
+    Scaled(f64, Box<FactorSpec>),
+    Product(Vec<FactorSpec>),
+    Sum(Vec<FactorSpec>),
+    /// Opaque closure over the full point; `slot` is its per-model
+    /// dedup identity, `poison` makes it return NaN past a threshold
+    /// (the evaluation-failure path).
+    Closure {
+        slot: usize,
+        coeff: f64,
+        vary: bool,
+        poison: bool,
+    },
+}
+
+/// A family: shared hazard structure, per-model constant perturbations.
+#[derive(Debug, Clone)]
+struct FamilySpec {
+    /// hazards → cut sets → factors, with one weight per hazard.
+    hazards: Vec<(Vec<Vec<FactorSpec>>, f64)>,
+    n_models: usize,
+}
+
+/// Deterministic per-model perturbation of a varying constant.
+fn perturb(base: f64, vary: bool, model: usize) -> f64 {
+    if vary {
+        base * (1.0 + 0.03 * (model as f64 + 1.0))
+    } else {
+        base
+    }
+}
+
+fn closure_fn(coeff: f64, poison: bool) -> ClosureFn {
+    Arc::new(move |xs: &[f64]| {
+        let v = (coeff * xs[0]).rem_euclid(1.0);
+        if poison && xs[0] > 30.0 {
+            f64::NAN
+        } else {
+            v
+        }
+    })
+}
+
+/// Lowers one factor of model `model` into `b`, mirroring the shapes
+/// the safety-model compiler produces.
+fn lower_factor(b: &mut TapeBuilder, spec: &FactorSpec, model: usize) -> Value {
+    match spec {
+        FactorSpec::Constant { base, vary } => b.constant(perturb(*base, *vary, model)),
+        FactorSpec::Exposure { rate, vary, input } => {
+            let t = b.input(*input);
+            b.exposure(perturb(*rate, *vary, model), t)
+        }
+        FactorSpec::Overtime { mu, sigma, input } => {
+            let d = TruncatedNormal::lower_bounded(*mu, *sigma, 0.0).unwrap();
+            let x = b.input(*input);
+            b.overtime(&d, x)
+        }
+        FactorSpec::Complement(inner) => {
+            let v = lower_factor(b, inner, model);
+            b.complement(v)
+        }
+        FactorSpec::Scaled(c, inner) => {
+            let v = lower_factor(b, inner, model);
+            b.scale(*c, v)
+        }
+        FactorSpec::Product(terms) => {
+            let vs: Vec<Value> = terms.iter().map(|t| lower_factor(b, t, model)).collect();
+            b.product(vs)
+        }
+        FactorSpec::Sum(terms) => {
+            let vs: Vec<Value> = terms.iter().map(|t| lower_factor(b, t, model)).collect();
+            b.sum_clamped(0.0, vs)
+        }
+        FactorSpec::Closure {
+            slot,
+            coeff,
+            vary,
+            poison,
+        } => {
+            // Identity is per (model, slot), exactly like the real
+            // compiler's expression-node pointers: clones within one
+            // model dedupe, models never share closures.
+            let c = perturb(*coeff, *vary, model);
+            b.closure(model * 10_000 + slot, closure_fn(c, *poison))
+        }
+    }
+}
+
+fn lower_model(b: &mut TapeBuilder, spec: &FamilySpec, model: usize) {
+    for (cut_sets, weight) in &spec.hazards {
+        let cs: Vec<Value> = cut_sets
+            .iter()
+            .map(|factors| {
+                let fs: Vec<Value> = factors.iter().map(|f| lower_factor(b, f, model)).collect();
+                b.product(fs)
+            })
+            .collect();
+        let hazard = b.sum_clamped(0.0, cs);
+        b.output(hazard, *weight);
+    }
+}
+
+/// Compiles the family both ways: one fleet, and one tape per model.
+fn compile_family(spec: &FamilySpec) -> (Fleet, Vec<Tape>) {
+    let mut fb = FleetBuilder::new(DIM);
+    let mut tapes = Vec::with_capacity(spec.n_models);
+    for model in 0..spec.n_models {
+        lower_model(fb.lowerer(), spec, model);
+        fb.finish_model();
+        let mut sb = TapeBuilder::new(DIM);
+        lower_model(&mut sb, spec, model);
+        tapes.push(sb.build());
+    }
+    (fb.build(), tapes)
+}
+
+fn factor_strategy() -> impl Strategy<Value = FactorSpec> {
+    let leaf = prop_oneof![
+        (0.0f64..=1.0, any::<bool>()).prop_map(|(base, vary)| FactorSpec::Constant { base, vary }),
+        (0.001f64..2.0, any::<bool>(), 0usize..DIM)
+            .prop_map(|(rate, vary, input)| FactorSpec::Exposure { rate, vary, input }),
+        ((0.5f64..20.0, 0.1f64..5.0), 0usize..DIM)
+            .prop_map(|((mu, sigma), input)| FactorSpec::Overtime { mu, sigma, input }),
+        (0usize..4, 0.1f64..3.0, any::<bool>(), any::<bool>()).prop_map(
+            |(slot, coeff, vary, poison)| FactorSpec::Closure {
+                slot,
+                coeff,
+                vary,
+                poison
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner
+                .clone()
+                .prop_map(|f| FactorSpec::Complement(Box::new(f))),
+            (0.0f64..=1.0, inner.clone()).prop_map(|(c, f)| FactorSpec::Scaled(c, Box::new(f))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Product),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Sum),
+        ]
+    })
+}
+
+fn family_strategy() -> impl Strategy<Value = FamilySpec> {
+    (
+        prop::collection::vec(
+            (
+                prop::collection::vec(prop::collection::vec(factor_strategy(), 1..4), 1..4),
+                0.0f64..1e6,
+            ),
+            1..4,
+        ),
+        2usize..7,
+    )
+        .prop_map(|(hazards, n_models)| FamilySpec { hazards, n_models })
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>() * 40.0).collect())
+        .collect()
+}
+
+/// Bit view of a float slice: NaN-safe exact comparison.
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Masked per-model fleet evaluation is the standalone tape, bit for
+    // bit — costs and hazard outputs, including NaN propagation.
+    #[test]
+    fn fleet_matches_standalone_tapes_bitwise(
+        spec in family_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (fleet, tapes) = compile_family(&spec);
+        let mut scratch = Vec::new();
+        for p in random_points(17, seed) {
+            for (k, tape) in tapes.iter().enumerate() {
+                prop_assert_eq!(fleet.model_ops(k), tape.n_ops(), "mask size, model {}", k);
+                let n_out = tape.n_outputs();
+                let mut fleet_out = vec![0.0; n_out];
+                let mut tape_out = vec![0.0; n_out];
+                let fc = fleet.eval_model_into(k, &p, &mut scratch, &mut fleet_out);
+                let tc = tape.eval_into(&p, &mut Vec::new(), &mut tape_out);
+                prop_assert_eq!(
+                    fc.to_bits(), tc.to_bits(),
+                    "cost of model {} at {:?}: fleet {} vs tape {}", k, &p, fc, tc
+                );
+                prop_assert_eq!(bits(&fleet_out), bits(&tape_out), "outputs of model {}", k);
+            }
+        }
+    }
+
+    // Full-arena sweeps (shared ops computed once for all models) agree
+    // with masked sweeps and standalone tapes, bit for bit.
+    #[test]
+    fn full_sweep_matches_standalone_tapes_bitwise(
+        spec in family_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (fleet, tapes) = compile_family(&spec);
+        let mut scratch = Vec::new();
+        for p in random_points(11, seed) {
+            let mut costs = vec![0.0; fleet.n_models()];
+            let mut outputs = vec![0.0; fleet.total_outputs()];
+            fleet.eval_all_into(&p, &mut scratch, &mut costs, &mut outputs);
+            for (k, tape) in tapes.iter().enumerate() {
+                let mut tape_out = vec![0.0; tape.n_outputs()];
+                let tc = tape.eval_into(&p, &mut Vec::new(), &mut tape_out);
+                prop_assert_eq!(costs[k].to_bits(), tc.to_bits(), "cost of model {}", k);
+                prop_assert_eq!(
+                    bits(&outputs[fleet.output_range(k)]),
+                    bits(&tape_out),
+                    "outputs of model {}", k
+                );
+            }
+        }
+    }
+
+    // Every FleetEvaluator entry point is independent of thread count
+    // and chunk size (1, 2, 4, 7 workers), and equal to the standalone
+    // BatchEvaluator at the same thread counts.
+    #[test]
+    fn fleet_pool_is_thread_count_independent(
+        spec in family_strategy(),
+        seed in any::<u64>(),
+        chunk in 1usize..40,
+    ) {
+        let (fleet, tapes) = compile_family(&spec);
+        let points = random_points(97, seed);
+        let reference = FleetEvaluator::new(&fleet, 1).costs_all(&points);
+        let (ref_c, ref_o) = FleetEvaluator::new(&fleet, 1).costs_and_outputs_all(&points);
+        prop_assert_eq!(bits(&reference), bits(&ref_c));
+        for threads in [1usize, 2, 4, 7] {
+            let ev = FleetEvaluator::new(&fleet, threads).chunk_size(chunk);
+            prop_assert_eq!(
+                bits(&ev.costs_all(&points)), bits(&reference),
+                "costs_all, {} threads", threads
+            );
+            let (c, o) = ev.costs_and_outputs_all(&points);
+            prop_assert_eq!(bits(&c), bits(&ref_c), "costs, {} threads", threads);
+            prop_assert_eq!(bits(&o), bits(&ref_o), "outputs, {} threads", threads);
+            for (k, tape) in tapes.iter().enumerate() {
+                let mc = ev.model_costs(k, &points);
+                let standalone = BatchEvaluator::new(tape, threads)
+                    .chunk_size(chunk)
+                    .costs(&points);
+                prop_assert_eq!(
+                    bits(&mc), bits(&standalone),
+                    "model_costs vs BatchEvaluator, model {}, {} threads", k, threads
+                );
+                for (i, &v) in mc.iter().enumerate() {
+                    prop_assert_eq!(
+                        v.to_bits(),
+                        reference[i * fleet.n_models() + k].to_bits(),
+                        "model_costs vs costs_all, model {}", k
+                    );
+                }
+            }
+        }
+    }
+
+    // Cross-model hash-consing: a family whose models are *identical*
+    // collapses to the op count of a single model, and every arena is
+    // never larger than the sum of its standalone tapes.
+    #[test]
+    fn sharing_is_bounded_and_tight_for_identical_models(
+        spec in family_strategy(),
+    ) {
+        let (fleet, tapes) = compile_family(&spec);
+        let per_model: usize = tapes.iter().map(Tape::n_ops).sum();
+        prop_assert!(fleet.tape().n_ops() <= per_model);
+
+        // Strip the variation: all models identical -> perfect sharing.
+        let mut shared = spec.clone();
+        fn freeze(f: &mut FactorSpec) {
+            match f {
+                FactorSpec::Constant { vary, .. } | FactorSpec::Exposure { vary, .. } => {
+                    *vary = false
+                }
+                FactorSpec::Overtime { .. } => {}
+                FactorSpec::Complement(inner) | FactorSpec::Scaled(_, inner) => freeze(inner),
+                FactorSpec::Product(terms) | FactorSpec::Sum(terms) => {
+                    terms.iter_mut().for_each(freeze)
+                }
+                FactorSpec::Closure { vary, .. } => *vary = false,
+            }
+        }
+        let mut has_closure = false;
+        for (cut_sets, _) in &mut shared.hazards {
+            for factors in cut_sets {
+                for f in factors.iter_mut() {
+                    freeze(f);
+                    // Closures still never share across models (distinct
+                    // identities, like distinct expression nodes).
+                    has_closure |= format!("{f:?}").contains("Closure");
+                }
+            }
+        }
+        if !has_closure {
+            let (frozen, frozen_tapes) = compile_family(&shared);
+            prop_assert_eq!(frozen.tape().n_ops(), frozen_tapes[0].n_ops());
+        }
+    }
+}

@@ -7,8 +7,11 @@
 //! optimum without the tuning burden of the stochastic methods.
 
 use crate::domain::BoxDomain;
-use crate::nelder_mead::NelderMead;
-use crate::{Minimizer, Objective, OptimError, OptimizationOutcome, Result, TerminationReason};
+use crate::nelder_mead::{NelderMead, NmState};
+use crate::{
+    BatchObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    TerminationReason,
+};
 
 /// Multi-start wrapper around an inner [`Minimizer`].
 ///
@@ -61,6 +64,143 @@ impl<M> MultiStart<M> {
     pub fn starts(&self) -> usize {
         self.starts
     }
+
+    /// Start point of restart `k`: the domain center, then the Halton
+    /// scatter (shared by the sequential and lockstep drivers).
+    fn start_point(k: usize, domain: &BoxDomain) -> Vec<f64> {
+        if k == 0 {
+            domain.center()
+        } else {
+            halton(k - 1, domain.dim())
+                .into_iter()
+                .enumerate()
+                .map(|(d, t)| domain.interval(d).lerp(t))
+                .collect()
+        }
+    }
+}
+
+impl MultiStart<NelderMead> {
+    /// Runs all restarts **in lockstep** against a [`BatchObjective`]:
+    /// each round gathers every live restart's pending probes (a whole
+    /// initial simplex, a reflection, a shrink, …) into one batch call,
+    /// so a compiled/parallel backend sees `starts`-wide batches instead
+    /// of single points.
+    ///
+    /// Each restart's evaluation sequence — and therefore its outcome —
+    /// is identical to the sequential [`Minimizer::minimize`] path for
+    /// pointwise-equal objectives; only the interleaving across restarts
+    /// changes. Aggregation (best-of, evaluation totals, termination)
+    /// matches the sequential wrapper exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the sequential path: configuration errors, and
+    /// [`OptimError::NoFiniteValue`] if every restart failed to see a
+    /// finite value.
+    pub fn minimize_batch(
+        &self,
+        objective: &dyn BatchObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        if self.starts == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "starts",
+                requirement: "must be >= 1",
+            });
+        }
+        let mut states = Vec::with_capacity(self.starts);
+        for k in 0..self.starts {
+            let x0 = Self::start_point(k, domain);
+            states.push(NmState::new(&self.inner.clone().start(x0), domain)?);
+        }
+        let mut batch: Vec<Vec<f64>> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        loop {
+            batch.clear();
+            spans.clear();
+            for (idx, state) in states.iter().enumerate() {
+                if !state.is_done() {
+                    spans.push((idx, state.pending().len()));
+                    batch.extend(state.pending().iter().cloned());
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            objective.eval_batch(&batch, &mut values);
+            let mut offset = 0;
+            for &(idx, len) in &spans {
+                states[idx].advance(&values[offset..offset + len]);
+                offset += len;
+            }
+        }
+        let mut fold = RestartFold::default();
+        for state in states {
+            fold.observe(state.into_outcome())?;
+        }
+        fold.finish()
+    }
+}
+
+/// Shared restart aggregation: best-of selection (strict `<`, earliest
+/// restart wins ties), evaluation/iteration totals including
+/// finite-value-starved restarts, and the merged termination reason.
+/// Both the sequential and the lockstep driver fold through this, so
+/// their aggregation semantics can never drift apart.
+#[derive(Debug, Default)]
+struct RestartFold {
+    best: Option<OptimizationOutcome>,
+    total_evals: u64,
+    total_iters: u64,
+    any_converged: bool,
+}
+
+impl RestartFold {
+    /// Folds one restart's result. `Err(NoFiniteValue)` is tolerated
+    /// (its evaluations still count); any other error aborts the fold.
+    fn observe(&mut self, run: Result<OptimizationOutcome>) -> Result<()> {
+        let run = match run {
+            Ok(r) => r,
+            Err(OptimError::NoFiniteValue { evaluations }) => {
+                self.total_evals += evaluations;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        self.total_evals += run.evaluations;
+        self.total_iters += run.iterations;
+        self.any_converged |= run.converged();
+        if self
+            .best
+            .as_ref()
+            .map(|b| run.best_value < b.best_value)
+            .unwrap_or(true)
+        {
+            self.best = Some(run);
+        }
+        Ok(())
+    }
+
+    /// The aggregated outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimError::NoFiniteValue`] if no restart produced one.
+    fn finish(self) -> Result<OptimizationOutcome> {
+        let mut best = self.best.ok_or(OptimError::NoFiniteValue {
+            evaluations: self.total_evals,
+        })?;
+        best.evaluations = self.total_evals;
+        best.iterations = self.total_iters;
+        best.termination = if self.any_converged {
+            TerminationReason::Converged
+        } else {
+            TerminationReason::MaxIterations
+        };
+        Ok(best)
+    }
 }
 
 /// `i`-th element of the van-der-Corput sequence in `base`.
@@ -101,55 +241,17 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
                 requirement: "must be >= 1",
             });
         }
-        let mut best: Option<OptimizationOutcome> = None;
-        let mut total_evals = 0;
-        let mut total_iters = 0;
-        let mut any_converged = false;
+        let mut fold = RestartFold::default();
         for k in 0..self.starts {
-            let x0: Vec<f64> = if k == 0 {
-                domain.center()
-            } else {
-                halton(k - 1, domain.dim())
-                    .into_iter()
-                    .enumerate()
-                    .map(|(d, t)| domain.interval(d).lerp(t))
-                    .collect()
-            };
+            let x0 = MultiStart::<M>::start_point(k, domain);
             let run = self
                 .inner
                 .clone()
                 .with_start(x0)
                 .minimize(objective, domain);
-            let run = match run {
-                Ok(r) => r,
-                Err(OptimError::NoFiniteValue { evaluations }) => {
-                    total_evals += evaluations;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            total_evals += run.evaluations;
-            total_iters += run.iterations;
-            any_converged |= run.converged();
-            if best
-                .as_ref()
-                .map(|b| run.best_value < b.best_value)
-                .unwrap_or(true)
-            {
-                best = Some(run);
-            }
+            fold.observe(run)?;
         }
-        let mut best = best.ok_or(OptimError::NoFiniteValue {
-            evaluations: total_evals,
-        })?;
-        best.evaluations = total_evals;
-        best.iterations = total_iters;
-        best.termination = if any_converged {
-            TerminationReason::Converged
-        } else {
-            TerminationReason::MaxIterations
-        };
-        Ok(best)
+        fold.finish()
     }
 
     fn name(&self) -> &'static str {
@@ -253,6 +355,69 @@ mod tests {
         let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
         assert!(MultiStart::new(NelderMead::default(), 0)
             .minimize(&crate::testfns::sphere, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn lockstep_batch_equals_sequential_exactly() {
+        // Same restarts, same trajectories: the lockstep driver must
+        // reproduce the sequential wrapper bit for bit (best point and
+        // value, totals, termination) for a pointwise batch objective.
+        for (bounds, f) in [
+            (
+                vec![(-5.0, 5.0), (-5.0, 5.0)],
+                rastrigin as fn(&[f64]) -> f64,
+            ),
+            (
+                vec![(-5.0, 5.0), (-5.0, 5.0)],
+                himmelblau as fn(&[f64]) -> f64,
+            ),
+            (vec![(-4.0, 6.0)], |x: &[f64]| (x[0] - 0.3).powi(2)),
+        ] {
+            let domain = BoxDomain::from_bounds(&bounds).unwrap();
+            for starts in [1usize, 3, 8] {
+                let ms = MultiStart::new(NelderMead::default(), starts);
+                let seq = ms.minimize(&f, &domain).unwrap();
+                let batch = ms.minimize_batch(&f, &domain).unwrap();
+                assert_eq!(seq.best_x, batch.best_x, "{starts} starts");
+                assert_eq!(seq.best_value.to_bits(), batch.best_value.to_bits());
+                assert_eq!(seq.evaluations, batch.evaluations);
+                assert_eq!(seq.iterations, batch.iterations);
+                assert_eq!(seq.termination, batch.termination);
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_batch_replicates_nan_basin_skipping() {
+        let domain = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let f = |x: &[f64]| {
+            if x[0] < -0.5 {
+                f64::NAN
+            } else {
+                (x[0] - 0.25).powi(2)
+            }
+        };
+        let ms = MultiStart::new(NelderMead::default(), 6);
+        let seq = ms.minimize(&f, &domain).unwrap();
+        let batch = ms.minimize_batch(&f, &domain).unwrap();
+        assert_eq!(seq.best_x, batch.best_x);
+        assert_eq!(seq.evaluations, batch.evaluations);
+
+        // All-NaN objective: both report NoFiniteValue.
+        let nan = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            ms.minimize_batch(&nan, &domain),
+            Err(OptimError::NoFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn lockstep_batch_zero_starts_is_an_error() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let f = |x: &[f64]| x[0];
+        assert!(MultiStart::new(NelderMead::default(), 0)
+            .minimize_batch(&f, &domain)
             .is_err());
     }
 

@@ -7,10 +7,21 @@
 //! Box constraints are enforced by projecting trial points onto the
 //! domain, which preserves convergence on these landscapes while
 //! guaranteeing no out-of-domain evaluation.
+//!
+//! The algorithm is implemented as a resumable state machine
+//! ([`NmState`]): it publishes the points it needs next (the initial
+//! simplex, one reflection/expansion/contraction probe, or a whole
+//! shrink) and consumes their values. [`NelderMead::minimize`] drives it
+//! pointwise; [`NelderMead::minimize_batch`] feeds each request to a
+//! [`crate::BatchObjective`] in one call, and
+//! [`crate::multistart::MultiStart`] runs many states in lockstep so
+//! every restart's probes land in one batch per round. All drivers
+//! produce identical evaluation sequences per run, hence identical
+//! outcomes.
 
 use crate::domain::BoxDomain;
 use crate::{
-    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
+    BatchObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason, TracePoint,
 };
 
@@ -135,25 +146,128 @@ impl NelderMead {
     }
 }
 
+impl NelderMead {
+    /// Minimization through a [`BatchObjective`]: every evaluation
+    /// request of one iteration — the whole initial simplex, a whole
+    /// shrink — lands in a single batch call, so compiled/parallel
+    /// backends amortize per-call overhead.
+    ///
+    /// Produces the exact evaluation sequence of
+    /// [`NelderMead::minimize`], hence identical outcomes for
+    /// pointwise-equal objectives.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NelderMead::minimize`].
+    pub fn minimize_batch(
+        &self,
+        objective: &dyn BatchObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        let mut state = NmState::new(self, domain)?;
+        let mut values = Vec::new();
+        while !state.is_done() {
+            objective.eval_batch(state.pending(), &mut values);
+            state.advance(&values);
+        }
+        state.into_outcome()
+    }
+}
+
 impl Minimizer for NelderMead {
     fn minimize(
         &self,
         objective: &dyn Objective,
         domain: &BoxDomain,
     ) -> Result<OptimizationOutcome> {
-        self.validate(domain)?;
-        let n = domain.dim();
-        let f = CountingObjective::new(objective);
+        let mut state = NmState::new(self, domain)?;
+        let mut values = Vec::new();
+        while !state.is_done() {
+            values.clear();
+            values.extend(state.pending().iter().map(|p| objective.eval(p)));
+            state.advance(&values);
+        }
+        state.into_outcome()
+    }
 
-        // Adaptive coefficients (Gao & Han 2012) help in higher dimensions.
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+}
+
+/// Where a paused [`NmState`] resumes once its pending points have
+/// values.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Awaiting the initial simplex values.
+    Init,
+    /// Awaiting the reflection probe.
+    Reflect {
+        best: usize,
+        worst: usize,
+        second_worst: usize,
+        centroid: Vec<f64>,
+        xr: Vec<f64>,
+    },
+    /// Awaiting the expansion probe.
+    Expand {
+        worst: usize,
+        xr: Vec<f64>,
+        fr: f64,
+        xe: Vec<f64>,
+    },
+    /// Awaiting the contraction probe.
+    Contract {
+        best: usize,
+        worst: usize,
+        fr: f64,
+        xc: Vec<f64>,
+    },
+    /// Awaiting the shrunk vertices (all but the best, ascending).
+    Shrink { indices: Vec<usize> },
+    /// Terminated; [`NmState::into_outcome`] is ready.
+    Done,
+}
+
+/// Resumable Nelder–Mead run: alternates between publishing
+/// [`pending`](NmState::pending) evaluation points and consuming their
+/// values through [`advance`](NmState::advance). Replicates the classic
+/// loop step for step, so every driver (pointwise, batched, lockstep
+/// multi-start) produces identical trajectories.
+#[derive(Debug, Clone)]
+pub(crate) struct NmState {
+    f_tol: f64,
+    x_tol: f64,
+    max_iterations: u64,
+    record_trace: bool,
+    // Adaptive coefficients (Gao & Han 2012) help in higher dimensions.
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    delta: f64,
+    n: usize,
+    domain: BoxDomain,
+    domain_scale: f64,
+    simplex: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    evaluations: u64,
+    iterations: u64,
+    trace: Vec<TracePoint>,
+    termination: TerminationReason,
+    phase: Phase,
+    pending: Vec<Vec<f64>>,
+}
+
+impl NmState {
+    /// Validates `config` and builds the initial simplex; the state
+    /// starts with the whole simplex pending.
+    pub(crate) fn new(config: &NelderMead, domain: &BoxDomain) -> Result<Self> {
+        config.validate(domain)?;
+        let n = domain.dim();
         let nf = n as f64;
-        let alpha = 1.0;
-        let beta = 1.0 + 2.0 / nf; // expansion
-        let gamma = 0.75 - 1.0 / (2.0 * nf); // contraction
-        let delta = 1.0 - 1.0 / nf.max(2.0); // shrink
 
         // Initial simplex: start point plus one vertex per dimension.
-        let x0 = match &self.start {
+        let x0 = match &config.start {
             Some(p) => domain.project(p),
             None => domain.center(),
         };
@@ -162,7 +276,7 @@ impl Minimizer for NelderMead {
         simplex.push(x0.clone());
         for i in 0..n {
             let mut v = x0.clone();
-            let step = self.initial_scale * widths[i];
+            let step = config.initial_scale * widths[i];
             // Step towards whichever side has room.
             let iv = domain.interval(i);
             v[i] = if v[i] + step <= iv.hi() {
@@ -172,133 +286,253 @@ impl Minimizer for NelderMead {
             };
             simplex.push(v);
         }
-        let mut values: Vec<f64> = simplex.iter().map(|v| f.eval_penalized(v)).collect();
+        let pending = simplex.clone();
+        Ok(Self {
+            f_tol: config.f_tol,
+            x_tol: config.x_tol,
+            max_iterations: config.max_iterations,
+            record_trace: config.record_trace,
+            alpha: 1.0,
+            beta: 1.0 + 2.0 / nf,           // expansion
+            gamma: 0.75 - 1.0 / (2.0 * nf), // contraction
+            delta: 1.0 - 1.0 / nf.max(2.0), // shrink
+            n,
+            domain: domain.clone(),
+            domain_scale: domain.max_width(),
+            simplex,
+            values: Vec::new(),
+            evaluations: 0,
+            iterations: 0,
+            trace: Vec::new(),
+            termination: TerminationReason::MaxIterations,
+            phase: Phase::Init,
+            pending,
+        })
+    }
 
-        let mut trace = Vec::new();
-        let mut iterations = 0;
-        let mut termination = TerminationReason::MaxIterations;
-        let domain_scale = domain.max_width();
+    /// Points awaiting evaluation (empty exactly when
+    /// [`is_done`](Self::is_done)).
+    pub(crate) fn pending(&self) -> &[Vec<f64>] {
+        &self.pending
+    }
 
-        while iterations < self.max_iterations {
-            iterations += 1;
-            // Order vertices by value.
-            let mut order: Vec<usize> = (0..=n).collect();
-            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
-            let best = order[0];
-            let worst = order[n];
-            let second_worst = order[n - 1];
+    /// `true` once the run has terminated.
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
 
-            // Convergence: value spread and simplex diameter.
-            let spread = values[worst] - values[best];
-            let diameter = simplex
-                .iter()
-                .flat_map(|v| simplex[best].iter().zip(v).map(|(a, b)| (a - b).abs()))
-                .fold(0.0, f64::max);
-            if (spread.is_finite() && spread <= self.f_tol) || diameter <= self.x_tol * domain_scale
-            {
-                termination = TerminationReason::Converged;
-                break;
+    /// Consumes one value per pending point (in order; non-finite values
+    /// are penalized to `+∞` exactly like the pointwise driver) and
+    /// progresses to the next pending set or termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_values` does not match the pending count.
+    pub(crate) fn advance(&mut self, raw_values: &[f64]) {
+        assert_eq!(
+            raw_values.len(),
+            self.pending.len(),
+            "one value per pending point"
+        );
+        let vals: Vec<f64> = raw_values
+            .iter()
+            .map(|&v| if v.is_finite() { v } else { f64::INFINITY })
+            .collect();
+        self.evaluations += vals.len() as u64;
+        self.pending.clear();
+        match std::mem::replace(&mut self.phase, Phase::Done) {
+            Phase::Init => {
+                self.values = vals;
+                self.begin_iteration();
             }
-
-            // Centroid of all but the worst vertex.
-            let mut centroid = vec![0.0; n];
-            for (i, v) in simplex.iter().enumerate() {
-                if i == worst {
-                    continue;
-                }
-                for (c, &vi) in centroid.iter_mut().zip(v) {
-                    *c += vi / nf;
+            Phase::Reflect {
+                best,
+                worst,
+                second_worst,
+                centroid,
+                xr,
+            } => {
+                let fr = vals[0];
+                if fr < self.values[best] {
+                    // Expansion.
+                    let xe = self.project_combine(&centroid, worst, self.beta);
+                    self.pending.push(xe.clone());
+                    self.phase = Phase::Expand { worst, xr, fr, xe };
+                } else if fr < self.values[second_worst] {
+                    self.simplex[worst] = xr;
+                    self.values[worst] = fr;
+                    self.end_iteration();
+                } else {
+                    // Contraction (outside if the reflection helped at
+                    // all).
+                    let t = if fr < self.values[worst] {
+                        self.gamma
+                    } else {
+                        -self.gamma
+                    };
+                    let xc = self.project_combine(&centroid, worst, t);
+                    self.pending.push(xc.clone());
+                    self.phase = Phase::Contract {
+                        best,
+                        worst,
+                        fr,
+                        xc,
+                    };
                 }
             }
-
-            let project_combine = |t: f64| -> Vec<f64> {
-                let p: Vec<f64> = centroid
-                    .iter()
-                    .zip(&simplex[worst])
-                    .map(|(&c, &w)| c + t * (c - w))
-                    .collect();
-                domain.project(&p)
-            };
-
-            // Reflection.
-            let xr = project_combine(alpha);
-            let fr = f.eval_penalized(&xr);
-            if fr < values[best] {
-                // Expansion.
-                let xe = project_combine(beta);
-                let fe = f.eval_penalized(&xe);
+            Phase::Expand { worst, xr, fr, xe } => {
+                let fe = vals[0];
                 if fe < fr {
-                    simplex[worst] = xe;
-                    values[worst] = fe;
+                    self.simplex[worst] = xe;
+                    self.values[worst] = fe;
                 } else {
-                    simplex[worst] = xr;
-                    values[worst] = fr;
+                    self.simplex[worst] = xr;
+                    self.values[worst] = fr;
                 }
-            } else if fr < values[second_worst] {
-                simplex[worst] = xr;
-                values[worst] = fr;
-            } else {
-                // Contraction (outside if the reflection helped at all).
-                let (xc, fc) = if fr < values[worst] {
-                    let xc = project_combine(gamma);
-                    let fc = f.eval_penalized(&xc);
-                    (xc, fc)
-                } else {
-                    let xc = project_combine(-gamma);
-                    let fc = f.eval_penalized(&xc);
-                    (xc, fc)
-                };
-                if fc < values[worst].min(fr) {
-                    simplex[worst] = xc;
-                    values[worst] = fc;
+                self.end_iteration();
+            }
+            Phase::Contract {
+                best,
+                worst,
+                fr,
+                xc,
+            } => {
+                let fc = vals[0];
+                if fc < self.values[worst].min(fr) {
+                    self.simplex[worst] = xc;
+                    self.values[worst] = fc;
+                    self.end_iteration();
                 } else {
                     // Shrink towards the best vertex.
-                    let best_point = simplex[best].clone();
-                    for (i, v) in simplex.iter_mut().enumerate() {
+                    let best_point = self.simplex[best].clone();
+                    let mut indices = Vec::with_capacity(self.n);
+                    for (i, v) in self.simplex.iter_mut().enumerate() {
                         if i == best {
                             continue;
                         }
                         for (vi, &bi) in v.iter_mut().zip(&best_point) {
-                            *vi = bi + delta * (*vi - bi);
+                            *vi = bi + self.delta * (*vi - bi);
                         }
-                        *v = domain.project(v);
-                        values[i] = f.eval_penalized(v);
+                        *v = self.domain.project(v);
+                        indices.push(i);
+                        self.pending.push(v.clone());
                     }
+                    self.phase = Phase::Shrink { indices };
                 }
             }
+            Phase::Shrink { indices } => {
+                for (&i, &fv) in indices.iter().zip(&vals) {
+                    self.values[i] = fv;
+                }
+                self.end_iteration();
+            }
+            Phase::Done => panic!("advance() after termination"),
+        }
+    }
 
-            if self.record_trace {
-                let best_now = values.iter().copied().fold(f64::INFINITY, f64::min);
-                trace.push(TracePoint {
-                    iteration: iterations,
-                    evaluations: f.count(),
-                    best_value: best_now,
-                });
+    /// Starts the next iteration: convergence/budget checks, then the
+    /// reflection probe.
+    fn begin_iteration(&mut self) {
+        if self.iterations >= self.max_iterations {
+            self.termination = TerminationReason::MaxIterations;
+            self.phase = Phase::Done;
+            return;
+        }
+        self.iterations += 1;
+        // Order vertices by value.
+        let n = self.n;
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| self.values[a].partial_cmp(&self.values[b]).unwrap());
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence: value spread and simplex diameter.
+        let spread = self.values[worst] - self.values[best];
+        let diameter = self
+            .simplex
+            .iter()
+            .flat_map(|v| self.simplex[best].iter().zip(v).map(|(a, b)| (a - b).abs()))
+            .fold(0.0, f64::max);
+        if (spread.is_finite() && spread <= self.f_tol)
+            || diameter <= self.x_tol * self.domain_scale
+        {
+            self.termination = TerminationReason::Converged;
+            self.phase = Phase::Done;
+            return;
+        }
+
+        // Centroid of all but the worst vertex.
+        let nf = n as f64;
+        let mut centroid = vec![0.0; n];
+        for (i, v) in self.simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for (c, &vi) in centroid.iter_mut().zip(v) {
+                *c += vi / nf;
             }
         }
 
-        let (best_idx, &best_value) = values
+        // Reflection.
+        let xr = self.project_combine(&centroid, worst, self.alpha);
+        self.pending.push(xr.clone());
+        self.phase = Phase::Reflect {
+            best,
+            worst,
+            second_worst,
+            centroid,
+            xr,
+        };
+    }
+
+    fn end_iteration(&mut self) {
+        if self.record_trace {
+            let best_now = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+            self.trace.push(TracePoint {
+                iteration: self.iterations,
+                evaluations: self.evaluations,
+                best_value: best_now,
+            });
+        }
+        self.begin_iteration();
+    }
+
+    fn project_combine(&self, centroid: &[f64], worst: usize, t: f64) -> Vec<f64> {
+        let p: Vec<f64> = centroid
+            .iter()
+            .zip(&self.simplex[worst])
+            .map(|(&c, &w)| c + t * (c - w))
+            .collect();
+        self.domain.project(&p)
+    }
+
+    /// Final outcome of a terminated run.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimError::NoFiniteValue`] if every evaluated vertex is
+    /// non-finite.
+    pub(crate) fn into_outcome(self) -> Result<OptimizationOutcome> {
+        let (best_idx, &best_value) = self
+            .values
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .expect("simplex non-empty");
         if !best_value.is_finite() {
             return Err(OptimError::NoFiniteValue {
-                evaluations: f.count(),
+                evaluations: self.evaluations,
             });
         }
         Ok(OptimizationOutcome {
-            best_x: simplex[best_idx].clone(),
+            best_x: self.simplex[best_idx].clone(),
             best_value,
-            evaluations: f.count(),
-            iterations,
-            termination,
-            trace,
+            evaluations: self.evaluations,
+            iterations: self.iterations,
+            termination: self.termination,
+            trace: self.trace,
         })
-    }
-
-    fn name(&self) -> &'static str {
-        "nelder-mead"
     }
 }
 
@@ -391,6 +625,47 @@ mod tests {
         assert!(NelderMead::default()
             .start(vec![0.5, 0.5])
             .minimize(&sphere, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_driver_equals_pointwise_driver_exactly() {
+        // One state machine, two drivers: identical trajectories.
+        for f in [
+            sphere as fn(&[f64]) -> f64,
+            rosenbrock as fn(&[f64]) -> f64,
+            |x: &[f64]| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 0.5).powi(2) + x[1].powi(2)
+                }
+            },
+        ] {
+            let domain = BoxDomain::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+            let nm = NelderMead::default().record_trace(true);
+            let seq = nm.minimize(&f, &domain).unwrap();
+            let batch = nm.minimize_batch(&f, &domain).unwrap();
+            assert_eq!(seq.best_x, batch.best_x);
+            assert_eq!(seq.best_value.to_bits(), batch.best_value.to_bits());
+            assert_eq!(seq.evaluations, batch.evaluations);
+            assert_eq!(seq.iterations, batch.iterations);
+            assert_eq!(seq.termination, batch.termination);
+            assert_eq!(seq.trace, batch.trace);
+        }
+    }
+
+    #[test]
+    fn batch_driver_propagates_config_errors() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let f = |x: &[f64]| x[0];
+        assert!(NelderMead::default()
+            .max_iterations(0)
+            .minimize_batch(&f, &domain)
+            .is_err());
+        assert!(NelderMead::default()
+            .start(vec![0.5, 0.5])
+            .minimize_batch(&f, &domain)
             .is_err());
     }
 

@@ -49,10 +49,7 @@ impl CompiledModel {
     /// [`SafeOptError::UnknownParameter`] if an expression references a
     /// parameter outside the model's space.
     pub fn compile(model: &SafetyModel) -> Result<Self> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::compile_with_threads(model, threads)
+        Self::compile_with_threads(model, safety_opt_engine::default_threads())
     }
 
     /// Compiles `model` with an explicit batch worker count.
@@ -225,8 +222,9 @@ impl safety_opt_optim::BatchObjective for CompiledModel {
 }
 
 /// Lowers one probability expression, reusing shared nodes through the
-/// expression-identity memo.
-fn lower(
+/// expression-identity memo (shared with the fleet compiler in
+/// [`crate::fleet`]).
+pub(crate) fn lower(
     b: &mut TapeBuilder,
     memo: &mut HashMap<usize, Value>,
     space: &ParameterSpace,

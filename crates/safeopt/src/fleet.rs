@@ -1,0 +1,536 @@
+//! Fleet compilation of safety-model families.
+//!
+//! Monte-Carlo uncertainty ([`crate::uncertainty`]) and scenario studies
+//! optimize *populations* of sampled models that share almost all of
+//! their structure. [`CompiledFleet`] lowers every model of such a
+//! family into one [`safety_opt_engine::fleet::Fleet`]: ops are
+//! hash-consed **across models**, so the shared structure compiles and
+//! evaluates once no matter how many variants reference it, while each
+//! model's results stay bit-identical to compiling it alone with
+//! [`crate::compile::CompiledModel`] (the equivalence property suites in
+//! `engine` and this crate enforce 0-ULP agreement for every thread
+//! count).
+//!
+//! ```
+//! use safety_opt_core::fleet::CompiledFleet;
+//! # use safety_opt_core::model::{Hazard, SafetyModel};
+//! # use safety_opt_core::param::ParameterSpace;
+//! # use safety_opt_core::pprob::{constant, exposure};
+//!
+//! # fn main() -> Result<(), safety_opt_core::SafeOptError> {
+//! // A tiny family: three sampled models differing in one rate.
+//! let mut models = Vec::new();
+//! for rate in [0.10, 0.12, 0.14] {
+//!     let mut space = ParameterSpace::new();
+//!     let t = space.parameter("t", 0.0, 30.0)?;
+//!     let h = Hazard::builder("alarm")
+//!         .cut_set("hv", [constant(0.5)?, exposure(rate, t)])
+//!         .build();
+//!     models.push(SafetyModel::new(space).hazard(h, 1000.0));
+//! }
+//! let fleet = CompiledFleet::compile(&models)?;
+//! assert_eq!(fleet.n_models(), 3);
+//! // One arena sweep per point yields every model's cost and hazards.
+//! let (costs, hazards) = fleet.cost_and_hazards_all(&[vec![10.0]])?;
+//! assert_eq!(costs.len(), 3);
+//! assert_eq!(hazards.len(), 3);
+//! assert!(costs.windows(2).all(|w| w[0] < w[1]), "higher rate, higher cost");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::compile::lower;
+use crate::model::SafetyModel;
+use crate::{Result, SafeOptError};
+use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
+use safety_opt_engine::{QuantizedCache, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A family of safety models compiled into one shared-arena fleet.
+///
+/// Cheap to clone (the fleet is shared). The models must agree on
+/// parameter-space dimension; their hazard counts may differ.
+#[derive(Debug, Clone)]
+pub struct CompiledFleet {
+    fleet: Arc<Fleet>,
+    threads: usize,
+}
+
+impl CompiledFleet {
+    /// Compiles `models` with default parallelism for batches
+    /// ([`safety_opt_engine::default_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for inconsistent parameter
+    /// dimensions, [`SafeOptError::UnknownParameter`] for expressions
+    /// referencing parameters outside their model's space, and an
+    /// invalid-config error for an empty family.
+    pub fn compile(models: &[SafetyModel]) -> Result<Self> {
+        Self::compile_with_threads(models, safety_opt_engine::default_threads())
+    }
+
+    /// Compiles `models` with an explicit batch worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compile`](Self::compile).
+    pub fn compile_with_threads(models: &[SafetyModel], threads: usize) -> Result<Self> {
+        let Some(first) = models.first() else {
+            return Err(SafeOptError::Optim(
+                safety_opt_optim::OptimError::InvalidConfig {
+                    option: "models",
+                    requirement: "fleet needs at least one model",
+                },
+            ));
+        };
+        let dim = first.space().len();
+        let mut builder = FleetBuilder::new(dim);
+        for model in models {
+            lower_model_into(&mut builder, model, dim)?;
+            builder.finish_model();
+        }
+        Ok(Self {
+            fleet: Arc::new(builder.build()),
+            threads: threads.max(1),
+        })
+    }
+
+    /// Fault-tolerant compilation: models that fail to lower (foreign
+    /// parameter ids, parameter-dimension mismatch with the first model)
+    /// are rolled back and reported per slot instead of failing the
+    /// whole family — the hook for Monte-Carlo loops that tolerate bad
+    /// samples. Returns the fleet (absent when *no* model compiled) and,
+    /// per input model, its fleet index or its compile error.
+    #[allow(clippy::type_complexity)]
+    pub fn compile_partial(
+        models: &[SafetyModel],
+        threads: usize,
+    ) -> (Option<Self>, Vec<std::result::Result<usize, SafeOptError>>) {
+        let Some(first) = models.first() else {
+            return (None, Vec::new());
+        };
+        let dim = first.space().len();
+        let mut builder = FleetBuilder::new(dim);
+        let mut slots = Vec::with_capacity(models.len());
+        for model in models {
+            match lower_model_into(&mut builder, model, dim) {
+                Ok(()) => slots.push(Ok(builder.finish_model())),
+                Err(e) => {
+                    builder.abort_model();
+                    slots.push(Err(e));
+                }
+            }
+        }
+        if slots.iter().all(|s| s.is_err()) {
+            return (None, slots);
+        }
+        let fleet = Self {
+            fleet: Arc::new(builder.build()),
+            threads: threads.max(1),
+        };
+        (Some(fleet), slots)
+    }
+
+    /// The underlying engine fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Number of models in the fleet.
+    pub fn n_models(&self) -> usize {
+        self.fleet.n_models()
+    }
+
+    /// Number of parameters every model expects.
+    pub fn dim(&self) -> usize {
+        self.fleet.n_inputs()
+    }
+
+    /// Number of hazards of `model`.
+    pub fn n_hazards(&self, model: usize) -> usize {
+        self.fleet.n_outputs(model)
+    }
+
+    /// Columns of `model` in the flat all-models hazard row.
+    pub fn hazard_range(&self, model: usize) -> Range<usize> {
+        self.fleet.output_range(model)
+    }
+
+    /// Configured batch worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fraction of per-model ops saved by cross-model hash-consing.
+    pub fn sharing(&self) -> f64 {
+        self.fleet.sharing()
+    }
+
+    fn check_points(&self, points: &[Vec<f64>]) -> Result<()> {
+        for p in points {
+            if p.len() != self.dim() {
+                return Err(SafeOptError::DimensionMismatch {
+                    expected: self.dim(),
+                    got: p.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Costs of **every model** at every point (point-major,
+    /// `points.len() × n_models`), one arena sweep per point, evaluated
+    /// in parallel with deterministic chunking.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn costs_all(&self, points: &[Vec<f64>]) -> Result<Vec<f64>> {
+        self.check_points(points)?;
+        Ok(FleetEvaluator::new(&self.fleet, self.threads).costs_all(points))
+    }
+
+    /// Costs **and** hazard probabilities of every model at every point.
+    /// Returns `(costs, hazards)`: `costs` point-major
+    /// (`points.len() × n_models`), `hazards` point-major with each
+    /// model occupying its [`hazard_range`](Self::hazard_range) columns.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn cost_and_hazards_all(&self, points: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.check_points(points)?;
+        Ok(FleetEvaluator::new(&self.fleet, self.threads).costs_and_outputs_all(points))
+    }
+
+    /// Costs of **one model** at every point through its reachability
+    /// mask — bit-identical to that model's standalone
+    /// [`crate::compile::CompiledModel::cost_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn model_cost_batch(&self, model: usize, points: &[Vec<f64>]) -> Result<Vec<f64>> {
+        self.check_points(points)?;
+        Ok(FleetEvaluator::new(&self.fleet, self.threads).model_costs(model, points))
+    }
+
+    /// One model's compiled cost as a scalar optimization objective with
+    /// an optional quantized memo cache — the fleet twin of
+    /// [`crate::compile::CompiledModel::objective`].
+    pub fn model_objective(&self, model: usize, memo: bool) -> FleetModelObjective {
+        FleetModelObjective {
+            fleet: Arc::clone(&self.fleet),
+            model,
+            scratch: RefCell::new((Vec::new(), vec![0.0; self.n_hazards(model)])),
+            cache: memo.then(QuantizedCache::fine),
+        }
+    }
+
+    /// One model's compiled cost as a
+    /// [`safety_opt_optim::BatchObjective`] — the hook the lockstep
+    /// multi-start and population optimizers plug into.
+    pub fn model_batch_objective(&self, model: usize) -> FleetModelBatchObjective {
+        FleetModelBatchObjective {
+            fleet: Arc::clone(&self.fleet),
+            model,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Lowers one model into the shared fleet arena, mirroring
+/// [`crate::compile::CompiledModel`]'s lowering exactly.
+///
+/// A fresh expression memo per model means every node is demanded
+/// through the tape builder, which both hash-conses across models and
+/// keeps this model's canonicalization order equal to a standalone
+/// compile. On error the caller must roll back with
+/// [`FleetBuilder::abort_model`].
+fn lower_model_into(builder: &mut FleetBuilder, model: &SafetyModel, dim: usize) -> Result<()> {
+    let space = model.space_arc();
+    if space.len() != dim {
+        return Err(SafeOptError::DimensionMismatch {
+            expected: dim,
+            got: space.len(),
+        });
+    }
+    let mut memo: HashMap<usize, Value> = HashMap::new();
+    for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
+        let b = builder.lowerer();
+        let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
+        for cs in hazard.cut_sets() {
+            let factors = cs
+                .factors()
+                .iter()
+                .map(|f| lower(b, &mut memo, &space, f))
+                .collect::<Result<Vec<_>>>()?;
+            cut_sets.push(b.product(factors));
+        }
+        let hazard_value = b.sum_clamped(0.0, cut_sets);
+        b.output(hazard_value, cost);
+    }
+    Ok(())
+}
+
+/// One fleet model's cost as an [`safety_opt_optim::Objective`]
+/// (masked arena sweep; evaluation failures surface as `+∞`, exactly
+/// like [`crate::compile::CompiledObjective`]).
+#[derive(Debug)]
+pub struct FleetModelObjective {
+    fleet: Arc<Fleet>,
+    model: usize,
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+    cache: Option<QuantizedCache>,
+}
+
+impl FleetModelObjective {
+    fn eval_raw(&self, x: &[f64]) -> f64 {
+        let (scratch, hazards) = &mut *self.scratch.borrow_mut();
+        let v = self.fleet.eval_model_into(self.model, x, scratch, hazards);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `(hits, misses)` of the memo cache (`(0, 0)` when disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.as_ref().map_or((0, 0), QuantizedCache::stats)
+    }
+}
+
+impl safety_opt_optim::Objective for FleetModelObjective {
+    fn eval(&self, x: &[f64]) -> f64 {
+        if x.len() != self.fleet.n_inputs() {
+            return f64::INFINITY;
+        }
+        match &self.cache {
+            Some(cache) => cache.get_or_insert_with(x, || self.eval_raw(x)),
+            None => self.eval_raw(x),
+        }
+    }
+}
+
+/// One fleet model's cost as a [`safety_opt_optim::BatchObjective`]:
+/// one parallel masked sweep per generation/round.
+#[derive(Debug)]
+pub struct FleetModelBatchObjective {
+    fleet: Arc<Fleet>,
+    model: usize,
+    threads: usize,
+}
+
+impl safety_opt_optim::BatchObjective for FleetModelBatchObjective {
+    fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
+        *out = FleetEvaluator::new(&self.fleet, self.threads).model_costs(self.model, points);
+        for v in out.iter_mut() {
+            if !v.is_finite() {
+                *v = f64::INFINITY;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledModel;
+    use crate::model::Hazard;
+    use crate::param::ParameterSpace;
+    use crate::pprob::{complement, constant, exposure, from_fn, overtime, ProbExpr};
+    use safety_opt_optim::{BatchObjective as _, Objective as _};
+    use safety_opt_stats::dist::TruncatedNormal;
+
+    fn family_member(lambda: f64, shared_alarm: &ProbExpr) -> SafetyModel {
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 5.0, 30.0).unwrap();
+        let t2 = space.parameter("t2", 5.0, 30.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let collision = Hazard::builder("collision")
+            .residual("rest", 1e-8)
+            .cut_set("ot1", [constant(1e-3).unwrap(), overtime(transit, t1)])
+            .cut_set(
+                "ot2",
+                [
+                    constant(1e-3).unwrap(),
+                    complement(overtime(transit, t1)),
+                    overtime(transit, t2),
+                ],
+            )
+            .build();
+        let alarm = Hazard::builder("alarm")
+            .cut_set("hv", [shared_alarm.clone(), exposure(lambda, t2)])
+            .build();
+        SafetyModel::new(space)
+            .hazard(collision, 100_000.0)
+            .hazard(alarm, 1.0)
+    }
+
+    fn family(n: usize) -> Vec<SafetyModel> {
+        let shared = constant(0.5).unwrap();
+        (0..n)
+            .map(|k| family_member(0.10 + 0.005 * k as f64, &shared))
+            .collect()
+    }
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut t1 = 5.0;
+        while t1 <= 30.0 {
+            pts.push(vec![t1, 35.0 - t1]);
+            t1 += 0.83;
+        }
+        pts
+    }
+
+    #[test]
+    fn fleet_matches_per_model_compilation_bitwise() {
+        let models = family(6);
+        let fleet = CompiledFleet::compile_with_threads(&models, 3).unwrap();
+        let points = grid_points();
+        let (costs, hazards) = fleet.cost_and_hazards_all(&points).unwrap();
+        for (k, model) in models.iter().enumerate() {
+            let compiled = CompiledModel::compile_with_threads(model, 1).unwrap();
+            let (mc, mh) = compiled.cost_and_hazards_batch(&points).unwrap();
+            let batch = fleet.model_cost_batch(k, &points).unwrap();
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(
+                    costs[i * 6 + k].to_bits(),
+                    mc[i].to_bits(),
+                    "cost of model {k} at {p:?}"
+                );
+                assert_eq!(batch[i].to_bits(), mc[i].to_bits());
+                let range = fleet.hazard_range(k);
+                let width = fleet.fleet().total_outputs();
+                for h in 0..2 {
+                    assert_eq!(
+                        hazards[i * width + range.start + h].to_bits(),
+                        mh[i * 2 + h].to_bits(),
+                        "hazard {h} of model {k} at {p:?}"
+                    );
+                }
+            }
+        }
+        // The collision subtree is shared by all six models.
+        assert!(fleet.sharing() > 0.4, "sharing = {}", fleet.sharing());
+    }
+
+    #[test]
+    fn fleet_objectives_match_compiled_objectives() {
+        let models = family(3);
+        let fleet = CompiledFleet::compile_with_threads(&models, 2).unwrap();
+        for (k, model) in models.iter().enumerate() {
+            let compiled = CompiledModel::compile_with_threads(model, 1).unwrap();
+            let single = compiled.objective(false);
+            let fo = fleet.model_objective(k, false);
+            for p in grid_points() {
+                assert_eq!(fo.eval(&p).to_bits(), single.eval(&p).to_bits());
+            }
+            // Wrong arity is infeasible, not a panic.
+            assert_eq!(fo.eval(&[1.0]), f64::INFINITY);
+            // Memoized twin caches revisits.
+            let memo = fleet.model_objective(k, true);
+            let a = memo.eval(&[19.0, 15.5]);
+            assert_eq!(a, memo.eval(&[19.0, 15.5]));
+            assert_eq!(memo.cache_stats(), (1, 1));
+            // Batch objective agrees pointwise.
+            let bo = fleet.model_batch_objective(k);
+            let pts = grid_points();
+            let mut out = Vec::new();
+            bo.eval_batch(&pts, &mut out);
+            for (p, &v) in pts.iter().zip(&out) {
+                assert_eq!(v.to_bits(), single.eval(p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn closure_failures_surface_as_infinity() {
+        let mut space = ParameterSpace::new();
+        space.parameter("t", 0.0, 1.0).unwrap();
+        let broken = Hazard::builder("h")
+            .cut_set("bad", [from_fn("broken", |_| 2.0)])
+            .build();
+        let model = SafetyModel::new(space).hazard(broken, 1.0);
+        let fleet = CompiledFleet::compile(std::slice::from_ref(&model)).unwrap();
+        let costs = fleet.costs_all(&[vec![0.5]]).unwrap();
+        assert!(costs[0].is_nan());
+        let obj = fleet.model_objective(0, false);
+        assert_eq!(obj.eval(&[0.5]), f64::INFINITY);
+    }
+
+    #[test]
+    fn partial_compilation_rolls_back_bad_models() {
+        let good = family(3);
+        let mut space = ParameterSpace::new();
+        space.parameter("t1", 5.0, 30.0).unwrap();
+        space.parameter("t2", 5.0, 30.0).unwrap();
+        let foreign = Hazard::builder("h")
+            .cut_set("ok", [constant(0.5).unwrap()])
+            .cut_set("bad", [exposure(0.1, crate::param::ParamId::new(7))])
+            .build();
+        let broken = SafetyModel::new(space).hazard(foreign, 1.0);
+        let models = vec![good[0].clone(), broken, good[1].clone(), good[2].clone()];
+
+        let (fleet, slots) = CompiledFleet::compile_partial(&models, 1);
+        let fleet = fleet.expect("three models compile");
+        assert_eq!(fleet.n_models(), 3);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].as_ref().unwrap(), &0);
+        assert!(matches!(
+            slots[1],
+            Err(SafeOptError::UnknownParameter { .. })
+        ));
+        assert_eq!(slots[2].as_ref().unwrap(), &1);
+        assert_eq!(slots[3].as_ref().unwrap(), &2);
+        // The rollback must not disturb the surviving models: still
+        // bit-identical to standalone compilation, with two hazards
+        // each.
+        for (model, slot) in [(&models[0], 0usize), (&models[2], 1), (&models[3], 2)] {
+            assert_eq!(fleet.n_hazards(slot), 2);
+            let compiled = CompiledModel::compile_with_threads(model, 1).unwrap();
+            for p in grid_points() {
+                let batch = fleet
+                    .model_cost_batch(slot, std::slice::from_ref(&p))
+                    .unwrap();
+                assert_eq!(batch[0].to_bits(), compiled.cost(&p).unwrap().to_bits());
+            }
+        }
+
+        // Nothing compiles: no fleet, every slot an error.
+        let (none, slots) = CompiledFleet::compile_partial(&models[1..2], 1);
+        assert!(none.is_none());
+        assert!(slots[0].is_err());
+        let (none, slots) = CompiledFleet::compile_partial(&[], 1);
+        assert!(none.is_none());
+        assert!(slots.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatches_are_detected() {
+        let mut models = family(2);
+        let mut space = ParameterSpace::new();
+        space.parameter("only", 0.0, 1.0).unwrap();
+        let h = Hazard::builder("h")
+            .cut_set("c", [constant(0.1).unwrap()])
+            .build();
+        models.push(SafetyModel::new(space).hazard(h, 1.0));
+        assert!(matches!(
+            CompiledFleet::compile(&models),
+            Err(SafeOptError::DimensionMismatch { .. })
+        ));
+
+        let fleet = CompiledFleet::compile(&family(2)).unwrap();
+        assert!(matches!(
+            fleet.costs_all(&[vec![1.0]]),
+            Err(SafeOptError::DimensionMismatch { .. })
+        ));
+        assert!(CompiledFleet::compile(&[]).is_err());
+    }
+}

@@ -86,6 +86,7 @@ compile_error!(
 
 pub mod compile;
 mod error;
+pub mod fleet;
 pub mod model;
 pub mod optimize;
 pub mod param;

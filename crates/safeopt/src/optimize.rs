@@ -15,7 +15,7 @@ use crate::param::ParameterPoint;
 use crate::Result;
 use safety_opt_optim::multistart::MultiStart;
 use safety_opt_optim::nelder_mead::NelderMead;
-use safety_opt_optim::{Minimizer, OptimizationOutcome};
+use safety_opt_optim::{BatchObjective, Minimizer, OptimizationOutcome};
 
 /// The result of a safety optimization run.
 #[derive(Debug, Clone)]
@@ -47,6 +47,21 @@ impl OptimalConfiguration {
     pub fn outcome(&self) -> &OptimizationOutcome {
         &self.outcome
     }
+
+    /// Post-processes a raw optimizer outcome into the front-end result
+    /// (scalar-path hazard probabilities at the optimum, named point) —
+    /// shared by every optimization driver so fleet-backed runs report
+    /// exactly like model-backed ones.
+    pub(crate) fn from_outcome(model: &SafetyModel, outcome: OptimizationOutcome) -> Result<Self> {
+        let hazard_probabilities = model.hazard_probabilities(&outcome.best_x)?;
+        let point = model.space_arc().point(outcome.best_x.clone())?;
+        Ok(Self {
+            point,
+            cost: outcome.best_value,
+            hazard_probabilities,
+            outcome,
+        })
+    }
 }
 
 impl std::fmt::Display for OptimalConfiguration {
@@ -77,6 +92,7 @@ impl std::fmt::Display for OptimalConfiguration {
 pub struct SafetyOptimizer<'m> {
     model: &'m SafetyModel,
     minimizer: Option<&'m dyn Minimizer>,
+    batch_objective: Option<&'m dyn BatchObjective>,
     starts: usize,
 }
 
@@ -87,6 +103,7 @@ impl<'m> SafetyOptimizer<'m> {
         Self {
             model,
             minimizer: None,
+            batch_objective: None,
             starts: 8,
         }
     }
@@ -94,6 +111,28 @@ impl<'m> SafetyOptimizer<'m> {
     /// Overrides the minimization algorithm.
     pub fn with_minimizer(mut self, minimizer: &'m dyn Minimizer) -> Self {
         self.minimizer = Some(minimizer);
+        self
+    }
+
+    /// Supplies a precompiled batch objective (e.g. one model of a
+    /// [`crate::fleet::CompiledFleet`]) instead of compiling the model
+    /// internally. The default multi-start Nelder–Mead strategy then
+    /// runs its restarts **in lockstep**, submitting every restart's
+    /// probes as one batch per round
+    /// ([`MultiStart::minimize_batch`]); a custom
+    /// [`with_minimizer`](Self::with_minimizer) takes precedence and
+    /// ignores this hook.
+    ///
+    /// The supplied objective must be pointwise-equal to the model's
+    /// compiled cost; trajectories then match an **uncached** run of
+    /// the internal path exactly. (The internal path additionally
+    /// memoizes through a [`safety_opt_engine::QuantizedCache`] whose
+    /// 1e-9 quantization is far below every optimizer tolerance; it can
+    /// only diverge if two *distinct* probe points collide within that
+    /// grid — the pinned-seed golden tests assert the two paths agree
+    /// bit-for-bit on the shipped workloads.)
+    pub fn with_batch_objective(mut self, objective: &'m dyn BatchObjective) -> Self {
+        self.batch_objective = Some(objective);
         self
     }
 
@@ -119,25 +158,26 @@ impl<'m> SafetyOptimizer<'m> {
     pub fn run(self) -> Result<OptimalConfiguration> {
         self.model.validate()?;
         let domain = self.model.space().domain()?;
-        let compiled = crate::compile::CompiledModel::compile(self.model)?;
-        let f = compiled.objective(true);
 
-        let outcome = match self.minimizer {
-            Some(m) => m.minimize(&f, &domain)?,
-            None => {
+        let outcome = match (self.minimizer, self.batch_objective) {
+            (Some(m), _) => {
+                let compiled = crate::compile::CompiledModel::compile(self.model)?;
+                let f = compiled.objective(true);
+                m.minimize(&f, &domain)?
+            }
+            (None, Some(batch)) => {
+                let ms = MultiStart::new(NelderMead::default(), self.starts);
+                ms.minimize_batch(batch, &domain)?
+            }
+            (None, None) => {
+                let compiled = crate::compile::CompiledModel::compile(self.model)?;
+                let f = compiled.objective(true);
                 let ms = MultiStart::new(NelderMead::default(), self.starts);
                 ms.minimize(&f, &domain)?
             }
         };
 
-        let hazard_probabilities = self.model.hazard_probabilities(&outcome.best_x)?;
-        let point = self.model.space_arc().point(outcome.best_x.clone())?;
-        Ok(OptimalConfiguration {
-            point,
-            cost: outcome.best_value,
-            hazard_probabilities,
-            outcome,
-        })
+        OptimalConfiguration::from_outcome(self.model, outcome)
     }
 }
 

@@ -42,13 +42,36 @@
 //! # }
 //! ```
 
-use crate::compile::CompiledModel;
+use crate::fleet::CompiledFleet;
 use crate::model::SafetyModel;
 use crate::optimize::SafetyOptimizer;
 use crate::{Result, SafeOptError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use safety_opt_stats::mc::RunningStats;
+
+/// Draws the whole Monte-Carlo batch of models up front — the shared
+/// structure of the sampled family then lowers and evaluates once
+/// through a fleet (see [`crate::fleet`]).
+fn sample_models<F>(sampler: &mut F, runs: usize, seed: u64) -> Result<Vec<SafetyModel>>
+where
+    F: FnMut(&mut StdRng) -> Result<SafetyModel>,
+{
+    if runs == 0 {
+        return Err(SafeOptError::Optim(
+            safety_opt_optim::OptimError::InvalidConfig {
+                option: "runs",
+                requirement: "must be >= 1",
+            },
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut models = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        models.push(sampler(&mut rng)?);
+    }
+    Ok(models)
+}
 
 /// Distribution of cost and hazard probabilities at a fixed configuration
 /// under model uncertainty.
@@ -84,31 +107,28 @@ pub fn propagate<F>(
 where
     F: FnMut(&mut StdRng) -> Result<SafetyModel>,
 {
-    if runs == 0 {
-        return Err(SafeOptError::Optim(
-            safety_opt_optim::OptimError::InvalidConfig {
-                option: "runs",
-                requirement: "must be >= 1",
-            },
-        ));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Fleet path: the whole Monte-Carlo batch compiles into one shared
+    // op arena (the sampled models differ only in a few constants, so
+    // most ops dedupe across models), and a single arena sweep at
+    // `point` evaluates every sample — bit-identical to compiling and
+    // evaluating each model's tape alone.
+    let models = sample_models(&mut sampler, runs, seed)?;
+    let fleet = CompiledFleet::compile(&models)?;
+    let (costs, flat) = fleet.cost_and_hazards_all(&[point.to_vec()])?;
     let mut cost = RunningStats::new();
     let mut hazards: Vec<RunningStats> = Vec::new();
-    let batch_point = vec![point.to_vec()];
-    for _ in 0..runs {
-        let model = sampler(&mut rng)?;
-        // Batch path: each sampled model is compiled once; lowering costs
-        // about as much as one scalar tree walk, and evaluation is a flat
-        // tape sweep.
-        let compiled = CompiledModel::compile(&model)?;
-        let (costs, flat) = compiled.cost_and_hazards_batch(&batch_point)?;
-        let (probs, cost_value) = if costs[0].is_finite() && flat.iter().all(|v| v.is_finite()) {
-            (flat, costs[0])
-        } else {
-            // Resolve closure failures to the scalar path's typed error.
-            (model.hazard_probabilities(point)?, model.cost(point)?)
-        };
+    for (k, model) in models.iter().enumerate() {
+        let range = fleet.hazard_range(k);
+        let model_probs = &flat[range];
+        let model_cost = costs[k];
+        let (probs, cost_value) =
+            if model_cost.is_finite() && model_probs.iter().all(|v| v.is_finite()) {
+                (model_probs.to_vec(), model_cost)
+            } else {
+                // Resolve closure failures to the scalar path's typed
+                // error.
+                (model.hazard_probabilities(point)?, model.cost(point)?)
+            };
         if hazards.is_empty() {
             hazards = vec![RunningStats::new(); probs.len()];
         } else if hazards.len() != probs.len() {
@@ -161,8 +181,8 @@ impl OptimumDistribution {
 ///
 /// # Errors
 ///
-/// Propagates sampler errors; requires `runs >= 1`. Optimizer failures on
-/// individual samples are tolerated (counted in
+/// Propagates sampler errors; requires `runs >= 1`. Compilation and
+/// optimizer failures on individual samples are tolerated (counted in
 /// [`OptimumDistribution::failures`]) as long as at least one sample
 /// optimizes successfully.
 pub fn optimize_under_uncertainty<F>(
@@ -173,22 +193,32 @@ pub fn optimize_under_uncertainty<F>(
 where
     F: FnMut(&mut StdRng) -> Result<SafetyModel>,
 {
-    if runs == 0 {
-        return Err(SafeOptError::Optim(
-            safety_opt_optim::OptimError::InvalidConfig {
-                option: "runs",
-                requirement: "must be >= 1",
-            },
-        ));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Fleet path: one shared-arena compilation for the whole batch
+    // (samples that fail to compile are rolled back and counted as
+    // failures, like every other per-sample fault); each sample's
+    // multi-start restarts then run in lockstep against its masked
+    // fleet objective, submitting every restart's probes as one batch
+    // per round (`MultiStart::minimize_batch`).
+    let models = sample_models(&mut sampler, runs, seed)?;
+    let (fleet, slots) =
+        CompiledFleet::compile_partial(&models, safety_opt_engine::default_threads());
     let mut arg_min: Vec<RunningStats> = Vec::new();
     let mut min_cost = RunningStats::new();
     let mut failures = 0usize;
     let mut last_error: Option<SafeOptError> = None;
-    for _ in 0..runs {
-        let model = sampler(&mut rng)?;
-        match SafetyOptimizer::new(&model).starts(4).run() {
+    for (model, slot) in models.iter().zip(slots) {
+        let result = match slot {
+            Ok(k) => {
+                let fleet = fleet.as_ref().expect("fleet exists when a model compiled");
+                let objective = fleet.model_batch_objective(k);
+                SafetyOptimizer::new(model)
+                    .starts(4)
+                    .with_batch_objective(&objective)
+                    .run()
+            }
+            Err(e) => Err(e),
+        };
+        match result {
             Ok(optimum) => {
                 let x = optimum.point().values();
                 if arg_min.is_empty() {
@@ -284,6 +314,54 @@ mod tests {
     }
 
     #[test]
+    fn uncompilable_samples_count_as_failures_not_hard_errors() {
+        // One sample references a parameter outside its space: its
+        // compilation fails, it is counted in `failures`, and the
+        // healthy samples still aggregate (the pre-fleet per-sample
+        // tolerance).
+        let mut k = 0usize;
+        let dist = optimize_under_uncertainty(
+            move |rng| {
+                k += 1;
+                if k == 2 {
+                    let mut space = ParameterSpace::new();
+                    space.parameter("t", 5.0, 30.0)?;
+                    let h = Hazard::builder("h")
+                        .cut_set("e", [exposure(0.1, crate::param::ParamId::new(9))])
+                        .build();
+                    Ok(SafetyModel::new(space).hazard(h, 1.0))
+                } else {
+                    sampled_model(rng)
+                }
+            },
+            5,
+            3,
+        )
+        .unwrap();
+        assert_eq!(dist.runs, 5);
+        assert_eq!(dist.failures, 1);
+        assert_eq!(dist.min_cost.count(), 4);
+
+        // All samples uncompilable: the last typed error surfaces.
+        let all_bad = optimize_under_uncertainty(
+            |_| {
+                let mut space = ParameterSpace::new();
+                space.parameter("t", 5.0, 30.0)?;
+                let h = Hazard::builder("h")
+                    .cut_set("e", [exposure(0.1, crate::param::ParamId::new(9))])
+                    .build();
+                Ok(SafetyModel::new(space).hazard(h, 1.0))
+            },
+            3,
+            3,
+        );
+        assert!(matches!(
+            all_bad,
+            Err(SafeOptError::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
     fn zero_runs_is_an_error() {
         assert!(propagate(sampled_model, &[12.0], 0, 1).is_err());
         assert!(optimize_under_uncertainty(sampled_model, 0, 1).is_err());
@@ -293,6 +371,101 @@ mod tests {
     fn sampler_errors_propagate() {
         let result = propagate(|_| Err(SafeOptError::EmptyModel), &[1.0], 5, 1);
         assert!(matches!(result, Err(SafeOptError::EmptyModel)));
+    }
+
+    /// A model whose opaque closure factor yields an invalid probability
+    /// past `t = 0.5` — the compiled tape turns that into NaN, the
+    /// scalar interpreter into a typed error.
+    fn poisoned_model(shift: f64) -> Result<SafetyModel> {
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 0.0, 1.0)?;
+        let good = Hazard::builder("good")
+            .cut_set("e", [exposure(0.5, t)])
+            .build();
+        let bad = Hazard::builder("bad")
+            .cut_set(
+                "c",
+                [crate::pprob::from_fn("poisoned", move |v| {
+                    let x = v.get(crate::param::ParamId::new(0)).unwrap_or(0.0);
+                    // Valid probability below the threshold, invalid
+                    // (> 1) above it.
+                    if x <= 0.5 {
+                        0.25 + shift
+                    } else {
+                        2.0
+                    }
+                })],
+            )
+            .build();
+        Ok(SafetyModel::new(space).hazard(good, 10.0).hazard(bad, 1.0))
+    }
+
+    #[test]
+    fn non_finite_tape_results_fall_back_to_the_scalar_paths_typed_error() {
+        // At t = 0.8 the closure produces 2.0: the tape evaluates the
+        // hazard to NaN, and the fallback branch must resolve that
+        // through the scalar interpreter's typed error instead of
+        // pushing NaN into the running statistics.
+        let result = propagate(|_| poisoned_model(0.0), &[0.8], 8, 3);
+        match result {
+            Err(SafeOptError::InvalidProbability { expression, value }) => {
+                assert_eq!(expression, "poisoned");
+                assert_eq!(value, 2.0);
+            }
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
+
+        // One poisoned sample inside an otherwise healthy batch still
+        // surfaces the typed error (never NaN statistics).
+        let mut k = 0usize;
+        let mixed = propagate(
+            move |_| {
+                k += 1;
+                if k == 3 {
+                    poisoned_model(0.0)
+                } else {
+                    let mut space = ParameterSpace::new();
+                    let t = space.parameter("t", 0.0, 1.0)?;
+                    let good = Hazard::builder("good")
+                        .cut_set("e", [exposure(0.5, t)])
+                        .build();
+                    let also = Hazard::builder("bad")
+                        .cut_set("c", [constant(0.25)?])
+                        .build();
+                    Ok(SafetyModel::new(space).hazard(good, 10.0).hazard(also, 1.0))
+                }
+            },
+            &[0.8],
+            5,
+            3,
+        );
+        assert!(matches!(
+            mixed,
+            Err(SafeOptError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_closures_propagate_without_the_fallback_distorting_stats() {
+        // Below the poison threshold the closure is a valid constant:
+        // the tape path is finite, the fallback never fires, and the
+        // statistics match the scalar interpreter exactly.
+        let report = propagate(|_| poisoned_model(0.0), &[0.3], 16, 3).unwrap();
+        assert_eq!(report.cost.count(), 16);
+        assert!(report.cost.mean().is_finite());
+        let model = poisoned_model(0.0).unwrap();
+        let scalar_probs = model.hazard_probabilities(&[0.3]).unwrap();
+        let scalar_cost = model.cost(&[0.3]).unwrap();
+        assert_eq!(
+            report.hazards[0].mean().to_bits(),
+            scalar_probs[0].to_bits()
+        );
+        assert_eq!(
+            report.hazards[1].mean().to_bits(),
+            scalar_probs[1].to_bits()
+        );
+        assert_eq!(report.cost.mean().to_bits(), scalar_cost.to_bits());
+        assert_eq!(report.hazards[1].sample_variance(), 0.0);
     }
 
     #[test]

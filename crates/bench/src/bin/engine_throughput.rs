@@ -2,8 +2,9 @@
 //! interpreter vs. the compiled op-tape vs. compiled + parallel batches,
 //! on the Elbtunnel cost function.
 //!
-//! Writes `BENCH_engine.json` at the workspace root as the performance
-//! baseline (CI runs this as a smoke test).
+//! Writes `BENCH_engine.json` at the workspace root in the shared
+//! [`safety_opt_bench::BenchReport`] schema, as the performance baseline
+//! (CI runs this as a smoke test).
 //!
 //! Run with: `cargo run --release -p safety_opt_bench --bin engine_throughput`
 //!
@@ -14,58 +15,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use safety_opt_bench::{bench_timestamp, measure, BenchReport};
 use safety_opt_core::compile::CompiledModel;
 use safety_opt_elbtunnel::analytic::ElbtunnelModel;
-use std::path::Path;
-use std::time::Instant;
 
 /// Points in the measurement working set.
 const N_POINTS: usize = 20_000;
-/// Minimum wall-clock per measured mode.
-const MIN_SECONDS: f64 = 0.6;
 /// Acceptance threshold: compiled+parallel vs. scalar points/sec.
 const TARGET_SPEEDUP: f64 = 5.0;
-
-struct Measurement {
-    label: &'static str,
-    points_per_sec: f64,
-    total_points: u64,
-    seconds: f64,
-}
-
-fn measure(label: &'static str, points: &[Vec<f64>], mut pass: impl FnMut() -> f64) -> Measurement {
-    // Warm-up pass (pages, caches, lazy init).
-    let mut checksum = pass();
-    let start = Instant::now();
-    let mut passes = 0u64;
-    // Throughput is the *best* pass: robust against transient background
-    // load (CI runners and the reference container share their core).
-    let mut best_pass_seconds = f64::INFINITY;
-    loop {
-        let pass_start = Instant::now();
-        checksum += pass();
-        best_pass_seconds = best_pass_seconds.min(pass_start.elapsed().as_secs_f64());
-        passes += 1;
-        if start.elapsed().as_secs_f64() >= MIN_SECONDS {
-            break;
-        }
-    }
-    let seconds = start.elapsed().as_secs_f64();
-    let total_points = passes * points.len() as u64;
-    let points_per_sec = points.len() as f64 / best_pass_seconds;
-    // Keep the checksum observable so the work cannot be optimized out.
-    assert!(checksum.is_finite());
-    println!(
-        "{label:<22} {points_per_sec:>12.0} points/sec   \
-         (best of {passes} passes, {total_points} points in {seconds:.2} s)"
-    );
-    Measurement {
-        label,
-        points_per_sec,
-        total_points,
-        seconds,
-    }
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enforce = std::env::args().any(|a| a == "--enforce");
@@ -100,25 +57,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("equivalence check     worst |scalar - compiled| = {worst:.2e}\n");
     assert!(worst <= 1e-12, "compiled path diverged from scalar");
 
-    let scalar = measure("scalar interpreter", &points, || {
-        let mut acc = 0.0;
-        for p in &points {
-            acc += model.cost(p).unwrap_or(f64::INFINITY);
-        }
-        acc
-    });
-    let compiled = measure("compiled tape", &points, || {
-        sequential
-            .cost_batch(&points)
-            .map(|v| v.iter().sum())
-            .unwrap_or(0.0)
-    });
-    let compiled_parallel = measure("compiled + parallel", &points, || {
-        parallel
-            .cost_batch(&points)
-            .map(|v| v.iter().sum())
-            .unwrap_or(0.0)
-    });
+    let scalar = measure(
+        "scalar_interpreter",
+        "scalar interpreter",
+        "points/sec",
+        N_POINTS,
+        || {
+            let mut acc = 0.0;
+            for p in &points {
+                acc += model.cost(p).unwrap_or(f64::INFINITY);
+            }
+            acc
+        },
+    );
+    let compiled = measure(
+        "compiled_tape",
+        "compiled tape",
+        "points/sec",
+        N_POINTS,
+        || {
+            sequential
+                .cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        },
+    );
+    let compiled_parallel = measure(
+        "compiled_parallel",
+        "compiled + parallel",
+        "points/sec",
+        N_POINTS,
+        || {
+            parallel
+                .cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        },
+    );
 
     let speedup_compiled = compiled.points_per_sec / scalar.points_per_sec;
     let speedup_parallel = compiled_parallel.points_per_sec / scalar.points_per_sec;
@@ -138,47 +113,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if pass { "PASS" } else { "FAIL" }
     );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"engine_throughput\",\n");
-    json.push_str("  \"model\": \"elbtunnel_paper\",\n");
-    json.push_str(&format!("  \"n_points\": {N_POINTS},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!(
-        "  \"tape_ops\": {},\n  \"worst_abs_deviation\": {worst:e},\n",
-        sequential.tape().n_ops()
-    ));
-    json.push_str("  \"modes\": {\n");
-    for (i, m) in [&scalar, &compiled, &compiled_parallel].iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {{ \"points_per_sec\": {:.1}, \"total_points\": {}, \"seconds\": {:.4} }}{}\n",
-            m.label.replace(' ', "_"),
-            m.points_per_sec,
-            m.total_points,
-            m.seconds,
-            if i < 2 { "," } else { "" }
-        ));
+    let timestamp = bench_timestamp();
+    let modes = [scalar, compiled, compiled_parallel];
+    BenchReport {
+        name: "engine_throughput",
+        workload: "elbtunnel_paper",
+        threads,
+        timestamp: &timestamp,
+        extras: vec![
+            ("n_points", N_POINTS.to_string()),
+            ("tape_ops", sequential.tape().n_ops().to_string()),
+            ("worst_abs_deviation", format!("{worst:e}")),
+        ],
+        modes: &modes,
+        speedups: vec![
+            ("compiled_vs_scalar", speedup_compiled),
+            ("compiled_parallel_vs_scalar", speedup_parallel),
+        ],
+        target: Some(("compiled_parallel_vs_scalar", TARGET_SPEEDUP)),
+        pass,
     }
-    json.push_str("  },\n");
-    json.push_str(&format!(
-        "  \"speedup_compiled_vs_scalar\": {speedup_compiled:.3},\n"
-    ));
-    json.push_str(&format!(
-        "  \"speedup_compiled_parallel_vs_scalar\": {speedup_parallel:.3},\n"
-    ));
-    json.push_str(&format!("  \"target_speedup\": {TARGET_SPEEDUP},\n"));
-    json.push_str(&format!("  \"pass\": {pass}\n"));
-    json.push_str("}\n");
-
-    // BENCH_engine.json lives at the workspace root (CARGO_MANIFEST_DIR =
-    // crates/bench, two levels down).
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists");
-    let path = root.join("BENCH_engine.json");
-    std::fs::write(&path, &json)?;
-    println!("\n[artifact] {}", path.display());
+    .write("engine");
 
     if !pass {
         eprintln!(

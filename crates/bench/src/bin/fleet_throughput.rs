@@ -3,10 +3,11 @@
 //! Elbtunnel **uncertainty workload** (a Monte-Carlo family of sampled
 //! models that differ only in the uncertain constants λ_HV and P(OHV)).
 //!
-//! Writes `BENCH_fleet.json` at the workspace root. The headline number
-//! is the **one-core** comparison: cross-model hash-consing alone must
-//! pay for itself (the shared collision subtree evaluates once per
-//! point for the whole fleet instead of once per model).
+//! Writes `BENCH_fleet.json` at the workspace root in the shared
+//! [`safety_opt_bench::BenchReport`] schema. The headline number is the
+//! **one-core** comparison: cross-model hash-consing alone must pay for
+//! itself (the shared collision subtree evaluates once per point for
+//! the whole fleet instead of once per model).
 //!
 //! Run with: `cargo run --release -p safety_opt_bench --bin fleet_throughput`
 //!
@@ -16,58 +17,17 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use safety_opt_bench::{bench_timestamp, measure, BenchReport};
 use safety_opt_core::compile::CompiledModel;
 use safety_opt_core::fleet::CompiledFleet;
 use safety_opt_core::model::SafetyModel;
 use safety_opt_elbtunnel::analytic::ElbtunnelModel;
-use std::path::Path;
 use std::time::Instant;
 
 /// Sampled models per Monte-Carlo batch.
 const N_MODELS: usize = 128;
 /// Evaluation points per pass.
 const N_POINTS: usize = 96;
-/// Minimum wall-clock per measured mode.
-const MIN_SECONDS: f64 = 0.6;
-
-struct Measurement {
-    model_points_per_sec: f64,
-    total_model_points: u64,
-    seconds: f64,
-}
-
-fn measure(label: &'static str, per_pass: usize, mut pass: impl FnMut() -> f64) -> Measurement {
-    // Warm-up pass (pages, caches, lazy init).
-    let mut checksum = pass();
-    let start = Instant::now();
-    let mut passes = 0u64;
-    // Throughput is the *best* pass: robust against transient background
-    // load (CI runners and the reference container share their core).
-    let mut best_pass_seconds = f64::INFINITY;
-    loop {
-        let pass_start = Instant::now();
-        checksum += pass();
-        best_pass_seconds = best_pass_seconds.min(pass_start.elapsed().as_secs_f64());
-        passes += 1;
-        if start.elapsed().as_secs_f64() >= MIN_SECONDS {
-            break;
-        }
-    }
-    let seconds = start.elapsed().as_secs_f64();
-    let total_model_points = passes * per_pass as u64;
-    let model_points_per_sec = per_pass as f64 / best_pass_seconds;
-    // Keep the checksum observable so the work cannot be optimized out.
-    assert!(checksum.is_finite());
-    println!(
-        "{label:<22} {model_points_per_sec:>12.0} model·points/sec   \
-         (best of {passes} passes, {total_model_points} model·points in {seconds:.2} s)"
-    );
-    Measurement {
-        model_points_per_sec,
-        total_model_points,
-        seconds,
-    }
-}
 
 /// The uncertainty family: the paper's calibrated model with λ_HV known
 /// to ±30 % and P(OHV) to ±25 %.
@@ -140,7 +100,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("equivalence check     fleet == per-model loop, 0 ULP\n");
 
-    let loop_mode = measure("per-model loop", per_pass, || {
+    let unit = "model-points/sec";
+    let loop_mode = measure("per_model_loop", "per-model loop", unit, per_pass, || {
         let mut acc = 0.0;
         for c in &compiled {
             acc += c
@@ -150,24 +111,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         acc
     });
-    let fleet_mode = measure("fleet (1 core)", per_pass, || {
+    let fleet_mode = measure("fleet_one_core", "fleet (1 core)", unit, per_pass, || {
         fleet
             .costs_all(&points)
             .map(|v| v.iter().sum())
             .unwrap_or(0.0)
     });
-    let fleet_par_mode = measure("fleet + parallel", per_pass, || {
+    let fleet_par_mode = measure("fleet_parallel", "fleet + parallel", unit, per_pass, || {
         fleet_parallel
             .costs_all(&points)
             .map(|v| v.iter().sum())
             .unwrap_or(0.0)
     });
 
-    let speedup = fleet_mode.model_points_per_sec / loop_mode.model_points_per_sec;
-    let speedup_par = fleet_par_mode.model_points_per_sec / loop_mode.model_points_per_sec;
-    let pass = speedup > 1.0;
+    let speedup = fleet_mode.points_per_sec / loop_mode.points_per_sec;
+    let speedup_par = fleet_par_mode.points_per_sec / loop_mode.points_per_sec;
+    let pass = speedup >= 1.0;
     println!();
-    println!("fleet vs per-model loop (1 core): {speedup:.2}x  (target > 1x)");
+    println!("fleet vs per-model loop (1 core): {speedup:.2}x  (target >= 1x)");
     println!("fleet + parallel vs loop        : {speedup_par:.2}x  ({threads} threads)");
     println!(
         "compile: per-model loop {:.1} ms, fleet {:.1} ms",
@@ -179,58 +140,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if pass { "PASS" } else { "FAIL" }
     );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"fleet_throughput\",\n");
-    json.push_str("  \"workload\": \"elbtunnel_uncertainty\",\n");
-    json.push_str(&format!(
-        "  \"n_models\": {N_MODELS},\n  \"n_points\": {N_POINTS},\n  \"threads\": {threads},\n"
-    ));
-    json.push_str(&format!(
-        "  \"arena_ops\": {},\n  \"per_model_ops\": {},\n  \"sharing\": {:.4},\n",
-        fleet.fleet().tape().n_ops(),
-        per_model_ops,
-        fleet.sharing()
-    ));
-    json.push_str(&format!(
-        "  \"compile_seconds\": {{ \"per_model_loop\": {per_model_compile_seconds:.5}, \"fleet\": {fleet_compile_seconds:.5} }},\n"
-    ));
-    json.push_str("  \"modes\": {\n");
-    for (i, (key, m)) in [
-        ("per_model_loop", &loop_mode),
-        ("fleet_one_core", &fleet_mode),
-        ("fleet_parallel", &fleet_par_mode),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        json.push_str(&format!(
-            "    \"{key}\": {{ \"model_points_per_sec\": {:.1}, \"total_model_points\": {}, \"seconds\": {:.4} }}{}\n",
-            m.model_points_per_sec,
-            m.total_model_points,
-            m.seconds,
-            if i < 2 { "," } else { "" }
-        ));
+    let timestamp = bench_timestamp();
+    let modes = [loop_mode, fleet_mode, fleet_par_mode];
+    BenchReport {
+        name: "fleet_throughput",
+        workload: "elbtunnel_uncertainty",
+        threads,
+        timestamp: &timestamp,
+        extras: vec![
+            ("n_models", N_MODELS.to_string()),
+            ("n_points", N_POINTS.to_string()),
+            ("arena_ops", fleet.fleet().tape().n_ops().to_string()),
+            ("per_model_ops", per_model_ops.to_string()),
+            ("sharing", format!("{:.4}", fleet.sharing())),
+            (
+                "compile_seconds",
+                format!(
+                    "{{ \"per_model_loop\": {per_model_compile_seconds:.5}, \"fleet\": {fleet_compile_seconds:.5} }}"
+                ),
+            ),
+        ],
+        modes: &modes,
+        speedups: vec![
+            ("fleet_vs_loop_one_core", speedup),
+            ("fleet_parallel_vs_loop", speedup_par),
+        ],
+        target: Some(("fleet_vs_loop_one_core", 1.0)),
+        pass,
     }
-    json.push_str("  },\n");
-    json.push_str(&format!(
-        "  \"speedup_fleet_vs_loop_one_core\": {speedup:.3},\n"
-    ));
-    json.push_str(&format!(
-        "  \"speedup_fleet_parallel_vs_loop\": {speedup_par:.3},\n"
-    ));
-    json.push_str(&format!("  \"pass\": {pass}\n"));
-    json.push_str("}\n");
-
-    // BENCH_fleet.json lives at the workspace root (CARGO_MANIFEST_DIR =
-    // crates/bench, two levels down).
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists");
-    let path = root.join("BENCH_fleet.json");
-    std::fs::write(&path, &json)?;
-    println!("\n[artifact] {}", path.display());
+    .write("fleet");
 
     if !pass {
         eprintln!(

@@ -1,0 +1,41 @@
+//! Offline stand-in for the `serde` 1.x API subset this workspace uses.
+//!
+//! The workspace renames this crate to `serde` (see the root
+//! `[workspace.dependencies]`), so the member crates' derive gates —
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` — resolve offline: the traits here are
+//! **markers** and the re-exported derives emit empty impls. Nothing in
+//! this workspace serializes at runtime yet; the gates exist so
+//! downstream users on crates.io serde get real derives from the exact
+//! same source. Swapping this stand-in for the real crate is a
+//! one-line manifest change (`serde = { version = "1", features =
+//! ["derive"] }`), after which the same derive attributes produce full
+//! serialization code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use safety_opt_serde_derive_compat::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+// The derive round trip (the macros emit paths under the `serde`
+// rename, which does not exist inside this crate) is exercised by the
+// root package's `tests/serde_feature.rs` under `--features serde`.
+#[cfg(test)]
+mod tests {
+    struct Manual;
+    impl crate::Serialize for Manual {}
+    impl<'de> crate::Deserialize<'de> for Manual {}
+
+    fn assert_impls<'de, T: crate::Serialize + crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn traits_are_implementable_markers() {
+        assert_impls::<Manual>();
+    }
+}

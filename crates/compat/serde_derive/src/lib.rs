@@ -1,0 +1,74 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` here emit the
+//! **marker-trait** impls of the `safety_opt_serde_compat` facade (which
+//! this workspace renames to `serde`), so the
+//! `cfg_attr(feature = "serde", derive(serde::Serialize, …))` gates in
+//! the member crates compile without a registry. Swapping the facade
+//! for crates.io `serde` turns the same derives into real
+//! serialization code with no source change.
+//!
+//! The parser is deliberately minimal — it extracts the type name of a
+//! non-generic `struct`/`enum`, which covers every derived type in this
+//! workspace — and reports anything else as a compile error rather than
+//! guessing.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the non-generic `struct`/`enum` the derive is
+/// attached to.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                return match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "the serde compat derive does not support generic type \
+                                     `{name}`; add generics support or use crates.io serde"
+                                ));
+                            }
+                        }
+                        Ok(name.to_string())
+                    }
+                    _ => Err("expected a type name after `struct`/`enum`".to_string()),
+                };
+            }
+            // Visibility and the like: keep scanning.
+            _ => {}
+        }
+    }
+    Err("the serde compat derive expects a struct or enum".to_string())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => make_impl(&name),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    }
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Marker-impl stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Marker-impl stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

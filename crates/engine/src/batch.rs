@@ -7,30 +7,41 @@
 //! written to its own output index, so batch results are **bit-identical
 //! for every thread count** (asserted by the equivalence property tests).
 //!
+//! Within a chunk, points run through the configured
+//! [`ExecBackend`]: the scalar point-at-a-time loop, or lane-blocked
+//! op-at-a-time SoA sweeps (see [`crate::exec`]) — also bit-identical by
+//! construction.
+//!
 //! Workers own their scratch buffers; steady-state evaluation performs no
 //! allocation beyond the output vectors.
 
+use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
 use crate::tape::Tape;
 
 /// Default number of points per work unit.
 const DEFAULT_CHUNK: usize = 256;
 
-/// Batch evaluator: a tape plus a parallelism configuration.
+/// Batch evaluator: a tape plus a parallelism + backend configuration.
 #[derive(Debug, Clone)]
 pub struct BatchEvaluator<'t> {
     tape: &'t Tape,
     threads: usize,
     chunk: usize,
+    backend: ExecBackend,
+    lanes: usize,
 }
 
 impl<'t> BatchEvaluator<'t> {
     /// Creates an evaluator over `tape` with `threads` workers
-    /// (`threads = 1` evaluates inline with zero spawn overhead).
+    /// (`threads = 1` evaluates inline with zero spawn overhead) and the
+    /// [`crate::default_backend`] execution backend.
     pub fn new(tape: &'t Tape, threads: usize) -> Self {
         Self {
             tape,
             threads: threads.max(1),
             chunk: DEFAULT_CHUNK,
+            backend: crate::default_backend(),
+            lanes: DEFAULT_LANES,
         }
     }
 
@@ -47,9 +58,29 @@ impl<'t> BatchEvaluator<'t> {
         self
     }
 
+    /// Overrides the execution backend (results are bit-identical for
+    /// every choice).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the SoA lane-block width, rounded down to the nearest
+    /// monomorphized width (1, 2, 4, 8, or 16; ignored by the scalar
+    /// backend; results are bit-identical for every width).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = supported_lanes(lanes);
+        self
+    }
+
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Configured execution backend.
+    pub fn exec_backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Evaluates the weighted cost at every point.
@@ -58,15 +89,9 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// Panics if any point's arity mismatches the tape.
     pub fn costs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> Vec<f64> {
-        let tape = self.tape;
-        let n_out = tape.n_outputs();
         let mut costs = vec![0.0; points.len()];
         if self.sequential(points.len()) {
-            let mut scratch = Vec::with_capacity(tape.scratch_len());
-            let mut hazards = vec![0.0; n_out];
-            for (p, c) in points.iter().zip(&mut costs) {
-                *c = tape.eval_into(p.as_ref(), &mut scratch, &mut hazards);
-            }
+            self.runner().run(points, &mut costs, None);
             return costs;
         }
         let assignments = round_robin(
@@ -76,12 +101,9 @@ impl<'t> BatchEvaluator<'t> {
         std::thread::scope(|scope| {
             for units in assignments {
                 scope.spawn(move || {
-                    let mut scratch = Vec::with_capacity(tape.scratch_len());
-                    let mut hazards = vec![0.0; n_out];
+                    let mut runner = self.runner();
                     for (pts, out) in units {
-                        for (p, c) in pts.iter().zip(out) {
-                            *c = tape.eval_into(p.as_ref(), &mut scratch, &mut hazards);
-                        }
+                        runner.run(pts, out, None);
                     }
                 });
             }
@@ -97,16 +119,12 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// Panics if any point's arity mismatches the tape.
     pub fn costs_and_outputs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> (Vec<f64>, Vec<f64>) {
-        let tape = self.tape;
-        let n_out = tape.n_outputs();
+        let n_out = self.tape.n_outputs();
         let mut costs = vec![0.0; points.len()];
         let mut outputs = vec![0.0; points.len() * n_out];
         let row = n_out.max(1);
         if self.sequential(points.len()) {
-            let mut scratch = Vec::with_capacity(tape.scratch_len());
-            for ((p, c), o) in points.iter().zip(&mut costs).zip(outputs.chunks_mut(row)) {
-                *c = tape.eval_into(p.as_ref(), &mut scratch, &mut o[..n_out]);
-            }
+            self.runner().run(points, &mut costs, Some(&mut outputs));
             return (costs, outputs);
         }
         let assignments = round_robin(
@@ -120,11 +138,9 @@ impl<'t> BatchEvaluator<'t> {
         std::thread::scope(|scope| {
             for units in assignments {
                 scope.spawn(move || {
-                    let mut scratch = Vec::with_capacity(tape.scratch_len());
+                    let mut runner = self.runner();
                     for (pts, out, rows) in units {
-                        for ((p, c), o) in pts.iter().zip(out).zip(rows.chunks_mut(row)) {
-                            *c = tape.eval_into(p.as_ref(), &mut scratch, &mut o[..n_out]);
-                        }
+                        runner.run(pts, out, Some(rows));
                     }
                 });
             }
@@ -134,6 +150,93 @@ impl<'t> BatchEvaluator<'t> {
 
     fn sequential(&self, n: usize) -> bool {
         self.threads == 1 || n <= self.chunk
+    }
+
+    fn runner(&self) -> TapeRunner<'t> {
+        TapeRunner::new(self.tape, self.backend, self.lanes)
+    }
+}
+
+/// Per-worker execution state: sweeps chunks of points through one
+/// backend, owning every scratch buffer (steady state allocates
+/// nothing). Shared by the sequential and worker paths.
+#[derive(Debug)]
+struct TapeRunner<'t> {
+    tape: &'t Tape,
+    backend: ExecBackend,
+    lanes: usize,
+    /// Scalar-path scratch ([`Tape::eval_into`]).
+    scratch: Vec<f64>,
+    /// One output row for costs-only evaluation.
+    out_row: Vec<f64>,
+    /// SoA register file.
+    file: LaneFile,
+    /// One lane block of output rows for costs-only SoA evaluation.
+    lane_rows: Vec<f64>,
+}
+
+impl<'t> TapeRunner<'t> {
+    fn new(tape: &'t Tape, backend: ExecBackend, lanes: usize) -> Self {
+        let n_out = tape.n_outputs();
+        let lanes = supported_lanes(lanes);
+        Self {
+            tape,
+            backend,
+            lanes,
+            scratch: Vec::with_capacity(tape.scratch_len()),
+            out_row: vec![0.0; n_out],
+            file: LaneFile::default(),
+            lane_rows: vec![0.0; n_out * lanes],
+        }
+    }
+
+    /// Evaluates `pts`, writing one cost per point and, when `rows` is
+    /// given, the point-major output rows (`pts.len() × n_outputs`).
+    fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], mut rows: Option<&mut [f64]>) {
+        let n_out = self.tape.n_outputs();
+        let start = if self.backend == ExecBackend::Soa {
+            dispatch_lanes!(self.lanes, L => {
+                self.run_blocks::<L, P>(pts, costs, rows.as_deref_mut())
+            })
+        } else {
+            0
+        };
+        // Scalar backend, and the SoA backend's ragged tail (fewer than
+        // `lanes` points remain).
+        for (i, p) in pts.iter().enumerate().skip(start) {
+            let out = match rows.as_deref_mut() {
+                Some(rows) => &mut rows[i * n_out..(i + 1) * n_out],
+                None => &mut self.out_row[..],
+            };
+            costs[i] = self.tape.eval_into(p.as_ref(), &mut self.scratch, out);
+        }
+    }
+
+    /// Sweeps every full `L`-wide block of `pts` op-at-a-time, returning
+    /// the number of points processed (the tail is the caller's).
+    fn run_blocks<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        pts: &[P],
+        costs: &mut [f64],
+        mut rows: Option<&mut [f64]>,
+    ) -> usize {
+        let n_out = self.tape.n_outputs();
+        let mut start = 0;
+        while start + L <= pts.len() {
+            let block = &pts[start..start + L];
+            self.file.load::<L, P>(self.tape, block);
+            for slot in 0..self.tape.n_ops() {
+                self.file.sweep_op::<L, P>(self.tape, slot, block);
+            }
+            let out = match rows.as_deref_mut() {
+                Some(rows) => &mut rows[start * n_out..(start + L) * n_out],
+                None => &mut self.lane_rows[..],
+            };
+            self.file
+                .read_outputs::<L>(self.tape, 0..n_out, &mut costs[start..start + L], out);
+            start += L;
+        }
+        start
     }
 }
 
@@ -217,11 +320,42 @@ mod tests {
     }
 
     #[test]
+    fn soa_backend_is_bit_identical_to_scalar() {
+        let tape = demo_tape();
+        let points = random_points(997, 4); // odd: exercises the tail
+        let scalar = BatchEvaluator::new(&tape, 1)
+            .backend(ExecBackend::Scalar)
+            .costs(&points);
+        let (scalar_c, scalar_o) = BatchEvaluator::new(&tape, 1)
+            .backend(ExecBackend::Scalar)
+            .costs_and_outputs(&points);
+        assert_eq!(scalar, scalar_c);
+        for lanes in [1, 4, 8, 5] {
+            for threads in [1, 3] {
+                let ev = BatchEvaluator::new(&tape, threads)
+                    .chunk_size(19)
+                    .backend(ExecBackend::Soa)
+                    .lanes(lanes);
+                assert_eq!(
+                    ev.costs(&points),
+                    scalar,
+                    "lanes {lanes}, {threads} threads"
+                );
+                let (c, o) = ev.costs_and_outputs(&points);
+                assert_eq!(c, scalar_c);
+                assert_eq!(o, scalar_o);
+            }
+        }
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let tape = demo_tape();
         let points: Vec<Vec<f64>> = Vec::new();
         assert!(BatchEvaluator::new(&tape, 4).costs(&points).is_empty());
         let (c, o) = BatchEvaluator::new(&tape, 4).costs_and_outputs(&points);
         assert!(c.is_empty() && o.is_empty());
+        let soa = BatchEvaluator::new(&tape, 1).backend(ExecBackend::Soa);
+        assert!(soa.costs(&points).is_empty());
     }
 }

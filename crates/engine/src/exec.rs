@@ -1,0 +1,360 @@
+//! Execution backends: point-at-a-time vs. lane-blocked SoA sweeps.
+//!
+//! The engine has two ways to evaluate a compiled [`Tape`] over a batch
+//! of points:
+//!
+//! * [`ExecBackend::Scalar`] — the original point-at-a-time loop: one
+//!   full tape sweep per point ([`Tape::eval_into`]).
+//! * [`ExecBackend::Soa`] — **op-at-a-time structure-of-arrays
+//!   sweeps**: the scratch becomes a lane-blocked register file
+//!   (`[n_regs × LANES]`, register-major), and each op processes a whole
+//!   block of points before the next op runs. The per-op dispatch
+//!   (enum match, argument-table walk, bounds checks) amortizes over the
+//!   block, and the lane loops are monomorphized over the block width so
+//!   the fused n-ary product/sum kernels compile to fully unrolled,
+//!   vectorizable straight-line code. Opaque [`Op::Closure`] ops and
+//!   ragged tail blocks (fewer points than the lane count remain) fall
+//!   back to the scalar path.
+//!
+//! Determinism contract: for every point the SoA sweep performs **the
+//! same floating-point operations in the same order** as the scalar
+//! sweep — per lane, products multiply in argument order, sums
+//! accumulate in argument order, and outputs reduce in declaration
+//! order — so results are **bit-identical** between backends, for every
+//! lane count, thread count, and chunk size (enforced by the
+//! `soa_equivalence` property suite).
+//!
+//! Backend selection: explicitly via the evaluator builders
+//! ([`crate::BatchEvaluator::backend`],
+//! [`crate::FleetEvaluator::backend`]), or globally via the
+//! `SAFETY_OPT_BACKEND` environment variable (see [`default_backend`]).
+
+use crate::tape::{Op, Reg, Tape, Value};
+use std::ops::Range;
+
+/// How a batch evaluator sweeps the tape (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Point-at-a-time: one full tape sweep per point.
+    #[default]
+    Scalar,
+    /// Op-at-a-time SoA: each op sweeps a lane block of points.
+    Soa,
+}
+
+/// Default lane-block width of the SoA backend (points per op sweep).
+pub const DEFAULT_LANES: usize = 16;
+
+/// Rounds a requested lane count down to the nearest monomorphized
+/// block width (1, 2, 4, 8, or 16 — the [`dispatch_lanes!`] arms).
+/// Results are bit-identical for every width — lanes are fully
+/// independent — so the rounding is purely a code-size/performance
+/// trade-off.
+pub(crate) fn supported_lanes(requested: usize) -> usize {
+    match requested {
+        0..=1 => 1,
+        2..=3 => 2,
+        4..=7 => 4,
+        8..=15 => 8,
+        _ => 16,
+    }
+}
+
+/// Expands `$body` with the const `$L` bound to the monomorphized lane
+/// width matching `$lanes` — the single list of supported widths shared
+/// by every block-sweep dispatch site. `$lanes` must come from
+/// [`supported_lanes`]; anything else is a bug and fails loudly rather
+/// than silently degrading to a narrower block.
+macro_rules! dispatch_lanes {
+    ($lanes:expr, $L:ident => $body:expr) => {
+        match $lanes {
+            16 => {
+                const $L: usize = 16;
+                $body
+            }
+            8 => {
+                const $L: usize = 8;
+                $body
+            }
+            4 => {
+                const $L: usize = 4;
+                $body
+            }
+            2 => {
+                const $L: usize = 2;
+                $body
+            }
+            1 => {
+                const $L: usize = 1;
+                $body
+            }
+            other => unreachable!("lane width {other} has no monomorphized block sweep"),
+        }
+    };
+}
+pub(crate) use dispatch_lanes;
+
+/// Backend used by evaluators that were not given one explicitly: the
+/// `SAFETY_OPT_BACKEND` environment variable when set (`"scalar"` or
+/// `"soa"`), [`ExecBackend::Scalar`] otherwise.
+///
+/// The override exists so CI can force the whole test suite through the
+/// SoA path without touching any call site; results are bit-identical
+/// either way. The variable is read **once per process** — evaluators
+/// are constructed per batch call inside optimizer loops, and the
+/// override is a process-level contract, not a per-call knob.
+///
+/// # Panics
+///
+/// Panics if `SAFETY_OPT_BACKEND` is set to anything but `"scalar"` or
+/// `"soa"` (case-insensitive). A forced backend exists precisely to pin
+/// which code path runs; silently falling back to the default would make
+/// a misconfiguration (a typo) undetectable, because results are
+/// bit-identical across backends by design — exactly the
+/// `SAFETY_OPT_THREADS` contract.
+pub fn default_backend() -> ExecBackend {
+    static DEFAULT: std::sync::OnceLock<ExecBackend> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_backend_override(std::env::var("SAFETY_OPT_BACKEND").ok().as_deref())
+            .unwrap_or(ExecBackend::Scalar)
+    })
+}
+
+/// Parses a `SAFETY_OPT_BACKEND` override: `None`/empty means "unset"
+/// (use the scalar default); anything else must name a backend.
+fn parse_backend_override(value: Option<&str>) -> Option<ExecBackend> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.to_ascii_lowercase().as_str() {
+        "scalar" => Some(ExecBackend::Scalar),
+        "soa" => Some(ExecBackend::Soa),
+        _ => panic!(
+            "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\", got {raw:?} \
+             (unset it to use the scalar default)"
+        ),
+    }
+}
+
+/// Lane-blocked SoA register file: register `r`'s value for lane `l`
+/// lives at `r * L + l`, inputs first, then one row per op — the
+/// structure-of-arrays transpose of [`Tape::eval_into`]'s scratch. All
+/// methods are monomorphized over the block width `L` so every lane
+/// loop has a compile-time trip count.
+#[derive(Debug, Default)]
+pub(crate) struct LaneFile {
+    regs: Vec<f64>,
+}
+
+impl LaneFile {
+    /// Loads a full block of `L` points into the input registers,
+    /// (re)sizing the file for `tape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the tape.
+    pub(crate) fn load<const L: usize, P: AsRef<[f64]>>(&mut self, tape: &Tape, points: &[P]) {
+        debug_assert_eq!(points.len(), L);
+        let want = tape.scratch_len() * L;
+        if self.regs.len() != want {
+            self.regs.clear();
+            self.regs.resize(want, 0.0);
+        }
+        for (lane, p) in points.iter().enumerate() {
+            let x = p.as_ref();
+            assert_eq!(x.len(), tape.n_inputs, "input arity mismatch");
+            for (i, &v) in x.iter().enumerate() {
+                self.regs[i * L + lane] = v;
+            }
+        }
+    }
+
+    /// Sweeps op `slot` across the whole lane block. `points` carries
+    /// the original input rows for the [`Op::Closure`] scalar fallback.
+    pub(crate) fn sweep_op<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        tape: &Tape,
+        slot: usize,
+        points: &[P],
+    ) {
+        let out_base = (tape.n_inputs + slot) * L;
+        // Ops only read registers of strictly earlier slots, so the
+        // split hands the compiler provably disjoint read/write slices.
+        let (prior, rest) = self.regs.split_at_mut(out_base);
+        let out: &mut [f64; L] = (&mut rest[..L]).try_into().expect("lane block");
+        let arg = |r: Reg| -> &[f64; L] {
+            prior[r.index() * L..r.index() * L + L]
+                .try_into()
+                .expect("lane block")
+        };
+        match &tape.ops[slot] {
+            Op::Exposure { rate, t } => {
+                let t = arg(*t);
+                // The window clamp and rate multiply vectorize; only the
+                // `exp_m1` calls stay scalar per lane.
+                let mut u = [0.0; L];
+                for l in 0..L {
+                    u[l] = -rate * t[l].max(0.0);
+                }
+                for l in 0..L {
+                    out[l] = -u[l].exp_m1();
+                }
+            }
+            Op::Overtime { sf, x } => {
+                sf.eval_block::<L>(arg(*x), out);
+            }
+            Op::Closure { f } => {
+                // Scalar fallback: opaque functions see one full input
+                // row at a time, exactly like the scalar backend.
+                for (o, p) in out.iter_mut().zip(points) {
+                    *o = f(p.as_ref());
+                }
+            }
+            Op::Complement { x } => {
+                let x = arg(*x);
+                for l in 0..L {
+                    out[l] = 1.0 - x[l];
+                }
+            }
+            Op::Scale { c, x } => {
+                let x = arg(*x);
+                for l in 0..L {
+                    out[l] = c * x[l];
+                }
+            }
+            Op::Product { c, args } => {
+                // Per lane the factors multiply in argument order — the
+                // scalar backend's exact sequence, loop-interchanged.
+                let mut acc = [*c; L];
+                for &r in tape.arg_slice(*args) {
+                    let v = arg(r);
+                    for l in 0..L {
+                        acc[l] *= v[l];
+                    }
+                }
+                *out = acc;
+            }
+            Op::SumClamp { bias, args } => {
+                let mut acc = [*bias; L];
+                for &r in tape.arg_slice(*args) {
+                    let v = arg(r);
+                    for l in 0..L {
+                        acc[l] += v[l];
+                    }
+                }
+                for l in 0..L {
+                    // Branch instead of f64::min so NaN propagates,
+                    // mirroring the scalar kernel.
+                    out[l] = if acc[l] > 1.0 { 1.0 } else { acc[l] };
+                }
+            }
+        }
+    }
+
+    /// Reads the declared outputs in `range` for every lane: `costs`
+    /// (length `L`) receives each lane's weighted sum accumulated in
+    /// declaration order — the scalar backend's exact reduction — and
+    /// `outputs` the point-major rows (`L × range.len()`).
+    pub(crate) fn read_outputs<const L: usize>(
+        &self,
+        tape: &Tape,
+        range: Range<usize>,
+        costs: &mut [f64],
+        outputs: &mut [f64],
+    ) {
+        costs[..L].fill(0.0);
+        let n_out = range.len();
+        self.read_outputs_strided::<L>(tape, range, n_out, 0, costs, outputs);
+    }
+
+    /// The lane reduction underneath [`read_outputs`](Self::read_outputs)
+    /// with an explicit output-row layout: lane `l`'s value for the
+    /// `j`-th output of `range` goes to
+    /// `outputs[l * row_stride + col_offset + j]`, and its weighted sum
+    /// **accumulates** into `costs[l]` in declaration order (callers
+    /// zero `costs` first). The fleet's all-models sweep uses this to
+    /// scatter each model's columns into the flat
+    /// [`crate::fleet::Fleet::total_outputs`]-wide row — one
+    /// implementation for every entry point, so the scalar reduction
+    /// contract lives in exactly one place.
+    pub(crate) fn read_outputs_strided<const L: usize>(
+        &self,
+        tape: &Tape,
+        range: Range<usize>,
+        row_stride: usize,
+        col_offset: usize,
+        costs: &mut [f64],
+        outputs: &mut [f64],
+    ) {
+        for (j, (value, w)) in tape.outputs[range.clone()]
+            .iter()
+            .zip(&tape.weights[range])
+            .enumerate()
+        {
+            let col = col_offset + j;
+            match value {
+                Value::Const(c) => {
+                    for lane in 0..L {
+                        outputs[lane * row_stride + col] = *c;
+                        costs[lane] += *c * *w;
+                    }
+                }
+                Value::Reg(r) => {
+                    let v: &[f64; L] = self.regs[r.index() * L..r.index() * L + L]
+                        .try_into()
+                        .expect("lane block");
+                    for lane in 0..L {
+                        outputs[lane * row_stride + col] = v[lane];
+                        costs[lane] += v[lane] * *w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_override_parses_known_backends() {
+        assert_eq!(parse_backend_override(None), None);
+        assert_eq!(parse_backend_override(Some("")), None);
+        assert_eq!(parse_backend_override(Some("  ")), None);
+        assert_eq!(
+            parse_backend_override(Some("scalar")),
+            Some(ExecBackend::Scalar)
+        );
+        assert_eq!(
+            parse_backend_override(Some(" soa ")),
+            Some(ExecBackend::Soa)
+        );
+        assert_eq!(parse_backend_override(Some("SoA")), Some(ExecBackend::Soa));
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\"")]
+    fn unknown_backend_is_rejected_loudly() {
+        parse_backend_override(Some("simd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\"")]
+    fn numeric_backend_is_rejected_loudly() {
+        parse_backend_override(Some("1"));
+    }
+
+    #[test]
+    fn lane_widths_round_down_to_supported_blocks() {
+        assert_eq!(supported_lanes(0), 1);
+        assert_eq!(supported_lanes(1), 1);
+        assert_eq!(supported_lanes(3), 2);
+        assert_eq!(supported_lanes(5), 4);
+        assert_eq!(supported_lanes(8), 8);
+        assert_eq!(supported_lanes(9), 8);
+        assert_eq!(supported_lanes(16), 16);
+        assert_eq!(supported_lanes(1000), 16);
+    }
+}

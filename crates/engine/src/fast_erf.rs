@@ -110,19 +110,101 @@ pub fn erfc(x: f64) -> f64 {
     }
 }
 
+/// `exp(−(i/16)²)` for `i = 0..=425` — the quantized leading factor of
+/// [`scaled_tail`], whose argument takes at most 426 distinct values
+/// for `y < 26.6`. Both `i/16` and its square are exactly representable
+/// in an `f64` (`i² ≤ 425² < 2⁵³`), so each entry is **bit-identical**
+/// to evaluating `(-ysq * ysq).exp()` inline; precomputing trades the
+/// hotter of the tail's two `exp` calls for a table load.
+fn exp_ysq_table() -> &'static [f64; 426] {
+    static TABLE: std::sync::OnceLock<[f64; 426]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0; 426];
+        for (i, v) in table.iter_mut().enumerate() {
+            let ysq = i as f64 / 16.0;
+            *v = (-ysq * ysq).exp();
+        }
+        table
+    })
+}
+
 /// Multiplies the rational tail by `exp(-y²)`, split Cody-style into an
-/// exact-square part and a small remainder to avoid cancellation.
+/// exact-square part (tabulated, see [`exp_ysq_table`]) and a small
+/// remainder to avoid cancellation. Callers guarantee `0 ≤ y < 26.6`.
 #[inline]
 fn scaled_tail(y: f64, rational: f64) -> f64 {
-    let ysq = (y * 16.0).trunc() / 16.0;
+    let i = (y * 16.0).trunc();
+    let ysq = i / 16.0;
     let del = (y - ysq) * (y + ysq);
-    (-ysq * ysq).exp() * (-del).exp() * rational
+    exp_ysq_table()[i as usize] * (-del).exp() * rational
 }
 
 /// Standard normal survival function `1 − Φ(z)` on the fast path.
 #[inline]
 pub fn std_normal_sf(z: f64) -> f64 {
     0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Lane-blocked twin of [`std_normal_sf`] for the SoA backend's
+/// op-at-a-time sweeps — **bit-identical** per lane to the scalar
+/// function.
+///
+/// The two rational regimes of [`erfc`] are evaluated *speculatively*
+/// for every lane in straight-line lane loops (the polynomials are
+/// pure, so computing the regime a lane does not take is unobservable),
+/// which turns the serial Horner recurrences into vectorizable code;
+/// the per-lane select and the `exp` tail stay scalar. Lanes outside
+/// both regimes (|x| ≤ 0.46875, the erfc-underflow tail, NaN) fall back
+/// to the scalar [`erfc`] wholesale.
+pub(crate) fn std_normal_sf_block<const L: usize>(z: &[f64; L], out: &mut [f64; L]) {
+    let mut x = [0.0; L];
+    let mut y = [0.0; L];
+    for l in 0..L {
+        x[l] = z[l] / std::f64::consts::SQRT_2;
+        y[l] = x[l].abs();
+    }
+    // Speculative middle regime (0.46875 < y ≤ 4): C/D rational.
+    let mut r_mid = [0.0; L];
+    for l in 0..L {
+        let yy = y[l];
+        let mut num = C[8] * yy;
+        let mut den = yy;
+        for i in 0..7 {
+            num = (num + C[i]) * yy;
+            den = (den + D[i]) * yy;
+        }
+        r_mid[l] = (num + C[7]) / (den + D[7]);
+    }
+    // Speculative asymptotic regime (4 < y < 26.6): P/Q rational in 1/y².
+    let mut r_far = [0.0; L];
+    for l in 0..L {
+        let zz = 1.0 / (y[l] * y[l]);
+        let mut num = P[5] * zz;
+        let mut den = zz;
+        for i in 0..4 {
+            num = (num + P[i]) * zz;
+            den = (den + Q[i]) * zz;
+        }
+        let r = zz * (num + P[4]) / (den + Q[4]);
+        r_far[l] = (SQRT_PI_INV - r) / y[l];
+    }
+    for l in 0..L {
+        let yy = y[l];
+        let e = if yy <= 0.46875 || yy >= 26.6 || yy.is_nan() {
+            // Small-argument regime, underflow tail, and NaN: the
+            // scalar path verbatim (rare for overtime sweeps).
+            erfc(x[l])
+        } else {
+            let rational = if yy <= 4.0 { r_mid[l] } else { r_far[l] };
+            let result = scaled_tail(yy, rational);
+            if x[l] < 0.0 {
+                2.0 - result
+            } else {
+                result
+            }
+        };
+        out[l] = 0.5 * e;
+    }
 }
 
 /// Standard normal cumulative distribution function on the fast path.

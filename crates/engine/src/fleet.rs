@@ -52,6 +52,7 @@
 //! ```
 
 use crate::batch::round_robin;
+use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
 use crate::tape::{Op, Tape, TapeBuilder, Value};
 use std::ops::Range;
 
@@ -321,22 +322,30 @@ const DEFAULT_CHUNK: usize = 256;
 /// [`crate::batch::BatchEvaluator`]: points are cut into fixed-length
 /// chunks assigned to workers round-robin, each point's results go to
 /// its own output indices, so results are bit-identical for every thread
-/// count.
+/// count. Within a chunk, points run through the configured
+/// [`ExecBackend`] — scalar per-point arena sweeps, or lane-blocked
+/// op-at-a-time SoA sweeps (see [`crate::exec`]) — also bit-identical by
+/// construction.
 #[derive(Debug, Clone)]
 pub struct FleetEvaluator<'f> {
     fleet: &'f Fleet,
     threads: usize,
     chunk: usize,
+    backend: ExecBackend,
+    lanes: usize,
 }
 
 impl<'f> FleetEvaluator<'f> {
     /// Creates an evaluator with `threads` workers (`threads = 1`
-    /// evaluates inline with zero spawn overhead).
+    /// evaluates inline with zero spawn overhead) and the
+    /// [`crate::default_backend`] execution backend.
     pub fn new(fleet: &'f Fleet, threads: usize) -> Self {
         Self {
             fleet,
             threads: threads.max(1),
             chunk: DEFAULT_CHUNK,
+            backend: crate::default_backend(),
+            lanes: DEFAULT_LANES,
         }
     }
 
@@ -351,9 +360,29 @@ impl<'f> FleetEvaluator<'f> {
         self
     }
 
+    /// Overrides the execution backend (results are bit-identical for
+    /// every choice).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the SoA lane-block width, rounded down to the nearest
+    /// monomorphized width (1, 2, 4, 8, or 16; ignored by the scalar
+    /// backend; results are bit-identical for every width).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = supported_lanes(lanes);
+        self
+    }
+
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Configured execution backend.
+    pub fn exec_backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Costs of **every model** at every point: point-major
@@ -405,17 +434,8 @@ impl<'f> FleetEvaluator<'f> {
             return (costs, outputs);
         }
         if self.sequential(points.len()) {
-            let mut scratch = Vec::new();
-            let mut out_buf = vec![0.0; width];
-            for (i, p) in points.iter().enumerate() {
-                let c = &mut costs[i * n_models..(i + 1) * n_models];
-                let o = if keep_outputs {
-                    &mut outputs[i * width..(i + 1) * width]
-                } else {
-                    &mut out_buf[..]
-                };
-                fleet.eval_all_into(p.as_ref(), &mut scratch, c, o);
-            }
+            self.runner()
+                .run_all(points, &mut costs, keep_outputs.then_some(&mut outputs[..]));
             return (costs, outputs);
         }
         /// One worker unit: a chunk of points, its cost rows, and (when
@@ -439,17 +459,9 @@ impl<'f> FleetEvaluator<'f> {
         std::thread::scope(|scope| {
             for worker_units in assignments {
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
-                    let mut out_buf = vec![0.0; width];
+                    let mut runner = self.runner();
                     for (pts, c_rows, o_rows) in worker_units {
-                        let mut o_rows = o_rows.map(|o| o.chunks_mut(width));
-                        for (p, c) in pts.iter().zip(c_rows.chunks_mut(n_models)) {
-                            let o = match o_rows.as_mut() {
-                                Some(rows) => rows.next().expect("one output row per point"),
-                                None => &mut out_buf[..],
-                            };
-                            fleet.eval_all_into(p.as_ref(), &mut scratch, c, o);
-                        }
+                        runner.run_all(pts, c_rows, o_rows);
                     }
                 });
             }
@@ -465,15 +477,9 @@ impl<'f> FleetEvaluator<'f> {
     ///
     /// Panics if any point's arity mismatches the fleet.
     pub fn model_costs<P: AsRef<[f64]> + Sync>(&self, model: usize, points: &[P]) -> Vec<f64> {
-        let fleet = self.fleet;
-        let n_out = fleet.n_outputs(model);
         let mut costs = vec![0.0; points.len()];
         if self.sequential(points.len()) {
-            let mut scratch = Vec::new();
-            let mut outputs = vec![0.0; n_out];
-            for (p, c) in points.iter().zip(&mut costs) {
-                *c = fleet.eval_model_into(model, p.as_ref(), &mut scratch, &mut outputs);
-            }
+            self.runner().run_model(model, points, &mut costs);
             return costs;
         }
         let assignments = round_robin(
@@ -483,17 +489,9 @@ impl<'f> FleetEvaluator<'f> {
         std::thread::scope(|scope| {
             for units in assignments {
                 scope.spawn(move || {
-                    let mut scratch = Vec::new();
-                    let mut outputs = vec![0.0; n_out];
+                    let mut runner = self.runner();
                     for (pts, out) in units {
-                        for (p, c) in pts.iter().zip(out) {
-                            *c = fleet.eval_model_into(
-                                model,
-                                p.as_ref(),
-                                &mut scratch,
-                                &mut outputs,
-                            );
-                        }
+                        runner.run_model(model, pts, out);
                     }
                 });
             }
@@ -503,6 +501,172 @@ impl<'f> FleetEvaluator<'f> {
 
     fn sequential(&self, n: usize) -> bool {
         self.threads == 1 || n <= self.chunk
+    }
+
+    fn runner(&self) -> FleetRunner<'f> {
+        FleetRunner::new(self.fleet, self.backend, self.lanes)
+    }
+}
+
+/// Per-worker fleet execution state: sweeps chunks of points through one
+/// backend, owning every scratch buffer (steady state allocates
+/// nothing).
+#[derive(Debug)]
+struct FleetRunner<'f> {
+    fleet: &'f Fleet,
+    backend: ExecBackend,
+    lanes: usize,
+    /// Scalar-path arena scratch.
+    scratch: Vec<f64>,
+    /// One all-models output row for costs-only scalar evaluation, one
+    /// per-model output row for masked scalar evaluation.
+    out_row: Vec<f64>,
+    /// SoA register file over the arena.
+    file: LaneFile,
+    /// One lane block of output rows for costs-only SoA evaluation.
+    lane_rows: Vec<f64>,
+    /// One lane block of per-model costs for masked SoA evaluation.
+    lane_costs: Vec<f64>,
+}
+
+impl<'f> FleetRunner<'f> {
+    fn new(fleet: &'f Fleet, backend: ExecBackend, lanes: usize) -> Self {
+        let lanes = supported_lanes(lanes);
+        Self {
+            fleet,
+            backend,
+            lanes,
+            scratch: Vec::new(),
+            out_row: vec![0.0; fleet.total_outputs()],
+            file: LaneFile::default(),
+            lane_rows: vec![0.0; fleet.total_outputs() * lanes],
+            lane_costs: vec![0.0; lanes],
+        }
+    }
+
+    /// Evaluates every model at every point of `pts`: `costs` point-major
+    /// (`pts.len() × n_models`), `rows` (when given) point-major
+    /// (`pts.len() × total_outputs`).
+    fn run_all<P: AsRef<[f64]>>(
+        &mut self,
+        pts: &[P],
+        costs: &mut [f64],
+        mut rows: Option<&mut [f64]>,
+    ) {
+        let fleet = self.fleet;
+        let n_models = fleet.n_models();
+        let width = fleet.total_outputs();
+        let start = if self.backend == ExecBackend::Soa {
+            dispatch_lanes!(self.lanes, L => {
+                self.run_all_blocks::<L, P>(pts, costs, rows.as_deref_mut())
+            })
+        } else {
+            0
+        };
+        // Scalar backend, and the SoA backend's ragged tail.
+        for (i, p) in pts.iter().enumerate().skip(start) {
+            let c = &mut costs[i * n_models..(i + 1) * n_models];
+            let o = match rows.as_deref_mut() {
+                Some(rows) => &mut rows[i * width..(i + 1) * width],
+                None => &mut self.out_row[..],
+            };
+            fleet.eval_all_into(p.as_ref(), &mut self.scratch, c, o);
+        }
+    }
+
+    /// Sweeps every full `L`-wide block of `pts` through the whole
+    /// arena, returning the number of points processed.
+    fn run_all_blocks<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        pts: &[P],
+        costs: &mut [f64],
+        mut rows: Option<&mut [f64]>,
+    ) -> usize {
+        let fleet = self.fleet;
+        let n_models = fleet.n_models();
+        let width = fleet.total_outputs();
+        let mut start = 0;
+        while start + L <= pts.len() {
+            let block = &pts[start..start + L];
+            self.file.load::<L, P>(&fleet.tape, block);
+            for slot in 0..fleet.tape.n_ops() {
+                self.file.sweep_op::<L, P>(&fleet.tape, slot, block);
+            }
+            let out = match rows.as_deref_mut() {
+                Some(rows) => &mut rows[start * width..(start + L) * width],
+                None => &mut self.lane_rows[..],
+            };
+            // Per lane, models read their output ranges in model order —
+            // the scalar `eval_all_into` reduction exactly. Each model's
+            // columns scatter into the flat width-strided output row.
+            for model in 0..n_models {
+                let range = fleet.output_range(model);
+                self.lane_costs.fill(0.0);
+                self.file.read_outputs_strided::<L>(
+                    &fleet.tape,
+                    range.clone(),
+                    width,
+                    range.start,
+                    &mut self.lane_costs,
+                    out,
+                );
+                for lane in 0..L {
+                    costs[(start + lane) * n_models + model] = self.lane_costs[lane];
+                }
+            }
+            start += L;
+        }
+        start
+    }
+
+    /// Evaluates one model at every point of `pts` through its
+    /// reachability mask, writing one cost per point.
+    fn run_model<P: AsRef<[f64]>>(&mut self, model: usize, pts: &[P], costs: &mut [f64]) {
+        let start = if self.backend == ExecBackend::Soa {
+            dispatch_lanes!(self.lanes, L => self.run_model_blocks::<L, P>(model, pts, costs))
+        } else {
+            0
+        };
+        let fleet = self.fleet;
+        let n_out = fleet.n_outputs(model);
+        for (p, c) in pts.iter().zip(costs.iter_mut()).skip(start) {
+            *c = fleet.eval_model_into(
+                model,
+                p.as_ref(),
+                &mut self.scratch,
+                &mut self.out_row[..n_out],
+            );
+        }
+    }
+
+    /// Sweeps every full `L`-wide block of `pts` through one model's
+    /// reachability mask, returning the number of points processed.
+    fn run_model_blocks<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        model: usize,
+        pts: &[P],
+        costs: &mut [f64],
+    ) -> usize {
+        let fleet = self.fleet;
+        let range = fleet.output_range(model);
+        let n_out = range.len();
+        let mut start = 0;
+        while start + L <= pts.len() {
+            let block = &pts[start..start + L];
+            self.file.load::<L, P>(&fleet.tape, block);
+            for &slot in fleet.masks[model].iter() {
+                self.file
+                    .sweep_op::<L, P>(&fleet.tape, slot as usize, block);
+            }
+            self.file.read_outputs::<L>(
+                &fleet.tape,
+                range.clone(),
+                &mut costs[start..start + L],
+                &mut self.lane_rows[..L * n_out],
+            );
+            start += L;
+        }
+        start
     }
 }
 
@@ -624,6 +788,33 @@ mod tests {
                 let mc = ev.model_costs(model, &pts);
                 for (i, &v) in mc.iter().enumerate() {
                     assert_eq!(v.to_bits(), reference[i * 3 + model].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_backend_is_bit_identical_to_scalar() {
+        let (fleet, _) = family(3);
+        let pts = points(701, 5); // odd: exercises the ragged tail
+        let scalar = FleetEvaluator::new(&fleet, 1)
+            .backend(ExecBackend::Scalar)
+            .costs_and_outputs_all(&pts);
+        for lanes in [1, 4, 8, 5] {
+            for threads in [1, 2] {
+                let ev = FleetEvaluator::new(&fleet, threads)
+                    .chunk_size(23)
+                    .backend(ExecBackend::Soa)
+                    .lanes(lanes);
+                let (c, o) = ev.costs_and_outputs_all(&pts);
+                assert_eq!(c, scalar.0, "costs, lanes {lanes}, {threads} threads");
+                assert_eq!(o, scalar.1, "outputs, lanes {lanes}, {threads} threads");
+                assert_eq!(ev.costs_all(&pts), scalar.0);
+                for model in 0..3 {
+                    let mc = ev.model_costs(model, &pts);
+                    for (i, &v) in mc.iter().enumerate() {
+                        assert_eq!(v.to_bits(), scalar.0[i * 3 + model].to_bits());
+                    }
                 }
             }
         }

@@ -21,6 +21,12 @@
 //! 3. **Batch evaluation** ([`batch::BatchEvaluator`]) — shards point
 //!    batches across a `std::thread` scoped pool with deterministic
 //!    chunking; results are bit-identical for every thread count.
+//!    Within a chunk the sweep runs on a pluggable [`exec::ExecBackend`]:
+//!    the scalar point-at-a-time loop, or lane-blocked **op-at-a-time
+//!    SoA sweeps** (`SAFETY_OPT_BACKEND=soa`) that amortize op dispatch
+//!    over a whole block of points and expose the fused n-ary kernels to
+//!    the vectorizer — bit-identical to the scalar backend by
+//!    construction.
 //! 4. **Model fleets** ([`fleet::Fleet`]) — whole families of
 //!    structurally similar models (Monte-Carlo samples, traffic
 //!    scenarios) compile into one shared op arena with hash-consing
@@ -34,9 +40,12 @@
 //! Run `cargo run --release -p safety_opt_bench --bin engine_throughput`
 //! for points/sec of the scalar interpreter vs. the compiled tape vs.
 //! compiled + parallel on the Elbtunnel model (written to
-//! `BENCH_engine.json`), and `... --bin fleet_throughput` for
+//! `BENCH_engine.json`), `... --bin fleet_throughput` for
 //! models·points/sec of the per-model loop vs. the fleet on the
-//! Elbtunnel uncertainty workload (written to `BENCH_fleet.json`).
+//! Elbtunnel uncertainty workload (written to `BENCH_fleet.json`), and
+//! `... --bin soa_throughput` for points/sec of the scalar vs. SoA
+//! execution backends on the Elbtunnel surface grid (written to
+//! `BENCH_soa.json`).
 
 // Special-function coefficients are transcribed at full published
 // precision; the extra digits are intentional.
@@ -47,12 +56,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod exec;
 pub mod fast_erf;
 pub mod fleet;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
 pub use cache::QuantizedCache;
+pub use exec::{default_backend, ExecBackend};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use tape::{Op, Tape, TapeBuilder, TruncNormSf, Value};
 

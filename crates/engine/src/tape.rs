@@ -91,6 +91,34 @@ impl TruncNormSf {
         }
     }
 
+    /// Lane-blocked twin of [`eval`](Self::eval) for the SoA backend:
+    /// per lane the in-range arithmetic is **exactly** [`eval`]'s
+    /// sequence (bit-identical results), but the normalization
+    /// (subtract, divide, clamp) is hoisted out of the scalar
+    /// `std_normal_sf` loop into its own lane loop so it vectorizes.
+    /// Out-of-range lanes are computed speculatively and overwritten by
+    /// the fixup pass ([`std_normal_sf`](fast_erf::std_normal_sf) is
+    /// pure, so the speculation is unobservable).
+    #[inline]
+    pub(crate) fn eval_block<const L: usize>(&self, x: &[f64; L], out: &mut [f64; L]) {
+        let mut z = [0.0; L];
+        for l in 0..L {
+            z[l] = (x[l] - self.mu) / self.sigma;
+        }
+        let mut sf = [0.0; L];
+        fast_erf::std_normal_sf_block::<L>(&z, &mut sf);
+        for l in 0..L {
+            out[l] = ((sf[l] - self.sf_beta) / self.mass).clamp(0.0, 1.0);
+        }
+        for l in 0..L {
+            if x[l] <= self.lower {
+                out[l] = 1.0;
+            } else if x[l] >= self.upper {
+                out[l] = 0.0;
+            }
+        }
+    }
+
     fn key(&self) -> [u64; 4] {
         [
             self.mu.to_bits(),

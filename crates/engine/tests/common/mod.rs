@@ -1,0 +1,207 @@
+//! Shared adversarial-model machinery for the engine's equivalence
+//! property suites (`fleet_equivalence`, `soa_equivalence`): random
+//! model families — shared hazard structure, per-model perturbed
+//! constants, NaN-producing opaque closures — compiled both as one
+//! fleet and as standalone per-model tapes.
+
+#![allow(dead_code)] // each test crate uses a different subset
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_engine::fleet::{Fleet, FleetBuilder};
+use safety_opt_engine::tape::{ClosureFn, Tape, TapeBuilder, Value};
+use safety_opt_stats::dist::TruncatedNormal;
+use std::sync::Arc;
+
+/// Input arity of every generated model.
+pub const DIM: usize = 3;
+
+/// One probability factor of the family template. `vary: true` marks
+/// the constants that differ between the family's sampled models —
+/// everything else hash-conses across the whole fleet.
+#[derive(Debug, Clone)]
+pub enum FactorSpec {
+    Constant {
+        base: f64,
+        vary: bool,
+    },
+    Exposure {
+        rate: f64,
+        vary: bool,
+        input: usize,
+    },
+    Overtime {
+        mu: f64,
+        sigma: f64,
+        input: usize,
+    },
+    Complement(Box<FactorSpec>),
+    Scaled(f64, Box<FactorSpec>),
+    Product(Vec<FactorSpec>),
+    Sum(Vec<FactorSpec>),
+    /// Opaque closure over the full point; `slot` is its per-model
+    /// dedup identity, `poison` makes it return NaN past a threshold
+    /// (the evaluation-failure path).
+    Closure {
+        slot: usize,
+        coeff: f64,
+        vary: bool,
+        poison: bool,
+    },
+}
+
+/// A family: shared hazard structure, per-model constant perturbations.
+#[derive(Debug, Clone)]
+pub struct FamilySpec {
+    /// hazards → cut sets → factors, with one weight per hazard.
+    pub hazards: Vec<(Vec<Vec<FactorSpec>>, f64)>,
+    pub n_models: usize,
+}
+
+/// Deterministic per-model perturbation of a varying constant.
+pub fn perturb(base: f64, vary: bool, model: usize) -> f64 {
+    if vary {
+        base * (1.0 + 0.03 * (model as f64 + 1.0))
+    } else {
+        base
+    }
+}
+
+pub fn closure_fn(coeff: f64, poison: bool) -> ClosureFn {
+    Arc::new(move |xs: &[f64]| {
+        let v = (coeff * xs[0]).rem_euclid(1.0);
+        if poison && xs[0] > 30.0 {
+            f64::NAN
+        } else {
+            v
+        }
+    })
+}
+
+/// Lowers one factor of model `model` into `b`, mirroring the shapes
+/// the safety-model compiler produces.
+pub fn lower_factor(b: &mut TapeBuilder, spec: &FactorSpec, model: usize) -> Value {
+    match spec {
+        FactorSpec::Constant { base, vary } => b.constant(perturb(*base, *vary, model)),
+        FactorSpec::Exposure { rate, vary, input } => {
+            let t = b.input(*input);
+            b.exposure(perturb(*rate, *vary, model), t)
+        }
+        FactorSpec::Overtime { mu, sigma, input } => {
+            let d = TruncatedNormal::lower_bounded(*mu, *sigma, 0.0).unwrap();
+            let x = b.input(*input);
+            b.overtime(&d, x)
+        }
+        FactorSpec::Complement(inner) => {
+            let v = lower_factor(b, inner, model);
+            b.complement(v)
+        }
+        FactorSpec::Scaled(c, inner) => {
+            let v = lower_factor(b, inner, model);
+            b.scale(*c, v)
+        }
+        FactorSpec::Product(terms) => {
+            let vs: Vec<Value> = terms.iter().map(|t| lower_factor(b, t, model)).collect();
+            b.product(vs)
+        }
+        FactorSpec::Sum(terms) => {
+            let vs: Vec<Value> = terms.iter().map(|t| lower_factor(b, t, model)).collect();
+            b.sum_clamped(0.0, vs)
+        }
+        FactorSpec::Closure {
+            slot,
+            coeff,
+            vary,
+            poison,
+        } => {
+            // Identity is per (model, slot), exactly like the real
+            // compiler's expression-node pointers: clones within one
+            // model dedupe, models never share closures.
+            let c = perturb(*coeff, *vary, model);
+            b.closure(model * 10_000 + slot, closure_fn(c, *poison))
+        }
+    }
+}
+
+pub fn lower_model(b: &mut TapeBuilder, spec: &FamilySpec, model: usize) {
+    for (cut_sets, weight) in &spec.hazards {
+        let cs: Vec<Value> = cut_sets
+            .iter()
+            .map(|factors| {
+                let fs: Vec<Value> = factors.iter().map(|f| lower_factor(b, f, model)).collect();
+                b.product(fs)
+            })
+            .collect();
+        let hazard = b.sum_clamped(0.0, cs);
+        b.output(hazard, *weight);
+    }
+}
+
+/// Compiles the family both ways: one fleet, and one tape per model.
+pub fn compile_family(spec: &FamilySpec) -> (Fleet, Vec<Tape>) {
+    let mut fb = FleetBuilder::new(DIM);
+    let mut tapes = Vec::with_capacity(spec.n_models);
+    for model in 0..spec.n_models {
+        lower_model(fb.lowerer(), spec, model);
+        fb.finish_model();
+        let mut sb = TapeBuilder::new(DIM);
+        lower_model(&mut sb, spec, model);
+        tapes.push(sb.build());
+    }
+    (fb.build(), tapes)
+}
+
+pub fn factor_strategy() -> impl Strategy<Value = FactorSpec> {
+    let leaf = prop_oneof![
+        (0.0f64..=1.0, any::<bool>()).prop_map(|(base, vary)| FactorSpec::Constant { base, vary }),
+        (0.001f64..2.0, any::<bool>(), 0usize..DIM)
+            .prop_map(|(rate, vary, input)| FactorSpec::Exposure { rate, vary, input }),
+        ((0.5f64..20.0, 0.1f64..5.0), 0usize..DIM)
+            .prop_map(|((mu, sigma), input)| FactorSpec::Overtime { mu, sigma, input }),
+        (0usize..4, 0.1f64..3.0, any::<bool>(), any::<bool>()).prop_map(
+            |(slot, coeff, vary, poison)| FactorSpec::Closure {
+                slot,
+                coeff,
+                vary,
+                poison
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner
+                .clone()
+                .prop_map(|f| FactorSpec::Complement(Box::new(f))),
+            (0.0f64..=1.0, inner.clone()).prop_map(|(c, f)| FactorSpec::Scaled(c, Box::new(f))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Product),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Sum),
+        ]
+    })
+}
+
+pub fn family_strategy() -> impl Strategy<Value = FamilySpec> {
+    (
+        prop::collection::vec(
+            (
+                prop::collection::vec(prop::collection::vec(factor_strategy(), 1..4), 1..4),
+                0.0f64..1e6,
+            ),
+            1..4,
+        ),
+        2usize..7,
+    )
+        .prop_map(|(hazards, n_models)| FamilySpec { hazards, n_models })
+}
+
+pub fn random_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>() * 40.0).collect())
+        .collect()
+}
+
+/// Bit view of a float slice: NaN-safe exact comparison.
+pub fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

@@ -48,17 +48,6 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-// The `serde` feature is wired but is a placeholder until a registry
-// mirror is reachable: fail loudly with instructions instead of letting
-// the cfg_attr derives hit an unresolved `serde::` path.
-#[cfg(feature = "serde")]
-compile_error!(
-    "the `serde` feature is a placeholder in this offline build: add \
-     `serde = { version = \"1\", features = [\"derive\"], optional = true }` \
-     to this crate's [dependencies], change the feature to \
-     `serde = [\"dep:serde\"]`, and remove this guard"
-);
-
 pub mod anneal;
 pub mod brent;
 pub mod de;

@@ -25,7 +25,7 @@ use crate::model::SafetyModel;
 use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
-use safety_opt_engine::{BatchEvaluator, QuantizedCache, Tape, TapeBuilder, Value};
+use safety_opt_engine::{BatchEvaluator, ExecBackend, QuantizedCache, Tape, TapeBuilder, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,12 +33,16 @@ use std::sync::Arc;
 /// A safety model compiled to an engine tape.
 ///
 /// Cheap to clone (the tape is shared). Thread-safe: batch methods shard
-/// across a scoped worker pool sized by `threads`.
+/// across a scoped worker pool sized by `threads` and sweep each chunk
+/// on the configured execution backend (the `SAFETY_OPT_BACKEND` env
+/// default, or [`with_backend`](Self::with_backend)); results are
+/// bit-identical for every thread count and backend.
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
     tape: Arc<Tape>,
     space: Arc<ParameterSpace>,
     threads: usize,
+    backend: ExecBackend,
 }
 
 impl CompiledModel {
@@ -78,7 +82,20 @@ impl CompiledModel {
             tape: Arc::new(builder.build()),
             space,
             threads: threads.max(1),
+            backend: safety_opt_engine::default_backend(),
         })
+    }
+
+    /// Overrides the execution backend for every batch entry point
+    /// (results are bit-identical for every choice).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Configured execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// The underlying tape.
@@ -135,7 +152,7 @@ impl CompiledModel {
         for p in points {
             self.check_dim(p.len())?;
         }
-        Ok(BatchEvaluator::new(&self.tape, self.threads).costs(points))
+        Ok(self.evaluator().costs(points))
     }
 
     /// Costs **and** hazard probabilities for a batch of points
@@ -148,7 +165,12 @@ impl CompiledModel {
         for p in points {
             self.check_dim(p.len())?;
         }
-        Ok(BatchEvaluator::new(&self.tape, self.threads).costs_and_outputs(points))
+        Ok(self.evaluator().costs_and_outputs(points))
+    }
+
+    /// The batch evaluator every batch entry point routes through.
+    fn evaluator(&self) -> BatchEvaluator<'_> {
+        BatchEvaluator::new(&self.tape, self.threads).backend(self.backend)
     }
 
     /// The compiled cost as a scalar optimization objective with an
@@ -212,7 +234,7 @@ impl safety_opt_optim::Objective for CompiledObjective {
 /// parallel tape sweep per generation.
 impl safety_opt_optim::BatchObjective for CompiledModel {
     fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
-        *out = BatchEvaluator::new(&self.tape, self.threads).costs(points);
+        *out = self.evaluator().costs(points);
         for v in out.iter_mut() {
             if !v.is_finite() {
                 *v = f64::INFINITY;
@@ -415,6 +437,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn soa_backend_matches_scalar_bitwise() {
+        let model = elb_like_model();
+        let scalar = CompiledModel::compile_with_threads(&model, 1)
+            .unwrap()
+            .with_backend(ExecBackend::Scalar);
+        let soa = CompiledModel::compile_with_threads(&model, 2)
+            .unwrap()
+            .with_backend(ExecBackend::Soa);
+        assert_eq!(soa.backend(), ExecBackend::Soa);
+        let points: Vec<Vec<f64>> = (0..203)
+            .map(|i| {
+                let t = 5.0 + (i as f64) * 25.0 / 202.0;
+                vec![t, 35.0 - t]
+            })
+            .collect();
+        let (sc, sh) = scalar.cost_and_hazards_batch(&points).unwrap();
+        let (fc, fh) = soa.cost_and_hazards_batch(&points).unwrap();
+        assert_eq!(sc, fc);
+        assert_eq!(sh, fh);
+        assert_eq!(
+            scalar.cost_batch(&points).unwrap(),
+            soa.cost_batch(&points).unwrap()
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::compile::lower;
 use crate::model::SafetyModel;
 use crate::{Result, SafeOptError};
 use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
-use safety_opt_engine::{QuantizedCache, Value};
+use safety_opt_engine::{ExecBackend, QuantizedCache, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -52,11 +52,16 @@ use std::sync::Arc;
 /// A family of safety models compiled into one shared-arena fleet.
 ///
 /// Cheap to clone (the fleet is shared). The models must agree on
-/// parameter-space dimension; their hazard counts may differ.
+/// parameter-space dimension; their hazard counts may differ. Batch
+/// entry points sweep each chunk on the configured execution backend
+/// (the `SAFETY_OPT_BACKEND` env default, or
+/// [`with_backend`](Self::with_backend)); results are bit-identical for
+/// every thread count and backend.
 #[derive(Debug, Clone)]
 pub struct CompiledFleet {
     fleet: Arc<Fleet>,
     threads: usize,
+    backend: ExecBackend,
 }
 
 impl CompiledFleet {
@@ -96,6 +101,7 @@ impl CompiledFleet {
         Ok(Self {
             fleet: Arc::new(builder.build()),
             threads: threads.max(1),
+            backend: safety_opt_engine::default_backend(),
         })
     }
 
@@ -131,8 +137,21 @@ impl CompiledFleet {
         let fleet = Self {
             fleet: Arc::new(builder.build()),
             threads: threads.max(1),
+            backend: safety_opt_engine::default_backend(),
         };
         (Some(fleet), slots)
+    }
+
+    /// Overrides the execution backend for every batch entry point
+    /// (results are bit-identical for every choice).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Configured execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// The underlying engine fleet.
@@ -191,7 +210,7 @@ impl CompiledFleet {
     /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
     pub fn costs_all(&self, points: &[Vec<f64>]) -> Result<Vec<f64>> {
         self.check_points(points)?;
-        Ok(FleetEvaluator::new(&self.fleet, self.threads).costs_all(points))
+        Ok(self.evaluator().costs_all(points))
     }
 
     /// Costs **and** hazard probabilities of every model at every point.
@@ -204,7 +223,7 @@ impl CompiledFleet {
     /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
     pub fn cost_and_hazards_all(&self, points: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<f64>)> {
         self.check_points(points)?;
-        Ok(FleetEvaluator::new(&self.fleet, self.threads).costs_and_outputs_all(points))
+        Ok(self.evaluator().costs_and_outputs_all(points))
     }
 
     /// Costs of **one model** at every point through its reachability
@@ -216,7 +235,12 @@ impl CompiledFleet {
     /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
     pub fn model_cost_batch(&self, model: usize, points: &[Vec<f64>]) -> Result<Vec<f64>> {
         self.check_points(points)?;
-        Ok(FleetEvaluator::new(&self.fleet, self.threads).model_costs(model, points))
+        Ok(self.evaluator().model_costs(model, points))
+    }
+
+    /// The fleet evaluator every batch entry point routes through.
+    fn evaluator(&self) -> FleetEvaluator<'_> {
+        FleetEvaluator::new(&self.fleet, self.threads).backend(self.backend)
     }
 
     /// One model's compiled cost as a scalar optimization objective with
@@ -239,6 +263,7 @@ impl CompiledFleet {
             fleet: Arc::clone(&self.fleet),
             model,
             threads: self.threads,
+            backend: self.backend,
         }
     }
 }
@@ -324,11 +349,14 @@ pub struct FleetModelBatchObjective {
     fleet: Arc<Fleet>,
     model: usize,
     threads: usize,
+    backend: ExecBackend,
 }
 
 impl safety_opt_optim::BatchObjective for FleetModelBatchObjective {
     fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
-        *out = FleetEvaluator::new(&self.fleet, self.threads).model_costs(self.model, points);
+        *out = FleetEvaluator::new(&self.fleet, self.threads)
+            .backend(self.backend)
+            .model_costs(self.model, points);
         for v in out.iter_mut() {
             if !v.is_finite() {
                 *v = f64::INFINITY;
@@ -447,6 +475,35 @@ mod tests {
             for (p, &v) in pts.iter().zip(&out) {
                 assert_eq!(v.to_bits(), single.eval(p).to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn soa_backend_matches_scalar_bitwise() {
+        let models = family(4);
+        let scalar = CompiledFleet::compile_with_threads(&models, 1)
+            .unwrap()
+            .with_backend(ExecBackend::Scalar);
+        let soa = CompiledFleet::compile_with_threads(&models, 2)
+            .unwrap()
+            .with_backend(ExecBackend::Soa);
+        assert_eq!(soa.backend(), ExecBackend::Soa);
+        let points = grid_points();
+        let (sc, sh) = scalar.cost_and_hazards_all(&points).unwrap();
+        let (fc, fh) = soa.cost_and_hazards_all(&points).unwrap();
+        assert_eq!(sc, fc);
+        assert_eq!(sh, fh);
+        for k in 0..4 {
+            assert_eq!(
+                scalar.model_cost_batch(k, &points).unwrap(),
+                soa.model_cost_batch(k, &points).unwrap(),
+                "model {k}"
+            );
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            scalar.model_batch_objective(k).eval_batch(&points, &mut a);
+            soa.model_batch_objective(k).eval_batch(&points, &mut b);
+            assert_eq!(a, b, "batch objective, model {k}");
         }
     }
 

@@ -73,17 +73,6 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-// The `serde` feature is wired but is a placeholder until a registry
-// mirror is reachable: fail loudly with instructions instead of letting
-// the cfg_attr derives hit an unresolved `serde::` path.
-#[cfg(feature = "serde")]
-compile_error!(
-    "the `serde` feature is a placeholder in this offline build: add \
-     `serde = { version = \"1\", features = [\"derive\"], optional = true }` \
-     to this crate's [dependencies], change the feature to \
-     `serde = [\"dep:serde\"]`, and remove this guard"
-);
-
 pub mod compile;
 mod error;
 pub mod fleet;
@@ -98,6 +87,10 @@ pub mod surface;
 pub mod uncertainty;
 
 pub use error::SafeOptError;
+// The backend selector of `CompiledModel::with_backend` /
+// `CompiledFleet::with_backend`, re-exported so facade users can name
+// it without depending on the engine crate directly.
+pub use safety_opt_engine::ExecBackend;
 
 /// Convenience result alias for fallible safety-optimization operations.
 pub type Result<T> = std::result::Result<T, SafeOptError>;

@@ -51,19 +51,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-// The `serde` feature is wired but is a placeholder until a registry
-// mirror is reachable: fail loudly with instructions instead of letting
-// the cfg_attr derives hit an unresolved `serde::` path.
-#[cfg(feature = "serde")]
-compile_error!(
-    "the `serde` feature is a placeholder in this offline build: add \
-     `serde = { version = \"1\", features = [\"derive\"], optional = true }` \
-     to this crate's [dependencies], change the feature to \
-     `serde = [\"dep:serde\"]`, and remove this guard"
-);
-
 pub use safety_opt_core as safeopt;
 pub use safety_opt_elbtunnel as elbtunnel;
+pub use safety_opt_engine as engine;
 pub use safety_opt_fta as fta;
 pub use safety_opt_optim as optim;
 pub use safety_opt_stats as stats;

@@ -1,0 +1,30 @@
+//! The `serde` feature end to end: the member crates' cfg_attr-gated
+//! derives must resolve (against the offline stand-in today, crates.io
+//! serde tomorrow) and produce `Serialize`/`Deserialize` impls for the
+//! public result types. Run with `cargo test --features serde`.
+
+#![cfg(feature = "serde")]
+
+use safety_optimization::optim::domain::BoxDomain;
+use safety_optimization::optim::OptimizationOutcome;
+
+// A local derive through the same rename the workspace crates use.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Snapshot {
+    best: f64,
+    point: Vec<f64>,
+}
+
+fn assert_serializable<T: serde::Serialize>() {}
+fn assert_deserializable<'de, T: serde::Deserialize<'de>>() {}
+
+#[test]
+fn gated_derives_produce_impls() {
+    assert_serializable::<Snapshot>();
+    assert_deserializable::<Snapshot>();
+    // Spot-check cfg_attr-gated derives across the member crates.
+    assert_serializable::<BoxDomain>();
+    assert_deserializable::<BoxDomain>();
+    assert_serializable::<OptimizationOutcome>();
+    assert_deserializable::<OptimizationOutcome>();
+}

@@ -13,8 +13,9 @@
 //! PRs: every file carries `schema`, `name`, `workload`, `threads`,
 //! `timestamp`, a `modes` map of [`Measurement`]s keyed by stable ids,
 //! and a `speedups` map. The timestamp is **passed in by the caller**
-//! (the bins forward `SAFETY_OPT_BENCH_TIMESTAMP`, default empty) — it
-//! is never sampled from the clock, so regenerated baselines diff clean.
+//! (the bins forward `SAFETY_OPT_BENCH_TIMESTAMP`; [`bench_timestamp`]
+//! warns when it is unset) — it is never sampled from the clock, so
+//! regenerating a baseline under a fixed value diffs clean.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -233,9 +234,22 @@ impl BenchReport<'_> {
 }
 
 /// The caller-provided baseline timestamp: `SAFETY_OPT_BENCH_TIMESTAMP`
-/// when set, empty otherwise (so regenerated baselines diff clean).
+/// when set. It is never sampled from the clock — a fixed value
+/// regenerates byte-identical baselines — but an *unset* variable now
+/// warns on stderr instead of silently emitting `"timestamp": ""`
+/// (every committed baseline should say when it was measured; CI
+/// exports the variable before the bench steps).
 pub fn bench_timestamp() -> String {
-    std::env::var("SAFETY_OPT_BENCH_TIMESTAMP").unwrap_or_default()
+    match std::env::var("SAFETY_OPT_BENCH_TIMESTAMP") {
+        Ok(ts) if !ts.trim().is_empty() => ts,
+        _ => {
+            eprintln!(
+                "[warn] SAFETY_OPT_BENCH_TIMESTAMP is unset; the baseline will carry an \
+                 empty timestamp (export it — e.g. an ISO-8601 date — before running bench bins)"
+            );
+            String::new()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +308,17 @@ mod tests {
         assert!(json.contains("\"pass\": true"));
         // Every mode key appears exactly once, comma-separated.
         assert_eq!(json.matches("points_per_sec").count(), 2);
+    }
+
+    #[test]
+    fn bench_timestamp_forwards_the_env_override() {
+        // Serial with itself only: no other test reads this variable.
+        std::env::set_var("SAFETY_OPT_BENCH_TIMESTAMP", "2026-07-29");
+        assert_eq!(bench_timestamp(), "2026-07-29");
+        std::env::set_var("SAFETY_OPT_BENCH_TIMESTAMP", "  ");
+        assert_eq!(bench_timestamp(), "", "blank counts as unset");
+        std::env::remove_var("SAFETY_OPT_BENCH_TIMESTAMP");
+        assert_eq!(bench_timestamp(), "");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! allocation beyond the output vectors.
 
 use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
+use crate::grad::GradWorkspace;
 use crate::tape::Tape;
 
 /// Default number of points per work unit.
@@ -148,12 +149,99 @@ impl<'t> BatchEvaluator<'t> {
         (costs, outputs)
     }
 
+    /// Evaluates cost **and** cost gradient at every point via the
+    /// reverse-mode adjoint sweep (see [`crate::grad`]). Returns
+    /// `(costs, grads)` with `grads` flattened row-major
+    /// (`points.len() × tape.n_inputs()`); costs are bit-identical to
+    /// [`costs`](Self::costs).
+    ///
+    /// Points shard across the same deterministic chunked pool as plain
+    /// evaluation, so gradients are bit-identical for every thread
+    /// count. The adjoint sweep itself is scalar per point on every
+    /// backend (a lane-blocked SoA twin of the backward pass is future
+    /// work); forward values agree with the SoA backend anyway by the
+    /// 0-ULP equivalence contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the tape.
+    pub fn eval_grad_batch<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> (Vec<f64>, Vec<f64>) {
+        let dim = self.tape.n_inputs();
+        let mut costs = vec![0.0; points.len()];
+        let mut grads = vec![0.0; points.len() * dim];
+        // A 0-input tape has an empty `grads`, so the parallel path's
+        // zip would yield no work units at all; run it inline (there is
+        // nothing to parallelize over anyway).
+        if self.sequential(points.len()) || dim == 0 {
+            self.grad_runner().run(points, &mut costs, &mut grads);
+            return (costs, grads);
+        }
+        let assignments = round_robin(
+            self.threads,
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .zip(grads.chunks_mut(self.chunk * dim))
+                .map(|((p, c), g)| (p, c, g)),
+        );
+        std::thread::scope(|scope| {
+            for units in assignments {
+                scope.spawn(move || {
+                    let mut runner = self.grad_runner();
+                    for (pts, cost_chunk, grad_chunk) in units {
+                        runner.run(pts, cost_chunk, grad_chunk);
+                    }
+                });
+            }
+        });
+        (costs, grads)
+    }
+
     fn sequential(&self, n: usize) -> bool {
         self.threads == 1 || n <= self.chunk
     }
 
     fn runner(&self) -> TapeRunner<'t> {
         TapeRunner::new(self.tape, self.backend, self.lanes)
+    }
+
+    fn grad_runner(&self) -> GradRunner<'t> {
+        GradRunner::new(self.tape)
+    }
+}
+
+/// Per-worker adjoint-sweep state: evaluates cost + gradient per point,
+/// owning the forward/backward workspace (steady state allocates
+/// nothing). Shared by the sequential and worker paths of
+/// [`BatchEvaluator::eval_grad_batch`].
+#[derive(Debug)]
+struct GradRunner<'t> {
+    tape: &'t Tape,
+    ws: GradWorkspace,
+    out_row: Vec<f64>,
+}
+
+impl<'t> GradRunner<'t> {
+    fn new(tape: &'t Tape) -> Self {
+        Self {
+            tape,
+            ws: GradWorkspace::new(),
+            out_row: vec![0.0; tape.n_outputs()],
+        }
+    }
+
+    /// Evaluates `pts`, writing one cost per point and the point-major
+    /// gradient rows (`pts.len() × n_inputs`).
+    fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], grads: &mut [f64]) {
+        let dim = self.tape.n_inputs();
+        for (i, p) in pts.iter().enumerate() {
+            costs[i] = self.tape.eval_grad_into(
+                p.as_ref(),
+                &mut self.ws,
+                &mut self.out_row,
+                &mut grads[i * dim..(i + 1) * dim],
+            );
+        }
     }
 }
 
@@ -345,6 +433,48 @@ mod tests {
                 assert_eq!(c, scalar_c);
                 assert_eq!(o, scalar_o);
             }
+        }
+    }
+
+    #[test]
+    fn grad_batch_matches_pointwise_adjoint_and_is_thread_independent() {
+        let tape = demo_tape();
+        let points = random_points(700, 5);
+        let (costs, grads) = BatchEvaluator::new(&tape, 1).eval_grad_batch(&points);
+        assert_eq!(grads.len(), points.len() * tape.n_inputs());
+        for (i, p) in points.iter().enumerate() {
+            let (cost, grad) = tape.eval_grad(p);
+            assert_eq!(cost.to_bits(), costs[i].to_bits());
+            for (a, b) in grad.iter().zip(&grads[i * 2..(i + 1) * 2]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(tape.eval(p).to_bits(), costs[i].to_bits());
+        }
+        for threads in [2, 4, 7] {
+            let (c, g) = BatchEvaluator::new(&tape, threads)
+                .chunk_size(23)
+                .eval_grad_batch(&points);
+            assert_eq!(costs, c, "costs, {threads} threads");
+            assert_eq!(grads, g, "grads, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn grad_batch_handles_zero_input_tapes() {
+        // Fully constant-folded tape: no inputs, constant outputs. The
+        // parallel path must still report the real costs (its chunked
+        // zip has no gradient chunks to hand out).
+        let mut b = TapeBuilder::new(0);
+        let h = b.sum_clamped(0.25, []);
+        b.output(h, 2.0);
+        let tape = b.build();
+        let points: Vec<Vec<f64>> = vec![Vec::new(); 500];
+        for threads in [1, 4] {
+            let (costs, grads) = BatchEvaluator::new(&tape, threads)
+                .chunk_size(16)
+                .eval_grad_batch(&points);
+            assert!(grads.is_empty());
+            assert!(costs.iter().all(|&c| c == 0.5), "{threads} threads");
         }
     }
 

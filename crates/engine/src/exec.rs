@@ -33,12 +33,18 @@ use crate::tape::{Op, Reg, Tape, Value};
 use std::ops::Range;
 
 /// How a batch evaluator sweeps the tape (see the module docs).
+///
+/// SoA is the default: it is strictly faster on every measured
+/// workload (`BENCH_soa.json`) and bit-identical to the scalar sweep
+/// by construction (the `soa_equivalence` 0-ULP property suite).
+/// `SAFETY_OPT_BACKEND=scalar` remains the escape hatch, and CI runs a
+/// scalar-forced leg.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecBackend {
     /// Point-at-a-time: one full tape sweep per point.
-    #[default]
     Scalar,
     /// Op-at-a-time SoA: each op sweeps a lane block of points.
+    #[default]
     Soa,
 }
 
@@ -96,7 +102,9 @@ pub(crate) use dispatch_lanes;
 
 /// Backend used by evaluators that were not given one explicitly: the
 /// `SAFETY_OPT_BACKEND` environment variable when set (`"scalar"` or
-/// `"soa"`), [`ExecBackend::Scalar`] otherwise.
+/// `"soa"`), [`ExecBackend::Soa`] otherwise — the SoA sweeps are
+/// strictly faster on every measured workload and bit-identical to the
+/// scalar path; `SAFETY_OPT_BACKEND=scalar` is the escape hatch.
 ///
 /// The override exists so CI can force the whole test suite through the
 /// SoA path without touching any call site; results are bit-identical
@@ -116,12 +124,12 @@ pub fn default_backend() -> ExecBackend {
     static DEFAULT: std::sync::OnceLock<ExecBackend> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
         parse_backend_override(std::env::var("SAFETY_OPT_BACKEND").ok().as_deref())
-            .unwrap_or(ExecBackend::Scalar)
+            .unwrap_or(ExecBackend::Soa)
     })
 }
 
 /// Parses a `SAFETY_OPT_BACKEND` override: `None`/empty means "unset"
-/// (use the scalar default); anything else must name a backend.
+/// (use the SoA default); anything else must name a backend.
 fn parse_backend_override(value: Option<&str>) -> Option<ExecBackend> {
     let raw = value?.trim();
     if raw.is_empty() {
@@ -132,7 +140,7 @@ fn parse_backend_override(value: Option<&str>) -> Option<ExecBackend> {
         "soa" => Some(ExecBackend::Soa),
         _ => panic!(
             "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\", got {raw:?} \
-             (unset it to use the scalar default)"
+             (unset it to use the SoA default)"
         ),
     }
 }

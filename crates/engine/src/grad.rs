@@ -1,0 +1,417 @@
+//! Reverse-mode adjoint differentiation of a compiled [`Tape`].
+//!
+//! The optimizer and the sensitivity sweeps both need `∇f_cost(X)` — and
+//! until now built it from central differences: `2·dim` full tape sweeps
+//! per gradient, plus more inside every Armijo line search. The op-tape
+//! makes the adjoint (vector–Jacobian product) sweep cheap instead: one
+//! **forward** pass records every op's value, one **backward** pass
+//! pushes the output weights through each op's analytic local
+//! derivative, and *all* partials fall out at a cost independent of the
+//! input dimension (≈2–3× one forward sweep).
+//!
+//! Per-op VJPs:
+//!
+//! * [`Op::Exposure`] — `y = 1 − e^{−λ·max(t,0)}`: `∂y/∂t = λ·e^{−λt}`
+//!   for `t > 0`, **subgradient 0** on the clamped branch (`t ≤ 0`).
+//! * [`Op::Overtime`] — truncated-normal survival: `∂y/∂x =
+//!   −φ(z)/(σ·mass)` strictly inside the support, 0 on the clamped
+//!   tails (the same normalization constants the forward plan
+//!   precomputed; only the normal pdf is evaluated per point).
+//! * [`Op::Complement`] / [`Op::Scale`] — `−1` and `c`.
+//! * [`Op::Product`] — division-free via prefix/suffix partial
+//!   products, so zero factors and NaN propagate exactly as the forward
+//!   multiply would (no `y / xᵢ` blow-ups).
+//! * [`Op::SumClamp`] — pass-through below the clamp, **subgradient 0**
+//!   once `bias + Σ args > 1` (the forward branch condition, re-checked
+//!   bit-for-bit in the backward sweep).
+//! * [`Op::Closure`] — opaque functions have no structure to
+//!   differentiate; the backward pass falls back to **per-op central
+//!   differences** of just that closure (`2·dim` closure calls, not
+//!   `2·dim` tape sweeps), so every existing model still differentiates.
+//!
+//! Kinks inherit a subgradient, not an average: at `t = 0` exposure
+//! windows and at saturated hazard sums the adjoint reports the
+//! flat-side derivative (0), which is the conservative choice for a
+//! descent method — it never manufactures descent out of a clamped
+//! branch.
+//!
+//! Hash-consed ops shared across hazards accumulate their adjoints
+//! additively, so sharing is handled by construction. Batched gradients
+//! ([`crate::BatchEvaluator::eval_grad_batch`]) shard points across the
+//! same deterministic chunked pool as plain evaluation; the adjoint
+//! sweep itself is scalar per point (the lane-blocked SoA twin is future
+//! work — the backward pass is already dispatch-light because each op
+//! visit is O(args)).
+
+use crate::tape::{Op, Tape};
+
+/// Relative step of the per-op central-difference fallback for opaque
+/// [`Op::Closure`] factors (`h = ε·max(1, |xⱼ|)`), chosen near the
+/// cube root of `f64::EPSILON` — the classic optimum for central
+/// differences.
+pub const CLOSURE_FD_EPS: f64 = 6.0554544523933395e-6;
+
+/// Reusable buffers for [`Tape::eval_grad_into`]; steady-state gradient
+/// evaluation allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct GradWorkspace {
+    /// Forward values, `[inputs… | op outputs…]` — identical layout to
+    /// the plain evaluation scratch.
+    scratch: Vec<f64>,
+    /// One adjoint per scratch slot (`∂f_cost/∂slot`).
+    adjoint: Vec<f64>,
+    /// Prefix partial products for the [`Op::Product`] VJP.
+    prefix: Vec<f64>,
+    /// Probe point for the [`Op::Closure`] central-difference fallback.
+    probe: Vec<f64>,
+}
+
+impl GradWorkspace {
+    /// A workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tape {
+    /// Evaluates value **and** gradient at `x` in one forward + one
+    /// backward sweep: writes per-output (hazard) values into `outputs`,
+    /// the cost gradient `∂(Σ wᵢ·outᵢ)/∂x` into `grad`, and returns the
+    /// weighted cost — bit-identical to [`eval_into`](Self::eval_into)'s
+    /// value for the same point.
+    ///
+    /// NaN forward values (an opaque closure signalling evaluation
+    /// failure) propagate into every gradient component they reach,
+    /// mirroring the forward contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()`, `outputs.len()`, or `grad.len()` mismatch
+    /// the tape's arities.
+    pub fn eval_grad_into(
+        &self,
+        x: &[f64],
+        ws: &mut GradWorkspace,
+        outputs: &mut [f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        assert_eq!(grad.len(), self.n_inputs(), "gradient arity mismatch");
+        // Forward: exactly the plain evaluation (same code path, so the
+        // bit-identity contract cannot drift), with the populated
+        // scratch kept for the backward sweep.
+        let cost = self.eval_into(x, &mut ws.scratch, outputs);
+
+        // Seed: ∂cost/∂outputᵢ = weightᵢ. Constant outputs have no
+        // register and no derivative.
+        ws.adjoint.clear();
+        ws.adjoint.resize(self.scratch_len(), 0.0);
+        for (value, w) in self.outputs.iter().zip(&self.weights) {
+            if let crate::tape::Value::Reg(r) = value {
+                ws.adjoint[r.index()] += *w;
+            }
+        }
+
+        self.backward(ws);
+        grad.copy_from_slice(&ws.adjoint[..self.n_inputs]);
+        cost
+    }
+
+    /// Convenience wrapper allocating its own buffers: `(cost, ∇cost)`.
+    pub fn eval_grad(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let mut ws = GradWorkspace::new();
+        let mut outputs = vec![0.0; self.n_outputs()];
+        let mut grad = vec![0.0; self.n_inputs()];
+        let cost = self.eval_grad_into(x, &mut ws, &mut outputs, &mut grad);
+        (cost, grad)
+    }
+
+    /// The backward sweep: visits ops in reverse, pushing each slot's
+    /// accumulated adjoint through the op's local derivative into its
+    /// argument slots.
+    fn backward(&self, ws: &mut GradWorkspace) {
+        for (slot, op) in self.ops.iter().enumerate().rev() {
+            let a = ws.adjoint[self.n_inputs + slot];
+            // Dead ops (outputs nothing downstream reads, or a clamped
+            // branch upstream zeroed them) contribute nothing; NaN
+            // adjoints compare unequal and still propagate.
+            if a == 0.0 {
+                continue;
+            }
+            match op {
+                Op::Exposure { rate, t } => {
+                    let w = ws.scratch[t.index()];
+                    // λ·e^{−λt} for t > 0; subgradient 0 on the clamped
+                    // branch (the forward value is constant there).
+                    if w > 0.0 {
+                        ws.adjoint[t.index()] += a * rate * (-rate * w).exp();
+                    }
+                }
+                Op::Overtime { sf, x } => {
+                    let xv = ws.scratch[x.index()];
+                    ws.adjoint[x.index()] += a * sf.deriv(xv);
+                }
+                Op::Closure { f } => {
+                    // No structure to differentiate: per-op central
+                    // differences over the full input point. Costs
+                    // 2·dim closure calls — not 2·dim tape sweeps — so
+                    // closure-bearing models still gain on every other
+                    // op.
+                    ws.probe.clear();
+                    ws.probe.extend_from_slice(&ws.scratch[..self.n_inputs]);
+                    for j in 0..self.n_inputs {
+                        let xj = ws.probe[j];
+                        let h = CLOSURE_FD_EPS * xj.abs().max(1.0);
+                        ws.probe[j] = xj + h;
+                        let fp = f(&ws.probe);
+                        ws.probe[j] = xj - h;
+                        let fm = f(&ws.probe);
+                        ws.probe[j] = xj;
+                        ws.adjoint[j] += a * (fp - fm) / (2.0 * h);
+                    }
+                }
+                Op::Complement { x } => {
+                    ws.adjoint[x.index()] -= a;
+                }
+                Op::Scale { c, x } => {
+                    ws.adjoint[x.index()] += a * c;
+                }
+                Op::Product { c, args } => {
+                    // ∂y/∂xᵢ = c·∏_{j<i} xⱼ · ∏_{j>i} xⱼ, built from
+                    // prefix and suffix partial products — division-free
+                    // so zero factors and NaN behave exactly like the
+                    // forward multiply chain.
+                    let regs = self.arg_slice(*args);
+                    ws.prefix.clear();
+                    let mut acc = *c;
+                    for r in regs {
+                        ws.prefix.push(acc);
+                        acc *= ws.scratch[r.index()];
+                    }
+                    let mut suffix = 1.0;
+                    for (i, r) in regs.iter().enumerate().rev() {
+                        ws.adjoint[r.index()] += a * ws.prefix[i] * suffix;
+                        suffix *= ws.scratch[r.index()];
+                    }
+                }
+                Op::SumClamp { bias, args } => {
+                    // Re-derive the forward branch: pass-through when
+                    // unclamped, subgradient 0 once the sum saturates.
+                    // (NaN sums fail `> 1.0` and take the pass-through
+                    // branch, exactly like the forward kernel.)
+                    let mut acc = *bias;
+                    for r in self.arg_slice(*args) {
+                        acc += ws.scratch[r.index()];
+                    }
+                    if acc > 1.0 {
+                        continue;
+                    }
+                    for r in self.arg_slice(*args) {
+                        ws.adjoint[r.index()] += a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{ClosureFn, TapeBuilder};
+    use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
+    use std::sync::Arc;
+
+    /// Central-difference reference over the whole tape.
+    fn fd_grad(tape: &Tape, x: &[f64], h: f64) -> Vec<f64> {
+        (0..x.len())
+            .map(|i| {
+                let mut p = x.to_vec();
+                p[i] = x[i] + h;
+                let fp = tape.eval(&p);
+                p[i] = x[i] - h;
+                let fm = tape.eval(&p);
+                (fp - fm) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    fn assert_grad_close(got: &[f64], want: &[f64], tol: f64) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let scale = g.abs().max(w.abs()).max(1.0);
+            assert!(
+                (g - w).abs() <= tol * scale,
+                "component {i}: adjoint {g} vs reference {w}"
+            );
+        }
+    }
+
+    fn elb_like_tape() -> Tape {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let mut b = TapeBuilder::new(2);
+        let t1 = b.input(0);
+        let t2 = b.input(1);
+        let ot1 = b.overtime(&d, t1);
+        let not1 = b.complement(ot1);
+        let ot2 = b.overtime(&d, t2);
+        let crit = b.constant(1e-3);
+        let cs1 = b.product([crit, ot1]);
+        let cs2 = b.product([crit, not1, ot2]);
+        let col = b.sum_clamped(1e-8, [cs1, cs2]);
+        let e1 = b.exposure(1e-4, t1);
+        let scaled = b.scale(0.999, e1);
+        let e2 = b.exposure(0.13, t2);
+        let alr_cs = b.product([scaled, e2]);
+        let alr = b.sum_clamped(1e-4, [alr_cs]);
+        b.output(col, 100_000.0);
+        b.output(alr, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn adjoint_matches_central_differences() {
+        let tape = elb_like_tape();
+        for &x in &[[10.0, 12.0], [6.0, 25.0], [19.0, 15.6], [28.0, 7.0]] {
+            let (cost, grad) = tape.eval_grad(&x);
+            assert_eq!(cost.to_bits(), tape.eval(&x).to_bits(), "value drift");
+            assert_grad_close(&grad, &fd_grad(&tape, &x, 1e-6), 1e-7);
+        }
+    }
+
+    #[test]
+    fn value_and_outputs_are_bit_identical_to_eval_into() {
+        let tape = elb_like_tape();
+        let x = [13.0, 21.0];
+        let mut scratch = Vec::new();
+        let mut out_ref = vec![0.0; 2];
+        let want = tape.eval_into(&x, &mut scratch, &mut out_ref);
+        let mut ws = GradWorkspace::new();
+        let mut out = vec![0.0; 2];
+        let mut grad = vec![0.0; 2];
+        let got = tape.eval_grad_into(&x, &mut ws, &mut out, &mut grad);
+        assert_eq!(want.to_bits(), got.to_bits());
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exposure_clamp_has_zero_subgradient() {
+        let mut b = TapeBuilder::new(1);
+        let e = b.exposure(0.5, b.input(0));
+        let h = b.sum_clamped(0.0, [e]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        let (_, g_neg) = tape.eval_grad(&[-3.0]);
+        assert_eq!(g_neg[0], 0.0, "clamped branch must have 0 subgradient");
+        let (_, g_zero) = tape.eval_grad(&[0.0]);
+        assert_eq!(g_zero[0], 0.0, "kink takes the flat-side subgradient");
+        let (_, g_pos) = tape.eval_grad(&[2.0]);
+        let want = 0.5 * (-0.5f64 * 2.0).exp();
+        assert!((g_pos[0] - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn saturated_sum_has_zero_subgradient() {
+        let mut b = TapeBuilder::new(1);
+        let e = b.exposure(1.0, b.input(0));
+        let h = b.sum_clamped(0.9, [e, e]);
+        b.output(h, 5.0);
+        let tape = b.build();
+        let (cost, grad) = tape.eval_grad(&[10.0]);
+        assert_eq!(cost, 5.0);
+        assert_eq!(grad[0], 0.0);
+        // Unsaturated: d/dt [0.9 + 2(1 − e^{−t})]·5 = 10·e^{−t}.
+        let (_, g) = tape.eval_grad(&[0.01]);
+        assert!((g[0] - 10.0 * (-0.01f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overtime_tails_have_zero_subgradient() {
+        let d = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let mut b = TapeBuilder::new(1);
+        let ot = b.overtime(&d, b.input(0));
+        let h = b.sum_clamped(0.0, [ot]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        let (_, below) = tape.eval_grad(&[-1.0]);
+        assert_eq!(below[0], 0.0);
+        // Interior: matches the negated pdf.
+        let (_, mid) = tape.eval_grad(&[5.0]);
+        assert!((mid[0] + d.pdf(5.0)).abs() <= 1e-12 * d.pdf(5.0));
+    }
+
+    #[test]
+    fn product_vjp_survives_zero_factors() {
+        // y = x0 · x1 · x2 with a zero factor: ∂y/∂x1 must come out as
+        // the product of the *other* factors, not 0/0.
+        let mut b = TapeBuilder::new(3);
+        let e0 = b.scale(2.0, b.input(0));
+        let e1 = b.scale(3.0, b.input(1));
+        let e2 = b.scale(5.0, b.input(2));
+        let p = b.product([e0, e1, e2]);
+        b.output(p, 1.0);
+        let tape = b.build();
+        let (_, g) = tape.eval_grad(&[0.0, 1.0, 2.0]);
+        assert_eq!(g[0], 2.0 * 3.0 * 5.0 * 2.0); // 2·(3·1)·(5·2)
+        assert_eq!(g[1], 0.0);
+        assert_eq!(g[2], 0.0);
+    }
+
+    #[test]
+    fn closure_fallback_differentiates_numerically() {
+        let f: ClosureFn = Arc::new(|x: &[f64]| (x[0] * 0.25).sin() + x[1] * x[1]);
+        let mut b = TapeBuilder::new(2);
+        let c = b.closure(1, f);
+        let h = b.sum_clamped(0.0, [c]);
+        b.output(h, 2.0);
+        let tape = b.build();
+        let x = [1.3, 0.4];
+        let (_, g) = tape.eval_grad(&x);
+        let want = [2.0 * 0.25 * (x[0] * 0.25).cos(), 2.0 * 2.0 * x[1]];
+        assert_grad_close(&g, &want, 1e-8);
+    }
+
+    #[test]
+    fn nan_closures_poison_the_gradient() {
+        let mut b = TapeBuilder::new(1);
+        let bad = b.closure(1, Arc::new(|_: &[f64]| f64::NAN));
+        let h = b.sum_clamped(0.0, [bad]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        let (cost, grad) = tape.eval_grad(&[0.5]);
+        assert!(cost.is_nan());
+        assert!(grad[0].is_nan());
+    }
+
+    #[test]
+    fn shared_subexpressions_accumulate_adjoints() {
+        // f = 3·e + 4·e with e shared (hash-consed): ∂f/∂t = 7·e'.
+        let mut b = TapeBuilder::new(1);
+        let e = b.exposure(0.2, b.input(0));
+        let h1 = b.sum_clamped(0.0, [e]);
+        let h2 = b.sum_clamped(0.0, [e]);
+        b.output(h1, 3.0);
+        b.output(h2, 4.0);
+        let tape = b.build();
+        // The two identical hazard sums hash-cons into one op on top of
+        // the shared exposure; both output weights land on one register.
+        assert_eq!(tape.n_ops(), 2, "exposure and hazard sum must be shared");
+        let (_, g) = tape.eval_grad(&[1.5]);
+        let want = 7.0 * 0.2 * (-0.2f64 * 1.5).exp();
+        assert!((g[0] - want).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient arity mismatch")]
+    fn gradient_arity_is_checked() {
+        let mut b = TapeBuilder::new(2);
+        let h = b.sum_clamped(0.5, [b.input(0)]);
+        b.output(h, 1.0);
+        let tape = b.build();
+        let mut ws = GradWorkspace::new();
+        let mut out = [0.0];
+        let mut grad = [0.0];
+        tape.eval_grad_into(&[1.0, 2.0], &mut ws, &mut out, &mut grad);
+    }
+}

@@ -22,18 +22,25 @@
 //!    batches across a `std::thread` scoped pool with deterministic
 //!    chunking; results are bit-identical for every thread count.
 //!    Within a chunk the sweep runs on a pluggable [`exec::ExecBackend`]:
-//!    the scalar point-at-a-time loop, or lane-blocked **op-at-a-time
-//!    SoA sweeps** (`SAFETY_OPT_BACKEND=soa`) that amortize op dispatch
-//!    over a whole block of points and expose the fused n-ary kernels to
-//!    the vectorizer — bit-identical to the scalar backend by
-//!    construction.
-//! 4. **Model fleets** ([`fleet::Fleet`]) — whole families of
+//!    lane-blocked **op-at-a-time SoA sweeps** by default, which
+//!    amortize op dispatch over a whole block of points and expose the
+//!    fused n-ary kernels to the vectorizer — bit-identical by
+//!    construction to the scalar point-at-a-time loop, which remains
+//!    available as the `SAFETY_OPT_BACKEND=scalar` escape hatch.
+//! 4. **Adjoint gradients** ([`grad`]) — a reverse-mode sweep over the
+//!    same op-tape: one forward + one backward pass yields the full
+//!    cost gradient at a cost independent of the input dimension
+//!    (analytic VJPs per op, per-op central differences only for opaque
+//!    closures), replacing the `2·dim` tape sweeps of
+//!    central-difference gradients in the optimizer and the sensitivity
+//!    front-ends.
+//! 5. **Model fleets** ([`fleet::Fleet`]) — whole families of
 //!    structurally similar models (Monte-Carlo samples, traffic
 //!    scenarios) compile into one shared op arena with hash-consing
 //!    *across* models; one arena sweep per point evaluates every model,
 //!    and per-model reachability masks keep single-model evaluation
 //!    bit-identical to standalone compilation.
-//! 5. **Memoization** ([`cache::QuantizedCache`]) — optional
+//! 6. **Memoization** ([`cache::QuantizedCache`]) — optional
 //!    quantized-point memo for optimizer reuse (restarts and pattern
 //!    searches revisit points constantly).
 //!
@@ -59,12 +66,14 @@ pub mod cache;
 pub mod exec;
 pub mod fast_erf;
 pub mod fleet;
+pub mod grad;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
 pub use cache::QuantizedCache;
 pub use exec::{default_backend, ExecBackend};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
+pub use grad::GradWorkspace;
 pub use tape::{Op, Tape, TapeBuilder, TruncNormSf, Value};
 
 /// Worker count used by the default-sized evaluators: the

@@ -119,6 +119,21 @@ impl TruncNormSf {
         }
     }
 
+    /// `d/dx P(X > x)` — the negated truncated-normal density
+    /// `−φ((x−µ)/σ)/(σ·mass)` strictly inside the support, 0 on the
+    /// clamped tails (the adjoint pass's VJP for [`Op::Overtime`]).
+    /// Reuses the forward plan's precomputed normalization mass; only
+    /// the normal pdf is new work per point.
+    #[inline]
+    pub(crate) fn deriv(&self, x: f64) -> f64 {
+        if x <= self.lower || x >= self.upper {
+            0.0
+        } else {
+            let z = (x - self.mu) / self.sigma;
+            -special::std_normal_pdf(z) / (self.sigma * self.mass)
+        }
+    }
+
     fn key(&self) -> [u64; 4] {
         [
             self.mu.to_bits(),

@@ -42,12 +42,16 @@ pub enum FactorSpec {
     Sum(Vec<FactorSpec>),
     /// Opaque closure over the full point; `slot` is its per-model
     /// dedup identity, `poison` makes it return NaN past a threshold
-    /// (the evaluation-failure path).
+    /// (the evaluation-failure path), `smooth` picks the differentiable
+    /// sine form instead of the kinked `rem_euclid` form (the gradient
+    /// suite compares against finite differences and needs closures
+    /// without interior kinks).
     Closure {
         slot: usize,
         coeff: f64,
         vary: bool,
         poison: bool,
+        smooth: bool,
     },
 }
 
@@ -68,15 +72,42 @@ pub fn perturb(base: f64, vary: bool, model: usize) -> f64 {
     }
 }
 
-pub fn closure_fn(coeff: f64, poison: bool) -> ClosureFn {
+pub fn closure_fn(coeff: f64, poison: bool, smooth: bool) -> ClosureFn {
     Arc::new(move |xs: &[f64]| {
-        let v = (coeff * xs[0]).rem_euclid(1.0);
+        let v = if smooth {
+            0.5 + 0.45 * (coeff * (xs[0] + 0.5 * xs[1] - 0.25 * xs[2])).sin()
+        } else {
+            (coeff * xs[0]).rem_euclid(1.0)
+        };
         if poison && xs[0] > 30.0 {
             f64::NAN
         } else {
             v
         }
     })
+}
+
+/// Forces every closure of `spec` onto the smooth sine form (for the
+/// gradient suite's finite-difference comparisons); poison flags and
+/// everything else survive.
+pub fn smooth_closures(spec: &mut FamilySpec) {
+    fn visit(f: &mut FactorSpec) {
+        match f {
+            FactorSpec::Closure { smooth, .. } => *smooth = true,
+            FactorSpec::Complement(inner) | FactorSpec::Scaled(_, inner) => visit(inner),
+            FactorSpec::Product(terms) | FactorSpec::Sum(terms) => {
+                terms.iter_mut().for_each(visit);
+            }
+            FactorSpec::Constant { .. }
+            | FactorSpec::Exposure { .. }
+            | FactorSpec::Overtime { .. } => {}
+        }
+    }
+    for (cut_sets, _) in &mut spec.hazards {
+        for factors in cut_sets {
+            factors.iter_mut().for_each(visit);
+        }
+    }
 }
 
 /// Lowers one factor of model `model` into `b`, mirroring the shapes
@@ -114,12 +145,13 @@ pub fn lower_factor(b: &mut TapeBuilder, spec: &FactorSpec, model: usize) -> Val
             coeff,
             vary,
             poison,
+            smooth,
         } => {
             // Identity is per (model, slot), exactly like the real
             // compiler's expression-node pointers: clones within one
             // model dedupe, models never share closures.
             let c = perturb(*coeff, *vary, model);
-            b.closure(model * 10_000 + slot, closure_fn(c, *poison))
+            b.closure(model * 10_000 + slot, closure_fn(c, *poison, *smooth))
         }
     }
 }
@@ -159,14 +191,20 @@ pub fn factor_strategy() -> impl Strategy<Value = FactorSpec> {
             .prop_map(|(rate, vary, input)| FactorSpec::Exposure { rate, vary, input }),
         ((0.5f64..20.0, 0.1f64..5.0), 0usize..DIM)
             .prop_map(|((mu, sigma), input)| FactorSpec::Overtime { mu, sigma, input }),
-        (0usize..4, 0.1f64..3.0, any::<bool>(), any::<bool>()).prop_map(
-            |(slot, coeff, vary, poison)| FactorSpec::Closure {
+        (
+            0usize..4,
+            0.1f64..3.0,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(slot, coeff, vary, poison, smooth)| FactorSpec::Closure {
                 slot,
                 coeff,
                 vary,
-                poison
-            }
-        ),
+                poison,
+                smooth
+            }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![

@@ -1,17 +1,37 @@
-//! Projected gradient descent with numerical gradients.
+//! Projected gradient descent with numerical or analytic gradients.
 //!
 //! The paper calls the gradient method "the most simple" approach to the
 //! resulting nonlinear program: *"finds local minima by calculating
 //! gradients iteratively and always following the steepest descent."*
-//! This implementation uses central-difference gradients (safety cost
-//! functions rarely have analytic derivatives), Armijo backtracking line
-//! search, and projection onto the box after every step.
+//! This implementation uses Armijo backtracking line search and
+//! projection onto the box after every step. Gradients come from one of
+//! two sources sharing one descent loop:
+//!
+//! * the [`Minimizer`] entry point builds **central-difference**
+//!   gradients (`2·dim` objective evaluations per iteration) — the
+//!   original behavior, unchanged;
+//! * [`GradientDescent::minimize_differentiable`] asks the objective
+//!   for its **analytic** gradient
+//!   ([`crate::DifferentiableObjective::value_grad`], e.g. the engine's
+//!   reverse-mode adjoint tape sweep — one evaluation-equivalent per
+//!   iteration instead of `2·dim`), falling back to central differences
+//!   at any point where the analytic gradient comes back non-finite.
 
 use crate::domain::BoxDomain;
+use crate::objective::ValueOnly;
 use crate::{
-    CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
-    TerminationReason, TracePoint,
+    CountingObjective, DifferentiableObjective, Minimizer, Objective, OptimError,
+    OptimizationOutcome, Result, TerminationReason, TracePoint,
 };
+
+/// Where the descent loop gets its gradients.
+enum GradSource<'a> {
+    /// Central differences over the (counted) objective.
+    CentralDiff,
+    /// Analytic gradients from the objective itself, with a
+    /// central-difference fallback at non-finite points.
+    Analytic(&'a dyn DifferentiableObjective),
+}
 
 /// Projected-gradient-descent configuration.
 ///
@@ -158,16 +178,39 @@ impl GradientDescent {
         }
         g
     }
-}
 
-impl Minimizer for GradientDescent {
-    fn minimize(
+    /// One iteration's gradient from the configured source. The
+    /// analytic path costs one recorded evaluation-equivalent (the
+    /// forward sweep of the adjoint pass); if it returns any non-finite
+    /// component — a kink, a closure failure — the iteration falls back
+    /// to the central-difference gradient so the descent stays robust.
+    fn iteration_gradient(
         &self,
-        objective: &dyn Objective,
+        f: &CountingObjective<'_>,
+        source: &GradSource<'_>,
+        domain: &BoxDomain,
+        x: &[f64],
+        widths: &[f64],
+    ) -> Vec<f64> {
+        if let GradSource::Analytic(obj) = source {
+            let mut g = vec![0.0; x.len()];
+            let v = obj.value_grad(x, &mut g);
+            f.record(1);
+            if v.is_finite() && g.iter().all(|gi| gi.is_finite()) {
+                return g;
+            }
+        }
+        self.gradient(f, domain, x, widths)
+    }
+
+    /// The shared projected-descent loop under both gradient sources.
+    fn run(
+        &self,
+        f: &CountingObjective<'_>,
+        source: GradSource<'_>,
         domain: &BoxDomain,
     ) -> Result<OptimizationOutcome> {
         self.validate(domain)?;
-        let f = CountingObjective::new(objective);
         let widths = domain.widths();
         let scale = domain.max_width();
 
@@ -183,7 +226,7 @@ impl Minimizer for GradientDescent {
 
         while iterations < self.max_iterations {
             iterations += 1;
-            let g = self.gradient(&f, domain, &x, &widths);
+            let g = self.iteration_gradient(f, &source, domain, &x, &widths);
             let g_norm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
 
             // Projected-gradient convergence test: the step the projection
@@ -266,6 +309,40 @@ impl Minimizer for GradientDescent {
             trace,
         })
     }
+}
+
+impl Minimizer for GradientDescent {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.run(
+            &CountingObjective::new(objective),
+            GradSource::CentralDiff,
+            domain,
+        )
+    }
+
+    /// Same projected-descent loop, stopping rules, and outcome
+    /// reporting as [`minimize`](Minimizer::minimize), but each
+    /// iteration's gradient is one `value_grad` call instead of `2·dim`
+    /// finite-difference evaluations (with an FD fallback at points
+    /// whose analytic gradient comes back non-finite). Reached through
+    /// `&dyn Minimizer` by front-ends, so e.g. the safety optimizer's
+    /// compiled objective gets adjoint gradients automatically.
+    fn minimize_differentiable(
+        &self,
+        objective: &dyn DifferentiableObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        let value_only = ValueOnly(objective);
+        self.run(
+            &CountingObjective::new(&value_only),
+            GradSource::Analytic(objective),
+            domain,
+        )
+    }
 
     fn name(&self) -> &'static str {
         "gradient-descent"
@@ -327,6 +404,61 @@ mod tests {
         assert_eq!(out.best_value, 3.5);
         assert!(out.converged());
         assert!(out.iterations <= 2);
+    }
+
+    struct QuadWithGrad {
+        /// When set, `value_grad` reports a NaN partial — exercising the
+        /// central-difference fallback.
+        poison_grad: bool,
+    }
+
+    impl crate::Objective for QuadWithGrad {
+        fn eval(&self, x: &[f64]) -> f64 {
+            x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum()
+        }
+    }
+
+    impl crate::DifferentiableObjective for QuadWithGrad {
+        fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+            for (g, &xi) in grad.iter_mut().zip(x) {
+                *g = if self.poison_grad {
+                    f64::NAN
+                } else {
+                    2.0 * (xi - 1.0)
+                };
+            }
+            self.eval(x)
+        }
+    }
+
+    #[test]
+    fn analytic_path_matches_fd_optimum_with_fewer_evaluations() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0); 4]).unwrap();
+        let gd = GradientDescent::default();
+        let obj = QuadWithGrad { poison_grad: false };
+        let analytic = gd.minimize_differentiable(&obj, &domain).unwrap();
+        let fd = gd.minimize(&obj, &domain).unwrap();
+        assert!(analytic.converged());
+        for (a, b) in analytic.best_x.iter().zip(&fd.best_x) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+        assert!(
+            analytic.evaluations < fd.evaluations,
+            "analytic {} vs fd {} evaluations",
+            analytic.evaluations,
+            fd.evaluations
+        );
+    }
+
+    #[test]
+    fn non_finite_analytic_gradient_falls_back_to_central_differences() {
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0); 2]).unwrap();
+        let obj = QuadWithGrad { poison_grad: true };
+        let out = GradientDescent::default()
+            .minimize_differentiable(&obj, &domain)
+            .unwrap();
+        assert!(out.best_value < 1e-8, "best = {}", out.best_value);
+        assert!(out.converged());
     }
 
     #[test]

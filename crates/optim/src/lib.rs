@@ -64,7 +64,7 @@ mod outcome;
 pub mod testfns;
 
 pub use error::OptimError;
-pub use objective::{BatchObjective, CountingObjective, Objective};
+pub use objective::{BatchObjective, CountingObjective, DifferentiableObjective, Objective};
 pub use outcome::{OptimizationOutcome, TerminationReason, TracePoint};
 
 /// Convenience result alias for fallible optimization operations.
@@ -98,6 +98,28 @@ pub trait Minimizer: std::fmt::Debug {
         objective: &dyn Objective,
         domain: &BoxDomain,
     ) -> Result<OptimizationOutcome>;
+
+    /// Minimizes an objective that can also provide **analytic
+    /// gradients** ([`DifferentiableObjective`]). The default
+    /// implementation ignores the gradient capability and delegates to
+    /// [`minimize`](Self::minimize), so derivative-free algorithms are
+    /// unaffected; gradient-based algorithms override it —
+    /// [`gradient::GradientDescent`] consumes one analytic gradient per
+    /// iteration instead of `2·dim` finite-difference evaluations.
+    /// Front-ends (like the safety optimizer) call this entry point, so
+    /// a gradient-capable minimizer picks up analytic gradients through
+    /// `&dyn Minimizer` dispatch too.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`minimize`](Self::minimize).
+    fn minimize_differentiable(
+        &self,
+        objective: &dyn DifferentiableObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        self.minimize(&objective::ValueOnly(objective), domain)
+    }
 
     /// Short human-readable algorithm name (used in reports and benches).
     fn name(&self) -> &'static str;

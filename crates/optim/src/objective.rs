@@ -31,6 +31,39 @@ impl Objective for dyn Fn(&[f64]) -> f64 + '_ {
     }
 }
 
+/// An objective that can also produce its gradient analytically.
+///
+/// Gradient-based methods ([`GradientDescent`]) interrogate this trait
+/// through their `minimize_differentiable` entry points: one
+/// `value_grad` call replaces the `2·dim` objective evaluations of a
+/// central-difference gradient — the hook the engine's reverse-mode
+/// adjoint tape sweep plugs into. The plain [`Minimizer`] entry points
+/// are unchanged and keep using finite differences.
+///
+/// Implementations must write exactly `x.len()` partials into `grad`.
+/// Non-finite values (value or any partial) mean "no usable gradient
+/// here"; callers fall back to finite differences or treat the point as
+/// infeasible, exactly as for [`Objective`].
+///
+/// [`GradientDescent`]: crate::gradient::GradientDescent
+/// [`Minimizer`]: crate::Minimizer
+pub trait DifferentiableObjective: Objective {
+    /// Writes `∇f(x)` into `grad` (length `x.len()`) and returns
+    /// `f(x)`.
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64;
+}
+
+/// Adapter presenting a [`DifferentiableObjective`] as a plain
+/// [`Objective`] without trait-object upcasting (MSRV-friendly); used
+/// by gradient consumers that also need value-only evaluations.
+pub(crate) struct ValueOnly<'a>(pub &'a dyn DifferentiableObjective);
+
+impl Objective for ValueOnly<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.0.eval(x)
+    }
+}
+
 /// An objective that can evaluate a whole batch of points at once.
 ///
 /// Population-based and exhaustive methods ([`GridSearch`],
@@ -133,6 +166,14 @@ impl<'a> CountingObjective<'a> {
     /// Number of evaluations so far.
     pub fn count(&self) -> u64 {
         self.count.get()
+    }
+
+    /// Records `n` evaluations performed outside [`eval`](Objective::eval)
+    /// — e.g. the forward tape sweep embedded in an analytic
+    /// [`DifferentiableObjective::value_grad`] call — so reported
+    /// evaluation counts stay comparable across gradient sources.
+    pub fn record(&self, n: u64) {
+        self.count.set(self.count.get() + n);
     }
 
     /// Evaluates and maps non-finite results to `f64::INFINITY` so that

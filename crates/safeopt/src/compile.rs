@@ -25,7 +25,9 @@ use crate::model::SafetyModel;
 use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
-use safety_opt_engine::{BatchEvaluator, ExecBackend, QuantizedCache, Tape, TapeBuilder, Value};
+use safety_opt_engine::{
+    BatchEvaluator, ExecBackend, GradWorkspace, QuantizedCache, Tape, TapeBuilder, Value,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -168,6 +170,47 @@ impl CompiledModel {
         Ok(self.evaluator().costs_and_outputs(points))
     }
 
+    /// Cost **and** analytic cost gradient at one point, via the
+    /// engine's reverse-mode adjoint sweep (one forward + one backward
+    /// pass — cost independent of the parameter count, unlike the
+    /// `2·dim` tape sweeps of a central-difference gradient). The value
+    /// is bit-identical to [`cost`](Self::cost); NaN (a failing opaque
+    /// closure factor) propagates into the value and every gradient
+    /// component it reaches.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn value_grad(&self, x: &[f64]) -> Result<(f64, Vec<f64>)> {
+        self.check_dim(x.len())?;
+        Ok(self.tape.eval_grad(x))
+    }
+
+    /// The analytic cost gradient at one point (see
+    /// [`value_grad`](Self::value_grad)).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn gradient(&self, x: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.value_grad(x)?.1)
+    }
+
+    /// Costs and analytic gradients for a batch of points, sharded
+    /// across the deterministic chunked pool (`grads` is row-major,
+    /// `points.len() × dim`; results are independent of the thread
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn gradient_batch(&self, points: &[Vec<f64>]) -> Result<(Vec<f64>, Vec<f64>)> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        Ok(self.evaluator().eval_grad_batch(points))
+    }
+
     /// The batch evaluator every batch entry point routes through.
     fn evaluator(&self) -> BatchEvaluator<'_> {
         BatchEvaluator::new(&self.tape, self.threads).backend(self.backend)
@@ -182,6 +225,7 @@ impl CompiledModel {
                 Vec::with_capacity(self.tape.scratch_len()),
                 vec![0.0; self.n_hazards()],
             )),
+            grad_ws: RefCell::new(GradWorkspace::new()),
             cache: memo.then(QuantizedCache::fine),
         }
     }
@@ -197,6 +241,7 @@ impl CompiledModel {
 pub struct CompiledObjective {
     tape: Arc<Tape>,
     scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+    grad_ws: RefCell<GradWorkspace>,
     cache: Option<QuantizedCache>,
 }
 
@@ -225,6 +270,31 @@ impl safety_opt_optim::Objective for CompiledObjective {
         match &self.cache {
             Some(cache) => cache.get_or_insert_with(x, || self.eval_raw(x)),
             None => self.eval_raw(x),
+        }
+    }
+}
+
+/// The analytic-gradient hook for
+/// [`safety_opt_optim::gradient::GradientDescent::minimize_differentiable`]:
+/// one reverse-mode adjoint sweep of the compiled tape per gradient.
+/// Evaluation failures surface as an `∞` value (exactly like
+/// [`eval`](safety_opt_optim::Objective::eval)) alongside the poisoned
+/// gradient, which tells the optimizer to fall back to finite
+/// differences at that point. The memo cache is bypassed — a gradient
+/// call is as cheap as the forward evaluation it embeds.
+impl safety_opt_optim::DifferentiableObjective for CompiledObjective {
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        if x.len() != self.tape.n_inputs() || grad.len() != x.len() {
+            grad.fill(f64::NAN);
+            return f64::INFINITY;
+        }
+        let ws = &mut *self.grad_ws.borrow_mut();
+        let (_, hazards) = &mut *self.scratch.borrow_mut();
+        let v = self.tape.eval_grad_into(x, ws, hazards, grad);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
         }
     }
 }
@@ -463,6 +533,81 @@ mod tests {
             scalar.cost_batch(&points).unwrap(),
             soa.cost_batch(&points).unwrap()
         );
+    }
+
+    #[test]
+    fn adjoint_gradient_matches_finite_differences() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        for x in [[10.0, 12.0], [19.0, 15.6], [6.5, 27.0]] {
+            let (value, grad) = compiled.value_grad(&x).unwrap();
+            assert_eq!(
+                value.to_bits(),
+                compiled.cost(&x).unwrap().to_bits(),
+                "value must be bit-identical to plain evaluation"
+            );
+            // Large enough that the reference's subtractive
+            // cancellation stays below the comparison tolerance (the
+            // adjoint side has no step at all).
+            let h = 1e-4;
+            for i in 0..2 {
+                let mut p = x;
+                p[i] += h;
+                let fp = compiled.cost(&p).unwrap();
+                p[i] = x[i] - h;
+                let fm = compiled.cost(&p).unwrap();
+                let fd = (fp - fm) / (2.0 * h);
+                let scale = grad[i].abs().max(fd.abs()).max(1e-9);
+                assert!(
+                    (grad[i] - fd).abs() <= 1e-5 * scale,
+                    "∂f/∂x{i} at {x:?}: adjoint {} vs fd {fd}",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_batch_is_bit_identical_to_pointwise() {
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile_with_threads(&model, 3).unwrap();
+        let points: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                let t = 5.0 + (i as f64) * 25.0 / 299.0;
+                vec![t, 35.0 - t]
+            })
+            .collect();
+        let (costs, grads) = compiled.gradient_batch(&points).unwrap();
+        assert_eq!(costs, compiled.cost_batch(&points).unwrap());
+        for (i, p) in points.iter().enumerate() {
+            let (_, g) = compiled.value_grad(p).unwrap();
+            for (a, b) in g.iter().zip(&grads[i * 2..(i + 1) * 2]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "point {i}");
+            }
+        }
+        assert!(compiled.gradient(&[1.0]).is_err());
+        assert!(compiled.gradient_batch(&[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn differentiable_objective_agrees_with_eval() {
+        use safety_opt_optim::DifferentiableObjective as _;
+        let model = elb_like_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let obj = compiled.objective(false);
+        let x = [14.0, 17.0];
+        let mut grad = [0.0; 2];
+        let v = obj.value_grad(&x, &mut grad);
+        assert_eq!(v.to_bits(), obj.eval(&x).to_bits());
+        assert_eq!(
+            grad[0].to_bits(),
+            compiled.gradient(&x).unwrap()[0].to_bits()
+        );
+        // Wrong arity is infeasible, not a panic — and poisons the
+        // gradient so the optimizer falls back to finite differences.
+        let mut bad = [0.0; 1];
+        assert_eq!(obj.value_grad(&[1.0], &mut bad), f64::INFINITY);
+        assert!(bad[0].is_nan());
     }
 
     #[test]

@@ -196,8 +196,19 @@ pub fn tornado(model: &SafetyModel, reference: &[f64]) -> Result<Vec<TornadoBar>
     Ok(bars)
 }
 
-/// Central-difference gradient of the cost at `x` (step `h` relative to
-/// each parameter's interval width, probes clamped into the domain).
+/// Cost gradient at `x`, via the engine's reverse-mode adjoint sweep:
+/// one forward + one backward tape pass yields **all** partials at a
+/// cost independent of the parameter count, instead of the `2·dim`
+/// tape sweeps of the old one-at-a-time central differences. Opaque
+/// closure factors differentiate through per-op central differences
+/// inside the adjoint pass, so every model keeps working.
+///
+/// When the adjoint gradient comes back non-finite (the model fails to
+/// evaluate somewhere in the NaN-poisoned region), the old
+/// central-difference path runs instead — step `h` relative to each
+/// parameter's interval width, probes clamped into the domain — so
+/// failures surface as the same typed errors as before. `h` only
+/// affects that fallback.
 ///
 /// # Errors
 ///
@@ -211,8 +222,14 @@ pub fn local_gradient(model: &SafetyModel, x: &[f64], h: f64) -> Result<Vec<f64>
             got: x.len(),
         });
     }
-    // Batch path: all central-difference probes in one compiled
-    // evaluation.
+    let compiled = CompiledModel::compile(model)?;
+    let (value, grad) = compiled.value_grad(x)?;
+    if value.is_finite() && grad.iter().all(|g| g.is_finite()) {
+        return Ok(grad);
+    }
+    // Fallback: the pre-adjoint central-difference path — all probes in
+    // one compiled batch, non-finite rows resolved to the scalar path's
+    // typed error.
     let mut spans = Vec::with_capacity(space.len());
     let mut probes = Vec::with_capacity(2 * space.len());
     let mut probe = x.to_vec();
@@ -227,7 +244,6 @@ pub fn local_gradient(model: &SafetyModel, x: &[f64], h: f64) -> Result<Vec<f64>
         probe[id.index()] = x[id.index()];
         spans.push(hi - lo);
     }
-    let compiled = CompiledModel::compile(model)?;
     let raw = compiled.cost_batch(&probes)?;
     let mut costs = Vec::with_capacity(raw.len());
     for (v, p) in raw.into_iter().zip(&probes) {
@@ -334,6 +350,57 @@ mod tests {
         let g = local_gradient(&m, &[10.0, 25.0], 1e-4).unwrap();
         assert!(g[0] < 0.0, "g_t1 = {}", g[0]);
         assert!(g[1] > 0.0, "g_t2 = {}", g[1]);
+    }
+
+    #[test]
+    fn adjoint_gradient_matches_central_differences() {
+        let (m, _, _) = model();
+        for x in [[12.0, 18.0], [7.5, 25.0], [22.0, 9.0]] {
+            let g = local_gradient(&m, &x, 1e-6).unwrap();
+            for i in 0..2 {
+                // Reference step large enough that central-difference
+                // cancellation stays below the tolerance.
+                let h = 1e-4 * 25.0;
+                let mut p = x;
+                p[i] = x[i] + h;
+                let fp = m.cost(&p).unwrap();
+                p[i] = x[i] - h;
+                let fm = m.cost(&p).unwrap();
+                let fd = (fp - fm) / (2.0 * h);
+                let scale = g[i].abs().max(fd.abs()).max(1e-9);
+                assert!(
+                    (g[i] - fd).abs() <= 1e-5 * scale,
+                    "component {i} at {x:?}: adjoint {} vs fd {fd}",
+                    g[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_models_still_differentiate() {
+        // An opaque factor forces the adjoint pass through its per-op
+        // central-difference fallback; the gradient must stay finite
+        // and correct in sign (cost grows with t via 0.01·t²).
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 0.1, 10.0).unwrap();
+        let _ = t;
+        let h = Hazard::builder("h")
+            .cut_set(
+                "smooth closure",
+                [crate::pprob::from_fn("quad", |v| {
+                    let t = v.get(crate::param::ParamId::new(0)).unwrap_or(f64::NAN);
+                    (0.01 * t * t).min(1.0)
+                })],
+            )
+            .build();
+        let m = SafetyModel::new(space).hazard(h, 1.0);
+        let g = local_gradient(&m, &[3.0], 1e-6).unwrap();
+        assert!(
+            (g[0] - 0.06).abs() < 1e-6,
+            "d/dt 0.01 t² at 3 = 0.06, got {}",
+            g[0]
+        );
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! E11 — exact-quantification throughput: points/sec of the per-point
+//! BDD oracle (`TreeBdd::probability` with freshly evaluated leaf
+//! probabilities, the pre-subsystem way to get exact numbers) vs. the
+//! **compiled BDD Shannon tape** (`QuantMethod::BddExact` lowered onto
+//! the engine's fused `MulAdd` ops) on the Elbtunnel fault trees over a
+//! dense timer grid.
+//!
+//! Writes `BENCH_exact.json` at the workspace root in the shared
+//! [`safety_opt_bench::BenchReport`] schema. The headline number is the
+//! **one-core** comparison: the compiled tape must win on batched leaf
+//! kernels + flat op sweeps alone (no per-point `HashMap` memo, no
+//! per-point `ProbabilityMap`), before thread-level parallelism. A
+//! compiled rare-event mode is recorded alongside, so the baseline also
+//! documents what exactness costs *on the tape* (spoiler: the Shannon
+//! ops are in the same ballpark as the cut-set sum).
+//!
+//! Run with: `cargo run --release -p safety_opt_bench --bin exact_throughput`
+//!
+//! With `--enforce`, exits non-zero when the one-core compiled tape
+//! falls below the 3× target over the per-point oracle. The
+//! compiled↔oracle ≤ 1e-12 equivalence check is always enforced.
+
+use safety_opt_bench::{bench_timestamp, measure, BenchReport};
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_core::model::{Hazard, QuantMethod, SafetyModel};
+use safety_opt_core::param::ParamValues;
+use safety_opt_core::param::ParameterSpace;
+use safety_opt_core::pprob::{constant, exposure, overtime, product, scaled, sum, ProbExpr};
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_elbtunnel::fault_trees::{collision_tree, false_alarm_tree, names};
+use safety_opt_fta::bdd::TreeBdd;
+use safety_opt_fta::quant::ProbabilityMap;
+use safety_opt_fta::tree::FaultTree;
+
+/// Grid resolution per timer axis (N_SIDE² points per pass).
+const N_SIDE: usize = 141;
+/// Acceptance threshold: compiled exact tape vs. per-point BDD oracle,
+/// points/sec on one core.
+const TARGET_SPEEDUP: f64 = 3.0;
+
+/// The Elbtunnel hazards as (tree, leaf substitution) pairs — the real
+/// Sect. IV-B fault trees with the calibrated parameterized leaves.
+fn hazards(m: &ElbtunnelModel, space: &mut ParameterSpace) -> Vec<(FaultTree, Vec<ProbExpr>, f64)> {
+    let (lo, hi) = m.timer_domain;
+    let t1 = space.parameter("timer1", lo, hi).unwrap();
+    let t2 = space.parameter("timer2", lo, hi).unwrap();
+    let transit = m.transit_distribution().unwrap();
+    let activation = sum([
+        constant(m.p_ohv).unwrap(),
+        scaled(
+            1.0 - m.p_ohv,
+            product([
+                constant(m.p_fd_lbpre).unwrap(),
+                exposure(m.lambda_fd_lb, t1),
+            ]),
+        )
+        .unwrap(),
+    ]);
+
+    let mut out = Vec::new();
+    for (ft, cost) in [
+        (collision_tree().unwrap(), m.cost_collision),
+        (false_alarm_tree().unwrap(), m.cost_false_alarm),
+    ] {
+        let exprs: Vec<ProbExpr> = (0..ft.leaves().len())
+            .map(|leaf| match ft.node(ft.leaf(leaf)).name() {
+                names::OT1 => overtime(transit, t1),
+                names::OT2 => overtime(transit, t2),
+                names::MD_ODLEFT | names::MD_ODFINAL => constant(1e-5).unwrap(),
+                names::HV_ODFINAL => exposure(m.lambda_hv, t2),
+                names::FD_ODFINAL => scaled(1e-2, exposure(m.lambda_hv, t2)).unwrap(),
+                names::HV_ODLEFT => constant(5e-3).unwrap(),
+                names::FD_ODLEFT => constant(1e-4).unwrap(),
+                names::OHV_CRITICAL => constant(m.p_ohv_critical).unwrap(),
+                names::OHV_PRESENT => constant(m.p_ohv).unwrap(),
+                names::ODFINAL_ACTIVE => activation.clone(),
+                other => unreachable!("unexpected leaf {other}"),
+            })
+            .collect();
+        out.push((ft, exprs, cost));
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let enforce = std::env::args().any(|a| a == "--enforce");
+    let n_points = N_SIDE * N_SIDE;
+    println!("# Exact quantification throughput — Elbtunnel fault trees, {N_SIDE}x{N_SIDE} grid\n");
+
+    let m = ElbtunnelModel::paper();
+    let mut space = ParameterSpace::new();
+    let trees = hazards(&m, &mut space);
+
+    // The compiled side: hazards from the same trees + expressions,
+    // lowered under both quantification methods.
+    let mut exact_model = SafetyModel::new(space).with_quant_method(QuantMethod::BddExact);
+    for (ft, exprs, cost) in &trees {
+        let hazard = Hazard::from_fault_tree(ft, |leaf| Ok(exprs[leaf].clone()))?;
+        exact_model = exact_model.hazard(hazard, *cost);
+    }
+    let rare_model = exact_model
+        .clone()
+        .with_quant_method(QuantMethod::RareEvent);
+    let exact = CompiledModel::compile_with_threads(&exact_model, 1)?;
+    let rare = CompiledModel::compile_with_threads(&rare_model, 1)?;
+    let threads = safety_opt_engine::default_threads();
+    let exact_parallel = CompiledModel::compile_with_threads(&exact_model, threads)?;
+
+    // The oracle side: BDDs built once (that part is compile-time
+    // either way), probabilities per point.
+    let bdds: Vec<TreeBdd> = trees
+        .iter()
+        .map(|(ft, _, _)| TreeBdd::build(ft).unwrap())
+        .collect();
+    let per_point = |x: &[f64]| -> f64 {
+        let params = ParamValues::new(x);
+        let mut cost = 0.0;
+        for ((ft, exprs, weight), bdd) in trees.iter().zip(&bdds) {
+            let pm = ProbabilityMap::from_fn(ft, |leaf| {
+                exprs[leaf]
+                    .eval(&params)
+                    .expect("calibrated leaves evaluate")
+            })
+            .expect("calibrated leaves are probabilities");
+            cost += weight * bdd.probability(&pm).expect("probability map is total");
+        }
+        cost
+    };
+
+    let (lo, hi) = m.timer_domain;
+    let step = (hi - lo) / (N_SIDE - 1) as f64;
+    let points: Vec<Vec<f64>> = (0..n_points)
+        .map(|i| {
+            vec![
+                lo + step * (i / N_SIDE) as f64,
+                lo + step * (i % N_SIDE) as f64,
+            ]
+        })
+        .collect();
+
+    // Correctness gate before timing anything: compiled exact tape ==
+    // per-point BDD oracle, ≤ 1e-12 relative.
+    let compiled_costs = exact.cost_batch(&points)?;
+    let mut max_rel = 0.0f64;
+    for (i, p) in points.iter().enumerate() {
+        let want = per_point(p);
+        let got = compiled_costs[i];
+        let rel = (got - want).abs() / want.abs().max(1.0);
+        assert!(
+            rel <= 1e-12,
+            "compiled exact tape diverged from the BDD oracle at {p:?}: {got} vs {want}"
+        );
+        max_rel = max_rel.max(rel);
+    }
+    println!("equivalence check     compiled == TreeBdd::probability, max rel {max_rel:.2e}\n");
+
+    // The measured approximation error the subsystem removes: the
+    // rare-event cost over-estimate at the paper optimum.
+    let opt = [19.0, 15.6];
+    let gap = (rare.cost(&opt)? - exact.cost(&opt)?) / exact.cost(&opt)?;
+
+    let oracle_mode = measure(
+        "bdd_per_point",
+        "per-point BDD oracle",
+        "points/sec",
+        n_points,
+        || points.iter().map(|p| per_point(p)).sum(),
+    );
+    let exact_mode = measure(
+        "compiled_exact_one_core",
+        "compiled exact (1 core)",
+        "points/sec",
+        n_points,
+        || {
+            exact
+                .cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        },
+    );
+    let rare_mode = measure(
+        "compiled_rare_event",
+        "compiled rare-event",
+        "points/sec",
+        n_points,
+        || {
+            rare.cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        },
+    );
+    let parallel_mode = measure(
+        "compiled_exact_parallel",
+        "compiled exact + parallel",
+        "points/sec",
+        n_points,
+        || {
+            exact_parallel
+                .cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        },
+    );
+
+    let speedup = exact_mode.points_per_sec / oracle_mode.points_per_sec;
+    let speedup_par = parallel_mode.points_per_sec / oracle_mode.points_per_sec;
+    let exactness_cost = exact_mode.points_per_sec / rare_mode.points_per_sec;
+    let pass = speedup >= TARGET_SPEEDUP;
+    println!();
+    println!(
+        "compiled exact vs per-point BDD (1 core) : {speedup:.2}x  (target >= {TARGET_SPEEDUP}x)"
+    );
+    println!("compiled exact + parallel vs per-point   : {speedup_par:.2}x  ({threads} threads)");
+    println!("compiled exact vs compiled rare-event    : {exactness_cost:.2}x");
+    println!(
+        "exact tape ops                           : {}",
+        exact.tape().n_ops()
+    );
+    println!(
+        "rare-event tape ops                      : {}",
+        rare.tape().n_ops()
+    );
+    println!("rare-event cost over-estimate at optimum : {:.3e}", gap);
+    println!(
+        "verdict                                  : {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let timestamp = bench_timestamp();
+    let modes = [oracle_mode, exact_mode, rare_mode, parallel_mode];
+    BenchReport {
+        name: "exact_throughput",
+        workload: "elbtunnel_fault_trees",
+        threads,
+        timestamp: &timestamp,
+        extras: vec![
+            ("n_points", n_points.to_string()),
+            ("exact_tape_ops", exact.tape().n_ops().to_string()),
+            ("rare_event_tape_ops", rare.tape().n_ops().to_string()),
+            (
+                "rare_event_cost_overestimate_at_optimum",
+                format!("{gap:.6e}"),
+            ),
+        ],
+        modes: &modes,
+        speedups: vec![
+            ("compiled_exact_vs_per_point_one_core", speedup),
+            ("compiled_exact_parallel_vs_per_point", speedup_par),
+            ("compiled_exact_vs_compiled_rare_event", exactness_cost),
+        ],
+        target: Some(("compiled_exact_vs_per_point_one_core", TARGET_SPEEDUP)),
+        pass,
+    }
+    .write("exact");
+
+    if !pass {
+        eprintln!(
+            "exact_throughput: below the {TARGET_SPEEDUP}x target{}",
+            if enforce {
+                ""
+            } else {
+                " (not enforced; pass --enforce to gate)"
+            }
+        );
+        if enforce {
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

@@ -21,7 +21,7 @@
 //! proposed fixes.
 
 use crate::constants as c;
-use safety_opt_core::model::{Hazard, SafetyModel};
+use safety_opt_core::model::{Hazard, QuantMethod, SafetyModel};
 use safety_opt_core::param::{ParamId, ParameterSpace};
 use safety_opt_core::pprob::{complement, constant, exposure, overtime, product, scaled, sum};
 use safety_opt_core::Result;
@@ -204,6 +204,91 @@ impl ElbtunnelModel {
             .hazard(false_alarm, self.cost_false_alarm))
     }
 
+    /// Builds the [`SafetyModel`] **from explicit fault trees** under a
+    /// chosen quantification method — the exact-vs-rare-event study's
+    /// entry point ([`crate::scenarios::quant_method_study`]).
+    ///
+    /// Where [`build`](Self::build) writes the paper's final formulas
+    /// down as cut sets (with their hand-derived `(1 − P(OT1))` cross
+    /// term), this variant models each hazard as its tree — residual
+    /// buckets as leaves under the top OR, timers under the INHIBIT
+    /// constraint — and lets the quantification engine do the algebra:
+    ///
+    /// * [`QuantMethod::RareEvent`] reproduces Eq. 1's plain cut-set sum
+    ///   `Pconst1 + P(crit)·P(OT1) + P(crit)·P(OT2)` — *without* the
+    ///   cross term, i.e. exactly the over-estimate the paper's Sect.
+    ///   II-C warns about.
+    /// * [`QuantMethod::BddExact`] quantifies the tree's structure
+    ///   function exactly by Shannon decomposition, recovering the cross
+    ///   term (and the higher-order residual cross terms the paper's own
+    ///   formula still linearizes away).
+    ///
+    /// # Errors
+    ///
+    /// Parameter/expression/tree construction errors.
+    pub fn build_from_trees(&self, method: QuantMethod) -> Result<SafetyModel> {
+        use safety_opt_fta::tree::FaultTree;
+
+        let mut space = ParameterSpace::new();
+        let (lo, hi) = self.timer_domain;
+        let t1 = space.parameter_with_unit("timer1", lo, hi, "min")?;
+        let t2 = space.parameter_with_unit("timer2", lo, hi, "min")?;
+        let transit = self.transit_distribution()?;
+
+        // --- Collision tree: OR(residual, INHIBIT(OT1 ∨ OT2, crit)) ---
+        let mut col = FaultTree::new("collision");
+        let ot1 = col.basic_event("OT1")?;
+        let ot2 = col.basic_event("OT2")?;
+        let crit = col.condition("OHV critical")?;
+        let chain = col.or_gate("a timer runs out", [ot1, ot2])?;
+        let armed = col.inhibit_gate("OHV collides", chain, crit)?;
+        let resid = col.basic_event("Pconst1")?;
+        let top = col.or_gate("collision", [armed, resid])?;
+        col.set_root(top)?;
+        let p_crit = self.p_ohv_critical;
+        let p_c1 = self.p_const1;
+        let collision = Hazard::from_fault_tree(&col, |leaf| {
+            Ok(match col.node(col.leaf(leaf)).name() {
+                "OT1" => overtime(transit, t1),
+                "OT2" => overtime(transit, t2),
+                "OHV critical" => constant(p_crit)?,
+                "Pconst1" => constant(p_c1)?,
+                other => unreachable!("unexpected collision leaf {other}"),
+            })
+        })?;
+
+        // --- False-alarm tree: OR(residual, INHIBIT(HV, active)) ---
+        let mut alr = FaultTree::new("false-alarm");
+        let hv = alr.basic_event("HV_ODfinal")?;
+        let active = alr.condition("ODfinal active")?;
+        let armed = alr.inhibit_gate("spurious stop in zone 2", hv, active)?;
+        let resid = alr.basic_event("Pconst2")?;
+        let top = alr.or_gate("false alarm", [armed, resid])?;
+        alr.set_root(top)?;
+        let activation = sum([
+            constant(self.p_ohv)?,
+            scaled(
+                1.0 - self.p_ohv,
+                product([constant(self.p_fd_lbpre)?, exposure(self.lambda_fd_lb, t1)]),
+            )?,
+        ]);
+        let lambda_hv = self.lambda_hv;
+        let p_c2 = self.p_const2;
+        let false_alarm = Hazard::from_fault_tree(&alr, |leaf| {
+            Ok(match alr.node(alr.leaf(leaf)).name() {
+                "HV_ODfinal" => exposure(lambda_hv, t2),
+                "ODfinal active" => activation.clone(),
+                "Pconst2" => constant(p_c2)?,
+                other => unreachable!("unexpected false-alarm leaf {other}"),
+            })
+        })?;
+
+        Ok(SafetyModel::new(space)
+            .hazard(collision, self.cost_collision)
+            .hazard(false_alarm, self.cost_false_alarm)
+            .with_quant_method(method))
+    }
+
     /// Ids of the two timer parameters in a model built by
     /// [`build`](Self::build): `(timer1, timer2)`.
     pub fn timer_ids(model: &SafetyModel) -> (ParamId, ParamId) {
@@ -337,6 +422,52 @@ mod tests {
             let cost = model.cost(&[t1, t2]).unwrap();
             assert!((cost - m.cost(t1, t2).unwrap()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn tree_model_quantifications_bracket_the_paper_formula() {
+        // Rare-event on the tree drops the (1 − P(OT1)) cross term and
+        // over-estimates; BDD-exact recovers it (and the tiny residual
+        // cross terms), so at every point:
+        //   exact ≤ paper formula ≤ rare-event,
+        // with exact ≈ paper to within the Pconst cross terms.
+        let m = ElbtunnelModel::paper();
+        let rare = m.build_from_trees(QuantMethod::RareEvent).unwrap();
+        let exact = m.build_from_trees(QuantMethod::BddExact).unwrap();
+        for &(t1, t2) in &[(30.0, 30.0), (19.0, 15.6), (10.0, 10.0), (5.0, 7.0)] {
+            let x = [t1, t2];
+            let pr = rare.hazard_probabilities(&x).unwrap();
+            let pe = exact.hazard_probabilities(&x).unwrap();
+            let paper = [m.p_collision(t1, t2).unwrap(), m.p_false_alarm(t1, t2)];
+            for h in 0..2 {
+                assert!(
+                    pe[h] <= paper[h] + 1e-15,
+                    "hazard {h} at ({t1},{t2}): exact {} > paper {}",
+                    pe[h],
+                    paper[h]
+                );
+                assert!(
+                    paper[h] <= pr[h] + 1e-15,
+                    "hazard {h} at ({t1},{t2}): paper {} > rare {}",
+                    paper[h],
+                    pr[h]
+                );
+                // The exact value only differs from the paper formula by
+                // residual cross terms (≈ Pconst · P(explicit part)).
+                assert!(
+                    (pe[h] - paper[h]).abs() <= 1e-4 * paper[h].max(1e-12),
+                    "hazard {h} at ({t1},{t2}): exact {} vs paper {}",
+                    pe[h],
+                    paper[h]
+                );
+            }
+        }
+        // And the gap is real: at short timers the OT1·OT2 cross term
+        // makes rare-event strictly larger.
+        let x = [6.0, 6.0];
+        let pr = rare.hazard_probabilities(&x).unwrap()[0];
+        let pe = exact.hazard_probabilities(&x).unwrap()[0];
+        assert!(pr > pe, "rare {pr} vs exact {pe}");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Golden: the adjoint-based point-importance API
+//! (`safety_opt_core::importance::ImportanceReport::at_point`) on the
+//! real Elbtunnel false-alarm fault tree at the paper optimum must
+//! reproduce the seed `fta::importance` oracle — same Birnbaum values,
+//! same ranking — and the paper's "HV at ODfinal dominates" claim.
+//!
+//! The safeopt side computes everything from **one reverse-mode adjoint
+//! sweep** per hazard over the compiled Shannon leaf tape; the oracle
+//! side is the fta report at the same numeric leaf probabilities.
+
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_core::importance::ImportanceReport;
+use safety_opt_core::model::{Hazard, QuantMethod, SafetyModel};
+use safety_opt_core::param::ParameterSpace;
+use safety_opt_core::pprob::{constant, exposure, product, scaled, sum, ProbExpr};
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_elbtunnel::constants::PAPER_OPTIMUM_MIN;
+use safety_opt_elbtunnel::fault_trees::{false_alarm_tree, names};
+use safety_opt_fta::importance::ImportanceReport as FtaReport;
+use safety_opt_fta::quant::ProbabilityMap;
+
+/// Leaf probabilities of the false-alarm tree as parameterized
+/// expressions (the environment of the seed
+/// `hv_odfinal_dominates_importance` test, with the timer dependencies
+/// made explicit).
+fn false_alarm_hazard(m: &ElbtunnelModel, space: &mut ParameterSpace) -> Hazard {
+    let t1 = space.parameter("timer1", 5.0, 30.0).unwrap();
+    let t2 = space.parameter("timer2", 5.0, 30.0).unwrap();
+    let ft = false_alarm_tree().unwrap();
+    let activation = sum([
+        constant(m.p_ohv).unwrap(),
+        scaled(
+            1.0 - m.p_ohv,
+            product([
+                constant(m.p_fd_lbpre).unwrap(),
+                exposure(m.lambda_fd_lb, t1),
+            ]),
+        )
+        .unwrap(),
+    ]);
+    let lambda_hv = m.lambda_hv;
+    let p_ohv = m.p_ohv;
+    Hazard::from_fault_tree(&ft, |leaf| -> safety_opt_core::Result<ProbExpr> {
+        Ok(match ft.node(ft.leaf(leaf)).name() {
+            names::HV_ODFINAL => exposure(lambda_hv, t2),
+            names::FD_ODFINAL => scaled(1e-2, exposure(lambda_hv, t2))?,
+            names::HV_ODLEFT => constant(5e-3)?,
+            names::FD_ODLEFT => constant(1e-4)?,
+            names::OHV_PRESENT => constant(p_ohv)?,
+            names::ODFINAL_ACTIVE => activation.clone(),
+            other => unreachable!("unexpected leaf {other}"),
+        })
+    })
+    .unwrap()
+}
+
+#[test]
+fn adjoint_importance_matches_fta_oracle_at_paper_optimum() {
+    let m = ElbtunnelModel::paper();
+    let mut space = ParameterSpace::new();
+    let hazard = false_alarm_hazard(&m, &mut space);
+    let model = SafetyModel::new(space)
+        .hazard(hazard, 1.0)
+        .with_quant_method(QuantMethod::BddExact);
+    let compiled = CompiledModel::compile(&model).unwrap();
+
+    let (t1, t2) = PAPER_OPTIMUM_MIN;
+    let report = ImportanceReport::at_point(&compiled, &[t1, t2]).unwrap();
+    let h = report.hazard("HAlr: false alarm locks the tunnel").unwrap();
+    assert!(h.exact);
+    assert_eq!(h.leaves.len(), 6);
+
+    // Oracle: the fta importance report at the same numeric leaf
+    // probabilities.
+    let ft = false_alarm_tree().unwrap();
+    let activation = m.p_ohv + (1.0 - m.p_ohv) * m.p_fd_lbpre * m.p_fd_lbpost(t1);
+    let probs = ProbabilityMap::from_fn(&ft, |leaf| match ft.node(ft.leaf(leaf)).name() {
+        names::HV_ODFINAL => m.p_hv_odfinal(t2),
+        names::FD_ODFINAL => 1e-2 * m.p_hv_odfinal(t2),
+        names::HV_ODLEFT => 5e-3,
+        names::FD_ODLEFT => 1e-4,
+        names::OHV_PRESENT => m.p_ohv,
+        names::ODFINAL_ACTIVE => activation,
+        other => unreachable!("unexpected leaf {other}"),
+    })
+    .unwrap();
+    let oracle = FtaReport::compute(&ft, &probs).unwrap();
+
+    // Hazard probability and every per-leaf measure agree.
+    let scale = oracle.hazard_probability;
+    assert!(
+        (h.probability - oracle.hazard_probability).abs() <= 1e-12 * scale,
+        "P: {} vs {}",
+        h.probability,
+        oracle.hazard_probability
+    );
+    for leaf in &h.leaves {
+        let o = oracle.by_name(&leaf.name).unwrap();
+        let s = o.birnbaum.abs().max(1e-12);
+        assert!(
+            (leaf.birnbaum - o.birnbaum).abs() <= 1e-9 * s,
+            "{}: birnbaum {} vs {}",
+            leaf.name,
+            leaf.birnbaum,
+            o.birnbaum
+        );
+        assert!((leaf.criticality - o.criticality).abs() <= 1e-9 * o.criticality.abs().max(1e-12));
+        assert!((leaf.raw - o.raw).abs() <= 1e-6 * o.raw.abs().max(1.0));
+        assert!((leaf.rrw - o.rrw).abs() <= 1e-6 * o.rrw.abs().max(1.0));
+    }
+
+    // Golden ranking: the adjoint report sorts leaves exactly like the
+    // seed oracle (both by descending Birnbaum).
+    let got: Vec<&str> = h.leaves.iter().map(|l| l.name.as_str()).collect();
+    let want: Vec<&str> = oracle.leaves.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(got, want, "Birnbaum ranking diverged from the oracle");
+    // The structural sensitivities are led by the two constraint
+    // conditions (they gate everything else)…
+    assert_eq!(got[0], names::ODFINAL_ACTIVE);
+    assert_eq!(got[1], names::OHV_PRESENT);
+
+    // …while the paper's claim is about *contribution*: HV at ODfinal
+    // dominates the hazard probability by far (Fussell–Vesely two
+    // orders of magnitude above every other failure leaf).
+    let hv = h.by_name(names::HV_ODFINAL).unwrap();
+    assert!(hv.fussell_vesely > 0.9, "FV = {}", hv.fussell_vesely);
+    for other in [names::HV_ODLEFT, names::FD_ODLEFT, names::FD_ODFINAL] {
+        let o = h.by_name(other).unwrap();
+        assert!(
+            hv.fussell_vesely > 10.0 * o.fussell_vesely,
+            "{}: FV {} not dominated by HV_ODfinal {}",
+            other,
+            o.fussell_vesely,
+            hv.fussell_vesely
+        );
+    }
+}

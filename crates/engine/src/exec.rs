@@ -257,6 +257,23 @@ impl LaneFile {
                     out[l] = if acc[l] > 1.0 { 1.0 } else { acc[l] };
                 }
             }
+            Op::MulAdd { p, hi, lo } => {
+                // Constants broadcast across the block; per lane the
+                // multiply/complement/multiply/add sequence is exactly
+                // the scalar kernel's, so results stay bit-identical.
+                let block = |v: Value| -> [f64; L] {
+                    match v {
+                        Value::Const(c) => [c; L],
+                        Value::Reg(r) => *arg(r),
+                    }
+                };
+                let pv = block(*p);
+                let hv = block(*hi);
+                let lv = block(*lo);
+                for l in 0..L {
+                    out[l] = pv[l] * hv[l] + (1.0 - pv[l]) * lv[l];
+                }
+            }
         }
     }
 

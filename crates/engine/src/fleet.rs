@@ -164,6 +164,13 @@ impl FleetBuilder {
                             mark(r);
                         }
                     }
+                    Op::MulAdd { p, hi, lo } => {
+                        for v in [p, hi, lo] {
+                            if let Value::Reg(r) = v {
+                                mark(*r);
+                            }
+                        }
+                    }
                 }
             }
             masks.push(

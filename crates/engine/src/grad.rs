@@ -24,6 +24,10 @@
 //! * [`Op::SumClamp`] — pass-through below the clamp, **subgradient 0**
 //!   once `bias + Σ args > 1` (the forward branch condition, re-checked
 //!   bit-for-bit in the backward sweep).
+//! * [`Op::MulAdd`] — Shannon/ITE node `p·h + (1−p)·l`: `∂/∂p = h − l`,
+//!   `∂/∂h = p`, `∂/∂l = 1 − p`. On a tape whose inputs are leaf
+//!   probabilities this is exactly the Birnbaum-importance recursion, so
+//!   one backward sweep yields every `∂P/∂qᵢ` at once.
 //! * [`Op::Closure`] — opaque functions have no structure to
 //!   differentiate; the backward pass falls back to **per-op central
 //!   differences** of just that closure (`2·dim` closure calls, not
@@ -191,6 +195,23 @@ impl Tape {
                     for (i, r) in regs.iter().enumerate().rev() {
                         ws.adjoint[r.index()] += a * ws.prefix[i] * suffix;
                         suffix *= ws.scratch[r.index()];
+                    }
+                }
+                Op::MulAdd { p, hi, lo } => {
+                    // y = p·h + (1−p)·l: ∂y/∂p = h − l, ∂y/∂h = p,
+                    // ∂y/∂l = 1 − p. Constant operands have no register
+                    // and receive no adjoint.
+                    let pv = Tape::value_at(*p, &ws.scratch);
+                    let hv = Tape::value_at(*hi, &ws.scratch);
+                    let lv = Tape::value_at(*lo, &ws.scratch);
+                    if let crate::tape::Value::Reg(r) = p {
+                        ws.adjoint[r.index()] += a * (hv - lv);
+                    }
+                    if let crate::tape::Value::Reg(r) = hi {
+                        ws.adjoint[r.index()] += a * pv;
+                    }
+                    if let crate::tape::Value::Reg(r) = lo {
+                        ws.adjoint[r.index()] += a * (1.0 - pv);
                     }
                 }
                 Op::SumClamp { bias, args } => {
@@ -400,6 +421,40 @@ mod tests {
         let (_, g) = tape.eval_grad(&[1.5]);
         let want = 7.0 * 0.2 * (-0.2f64 * 1.5).exp();
         assert!((g[0] - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mul_add_vjp_is_the_birnbaum_recursion() {
+        // A two-node Shannon chain over leaf probabilities q0, q1:
+        // P = q0·1 + (1−q0)·(q1·1 + (1−q1)·0) — an OR of two leaves.
+        let mut b = TapeBuilder::new(2);
+        let inner = b.mul_add(b.input(1), b.constant(1.0), b.constant(0.0));
+        let root = b.mul_add(b.input(0), b.constant(1.0), inner);
+        b.output(root, 1.0);
+        let tape = b.build();
+        let q = [0.3, 0.2];
+        let (p, grad) = tape.eval_grad(&q);
+        let want = q[0] + (1.0 - q[0]) * q[1];
+        assert!((p - want).abs() < 1e-15);
+        // Birnbaum: ∂P/∂q0 = 1 − q1, ∂P/∂q1 = 1 − q0 — and the adjoint
+        // must agree with central differences.
+        assert!((grad[0] - (1.0 - q[1])).abs() < 1e-15);
+        assert!((grad[1] - (1.0 - q[0])).abs() < 1e-15);
+        assert_grad_close(&grad, &fd_grad(&tape, &q, 1e-6), 1e-8);
+    }
+
+    #[test]
+    fn mul_add_vjp_reaches_all_three_operands() {
+        // y = p·h + (1−p)·l with every operand a register.
+        let mut b = TapeBuilder::new(3);
+        let node = b.mul_add(b.input(0), b.input(1), b.input(2));
+        b.output(node, 2.0);
+        let tape = b.build();
+        let x = [0.4, 0.9, 0.1];
+        let (_, grad) = tape.eval_grad(&x);
+        assert!((grad[0] - 2.0 * (x[1] - x[2])).abs() < 1e-15);
+        assert!((grad[1] - 2.0 * x[0]).abs() < 1e-15);
+        assert!((grad[2] - 2.0 * (1.0 - x[0])).abs() < 1e-15);
     }
 
     #[test]

@@ -191,11 +191,33 @@ pub enum Op {
     },
     /// `min(bias + Σ args, 1)`: clamped probability sum (hazard
     /// probabilities, saturating sums).
+    ///
+    /// Only the **upper** clamp is materialized: every argument is a
+    /// probability ≥ 0 by construction (the model layer validates
+    /// factors into `[0, 1]`, and opaque closures surface failures as
+    /// NaN — which both clamps deliberately pass through), so the lower
+    /// guard of the scalar rare-event sum
+    /// (`Hazard::probability`'s `[0, 1]` clamp) can never fire on a
+    /// lowered tape and is not re-checked per point.
     SumClamp {
         /// Folded constant offset.
         bias: f64,
         /// Range into the tape's argument table.
         args: ArgRange,
+    },
+    /// `p·hi + (1−p)·lo`: fused Shannon/ITE node — the kernel of
+    /// BDD-exact hazard quantification (one op per BDD node; shared
+    /// subgraphs hash-cons within and across hazards). The float
+    /// sequence is exactly the BDD oracle's
+    /// (`fta::bdd::TreeBdd::probability`): multiply high, complement,
+    /// multiply low, add.
+    MulAdd {
+        /// Branch probability (the BDD variable's leaf probability).
+        p: Value,
+        /// Value of the high cofactor (the variable failed).
+        hi: Value,
+        /// Value of the low cofactor (the variable works).
+        lo: Value,
     },
 }
 
@@ -211,6 +233,7 @@ impl std::fmt::Debug for Op {
             Op::Scale { c, x } => write!(f, "Scale({c}, r{})", x.0),
             Op::Product { c, args } => write!(f, "Product({c}, {args:?})"),
             Op::SumClamp { bias, args } => write!(f, "SumClamp({bias}, {args:?})"),
+            Op::MulAdd { p, hi, lo } => write!(f, "MulAdd({p:?}, {hi:?}, {lo:?})"),
         }
     }
 }
@@ -232,6 +255,21 @@ enum OpKey {
     Scale(u64, Reg),
     Product(u64, Vec<Reg>),
     SumClamp(u64, Vec<Reg>),
+    MulAdd([ValueKey; 3]),
+}
+
+/// Hashable identity of a [`Value`] (constants by bit pattern).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum ValueKey {
+    Const(u64),
+    Reg(Reg),
+}
+
+fn value_key(v: Value) -> ValueKey {
+    match v {
+        Value::Const(c) => ValueKey::Const(c.to_bits()),
+        Value::Reg(r) => ValueKey::Reg(r),
+    }
 }
 
 /// A value during lowering: either a compile-time constant or a register.
@@ -340,6 +378,21 @@ impl Tape {
                     acc
                 }
             }
+            Op::MulAdd { p, hi, lo } => {
+                let pv = Self::value_at(*p, scratch);
+                let hv = Self::value_at(*hi, scratch);
+                let lv = Self::value_at(*lo, scratch);
+                pv * hv + (1.0 - pv) * lv
+            }
+        }
+    }
+
+    /// Resolves a [`Value`] against an evaluation scratch.
+    #[inline]
+    pub(crate) fn value_at(v: Value, scratch: &[f64]) -> f64 {
+        match v {
+            Value::Const(c) => c,
+            Value::Reg(r) => scratch[r.index()],
         }
     }
 
@@ -593,6 +646,31 @@ impl TapeBuilder {
         Value::Reg(self.push(key, Op::SumClamp { bias: b, args }))
     }
 
+    /// `p·hi + (1−p)·lo`: the fused Shannon/ITE node of BDD-exact
+    /// quantification. An all-constant node folds at build time with the
+    /// same float sequence the runtime kernel (and the BDD oracle) uses;
+    /// everything else — including a constant selector over computed
+    /// cofactors — stays one op, so NaN cofactors propagate exactly as
+    /// the oracle's `p·hi + (1−p)·lo` arithmetic would (`0·NaN` is NaN;
+    /// short-circuiting a `p = 0` branch would lose that). Structurally
+    /// identical nodes hash-cons, which is what dedups shared BDD
+    /// subgraphs within and across hazards.
+    pub fn mul_add(&mut self, p: Value, hi: Value, lo: Value) -> Value {
+        if let (Value::Const(pc), Value::Const(h), Value::Const(l)) = (p, hi, lo) {
+            return Value::Const(pc * h + (1.0 - pc) * l);
+        }
+        // Touch operands in consumption order so fleet builds
+        // canonicalize later commutative ops exactly like a standalone
+        // build (mirrors `product`/`sum_clamped`).
+        for v in [p, hi, lo] {
+            if let Value::Reg(r) = v {
+                self.touch_key(r);
+            }
+        }
+        let key = OpKey::MulAdd([value_key(p), value_key(hi), value_key(lo)]);
+        Value::Reg(self.push(key, Op::MulAdd { p, hi, lo }))
+    }
+
     fn intern_args(&mut self, regs: &[Reg]) -> ArgRange {
         let start = self.args.len() as u32;
         self.args.extend_from_slice(regs);
@@ -739,6 +817,46 @@ mod tests {
         b.output(h, 1.0);
         let tape = b.build();
         assert!(tape.eval(&[0.5]).is_nan());
+    }
+
+    #[test]
+    fn mul_add_matches_shannon_arithmetic() {
+        // Tape over (p, h, l): one Shannon node.
+        let mut b = TapeBuilder::new(3);
+        let node = b.mul_add(b.input(0), b.input(1), b.input(2));
+        b.output(node, 1.0);
+        let tape = b.build();
+        let (p, h, l) = (0.3, 0.7, 0.2);
+        let want = p * h + (1.0 - p) * l;
+        assert_eq!(tape.eval(&[p, h, l]).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn mul_add_folds_constants_and_hash_conses() {
+        let mut b = TapeBuilder::new(1);
+        // All-constant node folds with the oracle's float sequence.
+        let folded = b.mul_add(b.constant(0.25), b.constant(0.8), b.constant(0.4));
+        assert_eq!(folded, Value::Const(0.25 * 0.8 + (1.0 - 0.25) * 0.4));
+        // Structurally identical nodes intern to one op…
+        let e = b.exposure(0.5, b.input(0));
+        let n1 = b.mul_add(e, b.constant(1.0), b.constant(0.0));
+        let n2 = b.mul_add(e, b.constant(1.0), b.constant(0.0));
+        assert_eq!(n1, n2);
+        // …different cofactors do not.
+        let n3 = b.mul_add(e, b.constant(0.0), b.constant(1.0));
+        assert_ne!(n1, n3);
+        assert_eq!(b.ops.len(), 3);
+    }
+
+    #[test]
+    fn mul_add_keeps_nan_cofactors() {
+        // A constant selector over a NaN cofactor must not short-circuit:
+        // 0·NaN + 1·v is NaN, exactly like the BDD oracle's arithmetic.
+        let mut b = TapeBuilder::new(1);
+        let bad = b.closure(1, Arc::new(|_: &[f64]| f64::NAN));
+        let node = b.mul_add(b.constant(0.0), bad, b.constant(0.5));
+        b.output(node, 1.0);
+        assert!(b.build().eval(&[0.1]).is_nan());
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum FactorSpec {
     Scaled(f64, Box<FactorSpec>),
     Product(Vec<FactorSpec>),
     Sum(Vec<FactorSpec>),
+    /// Shannon/ITE node `p·hi + (1−p)·lo` — the BDD-exact
+    /// quantification kernel ([`TapeBuilder::mul_add`]).
+    Ite(Box<FactorSpec>, Box<FactorSpec>, Box<FactorSpec>),
     /// Opaque closure over the full point; `slot` is its per-model
     /// dedup identity, `poison` makes it return NaN past a threshold
     /// (the evaluation-failure path), `smooth` picks the differentiable
@@ -98,6 +101,11 @@ pub fn smooth_closures(spec: &mut FamilySpec) {
             FactorSpec::Product(terms) | FactorSpec::Sum(terms) => {
                 terms.iter_mut().for_each(visit);
             }
+            FactorSpec::Ite(p, hi, lo) => {
+                visit(p);
+                visit(hi);
+                visit(lo);
+            }
             FactorSpec::Constant { .. }
             | FactorSpec::Exposure { .. }
             | FactorSpec::Overtime { .. } => {}
@@ -139,6 +147,12 @@ pub fn lower_factor(b: &mut TapeBuilder, spec: &FactorSpec, model: usize) -> Val
         FactorSpec::Sum(terms) => {
             let vs: Vec<Value> = terms.iter().map(|t| lower_factor(b, t, model)).collect();
             b.sum_clamped(0.0, vs)
+        }
+        FactorSpec::Ite(p, hi, lo) => {
+            let pv = lower_factor(b, p, model);
+            let hv = lower_factor(b, hi, model);
+            let lv = lower_factor(b, lo, model);
+            b.mul_add(pv, hv, lv)
         }
         FactorSpec::Closure {
             slot,
@@ -214,6 +228,9 @@ pub fn factor_strategy() -> impl Strategy<Value = FactorSpec> {
             (0.0f64..=1.0, inner.clone()).prop_map(|(c, f)| FactorSpec::Scaled(c, Box::new(f))),
             prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Product),
             prop::collection::vec(inner.clone(), 1..4).prop_map(FactorSpec::Sum),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(p, hi, lo)| {
+                FactorSpec::Ite(Box::new(p), Box::new(hi), Box::new(lo))
+            }),
         ]
     })
 }

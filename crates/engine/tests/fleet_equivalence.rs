@@ -138,6 +138,11 @@ proptest! {
                 FactorSpec::Product(terms) | FactorSpec::Sum(terms) => {
                     terms.iter_mut().for_each(freeze)
                 }
+                FactorSpec::Ite(p, hi, lo) => {
+                    freeze(p);
+                    freeze(hi);
+                    freeze(lo);
+                }
                 FactorSpec::Closure { vary, .. } => *vary = false,
             }
         }

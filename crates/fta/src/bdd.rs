@@ -368,6 +368,44 @@ impl TreeBdd {
         Ok(result)
     }
 
+    /// Exports the Shannon decomposition as a flat, compilation-friendly
+    /// plan: the internal nodes reachable from the root in bottom-up
+    /// topological order (children always precede parents), each
+    /// carrying its leaf index and its cofactor references. This is the
+    /// interface the evaluation-engine lowering consumes — one fused
+    /// `p·hi + (1−p)·lo` op per node.
+    pub fn shannon_plan(&self) -> ShannonPlan {
+        let mut index: HashMap<Ref, ShannonRef> = HashMap::new();
+        index.insert(FALSE, ShannonRef::False);
+        index.insert(TRUE, ShannonRef::True);
+        let mut nodes = Vec::new();
+        let mut stack: Vec<(Ref, bool)> = vec![(self.root, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            if index.contains_key(&r) {
+                continue;
+            }
+            let node = self.nodes[r.0 as usize];
+            if expanded {
+                let plan_node = ShannonNode {
+                    leaf: self.level_to_leaf[node.var as usize],
+                    low: index[&node.low],
+                    high: index[&node.high],
+                };
+                index.insert(r, ShannonRef::Node(nodes.len()));
+                nodes.push(plan_node);
+            } else {
+                stack.push((r, true));
+                stack.push((node.high, false));
+                stack.push((node.low, false));
+            }
+        }
+        ShannonPlan {
+            nodes,
+            root: index[&self.root],
+            num_leaves: self.num_leaves,
+        }
+    }
+
     /// The number of leaves of the tree this BDD was built from.
     pub fn num_leaves(&self) -> usize {
         self.num_leaves
@@ -381,6 +419,98 @@ impl TreeBdd {
     /// BDD level of a leaf, if the leaf occurs in the order.
     pub fn level_of_leaf(&self, leaf: usize) -> Option<u32> {
         self.leaf_to_level.get(&leaf).copied()
+    }
+}
+
+/// Cofactor reference inside a [`ShannonPlan`]: a terminal or an earlier
+/// node of the plan (children always precede parents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ShannonRef {
+    /// Terminal 0 — the structure function is false on this branch.
+    False,
+    /// Terminal 1 — the structure function is true on this branch.
+    True,
+    /// Index into [`ShannonPlan::nodes`] (strictly smaller than the
+    /// referencing node's own index).
+    Node(usize),
+}
+
+/// One internal BDD node of an exported Shannon decomposition:
+/// `P(node) = q_leaf · P(high) + (1 − q_leaf) · P(low)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShannonNode {
+    /// Leaf index of the branch variable (tree leaf numbering).
+    pub leaf: usize,
+    /// Cofactor when the leaf works.
+    pub low: ShannonRef,
+    /// Cofactor when the leaf fails.
+    pub high: ShannonRef,
+}
+
+/// A BDD's Shannon decomposition, flattened for compilation: reachable
+/// internal nodes in bottom-up topological order plus the root
+/// reference. See [`TreeBdd::shannon_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShannonPlan {
+    /// Reachable internal nodes, children before parents.
+    pub nodes: Vec<ShannonNode>,
+    /// The decomposition's root (a terminal for constant structure
+    /// functions).
+    pub root: ShannonRef,
+    num_leaves: usize,
+}
+
+impl ShannonPlan {
+    /// Number of leaves of the owning tree (the leaf-probability input
+    /// arity of [`leaf_tape`](Self::leaf_tape)).
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Compiles the decomposition onto an engine op-tape whose **inputs
+    /// are the leaf probabilities** (`num_leaves` coordinates, tree leaf
+    /// numbering): one fused `MulAdd` op per BDD node, output weight 1.
+    ///
+    /// Evaluating the tape reproduces [`TreeBdd::probability`]
+    /// bit-for-bit (same per-node float sequence over the same reduced
+    /// DAG), and because the top-event probability is **multilinear** in
+    /// the leaf probabilities, one reverse-mode adjoint sweep
+    /// ([`safety_opt_engine::Tape::eval_grad`]) yields every Birnbaum
+    /// importance `∂P/∂qᵢ = P(top|qᵢ=1) − P(top|qᵢ=0)` at once.
+    pub fn leaf_tape(&self) -> safety_opt_engine::Tape {
+        use safety_opt_engine::{TapeBuilder, Value};
+        let mut b = TapeBuilder::new(self.num_leaves);
+        let mut vals: Vec<Value> = Vec::with_capacity(self.nodes.len());
+        let resolve = |r: ShannonRef, vals: &[Value]| match r {
+            ShannonRef::False => Value::Const(0.0),
+            ShannonRef::True => Value::Const(1.0),
+            ShannonRef::Node(i) => vals[i],
+        };
+        for node in &self.nodes {
+            let p = b.input(node.leaf);
+            let hi = resolve(node.high, &vals);
+            let lo = resolve(node.low, &vals);
+            vals.push(b.mul_add(p, hi, lo));
+        }
+        let root = resolve(self.root, &vals);
+        b.output(root, 1.0);
+        b.build()
+    }
+
+    /// Top-event probability **and** all Birnbaum importances
+    /// `∂P/∂qᵢ` in one forward + one backward sweep over the leaf tape.
+    /// `probs` is dense, indexed by leaf (length
+    /// [`num_leaves`](Self::num_leaves)); leaves the BDD does not
+    /// reference may carry any value and get gradient 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != num_leaves()`.
+    pub fn probability_and_birnbaum(&self, probs: &[f64]) -> (f64, Vec<f64>) {
+        self.leaf_tape().eval_grad(probs)
     }
 }
 
@@ -598,6 +728,89 @@ mod tests {
         ft.set_root(top).unwrap();
         let bdd = TreeBdd::build(&ft).unwrap();
         assert_eq!(bdd.node_count(), 8);
+    }
+
+    #[test]
+    fn shannon_plan_is_topologically_ordered() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let plan = bdd.shannon_plan();
+        assert_eq!(plan.nodes.len(), bdd.node_count());
+        assert_eq!(plan.num_leaves(), 3);
+        for (i, node) in plan.nodes.iter().enumerate() {
+            for r in [node.low, node.high] {
+                if let ShannonRef::Node(j) = r {
+                    assert!(j < i, "child {j} not before parent {i}");
+                }
+            }
+        }
+        assert!(matches!(plan.root, ShannonRef::Node(_)));
+    }
+
+    #[test]
+    fn shannon_leaf_tape_matches_probability_bitwise() {
+        for (seed, ft) in [
+            (0, and_or_tree()),
+            (1, {
+                let mut ft = FaultTree::new("t");
+                let leaves: Vec<_> = (0..4)
+                    .map(|i| {
+                        ft.basic_event_with_probability(format!("e{i}"), 0.05 + 0.1 * i as f64)
+                            .unwrap()
+                    })
+                    .collect();
+                let top = ft.k_of_n_gate("vote", 2, leaves).unwrap();
+                ft.set_root(top).unwrap();
+                ft
+            }),
+        ] {
+            let bdd = TreeBdd::build(&ft).unwrap();
+            let pm = ft.stored_probabilities().unwrap();
+            let want = bdd.probability(&pm).unwrap();
+            let plan = bdd.shannon_plan();
+            let tape = plan.leaf_tape();
+            assert_eq!(tape.n_inputs(), ft.leaves().len());
+            let got = tape.eval(pm.as_slice());
+            assert_eq!(want.to_bits(), got.to_bits(), "tree {seed}");
+        }
+    }
+
+    #[test]
+    fn birnbaum_gradient_matches_forced_reevaluation() {
+        let ft = and_or_tree();
+        let bdd = TreeBdd::build(&ft).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let plan = bdd.shannon_plan();
+        let (p, grad) = plan.probability_and_birnbaum(pm.as_slice());
+        assert_eq!(p.to_bits(), bdd.probability(&pm).unwrap().to_bits());
+        for (leaf, &g) in grad.iter().enumerate() {
+            let up = bdd
+                .probability(&pm.with_forced(leaf, 1.0).unwrap())
+                .unwrap();
+            let down = bdd
+                .probability(&pm.with_forced(leaf, 0.0).unwrap())
+                .unwrap();
+            assert!(
+                (g - (up - down)).abs() < 1e-15,
+                "leaf {leaf}: adjoint {g} vs forced {}",
+                up - down
+            );
+        }
+    }
+
+    #[test]
+    fn constant_structure_functions_export_terminal_plans() {
+        // Coherent trees cannot produce terminal roots, but the plan
+        // format admits them; the leaf tape must handle a constant
+        // structure function gracefully.
+        let plan = ShannonPlan {
+            nodes: Vec::new(),
+            root: ShannonRef::True,
+            num_leaves: 2,
+        };
+        let (p, grad) = plan.probability_and_birnbaum(&[0.5, 0.5]);
+        assert_eq!(p, 1.0);
+        assert_eq!(grad, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! * **Risk Achievement Worth** `RAW(i) = P(top | pᵢ=1) / P(top)`.
 //! * **Risk Reduction Worth** `RRW(i) = P(top) / P(top | pᵢ=0)`.
 //! * **Criticality** `I_C(i) = I_B(i) · pᵢ / P(top)`.
+//!
+//! Since the top-event probability is **multilinear** in the leaf
+//! probabilities, every conditional `P(top | pᵢ=v)` is an affine
+//! function of `I_B(i) = ∂P/∂qᵢ` — so instead of `2·n` BDD
+//! re-evaluations with forced leaves, all measures now come from **one
+//! reverse-mode adjoint sweep** over the BDD's compiled Shannon leaf
+//! tape ([`crate::bdd::ShannonPlan::probability_and_birnbaum`]): one
+//! forward + one backward pass yields `P(top)` and every `∂P/∂qᵢ` at
+//! once, and `P(top | qᵢ=v) = P(top) + (v − qᵢ)·I_B(i)` exactly.
 
 use crate::bdd::TreeBdd;
 use crate::quant::{cut_set_probability, rare_event, ProbabilityMap};
@@ -62,19 +71,38 @@ impl ImportanceReport {
     pub fn compute(tree: &FaultTree, probs: &ProbabilityMap) -> Result<Self> {
         let bdd = TreeBdd::build(tree)?;
         let mcs = crate::mcs::bottom_up(tree)?;
-        let p_top = bdd.probability(probs)?;
-        let rare_total = rare_event(&mcs, probs)?;
+        let reachable = tree.reachable_leaves()?;
 
-        let mut leaves = Vec::new();
-        for leaf in tree.reachable_leaves()? {
-            let p_leaf = probs
+        // Dense leaf-probability input for the Shannon leaf tape; every
+        // reachable leaf must be covered (the BDD references a subset).
+        let mut q = vec![0.0; tree.leaves().len()];
+        for &leaf in &reachable {
+            q[leaf] = probs
                 .get(leaf)
                 .ok_or_else(|| crate::FtaError::MissingProbability {
                     event: format!("leaf index {leaf}"),
                 })?;
-            let p_up = bdd.probability(&probs.with_forced(leaf, 1.0)?)?;
-            let p_down = bdd.probability(&probs.with_forced(leaf, 0.0)?)?;
-            let birnbaum = p_up - p_down;
+        }
+        // One adjoint sweep: P(top) plus every Birnbaum ∂P/∂qᵢ at once
+        // (P(top) is bit-identical to `bdd.probability(probs)`).
+        let (p_top, birnbaum_all) = bdd.shannon_plan().probability_and_birnbaum(&q);
+        let rare_total = rare_event(&mcs, probs)?;
+
+        let mut leaves = Vec::new();
+        for leaf in reachable {
+            let p_leaf = q[leaf];
+            let birnbaum = birnbaum_all[leaf];
+            // Multilinearity: P(top | qᵢ = v) = P(top) + (v − qᵢ)·I_B.
+            let p_up = p_top + (1.0 - p_leaf) * birnbaum;
+            let mut p_down = p_top - p_leaf * birnbaum;
+            if p_down < p_top * 1e-8 {
+                // Near-total cancellation: for a dominant component the
+                // tiny conditional P(top | qᵢ=0) drowns in the
+                // subtraction. One exact forced re-evaluation for just
+                // this leaf restores it (RRW is precisely the measure
+                // about dominant components).
+                p_down = bdd.probability(&probs.with_forced(leaf, 0.0)?)?;
+            }
 
             // Fussell–Vesely over the rare-event decomposition (standard
             // practice: contribution of cut sets containing the leaf).
@@ -220,6 +248,73 @@ mod tests {
         assert!(spof.raw > 1.0);
         // Removing the SPOF leaves only the tiny AND term: RRW ≫ 1.
         assert!(spof.rrw > 100.0);
+    }
+
+    #[test]
+    fn adjoint_measures_match_forced_reevaluation_oracle() {
+        // The pre-adjoint implementation re-evaluated the BDD with each
+        // leaf forced to 1 and 0; multilinearity makes the adjoint route
+        // exact, and this pins it against that oracle on trees with
+        // shared events and a k-of-n vote.
+        use crate::synth::{random_tree, RandomTreeConfig};
+        for seed in 0..8 {
+            let ft = random_tree(RandomTreeConfig::default(), seed);
+            let pm = ft.stored_probabilities().unwrap();
+            let bdd = TreeBdd::build(&ft).unwrap();
+            let p_top = bdd.probability(&pm).unwrap();
+            let report = ImportanceReport::compute(&ft, &pm).unwrap();
+            assert_eq!(report.hazard_probability.to_bits(), p_top.to_bits());
+            for li in &report.leaves {
+                let up = bdd
+                    .probability(&pm.with_forced(li.leaf, 1.0).unwrap())
+                    .unwrap();
+                let down = bdd
+                    .probability(&pm.with_forced(li.leaf, 0.0).unwrap())
+                    .unwrap();
+                let scale = li.birnbaum.abs().max(1e-12);
+                assert!(
+                    (li.birnbaum - (up - down)).abs() <= 1e-12 * scale.max(1.0),
+                    "seed {seed}, leaf {}: adjoint {} vs oracle {}",
+                    li.leaf,
+                    li.birnbaum,
+                    up - down
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rrw_of_dominant_component_survives_cancellation() {
+        // top = spof OR (x1 AND x2 AND x3 AND x4): removing the SPOF
+        // leaves P ≈ 1e-20 — far below p_top·ε, so the multilinear
+        // subtraction p_top − q·I_B alone would round the conditional
+        // to 0 (RRW = ∞). The forced-evaluation fallback must recover
+        // the exact tiny value.
+        let mut ft = FaultTree::new("t");
+        let spof = ft.basic_event_with_probability("spof", 0.5).unwrap();
+        let xs: Vec<_> = (0..4)
+            .map(|i| {
+                ft.basic_event_with_probability(format!("x{i}"), 1e-5)
+                    .unwrap()
+            })
+            .collect();
+        let g = ft.and_gate("xs", xs).unwrap();
+        let top = ft.or_gate("top", [spof, g]).unwrap();
+        ft.set_root(top).unwrap();
+        let pm = ft.stored_probabilities().unwrap();
+        let report = ImportanceReport::compute(&ft, &pm).unwrap();
+        let spof = report.by_name("spof").unwrap();
+        let p_down = 1e-20; // P(x1..x4 all fail)
+        let want = report.hazard_probability / p_down;
+        assert!(
+            spof.rrw.is_finite(),
+            "RRW must be the exact ratio, not ∞ from a rounded-to-zero conditional"
+        );
+        assert!(
+            (spof.rrw - want).abs() <= 1e-9 * want,
+            "RRW {} vs exact {want}",
+            spof.rrw
+        );
     }
 
     #[test]

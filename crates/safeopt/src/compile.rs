@@ -21,13 +21,14 @@
 //!
 //! [`pprob::from_fn`]: crate::pprob::from_fn
 
-use crate::model::SafetyModel;
+use crate::model::{Hazard, QuantMethod, SafetyModel};
 use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
 use safety_opt_engine::{
     BatchEvaluator, ExecBackend, GradWorkspace, QuantizedCache, Tape, TapeBuilder, Value,
 };
+use safety_opt_fta::bdd::ShannonRef;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,6 +46,10 @@ pub struct CompiledModel {
     space: Arc<ParameterSpace>,
     threads: usize,
     backend: ExecBackend,
+    quant: QuantMethod,
+    /// The source hazards (names + exact BDD structures) — what the
+    /// point-importance API ([`crate::importance`]) walks.
+    hazards: Arc<Vec<Hazard>>,
 }
 
 impl CompiledModel {
@@ -65,19 +70,11 @@ impl CompiledModel {
     /// Same conditions as [`compile`](Self::compile).
     pub fn compile_with_threads(model: &SafetyModel, threads: usize) -> Result<Self> {
         let space = model.space_arc();
+        let quant = model.quant_method();
         let mut builder = TapeBuilder::new(space.len());
         let mut memo: HashMap<usize, Value> = HashMap::new();
         for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
-            let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
-            for cs in hazard.cut_sets() {
-                let factors = cs
-                    .factors()
-                    .iter()
-                    .map(|f| lower(&mut builder, &mut memo, &space, f))
-                    .collect::<Result<Vec<_>>>()?;
-                cut_sets.push(builder.product(factors));
-            }
-            let hazard_value = builder.sum_clamped(0.0, cut_sets);
+            let hazard_value = lower_hazard(&mut builder, &mut memo, &space, hazard, quant)?;
             builder.output(hazard_value, cost);
         }
         Ok(Self {
@@ -85,7 +82,19 @@ impl CompiledModel {
             space,
             threads: threads.max(1),
             backend: safety_opt_engine::default_backend(),
+            quant,
+            hazards: Arc::new(model.hazards().to_vec()),
         })
+    }
+
+    /// The quantification method the tape was compiled with.
+    pub fn quant_method(&self) -> QuantMethod {
+        self.quant
+    }
+
+    /// The source hazards the tape was compiled from.
+    pub(crate) fn hazards(&self) -> &[Hazard] {
+        &self.hazards
     }
 
     /// Overrides the execution backend for every batch entry point
@@ -120,7 +129,7 @@ impl CompiledModel {
         self.threads
     }
 
-    fn check_dim(&self, got: usize) -> Result<()> {
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
         if got != self.dim() {
             return Err(SafeOptError::DimensionMismatch {
                 expected: self.dim(),
@@ -311,6 +320,60 @@ impl safety_opt_optim::BatchObjective for CompiledModel {
             }
         }
     }
+}
+
+/// Lowers one hazard onto the tape under the model's quantification
+/// method (shared between [`CompiledModel`] and the fleet compiler in
+/// [`crate::fleet`]).
+///
+/// * [`QuantMethod::RareEvent`] (and every hazard without a captured
+///   structure function): each cut set fuses into an n-ary product, the
+///   hazard into one clamped sum — the paper's Eq. 3.
+/// * [`QuantMethod::BddExact`]: the hazard's Shannon decomposition
+///   lowers node-by-node into fused `p·hi + (1−p)·lo` ops
+///   ([`TapeBuilder::mul_add`]), leaf expressions lowering through the
+///   same expression memo as the rare-event path. Hash-consing dedups
+///   shared BDD subgraphs **within and across hazards** (and across
+///   fleet models) for free, because structurally identical nodes
+///   produce identical op keys.
+pub(crate) fn lower_hazard(
+    b: &mut TapeBuilder,
+    memo: &mut HashMap<usize, Value>,
+    space: &ParameterSpace,
+    hazard: &Hazard,
+    method: QuantMethod,
+) -> Result<Value> {
+    if method == QuantMethod::BddExact {
+        if let Some(exact) = hazard.exact() {
+            let plan = exact.plan();
+            let mut vals: Vec<Value> = Vec::with_capacity(plan.nodes.len());
+            let resolve = |r: ShannonRef, vals: &[Value], b: &TapeBuilder| match r {
+                ShannonRef::False => b.constant(0.0),
+                ShannonRef::True => b.constant(1.0),
+                ShannonRef::Node(i) => vals[i],
+            };
+            for node in &plan.nodes {
+                let expr = exact
+                    .leaf_expr(node.leaf)
+                    .expect("BDD leaves have substituted expressions");
+                let p = lower(b, memo, space, expr)?;
+                let hi = resolve(node.high, &vals, b);
+                let lo = resolve(node.low, &vals, b);
+                vals.push(b.mul_add(p, hi, lo));
+            }
+            return Ok(resolve(plan.root, &vals, b));
+        }
+    }
+    let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
+    for cs in hazard.cut_sets() {
+        let factors = cs
+            .factors()
+            .iter()
+            .map(|f| lower(b, memo, space, f))
+            .collect::<Result<Vec<_>>>()?;
+        cut_sets.push(b.product(factors));
+    }
+    Ok(b.sum_clamped(0.0, cut_sets))
 }
 
 /// Lowers one probability expression, reusing shared nodes through the
@@ -622,6 +685,109 @@ mod tests {
         assert_eq!((hits, misses), (1, 1));
         // Wrong arity through the objective is infeasible, not a panic.
         assert_eq!(obj.eval(&[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn bdd_exact_compilation_matches_scalar_exact_eval() {
+        use crate::model::QuantMethod;
+        use safety_opt_fta::tree::FaultTree;
+        // Shared-event tree where rare-event and exact genuinely differ.
+        let mut ft = FaultTree::new("shared");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let c = ft.basic_event("c").unwrap();
+        let g1 = ft.and_gate("g1", [a, b]).unwrap();
+        let g2 = ft.and_gate("g2", [a, c]).unwrap();
+        let top = ft.or_gate("top", [g1, g2]).unwrap();
+        ft.set_root(top).unwrap();
+
+        let mut space = ParameterSpace::new();
+        let t1 = space.parameter("t1", 0.1, 10.0).unwrap();
+        let t2 = space.parameter("t2", 0.1, 10.0).unwrap();
+        let transit = TruncatedNormal::lower_bounded(4.0, 2.0, 0.0).unwrap();
+        let hazard = Hazard::from_fault_tree(&ft, |leaf| {
+            Ok(match leaf {
+                0 => overtime(transit, t1),
+                1 => exposure(0.3, t2),
+                _ => constant(0.25).unwrap(),
+            })
+        })
+        .unwrap();
+        let model = SafetyModel::new(space)
+            .hazard(hazard, 1000.0)
+            .with_quant_method(QuantMethod::BddExact);
+        let compiled = CompiledModel::compile(&model).unwrap();
+        assert_eq!(compiled.quant_method(), QuantMethod::BddExact);
+        let mut x0 = 0.1;
+        while x0 <= 10.0 {
+            let x = [x0, 10.1 - x0];
+            let scalar = model.cost(&x).unwrap();
+            let fast = compiled.cost(&x).unwrap();
+            let scale = scalar.abs().max(1e-300);
+            assert!(
+                (scalar - fast).abs() <= 1e-12 * scale.max(1.0),
+                "exact cost mismatch at {x:?}: {scalar} vs {fast}"
+            );
+            // Adjoint gradient through the MulAdd chain vs central
+            // differences on the compiled cost.
+            let (value, grad) = compiled.value_grad(&x).unwrap();
+            assert_eq!(value.to_bits(), fast.to_bits());
+            let h = 1e-5;
+            for i in 0..2 {
+                let mut p = x;
+                p[i] += h;
+                let fp = compiled.cost(&p).unwrap();
+                p[i] = x[i] - h;
+                let fm = compiled.cost(&p).unwrap();
+                let fd = (fp - fm) / (2.0 * h);
+                let scale = grad[i].abs().max(fd.abs()).max(1e-9);
+                assert!(
+                    (grad[i] - fd).abs() <= 1e-4 * scale,
+                    "∂f/∂x{i} at {x:?}: adjoint {} vs fd {fd}",
+                    grad[i]
+                );
+            }
+            x0 += 1.7;
+        }
+    }
+
+    #[test]
+    fn shared_bdd_subgraphs_compile_once_across_hazards() {
+        use crate::model::QuantMethod;
+        use safety_opt_fta::tree::FaultTree;
+        let tree = || {
+            let mut ft = FaultTree::new("h");
+            let a = ft.basic_event("a").unwrap();
+            let b = ft.basic_event("b").unwrap();
+            let g = ft.or_gate("top", [a, b]).unwrap();
+            ft.set_root(g).unwrap();
+            ft
+        };
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 0.1, 10.0).unwrap();
+        let ea = exposure(0.2, t);
+        let eb = constant(0.125).unwrap();
+        let leafs = |leaf: usize| -> Result<ProbExpr> {
+            Ok(if leaf == 0 { ea.clone() } else { eb.clone() })
+        };
+        let h1 = Hazard::from_fault_tree(&tree(), leafs).unwrap();
+        let h2 = Hazard::from_fault_tree(&tree(), leafs).unwrap();
+        let one = SafetyModel::new(space.clone())
+            .hazard(h1.clone(), 1.0)
+            .with_quant_method(QuantMethod::BddExact);
+        let two = SafetyModel::new(space)
+            .hazard(h1, 1.0)
+            .hazard(h2, 2.0)
+            .with_quant_method(QuantMethod::BddExact);
+        let one_ops = CompiledModel::compile(&one).unwrap().tape().n_ops();
+        let two_ops = CompiledModel::compile(&two).unwrap().tape().n_ops();
+        // The second hazard's BDD is structurally identical (same shared
+        // leaf expressions), so its Shannon nodes hash-cons away
+        // entirely.
+        assert_eq!(
+            one_ops, two_ops,
+            "identical BDD across hazards must not add ops"
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! # }
 //! ```
 
-use crate::compile::lower;
+use crate::compile::lower_hazard;
 use crate::model::SafetyModel;
 use crate::{Result, SafeOptError};
 use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
@@ -285,18 +285,10 @@ fn lower_model_into(builder: &mut FleetBuilder, model: &SafetyModel, dim: usize)
         });
     }
     let mut memo: HashMap<usize, Value> = HashMap::new();
+    let quant = model.quant_method();
     for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
         let b = builder.lowerer();
-        let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
-        for cs in hazard.cut_sets() {
-            let factors = cs
-                .factors()
-                .iter()
-                .map(|f| lower(b, &mut memo, &space, f))
-                .collect::<Result<Vec<_>>>()?;
-            cut_sets.push(b.product(factors));
-        }
-        let hazard_value = b.sum_clamped(0.0, cut_sets);
+        let hazard_value = lower_hazard(b, &mut memo, &space, hazard, quant)?;
         b.output(hazard_value, cost);
     }
     Ok(())

@@ -21,6 +21,9 @@
 //! * [`model`] — hazards as parameterized minimal cut sets, safety models
 //!   as hazards + costs over one parameter space; bridging from
 //!   [`safety_opt_fta`] fault trees.
+//! * [`importance`] — component importance (Birnbaum, criticality,
+//!   Fussell–Vesely, RAW/RRW) at a parameter point, from one adjoint
+//!   gradient per tree-derived hazard.
 //! * [`optimize`] — the optimization front-end and baseline-vs-optimum
 //!   comparison reports.
 //! * [`surface`] — cost-surface grids (the paper's Fig. 5 3-D plot) with
@@ -76,6 +79,7 @@
 pub mod compile;
 mod error;
 pub mod fleet;
+pub mod importance;
 pub mod model;
 pub mod optimize;
 pub mod param;
@@ -87,6 +91,11 @@ pub mod surface;
 pub mod uncertainty;
 
 pub use error::SafeOptError;
+// The quantification selector of `SafetyModel::with_quant_method`,
+// re-exported at the root next to `ExecBackend` — the two knobs that
+// choose *what* is computed (rare-event vs BDD-exact) and *how* (scalar
+// vs SoA sweeps).
+pub use model::{default_quant_method, QuantMethod};
 // The backend selector of `CompiledModel::with_backend` /
 // `CompiledFleet::with_backend`, re-exported so facade users can name
 // it without depending on the engine crate directly.

@@ -10,13 +10,150 @@
 //! Hazards can be written down directly (as the paper's Sect. IV-B does
 //! after FTA identified the cut sets) or derived from an explicit
 //! [`FaultTree`] via [`Hazard::from_fault_tree`], which runs the cut-set
-//! engine and substitutes a [`ProbExpr`] per leaf.
+//! engine and substitutes a [`ProbExpr`] per leaf. Tree-derived hazards
+//! additionally capture the tree's **BDD Shannon decomposition**, so a
+//! model can be quantified either with the paper's Eq. 1 rare-event sum
+//! ([`QuantMethod::RareEvent`]) or **exactly**
+//! ([`QuantMethod::BddExact`]) — the same selector the compiled engine
+//! path honours.
 
 use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::ProbExpr;
 use crate::{Result, SafeOptError};
+use safety_opt_fta::bdd::{ShannonPlan, ShannonRef, TreeBdd};
 use safety_opt_fta::tree::FaultTree;
 use std::sync::Arc;
+
+/// How hazard probabilities are quantified, both by the scalar
+/// interpreter ([`SafetyModel::hazard_probabilities`]) and by the
+/// compiled engine path ([`crate::compile::CompiledModel`]).
+///
+/// The model-level default comes from [`default_quant_method`]
+/// (`SAFETY_OPT_QUANT` when set, [`RareEvent`](Self::RareEvent)
+/// otherwise); override per model with
+/// [`SafetyModel::with_quant_method`]. [`BddExact`](Self::BddExact)
+/// applies to hazards that carry an exact structure (built by
+/// [`Hazard::from_fault_tree`]); hand-written cut-set hazards have no
+/// structure function to decompose and always quantify as rare-event
+/// sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum QuantMethod {
+    /// Paper Eq. 1/3: `P(H) = min(Σ_MCS ∏ P(PF), 1)` — over-estimates
+    /// coherent trees.
+    RareEvent,
+    /// Exact Shannon decomposition of the hazard's BDD: each node
+    /// evaluates `q·P(hi) + (1−q)·P(lo)` — no rare-event error, no
+    /// clamp needed.
+    BddExact,
+}
+
+/// The process-wide default [`QuantMethod`]: the `SAFETY_OPT_QUANT`
+/// environment variable when set (`"rare-event"` or `"bdd-exact"`,
+/// case-insensitive, `_` accepted for `-`),
+/// [`QuantMethod::RareEvent`] otherwise. Read **once per process**,
+/// mirroring `SAFETY_OPT_BACKEND`/`SAFETY_OPT_THREADS`: the override
+/// exists so CI can force the whole suite through the exact
+/// quantification path without touching call sites.
+///
+/// # Panics
+///
+/// Panics if `SAFETY_OPT_QUANT` names neither method — a forced
+/// quantification exists precisely to pin which semantics run, and a
+/// typo silently falling back to rare-event would be undetectable in
+/// models without shared events.
+pub fn default_quant_method() -> QuantMethod {
+    static DEFAULT: std::sync::OnceLock<QuantMethod> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_quant_override(std::env::var("SAFETY_OPT_QUANT").ok().as_deref())
+            .unwrap_or(QuantMethod::RareEvent)
+    })
+}
+
+/// Parses a `SAFETY_OPT_QUANT` override: `None`/empty means "unset".
+fn parse_quant_override(value: Option<&str>) -> Option<QuantMethod> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.to_ascii_lowercase().replace('_', "-").as_str() {
+        "rare-event" => Some(QuantMethod::RareEvent),
+        "bdd-exact" => Some(QuantMethod::BddExact),
+        _ => panic!(
+            "SAFETY_OPT_QUANT must be \"rare-event\" or \"bdd-exact\", got {raw:?} \
+             (unset it to use the rare-event default)"
+        ),
+    }
+}
+
+/// The exact (BDD) structure of a tree-derived hazard: the Shannon
+/// decomposition plus the substituted probability expression and name
+/// per leaf. Captured by [`Hazard::from_fault_tree`]; consumed by the
+/// scalar exact interpreter, the engine lowering
+/// ([`crate::compile`]/[`crate::fleet`]), and the point-importance API
+/// ([`crate::importance`]).
+#[derive(Debug)]
+pub struct ExactHazard {
+    pub(crate) plan: ShannonPlan,
+    /// Per leaf index: the substituted expression (`None` for leaves the
+    /// minimal cut sets never reach).
+    pub(crate) leaf_exprs: Vec<Option<ProbExpr>>,
+    /// Per leaf index: the tree's leaf name.
+    pub(crate) leaf_names: Vec<String>,
+}
+
+impl ExactHazard {
+    /// The exported Shannon decomposition.
+    pub fn plan(&self) -> &ShannonPlan {
+        &self.plan
+    }
+
+    /// The substituted expression of leaf `leaf`, if the leaf is used.
+    pub fn leaf_expr(&self, leaf: usize) -> Option<&ProbExpr> {
+        self.leaf_exprs.get(leaf).and_then(Option::as_ref)
+    }
+
+    /// The tree name of leaf `leaf`.
+    pub fn leaf_name(&self, leaf: usize) -> &str {
+        &self.leaf_names[leaf]
+    }
+
+    /// Exact hazard probability at a parameter point: evaluates each
+    /// BDD leaf's expression once, then folds the Shannon nodes
+    /// bottom-up — the scalar twin of the compiled `MulAdd` lowering
+    /// and of [`TreeBdd::probability`]'s float sequence.
+    pub(crate) fn probability(&self, params: &ParamValues<'_>) -> Result<f64> {
+        let mut leaf_vals: Vec<Option<f64>> = vec![None; self.leaf_exprs.len()];
+        let mut values: Vec<f64> = Vec::with_capacity(self.plan.nodes.len());
+        for node in &self.plan.nodes {
+            let q = match leaf_vals[node.leaf] {
+                Some(q) => q,
+                None => {
+                    let expr = self.leaf_exprs[node.leaf]
+                        .as_ref()
+                        .expect("BDD leaves have substituted expressions");
+                    let q = expr.eval(params)?;
+                    leaf_vals[node.leaf] = Some(q);
+                    q
+                }
+            };
+            let hi = shannon_value(node.high, &values);
+            let lo = shannon_value(node.low, &values);
+            values.push(q * hi + (1.0 - q) * lo);
+        }
+        Ok(shannon_value(self.plan.root, &values))
+    }
+}
+
+/// Resolves a Shannon cofactor against already-folded node values.
+fn shannon_value(r: ShannonRef, values: &[f64]) -> f64 {
+    match r {
+        ShannonRef::False => 0.0,
+        ShannonRef::True => 1.0,
+        ShannonRef::Node(i) => values[i],
+    }
+}
 
 /// One parameterized (minimal) cut set: the hazard fires if all factors
 /// "happen"; its probability is the product of the factor probabilities.
@@ -67,6 +204,9 @@ impl ModelCutSet {
 pub struct Hazard {
     name: String,
     cut_sets: Vec<ModelCutSet>,
+    /// Shannon decomposition of the tree the hazard came from (absent
+    /// for hand-written cut-set hazards).
+    exact: Option<Arc<ExactHazard>>,
 }
 
 impl Hazard {
@@ -88,8 +228,18 @@ impl Hazard {
         &self.cut_sets
     }
 
+    /// The hazard's exact (BDD) structure, if it was built from a fault
+    /// tree.
+    pub fn exact(&self) -> Option<&Arc<ExactHazard>> {
+        self.exact.as_ref()
+    }
+
     /// Hazard probability at a parameter point (Eq. 3 / rare-event sum,
-    /// clamped into `[0, 1]`).
+    /// clamped into `[0, 1]` — an exotic user closure could in principle
+    /// drive the sum negative, and the guard must mirror the upper
+    /// clamp; `f64::clamp` propagates NaN untouched, like the compiled
+    /// `SumClamp` kernel, whose lowering documents the same two-sided
+    /// contract).
     ///
     /// # Errors
     ///
@@ -99,13 +249,35 @@ impl Hazard {
         for cs in &self.cut_sets {
             sum += cs.probability(params)?;
         }
-        Ok(sum.min(1.0))
+        Ok(sum.clamp(0.0, 1.0))
+    }
+
+    /// Hazard probability under an explicit quantification method.
+    /// [`QuantMethod::BddExact`] uses the captured Shannon decomposition
+    /// when present and falls back to the rare-event sum otherwise (a
+    /// hand-written hazard has no structure function).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-evaluation errors.
+    pub fn probability_with(&self, params: &ParamValues<'_>, method: QuantMethod) -> Result<f64> {
+        match (method, &self.exact) {
+            (QuantMethod::BddExact, Some(exact)) => exact.probability(params),
+            _ => self.probability(params),
+        }
     }
 
     /// Builds a hazard from a fault tree: runs the minimal-cut-set engine
     /// and substitutes `leaf_expr(leaf_index)` for every leaf — the
     /// *"all instances of failure probabilities are substituted with the
-    /// according function"* step of Sect. II-D.2.
+    /// according function"* step of Sect. II-D.2. `leaf_expr` is invoked
+    /// **once per reachable leaf** (repeated cut-set occurrences share
+    /// the same expression node, maximizing downstream hash-consing).
+    ///
+    /// The tree's reduced ordered BDD is captured alongside the cut
+    /// sets, so the hazard can also be quantified **exactly** — select
+    /// with [`SafetyModel::with_quant_method`]
+    /// ([`QuantMethod::BddExact`]).
     ///
     /// # Errors
     ///
@@ -116,18 +288,37 @@ impl Hazard {
         mut leaf_expr: impl FnMut(usize) -> Result<ProbExpr>,
     ) -> Result<Self> {
         let mcs = safety_opt_fta::mcs::bottom_up(tree)?;
+        let mut leaf_exprs: Vec<Option<ProbExpr>> = vec![None; tree.leaves().len()];
+        for leaf in tree.reachable_leaves()? {
+            leaf_exprs[leaf] = Some(leaf_expr(leaf)?);
+        }
         let mut cut_sets = Vec::with_capacity(mcs.len());
         for cs in mcs.iter() {
             let mut factors = Vec::with_capacity(cs.order());
             for leaf in cs.iter() {
-                factors.push(leaf_expr(leaf)?);
+                factors.push(
+                    leaf_exprs[leaf]
+                        .clone()
+                        .expect("cut-set leaves are reachable"),
+                );
             }
             let names = cs.names(tree).join(" & ");
             cut_sets.push(ModelCutSet::new(names, factors));
         }
+        let plan = TreeBdd::build(tree)?.shannon_plan();
+        let leaf_names = tree
+            .leaves()
+            .iter()
+            .map(|&id| tree.node(id).name().to_owned())
+            .collect();
         Ok(Self {
             name: tree.name().to_owned(),
             cut_sets,
+            exact: Some(Arc::new(ExactHazard {
+                plan,
+                leaf_exprs,
+                leaf_names,
+            })),
         })
     }
 }
@@ -167,6 +358,7 @@ impl HazardBuilder {
         Hazard {
             name: self.name,
             cut_sets: self.cut_sets,
+            exact: None,
         }
     }
 }
@@ -179,16 +371,33 @@ pub struct SafetyModel {
     space: Arc<ParameterSpace>,
     hazards: Vec<Hazard>,
     costs: Vec<f64>,
+    quant: QuantMethod,
 }
 
 impl SafetyModel {
-    /// Creates an empty model over `space`.
+    /// Creates an empty model over `space`, quantified with
+    /// [`default_quant_method`].
     pub fn new(space: ParameterSpace) -> Self {
         Self {
             space: Arc::new(space),
             hazards: Vec::new(),
             costs: Vec::new(),
+            quant: default_quant_method(),
         }
+    }
+
+    /// Selects how the model's hazards are quantified — by the scalar
+    /// interpreter *and* by every compiled path
+    /// ([`crate::compile::CompiledModel`], [`crate::fleet::CompiledFleet`],
+    /// and the analysis front-ends built on them).
+    pub fn with_quant_method(mut self, method: QuantMethod) -> Self {
+        self.quant = method;
+        self
+    }
+
+    /// The configured quantification method.
+    pub fn quant_method(&self) -> QuantMethod {
+        self.quant
     }
 
     /// Adds a hazard with its cost weight (cost per occurrence, in
@@ -260,7 +469,7 @@ impl SafetyModel {
         let params = ParamValues::new(x);
         self.hazards
             .iter()
-            .map(|h| h.probability(&params))
+            .map(|h| h.probability_with(&params, self.quant))
             .collect()
     }
 
@@ -406,10 +615,99 @@ mod tests {
         })
         .unwrap();
         assert_eq!(hazard.cut_sets().len(), 2);
-        let model = SafetyModel::new(space).hazard(hazard, 1.0);
+        assert!(hazard.exact().is_some(), "tree hazards capture their BDD");
+        // Pin the rare-event semantics explicitly: this test asserts the
+        // Eq. 3 sum, independent of any SAFETY_OPT_QUANT override.
+        let model = SafetyModel::new(space)
+            .hazard(hazard, 1.0)
+            .with_quant_method(QuantMethod::RareEvent);
         let p = model.hazard_probabilities(&[2.0]).unwrap()[0];
         let expected = 0.1 * 0.2 + (1.0 - (-1.0f64).exp());
         assert!((p - expected).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn bdd_exact_quantification_removes_rare_event_error() {
+        // top = (a AND b) OR (a AND c) with shared `a`: rare-event
+        // double-counts a, the Shannon decomposition does not.
+        let mut ft = FaultTree::new("shared");
+        let a = ft.basic_event("a").unwrap();
+        let b = ft.basic_event("b").unwrap();
+        let c = ft.basic_event("c").unwrap();
+        let g1 = ft.and_gate("g1", [a, b]).unwrap();
+        let g2 = ft.and_gate("g2", [a, c]).unwrap();
+        let top = ft.or_gate("top", [g1, g2]).unwrap();
+        ft.set_root(top).unwrap();
+
+        let mut space = ParameterSpace::new();
+        let t = space.parameter("t", 0.0, 10.0).unwrap();
+        let hazard = Hazard::from_fault_tree(&ft, |leaf| {
+            Ok(match leaf {
+                0 => exposure(0.5, t), // a, parameterized
+                1 => constant(0.5).unwrap(),
+                _ => constant(0.5).unwrap(),
+            })
+        })
+        .unwrap();
+        let rare = SafetyModel::new(space.clone())
+            .hazard(hazard.clone(), 1.0)
+            .with_quant_method(QuantMethod::RareEvent);
+        let exact = SafetyModel::new(space)
+            .hazard(hazard, 1.0)
+            .with_quant_method(QuantMethod::BddExact);
+        assert_eq!(exact.quant_method(), QuantMethod::BddExact);
+        let x = [3.0];
+        let pa = 1.0 - (-0.5f64 * 3.0).exp();
+        // Exact: P(a ∧ (b ∨ c)) = pa · 0.75; rare-event: pa · 1.0.
+        let p_exact = exact.hazard_probabilities(&x).unwrap()[0];
+        let p_rare = rare.hazard_probabilities(&x).unwrap()[0];
+        assert!((p_exact - pa * 0.75).abs() < 1e-12, "exact = {p_exact}");
+        assert!((p_rare - pa).abs() < 1e-12, "rare = {p_rare}");
+        assert!(p_rare > p_exact);
+        // The exact value matches the fta BDD oracle at the same leaf
+        // probabilities.
+        let pm =
+            safety_opt_fta::quant::ProbabilityMap::new(vec![pa.clamp(0.0, 1.0), 0.5, 0.5]).unwrap();
+        let oracle = safety_opt_fta::bdd::TreeBdd::build(&ft)
+            .unwrap()
+            .probability(&pm)
+            .unwrap();
+        assert!((p_exact - oracle).abs() <= 1e-12 * oracle.max(1e-300));
+    }
+
+    #[test]
+    fn hand_written_hazards_fall_back_to_rare_event_under_bdd_exact() {
+        let model = two_hazard_model();
+        let exact = two_hazard_model().with_quant_method(QuantMethod::BddExact);
+        let x = [20.0, 20.0];
+        // No structure function captured -> identical values.
+        assert_eq!(
+            model
+                .with_quant_method(QuantMethod::RareEvent)
+                .hazard_probabilities(&x)
+                .unwrap(),
+            exact.hazard_probabilities(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn quant_override_parsing() {
+        assert_eq!(parse_quant_override(None), None);
+        assert_eq!(parse_quant_override(Some("")), None);
+        assert_eq!(
+            parse_quant_override(Some("rare-event")),
+            Some(QuantMethod::RareEvent)
+        );
+        assert_eq!(
+            parse_quant_override(Some(" BDD_Exact ")),
+            Some(QuantMethod::BddExact)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_QUANT must be")]
+    fn unknown_quant_override_is_rejected_loudly() {
+        parse_quant_override(Some("exactish"));
     }
 
     #[test]

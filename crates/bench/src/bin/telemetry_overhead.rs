@@ -1,0 +1,188 @@
+//! E12 — telemetry overhead: points/sec of the compiled-tape batch path
+//! on the Elbtunnel cost function with telemetry `off`, `counters`, and
+//! `full`, against an `off` baseline measured first in the same process.
+//!
+//! The telemetry subsystem is contractually observation-only and
+//! near-free when disabled; this bench enforces the cost side of that
+//! contract (the equivalence suites enforce the bit-identity side):
+//!
+//! * `off`: ≤ 1% slower than the baseline (same mode, re-measured —
+//!   the noise floor of the gate itself),
+//! * `counters`: ≤ 3% slower than the baseline,
+//! * `full`: recorded but not gated (span clock reads are real work,
+//!   and the mode is a diagnostics opt-in).
+//!
+//! Writes `BENCH_telemetry.json` at the workspace root in the shared
+//! [`safety_opt_bench::BenchReport`] schema, plus a sample telemetry
+//! snapshot (`results/telemetry_snapshot.json`, captured after the
+//! `full`-mode passes) so CI archives what the registry actually emits.
+//!
+//! Run with: `cargo run --release -p safety_opt_bench --bin telemetry_overhead`
+//!
+//! With `--enforce`, exits non-zero when a gate fails — CI runs this
+//! gated: the best-of-passes measurement loop absorbs transient runner
+//! load, and the gated modes differ only in a few relaxed atomic adds.
+//!
+//! The mode is forced programmatically ([`telemetry::set_mode`]) so one
+//! process measures every mode on identical warmed state; the
+//! `SAFETY_OPT_TELEMETRY` env variable is ignored here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_bench::{bench_timestamp, measure, write_artifact, BenchReport};
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_telemetry as telemetry;
+
+/// Points in the measurement working set (matches `engine_throughput`).
+const N_POINTS: usize = 20_000;
+/// Acceptance threshold: `off` vs baseline throughput ratio (≤1% loss).
+const OFF_FLOOR: f64 = 0.99;
+/// Acceptance threshold: `counters` vs baseline throughput ratio
+/// (≤3% loss).
+const COUNTERS_FLOOR: f64 = 0.97;
+/// Interleaved measurement rounds per mode (best pass wins).
+const ROUNDS: usize = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let enforce = std::env::args().any(|a| a == "--enforce");
+    println!("# Telemetry overhead — Elbtunnel cost function, compiled batch path\n");
+
+    let paper = ElbtunnelModel::paper();
+    let model = paper.build()?;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let compiled = CompiledModel::compile_with_threads(&model, threads)?;
+
+    let mut rng = StdRng::seed_from_u64(0x5AFE_2004);
+    let (lo, hi) = paper.timer_domain;
+    let points: Vec<Vec<f64>> = (0..N_POINTS)
+        .map(|_| {
+            vec![
+                lo + rng.gen::<f64>() * (hi - lo),
+                lo + rng.gen::<f64>() * (hi - lo),
+            ]
+        })
+        .collect();
+
+    let run_mode = |key: &'static str, label: &str, mode: telemetry::TelemetryMode| {
+        telemetry::set_mode(mode);
+        measure(key, label, "points/sec", N_POINTS, || {
+            compiled
+                .cost_batch(&points)
+                .map(|v| v.iter().sum())
+                .unwrap_or(0.0)
+        })
+    };
+
+    // Bit-identity across modes is enforced by the equivalence suites;
+    // assert the cheap end of it here too before timing anything.
+    telemetry::set_mode(telemetry::TelemetryMode::Off);
+    let reference = compiled.cost_batch(&points)?;
+    telemetry::set_mode(telemetry::TelemetryMode::Full);
+    let instrumented = compiled.cost_batch(&points)?;
+    assert_eq!(
+        reference, instrumented,
+        "telemetry must be observation-only"
+    );
+
+    // Interleave the modes across several rounds and keep each mode's
+    // best pass: slow drift on a shared runner (thermal, co-tenants)
+    // then biases every mode equally instead of penalizing whichever
+    // mode happened to run during a stall.
+    let mode_plan = [
+        (
+            "baseline_off",
+            "baseline (off)",
+            telemetry::TelemetryMode::Off,
+        ),
+        ("off", "off (re-measured)", telemetry::TelemetryMode::Off),
+        ("counters", "counters", telemetry::TelemetryMode::Counters),
+        ("full", "full", telemetry::TelemetryMode::Full),
+    ];
+    let mut best: Vec<Option<safety_opt_bench::Measurement>> = vec![None; mode_plan.len()];
+    for round in 0..ROUNDS {
+        println!("-- round {} of {ROUNDS} --", round + 1);
+        for (slot, &(key, label, mode)) in mode_plan.iter().enumerate() {
+            let m = run_mode(key, label, mode);
+            match &mut best[slot] {
+                Some(b) => {
+                    b.points_per_sec = b.points_per_sec.max(m.points_per_sec);
+                    b.total_points += m.total_points;
+                    b.seconds += m.seconds;
+                }
+                empty => *empty = Some(m),
+            }
+        }
+    }
+    let mut it = best.into_iter().map(|m| m.expect("every mode measured"));
+    let (baseline, off, counters, full) = (
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+        it.next().unwrap(),
+    );
+    // Re-run full mode last so the archived snapshot reflects a
+    // full-mode sweep (spans included).
+    telemetry::set_mode(telemetry::TelemetryMode::Full);
+    let _ = compiled.cost_batch(&points)?;
+
+    // Archive what the registry saw during the full-mode passes.
+    let snapshot = telemetry::snapshot();
+    write_artifact("telemetry_snapshot.json", &snapshot.to_json());
+
+    let ratio_off = off.points_per_sec / baseline.points_per_sec;
+    let ratio_counters = counters.points_per_sec / baseline.points_per_sec;
+    let ratio_full = full.points_per_sec / baseline.points_per_sec;
+    let off_ok = ratio_off >= OFF_FLOOR;
+    let counters_ok = ratio_counters >= COUNTERS_FLOOR;
+    let pass = off_ok && counters_ok;
+
+    println!();
+    println!("off vs baseline        : {ratio_off:.4}  (floor {OFF_FLOOR})");
+    println!("counters vs baseline   : {ratio_counters:.4}  (floor {COUNTERS_FLOOR})");
+    println!("full vs baseline       : {ratio_full:.4}  (not gated)");
+    println!("threads                : {threads}");
+    println!(
+        "verdict                : {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let timestamp = bench_timestamp();
+    let modes = [baseline, off, counters, full];
+    BenchReport {
+        name: "telemetry_overhead",
+        workload: "elbtunnel_paper",
+        threads,
+        timestamp: &timestamp,
+        extras: vec![
+            ("n_points", N_POINTS.to_string()),
+            ("counters_floor", COUNTERS_FLOOR.to_string()),
+        ],
+        modes: &modes,
+        speedups: vec![
+            ("off_vs_baseline", ratio_off),
+            ("counters_vs_baseline", ratio_counters),
+            ("full_vs_baseline", ratio_full),
+        ],
+        target: Some(("off_vs_baseline", OFF_FLOOR)),
+        pass,
+    }
+    .write("telemetry");
+
+    if !pass {
+        eprintln!(
+            "telemetry_overhead: overhead gate failed{}",
+            if enforce {
+                ""
+            } else {
+                " (not enforced; pass --enforce to gate)"
+            }
+        );
+        if enforce {
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Golden observability numbers on the Elbtunnel workload: the
+//! compile-time statistics, the fleet sharing ratio, and the memo-cache
+//! profile of the default optimizer are **pinned exactly**. These are
+//! deterministic artifacts of the compiler and the optimizer — a change
+//! here means the lowering, folding, hash-consing, fusion, or probe
+//! trajectory changed, which must be a deliberate, reviewed event (the
+//! throughput baselines and the paper-number goldens all sit on top of
+//! this behavior).
+//!
+//! The quantification method is forced per model so the goldens hold
+//! under every `SAFETY_OPT_QUANT` CI leg.
+
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_core::fleet::CompiledFleet;
+use safety_opt_core::model::{QuantMethod, SafetyModel};
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_elbtunnel::scenarios::growth_ladder;
+use safety_opt_optim::multistart::MultiStart;
+use safety_opt_optim::nelder_mead::NelderMead;
+use safety_opt_optim::Minimizer;
+
+fn paper_model() -> SafetyModel {
+    ElbtunnelModel::paper()
+        .build()
+        .unwrap()
+        .with_quant_method(QuantMethod::RareEvent)
+}
+
+#[test]
+fn compile_stats_of_the_paper_model_are_pinned() {
+    let compiled = CompiledModel::compile_with_threads(&paper_model(), 1).unwrap();
+    let stats = compiled.compile_stats();
+    // 18 ops demanded by the lowering; 2 fold into constants (residual
+    // cut sets), 1 hash-conses away (the shared overtime factor), 5
+    // n-ary products/sums fuse — 13 ops sweep per evaluation.
+    assert_eq!(stats.ops_requested, 18, "{stats:?}");
+    assert_eq!(stats.ops_emitted, 13, "{stats:?}");
+    assert_eq!(stats.const_folded, 2, "{stats:?}");
+    assert_eq!(stats.interned_hits, 1, "{stats:?}");
+    assert_eq!(stats.fused_ops, 5, "{stats:?}");
+    assert_eq!(compiled.tape().n_ops() as u64, stats.ops_emitted);
+}
+
+#[test]
+fn fleet_sharing_on_the_growth_ladder_is_pinned() {
+    let models: Vec<SafetyModel> = growth_ladder()
+        .iter()
+        .map(|s| {
+            s.apply(&ElbtunnelModel::paper())
+                .build()
+                .unwrap()
+                .with_quant_method(QuantMethod::RareEvent)
+        })
+        .collect();
+    assert_eq!(models.len(), 5);
+    let fleet = CompiledFleet::compile_with_threads(&models, 1).unwrap();
+    // The five traffic scenarios differ only in their exposure rates:
+    // 33 arena ops serve the 65 ops the standalone compilations would
+    // sweep — the collision subtree is shared by the whole ladder.
+    let arena_ops = fleet.fleet().tape().n_ops();
+    let model_ops: usize = (0..fleet.n_models())
+        .map(|k| fleet.fleet().model_ops(k))
+        .sum();
+    assert_eq!(arena_ops, 33);
+    assert_eq!(model_ops, 65);
+    assert_eq!(fleet.sharing(), 1.0 - arena_ops as f64 / model_ops as f64);
+    let stats = fleet.compile_stats();
+    assert_eq!(
+        (stats.ops_requested, stats.ops_emitted),
+        (90, 33),
+        "{stats:?}"
+    );
+    assert_eq!(
+        (stats.const_folded, stats.interned_hits, stats.fused_ops),
+        (10, 37, 17),
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn memo_cache_profile_of_the_default_strategy_is_pinned() {
+    let model = paper_model();
+    let compiled = CompiledModel::compile_with_threads(&model, 1).unwrap();
+    let obj = compiled.objective(true);
+    let domain = model.space().domain().unwrap();
+    let outcome = MultiStart::new(NelderMead::default(), 4)
+        .minimize(&obj, &domain)
+        .unwrap();
+    let stats = obj.cache_stats();
+    // The deterministic Halton multi-start trajectory re-probes 2 of
+    // its 237 evaluation points within the cache's 1e-9 quantization.
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 235, 0));
+    assert_eq!(stats.hits + stats.misses, outcome.evaluations);
+    assert!((stats.hit_rate() - 2.0 / 237.0).abs() < 1e-15);
+}

@@ -19,6 +19,22 @@ use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAUL
 use crate::grad::GradWorkspace;
 use crate::tape::Tape;
 
+use safety_opt_telemetry as telemetry;
+
+/// Points swept by full SoA lane blocks.
+static SOA_POINTS: telemetry::Counter = telemetry::Counter::new("engine.batch.soa_points");
+/// Points the SoA backend ran point-at-a-time because fewer than a lane
+/// block remained (the ragged tail).
+static TAIL_POINTS: telemetry::Counter = telemetry::Counter::new("engine.batch.tail_points");
+/// Points evaluated by the scalar backend's point-at-a-time loop.
+static SCALAR_POINTS: telemetry::Counter = telemetry::Counter::new("engine.batch.scalar_points");
+/// Work chunks executed by tape/grad runners (sequential or pooled).
+static CHUNKS: telemetry::Counter = telemetry::Counter::new("engine.batch.chunks");
+/// Wall-clock nanoseconds per evaluated chunk (`full` mode only).
+static CHUNK_NANOS: telemetry::Histogram = telemetry::Histogram::new("engine.batch.chunk_nanos");
+/// Lane-block width used by each SoA chunk sweep (`full` mode only).
+static LANE_WIDTH: telemetry::Histogram = telemetry::Histogram::new("engine.batch.lane_width");
+
 /// Default number of points per work unit.
 const DEFAULT_CHUNK: usize = 256;
 
@@ -233,6 +249,8 @@ impl<'t> GradRunner<'t> {
     /// Evaluates `pts`, writing one cost per point and the point-major
     /// gradient rows (`pts.len() × n_inputs`).
     fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], grads: &mut [f64]) {
+        let _chunk_span = telemetry::span(&CHUNK_NANOS);
+        CHUNKS.add(1);
         let dim = self.tape.n_inputs();
         for (i, p) in pts.iter().enumerate() {
             costs[i] = self.tape.eval_grad_into(
@@ -281,14 +299,24 @@ impl<'t> TapeRunner<'t> {
     /// Evaluates `pts`, writing one cost per point and, when `rows` is
     /// given, the point-major output rows (`pts.len() × n_outputs`).
     fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], mut rows: Option<&mut [f64]>) {
+        let _chunk_span = telemetry::span(&CHUNK_NANOS);
+        CHUNKS.add(1);
         let n_out = self.tape.n_outputs();
         let start = if self.backend == ExecBackend::Soa {
+            LANE_WIDTH.observe(self.lanes as u64);
             dispatch_lanes!(self.lanes, L => {
                 self.run_blocks::<L, P>(pts, costs, rows.as_deref_mut())
             })
         } else {
             0
         };
+        match self.backend {
+            ExecBackend::Soa => {
+                SOA_POINTS.add(start as u64);
+                TAIL_POINTS.add((pts.len() - start) as u64);
+            }
+            ExecBackend::Scalar => SCALAR_POINTS.add(pts.len() as u64),
+        }
         // Scalar backend, and the SoA backend's ragged tail (fewer than
         // `lanes` points remain).
         for (i, p) in pts.iter().enumerate().skip(start) {

@@ -15,18 +15,54 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use safety_opt_telemetry as telemetry;
+
+/// Memo lookups that found an entry.
+static CACHE_HITS: telemetry::Counter = telemetry::Counter::new("engine.cache.hits");
+/// Memo lookups that had to evaluate.
+static CACHE_MISSES: telemetry::Counter = telemetry::Counter::new("engine.cache.misses");
+/// Entries dropped by a capacity flush.
+static CACHE_EVICTIONS: telemetry::Counter = telemetry::Counter::new("engine.cache.evictions");
+
+/// Lifetime counters of a [`QuantizedCache`], reported by
+/// [`QuantizedCache::stats`] regardless of the telemetry mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a memoized value.
+    pub hits: u64,
+    /// Lookups that had to evaluate (and usually stored the result).
+    pub misses: u64,
+    /// Entries dropped by capacity flushes ([`QuantizedCache::with_capacity`]).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, `0.0` when no lookup
+    /// has happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Thread-safe memo cache over quantized parameter points.
 #[derive(Debug)]
 pub struct QuantizedCache {
     inv_resolution: f64,
+    capacity: Option<usize>,
     map: Mutex<HashMap<Vec<i64>, f64>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
 }
 
 impl QuantizedCache {
-    /// Creates a cache with grid `resolution` (points closer than this
-    /// per coordinate share an entry).
+    /// Creates an unbounded cache with grid `resolution` (points closer
+    /// than this per coordinate share an entry).
     ///
     /// # Panics
     ///
@@ -38,9 +74,28 @@ impl QuantizedCache {
         );
         Self {
             inv_resolution: 1.0 / resolution,
+            capacity: None,
             map: Mutex::new(HashMap::new()),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
+            evictions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache that flushes itself whenever it would exceed
+    /// `capacity` entries. Eviction is correctness-safe — a flushed point
+    /// is simply recomputed, bit-identically — so the bound only trades
+    /// memory for recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `resolution` is finite and positive, or if
+    /// `capacity` is zero.
+    pub fn with_capacity(resolution: f64, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be > 0");
+        Self {
+            capacity: Some(capacity),
+            ..Self::new(resolution)
         }
     }
 
@@ -74,22 +129,38 @@ impl QuantizedCache {
         };
         if let Some(&v) = self.map.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Relaxed);
+            CACHE_HITS.add(1);
             return v;
         }
         self.misses.fetch_add(1, Relaxed);
+        CACHE_MISSES.add(1);
         let v = f();
         // NaN results are not cached: they signal evaluation failure and
         // callers may want the failure to re-surface per point.
         if !v.is_nan() {
-            self.map.lock().expect("cache poisoned").insert(key, v);
+            let mut map = self.map.lock().expect("cache poisoned");
+            if let Some(cap) = self.capacity {
+                if map.len() >= cap {
+                    let dropped = map.len() as u64;
+                    map.clear();
+                    self.evictions.fetch_add(dropped, Relaxed);
+                    CACHE_EVICTIONS.add(dropped);
+                }
+            }
+            map.insert(key, v);
         }
         v
     }
 
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
+    /// Lifetime hit/miss/eviction counters, independent of the telemetry
+    /// env mode.
+    pub fn stats(&self) -> CacheStats {
         use std::sync::atomic::Ordering::Relaxed;
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+        }
     }
 
     /// Number of stored entries.
@@ -102,7 +173,8 @@ impl QuantizedCache {
         self.len() == 0
     }
 
-    /// Drops all entries (counters are kept).
+    /// Drops all entries (counters are kept; a manual clear is not an
+    /// eviction).
     pub fn clear(&self) {
         self.map.lock().expect("cache poisoned").clear();
     }
@@ -124,8 +196,9 @@ mod tests {
         assert_eq!(cache.get_or_insert_with(&[1.0, 2.0], || f(1.0)), 2.0);
         assert_eq!(cache.get_or_insert_with(&[1.0, 2.0], || f(9.0)), 2.0);
         assert_eq!(calls.load(Ordering::Relaxed), 1);
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.hit_rate(), 0.5);
     }
 
     #[test]
@@ -160,5 +233,26 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_flush_counts_evictions_and_stays_correct() {
+        let cache = QuantizedCache::with_capacity(1e-9, 2);
+        cache.get_or_insert_with(&[1.0], || 1.0);
+        cache.get_or_insert_with(&[2.0], || 2.0);
+        assert_eq!(cache.len(), 2);
+        // Third insert trips the flush: both residents drop, then the
+        // new entry lands.
+        cache.get_or_insert_with(&[3.0], || 3.0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 2);
+        // A flushed point recomputes to the same value.
+        assert_eq!(cache.get_or_insert_with(&[1.0], || 1.0), 1.0);
+        assert!(cache.stats().hit_rate() > 0.0 || cache.stats().misses > 0);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 }

@@ -32,6 +32,33 @@
 use crate::tape::{Op, Reg, Tape, Value};
 use std::ops::Range;
 
+use safety_opt_telemetry as telemetry;
+
+/// Points an SoA block sweep pushed through the scalar `Closure`
+/// fallback (the op is opaque, so the lane block degrades to a per-point
+/// loop — see the one-time warning in `full` mode).
+static CLOSURE_SOA_FALLBACK: telemetry::Counter =
+    telemetry::Counter::new("engine.exec.closure_soa_fallback");
+
+/// Warns once per process that an SoA sweep hit an opaque `Closure` op.
+/// Only in `full` telemetry mode: the degradation is correct (the
+/// fallback is the scalar backend's exact code path), it just costs the
+/// lane-block speedup for that op, which users chasing SoA throughput
+/// deserve to hear about exactly once.
+fn warn_closure_fallback_once(lanes: usize) {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    if telemetry::full_enabled() {
+        WARN.call_once(|| {
+            eprintln!(
+                "safety-opt telemetry: SoA sweep hit an opaque Closure op; \
+                 falling back to a per-point loop for that op ({lanes} lanes \
+                 degraded — lower a named op instead of a closure to keep \
+                 the block sweep; counted as engine.exec.closure_soa_fallback)"
+            );
+        });
+    }
+}
+
 /// How a batch evaluator sweeps the tape (see the module docs).
 ///
 /// SoA is the default: it is strictly faster on every measured
@@ -215,6 +242,8 @@ impl LaneFile {
             Op::Closure { f } => {
                 // Scalar fallback: opaque functions see one full input
                 // row at a time, exactly like the scalar backend.
+                CLOSURE_SOA_FALLBACK.add(L as u64);
+                warn_closure_fallback_once(L);
                 for (o, p) in out.iter_mut().zip(points) {
                     *o = f(p.as_ref());
                 }

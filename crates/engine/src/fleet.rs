@@ -56,6 +56,16 @@ use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAUL
 use crate::tape::{Op, Tape, TapeBuilder, Value};
 use std::ops::Range;
 
+use safety_opt_telemetry as telemetry;
+
+/// Fleets finalized by [`FleetBuilder::build`].
+static FLEET_BUILDS: telemetry::Counter = telemetry::Counter::new("engine.fleet.builds");
+/// Ops in the shared arenas of built fleets.
+static FLEET_ARENA_OPS: telemetry::Counter = telemetry::Counter::new("engine.fleet.arena_ops");
+/// Sum of per-model op counts across built fleets; the fleet sharing
+/// ratio is `1 − arena_ops / model_ops`.
+static FLEET_MODEL_OPS: telemetry::Counter = telemetry::Counter::new("engine.fleet.model_ops");
+
 /// Builder for a [`Fleet`]: lower each model through the shared
 /// [`TapeBuilder`], then mark its end with [`finish_model`].
 ///
@@ -180,6 +190,9 @@ impl FleetBuilder {
             );
             start = end;
         }
+        FLEET_BUILDS.add(1);
+        FLEET_ARENA_OPS.add(n_ops as u64);
+        FLEET_MODEL_OPS.add(masks.iter().map(|m| m.len() as u64).sum());
         Fleet {
             tape,
             output_ends: self.output_ends,
@@ -213,6 +226,13 @@ impl Fleet {
     /// compare with the sum of [`model_ops`](Self::model_ops)).
     pub fn tape(&self) -> &Tape {
         &self.tape
+    }
+
+    /// Compile-time statistics of the shared arena (see
+    /// [`Tape::compile_stats`]). Recorded unconditionally — independent
+    /// of the `SAFETY_OPT_TELEMETRY` mode.
+    pub fn compile_stats(&self) -> crate::tape::CompileStats {
+        self.tape.compile_stats()
     }
 
     /// Output (hazard) range of `model` in the flat all-models output

@@ -49,6 +49,15 @@
 
 use crate::tape::{Op, Tape};
 
+use safety_opt_telemetry as telemetry;
+
+/// Completed forward + backward adjoint sweeps (one per gradient point).
+static ADJOINT_SWEEPS: telemetry::Counter = telemetry::Counter::new("engine.grad.adjoint_sweeps");
+/// Closure evaluations spent on the per-op central-difference fallback
+/// (`2·dim` per opaque [`Op::Closure`] op per backward sweep).
+static CLOSURE_FD_PROBES: telemetry::Counter =
+    telemetry::Counter::new("engine.grad.closure_fd_probes");
+
 /// Relative step of the per-op central-difference fallback for opaque
 /// [`Op::Closure`] factors (`h = ε·max(1, |xⱼ|)`), chosen near the
 /// cube root of `f64::EPSILON` — the classic optimum for central
@@ -116,6 +125,7 @@ impl Tape {
         }
 
         self.backward(ws);
+        ADJOINT_SWEEPS.add(1);
         grad.copy_from_slice(&ws.adjoint[..self.n_inputs]);
         cost
     }
@@ -160,6 +170,7 @@ impl Tape {
                     // 2·dim closure calls — not 2·dim tape sweeps — so
                     // closure-bearing models still gain on every other
                     // op.
+                    CLOSURE_FD_PROBES.add(2 * self.n_inputs as u64);
                     ws.probe.clear();
                     ws.probe.extend_from_slice(&ws.scratch[..self.n_inputs]);
                     for j in 0..self.n_inputs {

@@ -70,11 +70,11 @@ pub mod grad;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
-pub use cache::QuantizedCache;
+pub use cache::{CacheStats, QuantizedCache};
 pub use exec::{default_backend, ExecBackend};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use grad::GradWorkspace;
-pub use tape::{Op, Tape, TapeBuilder, TruncNormSf, Value};
+pub use tape::{CompileStats, Op, Tape, TapeBuilder, TruncNormSf, Value};
 
 /// Worker count used by the default-sized evaluators: the
 /// `SAFETY_OPT_THREADS` environment variable when set, the machine's

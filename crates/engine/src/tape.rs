@@ -21,8 +21,24 @@
 use crate::fast_erf;
 use safety_opt_stats::dist::{ContinuousDistribution, TruncatedNormal};
 use safety_opt_stats::special;
+use safety_opt_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Telemetry: tapes finalized by [`TapeBuilder::build`].
+static TAPE_BUILDS: telemetry::Counter = telemetry::Counter::new("engine.tape.builds");
+/// Telemetry: op-constructor requests across all builds.
+static TAPE_OPS_REQUESTED: telemetry::Counter =
+    telemetry::Counter::new("engine.tape.ops_requested");
+/// Telemetry: ops actually emitted onto tapes.
+static TAPE_OPS_EMITTED: telemetry::Counter = telemetry::Counter::new("engine.tape.ops_emitted");
+/// Telemetry: requests resolved entirely at compile time.
+static TAPE_CONST_FOLDED: telemetry::Counter = telemetry::Counter::new("engine.tape.const_folded");
+/// Telemetry: requests deduplicated against an already-interned op.
+static TAPE_INTERNED_HITS: telemetry::Counter =
+    telemetry::Counter::new("engine.tape.interned_hits");
+/// Telemetry: emitted fused n-ary/ternary ops (Product, SumClamp, MulAdd).
+static TAPE_FUSED_OPS: telemetry::Counter = telemetry::Counter::new("engine.tape.fused_ops");
 
 /// Opaque scalar function over the full input point (the closure
 /// fallback's payload type).
@@ -281,6 +297,29 @@ pub enum Value {
     Reg(Reg),
 }
 
+/// Compile-time statistics of one [`TapeBuilder`] run — how much work
+/// folding, hash-consing, and fusion saved. Recorded unconditionally
+/// (independent of the telemetry mode) and stored on the built [`Tape`],
+/// so compile profiles are always inspectable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Op-constructor requests (`exposure`, `product`, …). Nested
+    /// fusions count per constructor reached (a product degrading to a
+    /// scale counts both).
+    pub ops_requested: u64,
+    /// Ops actually emitted onto the tape.
+    pub ops_emitted: u64,
+    /// Requests resolved entirely at compile time (constant folding and
+    /// identity shortcuts).
+    pub const_folded: u64,
+    /// Requests deduplicated against an already-interned op
+    /// (hash-consing hits).
+    pub interned_hits: u64,
+    /// Emitted fused n-ary/ternary ops ([`Op::Product`],
+    /// [`Op::SumClamp`], [`Op::MulAdd`]).
+    pub fused_ops: u64,
+}
+
 /// A compiled weighted-sum-of-clamped-sums evaluation plan.
 ///
 /// Layout of the evaluation scratch: `[inputs… | op outputs…]`. Outputs
@@ -294,6 +333,7 @@ pub struct Tape {
     pub(crate) args: Vec<Reg>,
     pub(crate) outputs: Vec<Value>,
     pub(crate) weights: Vec<f64>,
+    pub(crate) stats: CompileStats,
 }
 
 impl Tape {
@@ -311,6 +351,12 @@ impl Tape {
     /// evaluation cost; exposed for tests and diagnostics).
     pub fn n_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Compile-time statistics recorded while this tape was built
+    /// (always populated, independent of the telemetry mode).
+    pub fn compile_stats(&self) -> CompileStats {
+        self.stats
     }
 
     /// Output weights (hazard costs).
@@ -451,6 +497,7 @@ pub struct TapeBuilder {
     interned: HashMap<OpKey, Reg>,
     outputs: Vec<Value>,
     weights: Vec<f64>,
+    stats: CompileStats,
     /// First-touch sequence number per register for the model currently
     /// being lowered (inputs are pre-touched in index order).
     touch: HashMap<Reg, u32>,
@@ -520,8 +567,16 @@ impl TapeBuilder {
 
     fn push(&mut self, key: OpKey, op: Op) -> Reg {
         if let Some(&r) = self.interned.get(&key) {
+            self.stats.interned_hits += 1;
             self.touch_key(r);
             return r;
+        }
+        self.stats.ops_emitted += 1;
+        if matches!(
+            op,
+            Op::Product { .. } | Op::SumClamp { .. } | Op::MulAdd { .. }
+        ) {
+            self.stats.fused_ops += 1;
         }
         let r = Reg((self.n_inputs + self.ops.len()) as u32);
         self.ops.push(op);
@@ -532,8 +587,12 @@ impl TapeBuilder {
 
     /// `1 − exp(−rate · max(t, 0))`.
     pub fn exposure(&mut self, rate: f64, t: Value) -> Value {
+        self.stats.ops_requested += 1;
         match t {
-            Value::Const(w) => Value::Const(-(-rate * w.max(0.0)).exp_m1()),
+            Value::Const(w) => {
+                self.stats.const_folded += 1;
+                Value::Const(-(-rate * w.max(0.0)).exp_m1())
+            }
             Value::Reg(t) => {
                 Value::Reg(self.push(OpKey::Exposure(rate.to_bits(), t), Op::Exposure { rate, t }))
             }
@@ -542,11 +601,15 @@ impl TapeBuilder {
 
     /// Truncated-normal survival `P(X > x)`.
     pub fn overtime(&mut self, dist: &TruncatedNormal, x: Value) -> Value {
+        self.stats.ops_requested += 1;
         let sf = TruncNormSf::new(dist);
         match x {
             // Constant argument: fold through the *scalar* path so the
             // folded value is bit-identical to the interpreter's.
-            Value::Const(x) => Value::Const(dist.sf(x)),
+            Value::Const(x) => {
+                self.stats.const_folded += 1;
+                Value::Const(dist.sf(x))
+            }
             Value::Reg(x) => {
                 Value::Reg(self.push(OpKey::Overtime(sf.key(), x), Op::Overtime { sf, x }))
             }
@@ -558,22 +621,34 @@ impl TapeBuilder {
     /// expression node's pointer) so clones of one expression lower to
     /// one op; pass a unique value to opt out.
     pub fn closure(&mut self, identity: usize, f: ClosureFn) -> Value {
+        self.stats.ops_requested += 1;
         Value::Reg(self.push(OpKey::Closure(identity), Op::Closure { f }))
     }
 
     /// `1 − x`.
     pub fn complement(&mut self, x: Value) -> Value {
+        self.stats.ops_requested += 1;
         match x {
-            Value::Const(v) => Value::Const(1.0 - v),
+            Value::Const(v) => {
+                self.stats.const_folded += 1;
+                Value::Const(1.0 - v)
+            }
             Value::Reg(x) => Value::Reg(self.push(OpKey::Complement(x), Op::Complement { x })),
         }
     }
 
     /// `c · x`.
     pub fn scale(&mut self, c: f64, x: Value) -> Value {
+        self.stats.ops_requested += 1;
         match x {
-            Value::Const(v) => Value::Const(c * v),
-            Value::Reg(_) if c == 1.0 => x,
+            Value::Const(v) => {
+                self.stats.const_folded += 1;
+                Value::Const(c * v)
+            }
+            Value::Reg(_) if c == 1.0 => {
+                self.stats.const_folded += 1;
+                x
+            }
             Value::Reg(x) => {
                 Value::Reg(self.push(OpKey::Scale(c.to_bits(), x), Op::Scale { c, x }))
             }
@@ -583,6 +658,7 @@ impl TapeBuilder {
     /// `∏ factors`: constant factors fold into a coefficient; zero or one
     /// remaining registers degrade to a constant or a scale.
     pub fn product(&mut self, factors: impl IntoIterator<Item = Value>) -> Value {
+        self.stats.ops_requested += 1;
         let mut c = 1.0;
         let mut regs: Vec<Reg> = Vec::new();
         for f in factors {
@@ -592,7 +668,10 @@ impl TapeBuilder {
             }
         }
         match regs.len() {
-            0 => Value::Const(c),
+            0 => {
+                self.stats.const_folded += 1;
+                Value::Const(c)
+            }
             1 => self.scale(c, Value::Reg(regs[0])),
             _ => {
                 // Canonical order maximizes sharing of commutative
@@ -608,6 +687,7 @@ impl TapeBuilder {
                 if let Some(&r) = self.interned.get(&key) {
                     // First demand of an op interned by an earlier model
                     // still counts as this model's touch.
+                    self.stats.interned_hits += 1;
                     self.touch_key(r);
                     return Value::Reg(r);
                 }
@@ -619,6 +699,7 @@ impl TapeBuilder {
 
     /// `min(bias + Σ terms, 1)`.
     pub fn sum_clamped(&mut self, bias: f64, terms: impl IntoIterator<Item = Value>) -> Value {
+        self.stats.ops_requested += 1;
         let mut b = bias;
         let mut regs: Vec<Reg> = Vec::new();
         for t in terms {
@@ -628,6 +709,7 @@ impl TapeBuilder {
             }
         }
         if regs.is_empty() {
+            self.stats.const_folded += 1;
             return Value::Const(b.min(1.0));
         }
         for &r in &regs {
@@ -639,6 +721,7 @@ impl TapeBuilder {
         if let Some(&r) = self.interned.get(&key) {
             // First demand of an op interned by an earlier model still
             // counts as this model's touch.
+            self.stats.interned_hits += 1;
             self.touch_key(r);
             return Value::Reg(r);
         }
@@ -656,7 +739,9 @@ impl TapeBuilder {
     /// identical nodes hash-cons, which is what dedups shared BDD
     /// subgraphs within and across hazards.
     pub fn mul_add(&mut self, p: Value, hi: Value, lo: Value) -> Value {
+        self.stats.ops_requested += 1;
         if let (Value::Const(pc), Value::Const(h), Value::Const(l)) = (p, hi, lo) {
+            self.stats.const_folded += 1;
             return Value::Const(pc * h + (1.0 - pc) * l);
         }
         // Touch operands in consumption order so fleet builds
@@ -701,14 +786,27 @@ impl TapeBuilder {
         self.weights.truncate(len);
     }
 
-    /// Finalizes the tape.
+    /// Compile-time statistics recorded so far (mode-independent).
+    pub fn compile_stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Finalizes the tape, publishing its compile statistics to the
+    /// telemetry registry (a per-build event — never on the eval path).
     pub fn build(self) -> Tape {
+        TAPE_BUILDS.add(1);
+        TAPE_OPS_REQUESTED.add(self.stats.ops_requested);
+        TAPE_OPS_EMITTED.add(self.stats.ops_emitted);
+        TAPE_CONST_FOLDED.add(self.stats.const_folded);
+        TAPE_INTERNED_HITS.add(self.stats.interned_hits);
+        TAPE_FUSED_OPS.add(self.stats.fused_ops);
         Tape {
             n_inputs: self.n_inputs,
             ops: self.ops,
             args: self.args,
             outputs: self.outputs,
             weights: self.weights,
+            stats: self.stats,
         }
     }
 }

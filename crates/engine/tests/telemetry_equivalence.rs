@@ -1,0 +1,186 @@
+//! Telemetry is observation-only, adversarially: forcing every
+//! `SAFETY_OPT_TELEMETRY` mode over every execution backend and thread
+//! count must leave each result **bit-identical** (0 ULP) to the
+//! untelemetered scalar reference — including the opaque-closure scalar
+//! fallback inside SoA blocks, NaN-poisoned closures, fleet masked
+//! sweeps, and the adjoint gradient path.
+//!
+//! Everything lives in ONE `#[test]` fn: the telemetry mode is
+//! process-global state and the libtest harness runs `#[test]` fns on
+//! concurrent threads, so a mode sweep must not share a binary with any
+//! other test that observes the mode.
+
+mod common;
+
+use common::{bits, compile_family, random_points, FactorSpec, FamilySpec};
+use safety_opt_engine::fleet::FleetEvaluator;
+use safety_opt_engine::{BatchEvaluator, ExecBackend};
+use safety_opt_telemetry as telemetry;
+
+/// A fixed family exercising every op kind the sweeps dispatch on —
+/// crucially the opaque closures (SoA's per-op scalar fallback, the
+/// only instrumentation inside a lane block) and a NaN-poisoned one.
+fn spec() -> FamilySpec {
+    use FactorSpec::*;
+    let overtime = || Overtime {
+        mu: 4.0,
+        sigma: 2.0,
+        input: 0,
+    };
+    FamilySpec {
+        hazards: vec![
+            (
+                vec![
+                    vec![
+                        Constant {
+                            base: 1e-3,
+                            vary: false,
+                        },
+                        overtime(),
+                    ],
+                    vec![
+                        Constant {
+                            base: 1e-3,
+                            vary: true,
+                        },
+                        Complement(Box::new(overtime())),
+                        Exposure {
+                            rate: 0.13,
+                            vary: false,
+                            input: 1,
+                        },
+                    ],
+                    vec![Closure {
+                        slot: 0,
+                        coeff: 0.4,
+                        vary: true,
+                        poison: true,
+                        smooth: false,
+                    }],
+                ],
+                100_000.0,
+            ),
+            (
+                vec![
+                    vec![
+                        Sum(vec![
+                            Constant {
+                                base: 1e-3,
+                                vary: false,
+                            },
+                            Scaled(
+                                0.9,
+                                Box::new(Exposure {
+                                    rate: 1e-4,
+                                    vary: false,
+                                    input: 2,
+                                }),
+                            ),
+                        ]),
+                        Exposure {
+                            rate: 0.13,
+                            vary: true,
+                            input: 1,
+                        },
+                    ],
+                    vec![Ite(
+                        Box::new(Constant {
+                            base: 0.25,
+                            vary: false,
+                        }),
+                        Box::new(overtime()),
+                        Box::new(Closure {
+                            slot: 1,
+                            coeff: 0.2,
+                            vary: false,
+                            poison: false,
+                            smooth: true,
+                        }),
+                    )],
+                ],
+                1.0,
+            ),
+        ],
+        n_models: 3,
+    }
+}
+
+#[test]
+fn telemetry_modes_never_change_results() {
+    let (fleet, tapes) = compile_family(&spec());
+    let points = random_points(61, 0x5AFE_7E1E);
+
+    // References: telemetry off, scalar backend, one thread.
+    telemetry::set_mode(telemetry::TelemetryMode::Off);
+    let tape = &tapes[0];
+    let ref_costs = BatchEvaluator::new(tape, 1)
+        .backend(ExecBackend::Scalar)
+        .costs(&points);
+    let (ref_c, ref_o) = BatchEvaluator::new(tape, 1)
+        .backend(ExecBackend::Scalar)
+        .costs_and_outputs(&points);
+    let (ref_gc, ref_g) = BatchEvaluator::new(tape, 1)
+        .backend(ExecBackend::Scalar)
+        .eval_grad_batch(&points);
+    let ref_all = FleetEvaluator::new(&fleet, 1)
+        .backend(ExecBackend::Scalar)
+        .costs_all(&points);
+    let ref_models: Vec<Vec<f64>> = (0..fleet.n_models())
+        .map(|k| {
+            FleetEvaluator::new(&fleet, 1)
+                .backend(ExecBackend::Scalar)
+                .model_costs(k, &points)
+        })
+        .collect();
+    assert_eq!(bits(&ref_costs), bits(&ref_c));
+
+    for mode in [
+        telemetry::TelemetryMode::Off,
+        telemetry::TelemetryMode::Counters,
+        telemetry::TelemetryMode::Full,
+    ] {
+        telemetry::set_mode(mode);
+        telemetry::reset();
+        for backend in [ExecBackend::Scalar, ExecBackend::Soa] {
+            for threads in [1usize, 4] {
+                let ctx = format!("mode {}, {backend:?}, {threads} threads", mode.name());
+                let ev = BatchEvaluator::new(tape, threads).backend(backend);
+                assert_eq!(bits(&ev.costs(&points)), bits(&ref_costs), "costs, {ctx}");
+                let (c, o) = ev.costs_and_outputs(&points);
+                assert_eq!(bits(&c), bits(&ref_c), "batch costs, {ctx}");
+                assert_eq!(bits(&o), bits(&ref_o), "output rows, {ctx}");
+                let (gc, g) = ev.eval_grad_batch(&points);
+                assert_eq!(bits(&gc), bits(&ref_gc), "gradient costs, {ctx}");
+                assert_eq!(bits(&g), bits(&ref_g), "gradients, {ctx}");
+
+                let fe = FleetEvaluator::new(&fleet, threads).backend(backend);
+                assert_eq!(bits(&fe.costs_all(&points)), bits(&ref_all), "fleet, {ctx}");
+                for (k, reference) in ref_models.iter().enumerate() {
+                    assert_eq!(
+                        bits(&fe.model_costs(k, &points)),
+                        bits(reference),
+                        "model {k}, {ctx}"
+                    );
+                }
+            }
+        }
+        // The sweeps above really were observed (not just harmless):
+        // chunk and closure-fallback counters move in counting modes.
+        let snap = telemetry::snapshot();
+        let chunks = snap.counter("engine.batch.chunks").unwrap_or(0);
+        let fallback = snap
+            .counter("engine.exec.closure_soa_fallback")
+            .unwrap_or(0);
+        if telemetry::counters_enabled() {
+            assert!(chunks > 0, "counters enabled but no chunks recorded");
+            assert!(fallback > 0, "SoA sweeps above hit the closure fallback");
+        } else {
+            assert_eq!(chunks, 0, "mode off must record nothing");
+            assert_eq!(fallback, 0, "mode off must record nothing");
+        }
+    }
+
+    // Leave the process-global mode where the environment default would
+    // have put it for any test binary spawned after this one.
+    telemetry::set_mode(telemetry::TelemetryMode::Off);
+}

@@ -22,6 +22,19 @@ use crate::tree::{FaultTree, GateKind, NodeId, NodeKind};
 use crate::{FtaError, Result};
 use std::collections::HashMap;
 
+use safety_opt_telemetry as telemetry;
+
+/// BDDs compiled by [`TreeBdd::build`]/[`TreeBdd::build_with_order`].
+static BDD_BUILDS: telemetry::Counter = telemetry::Counter::new("fta.bdd.builds");
+/// Internal nodes reachable from the roots of built BDDs.
+static BDD_NODES: telemetry::Counter = telemetry::Counter::new("fta.bdd.nodes");
+/// Total nodes allocated building BDDs, including construction garbage.
+static BDD_ALLOCATED: telemetry::Counter = telemetry::Counter::new("fta.bdd.allocated");
+/// Shannon plans exported by [`TreeBdd::shannon_plan`].
+static SHANNON_PLANS: telemetry::Counter = telemetry::Counter::new("fta.shannon.plans");
+/// Decomposition nodes across exported Shannon plans.
+static SHANNON_NODES: telemetry::Counter = telemetry::Counter::new("fta.shannon.nodes");
+
 /// Reference to a BDD node inside one manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Ref(u32);
@@ -207,13 +220,20 @@ impl TreeBdd {
         let mut b = Builder::new();
         let mut memo: HashMap<NodeId, Ref> = HashMap::new();
         let root = build_node(tree, root_id, &leaf_to_level, &mut b, &mut memo);
-        Ok(Self {
+        let built = Self {
             nodes: b.nodes,
             root,
             level_to_leaf: order,
             leaf_to_level,
             num_leaves: tree.leaves().len(),
-        })
+        };
+        // Gated: the reachable-node count is a DFS, not a field read.
+        if telemetry::counters_enabled() {
+            BDD_BUILDS.add(1);
+            BDD_NODES.add(built.node_count() as u64);
+            BDD_ALLOCATED.add(built.allocated_count() as u64);
+        }
+        Ok(built)
     }
 
     /// Number of internal BDD nodes reachable from the root (excluding
@@ -399,6 +419,8 @@ impl TreeBdd {
                 stack.push((node.low, false));
             }
         }
+        SHANNON_PLANS.add(1);
+        SHANNON_NODES.add(nodes.len() as u64);
         ShannonPlan {
             nodes,
             root: index[&self.root],

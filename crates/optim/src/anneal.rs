@@ -7,6 +7,7 @@
 //! reproducible.
 
 use crate::domain::BoxDomain;
+use crate::trace::HookHandle;
 use crate::{
     CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason, TracePoint,
@@ -40,6 +41,7 @@ pub struct SimulatedAnnealing {
     proposal_scale: f64,
     seed: u64,
     record_trace: bool,
+    hook: HookHandle,
 }
 
 impl Default for SimulatedAnnealing {
@@ -52,6 +54,7 @@ impl Default for SimulatedAnnealing {
             proposal_scale: 0.12,
             seed: 0x5AFE_0907,
             record_trace: false,
+            hook: HookHandle::none(),
         }
     }
 }
@@ -103,6 +106,13 @@ impl SimulatedAnnealing {
     /// Records a best-so-far trace point per temperature level.
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Installs a live per-temperature-level observer (see
+    /// [`crate::TraceHook`]); fires whether or not a trace is recorded.
+    pub fn with_trace_hook(mut self, hook: std::sync::Arc<dyn crate::TraceHook>) -> Self {
+        self.hook = HookHandle::new(hook);
         self
     }
 
@@ -269,12 +279,16 @@ impl SimulatedAnnealing {
                 }
             }
             temperature *= self.cooling;
-            if self.record_trace {
-                trace.push(TracePoint {
+            if self.record_trace || self.hook.is_set() {
+                let point = TracePoint {
                     iteration: iterations,
                     evaluations,
                     best_value: f_best,
-                });
+                };
+                self.hook.emit(0, &point);
+                if self.record_trace {
+                    trace.push(point);
+                }
             }
         }
 
@@ -362,12 +376,16 @@ impl Minimizer for SimulatedAnnealing {
                 }
             }
             temperature *= self.cooling;
-            if self.record_trace {
-                trace.push(TracePoint {
+            if self.record_trace || self.hook.is_set() {
+                let point = TracePoint {
                     iteration: iterations,
                     evaluations: f.count(),
                     best_value: f_best,
-                });
+                };
+                self.hook.emit(0, &point);
+                if self.record_trace {
+                    trace.push(point);
+                }
             }
         }
 

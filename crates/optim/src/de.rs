@@ -6,6 +6,7 @@
 //! under a fixed seed.
 
 use crate::domain::BoxDomain;
+use crate::trace::HookHandle;
 use crate::{
     CountingObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason, TracePoint,
@@ -41,6 +42,7 @@ pub struct DifferentialEvolution {
     f_tol: f64,
     seed: u64,
     record_trace: bool,
+    hook: HookHandle,
 }
 
 impl Default for DifferentialEvolution {
@@ -53,6 +55,7 @@ impl Default for DifferentialEvolution {
             f_tol: 1e-12,
             seed: 0xDE_2004,
             record_trace: false,
+            hook: HookHandle::none(),
         }
     }
 }
@@ -102,6 +105,13 @@ impl DifferentialEvolution {
     /// Records a best-so-far trace point per generation.
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Installs a live per-generation observer (see [`crate::TraceHook`]);
+    /// fires whether or not a trace is recorded.
+    pub fn with_trace_hook(mut self, hook: std::sync::Arc<dyn crate::TraceHook>) -> Self {
+        self.hook = HookHandle::new(hook);
         self
     }
 
@@ -237,12 +247,16 @@ impl DifferentialEvolution {
                 .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
                     (lo.min(v), hi.max(v))
                 });
-            if self.record_trace {
-                trace.push(TracePoint {
+            if self.record_trace || self.hook.is_set() {
+                let point = TracePoint {
                     iteration: iterations,
                     evaluations,
                     best_value: min_v,
-                });
+                };
+                self.hook.emit(0, &point);
+                if self.record_trace {
+                    trace.push(point);
+                }
             }
             if max_v.is_finite() && (max_v - min_v) <= self.f_tol {
                 termination = TerminationReason::Converged;
@@ -334,12 +348,16 @@ impl Minimizer for DifferentialEvolution {
                 .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
                     (lo.min(v), hi.max(v))
                 });
-            if self.record_trace {
-                trace.push(TracePoint {
+            if self.record_trace || self.hook.is_set() {
+                let point = TracePoint {
                     iteration: iterations,
                     evaluations: f.count(),
                     best_value: min_v,
-                });
+                };
+                self.hook.emit(0, &point);
+                if self.record_trace {
+                    trace.push(point);
+                }
             }
             if max_v.is_finite() && (max_v - min_v) <= self.f_tol {
                 termination = TerminationReason::Converged;

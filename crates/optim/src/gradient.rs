@@ -19,6 +19,7 @@
 
 use crate::domain::BoxDomain;
 use crate::objective::ValueOnly;
+use crate::trace::HookHandle;
 use crate::{
     CountingObjective, DifferentiableObjective, Minimizer, Objective, OptimError,
     OptimizationOutcome, Result, TerminationReason, TracePoint,
@@ -61,6 +62,7 @@ pub struct GradientDescent {
     initial_step: f64,
     start: Option<Vec<f64>>,
     record_trace: bool,
+    hook: HookHandle,
 }
 
 impl Default for GradientDescent {
@@ -73,6 +75,7 @@ impl Default for GradientDescent {
             initial_step: 0.1,
             start: None,
             record_trace: false,
+            hook: HookHandle::none(),
         }
     }
 }
@@ -116,6 +119,19 @@ impl GradientDescent {
     /// Records a best-so-far trace point per iteration.
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Installs a live per-iteration observer (see [`crate::TraceHook`]);
+    /// fires whether or not a trace is recorded.
+    pub fn with_trace_hook(mut self, hook: std::sync::Arc<dyn crate::TraceHook>) -> Self {
+        self.hook = HookHandle::new(hook);
+        self
+    }
+
+    /// Replaces the hook slot wholesale (restart tagging in multi-start).
+    pub(crate) fn hook_handle(mut self, hook: HookHandle) -> Self {
+        self.hook = hook;
         self
     }
 
@@ -277,12 +293,16 @@ impl GradientDescent {
                 }
                 step *= 0.5;
             }
-            if self.record_trace {
-                trace.push(TracePoint {
+            if self.record_trace || self.hook.is_set() {
+                let point = TracePoint {
                     iteration: iterations,
                     evaluations: f.count(),
                     best_value: fx,
-                });
+                };
+                self.hook.emit(0, &point);
+                if self.record_trace {
+                    trace.push(point);
+                }
             }
             if !accepted {
                 // Line search failed: either converged or the landscape is

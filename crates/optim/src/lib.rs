@@ -62,10 +62,12 @@ pub mod nelder_mead;
 mod objective;
 mod outcome;
 pub mod testfns;
+pub mod trace;
 
 pub use error::OptimError;
 pub use objective::{BatchObjective, CountingObjective, DifferentiableObjective, Objective};
 pub use outcome::{OptimizationOutcome, TerminationReason, TracePoint};
+pub use trace::{CollectingHook, HookHandle, TraceHook};
 
 /// Convenience result alias for fallible optimization operations.
 pub type Result<T> = std::result::Result<T, OptimError>;

@@ -8,6 +8,7 @@
 
 use crate::domain::BoxDomain;
 use crate::nelder_mead::{NelderMead, NmState};
+use crate::trace::HookHandle;
 use crate::{
     BatchObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason,
@@ -37,6 +38,7 @@ use crate::{
 pub struct MultiStart<M> {
     inner: M,
     starts: usize,
+    hook: HookHandle,
 }
 
 impl Default for MultiStart<NelderMead> {
@@ -45,6 +47,7 @@ impl Default for MultiStart<NelderMead> {
         Self {
             inner: NelderMead::default(),
             starts: 8,
+            hook: HookHandle::none(),
         }
     }
 }
@@ -52,7 +55,21 @@ impl Default for MultiStart<NelderMead> {
 impl<M> MultiStart<M> {
     /// Wraps `inner`, running it from `starts` different start points.
     pub fn new(inner: M, starts: usize) -> Self {
-        Self { inner, starts }
+        Self {
+            inner,
+            starts,
+            hook: HookHandle::none(),
+        }
+    }
+
+    /// Installs a live per-iteration observer (see [`crate::TraceHook`]):
+    /// each restart's inner run reports with its restart index, so an
+    /// observer can tell the convergence curves apart. When the wrapper
+    /// has no hook, the inner minimizer's own hook (if any) is left
+    /// untouched.
+    pub fn with_trace_hook(mut self, hook: std::sync::Arc<dyn crate::TraceHook>) -> Self {
+        self.hook = HookHandle::new(hook);
+        self
     }
 
     /// The wrapped minimizer.
@@ -112,7 +129,11 @@ impl MultiStart<NelderMead> {
         let mut states = Vec::with_capacity(self.starts);
         for k in 0..self.starts {
             let x0 = Self::start_point(k, domain);
-            states.push(NmState::new(&self.inner.clone().start(x0), domain)?);
+            let mut cfg = self.inner.clone().start(x0);
+            if self.hook.is_set() {
+                cfg = cfg.hook_handle(self.hook.with_restart(k as u64));
+            }
+            states.push(NmState::new(&cfg, domain)?);
         }
         let mut batch: Vec<Vec<f64>> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
@@ -244,11 +265,11 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
         let mut fold = RestartFold::default();
         for k in 0..self.starts {
             let x0 = MultiStart::<M>::start_point(k, domain);
-            let run = self
-                .inner
-                .clone()
-                .with_start(x0)
-                .minimize(objective, domain);
+            let mut inner = self.inner.clone().with_start(x0);
+            if self.hook.is_set() {
+                inner = inner.with_restart_hook(self.hook.with_restart(k as u64));
+            }
+            let run = inner.minimize(objective, domain);
             fold.observe(run)?;
         }
         fold.finish()
@@ -267,11 +288,27 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
 pub trait StartablePoint {
     /// Returns a copy configured to start at `x0`.
     fn with_start(self, x0: Vec<f64>) -> Self;
+
+    /// Returns a copy whose [`crate::TraceHook`] observations go through
+    /// `hook` — how [`MultiStart`] tags each restart with its index. The
+    /// default keeps the minimizer unchanged, so methods without hook
+    /// support still multi-start (their iterations just go unobserved).
+    fn with_restart_hook(self, hook: HookHandle) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = hook;
+        self
+    }
 }
 
 impl StartablePoint for NelderMead {
     fn with_start(self, x0: Vec<f64>) -> Self {
         self.start(x0)
+    }
+
+    fn with_restart_hook(self, hook: HookHandle) -> Self {
+        self.hook_handle(hook)
     }
 }
 
@@ -284,6 +321,10 @@ impl StartablePoint for crate::hooke_jeeves::HookeJeeves {
 impl StartablePoint for crate::gradient::GradientDescent {
     fn with_start(self, x0: Vec<f64>) -> Self {
         self.start(x0)
+    }
+
+    fn with_restart_hook(self, hook: HookHandle) -> Self {
+        self.hook_handle(hook)
     }
 }
 

@@ -20,6 +20,7 @@
 //! outcomes.
 
 use crate::domain::BoxDomain;
+use crate::trace::HookHandle;
 use crate::{
     BatchObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
     TerminationReason, TracePoint,
@@ -52,6 +53,7 @@ pub struct NelderMead {
     /// Optional explicit start point (defaults to the domain center).
     start: Option<Vec<f64>>,
     record_trace: bool,
+    hook: HookHandle,
 }
 
 impl Default for NelderMead {
@@ -63,6 +65,7 @@ impl Default for NelderMead {
             initial_scale: 0.10,
             start: None,
             record_trace: false,
+            hook: HookHandle::none(),
         }
     }
 }
@@ -107,6 +110,19 @@ impl NelderMead {
     /// Records a best-so-far trace point per iteration.
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Installs a live per-iteration observer (see [`crate::TraceHook`]);
+    /// fires whether or not a trace is recorded.
+    pub fn with_trace_hook(mut self, hook: std::sync::Arc<dyn crate::TraceHook>) -> Self {
+        self.hook = HookHandle::new(hook);
+        self
+    }
+
+    /// Replaces the hook slot wholesale (restart tagging in multi-start).
+    pub(crate) fn hook_handle(mut self, hook: HookHandle) -> Self {
+        self.hook = hook;
         self
     }
 
@@ -240,6 +256,7 @@ pub(crate) struct NmState {
     x_tol: f64,
     max_iterations: u64,
     record_trace: bool,
+    hook: HookHandle,
     // Adaptive coefficients (Gao & Han 2012) help in higher dimensions.
     alpha: f64,
     beta: f64,
@@ -292,6 +309,7 @@ impl NmState {
             x_tol: config.x_tol,
             max_iterations: config.max_iterations,
             record_trace: config.record_trace,
+            hook: config.hook.clone(),
             alpha: 1.0,
             beta: 1.0 + 2.0 / nf,           // expansion
             gamma: 0.75 - 1.0 / (2.0 * nf), // contraction
@@ -487,13 +505,17 @@ impl NmState {
     }
 
     fn end_iteration(&mut self) {
-        if self.record_trace {
+        if self.record_trace || self.hook.is_set() {
             let best_now = self.values.iter().copied().fold(f64::INFINITY, f64::min);
-            self.trace.push(TracePoint {
+            let point = TracePoint {
                 iteration: self.iterations,
                 evaluations: self.evaluations,
                 best_value: best_now,
-            });
+            };
+            self.hook.emit(0, &point);
+            if self.record_trace {
+                self.trace.push(point);
+            }
         }
         self.begin_iteration();
     }

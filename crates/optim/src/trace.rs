@@ -1,0 +1,194 @@
+//! Live convergence observation: the [`TraceHook`] observer.
+//!
+//! [`crate::OptimizationOutcome::trace`] is a *post-hoc* record — it only
+//! exists after the run returns, and only when the algorithm was
+//! configured to record it. A [`TraceHook`] is the *live* counterpart:
+//! an observer invoked at every iteration boundary with the best-so-far
+//! [`TracePoint`], plus the restart index when the run is wrapped in a
+//! [`crate::multistart::MultiStart`]. Dashboards, progress bars, and
+//! telemetry exporters hang off this without touching the algorithms.
+//!
+//! Hooks fire **independently** of the `record_trace` flags — observing
+//! a run does not force it to allocate a trace vector — and they observe
+//! only: a hook cannot influence iterates, so wiring one up preserves
+//! every bit-identity contract.
+
+use crate::TracePoint;
+use std::sync::Arc;
+
+/// Observer of per-iteration optimizer progress.
+///
+/// `on_iteration` is called after each outer iteration of the hosting
+/// algorithm with the same values a recorded trace entry would carry.
+/// `restart` is the [`crate::multistart::MultiStart`] restart index
+/// (`0` for bare minimizers). Implementations must be cheap and must
+/// not panic; they run inline in the optimization loop.
+pub trait TraceHook: Send + Sync {
+    /// Observes one iteration boundary.
+    fn on_iteration(&self, restart: u64, point: &TracePoint);
+}
+
+/// A shareable, optional [`TraceHook`] slot, as stored in algorithm
+/// configs. The default is empty (no observation, no overhead beyond a
+/// branch).
+///
+/// Equality is identity: two handles are equal when they are both empty
+/// or share the same hook allocation — that keeps derived `PartialEq`
+/// on algorithm configs meaningful without requiring hooks themselves
+/// to be comparable.
+#[derive(Default, Clone)]
+pub struct HookHandle(Option<Arc<dyn TraceHook>>);
+
+impl HookHandle {
+    /// An empty handle (no observer).
+    pub const fn none() -> Self {
+        Self(None)
+    }
+
+    /// Wraps a hook.
+    pub fn new(hook: Arc<dyn TraceHook>) -> Self {
+        Self(Some(hook))
+    }
+
+    /// `true` when a hook is installed.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Notifies the hook, if any.
+    #[inline]
+    pub fn emit(&self, restart: u64, point: &TracePoint) {
+        if let Some(hook) = &self.0 {
+            hook.on_iteration(restart, point);
+        }
+    }
+
+    /// A handle that reports `restart` instead of whatever the hosting
+    /// algorithm passes — how [`crate::multistart::MultiStart`] tags
+    /// each inner run with its restart index while the inner algorithm
+    /// keeps passing `0`.
+    pub fn with_restart(&self, restart: u64) -> Self {
+        match &self.0 {
+            Some(hook) => Self(Some(Arc::new(RestartTag {
+                restart,
+                inner: Arc::clone(hook),
+            }))),
+            None => Self(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for HookHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_set() {
+            "HookHandle(set)"
+        } else {
+            "HookHandle(none)"
+        })
+    }
+}
+
+impl PartialEq for HookHandle {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// Substitutes a fixed restart index into every observation.
+struct RestartTag {
+    restart: u64,
+    inner: Arc<dyn TraceHook>,
+}
+
+impl TraceHook for RestartTag {
+    fn on_iteration(&self, _restart: u64, point: &TracePoint) {
+        self.inner.on_iteration(self.restart, point);
+    }
+}
+
+/// A [`TraceHook`] that collects every observation into a mutex-guarded
+/// vector — the simplest useful observer, handy in tests and reports.
+#[derive(Debug, Default)]
+pub struct CollectingHook {
+    points: std::sync::Mutex<Vec<(u64, TracePoint)>>,
+}
+
+impl CollectingHook {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything observed so far, as `(restart, point)` pairs in
+    /// observation order.
+    pub fn collected(&self) -> Vec<(u64, TracePoint)> {
+        self.points.lock().expect("hook poisoned").clone()
+    }
+}
+
+impl TraceHook for CollectingHook {
+    fn on_iteration(&self, restart: u64, point: &TracePoint) {
+        self.points
+            .lock()
+            .expect("hook poisoned")
+            .push((restart, point.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(i: u64) -> TracePoint {
+        TracePoint {
+            iteration: i,
+            evaluations: 2 * i,
+            best_value: -(i as f64),
+        }
+    }
+
+    #[test]
+    fn empty_handle_is_inert_and_equal_to_itself() {
+        let h = HookHandle::none();
+        assert!(!h.is_set());
+        h.emit(0, &pt(1)); // no-op, must not panic
+        assert_eq!(h, HookHandle::default());
+        assert!(!h.with_restart(3).is_set());
+    }
+
+    #[test]
+    fn collecting_hook_sees_emissions() {
+        let hook = Arc::new(CollectingHook::new());
+        let h = HookHandle::new(hook.clone());
+        assert!(h.is_set());
+        h.emit(0, &pt(1));
+        h.emit(0, &pt(2));
+        let got = hook.collected();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].1.iteration, 2);
+    }
+
+    #[test]
+    fn restart_tag_overrides_index() {
+        let hook = Arc::new(CollectingHook::new());
+        let h = HookHandle::new(hook.clone());
+        let tagged = h.with_restart(7);
+        tagged.emit(0, &pt(1));
+        assert_eq!(hook.collected()[0].0, 7);
+    }
+
+    #[test]
+    fn handle_equality_is_identity() {
+        let hook: Arc<dyn TraceHook> = Arc::new(CollectingHook::new());
+        let a = HookHandle::new(Arc::clone(&hook));
+        let b = HookHandle::new(Arc::clone(&hook));
+        let c = HookHandle::new(Arc::new(CollectingHook::new()));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, HookHandle::none());
+    }
+}

@@ -26,7 +26,8 @@ use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
 use safety_opt_engine::{
-    BatchEvaluator, ExecBackend, GradWorkspace, QuantizedCache, Tape, TapeBuilder, Value,
+    BatchEvaluator, CacheStats, CompileStats, ExecBackend, GradWorkspace, QuantizedCache, Tape,
+    TapeBuilder, Value,
 };
 use safety_opt_fta::bdd::ShannonRef;
 use std::cell::RefCell;
@@ -112,6 +113,13 @@ impl CompiledModel {
     /// The underlying tape.
     pub fn tape(&self) -> &Tape {
         &self.tape
+    }
+
+    /// Compile-time statistics of the underlying tape (ops requested vs
+    /// emitted, constant folds, hash-consing hits, fused ops). Recorded
+    /// unconditionally — independent of the `SAFETY_OPT_TELEMETRY` mode.
+    pub fn compile_stats(&self) -> CompileStats {
+        self.tape.compile_stats()
     }
 
     /// Number of parameters the compiled model expects.
@@ -265,9 +273,13 @@ impl CompiledObjective {
         }
     }
 
-    /// `(hits, misses)` of the memo cache (`(0, 0)` when disabled).
-    pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.as_ref().map_or((0, 0), QuantizedCache::stats)
+    /// Hit/miss/eviction statistics of the memo cache (all zero when
+    /// disabled). Recorded unconditionally — independent of the
+    /// `SAFETY_OPT_TELEMETRY` mode.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map_or_else(CacheStats::default, QuantizedCache::stats)
     }
 }
 
@@ -681,8 +693,9 @@ mod tests {
         let a = obj.eval(&[19.0, 15.6]);
         let b = obj.eval(&[19.0, 15.6]);
         assert_eq!(a, b);
-        let (hits, misses) = obj.cache_stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = obj.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.hit_rate(), 0.5);
         // Wrong arity through the objective is infeasible, not a panic.
         assert_eq!(obj.eval(&[1.0]), f64::INFINITY);
     }

@@ -43,7 +43,7 @@ use crate::compile::lower_hazard;
 use crate::model::SafetyModel;
 use crate::{Result, SafeOptError};
 use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
-use safety_opt_engine::{ExecBackend, QuantizedCache, Value};
+use safety_opt_engine::{CacheStats, CompileStats, ExecBackend, QuantizedCache, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -189,6 +189,13 @@ impl CompiledFleet {
         self.fleet.sharing()
     }
 
+    /// Compile-time statistics of the shared arena (ops requested vs
+    /// emitted, constant folds, hash-consing hits, fused ops). Recorded
+    /// unconditionally — independent of the `SAFETY_OPT_TELEMETRY` mode.
+    pub fn compile_stats(&self) -> CompileStats {
+        self.fleet.compile_stats()
+    }
+
     fn check_points(&self, points: &[Vec<f64>]) -> Result<()> {
         for p in points {
             if p.len() != self.dim() {
@@ -316,9 +323,13 @@ impl FleetModelObjective {
         }
     }
 
-    /// `(hits, misses)` of the memo cache (`(0, 0)` when disabled).
-    pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.as_ref().map_or((0, 0), QuantizedCache::stats)
+    /// Hit/miss/eviction statistics of the memo cache (all zero when
+    /// disabled). Recorded unconditionally — independent of the
+    /// `SAFETY_OPT_TELEMETRY` mode.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map_or_else(CacheStats::default, QuantizedCache::stats)
     }
 }
 
@@ -458,7 +469,8 @@ mod tests {
             let memo = fleet.model_objective(k, true);
             let a = memo.eval(&[19.0, 15.5]);
             assert_eq!(a, memo.eval(&[19.0, 15.5]));
-            assert_eq!(memo.cache_stats(), (1, 1));
+            let stats = memo.cache_stats();
+            assert_eq!((stats.hits, stats.misses), (1, 1));
             // Batch objective agrees pointwise.
             let bo = fleet.model_batch_objective(k);
             let pts = grid_points();

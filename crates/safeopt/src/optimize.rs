@@ -15,7 +15,8 @@ use crate::param::ParameterPoint;
 use crate::Result;
 use safety_opt_optim::multistart::MultiStart;
 use safety_opt_optim::nelder_mead::NelderMead;
-use safety_opt_optim::{BatchObjective, Minimizer, OptimizationOutcome};
+use safety_opt_optim::{BatchObjective, Minimizer, OptimizationOutcome, TraceHook};
+use std::sync::Arc;
 
 /// The result of a safety optimization run.
 #[derive(Debug, Clone)]
@@ -88,12 +89,24 @@ impl std::fmt::Display for OptimalConfiguration {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct SafetyOptimizer<'m> {
     model: &'m SafetyModel,
     minimizer: Option<&'m dyn Minimizer>,
     batch_objective: Option<&'m dyn BatchObjective>,
     starts: usize,
+    hook: Option<Arc<dyn TraceHook>>,
+}
+
+impl std::fmt::Debug for SafetyOptimizer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SafetyOptimizer")
+            .field("model", &self.model)
+            .field("custom_minimizer", &self.minimizer.is_some())
+            .field("batch_objective", &self.batch_objective.is_some())
+            .field("starts", &self.starts)
+            .field("hook", &self.hook.is_some())
+            .finish()
+    }
 }
 
 impl<'m> SafetyOptimizer<'m> {
@@ -105,6 +118,7 @@ impl<'m> SafetyOptimizer<'m> {
             minimizer: None,
             batch_objective: None,
             starts: 8,
+            hook: None,
         }
     }
 
@@ -149,6 +163,18 @@ impl<'m> SafetyOptimizer<'m> {
         self
     }
 
+    /// Registers a convergence-trace observer on the default multi-start
+    /// strategy: `hook` sees every restart's per-iteration best cost and
+    /// evaluation count, tagged with the restart index (see
+    /// [`safety_opt_optim::TraceHook`]). With a custom
+    /// [`with_minimizer`](Self::with_minimizer) the hook is ignored —
+    /// configure the minimizer's own
+    /// `with_trace_hook` instead.
+    pub fn with_trace_hook(mut self, hook: Arc<dyn TraceHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
     /// Runs the optimization.
     ///
     /// The cost function is compiled onto the evaluation engine first
@@ -177,13 +203,19 @@ impl<'m> SafetyOptimizer<'m> {
                 m.minimize_differentiable(&f, &domain)?
             }
             (None, Some(batch)) => {
-                let ms = MultiStart::new(NelderMead::default(), self.starts);
+                let mut ms = MultiStart::new(NelderMead::default(), self.starts);
+                if let Some(hook) = &self.hook {
+                    ms = ms.with_trace_hook(Arc::clone(hook));
+                }
                 ms.minimize_batch(batch, &domain)?
             }
             (None, None) => {
                 let compiled = crate::compile::CompiledModel::compile(self.model)?;
                 let f = compiled.objective(true);
-                let ms = MultiStart::new(NelderMead::default(), self.starts);
+                let mut ms = MultiStart::new(NelderMead::default(), self.starts);
+                if let Some(hook) = &self.hook {
+                    ms = ms.with_trace_hook(Arc::clone(hook));
+                }
                 ms.minimize(&f, &domain)?
             }
         };
@@ -379,6 +411,36 @@ mod tests {
         assert!(cmp.hazard("nope").is_none());
         let shown = cmp.to_string();
         assert!(shown.contains("alarm"));
+    }
+
+    #[test]
+    fn trace_hook_observes_every_restart() {
+        use safety_opt_optim::CollectingHook;
+        let m = model();
+        let hook = Arc::new(CollectingHook::default());
+        let starts = 4;
+        let optimum = SafetyOptimizer::new(&m)
+            .starts(starts)
+            .with_trace_hook(hook.clone())
+            .run()
+            .unwrap();
+        let collected = hook.collected();
+        assert!(!collected.is_empty(), "hook saw no iterations");
+        let restarts: std::collections::BTreeSet<u64> = collected.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            restarts.into_iter().collect::<Vec<_>>(),
+            (0..starts as u64).collect::<Vec<_>>(),
+            "every restart must emit trace points"
+        );
+        // The best traced value can never beat the reported optimum.
+        let best_traced = collected
+            .iter()
+            .map(|(_, p)| p.best_value)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_traced >= optimum.cost() - 1e-12);
+        // The hook must not perturb the optimization itself.
+        let plain = SafetyOptimizer::new(&m).starts(starts).run().unwrap();
+        assert_eq!(plain.cost().to_bits(), optimum.cost().to_bits());
     }
 
     #[test]

@@ -1,0 +1,700 @@
+//! Runtime telemetry for the safety-optimization workspace: atomic
+//! counters, power-of-two-bucketed histograms, and monotonic-clock spans
+//! behind a process-global registry — with **zero dependencies** and
+//! near-zero cost when disabled.
+//!
+//! # Modes
+//!
+//! Telemetry has three levels, selected once per process by the
+//! `SAFETY_OPT_TELEMETRY` environment variable (`off` — the default —
+//! `counters`, or `full`; anything else panics loudly, mirroring the
+//! other `SAFETY_OPT_*` knobs) or programmatically via [`set_mode`]:
+//!
+//! * [`TelemetryMode::Off`] — every instrumentation site reduces to one
+//!   relaxed atomic load and a predictable branch.
+//! * [`TelemetryMode::Counters`] — [`Counter`]s record; histograms and
+//!   spans stay disabled (no clock reads on hot paths).
+//! * [`TelemetryMode::Full`] — counters, [`Histogram`]s, and [`span`]
+//!   timings all record, and subsystems may emit one-time diagnostics.
+//!
+//! # Instrumentation model
+//!
+//! Sites declare `static` [`Counter`]s and [`Histogram`]s (`const`
+//! constructors, no life-before-main). On first use an instrument
+//! registers itself with the process-global [`Registry`], so
+//! [`snapshot`] sees exactly the instruments the process exercised:
+//!
+//! ```
+//! use safety_opt_telemetry as telemetry;
+//!
+//! static SWEEPS: telemetry::Counter = telemetry::Counter::new("demo.sweeps");
+//!
+//! telemetry::set_mode(telemetry::TelemetryMode::Counters);
+//! SWEEPS.add(3);
+//! assert_eq!(SWEEPS.get(), 3);
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("demo.sweeps"), Some(3));
+//! telemetry::reset();
+//! telemetry::set_mode(telemetry::TelemetryMode::Off);
+//! ```
+//!
+//! Instrumentation is **observation-only** by contract: enabling any
+//! mode must never change a computed result (the engine's 0-ULP
+//! equivalence suites run with telemetry forced on to enforce this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How much the process records. Ordered: each level includes the
+/// previous one's recordings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TelemetryMode {
+    /// Nothing records; every site costs one atomic load + branch.
+    Off = 0,
+    /// Counters record; histograms, spans, and diagnostics stay off.
+    Counters = 1,
+    /// Everything records, including span timings (clock reads) and
+    /// one-time diagnostics.
+    Full = 2,
+}
+
+impl TelemetryMode {
+    /// The mode's canonical lowercase name (`off`/`counters`/`full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Counters => "counters",
+            TelemetryMode::Full => "full",
+        }
+    }
+}
+
+/// Sentinel: the env var has not been consulted yet.
+const MODE_UNSET: u8 = u8::MAX;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Parses a `SAFETY_OPT_TELEMETRY` override. `None` or an empty/blank
+/// string means "not set" (the default, [`TelemetryMode::Off`],
+/// applies).
+///
+/// # Panics
+///
+/// Panics on any other unrecognized value — a typo silently disabling
+/// telemetry would be worse than a crash at startup.
+pub fn parse_mode_override(raw: Option<&str>) -> Option<TelemetryMode> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw {
+        "off" => Some(TelemetryMode::Off),
+        "counters" => Some(TelemetryMode::Counters),
+        "full" => Some(TelemetryMode::Full),
+        other => panic!(
+            "SAFETY_OPT_TELEMETRY must be one of off, counters, full \
+             (got {other:?})"
+        ),
+    }
+}
+
+#[cold]
+fn init_mode() -> TelemetryMode {
+    let env = std::env::var("SAFETY_OPT_TELEMETRY").ok();
+    let mode = parse_mode_override(env.as_deref()).unwrap_or(TelemetryMode::Off);
+    // A racing initializer computes the same value; last store wins.
+    MODE.store(mode as u8, Ordering::Relaxed);
+    mode
+}
+
+/// The process-wide telemetry mode: the `SAFETY_OPT_TELEMETRY`
+/// environment override, read once on first query, unless
+/// [`set_mode`] replaced it.
+#[inline]
+pub fn mode() -> TelemetryMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => TelemetryMode::Off,
+        1 => TelemetryMode::Counters,
+        2 => TelemetryMode::Full,
+        _ => init_mode(),
+    }
+}
+
+/// Overrides the telemetry mode for the whole process — the in-process
+/// switch the equivalence suites and the overhead bench drive.
+pub fn set_mode(mode: TelemetryMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// `true` when counters record ([`TelemetryMode::Counters`] or above).
+#[inline]
+pub fn counters_enabled() -> bool {
+    mode() >= TelemetryMode::Counters
+}
+
+/// `true` when histograms, spans, and diagnostics record
+/// ([`TelemetryMode::Full`]).
+#[inline]
+pub fn full_enabled() -> bool {
+    mode() == TelemetryMode::Full
+}
+
+/// A named monotonic event counter (one relaxed `fetch_add` per
+/// recording). Declare as a `static`; the counter registers itself with
+/// the global [`Registry`] on first use.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A zeroed counter named `name` (use dotted lowercase paths, e.g.
+    /// `engine.cache.hits`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when counters are enabled; a no-op (one load + branch)
+    /// otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if counters_enabled() {
+            self.record(n);
+        }
+    }
+
+    /// Adds `n` unconditionally (mode already checked by the caller).
+    fn record(&'static self, n: u64) {
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (readable in every mode).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_registry().counters.push(self);
+        }
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value
+/// 0, bucket `i > 0` holds values in `[2^(i−1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A named histogram over `u64` samples with power-of-two buckets plus
+/// exact count and sum. Records only in [`TelemetryMode::Full`] (every
+/// observation is ~3 relaxed `fetch_add`s). Declare as a `static`; it
+/// registers itself with the global [`Registry`] on first use.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// An empty histogram named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        // Array-init idiom for a non-Copy element on the 1.75 MSRV
+        // (inline-const array expressions need 1.79); the const is a
+        // *template* for fresh zeros, never a shared binding.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of `value`.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_le(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records `value` when [`full_enabled`]; a no-op otherwise.
+    #[inline]
+    pub fn observe(&'static self, value: u64) {
+        if full_enabled() {
+            self.record(value);
+        }
+    }
+
+    /// Records `value` unconditionally (mode already checked by the
+    /// caller, e.g. at [`span`] creation).
+    fn record(&'static self, value: u64) {
+        self.ensure_registered();
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_registry().histograms.push(self);
+        }
+    }
+}
+
+/// An in-flight [`span`] timing. Dropping it records the elapsed
+/// monotonic nanoseconds into its histogram — only if telemetry was in
+/// [`TelemetryMode::Full`] when the span started (no clock read
+/// otherwise).
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span {
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+/// Starts timing a region against `hist`. Reads the monotonic clock
+/// only in [`TelemetryMode::Full`].
+#[inline]
+pub fn span(hist: &'static Histogram) -> Span {
+    Span {
+        hist,
+        start: full_enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos();
+            self.hist.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Destination for telemetry measurements, keyed by instrument name.
+///
+/// The process-global [`Registry`] implements this trait, so callers
+/// that cannot (or prefer not to) declare `static` instruments — tests,
+/// dynamically named subsystems — can still record through the same
+/// pipeline. Name-based recording respects the mode exactly like the
+/// static instruments: `add` requires [`TelemetryMode::Counters`],
+/// `observe` requires [`TelemetryMode::Full`].
+pub trait TelemetrySink {
+    /// Adds `n` to the counter named `name`.
+    fn add(&self, name: &str, n: u64);
+    /// Records one `value` sample against the histogram named `name`.
+    fn observe(&self, name: &str, value: u64);
+}
+
+/// The process-global instrument registry: every [`Counter`] and
+/// [`Histogram`] that has recorded at least once, plus dynamically
+/// named values recorded through the [`TelemetrySink`] impl.
+#[derive(Debug)]
+pub struct Registry(());
+
+/// Instruments known to the registry.
+#[derive(Debug)]
+struct RegistryInner {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+    /// Dynamically named counters recorded via [`TelemetrySink::add`].
+    dynamic: Vec<(String, u64)>,
+}
+
+static REGISTRY: Mutex<RegistryInner> = Mutex::new(RegistryInner {
+    counters: Vec::new(),
+    histograms: Vec::new(),
+    dynamic: Vec::new(),
+});
+
+fn lock_registry() -> std::sync::MutexGuard<'static, RegistryInner> {
+    // Recording never panics while holding the lock, so poisoning can
+    // only come from a panicking reader; the data is still sound.
+    REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry(());
+    &GLOBAL
+}
+
+impl TelemetrySink for Registry {
+    fn add(&self, name: &str, n: u64) {
+        if !counters_enabled() {
+            return;
+        }
+        let mut inner = lock_registry();
+        if let Some(c) = inner.counters.iter().find(|c| c.name == name) {
+            c.value.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        match inner.dynamic.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += n,
+            None => inner.dynamic.push((name.to_owned(), n)),
+        }
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        if !full_enabled() {
+            return;
+        }
+        let inner = lock_registry();
+        if let Some(h) = inner.histograms.iter().find(|h| h.name == name) {
+            h.buckets[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        // Unknown histogram names are dropped: buckets cannot be
+        // meaningfully accumulated into a flat dynamic slot.
+    }
+}
+
+/// Zeroes every registered instrument and drops dynamic counters.
+/// Instruments stay registered; the mode is untouched.
+pub fn reset() {
+    let mut inner = lock_registry();
+    for c in &inner.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in &inner.histograms {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+    }
+    inner.dynamic.clear();
+}
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, sample count)`,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of every registered instrument, exportable as
+/// JSON in the `safety-opt-bench-v1` report style (schema
+/// `safety-opt-telemetry-v1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The telemetry mode at capture time.
+    pub mode: TelemetryMode,
+    /// `(name, value)` for every registered + dynamic counter, sorted
+    /// by name.
+    pub counters: Vec<(String, u64)>,
+    /// Every registered histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes the snapshot as a stable, human-diffable JSON
+    /// document (schema `safety-opt-telemetry-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"safety-opt-telemetry-v1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode.name()));
+        out.push_str("  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {value}", json_escape(name)));
+        }
+        if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(&h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le\": {le}, \"count\": {n}}}"));
+            }
+            out.push_str("]}");
+        }
+        if self.histograms.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Captures every registered instrument (readable in every mode — a
+/// snapshot taken with telemetry off simply reports what earlier modes
+/// recorded).
+pub fn snapshot() -> Snapshot {
+    let inner = lock_registry();
+    let mut counters: Vec<(String, u64)> = inner
+        .counters
+        .iter()
+        .map(|c| (c.name.to_owned(), c.get()))
+        .chain(inner.dynamic.iter().cloned())
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSnapshot> = inner
+        .histograms
+        .iter()
+        .map(|h| HistogramSnapshot {
+            name: h.name.to_owned(),
+            count: h.count(),
+            sum: h.sum(),
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((Histogram::bucket_le(i), n))
+                })
+                .collect(),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        mode: mode(),
+        counters,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole suite shares one process-global mode + registry, so a
+    /// single test exercises every stateful path sequentially.
+    #[test]
+    fn modes_gate_instruments_and_snapshots_export() {
+        static HITS: Counter = Counter::new("test.hits");
+        static NANOS: Histogram = Histogram::new("test.nanos");
+
+        // Off: everything is a no-op.
+        set_mode(TelemetryMode::Off);
+        assert!(!counters_enabled() && !full_enabled());
+        HITS.add(5);
+        NANOS.observe(100);
+        drop(span(&NANOS));
+        assert_eq!(HITS.get(), 0);
+        assert_eq!(NANOS.count(), 0);
+
+        // Counters: counters record, histograms stay off.
+        set_mode(TelemetryMode::Counters);
+        HITS.add(2);
+        HITS.add(3);
+        NANOS.observe(100);
+        drop(span(&NANOS));
+        assert_eq!(HITS.get(), 5);
+        assert_eq!(NANOS.count(), 0);
+
+        // Full: everything records; spans land in their histogram.
+        set_mode(TelemetryMode::Full);
+        NANOS.observe(0);
+        NANOS.observe(7);
+        drop(span(&NANOS));
+        assert_eq!(NANOS.count(), 3);
+        assert!(NANOS.sum() >= 7);
+
+        // The name-keyed sink routes to registered instruments and
+        // collects unknown counters dynamically.
+        global().add("test.hits", 10);
+        assert_eq!(HITS.get(), 15);
+        global().add("test.dynamic", 4);
+        global().add("test.dynamic", 4);
+        global().observe("test.nanos", 9);
+        assert_eq!(NANOS.count(), 4);
+
+        let snap = snapshot();
+        assert_eq!(snap.mode, TelemetryMode::Full);
+        assert_eq!(snap.counter("test.hits"), Some(15));
+        assert_eq!(snap.counter("test.dynamic"), Some(8));
+        assert_eq!(snap.counter("test.unknown"), None);
+        let h = snap.histogram("test.nanos").expect("registered");
+        assert_eq!(h.count, 4);
+        assert!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>() == 4);
+        // Counters are sorted by name.
+        let names: Vec<_> = snap.counters.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        // JSON export: stable schema header + instruments present.
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"safety-opt-telemetry-v1\""));
+        assert!(json.contains("\"mode\": \"full\""));
+        assert!(json.contains("\"test.hits\": 15"));
+        assert!(json.contains("\"name\": \"test.nanos\""));
+
+        // Reset zeroes values but keeps registration.
+        reset();
+        assert_eq!(HITS.get(), 0);
+        assert_eq!(NANOS.count(), 0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.hits"), Some(0));
+        assert_eq!(snap.counter("test.dynamic"), None);
+
+        set_mode(TelemetryMode::Off);
+    }
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_le(0), 0);
+        assert_eq!(Histogram::bucket_le(1), 1);
+        assert_eq!(Histogram::bucket_le(2), 3);
+        assert_eq!(Histogram::bucket_le(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            let i = Histogram::bucket_of(v);
+            assert!(v <= Histogram::bucket_le(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_le(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_override_accepts_known_modes() {
+        assert_eq!(parse_mode_override(None), None);
+        assert_eq!(parse_mode_override(Some("")), None);
+        assert_eq!(parse_mode_override(Some("  ")), None);
+        assert_eq!(parse_mode_override(Some("off")), Some(TelemetryMode::Off));
+        assert_eq!(
+            parse_mode_override(Some("counters")),
+            Some(TelemetryMode::Counters)
+        );
+        assert_eq!(parse_mode_override(Some("full")), Some(TelemetryMode::Full));
+        assert_eq!(
+            parse_mode_override(Some(" full ")),
+            Some(TelemetryMode::Full)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_TELEMETRY must be one of off, counters, full")]
+    fn parse_override_rejects_typos() {
+        parse_mode_override(Some("verbose"));
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in [
+            TelemetryMode::Off,
+            TelemetryMode::Counters,
+            TelemetryMode::Full,
+        ] {
+            assert_eq!(parse_mode_override(Some(m.name())), Some(m));
+        }
+        assert!(TelemetryMode::Off < TelemetryMode::Counters);
+        assert!(TelemetryMode::Counters < TelemetryMode::Full);
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

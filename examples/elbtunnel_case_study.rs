@@ -11,15 +11,28 @@
 //! 6. Monte-Carlo cross-validation via the discrete-event simulator.
 //!
 //! Run with: `cargo run --release --example elbtunnel_case_study`
+//!
+//! With `--telemetry`, forces the `full` telemetry mode, attaches a
+//! convergence-trace observer to the optimizer, and appends a
+//! human-readable telemetry summary (tape compile statistics, memo
+//! cache hit rate, per-restart convergence) after the study.
 
 use safety_optimization::elbtunnel::analytic::{scaling, ElbtunnelModel, Variant};
 use safety_optimization::elbtunnel::constants as c;
 use safety_optimization::elbtunnel::fault_trees;
 use safety_optimization::elbtunnel::sim::{simulate, SimConfig};
 use safety_optimization::fta::render::to_ascii;
+use safety_optimization::optim::CollectingHook;
 use safety_optimization::safeopt::optimize::{ConfigurationComparison, SafetyOptimizer};
+use safety_optimization::telemetry;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let with_telemetry = std::env::args().any(|a| a == "--telemetry");
+    if with_telemetry {
+        telemetry::set_mode(telemetry::TelemetryMode::Full);
+    }
+    let trace = Arc::new(CollectingHook::default());
     println!("== 1. Fault tree analysis (Sect. IV-B) ==");
     for tree in [
         fault_trees::collision_tree()?,
@@ -45,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n== 3. Safety optimization ==");
-    let optimum = SafetyOptimizer::new(&model).run()?;
+    let mut optimizer = SafetyOptimizer::new(&model);
+    if with_telemetry {
+        optimizer = optimizer.with_trace_hook(trace.clone());
+    }
+    let optimum = optimizer.run()?;
     println!("{optimum}");
     println!(
         "paper reports ≈ ({}, {}) min",
@@ -98,5 +115,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * analytic
         );
     }
+
+    if with_telemetry {
+        print_telemetry_summary(&trace);
+    }
     Ok(())
+}
+
+/// The `--telemetry` appendix: what the registry observed across the
+/// whole study, plus the optimizer's convergence trace.
+fn print_telemetry_summary(trace: &CollectingHook) {
+    let snap = telemetry::snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    println!("\n== 7. Telemetry summary (--telemetry) ==");
+    println!("tape compilation:");
+    println!("  builds            {:>10}", c("engine.tape.builds"));
+    println!("  ops requested     {:>10}", c("engine.tape.ops_requested"));
+    println!("  ops emitted       {:>10}", c("engine.tape.ops_emitted"));
+    println!("  constants folded  {:>10}", c("engine.tape.const_folded"));
+    println!("  hash-cons hits    {:>10}", c("engine.tape.interned_hits"));
+    println!("  fused n-ary ops   {:>10}", c("engine.tape.fused_ops"));
+    let (hits, misses) = (c("engine.cache.hits"), c("engine.cache.misses"));
+    let evals = hits + misses;
+    println!("memo cache:");
+    println!("  hits / misses     {hits:>10} / {misses}");
+    println!(
+        "  hit rate          {:>9.1}%",
+        if evals > 0 {
+            100.0 * hits as f64 / evals as f64
+        } else {
+            0.0
+        }
+    );
+    println!("batch execution:");
+    println!("  chunks swept      {:>10}", c("engine.batch.chunks"));
+    println!("  soa points        {:>10}", c("engine.batch.soa_points"));
+    println!(
+        "  scalar points     {:>10}",
+        c("engine.batch.scalar_points")
+    );
+    println!(
+        "  adjoint sweeps    {:>10}",
+        c("engine.grad.adjoint_sweeps")
+    );
+
+    let collected = trace.collected();
+    let restarts = collected.iter().map(|(k, _)| *k).max().map_or(0, |k| k + 1);
+    println!(
+        "optimizer trace ({restarts} restarts, {} points):",
+        collected.len()
+    );
+    for k in 0..restarts {
+        let last = collected.iter().rev().find(|(r, _)| *r == k);
+        if let Some((_, p)) = last {
+            println!(
+                "  restart {k}: {:>3} iterations, {:>4} evaluations, best {:.6e}",
+                p.iteration, p.evaluations, p.best_value
+            );
+        }
+    }
 }

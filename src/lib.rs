@@ -30,6 +30,7 @@
 //! | [`optim`] | Grid / golden-section / Brent / Nelder–Mead / pattern-search / gradient / annealing / differential-evolution minimizers over box domains |
 //! | [`stats`] | Distributions, special functions, quadrature, Monte-Carlo estimation |
 //! | [`elbtunnel`] | The paper's case study: calibrated analytic model, fault trees, and a discrete-event simulator of the height control |
+//! | [`telemetry`] | Observability: process-global counters, histograms, and spans behind the `SAFETY_OPT_TELEMETRY` mode switch |
 //!
 //! ## Quick start
 //!
@@ -57,3 +58,4 @@ pub use safety_opt_engine as engine;
 pub use safety_opt_fta as fta;
 pub use safety_opt_optim as optim;
 pub use safety_opt_stats as stats;
+pub use safety_opt_telemetry as telemetry;

@@ -236,6 +236,48 @@ impl TreeBdd {
         Ok(built)
     }
 
+    /// Compiles `tree` with a greedy **sifting** pass: starting from the
+    /// DFS order, repeatedly tries adjacent transpositions of the
+    /// variable order (rebuilding through
+    /// [`build_with_order`](Self::build_with_order)) and keeps every
+    /// swap that shrinks the reachable node count, until a full sweep
+    /// finds no improvement or the cumulative **allocated-node budget**
+    /// is exhausted — whichever comes first, the best BDD seen so far is
+    /// returned (never an error from running out of budget).
+    ///
+    /// # Errors
+    ///
+    /// [`FtaError::NoRoot`] if the tree has no root.
+    pub fn build_sifted(tree: &FaultTree, node_budget: usize) -> Result<Self> {
+        let mut order = dfs_leaf_order(tree)?;
+        let mut best = Self::build_with_order(tree, order.clone())?;
+        let mut spent = best.allocated_count();
+        if order.len() < 2 {
+            return Ok(best);
+        }
+        loop {
+            let mut improved = false;
+            for i in 0..order.len() - 1 {
+                order.swap(i, i + 1);
+                let candidate = Self::build_with_order(tree, order.clone())?;
+                spent = spent.saturating_add(candidate.allocated_count());
+                let better = candidate.node_count() < best.node_count();
+                if better {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    order.swap(i, i + 1);
+                }
+                if spent >= node_budget {
+                    return Ok(best);
+                }
+            }
+            if !improved {
+                return Ok(best);
+            }
+        }
+    }
+
     /// Number of internal BDD nodes reachable from the root (excluding
     /// the two terminals). Construction may allocate further nodes that
     /// became garbage during intermediate folds; see
@@ -486,6 +528,21 @@ pub struct ShannonPlan {
 }
 
 impl ShannonPlan {
+    /// A plan whose structure function is the constant `value` — no
+    /// nodes, a terminal root. What preprocessing hands back when
+    /// constant propagation collapses a whole tree (or module).
+    pub fn constant(value: bool, num_leaves: usize) -> Self {
+        ShannonPlan {
+            nodes: Vec::new(),
+            root: if value {
+                ShannonRef::True
+            } else {
+                ShannonRef::False
+            },
+            num_leaves,
+        }
+    }
+
     /// Number of leaves of the owning tree (the leaf-probability input
     /// arity of [`leaf_tape`](Self::leaf_tape)).
     pub fn num_leaves(&self) -> usize {
@@ -582,15 +639,44 @@ fn build_node(
                 .collect();
             match kind {
                 GateKind::And | GateKind::Inhibit => {
-                    input_refs.into_iter().fold(TRUE, |acc, f| b.and(acc, f))
+                    reduce_balanced(b, input_refs, TRUE, Builder::and)
                 }
-                GateKind::Or => input_refs.into_iter().fold(FALSE, |acc, f| b.or(acc, f)),
+                GateKind::Or => reduce_balanced(b, input_refs, FALSE, Builder::or),
                 GateKind::KOfN(k) => threshold(b, &input_refs, *k),
             }
         }
     };
     memo.insert(id, r);
     r
+}
+
+/// Folds `refs` under `op` as a balanced pairwise reduction. The result
+/// is the same canonical BDD a linear fold produces, but wide gates
+/// (preprocessing coalesces fanout-1 chains into gates with hundreds of
+/// inputs) cost `O(n log n)` apply work instead of the linear fold's
+/// `O(n²)` — each level merges sub-results of comparable size rather
+/// than dragging one ever-growing accumulator past every input.
+fn reduce_balanced(
+    b: &mut Builder,
+    mut refs: Vec<Ref>,
+    unit: Ref,
+    op: impl Fn(&mut Builder, Ref, Ref) -> Ref,
+) -> Ref {
+    if refs.is_empty() {
+        return unit;
+    }
+    while refs.len() > 1 {
+        let mut next = Vec::with_capacity(refs.len().div_ceil(2));
+        for pair in refs.chunks(2) {
+            next.push(match *pair {
+                [f, g] => op(b, f, g),
+                [f] => f,
+                _ => unreachable!("chunks(2)"),
+            });
+        }
+        refs = next;
+    }
+    refs[0]
 }
 
 /// BDD for "at least `k` of `fs` are true".

@@ -22,6 +22,11 @@
 //!   paper's constraint-probability bounds (Sect. II-D.1 / Sect. V).
 //! * [`importance`] — Birnbaum, Fussell–Vesely, risk achievement/reduction
 //!   worth, and criticality importance measures.
+//! * [`preprocess`] — the SCRAM-style rewriting pipeline (constant
+//!   propagation, gate normalization, coalescing, pruning) plus
+//!   visit-interval **module detection** for industrial-scale trees.
+//! * [`modular`] — per-module BDD construction composed back on the
+//!   op-tape, bounding BDD size by the largest module.
 //! * [`parse`] — a plain-text fault-tree format (Galileo-flavoured) so
 //!   models can live in files.
 //! * [`render`] — Graphviz DOT and ASCII rendering.
@@ -63,7 +68,9 @@ mod cutset;
 mod error;
 pub mod importance;
 pub mod mcs;
+pub mod modular;
 pub mod parse;
+pub mod preprocess;
 pub mod quant;
 pub mod render;
 pub mod synth;

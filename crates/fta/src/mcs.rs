@@ -39,6 +39,16 @@ pub fn mocus(tree: &FaultTree) -> Result<CutSetCollection> {
 
 /// MOCUS with an explicit budget on live rows.
 ///
+/// # Budget contract
+///
+/// The result is **all-or-nothing**: either the complete minimal
+/// cut-set collection comes back, or the call fails with the typed
+/// [`FtaError::BudgetExceeded`] — never a silently truncated
+/// collection. The budget bounds *intermediate* state (live rows, and
+/// the `C(n, k)` expansion of each k-of-n gate, which is pre-checked
+/// before anything is materialized), so a call may fail even when the
+/// final minimized collection would have been small.
+///
 /// # Errors
 ///
 /// See [`mocus`].
@@ -104,6 +114,10 @@ pub fn mocus_with_budget(tree: &FaultTree, budget: usize) -> Result<CutSetCollec
                 }
             }
             GateKind::KOfN(k) => {
+                // Pre-check the combinatorial count: C(n, k) can reach
+                // hundreds of millions before the first row ever lands,
+                // so the budget must refuse *before* materializing.
+                check_combination_budget(inputs.len(), *k, budget, "MOCUS k-of-n expansion")?;
                 for combo in combinations(inputs.len(), *k) {
                     let mut new_row = rest.clone();
                     new_row.extend(combo.iter().map(|&i| inputs[i]));
@@ -127,6 +141,15 @@ pub fn bottom_up(tree: &FaultTree) -> Result<CutSetCollection> {
 }
 
 /// Bottom-up engine with an explicit budget on intermediate cut sets.
+///
+/// # Budget contract
+///
+/// Identical to [`mocus_with_budget`]: **all-or-nothing** — a complete
+/// collection or the typed [`FtaError::BudgetExceeded`], never silent
+/// truncation. The budget bounds every intermediate collection
+/// (OR unions, AND cross-products between minimization folds, and the
+/// pre-checked `C(n, k)` expansion of k-of-n gates), so a call may fail
+/// on intermediate size even when the final answer would fit.
 ///
 /// # Errors
 ///
@@ -164,6 +187,12 @@ fn node_cut_sets(
                 GateKind::Or => or_combine(&input_sets, budget)?,
                 GateKind::And | GateKind::Inhibit => and_combine(&input_sets, budget)?,
                 GateKind::KOfN(k) => {
+                    check_combination_budget(
+                        input_sets.len(),
+                        *k,
+                        budget,
+                        "bottom-up k-of-n expansion",
+                    )?;
                     let mut alternatives = Vec::new();
                     for combo in combinations(input_sets.len(), *k) {
                         let chosen: Vec<&CutSetCollection> =
@@ -211,6 +240,37 @@ fn and_combine(collections: &[&CutSetCollection], budget: usize) -> Result<CutSe
         acc = collection.iter().cloned().collect();
     }
     Ok(CutSetCollection::from_sets(acc))
+}
+
+/// Refuses a k-of-n expansion whose subset count alone already exceeds
+/// the budget, *before* [`combinations`] materializes anything.
+fn check_combination_budget(n: usize, k: usize, budget: usize, what: &'static str) -> Result<()> {
+    if binomial_saturating(n, k) > budget {
+        return Err(FtaError::BudgetExceeded {
+            what,
+            limit: budget,
+        });
+    }
+    Ok(())
+}
+
+/// `C(n, k)`, saturating at `usize::MAX`. Exact below the saturation
+/// point: each step of the multiplicative form divides a product of
+/// consecutive integers by the full factorial prefix, so the running
+/// value stays integral.
+pub(crate) fn binomial_saturating(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i as u128 + 1);
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
 }
 
 /// Enumerates all `k`-element subsets of `0..n` in lexicographic order.
@@ -394,6 +454,72 @@ mod tests {
         // And with the default budget both succeed.
         assert_eq!(mocus(&ft).unwrap().len(), 190);
         assert_eq!(bottom_up(&ft).unwrap().len(), 190);
+    }
+
+    #[test]
+    fn binomial_saturating_is_exact_then_saturates() {
+        assert_eq!(binomial_saturating(5, 0), 1);
+        assert_eq!(binomial_saturating(5, 5), 1);
+        assert_eq!(binomial_saturating(5, 2), 10);
+        assert_eq!(binomial_saturating(30, 15), 155_117_520);
+        assert_eq!(binomial_saturating(3, 7), 0);
+        assert_eq!(binomial_saturating(1000, 500), usize::MAX);
+    }
+
+    /// Regression: a 15-of-30 voter has 155 million subsets; the
+    /// engines used to materialize the full `combinations` vector
+    /// before the first budget check ran (gigabytes of allocation on a
+    /// budget of 1000). The pre-check must refuse immediately.
+    #[test]
+    fn huge_kofn_fails_fast_instead_of_materializing() {
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..30)
+            .map(|i| ft.basic_event(format!("e{i}")).unwrap())
+            .collect();
+        let top = ft.k_of_n_gate("vote", 15, leaves).unwrap();
+        ft.set_root(top).unwrap();
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            mocus_with_budget(&ft, 1000),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
+        assert!(matches!(
+            bottom_up_with_budget(&ft, 1000),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
+        // Generous bound — the point is "refused", not "enumerated".
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    /// The documented all-or-nothing contract: the budget bounds
+    /// intermediates, so a tree whose *final* answer is tiny can still
+    /// exceed it — and then the caller gets the typed error, never a
+    /// truncated collection.
+    #[test]
+    fn intermediate_blowup_errors_even_when_final_answer_is_small() {
+        // and(or(e0..e14), or(e0..e14)) over the *same* leaves: the
+        // cross-product holds 225 sets before minimization collapses
+        // them to the 15 singletons.
+        let mut ft = FaultTree::new("t");
+        let leaves: Vec<_> = (0..15)
+            .map(|i| ft.basic_event(format!("e{i}")).unwrap())
+            .collect();
+        let g1 = ft.or_gate("g1", leaves.clone()).unwrap();
+        let g2 = ft.or_gate("g2", leaves).unwrap();
+        let top = ft.and_gate("top", [g1, g2]).unwrap();
+        ft.set_root(top).unwrap();
+        // Unbudgeted: the minimized answer is small.
+        assert_eq!(bottom_up(&ft).unwrap().len(), 15);
+        assert_eq!(mocus(&ft).unwrap().len(), 15);
+        // Budget below the intermediate peak: typed error from both.
+        assert!(matches!(
+            bottom_up_with_budget(&ft, 100),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
+        assert!(matches!(
+            mocus_with_budget(&ft, 100),
+            Err(FtaError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! `inhibit(cause | condition)`. Definitions may reference gates defined
 //! later in the file; cycles are rejected.
 //!
+//! Quoted names may contain anything: `\"`, `\\`, `\n`, and `\r` escape
+//! the delimiter, backslash, and line breaks, and the statement keywords
+//! (`tree`/`top`/`basic`/`cond`) are legal node names when quoted.
+//!
 //! [`to_text`] emits this format; `parse(to_text(t))` reproduces the tree
 //! (up to leaf ordering, which the writer preserves).
 
@@ -65,8 +69,8 @@ pub fn parse(text: &str) -> Result<FaultTree> {
         } else if let Some(rest) = line.strip_prefix("cond ") {
             let (name, prob) = parse_leaf(rest, lineno)?;
             leaf_decls.push((name, true, prob, lineno));
-        } else if line.contains(":=") {
-            let (name, spec) = parse_gate(line, lineno)?;
+        } else if let Some((lhs, rhs)) = split_top_level(line, ":=") {
+            let (name, spec) = parse_gate(lhs, rhs, lineno)?;
             gate_decls.push((name, spec, lineno));
         } else {
             return Err(FtaError::Parse {
@@ -177,10 +181,17 @@ fn build_gate(
 }
 
 fn strip_comment(line: &str) -> &str {
-    // `#` outside quotes starts a comment.
+    // `#` outside quotes starts a comment (backslash escapes keep a
+    // quoted `\"` from toggling the quote state).
     let mut in_quote = false;
+    let mut escaped = false;
     for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
         match c {
+            '\\' if in_quote => escaped = true,
             '"' => in_quote = !in_quote,
             '#' if !in_quote => return &line[..i],
             _ => {}
@@ -189,16 +200,69 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// Splits `s` at the first occurrence of `pat` that sits outside quoted
+/// names (so `"a:=b" := or(x)` splits at the real definition marker, and
+/// an inhibit argument named `"a|b"` does not split the cause/condition).
+fn split_top_level<'a>(s: &'a str, pat: &str) -> Option<(&'a str, &'a str)> {
+    let mut in_quote = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            _ if !in_quote && s[i..].starts_with(pat) => {
+                return Some((&s[..i], &s[i + pat.len()..]));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Reads a (possibly quoted) name from the front of `s`; returns the name
-/// and the remaining string.
+/// and the remaining string. Quoted names decode the escapes [`quote`]
+/// emits (`\"`, `\\`, `\n`, `\r`).
 fn take_name(s: &str, line: usize) -> Result<(String, &str)> {
     let s = s.trim_start();
     if let Some(rest) = s.strip_prefix('"') {
-        let end = rest.find('"').ok_or(FtaError::Parse {
-            line,
-            message: "unterminated quoted name".to_string(),
-        })?;
-        Ok((rest[..end].to_string(), &rest[end + 1..]))
+        let mut name = String::new();
+        let mut chars = rest.char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(FtaError::Parse {
+                    line,
+                    message: "unterminated quoted name".to_string(),
+                });
+            };
+            match c {
+                '"' => return Ok((name, &rest[i + 1..])),
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err(FtaError::Parse {
+                            line,
+                            message: "dangling escape in quoted name".to_string(),
+                        });
+                    };
+                    name.push(match esc {
+                        '"' => '"',
+                        '\\' => '\\',
+                        'n' => '\n',
+                        'r' => '\r',
+                        other => {
+                            return Err(FtaError::Parse {
+                                line,
+                                message: format!("unknown escape `\\{other}` in quoted name"),
+                            })
+                        }
+                    });
+                }
+                c => name.push(c),
+            }
+        }
     } else {
         let end = s
             .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
@@ -241,8 +305,7 @@ fn parse_leaf(rest: &str, line: usize) -> Result<(String, Option<f64>)> {
     Ok((name, Some(value)))
 }
 
-fn parse_gate(line_text: &str, line: usize) -> Result<(String, GateSpec)> {
-    let (lhs, rhs) = line_text.split_once(":=").expect("caller checked");
+fn parse_gate(lhs: &str, rhs: &str, line: usize) -> Result<(String, GateSpec)> {
     let (name, lhs_rest) = take_name(lhs, line)?;
     expect_empty(lhs_rest, line)?;
     let rhs = rhs.trim();
@@ -273,7 +336,7 @@ fn parse_gate(line_text: &str, line: usize) -> Result<(String, GateSpec)> {
             GateSpec::KOfN(k, parse_name_list(list, line)?)
         }
         "inhibit" => {
-            let (cause, cond) = body.split_once('|').ok_or(FtaError::Parse {
+            let (cause, cond) = split_top_level(body, "|").ok_or(FtaError::Parse {
                 line,
                 message: "inhibit needs the form inhibit(cause | condition)".to_string(),
             })?;
@@ -313,8 +376,18 @@ fn split_top_level_commas(s: &str) -> Vec<String> {
     let mut parts = Vec::new();
     let mut current = String::new();
     let mut in_quote = false;
+    let mut escaped = false;
     for c in s.chars() {
+        if escaped {
+            escaped = false;
+            current.push(c);
+            continue;
+        }
         match c {
+            '\\' if in_quote => {
+                escaped = true;
+                current.push(c);
+            }
             '"' => {
                 in_quote = !in_quote;
                 current.push(c);
@@ -373,14 +446,30 @@ pub fn to_text(tree: &FaultTree) -> Result<String> {
 }
 
 fn quote(name: &str) -> String {
+    // Statement keywords must be quoted even when they look bare: a gate
+    // line `top := or(…)` would otherwise dispatch as a `top` statement.
+    const STATEMENT_KEYWORDS: [&str; 4] = ["tree", "top", "basic", "cond"];
     let bare = !name.is_empty()
+        && !STATEMENT_KEYWORDS.contains(&name)
         && name
             .chars()
             .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
     if bare {
         name.to_string()
     } else {
-        format!("\"{name}\"")
+        let mut out = String::with_capacity(name.len() + 2);
+        out.push('"');
+        for c in name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
     }
 }
 
@@ -502,6 +591,65 @@ top Top
             back.stored_probabilities().unwrap(),
             ft.stored_probabilities().unwrap()
         );
+    }
+
+    /// Regression: a gate named like a statement keyword used to be
+    /// emitted bare, so `top := or(…)` re-parsed as a `top` statement
+    /// (a syntax error at best). [`quote`] now quotes the keywords.
+    #[test]
+    fn keyword_named_gates_round_trip() {
+        for keyword in ["tree", "top", "basic", "cond"] {
+            let mut ft = FaultTree::new("kw");
+            let a = ft.basic_event_with_probability("a", 0.1).unwrap();
+            let b = ft.basic_event_with_probability("b", 0.2).unwrap();
+            let g = ft.or_gate(keyword, [a, b]).unwrap();
+            let root = ft.and_gate("root", [g, a]).unwrap();
+            ft.set_root(root).unwrap();
+            let back = parse(&to_text(&ft).unwrap()).unwrap();
+            assert_eq!(back, ft, "keyword {keyword:?}");
+        }
+    }
+
+    /// Regression: names containing `"`, `\`, newlines, the `:=` marker,
+    /// or the inhibit `|` separator used to be unrepresentable (no
+    /// escaping; `split_once` was not quote-aware).
+    #[test]
+    fn adversarial_names_round_trip() {
+        let names = [
+            "quote \" inside",
+            "back\\slash",
+            "line\nbreak",
+            "carriage\rreturn",
+            "walrus := here",
+            "pipe | here",
+            "comma, semi; paren ) close",
+            "# not a comment",
+        ];
+        let mut ft = FaultTree::new("adversarial \" tree \\ name");
+        let leaves: Vec<NodeId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                ft.basic_event_with_probability(format!("{n} #{i}"), 0.01 * (i + 1) as f64)
+                    .unwrap()
+            })
+            .collect();
+        let cond = ft.condition_with_probability("cond | \"x\"", 0.5).unwrap();
+        let v = ft
+            .k_of_n_gate("kofn; gate", 2, leaves[..4].to_vec())
+            .unwrap();
+        let inh = ft.inhibit_gate("inhibit | gate", v, cond).unwrap();
+        let rest = ft.or_gate("or := gate", leaves[4..].to_vec()).unwrap();
+        let root = ft.or_gate("root \"|\" gate", [inh, rest]).unwrap();
+        ft.set_root(root).unwrap();
+        let back = parse(&to_text(&ft).unwrap()).unwrap();
+        assert_eq!(back, ft);
+    }
+
+    #[test]
+    fn unknown_escape_is_a_parse_error() {
+        let err = parse("basic \"a\\qb\" p=0.1\ntop \"a\\qb\"\n").unwrap_err();
+        assert!(matches!(err, FtaError::Parse { line: 1, .. }), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property-based round-trip contract for the textual format:
+//! `parse(to_text(t)) ≡ t`, structurally — the generator creates all
+//! leaves before any gate and the parser does the same, so arena order,
+//! leaf slots, names, stored probabilities, gate kinds, and the root all
+//! survive the trip and plain `==` is the right check.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_fta::parse::{parse, to_text};
+use safety_opt_fta::synth::{random_tree, RandomTreeConfig};
+use safety_opt_fta::tree::FaultTree;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_trees_round_trip_exactly(
+        seed in 0u64..10_000,
+        num_leaves in 2usize..14,
+        num_gates in 1usize..12,
+        max_inputs in 2usize..6,
+        gate_reuse in 0.0f64..0.9,
+        leaf_probability in 1e-9f64..1.0,
+    ) {
+        let config = RandomTreeConfig {
+            num_leaves,
+            num_gates,
+            max_inputs,
+            leaf_probability,
+            gate_reuse,
+        };
+        let t = random_tree(config, seed);
+        let text = to_text(&t).expect("serializable");
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- emitted ---\n{text}"));
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn adversarially_named_trees_round_trip_exactly(seed in 0u64..2_000) {
+        let t = nasty_tree(seed);
+        let text = to_text(&t).expect("serializable");
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- emitted ---\n{text}"));
+        prop_assert_eq!(back, t);
+    }
+}
+
+/// A small fixed-shape tree whose node names are drawn from a menu of
+/// characters that historically broke the writer or the parser: quote,
+/// backslash, line breaks, the `:=` marker, the inhibit `|` separator,
+/// commas/semicolons/parens, `#`, whitespace, and the statement
+/// keywords.
+fn nasty_tree(seed: u64) -> FaultTree {
+    const MENU: &[char] = &[
+        '"', '\\', '\n', '\r', '|', ',', ';', '(', ')', '#', ' ', ':', '=', '-', '_', 'a', 'Z',
+        '0', 'é', '€',
+    ];
+    const KEYWORDS: &[&str] = &[
+        "tree", "top", "basic", "cond", "and", "or", "kofn", "inhibit",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut name = |tag: usize| -> String {
+        if rng.gen::<f64>() < 0.2 {
+            // Sometimes a bare keyword, sometimes decorated with menu noise.
+            let kw = KEYWORDS[rng.gen_range(0..KEYWORDS.len())];
+            if rng.gen::<bool>() {
+                return format!("{kw}\u{1}{tag}", kw = kw);
+            }
+            return format!("{kw}~{tag}");
+        }
+        let len = rng.gen_range(0..10);
+        let mut s: String = (0..len)
+            .map(|_| MENU[rng.gen_range(0..MENU.len())])
+            .collect();
+        // A tag keeps names unique without disturbing the nasty prefix.
+        s.push_str(&format!("\u{1}{tag}"));
+        s
+    };
+
+    let mut ft = FaultTree::new(name(0));
+    let leaves: Vec<_> = (1..=5)
+        .map(|i| {
+            let p = (i as f64) * 0.01;
+            ft.basic_event_with_probability(name(i), p).unwrap()
+        })
+        .collect();
+    let cond = ft.condition_with_probability(name(6), 0.5).unwrap();
+    let voter = ft.k_of_n_gate(name(7), 2, leaves[..3].to_vec()).unwrap();
+    let inh = ft.inhibit_gate(name(8), voter, cond).unwrap();
+    let tail = ft.or_gate(name(9), leaves[3..].to_vec()).unwrap();
+    let root = ft.or_gate(name(10), [inh, tail]).unwrap();
+    ft.set_root(root).unwrap();
+    ft
+}
+
+/// The exact trees that motivated the fixes, pinned as plain unit cases
+/// so a proptest-shrinking regression can never hide them.
+#[test]
+fn keyword_gate_and_separator_names_round_trip() {
+    let mut ft = FaultTree::new("pinned");
+    let a = ft.basic_event_with_probability("top", 1e-7).unwrap();
+    let b = ft.basic_event_with_probability("a | b", 0.25).unwrap();
+    let c = ft.condition_with_probability("x := y", 0.5).unwrap();
+    let voter = ft.k_of_n_gate("basic", 1, [a, b]).unwrap();
+    let root = ft.inhibit_gate("cond", voter, c).unwrap();
+    ft.set_root(root).unwrap();
+    let back = parse(&to_text(&ft).unwrap()).unwrap();
+    assert_eq!(back, ft);
+}

@@ -30,6 +30,7 @@ use safety_opt_engine::{
     TapeBuilder, Value,
 };
 use safety_opt_fta::bdd::ShannonRef;
+use safety_opt_fta::modular::PlanInput;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -358,22 +359,34 @@ pub(crate) fn lower_hazard(
     if method == QuantMethod::BddExact {
         if let Some(exact) = hazard.exact() {
             let plan = exact.plan();
-            let mut vals: Vec<Value> = Vec::with_capacity(plan.nodes.len());
             let resolve = |r: ShannonRef, vals: &[Value], b: &TapeBuilder| match r {
                 ShannonRef::False => b.constant(0.0),
                 ShannonRef::True => b.constant(1.0),
                 ShannonRef::Node(i) => vals[i],
             };
-            for node in &plan.nodes {
-                let expr = exact
-                    .leaf_expr(node.leaf)
-                    .expect("BDD leaves have substituted expressions");
-                let p = lower(b, memo, space, expr)?;
-                let hi = resolve(node.high, &vals, b);
-                let lo = resolve(node.low, &vals, b);
-                vals.push(b.mul_add(p, hi, lo));
+            // Modules are listed children-before-parents (root last), so
+            // a parent's `PlanInput::Module` reference always finds its
+            // child's already-lowered top value.
+            let mut roots: Vec<Value> = Vec::with_capacity(plan.modules().len());
+            for m in plan.modules() {
+                let mut vals: Vec<Value> = Vec::with_capacity(m.plan().nodes.len());
+                for node in &m.plan().nodes {
+                    let p = match m.input(node.leaf) {
+                        PlanInput::Module(j) => roots[j],
+                        PlanInput::Leaf(leaf) => {
+                            let expr = exact
+                                .leaf_expr(leaf)
+                                .expect("BDD leaves have substituted expressions");
+                            lower(b, memo, space, expr)?
+                        }
+                    };
+                    let hi = resolve(node.high, &vals, b);
+                    let lo = resolve(node.low, &vals, b);
+                    vals.push(b.mul_add(p, hi, lo));
+                }
+                roots.push(resolve(m.plan().root, &vals, b));
             }
-            return Ok(resolve(plan.root, &vals, b));
+            return Ok(*roots.last().expect("a plan has at least one module"));
         }
     }
     let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());

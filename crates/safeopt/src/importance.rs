@@ -135,13 +135,17 @@ fn hazard_importance(
     let plan = exact.plan();
     let mut q = vec![0.0; plan.num_leaves()];
     let mut used = vec![false; plan.num_leaves()];
-    for node in &plan.nodes {
-        if !used[node.leaf] {
-            used[node.leaf] = true;
-            q[node.leaf] = exact
-                .leaf_expr(node.leaf)
-                .expect("BDD leaves have substituted expressions")
-                .eval(params)?;
+    for m in plan.modules() {
+        for node in &m.plan().nodes {
+            if let safety_opt_fta::modular::PlanInput::Leaf(leaf) = m.input(node.leaf) {
+                if !used[leaf] {
+                    used[leaf] = true;
+                    q[leaf] = exact
+                        .leaf_expr(leaf)
+                        .expect("BDD leaves have substituted expressions")
+                        .eval(params)?;
+                }
+            }
         }
     }
     let tape = plan.leaf_tape();

@@ -18,9 +18,13 @@
 //! path honours.
 
 use crate::param::{ParamValues, ParameterSpace};
-use crate::pprob::ProbExpr;
+use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
-use safety_opt_fta::bdd::{ShannonPlan, ShannonRef, TreeBdd};
+use safety_opt_fta::bdd::{ShannonRef, TreeBdd};
+use safety_opt_fta::modular::{ModularPlan, PlanInput};
+use safety_opt_fta::preprocess::{
+    preprocess_enabled, preprocess_with_constants, PreprocessOutcome,
+};
 use safety_opt_fta::tree::FaultTree;
 use std::sync::Arc;
 
@@ -87,15 +91,16 @@ fn parse_quant_override(value: Option<&str>) -> Option<QuantMethod> {
     }
 }
 
-/// The exact (BDD) structure of a tree-derived hazard: the Shannon
-/// decomposition plus the substituted probability expression and name
-/// per leaf. Captured by [`Hazard::from_fault_tree`]; consumed by the
-/// scalar exact interpreter, the engine lowering
+/// The exact (BDD) structure of a tree-derived hazard: the modular
+/// Shannon decomposition (one BDD per independent module, composed over
+/// the original tree's leaf slots) plus the substituted probability
+/// expression and name per leaf. Captured by [`Hazard::from_fault_tree`];
+/// consumed by the scalar exact interpreter, the engine lowering
 /// ([`crate::compile`]/[`crate::fleet`]), and the point-importance API
 /// ([`crate::importance`]).
 #[derive(Debug)]
 pub struct ExactHazard {
-    pub(crate) plan: ShannonPlan,
+    pub(crate) plan: ModularPlan,
     /// Per leaf index: the substituted expression (`None` for leaves the
     /// minimal cut sets never reach).
     pub(crate) leaf_exprs: Vec<Option<ProbExpr>>,
@@ -104,8 +109,8 @@ pub struct ExactHazard {
 }
 
 impl ExactHazard {
-    /// The exported Shannon decomposition.
-    pub fn plan(&self) -> &ShannonPlan {
+    /// The exported modular Shannon decomposition.
+    pub fn plan(&self) -> &ModularPlan {
         &self.plan
     }
 
@@ -120,29 +125,38 @@ impl ExactHazard {
     }
 
     /// Exact hazard probability at a parameter point: evaluates each
-    /// BDD leaf's expression once, then folds the Shannon nodes
-    /// bottom-up — the scalar twin of the compiled `MulAdd` lowering
-    /// and of [`TreeBdd::probability`]'s float sequence.
+    /// BDD leaf's expression once, then folds each module's Shannon
+    /// nodes bottom-up, substituting already-folded child-module tops
+    /// where the plan references them — the scalar twin of the compiled
+    /// `MulAdd` lowering and of [`TreeBdd::probability`]'s float
+    /// sequence.
     pub(crate) fn probability(&self, params: &ParamValues<'_>) -> Result<f64> {
         let mut leaf_vals: Vec<Option<f64>> = vec![None; self.leaf_exprs.len()];
-        let mut values: Vec<f64> = Vec::with_capacity(self.plan.nodes.len());
-        for node in &self.plan.nodes {
-            let q = match leaf_vals[node.leaf] {
-                Some(q) => q,
-                None => {
-                    let expr = self.leaf_exprs[node.leaf]
-                        .as_ref()
-                        .expect("BDD leaves have substituted expressions");
-                    let q = expr.eval(params)?;
-                    leaf_vals[node.leaf] = Some(q);
-                    q
-                }
-            };
-            let hi = shannon_value(node.high, &values);
-            let lo = shannon_value(node.low, &values);
-            values.push(q * hi + (1.0 - q) * lo);
+        let mut roots: Vec<f64> = Vec::with_capacity(self.plan.modules().len());
+        for m in self.plan.modules() {
+            let mut values: Vec<f64> = Vec::with_capacity(m.plan().nodes.len());
+            for node in &m.plan().nodes {
+                let q = match m.input(node.leaf) {
+                    PlanInput::Module(j) => roots[j],
+                    PlanInput::Leaf(leaf) => match leaf_vals[leaf] {
+                        Some(q) => q,
+                        None => {
+                            let expr = self.leaf_exprs[leaf]
+                                .as_ref()
+                                .expect("BDD leaves have substituted expressions");
+                            let q = expr.eval(params)?;
+                            leaf_vals[leaf] = Some(q);
+                            q
+                        }
+                    },
+                };
+                let hi = shannon_value(node.high, &values);
+                let lo = shannon_value(node.low, &values);
+                values.push(q * hi + (1.0 - q) * lo);
+            }
+            roots.push(shannon_value(m.plan().root, &values));
         }
-        Ok(shannon_value(self.plan.root, &values))
+        Ok(*roots.last().expect("a plan has at least one module"))
     }
 }
 
@@ -305,7 +319,39 @@ impl Hazard {
             let names = cs.names(tree).join(" & ");
             cut_sets.push(ModelCutSet::new(names, factors));
         }
-        let plan = TreeBdd::build(tree)?.shannon_plan();
+        // The exact structure goes through the preprocessing pipeline
+        // (constant propagation, normalization, coalescing, module
+        // detection) unless `SAFETY_OPT_PREPROCESS=off`; the cut sets
+        // above always come from the raw tree so the rare-event path is
+        // byte-for-byte unaffected by the rewrite. Leaves whose
+        // substituted expression is literally 0 or 1 are folded as
+        // house events.
+        let plan = if preprocess_enabled() {
+            let oracle = |leaf: usize| {
+                leaf_exprs[leaf]
+                    .as_ref()
+                    .and_then(|expr| match expr.structure() {
+                        ExprStructure::Constant(v) => {
+                            if v == 0.0 {
+                                Some(false)
+                            } else if v == 1.0 {
+                                Some(true)
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    })
+            };
+            match preprocess_with_constants(tree, oracle)?.outcome {
+                PreprocessOutcome::Tree(reduced) => ModularPlan::build(&reduced)?,
+                PreprocessOutcome::Constant(value) => {
+                    ModularPlan::constant(value, tree.leaves().len())
+                }
+            }
+        } else {
+            ModularPlan::from_single(TreeBdd::build(tree)?.shannon_plan())
+        };
         let leaf_names = tree
             .leaves()
             .iter()

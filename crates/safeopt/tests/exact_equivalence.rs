@@ -14,6 +14,7 @@ use safety_opt_core::param::{ParamId, ParameterSpace};
 use safety_opt_core::pprob::{complement, constant, exposure, from_fn, overtime, ProbExpr};
 use safety_opt_core::ExecBackend;
 use safety_opt_fta::bdd::TreeBdd;
+use safety_opt_fta::modular::PlanInput;
 use safety_opt_fta::quant::ProbabilityMap;
 use safety_opt_fta::synth::{random_tree, RandomTreeConfig};
 use safety_opt_fta::tree::FaultTree;
@@ -185,8 +186,12 @@ proptest! {
         // Leaves the BDD actually references (a NaN elsewhere is
         // unobservable, exactly like the oracle).
         let mut used = vec![false; ft.leaves().len()];
-        for node in &exact.plan().nodes {
-            used[node.leaf] = true;
+        for m in exact.plan().modules() {
+            for node in &m.plan().nodes {
+                if let PlanInput::Leaf(leaf) = m.input(node.leaf) {
+                    used[leaf] = true;
+                }
+            }
         }
 
         for x in points(pt_seed, 24) {

@@ -10,18 +10,33 @@
 //!   `dim = 2` finite differences only pay 4 sweeps, so the adjoint win
 //!   is structural, not dramatic).
 //!
+//! On top of the adjoint-vs-FD ratio, the bin splits the adjoint into
+//! its two execution backends — `adjoint_scalar` (one point at a time)
+//! vs `adjoint_soa` (the lane-blocked structure-of-arrays sweep) — and
+//! gates the SoA adjoint at ≥1.4× the scalar adjoint on one core, after
+//! asserting the two backends agree **bit for bit** (the 0-ULP contract
+//! pinned adversarially in `engine/tests/grad_soa_equivalence.rs`).
+//!
 //! Writes `BENCH_grad.json` at the workspace root in the shared
 //! [`safety_opt_bench::BenchReport`] schema.
 //!
 //! Run with: `cargo run --release -p safety_opt_bench --bin grad_throughput`
 //!
-//! With `--enforce`, exits non-zero when the adjoint pass falls below
-//! the 3× gradients/sec target on the synthetic family. Unlike the
-//! wall-clock-sensitive throughput bins, CI *does* enforce this gate:
-//! both sides run on the same core in the same process, and the win is
-//! algorithmic (dimension-independent sweeps vs. `2·dim` sweeps), so a
-//! noisy runner cannot flip the verdict. The adjoint↔central-difference
-//! agreement check always runs first.
+//! With `--enforce`, exits non-zero when either gate fails (adjoint
+//! ≥3× central differences, SoA adjoint ≥1.4× scalar adjoint). Unlike
+//! the wall-clock-sensitive throughput bins, CI *does* enforce these
+//! gates: both sides of each ratio run on the same core in the same
+//! process, and the wins are structural (dimension-independent sweeps
+//! vs. `2·dim` sweeps; lane-blocked register files vs. pointwise
+//! dispatch), so a noisy runner cannot flip the verdicts. The
+//! adjoint↔central-difference and SoA↔scalar agreement checks always
+//! run first.
+//!
+//! With `--thread-scaling` (and more than one available core), also
+//! measures the SoA adjoint at 2 and `available_parallelism()` worker
+//! threads and records the scaling curve in the report extras —
+//! recorded, never gated, since multi-thread wall-clock is exactly what
+//! shared runners distort.
 
 use safety_opt_bench::{bench_timestamp, measure, BenchReport};
 use safety_opt_core::compile::CompiledModel;
@@ -29,6 +44,7 @@ use safety_opt_core::model::{Hazard, SafetyModel};
 use safety_opt_core::param::ParameterSpace;
 use safety_opt_core::pprob::{complement, constant, exposure, overtime};
 use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_engine::{BatchEvaluator, ExecBackend};
 use safety_opt_stats::dist::TruncatedNormal;
 
 /// Synthetic-family parameter count (the issue's "≥8-dim" regime).
@@ -39,6 +55,9 @@ const ELB_POINTS: usize = 1024;
 /// Acceptance threshold: adjoint vs. central-difference gradients/sec
 /// on the synthetic family, one core.
 const TARGET_SPEEDUP: f64 = 3.0;
+/// Acceptance threshold: SoA adjoint vs. scalar adjoint gradients/sec
+/// on the synthetic family, one core.
+const TARGET_SOA_SPEEDUP: f64 = 1.4;
 
 /// A dense `SYN_DIM`-parameter safety model: one hazard per timer
 /// (overtime + averted-overtime/exposure cut sets coupling neighboring
@@ -116,6 +135,7 @@ fn fd_gradients(compiled: &CompiledModel, points: &[Vec<f64>], h: f64, out: &mut
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enforce = std::env::args().any(|a| a == "--enforce");
+    let thread_scaling = std::env::args().any(|a| a == "--thread-scaling");
     println!(
         "# Gradient throughput — adjoint pass vs central differences \
          ({SYN_DIM}-dim synthetic family + Elbtunnel)\n"
@@ -155,7 +175,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("equivalence check     adjoint == central differences (mixed 1e-4 tol)\n");
+    println!("equivalence check     adjoint == central differences (mixed 1e-4 tol)");
+
+    // Backend gate: the lane-blocked SoA adjoint must equal the scalar
+    // adjoint bit for bit before its throughput means anything.
+    {
+        let (sv, sg) = BatchEvaluator::new(syn.tape(), 1)
+            .backend(ExecBackend::Scalar)
+            .eval_grad_batch(&syn_points);
+        let (bv, bg) = BatchEvaluator::new(syn.tape(), 1)
+            .backend(ExecBackend::Soa)
+            .eval_grad_batch(&syn_points);
+        assert!(
+            sv.iter().zip(&bv).all(|(a, b)| a.to_bits() == b.to_bits())
+                && sg.iter().zip(&bg).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "SoA adjoint diverged bitwise from the scalar adjoint"
+        );
+    }
+    println!("equivalence check     soa adjoint == scalar adjoint (bitwise)\n");
 
     let mut fd_buf = Vec::new();
     let syn_fd = measure(
@@ -192,15 +229,85 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.iter().sum()
         },
     );
+    // The two adjoint backends head to head, forced through the engine
+    // seam on one worker so the ratio isolates the lane-blocked sweep
+    // itself (`CompiledModel::gradient_batch` above uses the process
+    // default backend, i.e. SoA unless `SAFETY_OPT_BACKEND` overrides).
+    let adj_scalar = measure(
+        "adjoint_scalar_one_core",
+        "adjoint scalar (1 core)",
+        "gradients/sec",
+        SYN_POINTS,
+        || {
+            let (_, g) = BatchEvaluator::new(syn.tape(), 1)
+                .backend(ExecBackend::Scalar)
+                .eval_grad_batch(&syn_points);
+            g.iter().sum()
+        },
+    );
+    let adj_soa = measure(
+        "adjoint_soa_one_core",
+        "adjoint soa (1 core)",
+        "gradients/sec",
+        SYN_POINTS,
+        || {
+            let (_, g) = BatchEvaluator::new(syn.tape(), 1)
+                .backend(ExecBackend::Soa)
+                .eval_grad_batch(&syn_points);
+            g.iter().sum()
+        },
+    );
+
+    // Optional thread-scaling leg: recorded, never gated (multi-thread
+    // wall-clock is exactly what shared runners distort).
+    let mut scaling = Vec::new();
+    if thread_scaling {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            let mut counts = vec![2];
+            if cores > 2 {
+                counts.push(cores);
+            }
+            for threads in counts {
+                let m = measure(
+                    "adjoint_soa_threads",
+                    &format!("adjoint soa ({threads} threads)"),
+                    "gradients/sec",
+                    SYN_POINTS,
+                    || {
+                        let (_, g) = BatchEvaluator::new(syn.tape(), threads)
+                            .backend(ExecBackend::Soa)
+                            .eval_grad_batch(&syn_points);
+                        g.iter().sum()
+                    },
+                );
+                scaling.push((threads, m.points_per_sec));
+            }
+        } else {
+            println!("thread scaling        skipped (one available core)");
+        }
+    }
 
     let speedup_syn = syn_adj.points_per_sec / syn_fd.points_per_sec;
     let speedup_elb = elb_adj.points_per_sec / elb_fd.points_per_sec;
-    let pass = speedup_syn >= TARGET_SPEEDUP;
+    let speedup_soa = adj_soa.points_per_sec / adj_scalar.points_per_sec;
+    let pass_fd = speedup_syn >= TARGET_SPEEDUP;
+    let pass_soa = speedup_soa >= TARGET_SOA_SPEEDUP;
+    let pass = pass_fd && pass_soa;
     println!();
     println!(
         "adjoint vs fd, {SYN_DIM}-dim synthetic : {speedup_syn:.2}x  (target >= {TARGET_SPEEDUP}x)"
     );
+    println!(
+        "soa vs scalar adjoint, one core  : {speedup_soa:.2}x  (target >= {TARGET_SOA_SPEEDUP}x)"
+    );
     println!("adjoint vs fd, elbtunnel (dim 2) : {speedup_elb:.2}x  (recorded, not gated)");
+    for (threads, pps) in &scaling {
+        println!(
+            "soa adjoint, {threads} threads          : {:.2}x one-core  (recorded, not gated)",
+            pps / adj_soa.points_per_sec
+        );
+    }
     println!("synthetic tape ops               : {}", syn.tape().n_ops());
     println!(
         "verdict                          : {}",
@@ -208,7 +315,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let timestamp = bench_timestamp();
-    let modes = [syn_fd, syn_adj, elb_fd, elb_adj];
+    let modes = [syn_fd, syn_adj, adj_scalar, adj_soa, elb_fd, elb_adj];
+    let scaling_json = format!(
+        "[{}]",
+        scaling
+            .iter()
+            .map(|(t, pps)| format!("{{ \"threads\": {t}, \"points_per_sec\": {pps:.1} }}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     BenchReport {
         name: "grad_throughput",
         workload: "synthetic10_plus_elbtunnel",
@@ -219,29 +334,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("synthetic_points", SYN_POINTS.to_string()),
             ("elbtunnel_points", ELB_POINTS.to_string()),
             ("synthetic_tape_ops", syn.tape().n_ops().to_string()),
+            (
+                "target_adjoint_soa_vs_scalar",
+                format!("{TARGET_SOA_SPEEDUP}"),
+            ),
+            ("adjoint_soa_thread_scaling", scaling_json),
         ],
         modes: &modes,
         speedups: vec![
             ("adjoint_vs_fd_synthetic", speedup_syn),
             ("adjoint_vs_fd_elbtunnel", speedup_elb),
+            ("adjoint_soa_vs_scalar_synthetic", speedup_soa),
         ],
         target: Some(("adjoint_vs_fd_synthetic", TARGET_SPEEDUP)),
         pass,
     }
     .write("grad");
 
-    if !pass {
+    if !pass_fd {
         eprintln!(
-            "grad_throughput: below the {TARGET_SPEEDUP}x target{}",
+            "grad_throughput: adjoint below the {TARGET_SPEEDUP}x vs-fd target{}",
             if enforce {
                 ""
             } else {
                 " (not enforced; pass --enforce to gate)"
             }
         );
-        if enforce {
-            std::process::exit(1);
-        }
+    }
+    if !pass_soa {
+        eprintln!(
+            "grad_throughput: soa adjoint below the {TARGET_SOA_SPEEDUP}x vs-scalar target{}",
+            if enforce {
+                ""
+            } else {
+                " (not enforced; pass --enforce to gate)"
+            }
+        );
+    }
+    if !pass && enforce {
+        std::process::exit(1);
     }
     Ok(())
 }

@@ -16,7 +16,7 @@
 //! allocation beyond the output vectors.
 
 use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
-use crate::grad::GradWorkspace;
+use crate::grad::{AdjointFile, GradWorkspace};
 use crate::tape::Tape;
 
 use safety_opt_telemetry as telemetry;
@@ -173,10 +173,11 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// Points shard across the same deterministic chunked pool as plain
     /// evaluation, so gradients are bit-identical for every thread
-    /// count. The adjoint sweep itself is scalar per point on every
-    /// backend (a lane-blocked SoA twin of the backward pass is future
-    /// work); forward values agree with the SoA backend anyway by the
-    /// 0-ULP equivalence contract.
+    /// count. On the SoA backend every full lane block runs the
+    /// lane-blocked forward sweep **and** the lane-blocked adjoint
+    /// sweep ([`crate::grad::AdjointFile`]); the ragged tail and the
+    /// scalar backend run the point-at-a-time adjoint — all 0-ULP
+    /// bit-identical by the per-lane op-order contract.
     ///
     /// # Panics
     ///
@@ -222,27 +223,43 @@ impl<'t> BatchEvaluator<'t> {
     }
 
     fn grad_runner(&self) -> GradRunner<'t> {
-        GradRunner::new(self.tape)
+        GradRunner::new(self.tape, self.backend, self.lanes)
     }
 }
 
-/// Per-worker adjoint-sweep state: evaluates cost + gradient per point,
-/// owning the forward/backward workspace (steady state allocates
-/// nothing). Shared by the sequential and worker paths of
-/// [`BatchEvaluator::eval_grad_batch`].
+/// Per-worker adjoint-sweep state: evaluates cost + gradient per point
+/// or per lane block, owning the forward/backward workspaces (steady
+/// state allocates nothing). Shared by the sequential and worker paths
+/// of [`BatchEvaluator::eval_grad_batch`].
 #[derive(Debug)]
 struct GradRunner<'t> {
     tape: &'t Tape,
+    backend: ExecBackend,
+    lanes: usize,
+    /// Scalar-path forward + adjoint workspace.
     ws: GradWorkspace,
+    /// One output row (the gradient path discards output values).
     out_row: Vec<f64>,
+    /// SoA register file of the lane-blocked forward sweep.
+    file: LaneFile,
+    /// Lane-blocked adjoint file of the backward sweep.
+    adj: AdjointFile,
+    /// One lane block of discarded output rows.
+    lane_rows: Vec<f64>,
 }
 
 impl<'t> GradRunner<'t> {
-    fn new(tape: &'t Tape) -> Self {
+    fn new(tape: &'t Tape, backend: ExecBackend, lanes: usize) -> Self {
+        let lanes = supported_lanes(lanes);
         Self {
             tape,
+            backend,
+            lanes,
             ws: GradWorkspace::new(),
             out_row: vec![0.0; tape.n_outputs()],
+            file: LaneFile::default(),
+            adj: AdjointFile::default(),
+            lane_rows: vec![0.0; tape.n_outputs() * lanes],
         }
     }
 
@@ -252,7 +269,22 @@ impl<'t> GradRunner<'t> {
         let _chunk_span = telemetry::span(&CHUNK_NANOS);
         CHUNKS.add(1);
         let dim = self.tape.n_inputs();
-        for (i, p) in pts.iter().enumerate() {
+        let start = if self.backend == ExecBackend::Soa {
+            LANE_WIDTH.observe(self.lanes as u64);
+            dispatch_lanes!(self.lanes, L => self.run_blocks::<L, P>(pts, costs, grads))
+        } else {
+            0
+        };
+        match self.backend {
+            ExecBackend::Soa => {
+                SOA_POINTS.add(start as u64);
+                TAIL_POINTS.add((pts.len() - start) as u64);
+            }
+            ExecBackend::Scalar => SCALAR_POINTS.add(pts.len() as u64),
+        }
+        // Scalar backend, and the SoA backend's ragged tail (fewer than
+        // `lanes` points remain).
+        for (i, p) in pts.iter().enumerate().skip(start) {
             costs[i] = self.tape.eval_grad_into(
                 p.as_ref(),
                 &mut self.ws,
@@ -260,6 +292,31 @@ impl<'t> GradRunner<'t> {
                 &mut grads[i * dim..(i + 1) * dim],
             );
         }
+    }
+
+    /// Sweeps every full `L`-wide block of `pts` through the SoA
+    /// forward + adjoint sweeps, returning the number of points
+    /// processed (the tail is the caller's).
+    fn run_blocks<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        pts: &[P],
+        costs: &mut [f64],
+        grads: &mut [f64],
+    ) -> usize {
+        let dim = self.tape.n_inputs();
+        let mut start = 0;
+        while start + L <= pts.len() {
+            self.tape.eval_grad_block::<L, P>(
+                &pts[start..start + L],
+                &mut self.file,
+                &mut self.adj,
+                &mut costs[start..start + L],
+                &mut self.lane_rows,
+                &mut grads[start * dim..(start + L) * dim],
+            );
+            start += L;
+        }
+        start
     }
 }
 

@@ -127,6 +127,76 @@ macro_rules! dispatch_lanes {
 }
 pub(crate) use dispatch_lanes;
 
+/// Floating-point contract of the SoA lane kernels (see [`math_mode`]).
+///
+/// `Exact` is the default: every lane kernel performs the scalar
+/// backend's float sequence per lane, so results are 0-ULP
+/// bit-identical across backends, lane widths, thread counts, and
+/// chunk sizes. `Relaxed` swaps the transcendental calls inside lane
+/// blocks (`exp`/`exp_m1` in [`Op::Exposure`] forward and adjoint
+/// kernels) for the branchless vectorizable kernels of
+/// [`crate::fast_exp`], which are allowed to drift from the scalar
+/// path by the documented ulp bounds (≤1 ulp for `exp`; see the module
+/// docs for `exp_m1`). Scalar sweeps — and therefore ragged tails and
+/// `Closure` fallbacks — always stay exact, so relaxed results remain
+/// deterministic, but may differ across backends, lane widths, and
+/// chunk boundaries within the bound — chunk boundaries decide which
+/// points ride a lane block vs the scalar-exact tail, so worker counts
+/// agree for a fixed chunk size while the single-thread sequential
+/// fast path (one chunk spanning the whole batch) may differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MathMode {
+    /// 0-ULP bit-identity with the scalar backend (the default).
+    #[default]
+    Exact,
+    /// Vectorizable transcendental kernels with documented ulp drift.
+    Relaxed,
+}
+
+/// Math mode used by the SoA lane kernels: the `SAFETY_OPT_MATH`
+/// environment variable when set (`"exact"` or `"relaxed"`),
+/// [`MathMode::Exact`] otherwise. Read **once per process**, exactly
+/// like the other `SAFETY_OPT_*` knobs: the mode is a process-level
+/// numeric contract, not a per-call switch.
+///
+/// # Panics
+///
+/// Panics if `SAFETY_OPT_MATH` is set to anything but `"exact"` or
+/// `"relaxed"` (case-insensitive). A typo silently falling back to the
+/// exact default would be undetectable precisely because exact results
+/// are bit-identical — the `SAFETY_OPT_BACKEND`/`SAFETY_OPT_THREADS`
+/// contract.
+pub fn math_mode() -> MathMode {
+    static MODE: std::sync::OnceLock<MathMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        parse_math_override(std::env::var("SAFETY_OPT_MATH").ok().as_deref())
+            .unwrap_or(MathMode::Exact)
+    })
+}
+
+/// Parses a `SAFETY_OPT_MATH` override: `None`/empty means "unset"
+/// (use the exact default); anything else must name a mode.
+fn parse_math_override(value: Option<&str>) -> Option<MathMode> {
+    let raw = value?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.to_ascii_lowercase().as_str() {
+        "exact" => Some(MathMode::Exact),
+        "relaxed" => Some(MathMode::Relaxed),
+        _ => panic!(
+            "SAFETY_OPT_MATH must be \"exact\" or \"relaxed\", got {raw:?} \
+             (unset it to use the exact default)"
+        ),
+    }
+}
+
+/// `true` when the process-level [`math_mode`] is [`MathMode::Relaxed`].
+#[inline]
+pub(crate) fn relaxed_math() -> bool {
+    math_mode() == MathMode::Relaxed
+}
+
 /// Backend used by evaluators that were not given one explicitly: the
 /// `SAFETY_OPT_BACKEND` environment variable when set (`"scalar"` or
 /// `"soa"`), [`ExecBackend::Soa`] otherwise — the SoA sweeps are
@@ -183,6 +253,13 @@ pub(crate) struct LaneFile {
 }
 
 impl LaneFile {
+    /// The raw lane-blocked register file (`[n_regs × L]`,
+    /// register-major) — read by the SoA adjoint sweep, which keeps the
+    /// forward values while accumulating adjoints in its own file.
+    pub(crate) fn regs(&self) -> &[f64] {
+        &self.regs
+    }
+
     /// Loads a full block of `L` points into the input registers,
     /// (re)sizing the file for `tape`.
     ///
@@ -226,14 +303,23 @@ impl LaneFile {
         match &tape.ops[slot] {
             Op::Exposure { rate, t } => {
                 let t = arg(*t);
-                // The window clamp and rate multiply vectorize; only the
-                // `exp_m1` calls stay scalar per lane.
+                // The window clamp and rate multiply vectorize; in exact
+                // mode only the `exp_m1` calls stay scalar per lane, in
+                // relaxed mode the whole block runs the branchless
+                // `fast_exp` kernel (documented ulp drift).
                 let mut u = [0.0; L];
                 for l in 0..L {
                     u[l] = -rate * t[l].max(0.0);
                 }
-                for l in 0..L {
-                    out[l] = -u[l].exp_m1();
+                if relaxed_math() {
+                    crate::fast_exp::exp_m1_block::<L>(&u, out);
+                    for o in out.iter_mut() {
+                        *o = -*o;
+                    }
+                } else {
+                    for l in 0..L {
+                        out[l] = -u[l].exp_m1();
+                    }
                 }
             }
             Op::Overtime { sf, x } => {
@@ -398,6 +484,24 @@ mod tests {
     #[should_panic(expected = "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\"")]
     fn numeric_backend_is_rejected_loudly() {
         parse_backend_override(Some("1"));
+    }
+
+    #[test]
+    fn math_override_parses_known_modes() {
+        assert_eq!(parse_math_override(None), None);
+        assert_eq!(parse_math_override(Some("")), None);
+        assert_eq!(parse_math_override(Some("  ")), None);
+        assert_eq!(parse_math_override(Some("exact")), Some(MathMode::Exact));
+        assert_eq!(
+            parse_math_override(Some(" Relaxed ")),
+            Some(MathMode::Relaxed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SAFETY_OPT_MATH must be \"exact\" or \"relaxed\"")]
+    fn unknown_math_mode_is_rejected_loudly() {
+        parse_math_override(Some("fast"));
     }
 
     #[test]

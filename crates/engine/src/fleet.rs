@@ -53,6 +53,7 @@
 
 use crate::batch::round_robin;
 use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
+use crate::grad::{AdjointFile, GradWorkspace};
 use crate::tape::{Op, Tape, TapeBuilder, Value};
 use std::ops::Range;
 
@@ -309,6 +310,56 @@ impl Fleet {
         self.tape.read_outputs(scratch, range, outputs)
     }
 
+    /// Evaluates `model`'s cost **and** cost gradient at `x` via the
+    /// reverse-mode adjoint sweep over its reachability mask: the masked
+    /// forward sweep retains the register file, the model's output
+    /// weights seed the adjoints, and the backward sweep visits exactly
+    /// the masked ops in reverse — the op set and per-op float sequence
+    /// of the model's standalone [`Tape::eval_grad_into`]. Cost and
+    /// outputs are bit-identical to standalone compilation; the
+    /// gradient is bit-identical whenever the masked ops sit in the
+    /// model's own demand order, which holds for the safety-model
+    /// lowering (golden-pinned) but can be broken by cross-model
+    /// hash-consing reordering a shared subexpression's consumers — the
+    /// adjoint's `+=` accumulation then rounds in a different order,
+    /// shifting components by a few rounding steps, amplified by
+    /// subtractive cancellation (the `grad_soa_equivalence` suite pins
+    /// a ≤ 128 ulp envelope on adversarial families).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/output/gradient arity mismatches.
+    pub fn eval_model_grad_into(
+        &self,
+        model: usize,
+        x: &[f64],
+        ws: &mut GradWorkspace,
+        outputs: &mut [f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let range = self.output_range(model);
+        assert_eq!(outputs.len(), range.len(), "output arity mismatch");
+        assert_eq!(grad.len(), self.n_inputs(), "gradient arity mismatch");
+        let n_inputs = self.n_inputs();
+        let cost = {
+            let scratch = self.prepare_scratch(x, &mut ws.scratch);
+            for &i in self.masks[model].iter() {
+                let op = &self.tape.ops[i as usize];
+                scratch[n_inputs + i as usize] = self.tape.op_value(op, scratch);
+            }
+            self.tape.read_outputs(scratch, range.clone(), outputs)
+        };
+        ws.adjoint.clear();
+        ws.adjoint.resize(self.tape.scratch_len(), 0.0);
+        self.tape.seed_output_adjoints(range, &mut ws.adjoint);
+        for &i in self.masks[model].iter().rev() {
+            self.tape.backward_slot(i as usize, ws);
+        }
+        crate::grad::record_adjoint_sweeps(1);
+        grad.copy_from_slice(&ws.adjoint[..n_inputs]);
+        cost
+    }
+
     /// Evaluates **every** model at `x` with one full arena sweep
     /// (shared ops computed once for all models), writing per-model
     /// costs and the flat output row.
@@ -526,6 +577,55 @@ impl<'f> FleetEvaluator<'f> {
         costs
     }
 
+    /// Costs **and** cost gradients of **one model** at every point via
+    /// the masked reverse-mode adjoint sweep
+    /// ([`Fleet::eval_model_grad_into`]). Returns `(costs, grads)` with
+    /// `grads` flattened row-major (`points.len() × n_inputs`) —
+    /// bit-identical across thread counts, backends, and lane widths,
+    /// and bit-identical to that model's standalone
+    /// [`crate::batch::BatchEvaluator::eval_grad_batch`] up to the
+    /// adjoint accumulation-order caveat of
+    /// [`Fleet::eval_model_grad_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's arity mismatches the fleet.
+    pub fn model_grads<P: AsRef<[f64]> + Sync>(
+        &self,
+        model: usize,
+        points: &[P],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let dim = self.fleet.n_inputs();
+        let mut costs = vec![0.0; points.len()];
+        let mut grads = vec![0.0; points.len() * dim];
+        // A 0-input fleet has an empty `grads`; run inline (there is
+        // nothing to parallelize over anyway).
+        if self.sequential(points.len()) || dim == 0 {
+            self.runner()
+                .run_model_grad(model, points, &mut costs, &mut grads);
+            return (costs, grads);
+        }
+        let assignments = round_robin(
+            self.threads,
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .zip(grads.chunks_mut(self.chunk * dim))
+                .map(|((p, c), g)| (p, c, g)),
+        );
+        std::thread::scope(|scope| {
+            for units in assignments {
+                scope.spawn(move || {
+                    let mut runner = self.runner();
+                    for (pts, cost_chunk, grad_chunk) in units {
+                        runner.run_model_grad(model, pts, cost_chunk, grad_chunk);
+                    }
+                });
+            }
+        });
+        (costs, grads)
+    }
+
     fn sequential(&self, n: usize) -> bool {
         self.threads == 1 || n <= self.chunk
     }
@@ -554,6 +654,10 @@ struct FleetRunner<'f> {
     lane_rows: Vec<f64>,
     /// One lane block of per-model costs for masked SoA evaluation.
     lane_costs: Vec<f64>,
+    /// Scalar-path forward + adjoint workspace of the masked gradient.
+    ws: GradWorkspace,
+    /// Lane-blocked adjoint file of the masked backward sweep.
+    adj: AdjointFile,
 }
 
 impl<'f> FleetRunner<'f> {
@@ -568,6 +672,8 @@ impl<'f> FleetRunner<'f> {
             file: LaneFile::default(),
             lane_rows: vec![0.0; fleet.total_outputs() * lanes],
             lane_costs: vec![0.0; lanes],
+            ws: GradWorkspace::new(),
+            adj: AdjointFile::default(),
         }
     }
 
@@ -664,6 +770,79 @@ impl<'f> FleetRunner<'f> {
                 &mut self.out_row[..n_out],
             );
         }
+    }
+
+    /// Evaluates one model's cost + gradient at every point of `pts`
+    /// through its reachability mask, writing one cost per point and
+    /// the point-major gradient rows.
+    fn run_model_grad<P: AsRef<[f64]>>(
+        &mut self,
+        model: usize,
+        pts: &[P],
+        costs: &mut [f64],
+        grads: &mut [f64],
+    ) {
+        let start = if self.backend == ExecBackend::Soa {
+            dispatch_lanes!(self.lanes, L => {
+                self.run_model_grad_blocks::<L, P>(model, pts, costs, grads)
+            })
+        } else {
+            0
+        };
+        let fleet = self.fleet;
+        let n_out = fleet.n_outputs(model);
+        let dim = fleet.n_inputs();
+        for (i, p) in pts.iter().enumerate().skip(start) {
+            costs[i] = fleet.eval_model_grad_into(
+                model,
+                p.as_ref(),
+                &mut self.ws,
+                &mut self.out_row[..n_out],
+                &mut grads[i * dim..(i + 1) * dim],
+            );
+        }
+    }
+
+    /// Sweeps every full `L`-wide block of `pts` through one model's
+    /// masked SoA forward + adjoint sweeps, returning the number of
+    /// points processed.
+    fn run_model_grad_blocks<const L: usize, P: AsRef<[f64]>>(
+        &mut self,
+        model: usize,
+        pts: &[P],
+        costs: &mut [f64],
+        grads: &mut [f64],
+    ) -> usize {
+        let fleet = self.fleet;
+        let range = fleet.output_range(model);
+        let n_out = range.len();
+        let dim = fleet.n_inputs();
+        let mut start = 0;
+        while start + L <= pts.len() {
+            let block = &pts[start..start + L];
+            self.file.load::<L, P>(&fleet.tape, block);
+            for &slot in fleet.masks[model].iter() {
+                self.file
+                    .sweep_op::<L, P>(&fleet.tape, slot as usize, block);
+            }
+            self.file.read_outputs::<L>(
+                &fleet.tape,
+                range.clone(),
+                &mut costs[start..start + L],
+                &mut self.lane_rows[..L * n_out],
+            );
+            self.adj.reset(fleet.tape.scratch_len() * L);
+            self.adj.seed::<L>(&fleet.tape, range.clone());
+            for &slot in fleet.masks[model].iter().rev() {
+                self.adj
+                    .backward_slot_block::<L>(&fleet.tape, slot as usize, self.file.regs());
+            }
+            crate::grad::record_adjoint_sweeps(L as u64);
+            self.adj
+                .grad_rows::<L>(dim, &mut grads[start * dim..(start + L) * dim]);
+            start += L;
+        }
+        start
     }
 
     /// Sweeps every full `L`-wide block of `pts` through one model's
@@ -842,6 +1021,36 @@ mod tests {
                     for (i, &v) in mc.iter().enumerate() {
                         assert_eq!(v.to_bits(), scalar.0[i * 3 + model].to_bits());
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_gradients_are_bit_identical_to_standalone_tapes() {
+        let (fleet, tapes) = family(4);
+        let pts = points(151, 7); // odd: exercises the ragged tail
+        for (k, tape) in tapes.iter().enumerate() {
+            let (ref_c, ref_g) = crate::batch::BatchEvaluator::new(tape, 1)
+                .backend(ExecBackend::Scalar)
+                .eval_grad_batch(&pts);
+            for backend in [ExecBackend::Scalar, ExecBackend::Soa] {
+                for threads in [1, 3] {
+                    let (c, g) = FleetEvaluator::new(&fleet, threads)
+                        .chunk_size(23)
+                        .backend(backend)
+                        .lanes(8)
+                        .model_grads(k, &pts);
+                    assert_eq!(
+                        c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        ref_c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "costs of model {k}, {backend:?}, {threads} threads"
+                    );
+                    assert_eq!(
+                        g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        ref_g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "grads of model {k}, {backend:?}, {threads} threads"
+                    );
                 }
             }
         }

@@ -42,12 +42,22 @@
 //! Hash-consed ops shared across hazards accumulate their adjoints
 //! additively, so sharing is handled by construction. Batched gradients
 //! ([`crate::BatchEvaluator::eval_grad_batch`]) shard points across the
-//! same deterministic chunked pool as plain evaluation; the adjoint
-//! sweep itself is scalar per point (the lane-blocked SoA twin is future
-//! work — the backward pass is already dispatch-light because each op
-//! visit is O(args)).
+//! same deterministic chunked pool as plain evaluation, and on the SoA
+//! backend the adjoint sweep runs **lane-blocked op-at-a-time** like
+//! the forward sweep: the forward pass retains the whole lane-major
+//! register file ([`crate::exec::LaneFile`]), and the backward pass
+//! sweeps each op's VJP across the block in an [`AdjointFile`] of the
+//! same `[n_regs × LANES]` layout. Per lane the backward kernels
+//! perform the scalar VJP's float sequence in the same order (including
+//! the `a == 0` dead-op skip as a real per-lane branch, so signed
+//! zeros and NaN adjoints behave identically), which makes SoA
+//! gradients 0-ULP bit-identical to the scalar adjoint for every lane
+//! width, thread count, and chunk size. [`Op::Closure`] VJPs and ragged
+//! tails fall back to the scalar path exactly like the forward sweep.
 
-use crate::tape::{Op, Tape};
+use crate::exec::LaneFile;
+use crate::tape::{Op, Tape, Value};
+use std::ops::Range;
 
 use safety_opt_telemetry as telemetry;
 
@@ -57,6 +67,38 @@ static ADJOINT_SWEEPS: telemetry::Counter = telemetry::Counter::new("engine.grad
 /// (`2·dim` per opaque [`Op::Closure`] op per backward sweep).
 static CLOSURE_FD_PROBES: telemetry::Counter =
     telemetry::Counter::new("engine.grad.closure_fd_probes");
+/// Live lanes an SoA adjoint sweep pushed through the scalar `Closure`
+/// central-difference fallback (the backward twin of
+/// `engine.exec.closure_soa_fallback` — see the one-time warning in
+/// `full` mode).
+static ADJOINT_CLOSURE_FALLBACK: telemetry::Counter =
+    telemetry::Counter::new("engine.grad.closure_soa_fallback");
+
+/// Warns once per process that an SoA **adjoint** sweep hit an opaque
+/// `Closure` op — the mirror of the forward sweep's one-time warning.
+/// Only in `full` telemetry mode: the degradation is correct (the
+/// fallback replays the scalar backward pass's exact probe sequence),
+/// it just costs the lane-block speedup for that op.
+fn warn_adjoint_closure_fallback_once(lanes: usize) {
+    static WARN: std::sync::Once = std::sync::Once::new();
+    if telemetry::full_enabled() {
+        WARN.call_once(|| {
+            eprintln!(
+                "safety-opt telemetry: SoA adjoint sweep hit an opaque Closure \
+                 op; falling back to per-lane central differences for that op \
+                 ({lanes} lanes degraded — lower a named op instead of a \
+                 closure to keep the block sweep; counted as \
+                 engine.grad.closure_soa_fallback)"
+            );
+        });
+    }
+}
+
+/// Records `n` completed adjoint sweeps — shared with the fleet's
+/// masked adjoint path so the counter means the same thing everywhere.
+pub(crate) fn record_adjoint_sweeps(n: u64) {
+    ADJOINT_SWEEPS.add(n);
+}
 
 /// Relative step of the per-op central-difference fallback for opaque
 /// [`Op::Closure`] factors (`h = ε·max(1, |xⱼ|)`), chosen near the
@@ -70,9 +112,9 @@ pub const CLOSURE_FD_EPS: f64 = 6.0554544523933395e-6;
 pub struct GradWorkspace {
     /// Forward values, `[inputs… | op outputs…]` — identical layout to
     /// the plain evaluation scratch.
-    scratch: Vec<f64>,
+    pub(crate) scratch: Vec<f64>,
     /// One adjoint per scratch slot (`∂f_cost/∂slot`).
-    adjoint: Vec<f64>,
+    pub(crate) adjoint: Vec<f64>,
     /// Prefix partial products for the [`Op::Product`] VJP.
     prefix: Vec<f64>,
     /// Probe point for the [`Op::Closure`] central-difference fallback.
@@ -118,16 +160,24 @@ impl Tape {
         // register and no derivative.
         ws.adjoint.clear();
         ws.adjoint.resize(self.scratch_len(), 0.0);
-        for (value, w) in self.outputs.iter().zip(&self.weights) {
-            if let crate::tape::Value::Reg(r) = value {
-                ws.adjoint[r.index()] += *w;
-            }
-        }
+        self.seed_output_adjoints(0..self.n_outputs(), &mut ws.adjoint);
 
         self.backward(ws);
         ADJOINT_SWEEPS.add(1);
         grad.copy_from_slice(&ws.adjoint[..self.n_inputs]);
         cost
+    }
+
+    /// Seeds the output-weight adjoints for the declared outputs in
+    /// `range` (`∂cost/∂outputᵢ = weightᵢ`, accumulated in declaration
+    /// order). Shared by the full-tape sweep and the fleet's masked
+    /// per-model sweep, which seeds only one model's output slice.
+    pub(crate) fn seed_output_adjoints(&self, range: Range<usize>, adjoint: &mut [f64]) {
+        for (value, w) in self.outputs[range.clone()].iter().zip(&self.weights[range]) {
+            if let Value::Reg(r) = value {
+                adjoint[r.index()] += *w;
+            }
+        }
     }
 
     /// Convenience wrapper allocating its own buffers: `(cost, ∇cost)`.
@@ -143,107 +193,410 @@ impl Tape {
     /// accumulated adjoint through the op's local derivative into its
     /// argument slots.
     fn backward(&self, ws: &mut GradWorkspace) {
-        for (slot, op) in self.ops.iter().enumerate().rev() {
-            let a = ws.adjoint[self.n_inputs + slot];
-            // Dead ops (outputs nothing downstream reads, or a clamped
-            // branch upstream zeroed them) contribute nothing; NaN
-            // adjoints compare unequal and still propagate.
-            if a == 0.0 {
-                continue;
+        for slot in (0..self.ops.len()).rev() {
+            self.backward_slot(slot, ws);
+        }
+    }
+
+    /// One op's scalar VJP: pushes slot `slot`'s accumulated adjoint
+    /// through the op's local derivative into its argument slots. The
+    /// unit the full-tape [`backward`](Self::backward) loop and the
+    /// fleet's masked per-model sweep share, so the scalar float
+    /// sequences live in exactly one place.
+    pub(crate) fn backward_slot(&self, slot: usize, ws: &mut GradWorkspace) {
+        let op = &self.ops[slot];
+        let a = ws.adjoint[self.n_inputs + slot];
+        // Dead ops (outputs nothing downstream reads, or a clamped
+        // branch upstream zeroed them) contribute nothing; NaN
+        // adjoints compare unequal and still propagate.
+        if a == 0.0 {
+            return;
+        }
+        match op {
+            Op::Exposure { rate, t } => {
+                let w = ws.scratch[t.index()];
+                // λ·e^{−λt} for t > 0; subgradient 0 on the clamped
+                // branch (the forward value is constant there).
+                if w > 0.0 {
+                    ws.adjoint[t.index()] += a * rate * (-rate * w).exp();
+                }
             }
-            match op {
-                Op::Exposure { rate, t } => {
-                    let w = ws.scratch[t.index()];
-                    // λ·e^{−λt} for t > 0; subgradient 0 on the clamped
-                    // branch (the forward value is constant there).
-                    if w > 0.0 {
-                        ws.adjoint[t.index()] += a * rate * (-rate * w).exp();
+            Op::Overtime { sf, x } => {
+                let xv = ws.scratch[x.index()];
+                ws.adjoint[x.index()] += a * sf.deriv(xv);
+            }
+            Op::Closure { f } => {
+                // No structure to differentiate: per-op central
+                // differences over the full input point. Costs
+                // 2·dim closure calls — not 2·dim tape sweeps — so
+                // closure-bearing models still gain on every other
+                // op.
+                CLOSURE_FD_PROBES.add(2 * self.n_inputs as u64);
+                ws.probe.clear();
+                ws.probe.extend_from_slice(&ws.scratch[..self.n_inputs]);
+                for j in 0..self.n_inputs {
+                    let xj = ws.probe[j];
+                    let h = CLOSURE_FD_EPS * xj.abs().max(1.0);
+                    ws.probe[j] = xj + h;
+                    let fp = f(&ws.probe);
+                    ws.probe[j] = xj - h;
+                    let fm = f(&ws.probe);
+                    ws.probe[j] = xj;
+                    ws.adjoint[j] += a * (fp - fm) / (2.0 * h);
+                }
+            }
+            Op::Complement { x } => {
+                ws.adjoint[x.index()] -= a;
+            }
+            Op::Scale { c, x } => {
+                ws.adjoint[x.index()] += a * c;
+            }
+            Op::Product { c, args } => {
+                // ∂y/∂xᵢ = c·∏_{j<i} xⱼ · ∏_{j>i} xⱼ, built from
+                // prefix and suffix partial products — division-free
+                // so zero factors and NaN behave exactly like the
+                // forward multiply chain.
+                let regs = self.arg_slice(*args);
+                ws.prefix.clear();
+                let mut acc = *c;
+                for r in regs {
+                    ws.prefix.push(acc);
+                    acc *= ws.scratch[r.index()];
+                }
+                let mut suffix = 1.0;
+                for (i, r) in regs.iter().enumerate().rev() {
+                    ws.adjoint[r.index()] += a * ws.prefix[i] * suffix;
+                    suffix *= ws.scratch[r.index()];
+                }
+            }
+            Op::MulAdd { p, hi, lo } => {
+                // y = p·h + (1−p)·l: ∂y/∂p = h − l, ∂y/∂h = p,
+                // ∂y/∂l = 1 − p. Constant operands have no register
+                // and receive no adjoint.
+                let pv = Tape::value_at(*p, &ws.scratch);
+                let hv = Tape::value_at(*hi, &ws.scratch);
+                let lv = Tape::value_at(*lo, &ws.scratch);
+                if let crate::tape::Value::Reg(r) = p {
+                    ws.adjoint[r.index()] += a * (hv - lv);
+                }
+                if let crate::tape::Value::Reg(r) = hi {
+                    ws.adjoint[r.index()] += a * pv;
+                }
+                if let crate::tape::Value::Reg(r) = lo {
+                    ws.adjoint[r.index()] += a * (1.0 - pv);
+                }
+            }
+            Op::SumClamp { bias, args } => {
+                // Re-derive the forward branch: pass-through when
+                // unclamped, subgradient 0 once the sum saturates.
+                // (NaN sums fail `> 1.0` and take the pass-through
+                // branch, exactly like the forward kernel.)
+                let mut acc = *bias;
+                for r in self.arg_slice(*args) {
+                    acc += ws.scratch[r.index()];
+                }
+                if acc > 1.0 {
+                    return;
+                }
+                for r in self.arg_slice(*args) {
+                    ws.adjoint[r.index()] += a;
+                }
+            }
+        }
+    }
+
+    /// Lane-blocked cost + gradient evaluation of one full `L`-wide
+    /// block: the SoA forward sweep (retaining the whole lane-major
+    /// register file), the output reduction, and the op-at-a-time
+    /// backward sweep over `adjoint`. Per lane every kernel replays
+    /// [`eval_grad_into`](Self::eval_grad_into)'s float sequence, so
+    /// results are 0-ULP bit-identical to the scalar adjoint.
+    ///
+    /// `costs` must hold `L` entries, `lane_rows` `L · n_outputs`, and
+    /// `grads` the `L` point-major gradient rows (`L · n_inputs`).
+    pub(crate) fn eval_grad_block<const L: usize, P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+        file: &mut LaneFile,
+        adjoint: &mut AdjointFile,
+        costs: &mut [f64],
+        lane_rows: &mut [f64],
+        grads: &mut [f64],
+    ) {
+        file.load::<L, P>(self, points);
+        for slot in 0..self.n_ops() {
+            file.sweep_op::<L, P>(self, slot, points);
+        }
+        file.read_outputs::<L>(self, 0..self.n_outputs(), costs, lane_rows);
+        adjoint.reset(self.scratch_len() * L);
+        adjoint.seed::<L>(self, 0..self.n_outputs());
+        for slot in (0..self.n_ops()).rev() {
+            adjoint.backward_slot_block::<L>(self, slot, file.regs());
+        }
+        ADJOINT_SWEEPS.add(L as u64);
+        adjoint.grad_rows::<L>(self.n_inputs, grads);
+    }
+}
+
+/// Lane-blocked adjoint file: the backward-sweep twin of
+/// [`LaneFile`] — one adjoint per register per lane, in the same
+/// `[n_regs × L]` register-major layout, plus the lane-blocked prefix
+/// stack of the [`Op::Product`] VJP and the scalar probe row of the
+/// [`Op::Closure`] fallback. All methods are monomorphized over the
+/// block width `L`.
+#[derive(Debug, Default)]
+pub(crate) struct AdjointFile {
+    /// `∂cost/∂reg` per lane, register-major (`r * L + l`).
+    adj: Vec<f64>,
+    /// Lane-blocked prefix partial products (`[n_args × L]`).
+    prefix: Vec<f64>,
+    /// One lane's probe point for the closure fallback.
+    probe: Vec<f64>,
+}
+
+impl AdjointFile {
+    /// Zeroes the file for a `len`-slot sweep (`scratch_len · L`).
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.adj.clear();
+        self.adj.resize(len, 0.0);
+    }
+
+    /// Seeds every lane's output-weight adjoints for the declared
+    /// outputs in `range` — per lane the scalar seeding loop's exact
+    /// accumulation order.
+    pub(crate) fn seed<const L: usize>(&mut self, tape: &Tape, range: Range<usize>) {
+        for (value, w) in tape.outputs[range.clone()].iter().zip(&tape.weights[range]) {
+            if let Value::Reg(r) = value {
+                let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                for a in adj.iter_mut() {
+                    *a += *w;
+                }
+            }
+        }
+    }
+
+    /// Copies each lane's input adjoints into point-major gradient rows
+    /// (`grads[l · dim + j] = ∂cost_l/∂x_j`).
+    pub(crate) fn grad_rows<const L: usize>(&self, dim: usize, grads: &mut [f64]) {
+        for l in 0..L {
+            for j in 0..dim {
+                grads[l * dim + j] = self.adj[j * L + l];
+            }
+        }
+    }
+
+    /// One op's VJP swept across the whole lane block: the lane-blocked
+    /// twin of [`Tape::backward_slot`]. `regs` is the forward sweep's
+    /// retained register file. Per lane each kernel performs the scalar
+    /// VJP's float sequence in the same order — including the
+    /// `a == 0.0` dead-lane skip as a real branch, so signed zeros stay
+    /// put and NaN adjoints propagate identically — which is what makes
+    /// the SoA adjoint 0-ULP bit-identical to the scalar one. Blocks
+    /// whose every lane is dead skip the op entirely (the scalar
+    /// sweep's dead-op skip, amortized).
+    pub(crate) fn backward_slot_block<const L: usize>(
+        &mut self,
+        tape: &Tape,
+        slot: usize,
+        regs: &[f64],
+    ) {
+        let out_base = (tape.n_inputs + slot) * L;
+        let a: [f64; L] = regs_block::<L>(&self.adj, out_base);
+        if a.iter().all(|&v| v == 0.0) {
+            return;
+        }
+        match &tape.ops[slot] {
+            Op::Exposure { rate, t } => {
+                let base = t.index() * L;
+                let w: [f64; L] = regs_block::<L>(regs, base);
+                let adj = lane_window::<L>(&mut self.adj, base);
+                if crate::exec::relaxed_math() {
+                    // Speculative blocked exp (pure, so unobservable on
+                    // skipped lanes), then the guarded accumulate.
+                    let mut u = [0.0; L];
+                    for l in 0..L {
+                        u[l] = -rate * w[l];
+                    }
+                    let mut e = [0.0; L];
+                    crate::fast_exp::exp_block::<L>(&u, &mut e);
+                    for l in 0..L {
+                        if a[l] != 0.0 && w[l] > 0.0 {
+                            adj[l] += a[l] * rate * e[l];
+                        }
+                    }
+                } else {
+                    for l in 0..L {
+                        // λ·e^{−λt} for t > 0; subgradient 0 on the
+                        // clamped branch — the scalar VJP per lane.
+                        if a[l] != 0.0 && w[l] > 0.0 {
+                            adj[l] += a[l] * rate * (-rate * w[l]).exp();
+                        }
                     }
                 }
-                Op::Overtime { sf, x } => {
-                    let xv = ws.scratch[x.index()];
-                    ws.adjoint[x.index()] += a * sf.deriv(xv);
-                }
-                Op::Closure { f } => {
-                    // No structure to differentiate: per-op central
-                    // differences over the full input point. Costs
-                    // 2·dim closure calls — not 2·dim tape sweeps — so
-                    // closure-bearing models still gain on every other
-                    // op.
-                    CLOSURE_FD_PROBES.add(2 * self.n_inputs as u64);
-                    ws.probe.clear();
-                    ws.probe.extend_from_slice(&ws.scratch[..self.n_inputs]);
-                    for j in 0..self.n_inputs {
-                        let xj = ws.probe[j];
-                        let h = CLOSURE_FD_EPS * xj.abs().max(1.0);
-                        ws.probe[j] = xj + h;
-                        let fp = f(&ws.probe);
-                        ws.probe[j] = xj - h;
-                        let fm = f(&ws.probe);
-                        ws.probe[j] = xj;
-                        ws.adjoint[j] += a * (fp - fm) / (2.0 * h);
+            }
+            Op::Overtime { sf, x } => {
+                let base = x.index() * L;
+                let xb: [f64; L] = regs_block::<L>(regs, base);
+                let mut d = [0.0; L];
+                sf.deriv_block::<L>(&xb, &mut d);
+                let adj = lane_window::<L>(&mut self.adj, base);
+                for l in 0..L {
+                    if a[l] != 0.0 {
+                        adj[l] += a[l] * d[l];
                     }
                 }
-                Op::Complement { x } => {
-                    ws.adjoint[x.index()] -= a;
-                }
-                Op::Scale { c, x } => {
-                    ws.adjoint[x.index()] += a * c;
-                }
-                Op::Product { c, args } => {
-                    // ∂y/∂xᵢ = c·∏_{j<i} xⱼ · ∏_{j>i} xⱼ, built from
-                    // prefix and suffix partial products — division-free
-                    // so zero factors and NaN behave exactly like the
-                    // forward multiply chain.
-                    let regs = self.arg_slice(*args);
-                    ws.prefix.clear();
-                    let mut acc = *c;
-                    for r in regs {
-                        ws.prefix.push(acc);
-                        acc *= ws.scratch[r.index()];
-                    }
-                    let mut suffix = 1.0;
-                    for (i, r) in regs.iter().enumerate().rev() {
-                        ws.adjoint[r.index()] += a * ws.prefix[i] * suffix;
-                        suffix *= ws.scratch[r.index()];
-                    }
-                }
-                Op::MulAdd { p, hi, lo } => {
-                    // y = p·h + (1−p)·l: ∂y/∂p = h − l, ∂y/∂h = p,
-                    // ∂y/∂l = 1 − p. Constant operands have no register
-                    // and receive no adjoint.
-                    let pv = Tape::value_at(*p, &ws.scratch);
-                    let hv = Tape::value_at(*hi, &ws.scratch);
-                    let lv = Tape::value_at(*lo, &ws.scratch);
-                    if let crate::tape::Value::Reg(r) = p {
-                        ws.adjoint[r.index()] += a * (hv - lv);
-                    }
-                    if let crate::tape::Value::Reg(r) = hi {
-                        ws.adjoint[r.index()] += a * pv;
-                    }
-                    if let crate::tape::Value::Reg(r) = lo {
-                        ws.adjoint[r.index()] += a * (1.0 - pv);
-                    }
-                }
-                Op::SumClamp { bias, args } => {
-                    // Re-derive the forward branch: pass-through when
-                    // unclamped, subgradient 0 once the sum saturates.
-                    // (NaN sums fail `> 1.0` and take the pass-through
-                    // branch, exactly like the forward kernel.)
-                    let mut acc = *bias;
-                    for r in self.arg_slice(*args) {
-                        acc += ws.scratch[r.index()];
-                    }
-                    if acc > 1.0 {
+            }
+            Op::Closure { f } => {
+                // Scalar fallback, one live lane at a time: each lane
+                // replays the scalar backward pass's exact probe
+                // sequence over its own input row (the forward sweep
+                // loaded it into the register file unchanged).
+                ADJOINT_CLOSURE_FALLBACK.add(a.iter().filter(|&&v| v != 0.0).count() as u64);
+                warn_adjoint_closure_fallback_once(L);
+                for (l, &al) in a.iter().enumerate() {
+                    if al == 0.0 {
                         continue;
                     }
-                    for r in self.arg_slice(*args) {
-                        ws.adjoint[r.index()] += a;
+                    CLOSURE_FD_PROBES.add(2 * tape.n_inputs as u64);
+                    self.probe.clear();
+                    for j in 0..tape.n_inputs {
+                        self.probe.push(regs[j * L + l]);
+                    }
+                    for j in 0..tape.n_inputs {
+                        let xj = self.probe[j];
+                        let h = CLOSURE_FD_EPS * xj.abs().max(1.0);
+                        self.probe[j] = xj + h;
+                        let fp = f(&self.probe);
+                        self.probe[j] = xj - h;
+                        let fm = f(&self.probe);
+                        self.probe[j] = xj;
+                        self.adj[j * L + l] += al * (fp - fm) / (2.0 * h);
+                    }
+                }
+            }
+            Op::Complement { x } => {
+                let adj = lane_window::<L>(&mut self.adj, x.index() * L);
+                for l in 0..L {
+                    if a[l] != 0.0 {
+                        adj[l] -= a[l];
+                    }
+                }
+            }
+            Op::Scale { c, x } => {
+                let adj = lane_window::<L>(&mut self.adj, x.index() * L);
+                for l in 0..L {
+                    if a[l] != 0.0 {
+                        adj[l] += a[l] * c;
+                    }
+                }
+            }
+            Op::Product { c, args } => {
+                // Lane-blocked prefix/suffix partial products: per lane
+                // the scalar VJP's exact division-free sequence.
+                // Suffixes advance on dead lanes too — pure arithmetic
+                // no dead lane ever reads, since its writes are skipped.
+                let rs = tape.arg_slice(*args);
+                self.prefix.clear();
+                self.prefix.resize(rs.len() * L, 0.0);
+                let mut acc = [*c; L];
+                for (i, r) in rs.iter().enumerate() {
+                    let rb: [f64; L] = regs_block::<L>(regs, r.index() * L);
+                    let pre = lane_window::<L>(&mut self.prefix, i * L);
+                    pre.copy_from_slice(&acc);
+                    for (a, r) in acc.iter_mut().zip(&rb) {
+                        *a *= *r;
+                    }
+                }
+                let mut suffix = [1.0; L];
+                for (i, r) in rs.iter().enumerate().rev() {
+                    let rb: [f64; L] = regs_block::<L>(regs, r.index() * L);
+                    let pre: [f64; L] = regs_block::<L>(&self.prefix, i * L);
+                    let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                    for l in 0..L {
+                        if a[l] != 0.0 {
+                            adj[l] += a[l] * pre[l] * suffix[l];
+                        }
+                        suffix[l] *= rb[l];
+                    }
+                }
+            }
+            Op::MulAdd { p, hi, lo } => {
+                // Constants broadcast; the three operand adjoints land
+                // in the scalar VJP's order (p, hi, lo).
+                let block = |v: &Value| -> [f64; L] {
+                    match v {
+                        Value::Const(c) => [*c; L],
+                        Value::Reg(r) => regs_block::<L>(regs, r.index() * L),
+                    }
+                };
+                let pv = block(p);
+                let hv = block(hi);
+                let lv = block(lo);
+                if let Value::Reg(r) = p {
+                    let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                    for l in 0..L {
+                        if a[l] != 0.0 {
+                            adj[l] += a[l] * (hv[l] - lv[l]);
+                        }
+                    }
+                }
+                if let Value::Reg(r) = hi {
+                    let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                    for l in 0..L {
+                        if a[l] != 0.0 {
+                            adj[l] += a[l] * pv[l];
+                        }
+                    }
+                }
+                if let Value::Reg(r) = lo {
+                    let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                    for l in 0..L {
+                        if a[l] != 0.0 {
+                            adj[l] += a[l] * (1.0 - pv[l]);
+                        }
+                    }
+                }
+            }
+            Op::SumClamp { bias, args } => {
+                // Re-derive the forward branch per lane: pass-through
+                // when unclamped, subgradient 0 once saturated (NaN
+                // sums fail `> 1.0` and pass through, like the scalar
+                // kernel).
+                let rs = tape.arg_slice(*args);
+                let mut acc = [*bias; L];
+                for r in rs {
+                    let rb: [f64; L] = regs_block::<L>(regs, r.index() * L);
+                    for l in 0..L {
+                        acc[l] += rb[l];
+                    }
+                }
+                for r in rs {
+                    let adj = lane_window::<L>(&mut self.adj, r.index() * L);
+                    for l in 0..L {
+                        if acc[l] > 1.0 {
+                            // Saturated: flat-side subgradient 0.
+                        } else if a[l] != 0.0 {
+                            adj[l] += a[l];
+                        }
                     }
                 }
             }
         }
     }
+}
+
+/// Copies the `L`-wide lane block at `base` out of a register-major
+/// file (a by-value read, so the caller may then mutate the file).
+#[inline]
+fn regs_block<const L: usize>(regs: &[f64], base: usize) -> [f64; L] {
+    regs[base..base + L].try_into().expect("lane block")
+}
+
+/// Borrows the `L`-wide lane block at `base` as a fixed-size array —
+/// one bounds check at the borrow, none inside the lane loops.
+#[inline]
+fn lane_window<const L: usize>(regs: &mut [f64], base: usize) -> &mut [f64; L] {
+    (&mut regs[base..base + L]).try_into().expect("lane block")
 }
 
 #[cfg(test)]

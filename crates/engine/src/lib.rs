@@ -65,13 +65,14 @@ pub mod batch;
 pub mod cache;
 pub mod exec;
 pub mod fast_erf;
+pub mod fast_exp;
 pub mod fleet;
 pub mod grad;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, QuantizedCache};
-pub use exec::{default_backend, ExecBackend};
+pub use exec::{default_backend, math_mode, ExecBackend, MathMode};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use grad::GradWorkspace;
 pub use tape::{CompileStats, Op, Tape, TapeBuilder, TruncNormSf, Value};

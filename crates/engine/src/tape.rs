@@ -150,6 +150,26 @@ impl TruncNormSf {
         }
     }
 
+    /// Lane-blocked twin of [`deriv`](Self::deriv) for the SoA adjoint
+    /// sweep: per lane the in-support arithmetic is **exactly**
+    /// [`deriv`]'s sequence (bit-identical results). Out-of-support
+    /// lanes are computed speculatively and overwritten by the fixup
+    /// pass (`std_normal_pdf` is pure, so the speculation is
+    /// unobservable); NaN inputs fail both fixup comparisons and keep
+    /// their speculative NaN, exactly like the scalar branch.
+    #[inline]
+    pub(crate) fn deriv_block<const L: usize>(&self, x: &[f64; L], out: &mut [f64; L]) {
+        for l in 0..L {
+            let z = (x[l] - self.mu) / self.sigma;
+            out[l] = -special::std_normal_pdf(z) / (self.sigma * self.mass);
+        }
+        for l in 0..L {
+            if x[l] <= self.lower || x[l] >= self.upper {
+                out[l] = 0.0;
+            }
+        }
+    }
+
     fn key(&self) -> [u64; 4] {
         [
             self.mu.to_bits(),

@@ -331,6 +331,316 @@ impl GradientDescent {
     }
 }
 
+/// Maps non-finite objective values to `+∞` so comparisons stay total
+/// (the state-machine twin of [`CountingObjective::eval_penalized`]).
+fn penalize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Which objective answer one restart's state machine awaits.
+#[derive(Debug)]
+enum GdPhase {
+    /// The start point's value.
+    Init,
+    /// The analytic gradient at the current iterate.
+    Grad,
+    /// Central-difference probe values (the analytic fallback):
+    /// `(coordinate, hi, lo)` per probed dimension, two probes each, in
+    /// slot order.
+    Fd {
+        g: Vec<f64>,
+        slots: Vec<(usize, f64, f64)>,
+    },
+    /// One Armijo backtracking trial value.
+    Trial {
+        g_norm: f64,
+        dir: Vec<f64>,
+        step: f64,
+        tries: u32,
+    },
+}
+
+/// Resumable state of one gradient-descent restart, for the lockstep
+/// multi-start driver
+/// ([`MultiStart::minimize_batch`](crate::multistart::MultiStart::minimize_batch)):
+/// the [`GradientDescent`] descent loop unrolled into a state machine
+/// whose objective evaluations are requested through
+/// [`pending_values`](Self::pending_values) /
+/// [`pending_grad`](Self::pending_grad) and answered through
+/// [`advance_values`](Self::advance_values) /
+/// [`advance_grad`](Self::advance_grad). Every evaluation, every float,
+/// and every stopping decision replays the sequential
+/// [`minimize_differentiable`](Minimizer::minimize_differentiable) path
+/// exactly, so lockstep outcomes are bit-identical to running the
+/// restarts one after another (asserted by the multistart equivalence
+/// tests).
+#[derive(Debug)]
+pub(crate) struct GdState {
+    cfg: GradientDescent,
+    domain: BoxDomain,
+    widths: Vec<f64>,
+    scale: f64,
+    x: Vec<f64>,
+    fx: f64,
+    step0: f64,
+    iterations: u64,
+    evals: u64,
+    termination: TerminationReason,
+    trace: Vec<TracePoint>,
+    phase: GdPhase,
+    /// Value probes awaited this round (empty in the gradient phase).
+    pending: Vec<Vec<f64>>,
+    done: bool,
+}
+
+impl GdState {
+    pub(crate) fn new(config: &GradientDescent, domain: &BoxDomain) -> crate::Result<Self> {
+        config.validate(domain)?;
+        let x = match &config.start {
+            Some(p) => domain.project(p),
+            None => domain.center(),
+        };
+        let pending = vec![x.clone()];
+        Ok(Self {
+            widths: domain.widths(),
+            scale: domain.max_width(),
+            step0: config.initial_step * domain.max_width(),
+            cfg: config.clone(),
+            domain: domain.clone(),
+            x,
+            fx: f64::INFINITY,
+            iterations: 0,
+            evals: 0,
+            termination: TerminationReason::MaxIterations,
+            trace: Vec::new(),
+            phase: GdPhase::Init,
+            pending,
+            done: false,
+        })
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Value probes awaited this round (empty while a gradient is
+    /// awaited instead).
+    pub(crate) fn pending_values(&self) -> &[Vec<f64>] {
+        &self.pending
+    }
+
+    /// The iterate whose analytic value + gradient is awaited this
+    /// round, if the state is in its gradient phase.
+    pub(crate) fn pending_grad(&self) -> Option<&[f64]> {
+        (!self.done && matches!(self.phase, GdPhase::Grad)).then_some(self.x.as_slice())
+    }
+
+    /// Feeds the values of every probe in
+    /// [`pending_values`](Self::pending_values), in order, and advances
+    /// to the next phase.
+    pub(crate) fn advance_values(&mut self, raw: &[f64]) {
+        debug_assert_eq!(raw.len(), self.pending.len());
+        self.evals += raw.len() as u64;
+        match std::mem::replace(&mut self.phase, GdPhase::Init) {
+            GdPhase::Init => {
+                self.fx = penalize(raw[0]);
+                self.pending.clear();
+                self.begin_iteration();
+            }
+            GdPhase::Fd { mut g, slots } => {
+                for (j, &(i, hi, lo)) in slots.iter().enumerate() {
+                    let fp = penalize(raw[2 * j]);
+                    let fm = penalize(raw[2 * j + 1]);
+                    g[i] = (fp - fm) / (hi - lo);
+                }
+                self.pending.clear();
+                self.got_gradient(g);
+            }
+            GdPhase::Trial {
+                g_norm,
+                dir,
+                step,
+                tries,
+            } => {
+                let ft = penalize(raw[0]);
+                let trial = self.pending.pop().expect("one pending trial");
+                // Directional derivative along dir is −g_norm.
+                let c1 = 1e-4;
+                if ft <= self.fx - c1 * step * g_norm {
+                    let moved: f64 = trial
+                        .iter()
+                        .zip(&self.x)
+                        .map(|(&a, &b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    self.x = trial;
+                    self.fx = ft;
+                    // Gentle step growth for the next iteration.
+                    self.step0 = (step * 2.0).min(self.cfg.initial_step * self.scale);
+                    self.end_iteration(true, moved <= self.cfg.x_tol * self.scale);
+                } else if tries + 1 >= 60 {
+                    // Line search failed: either converged or the
+                    // landscape is flat at numerical precision.
+                    self.end_iteration(false, false);
+                } else {
+                    let step = step * 0.5;
+                    let next: Vec<f64> = self
+                        .x
+                        .iter()
+                        .zip(&dir)
+                        .map(|(&xi, &di)| xi + step * di)
+                        .collect();
+                    self.pending.push(self.domain.project(&next));
+                    self.phase = GdPhase::Trial {
+                        g_norm,
+                        dir,
+                        step,
+                        tries: tries + 1,
+                    };
+                }
+            }
+            GdPhase::Grad => unreachable!("no value probes pending in the gradient phase"),
+        }
+    }
+
+    /// Feeds the analytic value + gradient at
+    /// [`pending_grad`](Self::pending_grad) and advances: a non-finite
+    /// answer falls back to central-difference probes, exactly like the
+    /// sequential `iteration_gradient`.
+    pub(crate) fn advance_grad(&mut self, value: f64, grad: &[f64]) {
+        debug_assert!(matches!(self.phase, GdPhase::Grad));
+        // One recorded evaluation-equivalent: the forward sweep embedded
+        // in the adjoint pass (the sequential path's `f.record(1)`).
+        self.evals += 1;
+        if value.is_finite() && grad.iter().all(|g| g.is_finite()) {
+            self.got_gradient(grad.to_vec());
+            return;
+        }
+        // Central-difference fallback with the probe points projected
+        // into the domain (one-sided at the boundary).
+        let mut g = vec![0.0; self.x.len()];
+        let mut slots = Vec::new();
+        self.pending.clear();
+        for (i, gi) in g.iter_mut().enumerate() {
+            let h = (self.cfg.fd_step * self.widths[i]).max(1e-12);
+            let iv = self.domain.interval(i);
+            let hi = iv.clamp(self.x[i] + h);
+            let lo = iv.clamp(self.x[i] - h);
+            if hi == lo {
+                *gi = 0.0;
+                continue;
+            }
+            let mut xp = self.x.clone();
+            xp[i] = hi;
+            self.pending.push(xp);
+            let mut xm = self.x.clone();
+            xm[i] = lo;
+            self.pending.push(xm);
+            slots.push((i, hi, lo));
+        }
+        if slots.is_empty() {
+            self.got_gradient(g);
+        } else {
+            self.phase = GdPhase::Fd { g, slots };
+        }
+    }
+
+    /// The aggregated outcome once [`is_done`](Self::is_done).
+    pub(crate) fn into_outcome(self) -> crate::Result<OptimizationOutcome> {
+        if !self.fx.is_finite() {
+            return Err(OptimError::NoFiniteValue {
+                evaluations: self.evals,
+            });
+        }
+        Ok(OptimizationOutcome {
+            best_x: self.x,
+            best_value: self.fx,
+            evaluations: self.evals,
+            iterations: self.iterations,
+            termination: self.termination,
+            trace: self.trace,
+        })
+    }
+
+    fn begin_iteration(&mut self) {
+        if self.iterations >= self.cfg.max_iterations {
+            self.finish(self.termination);
+            return;
+        }
+        self.iterations += 1;
+        self.phase = GdPhase::Grad;
+    }
+
+    /// Runs the convergence test on a fresh gradient and either stops or
+    /// opens the Armijo line search — the float sequence of the
+    /// sequential loop body.
+    fn got_gradient(&mut self, g: Vec<f64>) {
+        let g_norm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        // Projected-gradient convergence test: the step the projection
+        // actually allows, not the raw gradient.
+        let probe: Vec<f64> = self.x.iter().zip(&g).map(|(&xi, &gi)| xi - gi).collect();
+        let projected = self.domain.project(&probe);
+        let pg_norm = projected
+            .iter()
+            .zip(&self.x)
+            .map(|(&p, &xi)| (p - xi) * (p - xi))
+            .sum::<f64>()
+            .sqrt();
+        if pg_norm <= self.cfg.g_tol || g_norm == 0.0 {
+            self.finish(TerminationReason::Converged);
+            return;
+        }
+        // Armijo backtracking along the normalized descent direction.
+        let dir: Vec<f64> = g.iter().map(|&gi| -gi / g_norm).collect();
+        let step = self.step0;
+        let trial: Vec<f64> = self
+            .x
+            .iter()
+            .zip(&dir)
+            .map(|(&xi, &di)| xi + step * di)
+            .collect();
+        self.pending.push(self.domain.project(&trial));
+        self.phase = GdPhase::Trial {
+            g_norm,
+            dir,
+            step,
+            tries: 0,
+        };
+    }
+
+    /// Closes one iteration: trace/hook emission, then stop or continue
+    /// — the sequential loop tail exactly (the trace fires after the
+    /// line search, never on a convergence-test break).
+    fn end_iteration(&mut self, accepted: bool, stalled: bool) {
+        if self.cfg.record_trace || self.cfg.hook.is_set() {
+            let point = TracePoint {
+                iteration: self.iterations,
+                evaluations: self.evals,
+                best_value: self.fx,
+            };
+            self.cfg.hook.emit(0, &point);
+            if self.cfg.record_trace {
+                self.trace.push(point);
+            }
+        }
+        if !accepted || stalled {
+            self.finish(TerminationReason::Converged);
+        } else {
+            self.begin_iteration();
+        }
+    }
+
+    fn finish(&mut self, termination: TerminationReason) {
+        self.termination = termination;
+        self.pending.clear();
+        self.done = true;
+    }
+}
+
 impl Minimizer for GradientDescent {
     fn minimize(
         &self,

@@ -65,7 +65,10 @@ pub mod testfns;
 pub mod trace;
 
 pub use error::OptimError;
-pub use objective::{BatchObjective, CountingObjective, DifferentiableObjective, Objective};
+pub use objective::{
+    BatchDifferentiableObjective, BatchObjective, CountingObjective, DifferentiableObjective,
+    Objective,
+};
 pub use outcome::{OptimizationOutcome, TerminationReason, TracePoint};
 pub use trace::{CollectingHook, HookHandle, TraceHook};
 

@@ -7,11 +7,12 @@
 //! optimum without the tuning burden of the stochastic methods.
 
 use crate::domain::BoxDomain;
+use crate::gradient::{GdState, GradientDescent};
 use crate::nelder_mead::{NelderMead, NmState};
 use crate::trace::HookHandle;
 use crate::{
-    BatchObjective, Minimizer, Objective, OptimError, OptimizationOutcome, Result,
-    TerminationReason,
+    BatchDifferentiableObjective, BatchObjective, DifferentiableObjective, Minimizer, Objective,
+    OptimError, OptimizationOutcome, Result, TerminationReason,
 };
 
 /// Multi-start wrapper around an inner [`Minimizer`].
@@ -165,6 +166,99 @@ impl MultiStart<NelderMead> {
     }
 }
 
+impl MultiStart<GradientDescent> {
+    /// Runs all gradient-descent restarts **in lockstep** against a
+    /// [`BatchDifferentiableObjective`]: each round gathers every live
+    /// restart's pending work — analytic-gradient requests into one
+    /// `eval_grad_batch` call (the hook the engine's lane-blocked SoA
+    /// adjoint sweep plugs into), Armijo trials and finite-difference
+    /// fallback probes into one `eval_batch` call — so a batched backend
+    /// sees `starts`-wide batches instead of single points.
+    ///
+    /// Each restart's evaluation sequence — and therefore its outcome —
+    /// is identical to running
+    /// [`minimize_differentiable`](Minimizer::minimize_differentiable)
+    /// sequentially from the same start points for pointwise-equal
+    /// objectives; only the interleaving across restarts changes.
+    /// Aggregation (best-of, evaluation totals, termination) matches the
+    /// sequential wrapper exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the sequential path: configuration errors, and
+    /// [`OptimError::NoFiniteValue`] if every restart failed to see a
+    /// finite value.
+    pub fn minimize_batch(
+        &self,
+        objective: &dyn BatchDifferentiableObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        if self.starts == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "starts",
+                requirement: "must be >= 1",
+            });
+        }
+        let dim = domain.dim();
+        let mut states = Vec::with_capacity(self.starts);
+        for k in 0..self.starts {
+            let x0 = Self::start_point(k, domain);
+            let mut cfg = self.inner.clone().start(x0);
+            if self.hook.is_set() {
+                cfg = cfg.hook_handle(self.hook.with_restart(k as u64));
+            }
+            states.push(GdState::new(&cfg, domain)?);
+        }
+        let mut vbatch: Vec<Vec<f64>> = Vec::new();
+        let mut vvalues: Vec<f64> = Vec::new();
+        let mut vspans: Vec<(usize, usize)> = Vec::new();
+        let mut gbatch: Vec<Vec<f64>> = Vec::new();
+        let mut gvalues: Vec<f64> = Vec::new();
+        let mut ggrads: Vec<f64> = Vec::new();
+        let mut gidx: Vec<usize> = Vec::new();
+        loop {
+            vbatch.clear();
+            vspans.clear();
+            gbatch.clear();
+            gidx.clear();
+            for (idx, state) in states.iter().enumerate() {
+                if state.is_done() {
+                    continue;
+                }
+                if let Some(x) = state.pending_grad() {
+                    gidx.push(idx);
+                    gbatch.push(x.to_vec());
+                } else if !state.pending_values().is_empty() {
+                    vspans.push((idx, state.pending_values().len()));
+                    vbatch.extend(state.pending_values().iter().cloned());
+                }
+            }
+            if gbatch.is_empty() && vbatch.is_empty() {
+                break;
+            }
+            if !gbatch.is_empty() {
+                objective.eval_grad_batch(&gbatch, &mut gvalues, &mut ggrads);
+                for (j, &idx) in gidx.iter().enumerate() {
+                    states[idx].advance_grad(gvalues[j], &ggrads[j * dim..(j + 1) * dim]);
+                }
+            }
+            if !vbatch.is_empty() {
+                objective.eval_batch(&vbatch, &mut vvalues);
+                let mut offset = 0;
+                for &(idx, len) in &vspans {
+                    states[idx].advance_values(&vvalues[offset..offset + len]);
+                    offset += len;
+                }
+            }
+        }
+        let mut fold = RestartFold::default();
+        for state in states {
+            fold.observe(state.into_outcome())?;
+        }
+        fold.finish()
+    }
+}
+
 /// Shared restart aggregation: best-of selection (strict `<`, earliest
 /// restart wins ties), evaluation/iteration totals including
 /// finite-value-starved restarts, and the merged termination reason.
@@ -270,6 +364,36 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
                 inner = inner.with_restart_hook(self.hook.with_restart(k as u64));
             }
             let run = inner.minimize(objective, domain);
+            fold.observe(run)?;
+        }
+        fold.finish()
+    }
+
+    /// Sequential restarts through the inner minimizer's
+    /// **differentiable** entry point, so a gradient-capable inner
+    /// algorithm (e.g. [`GradientDescent`]) consumes analytic gradients
+    /// from every start — the sequential twin of the lockstep
+    /// [`MultiStart::minimize_batch`] driver over the same start points
+    /// and the same [`RestartFold`] aggregation.
+    fn minimize_differentiable(
+        &self,
+        objective: &dyn DifferentiableObjective,
+        domain: &BoxDomain,
+    ) -> Result<OptimizationOutcome> {
+        if self.starts == 0 {
+            return Err(OptimError::InvalidConfig {
+                option: "starts",
+                requirement: "must be >= 1",
+            });
+        }
+        let mut fold = RestartFold::default();
+        for k in 0..self.starts {
+            let x0 = MultiStart::<M>::start_point(k, domain);
+            let mut inner = self.inner.clone().with_start(x0);
+            if self.hook.is_set() {
+                inner = inner.with_restart_hook(self.hook.with_restart(k as u64));
+            }
+            let run = inner.minimize_differentiable(objective, domain);
             fold.observe(run)?;
         }
         fold.finish()
@@ -459,6 +583,103 @@ mod tests {
         let f = |x: &[f64]| x[0];
         assert!(MultiStart::new(NelderMead::default(), 0)
             .minimize_batch(&f, &domain)
+            .is_err());
+    }
+
+    #[test]
+    fn gd_lockstep_batch_equals_sequential_differentiable_exactly() {
+        // An analytic quadratic whose gradient is poisoned on part of
+        // the domain, so restarts exercise both the batched
+        // analytic-gradient path and the finite-difference fallback.
+        struct Quad;
+        impl crate::Objective for Quad {
+            fn eval(&self, x: &[f64]) -> f64 {
+                (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 0.5).powi(2)
+            }
+        }
+        impl crate::DifferentiableObjective for Quad {
+            fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+                if x[0] < -2.0 {
+                    grad.fill(f64::NAN);
+                } else {
+                    grad[0] = 2.0 * (x[0] - 1.0);
+                    grad[1] = 4.0 * (x[1] + 0.5);
+                }
+                self.eval(x)
+            }
+        }
+        impl crate::BatchObjective for Quad {
+            fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
+                out.clear();
+                out.extend(points.iter().map(|p| crate::Objective::eval(self, p)));
+            }
+        }
+        impl crate::BatchDifferentiableObjective for Quad {
+            fn eval_grad_batch(
+                &self,
+                points: &[Vec<f64>],
+                values: &mut Vec<f64>,
+                grads: &mut Vec<f64>,
+            ) {
+                values.clear();
+                grads.clear();
+                let mut g = [0.0; 2];
+                for p in points {
+                    values.push(crate::DifferentiableObjective::value_grad(self, p, &mut g));
+                    grads.extend_from_slice(&g);
+                }
+            }
+        }
+
+        let domain = BoxDomain::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        for starts in [1usize, 3, 8] {
+            // Sequential reference: the same start scatter, one
+            // `minimize_differentiable` restart at a time, folded by the
+            // shared aggregation.
+            let mut fold = RestartFold::default();
+            for k in 0..starts {
+                let cfg = GradientDescent::default()
+                    .start(MultiStart::<GradientDescent>::start_point(k, &domain));
+                fold.observe(cfg.minimize_differentiable(&Quad, &domain))
+                    .unwrap();
+            }
+            let seq = fold.finish().unwrap();
+            let batch = MultiStart::new(GradientDescent::default(), starts)
+                .minimize_batch(&Quad, &domain)
+                .unwrap();
+            assert_eq!(seq.best_x, batch.best_x, "{starts} starts");
+            assert_eq!(seq.best_value.to_bits(), batch.best_value.to_bits());
+            assert_eq!(seq.evaluations, batch.evaluations, "{starts} starts");
+            assert_eq!(seq.iterations, batch.iterations, "{starts} starts");
+            assert_eq!(seq.termination, batch.termination, "{starts} starts");
+        }
+    }
+
+    #[test]
+    fn gd_lockstep_zero_starts_is_an_error() {
+        let domain = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        struct Flat;
+        impl crate::BatchObjective for Flat {
+            fn eval_batch(&self, points: &[Vec<f64>], out: &mut Vec<f64>) {
+                out.clear();
+                out.resize(points.len(), 0.0);
+            }
+        }
+        impl crate::BatchDifferentiableObjective for Flat {
+            fn eval_grad_batch(
+                &self,
+                points: &[Vec<f64>],
+                values: &mut Vec<f64>,
+                grads: &mut Vec<f64>,
+            ) {
+                values.clear();
+                values.resize(points.len(), 0.0);
+                grads.clear();
+                grads.resize(points.len(), 0.0);
+            }
+        }
+        assert!(MultiStart::new(GradientDescent::default(), 0)
+            .minimize_batch(&Flat, &domain)
             .is_err());
     }
 

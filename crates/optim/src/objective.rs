@@ -100,6 +100,36 @@ impl std::fmt::Debug for dyn BatchObjective + '_ {
     }
 }
 
+/// A batch objective that can also produce analytic gradients for a
+/// whole batch of points at once.
+///
+/// The gradient-descent lockstep driver
+/// ([`MultiStart::minimize_batch`]) gathers every live restart's
+/// current iterate into one `eval_grad_batch` call — the hook the
+/// engine's lane-blocked SoA adjoint sweep plugs into, so a fleet of
+/// restarts pays one batched forward + backward sweep per round instead
+/// of `starts` scattered `value_grad` calls.
+///
+/// Implementations must write exactly one value per point into `values`
+/// and `points.len() · dim` partials into `grads`, row-major in point
+/// order. Non-finite entries mean "no usable gradient here", exactly as
+/// for [`DifferentiableObjective`]; the caller falls back to finite
+/// differences at that point.
+///
+/// [`MultiStart::minimize_batch`]: crate::multistart::MultiStart::minimize_batch
+pub trait BatchDifferentiableObjective: BatchObjective {
+    /// Evaluates value **and** gradient at every point, overwriting
+    /// `values` (one per point) and `grads` (row-major,
+    /// `points.len() × dim`).
+    fn eval_grad_batch(&self, points: &[Vec<f64>], values: &mut Vec<f64>, grads: &mut Vec<f64>);
+}
+
+impl std::fmt::Debug for dyn BatchDifferentiableObjective + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BatchDifferentiableObjective")
+    }
+}
+
 /// Evaluation bookkeeping shared by the `minimize_batch` entry points:
 /// counts evaluations and tracks the best finite point seen.
 #[derive(Debug, Default)]

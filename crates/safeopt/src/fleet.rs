@@ -43,7 +43,9 @@ use crate::compile::lower_hazard;
 use crate::model::SafetyModel;
 use crate::{Result, SafeOptError};
 use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
-use safety_opt_engine::{CacheStats, CompileStats, ExecBackend, QuantizedCache, Value};
+use safety_opt_engine::{
+    CacheStats, CompileStats, ExecBackend, GradWorkspace, QuantizedCache, Value,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -245,6 +247,26 @@ impl CompiledFleet {
         Ok(self.evaluator().model_costs(model, points))
     }
 
+    /// Costs **and** analytic cost gradients of **one model** at every
+    /// point via the masked reverse-mode adjoint sweep, sharded across
+    /// the deterministic chunked pool on the configured execution
+    /// backend (`grads` is row-major, `points.len() × dim`) —
+    /// bit-identical to that model's standalone
+    /// [`crate::compile::CompiledModel::gradient_batch`] for every
+    /// thread count, backend, and lane width.
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points.
+    pub fn model_gradient_batch(
+        &self,
+        model: usize,
+        points: &[Vec<f64>],
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.check_points(points)?;
+        Ok(self.evaluator().model_grads(model, points))
+    }
+
     /// The fleet evaluator every batch entry point routes through.
     fn evaluator(&self) -> FleetEvaluator<'_> {
         FleetEvaluator::new(&self.fleet, self.threads).backend(self.backend)
@@ -258,6 +280,7 @@ impl CompiledFleet {
             fleet: Arc::clone(&self.fleet),
             model,
             scratch: RefCell::new((Vec::new(), vec![0.0; self.n_hazards(model)])),
+            grad_ws: RefCell::new(GradWorkspace::new()),
             cache: memo.then(QuantizedCache::fine),
         }
     }
@@ -309,6 +332,7 @@ pub struct FleetModelObjective {
     fleet: Arc<Fleet>,
     model: usize,
     scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+    grad_ws: RefCell<GradWorkspace>,
     cache: Option<QuantizedCache>,
 }
 
@@ -345,6 +369,35 @@ impl safety_opt_optim::Objective for FleetModelObjective {
     }
 }
 
+/// The analytic-gradient hook, via the masked reverse-mode adjoint
+/// sweep ([`Fleet::eval_model_grad_into`]) — value and gradient match
+/// the standalone [`crate::compile::CompiledObjective`]'s `value_grad`
+/// bit for bit on the safety-model lowering (golden-pinned; in general
+/// the gradient carries the engine's ulp-level adjoint
+/// accumulation-order caveat when cross-model sharing reorders a
+/// subexpression's consumers). Evaluation
+/// failures surface as an `∞` value alongside the poisoned gradient
+/// (finite-difference fallback signal), and the memo cache is bypassed,
+/// exactly like the standalone twin.
+impl safety_opt_optim::DifferentiableObjective for FleetModelObjective {
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        if x.len() != self.fleet.n_inputs() || grad.len() != x.len() {
+            grad.fill(f64::NAN);
+            return f64::INFINITY;
+        }
+        let ws = &mut *self.grad_ws.borrow_mut();
+        let (_, hazards) = &mut *self.scratch.borrow_mut();
+        let v = self
+            .fleet
+            .eval_model_grad_into(self.model, x, ws, hazards, grad);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// One fleet model's cost as a [`safety_opt_optim::BatchObjective`]:
 /// one parallel masked sweep per generation/round.
 #[derive(Debug)]
@@ -368,6 +421,27 @@ impl safety_opt_optim::BatchObjective for FleetModelBatchObjective {
     }
 }
 
+/// The batched analytic-gradient hook the gradient-descent lockstep
+/// driver ([`safety_opt_optim::multistart::MultiStart::minimize_batch`])
+/// plugs into: one parallel masked adjoint sweep per round — and within
+/// each worker, the engine's lane-blocked SoA adjoint path. Values map
+/// non-finite to `∞` and gradients stay poisoned, pointwise identical
+/// to [`FleetModelObjective`]'s sequential `value_grad`.
+impl safety_opt_optim::BatchDifferentiableObjective for FleetModelBatchObjective {
+    fn eval_grad_batch(&self, points: &[Vec<f64>], values: &mut Vec<f64>, grads: &mut Vec<f64>) {
+        let (v, g) = FleetEvaluator::new(&self.fleet, self.threads)
+            .backend(self.backend)
+            .model_grads(self.model, points);
+        *values = v;
+        *grads = g;
+        for v in values.iter_mut() {
+            if !v.is_finite() {
+                *v = f64::INFINITY;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,7 +449,10 @@ mod tests {
     use crate::model::Hazard;
     use crate::param::ParameterSpace;
     use crate::pprob::{complement, constant, exposure, from_fn, overtime, ProbExpr};
-    use safety_opt_optim::{BatchObjective as _, Objective as _};
+    use safety_opt_optim::{
+        BatchDifferentiableObjective as _, BatchObjective as _, DifferentiableObjective as _,
+        Objective as _,
+    };
     use safety_opt_stats::dist::TruncatedNormal;
 
     fn family_member(lambda: f64, shared_alarm: &ProbExpr) -> SafetyModel {
@@ -508,6 +585,92 @@ mod tests {
             scalar.model_batch_objective(k).eval_batch(&points, &mut a);
             soa.model_batch_objective(k).eval_batch(&points, &mut b);
             assert_eq!(a, b, "batch objective, model {k}");
+        }
+    }
+
+    #[test]
+    fn fleet_gradients_match_per_model_compilation_bitwise() {
+        let models = family(5);
+        let points = grid_points();
+        for backend in [ExecBackend::Scalar, ExecBackend::Soa] {
+            let fleet = CompiledFleet::compile_with_threads(&models, 3)
+                .unwrap()
+                .with_backend(backend);
+            for (k, model) in models.iter().enumerate() {
+                let compiled = CompiledModel::compile_with_threads(model, 1).unwrap();
+                let (sv, sg) = compiled.gradient_batch(&points).unwrap();
+                let (fv, fg) = fleet.model_gradient_batch(k, &points).unwrap();
+                assert_eq!(sv, fv, "values, model {k}, {backend:?}");
+                for (a, b) in sg.iter().zip(&fg) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "grads, model {k}, {backend:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_differentiable_objectives_match_compiled_value_grad() {
+        let models = family(3);
+        let fleet = CompiledFleet::compile_with_threads(&models, 2).unwrap();
+        let points = grid_points();
+        for (k, model) in models.iter().enumerate() {
+            let compiled = CompiledModel::compile_with_threads(model, 1).unwrap();
+            let single = compiled.objective(false);
+            let fo = fleet.model_objective(k, false);
+            let mut gs = vec![0.0; 2];
+            let mut gf = vec![0.0; 2];
+            for p in &points {
+                let vs = single.value_grad(p, &mut gs);
+                let vf = fo.value_grad(p, &mut gf);
+                assert_eq!(vs.to_bits(), vf.to_bits(), "value, model {k}");
+                for (a, b) in gs.iter().zip(&gf) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "grad, model {k}");
+                }
+            }
+            // Wrong arity poisons the gradient and returns ∞, like the
+            // standalone twin.
+            assert_eq!(fo.value_grad(&[1.0], &mut gf), f64::INFINITY);
+            // Batch gradient hook agrees pointwise with the sequential
+            // value_grad (the lockstep-vs-sequential invariant).
+            let bo = fleet.model_batch_objective(k);
+            let mut values = Vec::new();
+            let mut grads = Vec::new();
+            bo.eval_grad_batch(&points, &mut values, &mut grads);
+            for (i, p) in points.iter().enumerate() {
+                let v = fo.value_grad(p, &mut gf);
+                assert_eq!(values[i].to_bits(), v.to_bits(), "batch value {i}");
+                for (a, b) in grads[i * 2..i * 2 + 2].iter().zip(&gf) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "batch grad {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gd_lockstep_on_the_fleet_equals_sequential_gd() {
+        use safety_opt_optim::gradient::GradientDescent;
+        use safety_opt_optim::multistart::MultiStart;
+        use safety_opt_optim::Minimizer;
+
+        let models = family(3);
+        let fleet = CompiledFleet::compile_with_threads(&models, 2).unwrap();
+        let domain = models[0].space().domain().unwrap();
+        for k in 0..models.len() {
+            let lockstep = MultiStart::new(GradientDescent::default(), 3)
+                .minimize_batch(&fleet.model_batch_objective(k), &domain)
+                .unwrap();
+            let sequential = MultiStart::new(GradientDescent::default(), 3)
+                .minimize_differentiable(&fleet.model_objective(k, false), &domain)
+                .unwrap();
+            assert_eq!(lockstep.best_x, sequential.best_x, "model {k}");
+            assert_eq!(
+                lockstep.best_value.to_bits(),
+                sequential.best_value.to_bits(),
+                "model {k}"
+            );
+            assert_eq!(lockstep.evaluations, sequential.evaluations, "model {k}");
+            assert_eq!(lockstep.iterations, sequential.iterations, "model {k}");
+            assert_eq!(lockstep.termination, sequential.termination, "model {k}");
         }
     }
 

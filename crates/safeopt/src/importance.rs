@@ -148,8 +148,14 @@ fn hazard_importance(
             }
         }
     }
-    let tape = plan.leaf_tape();
-    let (p_top, birnbaum) = tape.eval_grad(&q);
+    // The leaf tape is compiled once per hazard and cached on the
+    // `ExactHazard` (telemetry: `core.importance.leaf_tape_cache_hit`),
+    // so repeated importance sweeps stop paying a recompilation per
+    // call; the gradient itself routes through the batch evaluator —
+    // the same `ExecBackend` seam every other gradient consumer uses.
+    let tape = exact.leaf_tape();
+    let (p, grads) = safety_opt_engine::BatchEvaluator::new(tape, 1).eval_grad_batch(&[&q[..]]);
+    let (p_top, birnbaum) = (p[0], grads);
     let mut leaves = Vec::new();
     for leaf in 0..plan.num_leaves() {
         if !used[leaf] {
@@ -280,6 +286,22 @@ mod tests {
             assert!((leaf.raw - o.raw).abs() < 1e-9);
             assert!((leaf.rrw - o.rrw).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn leaf_tape_is_compiled_once_and_cached_across_sweeps() {
+        let model = spof_model();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let exact = compiled.hazards()[0].exact().unwrap();
+        // First access compiles; every later access — including the ones
+        // inside repeated importance sweeps — must hand back the same
+        // cached tape.
+        let first: *const safety_opt_engine::Tape = exact.leaf_tape();
+        let a = ImportanceReport::at_point(&compiled, &[5.0]).unwrap();
+        let b = ImportanceReport::at_point(&compiled, &[5.0]).unwrap();
+        assert_eq!(a, b);
+        let again: *const safety_opt_engine::Tape = exact.leaf_tape();
+        assert!(std::ptr::eq(first, again), "leaf tape must be cached");
     }
 
     #[test]

@@ -106,7 +106,20 @@ pub struct ExactHazard {
     pub(crate) leaf_exprs: Vec<Option<ProbExpr>>,
     /// Per leaf index: the tree's leaf name.
     pub(crate) leaf_names: Vec<String>,
+    /// Lazily compiled leaf tape of [`plan`](Self::plan), shared across
+    /// every consumer of this hazard (the `Arc<ExactHazard>` is cloned
+    /// into [`crate::compile::CompiledModel`]), so repeated importance
+    /// sweeps pay one compilation instead of one per
+    /// [`crate::importance::ImportanceReport::at_point`] call.
+    leaf_tape: std::sync::OnceLock<safety_opt_engine::Tape>,
 }
+
+/// Leaf-tape cache reuse (a call found the tape already compiled).
+static LEAF_TAPE_CACHE_HITS: safety_opt_telemetry::Counter =
+    safety_opt_telemetry::Counter::new("core.importance.leaf_tape_cache_hit");
+/// Leaf-tape compilations (first call per hazard).
+static LEAF_TAPE_COMPILES: safety_opt_telemetry::Counter =
+    safety_opt_telemetry::Counter::new("core.importance.leaf_tape_compile");
 
 impl ExactHazard {
     /// The exported modular Shannon decomposition.
@@ -122,6 +135,24 @@ impl ExactHazard {
     /// The tree name of leaf `leaf`.
     pub fn leaf_name(&self, leaf: usize) -> &str {
         &self.leaf_names[leaf]
+    }
+
+    /// The plan's compiled leaf tape (inputs = leaf probabilities),
+    /// compiled on first use and cached for the lifetime of the hazard.
+    /// Cache hits and compilations are counted in telemetry
+    /// (`core.importance.leaf_tape_cache_hit` / `…_compile`).
+    pub fn leaf_tape(&self) -> &safety_opt_engine::Tape {
+        let mut compiled = false;
+        let tape = self.leaf_tape.get_or_init(|| {
+            compiled = true;
+            self.plan.leaf_tape()
+        });
+        if compiled {
+            LEAF_TAPE_COMPILES.add(1);
+        } else {
+            LEAF_TAPE_CACHE_HITS.add(1);
+        }
+        tape
     }
 
     /// Exact hazard probability at a parameter point: evaluates each
@@ -364,6 +395,7 @@ impl Hazard {
                 plan,
                 leaf_exprs,
                 leaf_names,
+                leaf_tape: std::sync::OnceLock::new(),
             })),
         })
     }

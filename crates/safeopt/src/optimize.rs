@@ -13,9 +13,12 @@
 use crate::model::SafetyModel;
 use crate::param::ParameterPoint;
 use crate::Result;
+use safety_opt_optim::gradient::GradientDescent;
 use safety_opt_optim::multistart::MultiStart;
 use safety_opt_optim::nelder_mead::NelderMead;
-use safety_opt_optim::{BatchObjective, Minimizer, OptimizationOutcome, TraceHook};
+use safety_opt_optim::{
+    BatchDifferentiableObjective, BatchObjective, Minimizer, OptimizationOutcome, TraceHook,
+};
 use std::sync::Arc;
 
 /// The result of a safety optimization run.
@@ -93,6 +96,7 @@ pub struct SafetyOptimizer<'m> {
     model: &'m SafetyModel,
     minimizer: Option<&'m dyn Minimizer>,
     batch_objective: Option<&'m dyn BatchObjective>,
+    batch_differentiable: Option<&'m dyn BatchDifferentiableObjective>,
     starts: usize,
     hook: Option<Arc<dyn TraceHook>>,
 }
@@ -103,6 +107,7 @@ impl std::fmt::Debug for SafetyOptimizer<'_> {
             .field("model", &self.model)
             .field("custom_minimizer", &self.minimizer.is_some())
             .field("batch_objective", &self.batch_objective.is_some())
+            .field("batch_differentiable", &self.batch_differentiable.is_some())
             .field("starts", &self.starts)
             .field("hook", &self.hook.is_some())
             .finish()
@@ -117,6 +122,7 @@ impl<'m> SafetyOptimizer<'m> {
             model,
             minimizer: None,
             batch_objective: None,
+            batch_differentiable: None,
             starts: 8,
             hook: None,
         }
@@ -156,6 +162,31 @@ impl<'m> SafetyOptimizer<'m> {
         self
     }
 
+    /// Supplies a precompiled **gradient-capable** batch objective (e.g.
+    /// one model of a [`crate::fleet::CompiledFleet`] via
+    /// [`crate::fleet::CompiledFleet::model_batch_objective`]). The
+    /// default strategy then becomes multi-start gradient descent whose
+    /// restarts step **in lockstep**, submitting one analytic-adjoint
+    /// gradient batch per round
+    /// ([`MultiStart::minimize_batch`](MultiStart::<GradientDescent>::minimize_batch))
+    /// — every value+gradient the restarts need lands on the engine's
+    /// SoA adjoint sweep as a single `[points × dims]` batch instead of
+    /// `starts` separate tape walks. A custom
+    /// [`with_minimizer`](Self::with_minimizer) takes precedence;
+    /// this hook takes precedence over the derivative-free
+    /// [`with_batch_objective`](Self::with_batch_objective).
+    ///
+    /// Trajectories are pinned bit-identical to running the same
+    /// gradient-descent restarts sequentially against the per-model
+    /// scalar objective (see the fleet golden tests).
+    pub fn with_batch_differentiable_objective(
+        mut self,
+        objective: &'m dyn BatchDifferentiableObjective,
+    ) -> Self {
+        self.batch_differentiable = Some(objective);
+        self
+    }
+
     /// Number of restarts used by the default strategy (ignored with a
     /// custom minimizer).
     pub fn starts(mut self, starts: usize) -> Self {
@@ -191,8 +222,12 @@ impl<'m> SafetyOptimizer<'m> {
         self.model.validate()?;
         let domain = self.model.space().domain()?;
 
-        let outcome = match (self.minimizer, self.batch_objective) {
-            (Some(m), _) => {
+        let outcome = match (
+            self.minimizer,
+            self.batch_differentiable,
+            self.batch_objective,
+        ) {
+            (Some(m), _, _) => {
                 let compiled = crate::compile::CompiledModel::compile(self.model)?;
                 let f = compiled.objective(true);
                 // The differentiable entry point: gradient-based
@@ -202,14 +237,24 @@ impl<'m> SafetyOptimizer<'m> {
                 // trait's default implementation.
                 m.minimize_differentiable(&f, &domain)?
             }
-            (None, Some(batch)) => {
+            (None, Some(batch), _) => {
+                // Gradient-capable batch hook: multi-start gradient
+                // descent in lockstep, one analytic-gradient batch per
+                // round through the SoA adjoint backend.
+                let mut ms = MultiStart::new(GradientDescent::default(), self.starts);
+                if let Some(hook) = &self.hook {
+                    ms = ms.with_trace_hook(Arc::clone(hook));
+                }
+                ms.minimize_batch(batch, &domain)?
+            }
+            (None, None, Some(batch)) => {
                 let mut ms = MultiStart::new(NelderMead::default(), self.starts);
                 if let Some(hook) = &self.hook {
                     ms = ms.with_trace_hook(Arc::clone(hook));
                 }
                 ms.minimize_batch(batch, &domain)?
             }
-            (None, None) => {
+            (None, None, None) => {
                 let compiled = crate::compile::CompiledModel::compile(self.model)?;
                 let f = compiled.objective(true);
                 let mut ms = MultiStart::new(NelderMead::default(), self.starts);

@@ -196,9 +196,12 @@ where
     // Fleet path: one shared-arena compilation for the whole batch
     // (samples that fail to compile are rolled back and counted as
     // failures, like every other per-sample fault); each sample's
-    // multi-start restarts then run in lockstep against its masked
-    // fleet objective, submitting every restart's probes as one batch
-    // per round (`MultiStart::minimize_batch`).
+    // multi-start gradient-descent restarts then run in lockstep
+    // against its masked fleet objective, submitting every restart's
+    // value+gradient probes as one analytic-adjoint batch per round
+    // (`MultiStart::minimize_batch` over the engine's SoA adjoint
+    // sweep) — bit-identical to optimizing each sample sequentially
+    // with the same gradient-descent restarts.
     let models = sample_models(&mut sampler, runs, seed)?;
     let (fleet, slots) =
         CompiledFleet::compile_partial(&models, safety_opt_engine::default_threads());
@@ -213,7 +216,7 @@ where
                 let objective = fleet.model_batch_objective(k);
                 SafetyOptimizer::new(model)
                     .starts(4)
-                    .with_batch_objective(&objective)
+                    .with_batch_differentiable_objective(&objective)
                     .run()
             }
             Err(e) => Err(e),

@@ -2,13 +2,18 @@
 //! `optimize_under_uncertainty` must return **`PartialEq`-identical**
 //! reports for the same seed across the fleet rewiring.
 //!
-//! The literals below were pinned from the pre-fleet sequential path
-//! (sample → compile each model alone → evaluate/optimize one at a
-//! time) at the commit that introduced the fleet; the fleet path — one
-//! shared-arena compilation per Monte-Carlo batch, lockstep multi-start
-//! restarts — must reproduce them bit for bit, and stay bit-identical
-//! for every engine thread count (CI runs this suite under
-//! `SAFETY_OPT_THREADS=1` and `=4`).
+//! The `propagate` literals below were pinned from the pre-fleet
+//! sequential path (sample → compile each model alone → evaluate one at
+//! a time) at the commit that introduced the fleet; the
+//! `optimize_under_uncertainty` literals were re-pinned when the
+//! per-sample optimizer switched from lockstep Nelder–Mead to lockstep
+//! **gradient descent over analytic adjoint batches**, and are asserted
+//! against a live sequential reference (compile each sampled model
+//! alone, run the same gradient-descent restarts one at a time). The
+//! fleet path — one shared-arena compilation per Monte-Carlo batch,
+//! lockstep multi-start restarts — must reproduce both bit for bit, and
+//! stay bit-identical for every engine thread count (CI runs this suite
+//! under `SAFETY_OPT_THREADS=1` and `=4`).
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -94,26 +99,63 @@ fn propagate_reproduces_the_pre_fleet_sequential_path() {
 }
 
 #[test]
-fn optimize_under_uncertainty_reproduces_the_pre_fleet_sequential_path() {
-    let dist = optimize_under_uncertainty(golden_sampler, 12, 9).unwrap();
+fn optimize_under_uncertainty_reproduces_a_sequential_gradient_descent_reference() {
+    // Live reference: the exact pre-fleet per-sample loop — compile
+    // each sampled model alone, run the same 4 gradient-descent
+    // restarts sequentially over the uncached scalar objective (the
+    // lockstep fleet path is also uncached), fold the same statistics.
+    use rand::SeedableRng;
+    use safety_opt_core::compile::CompiledModel;
+    use safety_opt_optim::gradient::GradientDescent;
+    use safety_opt_optim::multistart::MultiStart;
+    use safety_opt_optim::Minimizer;
+
+    let (runs, seed) = (12, 9);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arg_min = RunningStats::new();
+    let mut min_cost = RunningStats::new();
+    for _ in 0..runs {
+        let model = golden_sampler(&mut rng).unwrap();
+        let compiled = CompiledModel::compile(&model).unwrap();
+        let domain = model.space().domain().unwrap();
+        let objective = compiled.objective(false);
+        let outcome = MultiStart::new(GradientDescent::default(), 4)
+            .minimize_differentiable(&objective, &domain)
+            .unwrap();
+        arg_min.push(outcome.best_x[0]);
+        min_cost.push(outcome.best_value);
+    }
+
+    let dist = optimize_under_uncertainty(golden_sampler, runs, seed).unwrap();
     assert_eq!(dist.runs, 12);
     assert_eq!(dist.failures, 0);
     assert_eq!(dist.arg_min.len(), 1);
+    assert_eq!(
+        dist.arg_min[0], arg_min,
+        "arg-min stats must be bit-identical"
+    );
+    assert_eq!(
+        dist.min_cost, min_cost,
+        "min-cost stats must be bit-identical"
+    );
+
+    // Pinned literals on top of the live reference, so a drift in *both*
+    // paths at once (e.g. an engine kernel change) still trips CI.
     assert_stat(
         &dist.arg_min[0],
         12,
-        14.814649025599161,
-        0.0038703896112827272,
-        14.699268341064453,
-        14.939861297607422,
+        14.81464969579529,
+        0.0038705380142200346,
+        14.699265137314796,
+        14.93986576795578,
     );
     assert_stat(
         &dist.min_cost,
         12,
-        0.42697112442628643,
-        0.0033500470741283624,
-        0.3388153344524988,
-        0.5024796277095748,
+        0.4269711244262155,
+        0.003350047074130327,
+        0.33881533445235756,
+        0.5024796277095301,
     );
 }
 

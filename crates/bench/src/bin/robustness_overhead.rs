@@ -1,0 +1,178 @@
+//! E13 — robustness overhead: points/sec of the compiled-tape batch path
+//! on the Elbtunnel cost function through the fault-tolerant entry
+//! points, against the infallible baseline measured first in the same
+//! process.
+//!
+//! The fault-injection harness and the panic-isolated pool are
+//! contractually near-free when disarmed; this bench enforces the cost
+//! side of that contract (the chaos suite enforces the behavioral side):
+//!
+//! * `guarded` (disarmed failpoints, `try_costs` through the
+//!   `catch_unwind`-per-chunk pool): ≥ 0.99× the infallible baseline —
+//!   the disarmed fast path is one relaxed atomic load per chunk, and
+//!   `catch_unwind` on the never-unwinding path is free,
+//! * `deadline` (same plus a generous cooperative deadline checked
+//!   per chunk): recorded but not gated (one `Instant::now` per chunk),
+//! * bit-identity between the baseline and the guarded sweep is
+//!   asserted in-process before anything is timed.
+//!
+//! Writes `BENCH_robustness.json` at the workspace root in the shared
+//! [`safety_opt_bench::BenchReport`] schema.
+//!
+//! Run with: `cargo run --release -p safety_opt_bench --bin robustness_overhead`
+//!
+//! With `--enforce`, exits non-zero when the gate fails — CI runs this
+//! gated: within each interleaved round the modes run back-to-back and
+//! the gate takes the best per-round ratio, so genuine overhead (which
+//! shows in every round) fails the gate while a one-round runner stall
+//! does not.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safety_opt_bench::{bench_timestamp, measure, BenchReport};
+use safety_opt_core::compile::CompiledModel;
+use safety_opt_elbtunnel::analytic::ElbtunnelModel;
+use safety_opt_engine::EvalDeadline;
+use std::time::Duration;
+
+/// Points in the measurement working set (matches `engine_throughput`).
+const N_POINTS: usize = 20_000;
+/// Acceptance threshold: guarded vs baseline throughput ratio (≤1%
+/// loss with every failpoint disarmed).
+const GUARDED_FLOOR: f64 = 0.99;
+/// Interleaved measurement rounds per mode (best pass wins). More
+/// rounds than the other overhead benches: the gate is a 1% floor on a
+/// path whose true overhead is one atomic load, so the estimate must
+/// sit below the runner's pass-to-pass jitter.
+const ROUNDS: usize = 6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let enforce = std::env::args().any(|a| a == "--enforce");
+    println!("# Robustness overhead — Elbtunnel cost function, fault-tolerant batch path\n");
+
+    let paper = ElbtunnelModel::paper();
+    let model = paper.build()?;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let compiled = CompiledModel::compile_with_threads(&model, threads)?;
+
+    let mut rng = StdRng::seed_from_u64(0x5AFE_2004);
+    let (lo, hi) = paper.timer_domain;
+    let points: Vec<Vec<f64>> = (0..N_POINTS)
+        .map(|_| {
+            vec![
+                lo + rng.gen::<f64>() * (hi - lo),
+                lo + rng.gen::<f64>() * (hi - lo),
+            ]
+        })
+        .collect();
+
+    // Bit-identity between the infallible path and the guarded path is
+    // part of the robustness contract — assert it before timing.
+    let reference = compiled.cost_batch(&points)?;
+    let guarded = compiled.try_cost_batch(&points, None)?;
+    assert_eq!(
+        reference, guarded,
+        "the guarded sweep must be bit-identical to the infallible path"
+    );
+    let far_away = EvalDeadline::after(Duration::from_secs(24 * 3600));
+    let with_deadline = compiled.try_cost_batch(&points, Some(&far_away))?;
+    assert_eq!(
+        reference, with_deadline,
+        "a generous deadline must not change a single bit"
+    );
+
+    // Interleave the modes across several rounds; within a round the
+    // modes run back-to-back, so slow drift on a shared runner
+    // (thermal, co-tenants) cancels out of the per-round ratio. The
+    // gate takes the **best per-round ratio**: genuine overhead shows
+    // up in every round, while a stall that happens to land on the
+    // guarded slot of one round does not fail the bench. The reported
+    // throughputs are still each mode's best pass across all rounds.
+    enum Mode {
+        Infallible,
+        Guarded,
+        Deadline,
+    }
+    let mode_plan = [
+        ("baseline", "baseline (infallible)", Mode::Infallible),
+        ("guarded", "guarded (try, disarmed)", Mode::Guarded),
+        ("deadline", "guarded + deadline", Mode::Deadline),
+    ];
+    let mut best: Vec<Option<safety_opt_bench::Measurement>> = vec![None; mode_plan.len()];
+    let mut ratio_guarded = f64::NEG_INFINITY;
+    let mut ratio_deadline = f64::NEG_INFINITY;
+    for round in 0..ROUNDS {
+        println!("-- round {} of {ROUNDS} --", round + 1);
+        let mut round_pps = [0.0f64; 3];
+        for (slot, (key, label, mode)) in mode_plan.iter().enumerate() {
+            let m = measure(key, label, "points/sec", N_POINTS, || {
+                let costs = match mode {
+                    Mode::Infallible => compiled.cost_batch(&points),
+                    Mode::Guarded => compiled.try_cost_batch(&points, None),
+                    Mode::Deadline => compiled.try_cost_batch(&points, Some(&far_away)),
+                };
+                costs.map(|v| v.iter().sum()).unwrap_or(0.0)
+            });
+            round_pps[slot] = m.points_per_sec;
+            match &mut best[slot] {
+                Some(b) => {
+                    b.points_per_sec = b.points_per_sec.max(m.points_per_sec);
+                    b.total_points += m.total_points;
+                    b.seconds += m.seconds;
+                }
+                empty => *empty = Some(m),
+            }
+        }
+        ratio_guarded = ratio_guarded.max(round_pps[1] / round_pps[0]);
+        ratio_deadline = ratio_deadline.max(round_pps[2] / round_pps[0]);
+    }
+    let mut it = best.into_iter().map(|m| m.expect("every mode measured"));
+    let (baseline, guarded, deadline) =
+        (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+
+    let pass = ratio_guarded >= GUARDED_FLOOR;
+
+    println!();
+    println!("guarded vs baseline    : {ratio_guarded:.4}  (best round; floor {GUARDED_FLOOR})");
+    println!("deadline vs baseline   : {ratio_deadline:.4}  (best round; not gated)");
+    println!("threads                : {threads}");
+    println!(
+        "verdict                : {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let timestamp = bench_timestamp();
+    let modes = [baseline, guarded, deadline];
+    BenchReport {
+        name: "robustness_overhead",
+        workload: "elbtunnel_paper",
+        threads,
+        timestamp: &timestamp,
+        extras: vec![("n_points", N_POINTS.to_string())],
+        modes: &modes,
+        speedups: vec![
+            ("guarded_vs_baseline", ratio_guarded),
+            ("deadline_vs_baseline", ratio_deadline),
+        ],
+        target: Some(("guarded_vs_baseline", GUARDED_FLOOR)),
+        pass,
+    }
+    .write("robustness");
+
+    if !pass {
+        eprintln!(
+            "robustness_overhead: overhead gate failed{}",
+            if enforce {
+                ""
+            } else {
+                " (not enforced; pass --enforce to gate)"
+            }
+        );
+        if enforce {
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

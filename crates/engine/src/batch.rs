@@ -15,9 +15,14 @@
 //! Workers own their scratch buffers; steady-state evaluation performs no
 //! allocation beyond the output vectors.
 
+use crate::error::{EngineError, EvalDeadline};
 use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
+use crate::faultinject;
 use crate::grad::{AdjointFile, GradWorkspace};
 use crate::tape::Tape;
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Mutex, PoisonError};
 
 use safety_opt_telemetry as telemetry;
 
@@ -104,28 +109,65 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the tape.
+    /// Panics if any point's arity mismatches the tape, resuming the
+    /// worker's own panic (see [`try_costs`](Self::try_costs) for the
+    /// isolating variant).
     pub fn costs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> Vec<f64> {
+        unwrap_engine(self.try_costs(points, None))
+    }
+
+    /// Fallible twin of [`costs`](Self::costs): every chunk runs under
+    /// [`std::panic::catch_unwind`], and `deadline` (when given) is
+    /// checked cooperatively before each chunk starts.
+    ///
+    /// On success the costs are bit-identical to [`costs`](Self::costs)
+    /// for every thread count and backend. On error the evaluation is
+    /// **all-or-nothing**: no partial results are returned, no shared
+    /// state is poisoned (worker pools are per-call scopes), and an
+    /// identical retry succeeds bit-identically once the fault is gone.
+    /// When several chunks fail, the error from the lowest-indexed chunk
+    /// wins, keeping the reported failure as deterministic as the
+    /// results it replaces.
+    pub fn try_costs<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>, EngineError> {
         let mut costs = vec![0.0; points.len()];
         if self.sequential(points.len()) {
-            self.runner().run(points, &mut costs, None);
-            return costs;
+            let mut runner = self.runner();
+            for (idx, (pts, out)) in points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .enumerate()
+            {
+                run_chunk(idx, deadline, || runner.run(pts, out, None))?;
+            }
+            return Ok(costs);
         }
+        let first_err = FirstError::default();
         let assignments = round_robin(
             self.threads,
-            points.chunks(self.chunk).zip(costs.chunks_mut(self.chunk)),
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .enumerate(),
         );
         std::thread::scope(|scope| {
             for units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.runner();
-                    for (pts, out) in units {
-                        runner.run(pts, out, None);
+                    for (idx, (pts, out)) in units {
+                        if let Err(e) = run_chunk(idx, deadline, || runner.run(pts, out, None)) {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        costs
+        first_err.into_result(costs)
     }
 
     /// Evaluates cost **and** per-output (hazard) values at every point.
@@ -134,35 +176,62 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the tape.
+    /// Panics if any point's arity mismatches the tape (see
+    /// [`try_costs_and_outputs`](Self::try_costs_and_outputs) for the
+    /// isolating variant).
     pub fn costs_and_outputs<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> (Vec<f64>, Vec<f64>) {
+        unwrap_engine(self.try_costs_and_outputs(points, None))
+    }
+
+    /// Fallible twin of [`costs_and_outputs`](Self::costs_and_outputs);
+    /// same panic-isolation, deadline, and all-or-nothing contract as
+    /// [`try_costs`](Self::try_costs).
+    pub fn try_costs_and_outputs<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>), EngineError> {
         let n_out = self.tape.n_outputs();
         let mut costs = vec![0.0; points.len()];
         let mut outputs = vec![0.0; points.len() * n_out];
         let row = n_out.max(1);
         if self.sequential(points.len()) {
-            self.runner().run(points, &mut costs, Some(&mut outputs));
-            return (costs, outputs);
+            let mut runner = self.runner();
+            for (idx, pts) in points.chunks(self.chunk).enumerate() {
+                let lo = idx * self.chunk;
+                let out = &mut costs[lo..lo + pts.len()];
+                let rows = &mut outputs[lo * n_out..(lo + pts.len()) * n_out];
+                run_chunk(idx, deadline, || runner.run(pts, out, Some(rows)))?;
+            }
+            return Ok((costs, outputs));
         }
+        let first_err = FirstError::default();
         let assignments = round_robin(
             self.threads,
             points
                 .chunks(self.chunk)
                 .zip(costs.chunks_mut(self.chunk))
                 .zip(outputs.chunks_mut(self.chunk * row))
-                .map(|((p, c), o)| (p, c, o)),
+                .map(|((p, c), o)| (p, c, o))
+                .enumerate(),
         );
         std::thread::scope(|scope| {
             for units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.runner();
-                    for (pts, out, rows) in units {
-                        runner.run(pts, out, Some(rows));
+                    for (idx, (pts, out, rows)) in units {
+                        if let Err(e) =
+                            run_chunk(idx, deadline, || runner.run(pts, out, Some(rows)))
+                        {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        (costs, outputs)
+        first_err.into_result((costs, outputs))
     }
 
     /// Evaluates cost **and** cost gradient at every point via the
@@ -181,8 +250,21 @@ impl<'t> BatchEvaluator<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the tape.
+    /// Panics if any point's arity mismatches the tape (see
+    /// [`try_eval_grad_batch`](Self::try_eval_grad_batch) for the
+    /// isolating variant).
     pub fn eval_grad_batch<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> (Vec<f64>, Vec<f64>) {
+        unwrap_engine(self.try_eval_grad_batch(points, None))
+    }
+
+    /// Fallible twin of [`eval_grad_batch`](Self::eval_grad_batch);
+    /// same panic-isolation, deadline, and all-or-nothing contract as
+    /// [`try_costs`](Self::try_costs).
+    pub fn try_eval_grad_batch<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>), EngineError> {
         let dim = self.tape.n_inputs();
         let mut costs = vec![0.0; points.len()];
         let mut grads = vec![0.0; points.len() * dim];
@@ -190,28 +272,42 @@ impl<'t> BatchEvaluator<'t> {
         // zip would yield no work units at all; run it inline (there is
         // nothing to parallelize over anyway).
         if self.sequential(points.len()) || dim == 0 {
-            self.grad_runner().run(points, &mut costs, &mut grads);
-            return (costs, grads);
+            let mut runner = self.grad_runner();
+            for (idx, pts) in points.chunks(self.chunk).enumerate() {
+                let lo = idx * self.chunk;
+                let out = &mut costs[lo..lo + pts.len()];
+                let grad_rows = &mut grads[lo * dim..(lo + pts.len()) * dim];
+                run_chunk(idx, deadline, || runner.run(pts, out, grad_rows))?;
+            }
+            return Ok((costs, grads));
         }
+        let first_err = FirstError::default();
         let assignments = round_robin(
             self.threads,
             points
                 .chunks(self.chunk)
                 .zip(costs.chunks_mut(self.chunk))
                 .zip(grads.chunks_mut(self.chunk * dim))
-                .map(|((p, c), g)| (p, c, g)),
+                .map(|((p, c), g)| (p, c, g))
+                .enumerate(),
         );
         std::thread::scope(|scope| {
             for units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.grad_runner();
-                    for (pts, cost_chunk, grad_chunk) in units {
-                        runner.run(pts, cost_chunk, grad_chunk);
+                    for (idx, (pts, cost_chunk, grad_chunk)) in units {
+                        if let Err(e) =
+                            run_chunk(idx, deadline, || runner.run(pts, cost_chunk, grad_chunk))
+                        {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        (costs, grads)
+        first_err.into_result((costs, grads))
     }
 
     fn sequential(&self, n: usize) -> bool {
@@ -266,6 +362,9 @@ impl<'t> GradRunner<'t> {
     /// Evaluates `pts`, writing one cost per point and the point-major
     /// gradient rows (`pts.len() × n_inputs`).
     fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], grads: &mut [f64]) {
+        if faultinject::should_fail(faultinject::sites::GRAD_CHUNK) {
+            panic!("fault injected: grad.chunk");
+        }
         let _chunk_span = telemetry::span(&CHUNK_NANOS);
         CHUNKS.add(1);
         let dim = self.tape.n_inputs();
@@ -356,6 +455,9 @@ impl<'t> TapeRunner<'t> {
     /// Evaluates `pts`, writing one cost per point and, when `rows` is
     /// given, the point-major output rows (`pts.len() × n_outputs`).
     fn run<P: AsRef<[f64]>>(&mut self, pts: &[P], costs: &mut [f64], mut rows: Option<&mut [f64]>) {
+        if faultinject::should_fail(faultinject::sites::POOL_CHUNK) {
+            panic!("fault injected: pool.chunk");
+        }
         let _chunk_span = telemetry::span(&CHUNK_NANOS);
         CHUNKS.add(1);
         let n_out = self.tape.n_outputs();
@@ -422,6 +524,87 @@ pub(crate) fn round_robin<T>(threads: usize, units: impl Iterator<Item = T>) -> 
         assignments[i % threads].push(unit);
     }
     assignments
+}
+
+/// Runs one work unit for a try-twin: checks the cooperative `deadline`
+/// first, then isolates any panic behind
+/// [`EngineError::WorkerPanicked`]. Chunk indices are assigned before
+/// round-robin sharding, so `chunk` identifies the same points for
+/// every thread count. Shared with the fleet evaluator.
+pub(crate) fn run_chunk(
+    chunk: usize,
+    deadline: Option<&EvalDeadline>,
+    work: impl FnOnce(),
+) -> Result<(), EngineError> {
+    if deadline.is_some_and(EvalDeadline::expired) {
+        return Err(EngineError::DeadlineExceeded { chunk });
+    }
+    // `AssertUnwindSafe` is sound here: on `Err` the caller abandons
+    // every buffer the closure could have half-written (all-or-nothing
+    // contract) and the worker's scratch state dies with its scope.
+    std::panic::catch_unwind(AssertUnwindSafe(work)).map_err(|payload| {
+        EngineError::WorkerPanicked {
+            chunk,
+            payload: payload_string(payload.as_ref()),
+        }
+    })
+}
+
+/// Best-effort text of a caught panic payload (`panic!` produces
+/// `String` or `&'static str`; anything else is opaque).
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// First-error cell shared by a try-twin's workers: when several chunks
+/// fail in one call, the error from the **lowest-indexed** chunk wins,
+/// so the reported failure is as deterministic as the results it
+/// replaces (it never depends on worker timing for deterministic
+/// faults). Shared with the fleet evaluator.
+#[derive(Debug, Default)]
+pub(crate) struct FirstError(Mutex<Option<(usize, EngineError)>>);
+
+impl FirstError {
+    /// Records `err` for `chunk` unless a lower-indexed chunk already
+    /// failed. Recovers from poison: the cell is written only by this
+    /// method, which cannot panic mid-update.
+    pub(crate) fn record(&self, chunk: usize, err: EngineError) {
+        let mut slot = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        match &*slot {
+            Some((winner, _)) if *winner <= chunk => {}
+            _ => *slot = Some((chunk, err)),
+        }
+    }
+
+    /// Consumes the cell: `Ok(ok)` if no worker failed, the winning
+    /// error otherwise.
+    pub(crate) fn into_result<T>(self, ok: T) -> Result<T, EngineError> {
+        match self.0.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some((_, err)) => Err(err),
+            None => Ok(ok),
+        }
+    }
+}
+
+/// Unwraps a try-twin result for the infallible wrappers. A worker
+/// panic resumes unwinding with the captured payload text, preserving
+/// `#[should_panic]`-style observability; other errors cannot occur
+/// without a deadline or armed failpoints, and panic loudly if they
+/// ever do.
+pub(crate) fn unwrap_engine<T>(result: Result<T, EngineError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(EngineError::WorkerPanicked { payload, .. }) => {
+            std::panic::resume_unwind(Box::new(payload))
+        }
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -560,6 +743,98 @@ mod tests {
                 .eval_grad_batch(&points);
             assert!(grads.is_empty());
             assert!(costs.iter().all(|&c| c == 0.5), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_twins_match_infallible_results_bitwise() {
+        let tape = demo_tape();
+        let points = random_points(700, 6);
+        for threads in [1, 4] {
+            let ev = BatchEvaluator::new(&tape, threads).chunk_size(64);
+            assert_eq!(ev.costs(&points), ev.try_costs(&points, None).unwrap());
+            let (c, o) = ev.costs_and_outputs(&points);
+            let (tc, to) = ev.try_costs_and_outputs(&points, None).unwrap();
+            assert_eq!((c, o), (tc, to));
+            let (gc, g) = ev.eval_grad_batch(&points);
+            let (tgc, tg) = ev.try_eval_grad_batch(&points, None).unwrap();
+            assert_eq!((gc, g), (tgc, tg));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_and_retry_succeeds() {
+        let tape = demo_tape();
+        let points = random_points(300, 7);
+        let expired = EvalDeadline::after(std::time::Duration::ZERO);
+        for threads in [1, 4] {
+            let ev = BatchEvaluator::new(&tape, threads).chunk_size(16);
+            match ev.try_costs(&points, Some(&expired)) {
+                Err(EngineError::DeadlineExceeded { .. }) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+            match ev.try_eval_grad_batch(&points, Some(&expired)) {
+                Err(EngineError::DeadlineExceeded { .. }) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+            // The pool is a per-call scope: nothing is poisoned and the
+            // same evaluator answers bit-identically afterwards.
+            let generous = EvalDeadline::after(std::time::Duration::from_secs(3600));
+            assert_eq!(
+                ev.try_costs(&points, Some(&generous)).unwrap(),
+                ev.costs(&points)
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_into_a_typed_error() {
+        let tape = demo_tape();
+        // One malformed (wrong-arity) point per chunk region makes the
+        // runner panic inside a worker; the try twin must surface it as
+        // a typed error instead of tearing the process down.
+        let mut points = random_points(200, 8);
+        points[130] = vec![1.0]; // arity 1 into a 2-input tape
+        for threads in [1, 4] {
+            let ev = BatchEvaluator::new(&tape, threads).chunk_size(16);
+            match ev.try_costs(&points, None) {
+                Err(EngineError::WorkerPanicked { chunk, payload }) => {
+                    assert_eq!(chunk, 130 / 16, "chunk index is deterministic");
+                    assert!(
+                        payload.contains("arity"),
+                        "payload should carry the panic text, got {payload:?}"
+                    );
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+            // Fixing the input makes the identical call succeed — no
+            // state was poisoned by the caught panic.
+            let mut fixed = points.clone();
+            fixed[130] = vec![1.0, 2.0];
+            let a = ev.try_costs(&fixed, None).unwrap();
+            let b = ev.try_costs(&fixed, None).unwrap();
+            assert_eq!(a, b, "retry is bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity mismatch")]
+    fn infallible_wrapper_resumes_the_worker_panic() {
+        let tape = demo_tape();
+        let mut points = random_points(40, 9);
+        points[7] = vec![1.0, 2.0, 3.0];
+        BatchEvaluator::new(&tape, 1).costs(&points);
+    }
+
+    #[test]
+    fn first_error_prefers_the_lowest_chunk() {
+        let cell = FirstError::default();
+        cell.record(5, EngineError::DeadlineExceeded { chunk: 5 });
+        cell.record(2, EngineError::DeadlineExceeded { chunk: 2 });
+        cell.record(9, EngineError::DeadlineExceeded { chunk: 9 });
+        match cell.into_result(()) {
+            Err(EngineError::DeadlineExceeded { chunk }) => assert_eq!(chunk, 2),
+            other => panic!("expected the chunk-2 error, got {other:?}"),
         }
     }
 

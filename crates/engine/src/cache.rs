@@ -12,8 +12,9 @@
 //! of 2⁻³⁰ of a unit is far below any optimizer tolerance in this
 //! workspace) or disable the cache where exactness per point matters.
 
+use crate::faultinject;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use safety_opt_telemetry as telemetry;
 
@@ -105,6 +106,20 @@ impl QuantizedCache {
         Self::new(1e-9)
     }
 
+    /// Locks the map, **recovering** from poison: every write the cache
+    /// performs under the lock is a complete, internally consistent
+    /// `HashMap` operation (or a full `clear`), so a panic unwinding
+    /// through a lock holder — a worker being torn down, or the
+    /// `cache.memo` failpoint — leaves only committed entries behind.
+    /// At worst a half-finished *logical* update means one key is
+    /// absent, which the memo contract treats as a miss and recomputes
+    /// bit-identically. Propagating the poison instead would turn one
+    /// caught panic into a permanent denial of service for every later
+    /// caller.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<Vec<i64>, f64>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn key(&self, x: &[f64]) -> Option<Vec<i64>> {
         x.iter()
             .map(|&v| {
@@ -127,7 +142,7 @@ impl QuantizedCache {
         let Some(key) = self.key(x) else {
             return f();
         };
-        if let Some(&v) = self.map.lock().expect("cache poisoned").get(&key) {
+        if let Some(&v) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Relaxed);
             CACHE_HITS.add(1);
             return v;
@@ -138,7 +153,12 @@ impl QuantizedCache {
         // NaN results are not cached: they signal evaluation failure and
         // callers may want the failure to re-surface per point.
         if !v.is_nan() {
-            let mut map = self.map.lock().expect("cache poisoned");
+            let mut map = self.lock_map();
+            // Deliberately inside the lock scope: the armed chaos run
+            // must prove a panic under the cache lock cannot poison it.
+            if faultinject::should_fail(faultinject::sites::CACHE_MEMO) {
+                panic!("fault injected: cache.memo");
+            }
             if let Some(cap) = self.capacity {
                 if map.len() >= cap {
                     let dropped = map.len() as u64;
@@ -165,7 +185,7 @@ impl QuantizedCache {
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// `true` if nothing has been cached.
@@ -176,7 +196,7 @@ impl QuantizedCache {
     /// Drops all entries (counters are kept; a manual clear is not an
     /// eviction).
     pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").clear();
+        self.lock_map().clear();
     }
 }
 

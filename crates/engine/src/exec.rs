@@ -169,7 +169,7 @@ pub enum MathMode {
 pub fn math_mode() -> MathMode {
     static MODE: std::sync::OnceLock<MathMode> = std::sync::OnceLock::new();
     *MODE.get_or_init(|| {
-        parse_math_override(std::env::var("SAFETY_OPT_MATH").ok().as_deref())
+        parse_math_override(crate::env::var("SAFETY_OPT_MATH").as_deref())
             .unwrap_or(MathMode::Exact)
     })
 }
@@ -177,18 +177,12 @@ pub fn math_mode() -> MathMode {
 /// Parses a `SAFETY_OPT_MATH` override: `None`/empty means "unset"
 /// (use the exact default); anything else must name a mode.
 fn parse_math_override(value: Option<&str>) -> Option<MathMode> {
-    let raw = value?.trim();
-    if raw.is_empty() {
-        return None;
-    }
-    match raw.to_ascii_lowercase().as_str() {
-        "exact" => Some(MathMode::Exact),
-        "relaxed" => Some(MathMode::Relaxed),
-        _ => panic!(
-            "SAFETY_OPT_MATH must be \"exact\" or \"relaxed\", got {raw:?} \
-             (unset it to use the exact default)"
-        ),
-    }
+    crate::env::parse_choice(
+        "SAFETY_OPT_MATH",
+        value,
+        &[("exact", MathMode::Exact), ("relaxed", MathMode::Relaxed)],
+        "unset it to use the exact default",
+    )
 }
 
 /// `true` when the process-level [`math_mode`] is [`MathMode::Relaxed`].
@@ -220,7 +214,7 @@ pub(crate) fn relaxed_math() -> bool {
 pub fn default_backend() -> ExecBackend {
     static DEFAULT: std::sync::OnceLock<ExecBackend> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        parse_backend_override(std::env::var("SAFETY_OPT_BACKEND").ok().as_deref())
+        parse_backend_override(crate::env::var("SAFETY_OPT_BACKEND").as_deref())
             .unwrap_or(ExecBackend::Soa)
     })
 }
@@ -228,18 +222,12 @@ pub fn default_backend() -> ExecBackend {
 /// Parses a `SAFETY_OPT_BACKEND` override: `None`/empty means "unset"
 /// (use the SoA default); anything else must name a backend.
 fn parse_backend_override(value: Option<&str>) -> Option<ExecBackend> {
-    let raw = value?.trim();
-    if raw.is_empty() {
-        return None;
-    }
-    match raw.to_ascii_lowercase().as_str() {
-        "scalar" => Some(ExecBackend::Scalar),
-        "soa" => Some(ExecBackend::Soa),
-        _ => panic!(
-            "SAFETY_OPT_BACKEND must be \"scalar\" or \"soa\", got {raw:?} \
-             (unset it to use the SoA default)"
-        ),
-    }
+    crate::env::parse_choice(
+        "SAFETY_OPT_BACKEND",
+        value,
+        &[("scalar", ExecBackend::Scalar), ("soa", ExecBackend::Soa)],
+        "unset it to use the SoA default",
+    )
 }
 
 /// Lane-blocked SoA register file: register `r`'s value for lane `l`

@@ -51,8 +51,10 @@
 //! assert_eq!(costs[1], standalone.build().eval(&[10.0]));
 //! ```
 
-use crate::batch::round_robin;
+use crate::batch::{round_robin, run_chunk, unwrap_engine, FirstError};
+use crate::error::{EngineError, EvalDeadline};
 use crate::exec::{dispatch_lanes, supported_lanes, ExecBackend, LaneFile, DEFAULT_LANES};
+use crate::faultinject;
 use crate::grad::{AdjointFile, GradWorkspace};
 use crate::tape::{Op, Tape, TapeBuilder, Value};
 use std::ops::Range;
@@ -468,9 +470,26 @@ impl<'f> FleetEvaluator<'f> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the fleet.
+    /// Panics if any point's arity mismatches the fleet (see
+    /// [`try_costs_all`](Self::try_costs_all) for the isolating
+    /// variant).
     pub fn costs_all<P: AsRef<[f64]> + Sync>(&self, points: &[P]) -> Vec<f64> {
-        self.costs_and_outputs_all_impl(points, false).0
+        unwrap_engine(self.try_costs_all(points, None))
+    }
+
+    /// Fallible twin of [`costs_all`](Self::costs_all): chunks run
+    /// under `catch_unwind` and `deadline` is checked cooperatively
+    /// before each chunk. Same all-or-nothing, nothing-poisoned,
+    /// lowest-chunk-wins contract as
+    /// [`crate::batch::BatchEvaluator::try_costs`].
+    pub fn try_costs_all<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>, EngineError> {
+        Ok(self
+            .try_costs_and_outputs_all_impl(points, false, deadline)?
+            .0)
     }
 
     /// Costs **and** per-output values of every model at every point.
@@ -481,19 +500,33 @@ impl<'f> FleetEvaluator<'f> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the fleet.
+    /// Panics if any point's arity mismatches the fleet (see
+    /// [`try_costs_and_outputs_all`](Self::try_costs_and_outputs_all)
+    /// for the isolating variant).
     pub fn costs_and_outputs_all<P: AsRef<[f64]> + Sync>(
         &self,
         points: &[P],
     ) -> (Vec<f64>, Vec<f64>) {
-        self.costs_and_outputs_all_impl(points, true)
+        unwrap_engine(self.try_costs_and_outputs_all(points, None))
     }
 
-    fn costs_and_outputs_all_impl<P: AsRef<[f64]> + Sync>(
+    /// Fallible twin of
+    /// [`costs_and_outputs_all`](Self::costs_and_outputs_all); same
+    /// contract as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_costs_and_outputs_all<P: AsRef<[f64]> + Sync>(
+        &self,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>), EngineError> {
+        self.try_costs_and_outputs_all_impl(points, true, deadline)
+    }
+
+    fn try_costs_and_outputs_all_impl<P: AsRef<[f64]> + Sync>(
         &self,
         points: &[P],
         want_outputs: bool,
-    ) -> (Vec<f64>, Vec<f64>) {
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>), EngineError> {
         let fleet = self.fleet;
         let n_models = fleet.n_models();
         let width = fleet.total_outputs();
@@ -509,12 +542,21 @@ impl<'f> FleetEvaluator<'f> {
             }
         ];
         if points.is_empty() || n_models == 0 {
-            return (costs, outputs);
+            return Ok((costs, outputs));
         }
         if self.sequential(points.len()) {
-            self.runner()
-                .run_all(points, &mut costs, keep_outputs.then_some(&mut outputs[..]));
-            return (costs, outputs);
+            let mut runner = self.runner();
+            for (idx, pts) in points.chunks(self.chunk).enumerate() {
+                let lo = idx * self.chunk;
+                let c = &mut costs[lo * n_models..(lo + pts.len()) * n_models];
+                let o = if keep_outputs {
+                    Some(&mut outputs[lo * width..(lo + pts.len()) * width])
+                } else {
+                    None
+                };
+                run_chunk(idx, deadline, || runner.run_all(pts, c, o))?;
+            }
+            return Ok((costs, outputs));
         }
         /// One worker unit: a chunk of points, its cost rows, and (when
         /// outputs are kept) its output rows.
@@ -533,18 +575,25 @@ impl<'f> FleetEvaluator<'f> {
                 .map(|(p, c)| (p, c, None))
                 .collect()
         };
-        let assignments = round_robin(self.threads, units.into_iter());
+        let first_err = FirstError::default();
+        let assignments = round_robin(self.threads, units.into_iter().enumerate());
         std::thread::scope(|scope| {
             for worker_units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.runner();
-                    for (pts, c_rows, o_rows) in worker_units {
-                        runner.run_all(pts, c_rows, o_rows);
+                    for (idx, (pts, c_rows, o_rows)) in worker_units {
+                        if let Err(e) =
+                            run_chunk(idx, deadline, || runner.run_all(pts, c_rows, o_rows))
+                        {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        (costs, outputs)
+        first_err.into_result((costs, outputs))
     }
 
     /// Costs of **one model** at every point through its reachability
@@ -553,28 +602,58 @@ impl<'f> FleetEvaluator<'f> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the fleet.
+    /// Panics if any point's arity mismatches the fleet (see
+    /// [`try_model_costs`](Self::try_model_costs) for the isolating
+    /// variant).
     pub fn model_costs<P: AsRef<[f64]> + Sync>(&self, model: usize, points: &[P]) -> Vec<f64> {
+        unwrap_engine(self.try_model_costs(model, points, None))
+    }
+
+    /// Fallible twin of [`model_costs`](Self::model_costs); same
+    /// contract as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_model_costs<P: AsRef<[f64]> + Sync>(
+        &self,
+        model: usize,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>, EngineError> {
         let mut costs = vec![0.0; points.len()];
         if self.sequential(points.len()) {
-            self.runner().run_model(model, points, &mut costs);
-            return costs;
+            let mut runner = self.runner();
+            for (idx, (pts, out)) in points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .enumerate()
+            {
+                run_chunk(idx, deadline, || runner.run_model(model, pts, out))?;
+            }
+            return Ok(costs);
         }
+        let first_err = FirstError::default();
         let assignments = round_robin(
             self.threads,
-            points.chunks(self.chunk).zip(costs.chunks_mut(self.chunk)),
+            points
+                .chunks(self.chunk)
+                .zip(costs.chunks_mut(self.chunk))
+                .enumerate(),
         );
         std::thread::scope(|scope| {
             for units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.runner();
-                    for (pts, out) in units {
-                        runner.run_model(model, pts, out);
+                    for (idx, (pts, out)) in units {
+                        if let Err(e) =
+                            run_chunk(idx, deadline, || runner.run_model(model, pts, out))
+                        {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        costs
+        first_err.into_result(costs)
     }
 
     /// Costs **and** cost gradients of **one model** at every point via
@@ -589,41 +668,69 @@ impl<'f> FleetEvaluator<'f> {
     ///
     /// # Panics
     ///
-    /// Panics if any point's arity mismatches the fleet.
+    /// Panics if any point's arity mismatches the fleet (see
+    /// [`try_model_grads`](Self::try_model_grads) for the isolating
+    /// variant).
     pub fn model_grads<P: AsRef<[f64]> + Sync>(
         &self,
         model: usize,
         points: &[P],
     ) -> (Vec<f64>, Vec<f64>) {
+        unwrap_engine(self.try_model_grads(model, points, None))
+    }
+
+    /// Fallible twin of [`model_grads`](Self::model_grads); same
+    /// contract as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_model_grads<P: AsRef<[f64]> + Sync>(
+        &self,
+        model: usize,
+        points: &[P],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>), EngineError> {
         let dim = self.fleet.n_inputs();
         let mut costs = vec![0.0; points.len()];
         let mut grads = vec![0.0; points.len() * dim];
         // A 0-input fleet has an empty `grads`; run inline (there is
         // nothing to parallelize over anyway).
         if self.sequential(points.len()) || dim == 0 {
-            self.runner()
-                .run_model_grad(model, points, &mut costs, &mut grads);
-            return (costs, grads);
+            let mut runner = self.runner();
+            for (idx, pts) in points.chunks(self.chunk).enumerate() {
+                let lo = idx * self.chunk;
+                let out = &mut costs[lo..lo + pts.len()];
+                let grad_rows = &mut grads[lo * dim..(lo + pts.len()) * dim];
+                run_chunk(idx, deadline, || {
+                    runner.run_model_grad(model, pts, out, grad_rows)
+                })?;
+            }
+            return Ok((costs, grads));
         }
+        let first_err = FirstError::default();
         let assignments = round_robin(
             self.threads,
             points
                 .chunks(self.chunk)
                 .zip(costs.chunks_mut(self.chunk))
                 .zip(grads.chunks_mut(self.chunk * dim))
-                .map(|((p, c), g)| (p, c, g)),
+                .map(|((p, c), g)| (p, c, g))
+                .enumerate(),
         );
         std::thread::scope(|scope| {
             for units in assignments {
+                let first_err = &first_err;
                 scope.spawn(move || {
                     let mut runner = self.runner();
-                    for (pts, cost_chunk, grad_chunk) in units {
-                        runner.run_model_grad(model, pts, cost_chunk, grad_chunk);
+                    for (idx, (pts, cost_chunk, grad_chunk)) in units {
+                        if let Err(e) = run_chunk(idx, deadline, || {
+                            runner.run_model_grad(model, pts, cost_chunk, grad_chunk)
+                        }) {
+                            first_err.record(idx, e);
+                            return;
+                        }
                     }
                 });
             }
         });
-        (costs, grads)
+        first_err.into_result((costs, grads))
     }
 
     fn sequential(&self, n: usize) -> bool {
@@ -686,6 +793,9 @@ impl<'f> FleetRunner<'f> {
         costs: &mut [f64],
         mut rows: Option<&mut [f64]>,
     ) {
+        if faultinject::should_fail(faultinject::sites::FLEET_CHUNK) {
+            panic!("fault injected: fleet.chunk");
+        }
         let fleet = self.fleet;
         let n_models = fleet.n_models();
         let width = fleet.total_outputs();
@@ -755,6 +865,9 @@ impl<'f> FleetRunner<'f> {
     /// Evaluates one model at every point of `pts` through its
     /// reachability mask, writing one cost per point.
     fn run_model<P: AsRef<[f64]>>(&mut self, model: usize, pts: &[P], costs: &mut [f64]) {
+        if faultinject::should_fail(faultinject::sites::FLEET_CHUNK) {
+            panic!("fault injected: fleet.chunk");
+        }
         let start = if self.backend == ExecBackend::Soa {
             dispatch_lanes!(self.lanes, L => self.run_model_blocks::<L, P>(model, pts, costs))
         } else {
@@ -782,6 +895,9 @@ impl<'f> FleetRunner<'f> {
         costs: &mut [f64],
         grads: &mut [f64],
     ) {
+        if faultinject::should_fail(faultinject::sites::FLEET_CHUNK) {
+            panic!("fault injected: fleet.chunk");
+        }
         let start = if self.backend == ExecBackend::Soa {
             dispatch_lanes!(self.lanes, L => {
                 self.run_model_grad_blocks::<L, P>(model, pts, costs, grads)

@@ -63,15 +63,20 @@
 
 pub mod batch;
 pub mod cache;
+pub mod env;
+pub mod error;
 pub mod exec;
 pub mod fast_erf;
 pub mod fast_exp;
+pub mod faultinject;
 pub mod fleet;
 pub mod grad;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, QuantizedCache};
+pub use env::{degrade_mode, set_degrade_mode, DegradeMode};
+pub use error::{CompileBudget, EngineError, EvalDeadline};
 pub use exec::{default_backend, math_mode, ExecBackend, MathMode};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use grad::GradWorkspace;
@@ -84,7 +89,8 @@ pub use tape::{CompileStats, Op, Tape, TapeBuilder, TruncNormSf, Value};
 /// The override exists so CI can force the deterministic chunked pools
 /// through both their sequential (`SAFETY_OPT_THREADS=1`) and parallel
 /// (`SAFETY_OPT_THREADS=4`) code paths even on one-core runners; results
-/// are bit-identical either way.
+/// are bit-identical either way. Read **once per process**, like every
+/// other `SAFETY_OPT_*` knob (see [`env`]).
 ///
 /// # Panics
 ///
@@ -94,30 +100,25 @@ pub use tape::{CompileStats, Op, Tape, TapeBuilder, TruncNormSf, Value};
 /// misconfiguration (`0`, a typo) undetectable, because results are
 /// bit-identical across thread counts by design.
 pub fn default_threads() -> usize {
-    parse_thread_override(std::env::var("SAFETY_OPT_THREADS").ok().as_deref()).unwrap_or_else(
-        || {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_thread_override(env::var("SAFETY_OPT_THREADS").as_deref()).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-        },
-    )
+        })
+    })
 }
 
 /// Parses a `SAFETY_OPT_THREADS` override: `None`/empty means
 /// "unset" (use machine parallelism); anything else must be a positive
 /// integer.
 fn parse_thread_override(value: Option<&str>) -> Option<usize> {
-    let raw = value?.trim();
-    if raw.is_empty() {
-        return None;
-    }
-    match raw.parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n),
-        _ => panic!(
-            "SAFETY_OPT_THREADS must be a positive integer, got {raw:?} \
-             (unset it to use the machine's available parallelism)"
-        ),
-    }
+    env::parse_positive(
+        "SAFETY_OPT_THREADS",
+        value,
+        "unset it to use the machine's available parallelism",
+    )
 }
 
 #[cfg(test)]

@@ -195,6 +195,16 @@ impl TreeBdd {
     /// [`FtaError::UnknownNode`] if `order` references an invalid leaf or
     /// omits a reachable one.
     pub fn build_with_order(tree: &FaultTree, order: Vec<usize>) -> Result<Self> {
+        // Deterministic fault-injection site: every BDD compilation
+        // funnels through here (`build`, `build_sifted`, module-wise
+        // plans), so one armed site covers all Shannon/apply work.
+        if safety_opt_engine::faultinject::should_fail(
+            safety_opt_engine::faultinject::sites::BDD_APPLY,
+        ) {
+            return Err(FtaError::FaultInjected {
+                site: safety_opt_engine::faultinject::sites::BDD_APPLY,
+            });
+        }
         let root_id = tree.root()?;
         let mut leaf_to_level: HashMap<usize, u32> = HashMap::new();
         for (level, &leaf) in order.iter().enumerate() {

@@ -67,6 +67,13 @@ pub enum FtaError {
         /// Description of the problem.
         message: String,
     },
+    /// A deterministic fault-injection site fired (see
+    /// `safety_opt_engine::faultinject`); only ever produced when the
+    /// `SAFETY_OPT_FAILPOINTS` harness is armed.
+    FaultInjected {
+        /// The site that fired, e.g. `"bdd.apply"`.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for FtaError {
@@ -93,6 +100,7 @@ impl fmt::Display for FtaError {
                 write!(f, "computation exceeded budget: {what} > {limit}")
             }
             FtaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FtaError::FaultInjected { site } => write!(f, "fault injected at site {site:?}"),
         }
     }
 }

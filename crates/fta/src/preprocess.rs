@@ -69,20 +69,16 @@ static PRE_MODULES: telemetry::Counter = telemetry::Counter::new("fta.preprocess
 /// which code path runs, and a typo silently enabling the default would
 /// be undetectable.
 pub fn preprocess_enabled() -> bool {
+    use safety_opt_engine::env;
     static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ENABLED.get_or_init(|| {
-        let raw = match std::env::var("SAFETY_OPT_PREPROCESS") {
-            Ok(v) => v,
-            Err(_) => return true,
-        };
-        match raw.trim().to_ascii_lowercase().as_str() {
-            "" | "on" => true,
-            "off" => false,
-            other => panic!(
-                "SAFETY_OPT_PREPROCESS must be \"on\" or \"off\", got {other:?} \
-                 (unset it to use the default, on)"
-            ),
-        }
+        env::parse_choice(
+            "SAFETY_OPT_PREPROCESS",
+            env::var("SAFETY_OPT_PREPROCESS").as_deref(),
+            &[("on", true), ("off", false)],
+            "unset it to use the default, on",
+        )
+        .unwrap_or(true)
     })
 }
 

@@ -26,14 +26,35 @@ use crate::param::{ParamValues, ParameterSpace};
 use crate::pprob::{ExprStructure, ProbExpr};
 use crate::{Result, SafeOptError};
 use safety_opt_engine::{
-    BatchEvaluator, CacheStats, CompileStats, ExecBackend, GradWorkspace, QuantizedCache, Tape,
-    TapeBuilder, Value,
+    faultinject, BatchEvaluator, CacheStats, CompileBudget, CompileStats, DegradeMode, EngineError,
+    EvalDeadline, ExecBackend, GradWorkspace, QuantizedCache, Tape, TapeBuilder, Value,
 };
 use safety_opt_fta::bdd::ShannonRef;
 use safety_opt_fta::modular::PlanInput;
+use safety_opt_telemetry as telemetry;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Hazards whose exact BDD lowering blew its node budget and degraded
+/// to rare-event lowering (`SAFETY_OPT_DEGRADE=fallback`).
+static DEGRADE_FALLBACKS: telemetry::Counter = telemetry::Counter::new("safeopt.degrade.fallback");
+
+/// Warns once per process when graceful degradation first kicks in;
+/// every further degradation is visible in the
+/// `safeopt.degrade.fallback` telemetry counter.
+fn warn_degrade_fallback_once(hazard: &str, nodes: usize, limit: usize) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "safety-opt: hazard {hazard:?} has a {nodes}-node BDD plan over the \
+             {limit}-node budget; degrading to rare-event lowering \
+             (SAFETY_OPT_DEGRADE=fallback). Probabilities for this hazard are \
+             conservative rare-event approximations, not BDD-exact. \
+             Further degradations are counted in safeopt.degrade.fallback."
+        );
+    });
+}
 
 /// A safety model compiled to an engine tape.
 ///
@@ -71,13 +92,55 @@ impl CompiledModel {
     ///
     /// Same conditions as [`compile`](Self::compile).
     pub fn compile_with_threads(model: &SafetyModel, threads: usize) -> Result<Self> {
+        Self::try_compile_with_threads(model, threads, CompileBudget::UNLIMITED)
+    }
+
+    /// Compiles `model` under a [`CompileBudget`], with machine-sized
+    /// parallelism for batches. With [`CompileBudget::UNLIMITED`] this
+    /// is exactly [`compile`](Self::compile).
+    ///
+    /// Budget enforcement is **all-or-nothing**: a blown limit returns
+    /// [`SafeOptError::Engine`]`(`[`EngineError::BudgetExceeded`]`)`
+    /// and no partially compiled model. Exception: when the process
+    /// degradation policy is `SAFETY_OPT_DEGRADE=fallback` (or
+    /// [`safety_opt_engine::set_degrade_mode`]), a hazard whose exact
+    /// BDD plan alone blows `max_bdd_nodes` falls back to rare-event
+    /// lowering for that hazard — a documented accuracy degradation,
+    /// counted in the `safeopt.degrade.fallback` telemetry counter and
+    /// warned once per process.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`compile`](Self::compile) can return, plus
+    /// [`SafeOptError::Engine`] for blown budgets.
+    pub fn try_compile(model: &SafetyModel, budget: CompileBudget) -> Result<Self> {
+        Self::try_compile_with_threads(model, safety_opt_engine::default_threads(), budget)
+    }
+
+    /// [`try_compile`](Self::try_compile) with an explicit batch worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_compile`](Self::try_compile).
+    pub fn try_compile_with_threads(
+        model: &SafetyModel,
+        threads: usize,
+        budget: CompileBudget,
+    ) -> Result<Self> {
         let space = model.space_arc();
         let quant = model.quant_method();
         let mut builder = TapeBuilder::new(space.len());
         let mut memo: HashMap<usize, Value> = HashMap::new();
         for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
-            let hazard_value = lower_hazard(&mut builder, &mut memo, &space, hazard, quant)?;
+            let hazard_value =
+                lower_hazard(&mut builder, &mut memo, &space, hazard, quant, &budget)?;
             builder.output(hazard_value, cost);
+            // Checked per hazard so a runaway model stops at the first
+            // hazard that blows the cap, not after lowering everything.
+            budget
+                .check_ops(builder.compile_stats().ops_emitted as usize)
+                .map_err(SafeOptError::Engine)?;
         }
         Ok(Self {
             tape: Arc::new(builder.build()),
@@ -229,6 +292,70 @@ impl CompiledModel {
         Ok(self.evaluator().eval_grad_batch(points))
     }
 
+    /// Fallible twin of [`cost_batch`](Self::cost_batch): worker panics
+    /// are isolated into typed errors and an optional cooperative
+    /// [`EvalDeadline`] is checked between chunks. All-or-nothing — an
+    /// error means no partial results, and the model stays fully usable
+    /// (an identical retry returns bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points;
+    /// [`SafeOptError::Engine`] for isolated worker panics
+    /// ([`EngineError::WorkerPanicked`]) and expired deadlines
+    /// ([`EngineError::DeadlineExceeded`]).
+    pub fn try_cost_batch(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        self.evaluator()
+            .try_costs(points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
+    /// Fallible twin of
+    /// [`cost_and_hazards_batch`](Self::cost_and_hazards_batch) (see
+    /// [`try_cost_batch`](Self::try_cost_batch) for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_cost_batch`](Self::try_cost_batch).
+    pub fn try_cost_and_hazards_batch(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        self.evaluator()
+            .try_costs_and_outputs(points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
+    /// Fallible twin of [`gradient_batch`](Self::gradient_batch) (see
+    /// [`try_cost_batch`](Self::try_cost_batch) for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_cost_batch`](Self::try_cost_batch).
+    pub fn try_gradient_batch(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        for p in points {
+            self.check_dim(p.len())?;
+        }
+        self.evaluator()
+            .try_eval_grad_batch(points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
     /// The batch evaluator every batch entry point routes through.
     fn evaluator(&self) -> BatchEvaluator<'_> {
         BatchEvaluator::new(&self.tape, self.threads).backend(self.backend)
@@ -355,10 +482,35 @@ pub(crate) fn lower_hazard(
     space: &ParameterSpace,
     hazard: &Hazard,
     method: QuantMethod,
+    budget: &CompileBudget,
 ) -> Result<Value> {
+    if faultinject::should_fail(faultinject::sites::TAPE_COMPILE) {
+        return Err(SafeOptError::Engine(EngineError::FaultInjected {
+            site: faultinject::sites::TAPE_COMPILE,
+        }));
+    }
     if method == QuantMethod::BddExact {
         if let Some(exact) = hazard.exact() {
             let plan = exact.plan();
+            // Exact lowering emits one fused op per Shannon node, so the
+            // plan's node count is the budget-relevant size. A blown
+            // `max_bdd_nodes` either aborts (all-or-nothing) or — under
+            // `SAFETY_OPT_DEGRADE=fallback` — degrades this hazard to
+            // the rare-event cut-set lowering below.
+            if let Err(e) = budget.check_bdd_nodes(plan.node_count()) {
+                match safety_opt_engine::degrade_mode() {
+                    DegradeMode::Off => return Err(SafeOptError::Engine(e)),
+                    DegradeMode::Fallback => {
+                        DEGRADE_FALLBACKS.add(1);
+                        warn_degrade_fallback_once(
+                            hazard.name(),
+                            plan.node_count(),
+                            budget.max_bdd_nodes.unwrap_or(usize::MAX),
+                        );
+                        return lower_rare_event(b, memo, space, hazard);
+                    }
+                }
+            }
             let resolve = |r: ShannonRef, vals: &[Value], b: &TapeBuilder| match r {
                 ShannonRef::False => b.constant(0.0),
                 ShannonRef::True => b.constant(1.0),
@@ -389,6 +541,17 @@ pub(crate) fn lower_hazard(
             return Ok(*roots.last().expect("a plan has at least one module"));
         }
     }
+    lower_rare_event(b, memo, space, hazard)
+}
+
+/// The rare-event cut-set lowering (paper Eq. 3) — the default path and
+/// the graceful-degradation target for budget-blown exact hazards.
+fn lower_rare_event(
+    b: &mut TapeBuilder,
+    memo: &mut HashMap<usize, Value>,
+    space: &ParameterSpace,
+    hazard: &Hazard,
+) -> Result<Value> {
     let mut cut_sets = Vec::with_capacity(hazard.cut_sets().len());
     for cs in hazard.cut_sets() {
         let factors = cs

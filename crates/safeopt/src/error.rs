@@ -46,6 +46,10 @@ pub enum SafeOptError {
     Optim(safety_opt_optim::OptimError),
     /// Underlying fault-tree error.
     Fta(safety_opt_fta::FtaError),
+    /// Underlying engine error: a blown compile budget, an expired
+    /// evaluation deadline, an isolated worker panic, or an injected
+    /// fault (see `safety_opt_engine::error`).
+    Engine(safety_opt_engine::EngineError),
 }
 
 impl fmt::Display for SafeOptError {
@@ -70,6 +74,7 @@ impl fmt::Display for SafeOptError {
             SafeOptError::Stats(e) => write!(f, "statistics error: {e}"),
             SafeOptError::Optim(e) => write!(f, "optimization error: {e}"),
             SafeOptError::Fta(e) => write!(f, "fault-tree error: {e}"),
+            SafeOptError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -80,6 +85,7 @@ impl std::error::Error for SafeOptError {
             SafeOptError::Stats(e) => Some(e),
             SafeOptError::Optim(e) => Some(e),
             SafeOptError::Fta(e) => Some(e),
+            SafeOptError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +109,12 @@ impl From<safety_opt_fta::FtaError> for SafeOptError {
     }
 }
 
+impl From<safety_opt_engine::EngineError> for SafeOptError {
+    fn from(e: safety_opt_engine::EngineError) -> Self {
+        SafeOptError::Engine(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +125,15 @@ mod tests {
         assert!(e.to_string().contains("optimization error"));
         let e = SafeOptError::from(safety_opt_fta::FtaError::NoRoot);
         assert!(e.to_string().contains("fault-tree error"));
+        let e = SafeOptError::from(safety_opt_engine::EngineError::BudgetExceeded {
+            what: "tape ops",
+            limit: 10,
+            used: 12,
+        });
+        assert!(e.to_string().contains("engine error"));
+        assert!(e.to_string().contains("budget"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -44,7 +44,8 @@ use crate::model::SafetyModel;
 use crate::{Result, SafeOptError};
 use safety_opt_engine::fleet::{Fleet, FleetBuilder, FleetEvaluator};
 use safety_opt_engine::{
-    CacheStats, CompileStats, ExecBackend, GradWorkspace, QuantizedCache, Value,
+    faultinject, CacheStats, CompileBudget, CompileStats, EngineError, EvalDeadline, ExecBackend,
+    GradWorkspace, QuantizedCache, Value,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -267,6 +268,85 @@ impl CompiledFleet {
         Ok(self.evaluator().model_grads(model, points))
     }
 
+    /// Fallible twin of [`costs_all`](Self::costs_all): worker panics
+    /// are isolated into typed errors and an optional cooperative
+    /// [`EvalDeadline`] is checked between chunks. All-or-nothing — an
+    /// error means no partial results, and the fleet stays fully usable
+    /// (an identical retry returns bit-identical results).
+    ///
+    /// # Errors
+    ///
+    /// [`SafeOptError::DimensionMismatch`] for wrong-arity points;
+    /// [`SafeOptError::Engine`] for isolated worker panics
+    /// ([`EngineError::WorkerPanicked`]) and expired deadlines
+    /// ([`EngineError::DeadlineExceeded`]).
+    pub fn try_costs_all(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>> {
+        self.check_points(points)?;
+        self.evaluator()
+            .try_costs_all(points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
+    /// Fallible twin of
+    /// [`cost_and_hazards_all`](Self::cost_and_hazards_all) (see
+    /// [`try_costs_all`](Self::try_costs_all) for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_cost_and_hazards_all(
+        &self,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.check_points(points)?;
+        self.evaluator()
+            .try_costs_and_outputs_all(points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
+    /// Fallible twin of [`model_cost_batch`](Self::model_cost_batch)
+    /// (see [`try_costs_all`](Self::try_costs_all) for the error
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_model_cost_batch(
+        &self,
+        model: usize,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<Vec<f64>> {
+        self.check_points(points)?;
+        self.evaluator()
+            .try_model_costs(model, points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
+    /// Fallible twin of
+    /// [`model_gradient_batch`](Self::model_gradient_batch) (see
+    /// [`try_costs_all`](Self::try_costs_all) for the error contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`try_costs_all`](Self::try_costs_all).
+    pub fn try_model_gradient_batch(
+        &self,
+        model: usize,
+        points: &[Vec<f64>],
+        deadline: Option<&EvalDeadline>,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.check_points(points)?;
+        self.evaluator()
+            .try_model_grads(model, points, deadline)
+            .map_err(SafeOptError::Engine)
+    }
+
     /// The fleet evaluator every batch entry point routes through.
     fn evaluator(&self) -> FleetEvaluator<'_> {
         FleetEvaluator::new(&self.fleet, self.threads).backend(self.backend)
@@ -307,6 +387,11 @@ impl CompiledFleet {
 /// compile. On error the caller must roll back with
 /// [`FleetBuilder::abort_model`].
 fn lower_model_into(builder: &mut FleetBuilder, model: &SafetyModel, dim: usize) -> Result<()> {
+    if faultinject::should_fail(faultinject::sites::FLEET_BUILD) {
+        return Err(SafeOptError::Engine(EngineError::FaultInjected {
+            site: faultinject::sites::FLEET_BUILD,
+        }));
+    }
     let space = model.space_arc();
     if space.len() != dim {
         return Err(SafeOptError::DimensionMismatch {
@@ -318,7 +403,14 @@ fn lower_model_into(builder: &mut FleetBuilder, model: &SafetyModel, dim: usize)
     let quant = model.quant_method();
     for (hazard, &cost) in model.hazards().iter().zip(model.costs()) {
         let b = builder.lowerer();
-        let hazard_value = lower_hazard(b, &mut memo, &space, hazard, quant)?;
+        let hazard_value = lower_hazard(
+            b,
+            &mut memo,
+            &space,
+            hazard,
+            quant,
+            &CompileBudget::UNLIMITED,
+        )?;
         b.output(hazard_value, cost);
     }
     Ok(())

@@ -77,18 +77,15 @@ pub fn default_quant_method() -> QuantMethod {
 
 /// Parses a `SAFETY_OPT_QUANT` override: `None`/empty means "unset".
 fn parse_quant_override(value: Option<&str>) -> Option<QuantMethod> {
-    let raw = value?.trim();
-    if raw.is_empty() {
-        return None;
-    }
-    match raw.to_ascii_lowercase().replace('_', "-").as_str() {
-        "rare-event" => Some(QuantMethod::RareEvent),
-        "bdd-exact" => Some(QuantMethod::BddExact),
-        _ => panic!(
-            "SAFETY_OPT_QUANT must be \"rare-event\" or \"bdd-exact\", got {raw:?} \
-             (unset it to use the rare-event default)"
-        ),
-    }
+    safety_opt_engine::env::parse_choice(
+        "SAFETY_OPT_QUANT",
+        value,
+        &[
+            ("rare-event", QuantMethod::RareEvent),
+            ("bdd-exact", QuantMethod::BddExact),
+        ],
+        "unset it to use the rare-event default",
+    )
 }
 
 /// The exact (BDD) structure of a tree-derived hazard: the modular

@@ -184,7 +184,11 @@ impl OptimumDistribution {
 /// Propagates sampler errors; requires `runs >= 1`. Compilation and
 /// optimizer failures on individual samples are tolerated (counted in
 /// [`OptimumDistribution::failures`]) as long as at least one sample
-/// optimizes successfully.
+/// optimizes successfully. This per-sample tolerance covers the typed
+/// engine errors too — a blown [`safety_opt_engine::CompileBudget`], an
+/// expired deadline, or an injected fault
+/// ([`SafeOptError::Engine`](crate::SafeOptError::Engine)) on one sample
+/// increments `failures` instead of aborting the whole study.
 pub fn optimize_under_uncertainty<F>(
     mut sampler: F,
     runs: usize,

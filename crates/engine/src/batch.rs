@@ -153,10 +153,12 @@ impl<'t> BatchEvaluator<'t> {
                 .zip(costs.chunks_mut(self.chunk))
                 .enumerate(),
         );
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.runner();
                     for (idx, (pts, out)) in units {
                         if let Err(e) = run_chunk(idx, deadline, || runner.run(pts, out, None)) {
@@ -215,10 +217,12 @@ impl<'t> BatchEvaluator<'t> {
                 .map(|((p, c), o)| (p, c, o))
                 .enumerate(),
         );
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.runner();
                     for (idx, (pts, out, rows)) in units {
                         if let Err(e) =
@@ -291,10 +295,12 @@ impl<'t> BatchEvaluator<'t> {
                 .map(|((p, c), g)| (p, c, g))
                 .enumerate(),
         );
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.grad_runner();
                     for (idx, (pts, cost_chunk, grad_chunk)) in units {
                         if let Err(e) =
@@ -500,8 +506,16 @@ impl<'t> TapeRunner<'t> {
         while start + L <= pts.len() {
             let block = &pts[start..start + L];
             self.file.load::<L, P>(self.tape, block);
+            let mut timer = crate::profile::OpTimer::new();
             for slot in 0..self.tape.n_ops() {
                 self.file.sweep_op::<L, P>(self.tape, slot, block);
+                timer.lap(
+                    &self.tape.profiler,
+                    self.tape.ops[slot].kind_index(),
+                    crate::profile::PATH_SOA,
+                    crate::profile::SWEEP_FORWARD,
+                    L as u64,
+                );
             }
             let out = match rows.as_deref_mut() {
                 Some(rows) => &mut rows[start * n_out..(start + L) * n_out],
@@ -537,6 +551,11 @@ pub(crate) fn run_chunk(
     work: impl FnOnce(),
 ) -> Result<(), EngineError> {
     if deadline.is_some_and(EvalDeadline::expired) {
+        telemetry::trace::trace_instant(
+            telemetry::EventKind::DeadlineExpired,
+            "engine.deadline",
+            chunk as u64,
+        );
         return Err(EngineError::DeadlineExceeded { chunk });
     }
     // `AssertUnwindSafe` is sound here: on `Err` the caller abandons

@@ -165,6 +165,11 @@ impl QuantizedCache {
                     map.clear();
                     self.evictions.fetch_add(dropped, Relaxed);
                     CACHE_EVICTIONS.add(dropped);
+                    telemetry::trace::trace_instant(
+                        telemetry::EventKind::CacheEviction,
+                        "engine.cache.evictions",
+                        dropped,
+                    );
                 }
             }
             map.insert(key, v);

@@ -47,6 +47,19 @@ static CLOSURE_SOA_FALLBACK: telemetry::Counter =
 /// deserve to hear about exactly once.
 fn warn_closure_fallback_once(lanes: usize) {
     static WARN: std::sync::Once = std::sync::Once::new();
+    static TRACE_WARN: std::sync::Once = std::sync::Once::new();
+    // Machine-visible twin of the stderr diagnostic (its own latch, so
+    // it fires under `SAFETY_OPT_TRACE=events` even when the telemetry
+    // mode keeps stderr quiet; stderr behavior is unchanged).
+    if telemetry::trace_events_enabled() {
+        TRACE_WARN.call_once(|| {
+            telemetry::trace::trace_instant(
+                telemetry::EventKind::Warning,
+                "engine.exec.closure_soa_fallback",
+                lanes as u64,
+            );
+        });
+    }
     if telemetry::full_enabled() {
         WARN.call_once(|| {
             eprintln!(

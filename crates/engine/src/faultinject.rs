@@ -228,6 +228,7 @@ fn should_fail_slow(site: &str) -> bool {
         state.fired += 1;
         drop(guard);
         FIRED_COUNTER.add(1);
+        telemetry::trace::trace_instant(telemetry::EventKind::FailpointFired, site, 1);
     }
     fire
 }

@@ -305,9 +305,17 @@ impl Fleet {
         assert_eq!(outputs.len(), range.len(), "output arity mismatch");
         let scratch = self.prepare_scratch(x, scratch);
         let n_inputs = self.n_inputs();
+        let mut timer = crate::profile::OpTimer::new();
         for &i in self.masks[model].iter() {
             let op = &self.tape.ops[i as usize];
             scratch[n_inputs + i as usize] = self.tape.op_value(op, scratch);
+            timer.lap(
+                &self.tape.profiler,
+                op.kind_index(),
+                crate::profile::PATH_SCALAR,
+                crate::profile::SWEEP_FORWARD,
+                1,
+            );
         }
         self.tape.read_outputs(scratch, range, outputs)
     }
@@ -345,17 +353,33 @@ impl Fleet {
         let n_inputs = self.n_inputs();
         let cost = {
             let scratch = self.prepare_scratch(x, &mut ws.scratch);
+            let mut timer = crate::profile::OpTimer::new();
             for &i in self.masks[model].iter() {
                 let op = &self.tape.ops[i as usize];
                 scratch[n_inputs + i as usize] = self.tape.op_value(op, scratch);
+                timer.lap(
+                    &self.tape.profiler,
+                    op.kind_index(),
+                    crate::profile::PATH_SCALAR,
+                    crate::profile::SWEEP_FORWARD,
+                    1,
+                );
             }
             self.tape.read_outputs(scratch, range.clone(), outputs)
         };
         ws.adjoint.clear();
         ws.adjoint.resize(self.tape.scratch_len(), 0.0);
         self.tape.seed_output_adjoints(range, &mut ws.adjoint);
+        let mut timer = crate::profile::OpTimer::new();
         for &i in self.masks[model].iter().rev() {
             self.tape.backward_slot(i as usize, ws);
+            timer.lap(
+                &self.tape.profiler,
+                self.tape.ops[i as usize].kind_index(),
+                crate::profile::PATH_SCALAR,
+                crate::profile::SWEEP_ADJOINT,
+                1,
+            );
         }
         crate::grad::record_adjoint_sweeps(1);
         grad.copy_from_slice(&ws.adjoint[..n_inputs]);
@@ -382,8 +406,16 @@ impl Fleet {
         assert_eq!(outputs.len(), self.total_outputs(), "output arity mismatch");
         let scratch = self.prepare_scratch(x, scratch);
         let n_inputs = self.n_inputs();
+        let mut timer = crate::profile::OpTimer::new();
         for (slot, op) in self.tape.ops.iter().enumerate() {
             scratch[n_inputs + slot] = self.tape.op_value(op, scratch);
+            timer.lap(
+                &self.tape.profiler,
+                op.kind_index(),
+                crate::profile::PATH_SCALAR,
+                crate::profile::SWEEP_FORWARD,
+                1,
+            );
         }
         for (model, cost) in costs.iter_mut().enumerate() {
             let range = self.output_range(model);
@@ -577,10 +609,12 @@ impl<'f> FleetEvaluator<'f> {
         };
         let first_err = FirstError::default();
         let assignments = round_robin(self.threads, units.into_iter().enumerate());
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for worker_units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.runner();
                     for (idx, (pts, c_rows, o_rows)) in worker_units {
                         if let Err(e) =
@@ -637,10 +671,12 @@ impl<'f> FleetEvaluator<'f> {
                 .zip(costs.chunks_mut(self.chunk))
                 .enumerate(),
         );
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.runner();
                     for (idx, (pts, out)) in units {
                         if let Err(e) =
@@ -714,10 +750,12 @@ impl<'f> FleetEvaluator<'f> {
                 .map(|((p, c), g)| (p, c, g))
                 .enumerate(),
         );
+        let scope_h = telemetry::ScopeHandle::current();
         std::thread::scope(|scope| {
             for units in assignments {
                 let first_err = &first_err;
                 scope.spawn(move || {
+                    let _trace_scope = scope_h.attach();
                     let mut runner = self.runner();
                     for (idx, (pts, cost_chunk, grad_chunk)) in units {
                         if let Err(e) = run_chunk(idx, deadline, || {
@@ -832,8 +870,16 @@ impl<'f> FleetRunner<'f> {
         while start + L <= pts.len() {
             let block = &pts[start..start + L];
             self.file.load::<L, P>(&fleet.tape, block);
+            let mut timer = crate::profile::OpTimer::new();
             for slot in 0..fleet.tape.n_ops() {
                 self.file.sweep_op::<L, P>(&fleet.tape, slot, block);
+                timer.lap(
+                    &fleet.tape.profiler,
+                    fleet.tape.ops[slot].kind_index(),
+                    crate::profile::PATH_SOA,
+                    crate::profile::SWEEP_FORWARD,
+                    L as u64,
+                );
             }
             let out = match rows.as_deref_mut() {
                 Some(rows) => &mut rows[start * width..(start + L) * width],
@@ -937,9 +983,17 @@ impl<'f> FleetRunner<'f> {
         while start + L <= pts.len() {
             let block = &pts[start..start + L];
             self.file.load::<L, P>(&fleet.tape, block);
+            let mut timer = crate::profile::OpTimer::new();
             for &slot in fleet.masks[model].iter() {
                 self.file
                     .sweep_op::<L, P>(&fleet.tape, slot as usize, block);
+                timer.lap(
+                    &fleet.tape.profiler,
+                    fleet.tape.ops[slot as usize].kind_index(),
+                    crate::profile::PATH_SOA,
+                    crate::profile::SWEEP_FORWARD,
+                    L as u64,
+                );
             }
             self.file.read_outputs::<L>(
                 &fleet.tape,
@@ -949,9 +1003,17 @@ impl<'f> FleetRunner<'f> {
             );
             self.adj.reset(fleet.tape.scratch_len() * L);
             self.adj.seed::<L>(&fleet.tape, range.clone());
+            let mut timer = crate::profile::OpTimer::new();
             for &slot in fleet.masks[model].iter().rev() {
                 self.adj
                     .backward_slot_block::<L>(&fleet.tape, slot as usize, self.file.regs());
+                timer.lap(
+                    &fleet.tape.profiler,
+                    fleet.tape.ops[slot as usize].kind_index(),
+                    crate::profile::PATH_SOA,
+                    crate::profile::SWEEP_ADJOINT,
+                    L as u64,
+                );
             }
             crate::grad::record_adjoint_sweeps(L as u64);
             self.adj
@@ -976,9 +1038,17 @@ impl<'f> FleetRunner<'f> {
         while start + L <= pts.len() {
             let block = &pts[start..start + L];
             self.file.load::<L, P>(&fleet.tape, block);
+            let mut timer = crate::profile::OpTimer::new();
             for &slot in fleet.masks[model].iter() {
                 self.file
                     .sweep_op::<L, P>(&fleet.tape, slot as usize, block);
+                timer.lap(
+                    &fleet.tape.profiler,
+                    fleet.tape.ops[slot as usize].kind_index(),
+                    crate::profile::PATH_SOA,
+                    crate::profile::SWEEP_FORWARD,
+                    L as u64,
+                );
             }
             self.file.read_outputs::<L>(
                 &fleet.tape,

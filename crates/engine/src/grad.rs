@@ -81,6 +81,19 @@ static ADJOINT_CLOSURE_FALLBACK: telemetry::Counter =
 /// it just costs the lane-block speedup for that op.
 fn warn_adjoint_closure_fallback_once(lanes: usize) {
     static WARN: std::sync::Once = std::sync::Once::new();
+    static TRACE_WARN: std::sync::Once = std::sync::Once::new();
+    // Machine-visible twin of the stderr diagnostic (its own latch, so
+    // it fires under `SAFETY_OPT_TRACE=events` even when the telemetry
+    // mode keeps stderr quiet; stderr behavior is unchanged).
+    if telemetry::trace_events_enabled() {
+        TRACE_WARN.call_once(|| {
+            telemetry::trace::trace_instant(
+                telemetry::EventKind::Warning,
+                "engine.grad.closure_soa_fallback",
+                lanes as u64,
+            );
+        });
+    }
     if telemetry::full_enabled() {
         WARN.call_once(|| {
             eprintln!(
@@ -193,8 +206,16 @@ impl Tape {
     /// accumulated adjoint through the op's local derivative into its
     /// argument slots.
     fn backward(&self, ws: &mut GradWorkspace) {
+        let mut timer = crate::profile::OpTimer::new();
         for slot in (0..self.ops.len()).rev() {
             self.backward_slot(slot, ws);
+            timer.lap(
+                &self.profiler,
+                self.ops[slot].kind_index(),
+                crate::profile::PATH_SCALAR,
+                crate::profile::SWEEP_ADJOINT,
+                1,
+            );
         }
     }
 
@@ -324,14 +345,30 @@ impl Tape {
         grads: &mut [f64],
     ) {
         file.load::<L, P>(self, points);
+        let mut timer = crate::profile::OpTimer::new();
         for slot in 0..self.n_ops() {
             file.sweep_op::<L, P>(self, slot, points);
+            timer.lap(
+                &self.profiler,
+                self.ops[slot].kind_index(),
+                crate::profile::PATH_SOA,
+                crate::profile::SWEEP_FORWARD,
+                L as u64,
+            );
         }
         file.read_outputs::<L>(self, 0..self.n_outputs(), costs, lane_rows);
         adjoint.reset(self.scratch_len() * L);
         adjoint.seed::<L>(self, 0..self.n_outputs());
+        let mut timer = crate::profile::OpTimer::new();
         for slot in (0..self.n_ops()).rev() {
             adjoint.backward_slot_block::<L>(self, slot, file.regs());
+            timer.lap(
+                &self.profiler,
+                self.ops[slot].kind_index(),
+                crate::profile::PATH_SOA,
+                crate::profile::SWEEP_ADJOINT,
+                L as u64,
+            );
         }
         ADJOINT_SWEEPS.add(L as u64);
         adjoint.grad_rows::<L>(self.n_inputs, grads);

@@ -71,6 +71,7 @@ pub mod fast_exp;
 pub mod faultinject;
 pub mod fleet;
 pub mod grad;
+pub mod profile;
 pub mod tape;
 
 pub use batch::BatchEvaluator;
@@ -80,6 +81,7 @@ pub use error::{CompileBudget, EngineError, EvalDeadline};
 pub use exec::{default_backend, math_mode, ExecBackend, MathMode};
 pub use fleet::{Fleet, FleetBuilder, FleetEvaluator};
 pub use grad::GradWorkspace;
+pub use profile::{ProfileReport, ProfileRow};
 pub use tape::{CompileStats, Op, Tape, TapeBuilder, TruncNormSf, Value};
 
 /// Worker count used by the default-sized evaluators: the

@@ -257,6 +257,39 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Number of op kinds (the profiler's cell dimension).
+    pub(crate) const N_KINDS: usize = 8;
+
+    /// Stable snake_case kind names, indexed by
+    /// [`kind_index`](Self::kind_index).
+    pub(crate) const KIND_NAMES: [&'static str; Self::N_KINDS] = [
+        "exposure",
+        "overtime",
+        "closure",
+        "complement",
+        "scale",
+        "product",
+        "sum_clamp",
+        "mul_add",
+    ];
+
+    /// Dense kind index for profiler cells.
+    #[inline]
+    pub(crate) fn kind_index(&self) -> usize {
+        match self {
+            Op::Exposure { .. } => 0,
+            Op::Overtime { .. } => 1,
+            Op::Closure { .. } => 2,
+            Op::Complement { .. } => 3,
+            Op::Scale { .. } => 4,
+            Op::Product { .. } => 5,
+            Op::SumClamp { .. } => 6,
+            Op::MulAdd { .. } => 7,
+        }
+    }
+}
+
 impl std::fmt::Debug for Op {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -354,6 +387,10 @@ pub struct Tape {
     pub(crate) outputs: Vec<Value>,
     pub(crate) weights: Vec<f64>,
     pub(crate) stats: CompileStats,
+    /// Per-op sweep profiler, shared across clones (evaluators and
+    /// worker threads accumulate into the same cells). Inert unless
+    /// `SAFETY_OPT_TRACE=full`.
+    pub(crate) profiler: Arc<crate::profile::TapeProfiler>,
 }
 
 impl Tape {
@@ -377,6 +414,19 @@ impl Tape {
     /// (always populated, independent of the telemetry mode).
     pub fn compile_stats(&self) -> CompileStats {
         self.stats
+    }
+
+    /// Per-op sweep-time attribution accumulated so far (populated only
+    /// under `SAFETY_OPT_TRACE=full`; see [`crate::profile`]). Clones
+    /// of this tape share the cells, so one report covers every
+    /// evaluator and worker thread sweeping it.
+    pub fn profile_report(&self) -> crate::profile::ProfileReport {
+        self.profiler.report()
+    }
+
+    /// Zeroes the per-op profiler cells (e.g. between profiled phases).
+    pub fn reset_profile(&self) {
+        self.profiler.reset();
     }
 
     /// Output weights (hazard costs).
@@ -404,8 +454,16 @@ impl Tape {
         scratch.clear();
         scratch.resize(self.scratch_len(), 0.0);
         scratch[..self.n_inputs].copy_from_slice(x);
+        let mut timer = crate::profile::OpTimer::new();
         for (slot, op) in self.ops.iter().enumerate() {
             scratch[self.n_inputs + slot] = self.op_value(op, scratch);
+            timer.lap(
+                &self.profiler,
+                op.kind_index(),
+                crate::profile::PATH_SCALAR,
+                crate::profile::SWEEP_FORWARD,
+                1,
+            );
         }
         self.read_outputs(scratch, 0..self.outputs.len(), outputs)
     }
@@ -827,6 +885,7 @@ impl TapeBuilder {
             outputs: self.outputs,
             weights: self.weights,
             stats: self.stats,
+            profiler: Arc::new(crate::profile::TapeProfiler::new()),
         }
     }
 }

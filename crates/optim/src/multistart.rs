@@ -14,6 +14,7 @@ use crate::{
     BatchDifferentiableObjective, BatchObjective, DifferentiableObjective, Minimizer, Objective,
     OptimError, OptimizationOutcome, Result, TerminationReason,
 };
+use safety_opt_telemetry as telemetry;
 
 /// Multi-start wrapper around an inner [`Minimizer`].
 ///
@@ -127,6 +128,10 @@ impl MultiStart<NelderMead> {
                 requirement: "must be >= 1",
             });
         }
+        // One scope for the whole lockstep drive: rounds interleave
+        // every restart's probes into shared batches, so per-restart
+        // attribution is impossible here by construction.
+        let _scope = telemetry::TraceScope::enter("restarts.lockstep");
         let mut states = Vec::with_capacity(self.starts);
         for k in 0..self.starts {
             let x0 = Self::start_point(k, domain);
@@ -199,6 +204,10 @@ impl MultiStart<GradientDescent> {
                 requirement: "must be >= 1",
             });
         }
+        // One scope for the whole lockstep drive (see the Nelder–Mead
+        // twin above): rounds interleave restarts, so per-restart
+        // attribution is impossible here by construction.
+        let _scope = telemetry::TraceScope::enter("restarts.lockstep");
         let dim = domain.dim();
         let mut states = Vec::with_capacity(self.starts);
         for k in 0..self.starts {
@@ -358,6 +367,7 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
         }
         let mut fold = RestartFold::default();
         for k in 0..self.starts {
+            let _scope = telemetry::TraceScope::enter(&format!("restart.{k}"));
             let x0 = MultiStart::<M>::start_point(k, domain);
             let mut inner = self.inner.clone().with_start(x0);
             if self.hook.is_set() {
@@ -388,6 +398,7 @@ impl<M: Minimizer + Clone + StartablePoint> Minimizer for MultiStart<M> {
         }
         let mut fold = RestartFold::default();
         for k in 0..self.starts {
+            let _scope = telemetry::TraceScope::enter(&format!("restart.{k}"));
             let x0 = MultiStart::<M>::start_point(k, domain);
             let mut inner = self.inner.clone().with_start(x0);
             if self.hook.is_set() {

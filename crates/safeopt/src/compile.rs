@@ -128,6 +128,7 @@ impl CompiledModel {
         threads: usize,
         budget: CompileBudget,
     ) -> Result<Self> {
+        let _scope = telemetry::TraceScope::enter("compile");
         let space = model.space_arc();
         let quant = model.quant_method();
         let mut builder = TapeBuilder::new(space.len());
@@ -184,6 +185,13 @@ impl CompiledModel {
     /// unconditionally — independent of the `SAFETY_OPT_TELEMETRY` mode.
     pub fn compile_stats(&self) -> CompileStats {
         self.tape.compile_stats()
+    }
+
+    /// Per-op sweep-time attribution for this model's tape, populated
+    /// only under `SAFETY_OPT_TRACE=full` (every evaluator and worker
+    /// thread sweeping this model accumulates into the same cells).
+    pub fn profile_report(&self) -> safety_opt_engine::ProfileReport {
+        self.tape.profile_report()
     }
 
     /// Number of parameters the compiled model expects.
@@ -502,6 +510,11 @@ pub(crate) fn lower_hazard(
                     DegradeMode::Off => return Err(SafeOptError::Engine(e)),
                     DegradeMode::Fallback => {
                         DEGRADE_FALLBACKS.add(1);
+                        telemetry::trace::trace_instant(
+                            telemetry::EventKind::DegradeFallback,
+                            hazard.name(),
+                            plan.node_count() as u64,
+                        );
                         warn_degrade_fallback_once(
                             hazard.name(),
                             plan.node_count(),

@@ -87,6 +87,7 @@ impl CompiledFleet {
     ///
     /// Same conditions as [`compile`](Self::compile).
     pub fn compile_with_threads(models: &[SafetyModel], threads: usize) -> Result<Self> {
+        let _scope = safety_opt_telemetry::TraceScope::enter("compile.fleet");
         let Some(first) = models.first() else {
             return Err(SafeOptError::Optim(
                 safety_opt_optim::OptimError::InvalidConfig {
@@ -119,6 +120,7 @@ impl CompiledFleet {
         models: &[SafetyModel],
         threads: usize,
     ) -> (Option<Self>, Vec<std::result::Result<usize, SafeOptError>>) {
+        let _scope = safety_opt_telemetry::TraceScope::enter("compile.fleet");
         let Some(first) = models.first() else {
             return (None, Vec::new());
         };
@@ -160,6 +162,14 @@ impl CompiledFleet {
     /// The underlying engine fleet.
     pub fn fleet(&self) -> &Fleet {
         &self.fleet
+    }
+
+    /// Per-op sweep-time attribution for the fleet's shared arena tape,
+    /// populated only under `SAFETY_OPT_TRACE=full` (every evaluator
+    /// and worker thread sweeping this fleet accumulates into the same
+    /// cells).
+    pub fn profile_report(&self) -> safety_opt_engine::ProfileReport {
+        self.fleet.tape().profile_report()
     }
 
     /// Number of models in the fleet.

@@ -41,9 +41,28 @@
 //! Instrumentation is **observation-only** by contract: enabling any
 //! mode must never change a computed result (the engine's 0-ULP
 //! equivalence suites run with telemetry forced on to enforce this).
+//!
+//! # Tracing
+//!
+//! The [`trace`] module layers *structured* observability on top of
+//! the registry: named [`TraceScope`]s attribute counters and spans to
+//! a request / model / restart instead of only the process globals, a
+//! fixed-capacity event ring buffer records scope begins/ends, span
+//! completions, failpoint firings, degradation fallbacks, deadline
+//! expiries, and cache evictions, and [`trace::export_jsonl`] /
+//! [`trace::export_chrome_trace`] render the stream for machines and
+//! for Perfetto. It has its own knob (`SAFETY_OPT_TRACE`), orthogonal
+//! to the telemetry mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trace;
+
+pub use trace::{
+    set_trace_mode, trace_events_enabled, trace_mode, trace_profiling_enabled, EventKind,
+    ScopeHandle, ScopeSnapshot, TraceMode, TraceScope,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -180,9 +199,16 @@ impl Counter {
     }
 
     /// Adds `n` unconditionally (mode already checked by the caller).
+    /// The global aggregate updates first; when tracing is on and a
+    /// [`TraceScope`] is active, the add is *also* attributed to the
+    /// scope (never instead — scoped attribution leaves the process
+    /// globals bit-for-bit untouched).
     fn record(&'static self, n: u64) {
         self.ensure_registered();
         self.value.fetch_add(n, Ordering::Relaxed);
+        if trace::trace_events_enabled() {
+            trace::scoped_counter_add(self.name, n);
+        }
     }
 
     /// Current value (readable in every mode).
@@ -259,12 +285,17 @@ impl Histogram {
     }
 
     /// Records `value` unconditionally (mode already checked by the
-    /// caller, e.g. at [`span`] creation).
+    /// caller, e.g. at [`span`] creation). Like [`Counter`] adds, the
+    /// sample is additionally attributed to the active [`TraceScope`]
+    /// (if any) when tracing is on — the global aggregate is untouched.
     fn record(&'static self, value: u64) {
         self.ensure_registered();
         self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        if trace::trace_events_enabled() {
+            trace::scoped_hist_record(self.name, value);
+        }
     }
 
     /// Number of recorded samples.
@@ -277,6 +308,20 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// The `p`-th percentile (`0 < p <= 100`) of the recorded samples,
+    /// as the inclusive upper bound of the bucket containing the
+    /// rank-⌈p/100·count⌉ sample — an upper estimate within the
+    /// power-of-two bucket resolution. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        percentile_of_buckets(&counts, p)
+    }
+
     fn ensure_registered(&'static self) {
         if !self.registered.swap(true, Ordering::Relaxed) {
             lock_registry().histograms.push(self);
@@ -286,22 +331,48 @@ impl Histogram {
 
 /// An in-flight [`span`] timing. Dropping it records the elapsed
 /// monotonic nanoseconds into its histogram — only if telemetry was in
-/// [`TelemetryMode::Full`] when the span started (no clock read
-/// otherwise).
+/// [`TelemetryMode::Full`] when the span started — and emits a
+/// [`trace::EventKind::Span`] event if tracing was in
+/// [`TraceMode::Events`] or above when it started. With both off, the
+/// span never reads the clock.
 #[derive(Debug)]
 #[must_use = "a span records on drop; binding it to _ drops it immediately"]
 pub struct Span {
     hist: &'static Histogram,
     start: Option<Instant>,
+    /// Record into the histogram on drop (telemetry full at start).
+    record: bool,
+    /// Emit a trace event on drop (tracing on at start).
+    emit: bool,
+    /// Start timestamp in trace-epoch nanos (0 unless `emit`).
+    start_ts: u64,
 }
 
 /// Starts timing a region against `hist`. Reads the monotonic clock
-/// only in [`TelemetryMode::Full`].
+/// only when [`TelemetryMode::Full`] or a tracing mode is active.
 #[inline]
 pub fn span(hist: &'static Histogram) -> Span {
+    let record = full_enabled();
+    let emit = trace::trace_events_enabled();
+    let (start, start_ts) = if record || emit {
+        let now = Instant::now();
+        (
+            Some(now),
+            if emit {
+                trace::nanos_since_epoch(now)
+            } else {
+                0
+            },
+        )
+    } else {
+        (None, 0)
+    };
     Span {
         hist,
-        start: full_enabled().then(Instant::now),
+        start,
+        record,
+        emit,
+        start_ts,
     }
 }
 
@@ -309,7 +380,13 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let nanos = start.elapsed().as_nanos();
-            self.hist.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+            let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+            if self.record {
+                self.hist.record(nanos);
+            }
+            if self.emit {
+                trace::record_span_event(self.hist.name, self.start_ts, nanos);
+            }
         }
     }
 }
@@ -395,8 +472,9 @@ impl TelemetrySink for Registry {
     }
 }
 
-/// Zeroes every registered instrument and drops dynamic counters.
-/// Instruments stay registered; the mode is untouched.
+/// Zeroes every registered instrument, drops dynamic counters, and
+/// clears per-scope attribution. Instruments stay registered; the
+/// modes are untouched.
 pub fn reset() {
     let mut inner = lock_registry();
     for c in &inner.counters {
@@ -410,6 +488,8 @@ pub fn reset() {
         h.sum.store(0, Ordering::Relaxed);
     }
     inner.dynamic.clear();
+    drop(inner);
+    trace::reset_scoped();
 }
 
 /// One histogram's state inside a [`Snapshot`].
@@ -424,6 +504,82 @@ pub struct HistogramSnapshot {
     /// Non-empty buckets as `(inclusive upper bound, sample count)`,
     /// ascending.
     pub buckets: Vec<(u64, u64)>,
+    /// Median upper estimate (see [`Histogram::percentile`]).
+    pub p50: u64,
+    /// 90th-percentile upper estimate.
+    pub p90: u64,
+    /// 99th-percentile upper estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot (including the percentile fields) from a full
+    /// dense bucket array in declaration order.
+    pub(crate) fn from_buckets(
+        name: String,
+        count: u64,
+        sum: u64,
+        buckets: impl Iterator<Item = u64>,
+    ) -> Self {
+        let dense: Vec<u64> = buckets.collect();
+        Self {
+            name,
+            count,
+            sum,
+            buckets: dense
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((Histogram::bucket_le(i), n)))
+                .collect(),
+            p50: percentile_of_buckets(&dense, 50.0),
+            p90: percentile_of_buckets(&dense, 90.0),
+            p99: percentile_of_buckets(&dense, 99.0),
+        }
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) of the snapshotted
+    /// samples (see [`Histogram::percentile`]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = percentile_rank(total, p);
+        let mut seen = 0u64;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map_or(0, |&(le, _)| le)
+    }
+}
+
+/// 1-based sample rank of the `p`-th percentile among `total` samples:
+/// `⌈p/100 · total⌉`, clamped to `[1, total]`.
+fn percentile_rank(total: u64, p: f64) -> u64 {
+    let rank = (p / 100.0 * total as f64).ceil() as u64;
+    rank.clamp(1, total)
+}
+
+/// Percentile over a dense bucket-count array in declaration order
+/// (bucket `i` ↦ upper bound [`Histogram::bucket_le`]). Returns 0 when
+/// no samples were recorded.
+fn percentile_of_buckets(counts: &[u64], p: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = percentile_rank(total, p);
+    let mut seen = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return Histogram::bucket_le(i);
+        }
+    }
+    Histogram::bucket_le(counts.len().saturating_sub(1))
 }
 
 /// A point-in-time copy of every registered instrument, exportable as
@@ -438,6 +594,9 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Every registered histogram, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Per-[`TraceScope`] attribution (empty unless tracing was on),
+    /// sorted by scope name.
+    pub scopes: Vec<ScopeSnapshot>,
 }
 
 impl Snapshot {
@@ -477,27 +636,71 @@ impl Snapshot {
             if i > 0 {
                 out.push(',');
             }
+            out.push_str(&histogram_json(h, "    "));
+        }
+        if self.histograms.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"scopes\": [");
+        for (i, s) in self.scopes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
             out.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
-                json_escape(&h.name),
-                h.count,
-                h.sum
+                "\n    {{\"name\": \"{}\", \"counters\": {{",
+                json_escape(&s.name)
             ));
-            for (j, (le, n)) in h.buckets.iter().enumerate() {
+            for (j, (name, value)) in s.counters.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
                 }
-                out.push_str(&format!("{{\"le\": {le}, \"count\": {n}}}"));
+                out.push_str(&format!("\"{}\": {value}", json_escape(name)));
             }
-            out.push_str("]}");
+            out.push_str("}, \"histograms\": [");
+            for (j, h) in s.histograms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&histogram_json(h, "      "));
+            }
+            if s.histograms.is_empty() {
+                out.push_str("]}");
+            } else {
+                out.push_str("\n    ]}");
+            }
         }
-        if self.histograms.is_empty() {
+        if self.scopes.is_empty() {
             out.push_str("]\n}\n");
         } else {
             out.push_str("\n  ]\n}\n");
         }
         out
     }
+}
+
+/// One histogram object of the JSON export (shared between the global
+/// and the per-scope sections).
+fn histogram_json(h: &HistogramSnapshot, indent: &str) -> String {
+    let mut out = format!(
+        "\n{indent}{{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+        json_escape(&h.name),
+        h.count,
+        h.sum,
+        h.p50,
+        h.p90,
+        h.p99
+    );
+    for (j, (le, n)) in h.buckets.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"le\": {le}, \"count\": {n}}}"));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -532,26 +735,22 @@ pub fn snapshot() -> Snapshot {
     let mut histograms: Vec<HistogramSnapshot> = inner
         .histograms
         .iter()
-        .map(|h| HistogramSnapshot {
-            name: h.name.to_owned(),
-            count: h.count(),
-            sum: h.sum(),
-            buckets: h
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(i, b)| {
-                    let n = b.load(Ordering::Relaxed);
-                    (n > 0).then_some((Histogram::bucket_le(i), n))
-                })
-                .collect(),
+        .map(|h| {
+            HistogramSnapshot::from_buckets(
+                h.name.to_owned(),
+                h.count(),
+                h.sum(),
+                h.buckets.iter().map(|b| b.load(Ordering::Relaxed)),
+            )
         })
         .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    drop(inner);
     Snapshot {
         mode: mode(),
         counters,
         histograms,
+        scopes: trace::scoped_snapshot(),
     }
 }
 
@@ -688,6 +887,60 @@ mod tests {
         }
         assert!(TelemetryMode::Off < TelemetryMode::Counters);
         assert!(TelemetryMode::Counters < TelemetryMode::Full);
+    }
+
+    #[test]
+    fn percentiles_on_known_distributions() {
+        // Dense bucket math, independent of the global mode: 100
+        // samples of the values 1..=100 land in buckets 1..=7
+        // ([1], [2,3], [4,7], [8,15], [16,31], [32,63], [64,100]).
+        let mut counts = vec![0u64; BUCKETS];
+        for v in 1u64..=100 {
+            counts[Histogram::bucket_of(v)] += 1;
+        }
+        // Rank 50 is the value 50 → bucket [32,63], upper bound 63.
+        assert_eq!(percentile_of_buckets(&counts, 50.0), 63);
+        // Rank 90 is the value 90 → bucket [64,127], upper bound 127.
+        assert_eq!(percentile_of_buckets(&counts, 90.0), 127);
+        assert_eq!(percentile_of_buckets(&counts, 99.0), 127);
+        // Extremes: p→0 clamps to the first sample, p=100 to the last.
+        assert_eq!(percentile_of_buckets(&counts, 0.001), 1);
+        assert_eq!(percentile_of_buckets(&counts, 100.0), 127);
+        // Empty histograms report 0 everywhere.
+        assert_eq!(percentile_of_buckets(&vec![0u64; BUCKETS], 50.0), 0);
+
+        // A point mass: every percentile is that bucket's bound.
+        let mut point = vec![0u64; BUCKETS];
+        point[Histogram::bucket_of(1000)] = 7;
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_of_buckets(&point, p), 1023);
+        }
+
+        // A bimodal split: 90 fast samples (=4) and 10 slow (=4096):
+        // p50/p90 sit in the fast mode, p99 in the slow tail.
+        let mut bimodal = vec![0u64; BUCKETS];
+        bimodal[Histogram::bucket_of(4)] = 90;
+        bimodal[Histogram::bucket_of(4096)] = 10;
+        assert_eq!(percentile_of_buckets(&bimodal, 50.0), 7);
+        assert_eq!(percentile_of_buckets(&bimodal, 90.0), 7);
+        assert_eq!(percentile_of_buckets(&bimodal, 99.0), 8191);
+
+        // The snapshot carries the same numbers through from_buckets
+        // and its own sparse-bucket percentile.
+        let snap = HistogramSnapshot::from_buckets("t".into(), 100, 0, bimodal.iter().copied());
+        assert_eq!((snap.p50, snap.p90, snap.p99), (7, 7, 8191));
+        assert_eq!(snap.percentile(50.0), 7);
+        assert_eq!(snap.percentile(99.0), 8191);
+
+        // The live accessor agrees with the dense math.
+        static PCT: Histogram = Histogram::new("test.pct");
+        set_mode(TelemetryMode::Full);
+        for v in 1u64..=100 {
+            PCT.observe(v);
+        }
+        assert_eq!(PCT.percentile(50.0), 63);
+        assert_eq!(PCT.percentile(90.0), 127);
+        set_mode(TelemetryMode::Off);
     }
 
     #[test]

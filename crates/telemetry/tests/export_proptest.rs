@@ -1,0 +1,374 @@
+//! The trace exporters emit *valid* JSON for arbitrary event contents
+//! — names and scopes containing quotes, backslashes, control
+//! characters, and non-ASCII must round-trip through the escaping
+//! layer without ever producing an unparseable document.
+//!
+//! The checker is a minimal hand-written JSON parser (no external
+//! deps): strict on syntax, builds a small AST so the properties can
+//! compare decoded strings against the original event fields.
+
+use proptest::prelude::*;
+use safety_opt_telemetry::trace::{export_chrome_trace, export_jsonl, Event};
+use safety_opt_telemetry::EventKind;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > 64 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.i;
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-UTF-8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => {
+                    // One UTF-8 scalar (the input is a &str, so bytes
+                    // are well-formed; find its end).
+                    let mut end = start + 1;
+                    while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let before = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > before
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("unparseable number"))
+    }
+}
+
+/// Parses `s` as exactly one JSON document (trailing whitespace ok).
+fn parse_document(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Event generation
+// ---------------------------------------------------------------------
+
+const KINDS: [EventKind; 8] = [
+    EventKind::ScopeBegin,
+    EventKind::ScopeEnd,
+    EventKind::Span,
+    EventKind::FailpointFired,
+    EventKind::DegradeFallback,
+    EventKind::DeadlineExpired,
+    EventKind::CacheEviction,
+    EventKind::Warning,
+];
+
+/// Strings that stress the escaping layer: quotes, backslashes, every
+/// control character, non-ASCII (including beyond the BMP), and the
+/// JSON-syntax bytes themselves.
+fn nasty_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just('"'),
+        Just('\\'),
+        Just('\n'),
+        Just('\r'),
+        Just('\t'),
+        (0u64..0x20).prop_map(|c| char::from_u32(c as u32).expect("control char")),
+        (0x20u64..0x7f).prop_map(|c| char::from_u32(c as u32).expect("ascii")),
+        Just('µ'),
+        Just('é'),
+        Just('→'),
+        Just('𝕊'),
+        Just('{'),
+        Just('}'),
+        Just(','),
+        Just(':'),
+    ]
+}
+
+fn nasty_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(nasty_char(), 0..16).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (
+        (
+            0usize..KINDS.len(),
+            nasty_string(),
+            (any::<bool>(), nasty_string()),
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((k, name, (scoped, scope)), (seq, ts, dur, value))| Event {
+                seq,
+                ts_nanos: ts % (1 << 53),
+                dur_nanos: dur % (1 << 53),
+                kind: KINDS[k],
+                name,
+                scope: scoped.then_some(scope),
+                tid: value % 64,
+                value,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jsonl_is_valid_and_round_trips(events in prop::collection::vec(event(), 0..12)) {
+        let out = export_jsonl(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        prop_assert_eq!(lines.len(), events.len(), "one JSONL line per event");
+        for (line, e) in lines.iter().zip(&events) {
+            let doc = match parse_document(line) {
+                Ok(doc) => doc,
+                Err(msg) => return Err(TestCaseError::fail(format!("invalid JSONL: {msg}\n{line}"))),
+            };
+            let want_name = Json::Str(e.name.clone());
+            let want_scope = match &e.scope {
+                Some(s) => Json::Str(s.clone()),
+                None => Json::Null,
+            };
+            let want_kind = Json::Str(e.kind.name().to_owned());
+            let want_value = Json::Num(e.value as f64);
+            prop_assert_eq!(doc.get("name"), Some(&want_name), "name survives escaping");
+            prop_assert_eq!(doc.get("scope"), Some(&want_scope), "scope survives escaping");
+            prop_assert_eq!(doc.get("kind"), Some(&want_kind));
+            prop_assert_eq!(doc.get("value"), Some(&want_value));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_round_trips(events in prop::collection::vec(event(), 0..12)) {
+        let out = export_chrome_trace(&events);
+        let doc = match parse_document(&out) {
+            Ok(doc) => doc,
+            Err(msg) => return Err(TestCaseError::fail(format!("invalid Chrome trace: {msg}\n{out}"))),
+        };
+        let entries = match doc.get("traceEvents") {
+            Some(Json::Arr(entries)) => entries,
+            other => return Err(TestCaseError::fail(format!("traceEvents is {other:?}"))),
+        };
+        prop_assert_eq!(entries.len(), events.len(), "one trace entry per event");
+        for (entry, e) in entries.iter().zip(&events) {
+            let want_name = Json::Str(e.name.clone());
+            let want_scope = match &e.scope {
+                Some(s) => Json::Str(s.clone()),
+                None => Json::Null,
+            };
+            let want_seq = Json::Num(e.seq as f64);
+            prop_assert_eq!(entry.get("name"), Some(&want_name), "name survives escaping");
+            prop_assert!(matches!(entry.get("ph"), Some(Json::Str(_))), "every entry has a phase");
+            let args = entry.get("args").cloned().unwrap_or(Json::Null);
+            prop_assert_eq!(args.get("scope"), Some(&want_scope), "scope survives escaping");
+            prop_assert_eq!(args.get("seq"), Some(&want_seq));
+        }
+    }
+}

@@ -16,6 +16,14 @@
 //! convergence-trace observer to the optimizer, and appends a
 //! human-readable telemetry summary (tape compile statistics, memo
 //! cache hit rate, per-restart convergence) after the study.
+//!
+//! With `--trace`, additionally forces `SAFETY_OPT_TRACE=full`: the
+//! study records a structured event stream (scopes, spans, warnings)
+//! and per-op sweep profiles, writes the events as Chrome trace-event
+//! JSON (`results/elbtunnel_trace.json`, loadable in Perfetto or
+//! `chrome://tracing`) and as JSONL (`results/elbtunnel_trace.jsonl`),
+//! and appends an event/scope summary plus the compiled tape's hot-op
+//! table.
 
 use safety_optimization::elbtunnel::analytic::{scaling, ElbtunnelModel, Variant};
 use safety_optimization::elbtunnel::constants as c;
@@ -28,9 +36,14 @@ use safety_optimization::telemetry;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let with_telemetry = std::env::args().any(|a| a == "--telemetry");
+    let args: Vec<String> = std::env::args().collect();
+    let with_trace = args.iter().any(|a| a == "--trace");
+    let with_telemetry = args.iter().any(|a| a == "--telemetry") || with_trace;
     if with_telemetry {
         telemetry::set_mode(telemetry::TelemetryMode::Full);
+    }
+    if with_trace {
+        telemetry::set_trace_mode(telemetry::TraceMode::Full);
     }
     let trace = Arc::new(CollectingHook::default());
     println!("== 1. Fault tree analysis (Sect. IV-B) ==");
@@ -119,6 +132,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if with_telemetry {
         print_telemetry_summary(&trace);
     }
+    if with_trace {
+        write_trace_artifacts(&model)?;
+    }
+    Ok(())
+}
+
+/// The `--trace` appendix: exports the study's event stream, prints a
+/// per-kind/per-scope digest, and renders the compiled tape's hot-op
+/// table (populated by a profiled surface sweep, since the optimizer's
+/// internal tape is not exposed).
+fn write_trace_artifacts(
+    model: &safety_optimization::safeopt::model::SafetyModel,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use safety_optimization::safeopt::compile::CompiledModel;
+
+    println!("\n== 8. Structured trace (--trace) ==");
+
+    // A profiled sweep over the cost surface grid: every op of the
+    // compiled Elbtunnel tape gets timed forward/adjoint samples on
+    // both the lane-blocked and the scalar-tail path.
+    let compiled = CompiledModel::compile(model)?;
+    {
+        let _scope = telemetry::TraceScope::enter("profile.sweep");
+        let pts: Vec<Vec<f64>> = (0..60)
+            .flat_map(|i| (0..60).map(move |j| vec![5.0 + i as f64, 5.0 + j as f64]))
+            .collect();
+        compiled.cost_batch(&pts)?;
+        compiled.gradient_batch(&pts)?;
+    }
+    println!("hot ops (compiled Elbtunnel tape, surface sweep):");
+    print!("{}", compiled.profile_report().render_table());
+
+    let events = telemetry::trace::take_events();
+    let mut kinds: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    let mut scopes: std::collections::BTreeSet<String> = Default::default();
+    for e in &events {
+        *kinds.entry(e.kind.name()).or_default() += 1;
+        if let Some(s) = &e.scope {
+            scopes.insert(s.clone());
+        }
+    }
+    println!(
+        "event stream: {} events ({} dropped)",
+        events.len(),
+        telemetry::trace::dropped_events()
+    );
+    for (kind, n) in &kinds {
+        println!("  {kind:<16} {n:>8}");
+    }
+    println!(
+        "scopes seen: {}",
+        scopes.into_iter().collect::<Vec<_>>().join(", ")
+    );
+
+    std::fs::create_dir_all("results")?;
+    let chrome = telemetry::trace::export_chrome_trace(&events);
+    std::fs::write("results/elbtunnel_trace.json", chrome)?;
+    let jsonl = telemetry::trace::export_jsonl(&events);
+    std::fs::write("results/elbtunnel_trace.jsonl", jsonl)?;
+    println!(
+        "wrote results/elbtunnel_trace.json (Chrome trace-event format; \
+         load in Perfetto or chrome://tracing) and results/elbtunnel_trace.jsonl"
+    );
     Ok(())
 }
 
